@@ -1,0 +1,95 @@
+//! The bimodal (per-address 2-bit counter) predictor.
+
+use zbp_core::util::TwoBit;
+use zbp_model::{BranchRecord, DirectionPredictor};
+use zbp_zarch::{BranchClass, Direction, InstrAddr};
+
+/// A classic bimodal predictor: a table of 2-bit saturating counters
+/// indexed by instruction address.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<TwoBit>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters (rounded up
+    /// to a power of two).
+    pub fn new(entries: usize) -> Self {
+        Bimodal { table: vec![TwoBit::default(); entries.next_power_of_two()] }
+    }
+
+    fn index(&self, addr: InstrAddr) -> usize {
+        (addr.raw() >> 1) as usize & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict_direction(&mut self, addr: InstrAddr, _class: BranchClass) -> Direction {
+        self.table[self.index(addr)].direction()
+    }
+
+    fn update(&mut self, rec: &BranchRecord) {
+        let i = self.index(rec.addr);
+        self.table[i].train(rec.direction());
+    }
+
+    fn name(&self) -> String {
+        format!("bimodal-{}", self.table.len())
+    }
+
+    fn storage_bits(&self) -> u64 {
+        2 * self.table.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(0x9000))
+    }
+
+    #[test]
+    fn learns_per_address_bias() {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..3 {
+            p.update(&rec(0x100, true));
+            p.update(&rec(0x200, false));
+        }
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x100), BranchClass::CondRelative),
+            Direction::Taken
+        );
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x200), BranchClass::CondRelative),
+            Direction::NotTaken
+        );
+    }
+
+    #[test]
+    fn size_rounds_to_power_of_two() {
+        let p = Bimodal::new(1000);
+        assert_eq!(p.storage_bits(), 2 * 1024);
+        assert!(p.name().contains("1024"));
+    }
+
+    #[test]
+    fn cannot_learn_patterns() {
+        // Alternating branch: bimodal hovers in weak states and is wrong
+        // about half the time.
+        let mut p = Bimodal::new(256);
+        let mut wrong = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            if p.predict_direction(InstrAddr::new(0x40), BranchClass::CondRelative)
+                != Direction::from_taken(taken)
+            {
+                wrong += 1;
+            }
+            p.update(&rec(0x40, taken));
+        }
+        assert!(wrong >= 80, "bimodal must fail on alternation, wrong={wrong}");
+    }
+}

@@ -1,0 +1,206 @@
+//! A BTB + direction-predictor composite implementing the full
+//! predict/complete protocol, so baselines are comparable to the z15
+//! model on end-to-end MPKI (direction *and* target mispredictions).
+
+use zbp_model::{BranchRecord, DirectionPredictor, FullPredictor, Prediction};
+use zbp_zarch::{BranchClass, InstrAddr};
+
+#[derive(Debug, Clone, Copy)]
+struct BtbSlot {
+    addr: InstrAddr,
+    target: InstrAddr,
+}
+
+/// A 4-way set-associative BTB (4K entries by default) paired with any
+/// [`DirectionPredictor`].
+pub struct BtbComposite {
+    direction: Box<dyn DirectionPredictor + Send>,
+    sets: Vec<[Option<BtbSlot>; 4]>,
+    lru: Vec<[u8; 4]>,
+}
+
+impl std::fmt::Debug for BtbComposite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtbComposite")
+            .field("direction", &self.direction.name())
+            .field("sets", &self.sets.len())
+            .finish()
+    }
+}
+
+impl BtbComposite {
+    /// Default BTB sets (× 4 ways = 4K entries).
+    pub const DEFAULT_SETS: usize = 1024;
+
+    /// Wraps a direction predictor with the default-size BTB.
+    pub fn new(direction: Box<dyn DirectionPredictor + Send>) -> Self {
+        Self::with_sets(direction, Self::DEFAULT_SETS)
+    }
+
+    /// Wraps a direction predictor with `sets` × 4-way BTB.
+    pub fn with_sets(direction: Box<dyn DirectionPredictor + Send>, sets: usize) -> Self {
+        let sets = sets.next_power_of_two();
+        BtbComposite { direction, sets: vec![[None; 4]; sets], lru: vec![[0, 1, 2, 3]; sets] }
+    }
+
+    /// The wrapped direction predictor's name.
+    pub fn direction_name(&self) -> String {
+        self.direction.name()
+    }
+
+    fn set_of(&self, addr: InstrAddr) -> usize {
+        (addr.raw() >> 1) as usize & (self.sets.len() - 1)
+    }
+
+    fn lookup(&mut self, addr: InstrAddr) -> Option<InstrAddr> {
+        let s = self.set_of(addr);
+        for (w, slot) in self.sets[s].iter().enumerate() {
+            if let Some(e) = slot {
+                if e.addr == addr {
+                    let target = e.target;
+                    self.touch(s, w);
+                    return Some(target);
+                }
+            }
+        }
+        None
+    }
+
+    fn touch(&mut self, s: usize, w: usize) {
+        let old = self.lru[s][w];
+        for r in &mut self.lru[s] {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.lru[s][w] = 0;
+    }
+
+    fn install(&mut self, addr: InstrAddr, target: InstrAddr) {
+        let s = self.set_of(addr);
+        // Update in place if present.
+        for (w, slot) in self.sets[s].iter_mut().enumerate() {
+            if let Some(e) = slot {
+                if e.addr == addr {
+                    e.target = target;
+                    self.touch(s, w);
+                    return;
+                }
+            }
+        }
+        let victim = self.sets[s].iter().position(|e| e.is_none()).unwrap_or_else(|| {
+            let mut worst = 0;
+            for w in 1..4 {
+                if self.lru[s][w] > self.lru[s][worst] {
+                    worst = w;
+                }
+            }
+            worst
+        });
+        self.sets[s][victim] = Some(BtbSlot { addr, target });
+        self.touch(s, victim);
+    }
+}
+
+impl FullPredictor for BtbComposite {
+    fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
+        match self.lookup(addr) {
+            Some(target) => {
+                let dir = self.direction.predict_direction(addr, class);
+                if dir.is_taken() {
+                    Prediction::taken(target)
+                } else {
+                    Prediction::not_taken()
+                }
+            }
+            None => Prediction::surprise(class, None),
+        }
+    }
+
+    fn complete(&mut self, rec: &BranchRecord, pred: &Prediction) {
+        if pred.dynamic {
+            self.direction.update(rec);
+            if rec.taken {
+                self.install(rec.addr, rec.target);
+            }
+        } else {
+            // Surprise install policy mirrors the z15's: guessed-NT
+            // resolved-NT branches are not installed.
+            let guessed_taken = zbp_zarch::static_guess(rec.class()).is_taken();
+            if guessed_taken || rec.taken {
+                self.install(rec.addr, rec.target);
+                self.direction.update(rec);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("btb+{}", self.direction.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gshare};
+    use zbp_model::{DelayedUpdateHarness, DynamicTrace};
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, taken: bool, target: u64) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(target))
+    }
+
+    #[test]
+    fn surprise_then_dynamic_with_target() {
+        let mut c = BtbComposite::new(Box::new(Bimodal::new(1024)));
+        let r = rec(0x1000, true, 0x2000);
+        let p1 = c.predict(r.addr, r.class());
+        assert!(!p1.dynamic);
+        c.complete(&r, &p1);
+        let p2 = c.predict(r.addr, r.class());
+        assert!(p2.dynamic);
+        assert_eq!(p2.target, Some(InstrAddr::new(0x2000)));
+        c.complete(&r, &p2);
+    }
+
+    #[test]
+    fn target_updates_on_change() {
+        let mut c = BtbComposite::new(Box::new(Bimodal::new(1024)));
+        let a = rec(0x1000, true, 0x2000);
+        let b = rec(0x1000, true, 0x3000);
+        let p = c.predict(a.addr, a.class());
+        c.complete(&a, &p);
+        let p = c.predict(b.addr, b.class());
+        assert_eq!(p.target, Some(InstrAddr::new(0x2000)), "stale target predicted");
+        c.complete(&b, &p);
+        let p = c.predict(b.addr, b.class());
+        assert_eq!(p.target, Some(InstrAddr::new(0x3000)), "corrected");
+        c.complete(&b, &p);
+    }
+
+    #[test]
+    fn runs_under_the_harness() {
+        let records: Vec<BranchRecord> = (0..500)
+            .map(|i| rec(0x1000 + (i % 7) * 0x40, i % 3 != 0, 0x9000 + (i % 7) * 0x100))
+            .collect();
+        let trace = DynamicTrace::from_records("mix", records);
+        let mut c = BtbComposite::new(Box::new(Gshare::new(4096, 10)));
+        let out = DelayedUpdateHarness::new(8).run(&mut c, &trace);
+        assert_eq!(out.stats.branches.get(), 500);
+        assert!(out.stats.coverage().fraction() > 0.9, "BTB warms up");
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        let mut c = BtbComposite::with_sets(Box::new(Bimodal::new(64)), 1);
+        // Five branches in one set of four ways.
+        for k in 0..5u64 {
+            let r = rec(0x1000 + k * 0x800, true, 0x9000);
+            let p = c.predict(r.addr, r.class());
+            c.complete(&r, &p);
+        }
+        // The first installed branch was evicted.
+        let p = c.predict(InstrAddr::new(0x1000), BranchClass::CondRelative);
+        assert!(!p.dynamic, "LRU victimized the oldest entry");
+    }
+}

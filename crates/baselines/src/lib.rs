@@ -1,0 +1,76 @@
+//! # zbp-baselines — comparison branch predictors
+//!
+//! The academic baselines the z15 design is measured against in the
+//! experiment suite (E14), all implementing the
+//! [`DirectionPredictor`](zbp_model::DirectionPredictor) trait:
+//!
+//! * [`StaticOnly`] — opcode static guesses only (the no-hardware floor);
+//! * [`Bimodal`] — per-address 2-bit counters;
+//! * [`Gshare`] — global history XOR address;
+//! * [`LocalTwoLevel`] — per-branch local history into a pattern table;
+//! * [`PerceptronGlobal`] — Jiménez–Lin global-history perceptron \[18\];
+//! * [`Ltage`] — a scaled-down L-TAGE (Seznec \[8\]), the academic
+//!   state-of-the-art family the z15's two-table PHT derives from;
+//! * [`Ittage`] / [`LastTarget`] — indirect-target baselines (the
+//!   target-cache family the paper cites as \[19\]) for CTB comparisons.
+//!
+//! [`BtbComposite`] wraps any direction predictor with a simple BTB so
+//! baselines can play the full predict/complete protocol (targets,
+//! surprise detection) and be compared to the z15 model on MPKI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod composite;
+mod gshare;
+mod ittage;
+mod local;
+mod ltage;
+mod perceptron;
+mod statics;
+
+pub use bimodal::Bimodal;
+pub use composite::BtbComposite;
+pub use gshare::Gshare;
+pub use ittage::{Ittage, LastTarget};
+pub use local::LocalTwoLevel;
+pub use ltage::Ltage;
+pub use perceptron::PerceptronGlobal;
+pub use statics::StaticOnly;
+
+/// Builds the standard comparison roster at roughly z15-PHT-comparable
+/// storage, wrapped in BTB composites, plus labels.
+pub fn roster() -> Vec<BtbComposite> {
+    vec![
+        BtbComposite::new(Box::new(StaticOnly::new())),
+        BtbComposite::new(Box::new(Bimodal::new(16 * 1024))),
+        BtbComposite::new(Box::new(Gshare::new(16 * 1024, 12))),
+        BtbComposite::new(Box::new(LocalTwoLevel::new(1024, 10, 16 * 1024))),
+        BtbComposite::new(Box::new(PerceptronGlobal::new(512, 24))),
+        BtbComposite::new(Box::new(Ltage::new(4, 1024, 10))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_model::DirectionPredictor;
+
+    #[test]
+    fn roster_has_distinct_names_and_storage() {
+        let r = roster();
+        let names: std::collections::HashSet<_> = r.iter().map(|p| p.direction_name()).collect();
+        assert_eq!(names.len(), r.len());
+    }
+
+    #[test]
+    fn storage_bits_are_nonzero_for_hardware_predictors() {
+        assert_eq!(StaticOnly::new().storage_bits(), 0);
+        assert!(Bimodal::new(1024).storage_bits() > 0);
+        assert!(Gshare::new(1024, 10).storage_bits() > 0);
+        assert!(LocalTwoLevel::new(128, 8, 1024).storage_bits() > 0);
+        assert!(PerceptronGlobal::new(64, 16).storage_bits() > 0);
+        assert!(Ltage::new(4, 256, 8).storage_bits() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The two-level local-history predictor.
+
+use zbp_core::util::TwoBit;
+use zbp_model::{BranchRecord, DirectionPredictor};
+use zbp_zarch::{BranchClass, Direction, InstrAddr};
+
+/// A two-level local predictor: a per-branch history table (BHT level 1)
+/// feeding a shared pattern table of 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct LocalTwoLevel {
+    histories: Vec<u64>,
+    history_bits: u32,
+    pattern: Vec<TwoBit>,
+}
+
+impl LocalTwoLevel {
+    /// Creates a local predictor with `history_entries` per-branch
+    /// history registers of `history_bits` bits and `pattern_entries`
+    /// pattern counters.
+    pub fn new(history_entries: usize, history_bits: u32, pattern_entries: usize) -> Self {
+        assert!(history_bits <= 32);
+        LocalTwoLevel {
+            histories: vec![0; history_entries.next_power_of_two()],
+            history_bits,
+            pattern: vec![TwoBit::default(); pattern_entries.next_power_of_two()],
+        }
+    }
+
+    fn hist_index(&self, addr: InstrAddr) -> usize {
+        (addr.raw() >> 1) as usize & (self.histories.len() - 1)
+    }
+
+    fn pattern_index(&self, addr: InstrAddr, history: u64) -> usize {
+        let mixed = history ^ ((addr.raw() >> 1) << self.history_bits);
+        (mixed as usize) & (self.pattern.len() - 1)
+    }
+}
+
+impl DirectionPredictor for LocalTwoLevel {
+    fn predict_direction(&mut self, addr: InstrAddr, _class: BranchClass) -> Direction {
+        let h = self.histories[self.hist_index(addr)];
+        self.pattern[self.pattern_index(addr, h)].direction()
+    }
+
+    fn update(&mut self, rec: &BranchRecord) {
+        let hi = self.hist_index(rec.addr);
+        let h = self.histories[hi];
+        let pi = self.pattern_index(rec.addr, h);
+        self.pattern[pi].train(rec.direction());
+        let mask = (1u64 << self.history_bits) - 1;
+        self.histories[hi] = ((h << 1) | u64::from(rec.taken)) & mask;
+    }
+
+    fn name(&self) -> String {
+        format!("local-{}x{}h-{}", self.histories.len(), self.history_bits, self.pattern.len())
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.histories.len() as u64 * u64::from(self.history_bits) + 2 * self.pattern.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(0x9000))
+    }
+
+    #[test]
+    fn learns_short_loop_trip_counts() {
+        // T,T,T,N repeating: local history disambiguates the exit.
+        let mut p = LocalTwoLevel::new(256, 10, 4096);
+        let mut wrong_late = 0;
+        for i in 0..800 {
+            let taken = (i % 4) != 3;
+            let pred = p.predict_direction(InstrAddr::new(0x40), BranchClass::CondRelative);
+            if i > 400 && pred != Direction::from_taken(taken) {
+                wrong_late += 1;
+            }
+            p.update(&rec(0x40, taken));
+        }
+        assert!(wrong_late <= 8, "local predictor learns trip counts: {wrong_late}");
+    }
+
+    #[test]
+    fn two_branches_keep_separate_histories() {
+        let mut p = LocalTwoLevel::new(256, 8, 4096);
+        for i in 0..600 {
+            p.update(&rec(0x40, i % 2 == 0));
+            p.update(&rec(0x80, true));
+        }
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x80), BranchClass::CondRelative),
+            Direction::Taken
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = LocalTwoLevel::new(1024, 10, 16 * 1024);
+        assert_eq!(p.storage_bits(), 1024 * 10 + 2 * 16 * 1024);
+    }
+}

@@ -1,0 +1,264 @@
+//! A scaled-down L-TAGE (Seznec \[8\]) baseline.
+//!
+//! A bimodal base predictor plus `n` tagged tables with geometrically
+//! increasing global-history lengths, usefulness counters, the
+//! `use_alt_on_na` newly-allocated filter, and allocate-on-mispredict —
+//! the academic design family the z15's short/long TAGE PHT derives
+//! from.
+
+use zbp_core::util::{fold_hash, SatCounter, TwoBit};
+use zbp_model::{BranchRecord, DirectionPredictor};
+use zbp_zarch::{BranchClass, Direction, InstrAddr};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u16,
+    ctr: TwoBit,
+    useful: SatCounter,
+}
+
+/// The L-TAGE-style predictor.
+#[derive(Debug, Clone)]
+pub struct Ltage {
+    base: Vec<TwoBit>,
+    tables: Vec<Vec<Option<Entry>>>,
+    history_lens: Vec<u32>,
+    rows: usize,
+    history: u128,
+    /// Confidence that newly-allocated (weak) provider entries beat the
+    /// alternate prediction.
+    use_alt_on_na: SatCounter,
+    alloc_tick: u64,
+}
+
+impl Ltage {
+    /// Creates an L-TAGE with `n_tables` tagged tables of `rows` rows
+    /// each, shortest history `min_history` (doubling per table), plus a
+    /// 4×rows bimodal base.
+    pub fn new(n_tables: usize, rows: usize, min_history: u32) -> Self {
+        assert!((1..=8).contains(&n_tables));
+        let rows = rows.next_power_of_two();
+        let history_lens: Vec<u32> =
+            (0..n_tables).map(|i| min_history << i).map(|h| h.min(96)).collect();
+        Ltage {
+            base: vec![TwoBit::default(); 4 * rows],
+            tables: vec![vec![None; rows]; n_tables],
+            history_lens,
+            rows,
+            history: 0,
+            use_alt_on_na: SatCounter::at(4, 7),
+            alloc_tick: 0,
+        }
+    }
+
+    fn hist_bits(&self, len: u32) -> u64 {
+        let mask = if len >= 128 { u128::MAX } else { (1u128 << len) - 1 };
+        let h = self.history & mask;
+        (h as u64) ^ ((h >> 64) as u64)
+    }
+
+    fn index(&self, t: usize, addr: InstrAddr) -> usize {
+        let h = self.hist_bits(self.history_lens[t]);
+        (fold_hash(h ^ (addr.raw() >> 1).rotate_left(t as u32 * 7)) as usize) & (self.rows - 1)
+    }
+
+    fn tag(&self, t: usize, addr: InstrAddr) -> u16 {
+        let h = self.hist_bits(self.history_lens[t]);
+        (fold_hash(h.rotate_left(13) ^ (addr.raw() >> 1)) >> 9) as u16 & 0x3ff
+    }
+
+    fn base_index(&self, addr: InstrAddr) -> usize {
+        (addr.raw() >> 1) as usize & (self.base.len() - 1)
+    }
+
+    /// Provider chain: longest-history tag hit wins; returns
+    /// `(table, index, dir, weak)` or `None` for the bimodal base.
+    fn provider(&self, addr: InstrAddr) -> Option<(usize, usize, Direction, bool)> {
+        for t in (0..self.tables.len()).rev() {
+            let i = self.index(t, addr);
+            if let Some(e) = &self.tables[t][i] {
+                if e.tag == self.tag(t, addr) {
+                    return Some((t, i, e.ctr.direction(), e.ctr.is_weak()));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl DirectionPredictor for Ltage {
+    fn predict_direction(&mut self, addr: InstrAddr, _class: BranchClass) -> Direction {
+        let base_dir = self.base[self.base_index(addr)].direction();
+        match self.provider(addr) {
+            Some((_, _, dir, weak)) => {
+                if weak && self.use_alt_on_na.get() >= 4 {
+                    base_dir
+                } else {
+                    dir
+                }
+            }
+            None => base_dir,
+        }
+    }
+
+    fn update(&mut self, rec: &BranchRecord) {
+        let resolved = rec.direction();
+        let base_i = self.base_index(rec.addr);
+        let base_dir = self.base[base_i].direction();
+        let provider = self.provider(rec.addr);
+
+        let final_pred = match provider {
+            Some((_, _, dir, weak)) => {
+                if weak && self.use_alt_on_na.get() >= 4 {
+                    base_dir
+                } else {
+                    dir
+                }
+            }
+            None => base_dir,
+        };
+
+        match provider {
+            Some((t, i, dir, weak)) => {
+                // use_alt_on_na learns whether weak providers beat alt.
+                if weak && dir != base_dir {
+                    if base_dir == resolved {
+                        self.use_alt_on_na.inc();
+                    } else {
+                        self.use_alt_on_na.dec();
+                    }
+                }
+                if let Some(e) = self.tables[t][i].as_mut() {
+                    e.ctr.train(resolved);
+                    if dir == resolved && base_dir != resolved {
+                        e.useful.inc();
+                    } else if dir != resolved && base_dir == resolved {
+                        e.useful.dec();
+                    }
+                }
+                // Allocate into a longer table on a provider miss.
+                if dir != resolved && t + 1 < self.tables.len() {
+                    self.allocate_above(t, rec.addr, resolved);
+                }
+            }
+            None => {
+                self.base[base_i].train(resolved);
+                if base_dir != resolved {
+                    self.allocate_above(usize::MAX, rec.addr, resolved);
+                }
+            }
+        }
+        // The base always trains when it was the final provider.
+        if provider.is_none() || final_pred == base_dir {
+            self.base[base_i].train(resolved);
+        }
+
+        self.history = (self.history << 1) | u128::from(rec.taken);
+    }
+
+    fn name(&self) -> String {
+        format!("ltage-{}t-{}r", self.tables.len(), self.rows)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let tagged = self.tables.len() as u64 * self.rows as u64 * (10 + 2 + 2);
+        let base = 2 * self.base.len() as u64;
+        tagged + base
+    }
+}
+
+impl Ltage {
+    /// Allocates in one of the tables with history longer than
+    /// `from_table` (or any table when `usize::MAX`), respecting
+    /// usefulness and rotating the start point.
+    fn allocate_above(&mut self, from_table: usize, addr: InstrAddr, resolved: Direction) {
+        let start = if from_table == usize::MAX { 0 } else { from_table + 1 };
+        if start >= self.tables.len() {
+            return;
+        }
+        let span = self.tables.len() - start;
+        let offset = (self.alloc_tick as usize) % span;
+        self.alloc_tick += 1;
+        for k in 0..span {
+            let t = start + (offset + k) % span;
+            let i = self.index(t, addr);
+            let tag = self.tag(t, addr);
+            let slot = &mut self.tables[t][i];
+            if slot.is_none_or(|e| e.useful.is_zero()) {
+                *slot =
+                    Some(Entry { tag, ctr: TwoBit::weak(resolved), useful: SatCounter::new(3) });
+                return;
+            }
+        }
+        // Nothing replaceable: decay usefulness along the chain.
+        for t in start..self.tables.len() {
+            let i = self.index(t, addr);
+            if let Some(e) = self.tables[t][i].as_mut() {
+                e.useful.dec();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(0x9000))
+    }
+
+    fn drive(
+        p: &mut Ltage,
+        addr: u64,
+        pattern: impl Fn(usize) -> bool,
+        n: usize,
+        warm: usize,
+    ) -> usize {
+        let mut wrong_late = 0;
+        for i in 0..n {
+            let taken = pattern(i);
+            let pred = p.predict_direction(InstrAddr::new(addr), BranchClass::CondRelative);
+            if i > warm && pred != Direction::from_taken(taken) {
+                wrong_late += 1;
+            }
+            p.update(&rec(addr, taken));
+        }
+        wrong_late
+    }
+
+    #[test]
+    fn learns_biased_branches_via_base() {
+        let mut p = Ltage::new(4, 512, 8);
+        let wrong = drive(&mut p, 0x40, |_| true, 200, 20);
+        assert_eq!(wrong, 0);
+    }
+
+    #[test]
+    fn learns_loop_exit_patterns() {
+        let mut p = Ltage::new(4, 1024, 8);
+        let wrong = drive(&mut p, 0x40, |i| (i % 5) != 4, 2000, 1200);
+        assert!(wrong <= 24, "trip-5 loop learnable: {wrong}");
+    }
+
+    #[test]
+    fn learns_long_period_with_long_tables() {
+        let mut p = Ltage::new(4, 1024, 8);
+        let wrong = drive(&mut p, 0x40, |i| (i % 12) != 11, 4000, 3000);
+        assert!(wrong <= 60, "period-12 needs the longer tables: {wrong}");
+    }
+
+    #[test]
+    fn storage_and_name() {
+        let p = Ltage::new(4, 1024, 10);
+        assert!(p.storage_bits() > 0);
+        assert_eq!(p.name(), "ltage-4t-1024r");
+    }
+
+    #[test]
+    fn history_lengths_are_geometric() {
+        let p = Ltage::new(4, 256, 10);
+        assert_eq!(p.history_lens, vec![10, 20, 40, 80]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The Jiménez–Lin global-history perceptron baseline \[18\].
+
+use zbp_model::{BranchRecord, DirectionPredictor};
+use zbp_zarch::{BranchClass, Direction, InstrAddr};
+
+/// A classic global-history perceptron: a table of weight vectors
+/// indexed by branch address; prediction is the sign of the dot product
+/// with the global history; training when wrong or under-confident.
+#[derive(Debug, Clone)]
+pub struct PerceptronGlobal {
+    /// `weights[row][i]`; index 0 is the bias weight.
+    weights: Vec<Vec<i32>>,
+    history_bits: usize,
+    /// Training threshold θ ≈ 1.93·h + 14 (Jiménez–Lin).
+    theta: i32,
+    spec_history: u64,
+    arch_history: u64,
+}
+
+impl PerceptronGlobal {
+    /// Creates a perceptron table with `rows` entries over
+    /// `history_bits` of global history.
+    pub fn new(rows: usize, history_bits: usize) -> Self {
+        assert!(history_bits <= 62);
+        PerceptronGlobal {
+            weights: vec![vec![0; history_bits + 1]; rows.next_power_of_two()],
+            history_bits,
+            theta: (1.93 * history_bits as f64 + 14.0) as i32,
+            spec_history: 0,
+            arch_history: 0,
+        }
+    }
+
+    fn row(&self, addr: InstrAddr) -> usize {
+        (addr.raw() >> 1) as usize & (self.weights.len() - 1)
+    }
+
+    fn dot(&self, row: usize, history: u64) -> i32 {
+        let w = &self.weights[row];
+        let mut sum = w[0]; // bias
+        for i in 0..self.history_bits {
+            let x = if (history >> i) & 1 == 1 { 1 } else { -1 };
+            sum += w[i + 1] * x;
+        }
+        sum
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.history_bits) - 1
+    }
+}
+
+impl DirectionPredictor for PerceptronGlobal {
+    fn predict_direction(&mut self, addr: InstrAddr, _class: BranchClass) -> Direction {
+        let sum = self.dot(self.row(addr), self.spec_history);
+        let dir = if sum >= 0 { Direction::Taken } else { Direction::NotTaken };
+        self.spec_history = ((self.spec_history << 1) | u64::from(dir.is_taken())) & self.mask();
+        dir
+    }
+
+    fn update(&mut self, rec: &BranchRecord) {
+        let row = self.row(rec.addr);
+        let sum = self.dot(row, self.arch_history);
+        let t: i32 = if rec.taken { 1 } else { -1 };
+        let predicted_taken = sum >= 0;
+        if predicted_taken != rec.taken || sum.abs() <= self.theta {
+            let max = 127;
+            let w = &mut self.weights[row];
+            w[0] = (w[0] + t).clamp(-max, max);
+            for i in 0..self.history_bits {
+                let x: i32 = if (self.arch_history >> i) & 1 == 1 { 1 } else { -1 };
+                w[i + 1] = (w[i + 1] + t * x).clamp(-max, max);
+            }
+        }
+        self.arch_history = ((self.arch_history << 1) | u64::from(rec.taken)) & self.mask();
+        self.spec_history = self.arch_history;
+    }
+
+    fn name(&self) -> String {
+        format!("perceptron-{}x{}h", self.weights.len(), self.history_bits)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (self.weights.len() * (self.history_bits + 1) * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(0x9000))
+    }
+
+    #[test]
+    fn learns_history_correlation() {
+        // Branch B copies the direction of branch A (one step earlier in
+        // the history) — linearly separable, the perceptron's home turf.
+        let mut p = PerceptronGlobal::new(256, 16);
+        let mut wrong_late = 0;
+        for i in 0..2000 {
+            let a_dir = (i / 3) % 2 == 0; // A's direction changes slowly
+            p.predict_direction(InstrAddr::new(0x40), BranchClass::CondRelative);
+            p.update(&rec(0x40, a_dir));
+            let pred_b = p.predict_direction(InstrAddr::new(0x88), BranchClass::CondRelative);
+            if i > 1000 && pred_b != Direction::from_taken(a_dir) {
+                wrong_late += 1;
+            }
+            p.update(&rec(0x88, a_dir));
+        }
+        assert!(wrong_late <= 20, "perceptron learns the correlation: {wrong_late}");
+    }
+
+    #[test]
+    fn learns_strong_bias_quickly() {
+        let mut p = PerceptronGlobal::new(64, 12);
+        for _ in 0..50 {
+            p.predict_direction(InstrAddr::new(0x10), BranchClass::CondRelative);
+            p.update(&rec(0x10, true));
+        }
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x10), BranchClass::CondRelative),
+            Direction::Taken
+        );
+    }
+
+    #[test]
+    fn theta_scales_with_history() {
+        let small = PerceptronGlobal::new(16, 8);
+        let large = PerceptronGlobal::new(16, 32);
+        assert!(large.theta > small.theta);
+        assert!(large.storage_bits() > small.storage_bits());
+    }
+}

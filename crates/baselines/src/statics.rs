@@ -1,0 +1,51 @@
+//! The static-guess floor.
+
+use zbp_model::{BranchRecord, DirectionPredictor};
+use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
+
+/// Applies only the opcode-based static guess — the accuracy floor every
+/// dynamic predictor must beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticOnly;
+
+impl StaticOnly {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        StaticOnly
+    }
+}
+
+impl DirectionPredictor for StaticOnly {
+    fn predict_direction(&mut self, _addr: InstrAddr, class: BranchClass) -> Direction {
+        static_guess(class)
+    }
+
+    fn update(&mut self, _rec: &BranchRecord) {}
+
+    fn name(&self) -> String {
+        "static".into()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_static_rules() {
+        let mut p = StaticOnly::new();
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x10), BranchClass::CondRelative),
+            Direction::NotTaken
+        );
+        assert_eq!(
+            p.predict_direction(InstrAddr::new(0x10), BranchClass::LoopRelative),
+            Direction::Taken
+        );
+        assert_eq!(p.name(), "static");
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion microbench: simulation speed of the cycle-level front end
+//! (instructions simulated per second), per generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zbp_core::GenerationPreset;
+use zbp_trace::workloads;
+use zbp_uarch::{Frontend, FrontendConfig};
+
+fn bench(c: &mut Criterion) {
+    let trace = workloads::lspr_like(42, 30_000).dynamic_trace();
+    let mut g = c.benchmark_group("frontend_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.instruction_count()));
+    for preset in [GenerationPreset::Z15, GenerationPreset::ZEc12] {
+        g.bench_function(preset.to_string(), |b| {
+            b.iter(|| {
+                let mut fe = Frontend::new(preset.config(), FrontendConfig::default());
+                std::hint::black_box(fe.run(&trace).cycles)
+            })
+        });
+    }
+    g.bench_function("lookahead-screening", |b| {
+        b.iter(|| {
+            std::hint::black_box(zbp_uarch::run_lookahead(GenerationPreset::Z15.config(), &trace))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbench: end-to-end predict+complete throughput of the
+//! full predictor per generation — the simulation-speed figure of merit
+//! for the model itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zbp_core::{GenerationPreset, ZPredictor};
+use zbp_model::FullPredictor;
+use zbp_trace::workloads;
+
+fn bench(c: &mut Criterion) {
+    let trace = workloads::lspr_like(42, 30_000).dynamic_trace();
+    let records: Vec<_> = trace.branches().copied().collect();
+    let mut g = c.benchmark_group("predict_complete");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    for preset in GenerationPreset::ALL {
+        g.bench_function(preset.to_string(), |b| {
+            b.iter(|| {
+                let mut p = ZPredictor::new(preset.config());
+                for rec in &records {
+                    let pr = p.predict(rec.addr, rec.class());
+                    p.complete(rec, &pr);
+                }
+                std::hint::black_box(p.stats.direction_total())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

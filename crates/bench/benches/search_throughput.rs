@@ -1,0 +1,51 @@
+//! Criterion microbench: BTB1 search throughput by geometry — the
+//! operation the BPL performs every cycle (64 B line search, up to 8
+//! predictions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zbp_core::btb::BtbEntry;
+use zbp_core::btb1::Btb1;
+use zbp_core::config::Btb1Config;
+use zbp_zarch::{InstrAddr, Mnemonic};
+
+fn filled_btb1(rows: usize, ways: usize) -> Btb1 {
+    let cfg = Btb1Config { rows, ways, tag_bits: 14, search_bytes: 64, search_ports: 1 };
+    let mut b = Btb1::new(&cfg);
+    // Populate ~75% of capacity with branches across many lines.
+    for k in 0..(rows * ways * 3 / 4) as u64 {
+        let addr = InstrAddr::new(0x10_0000 + k * 34);
+        b.install(BtbEntry::install(
+            addr,
+            Mnemonic::Brc,
+            InstrAddr::new(0x20_0000 + k * 8),
+            true,
+            64,
+            14,
+        ));
+    }
+    b
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btb1_search");
+    for (rows, ways, label) in
+        [(2048usize, 8usize, "z15-2Kx8"), (2048, 4, "z14-2Kx4"), (1024, 4, "zEC12-1Kx4")]
+    {
+        let btb = filled_btb1(rows, ways);
+        g.bench_function(label, |bench| {
+            bench.iter_batched_ref(
+                || (btb.clone(), 0u64),
+                |(b, k)| {
+                    *k = k.wrapping_add(1);
+                    let addr = InstrAddr::new(0x10_0000 + (*k % 4096) * 64);
+                    std::hint::black_box(b.search_line_from(addr));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbench: TAGE PHT lookup/train/allocate primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zbp_core::config::z15_config;
+use zbp_core::gpv::Gpv;
+use zbp_core::tage::Pht;
+use zbp_zarch::{Direction, InstrAddr};
+
+fn warm_pht() -> (Pht, Vec<Gpv>) {
+    let cfg = z15_config();
+    let mut pht = Pht::new(&cfg.direction, cfg.btb1.ways);
+    let mut gpvs = Vec::new();
+    let mut g = Gpv::new(17);
+    for k in 0..256u64 {
+        g.push_taken(InstrAddr::new(0x4000 + k * 10));
+        gpvs.push(g);
+        let addr = InstrAddr::new(0x10_0000 + (k % 64) * 6);
+        pht.allocate(addr, (k % 8) as usize, &g, Direction::Taken, None);
+    }
+    (pht, gpvs)
+}
+
+fn bench(c: &mut Criterion) {
+    let (pht, gpvs) = warm_pht();
+    c.bench_function("tage_lookup", |b| {
+        b.iter_batched_ref(
+            || (pht.clone(), 0usize),
+            |(p, k)| {
+                *k += 1;
+                let addr = InstrAddr::new(0x10_0000 + ((*k % 64) as u64) * 6);
+                std::hint::black_box(p.lookup(addr, *k % 8, &gpvs[*k % gpvs.len()]));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("tage_allocate", |b| {
+        b.iter_batched_ref(
+            || (pht.clone(), 0usize),
+            |(p, k)| {
+                *k += 1;
+                let addr = InstrAddr::new(0x20_0000 + ((*k % 512) as u64) * 6);
+                p.allocate(addr, *k % 8, &gpvs[*k % gpvs.len()], Direction::NotTaken, None);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("tage_train", |b| {
+        b.iter_batched_ref(
+            || (pht.clone(), 0usize),
+            |(p, k)| {
+                *k += 1;
+                let addr = InstrAddr::new(0x10_0000 + ((*k % 64) as u64) * 6);
+                let lk = p.lookup_quiet(addr, *k % 8, &gpvs[*k % gpvs.len()]);
+                p.train(&lk, lk.short.or(lk.long), Direction::NotTaken, Direction::Taken);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

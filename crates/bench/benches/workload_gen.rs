@@ -1,0 +1,25 @@
+//! Criterion microbench: synthetic-workload generation and execution
+//! rates (trace production is the outer loop of every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zbp_trace::workloads;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    const INSTRS: u64 = 50_000;
+    g.throughput(Throughput::Elements(INSTRS));
+    g.bench_function("lspr_like", |b| {
+        b.iter(|| std::hint::black_box(workloads::lspr_like(7, INSTRS).dynamic_trace()))
+    });
+    g.bench_function("compute_loop", |b| {
+        b.iter(|| std::hint::black_box(workloads::compute_loop(7, INSTRS).dynamic_trace()))
+    });
+    g.bench_function("indirect_dispatch", |b| {
+        b.iter(|| std::hint::black_box(workloads::indirect_dispatch(7, INSTRS).dynamic_trace()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E8 — §III capacity: "On large footprint workloads,
+//! increasing the size of the main BTB has a very regular corresponding
+//! positive impact on performance."
+//!
+//! Sweeps (a) the BTB1 size at fixed workload footprint and (b) the
+//! workload footprint at fixed z15 geometry, reporting MPKI and BTB
+//! coverage.
+
+use zbp_bench::{cli_params, f3, pct, run_workload, Table};
+use zbp_core::{GenerationPreset, PredictorConfig};
+use zbp_trace::workloads;
+
+fn with_btb1_rows(mut cfg: PredictorConfig, rows: usize) -> PredictorConfig {
+    cfg.btb1.rows = rows;
+    cfg.name = format!("z15-btb1-{}k", rows * cfg.btb1.ways / 1024);
+    cfg
+}
+
+fn main() {
+    let (instrs, seed) = cli_params();
+
+    println!("(a) BTB1 capacity sweep on a uniformly-warm footprint ({instrs} instrs)\n");
+    let w = workloads::footprint_sweep(seed, instrs, 400);
+    println!(
+        "workload: {} branch sites over {} KB of warm code\n",
+        w.program().branch_sites(),
+        w.program().footprint_bytes() / 1024
+    );
+    let mut t = Table::new(vec![
+        "BTB1 branches",
+        "MPKI (no BTB2)",
+        "coverage",
+        "MPKI (with BTB2)",
+        "coverage ",
+    ]);
+    for rows in [256usize, 512, 1024, 2048, 4096] {
+        let mut solo = with_btb1_rows(GenerationPreset::Z15.config(), rows);
+        solo.btb2 = None;
+        let (s1, _) = run_workload(&solo, &w);
+        let cfg = with_btb1_rows(GenerationPreset::Z15.config(), rows);
+        let (s2, _) = run_workload(&cfg, &w);
+        t.row(vec![
+            (rows * 8).to_string(),
+            f3(s1.mpki()),
+            pct(s1.coverage().fraction()),
+            f3(s2.mpki()),
+            pct(s2.coverage().fraction()),
+        ]);
+    }
+    t.print();
+
+    println!("\n(b) footprint sweep at fixed z15 geometry\n");
+    let mut t = Table::new(vec!["services", "footprint (KB)", "MPKI", "coverage", "BTB2 searches"]);
+    for services in [25usize, 50, 100, 200, 400, 800] {
+        let w = workloads::footprint_sweep(seed, instrs, services);
+        let cfg = GenerationPreset::Z15.config();
+        let (stats, p) = run_workload(&cfg, &w);
+        t.row(vec![
+            services.to_string(),
+            (w.program().footprint_bytes() / 1024).to_string(),
+            f3(stats.mpki()),
+            pct(stats.coverage().fraction()),
+            p.btb2().map_or(0, |b| b.stats.searches).to_string(),
+        ]);
+    }
+    t.print();
+    println!("\npaper: larger BTBs help monotonically on large footprints; the BTB2");
+    println!("backfill keeps coverage high once the footprint exceeds the BTB1.");
+}

@@ -1,0 +1,97 @@
+//! Experiment E12 — §V direction-prediction ablations: what each
+//! auxiliary direction structure buys on top of the BHT.
+//!
+//! * single-table PHT vs the z15 two-table TAGE;
+//! * perceptron on/off;
+//! * SBHT/SPHT speculative overrides on/off (the weak-loop pathology);
+//! * GPV depth 9 vs 17.
+
+use zbp_bench::{cli_params, delta_pct, f3, pct, run_suite, run_workload, Table};
+use zbp_core::config::PhtKind;
+use zbp_core::{GenerationPreset, PredictorConfig};
+use zbp_trace::workloads;
+
+fn variant(name: &str, f: impl FnOnce(&mut PredictorConfig)) -> PredictorConfig {
+    let mut cfg = GenerationPreset::Z15.config();
+    f(&mut cfg);
+    cfg.name = name.into();
+    cfg
+}
+
+fn main() {
+    let (instrs, seed) = cli_params();
+    println!("Direction-prediction ablation, LSPR suite ({instrs} instrs/workload)\n");
+
+    let variants = vec![
+        variant("bht-only", |c| {
+            c.direction.pht = PhtKind::None;
+            c.direction.perceptron = None;
+            c.direction.sbht_entries = 0;
+            c.direction.spht_entries = 0;
+        }),
+        variant("single-pht", |c| {
+            c.direction.pht = PhtKind::SingleTable { rows_per_way: 1024, history: 9 };
+            c.direction.perceptron = None;
+        }),
+        variant("tage-no-perceptron", |c| {
+            c.direction.perceptron = None;
+        }),
+        variant("tage-no-spec", |c| {
+            c.direction.sbht_entries = 0;
+            c.direction.spht_entries = 0;
+        }),
+        variant("gpv9", |c| {
+            c.gpv_depth = 9;
+            c.direction.pht =
+                PhtKind::Tage { rows_per_way: 512, short_history: 5, long_history: 9 };
+            if let Some(ctb) = &mut c.ctb {
+                ctb.history = 9;
+            }
+        }),
+        variant("z15-full", |_| {}),
+    ];
+
+    let mut t = Table::new(vec![
+        "variant",
+        "MPKI (lspr)",
+        "vs full",
+        "dir acc",
+        "MPKI (patterned)",
+        "vs full ",
+        "MPKI (corr-noise)",
+        "vs full  ",
+    ]);
+    let full = run_suite(variants.last().expect("nonempty"), seed, instrs);
+    let full_mpki = full.mpki();
+    let patterned = workloads::patterned(seed, instrs);
+    let corr = workloads::correlated_noise(seed, instrs, 15);
+    let full_pat = {
+        let (s, _) = run_workload(variants.last().expect("nonempty"), &patterned);
+        s.mpki()
+    };
+    let full_corr = {
+        let (s, _) = run_workload(variants.last().expect("nonempty"), &corr);
+        s.mpki()
+    };
+    for cfg in &variants {
+        let stats = run_suite(cfg, seed, instrs);
+        let (pat, _) = run_workload(cfg, &patterned);
+        let (cn, _) = run_workload(cfg, &corr);
+        t.row(vec![
+            cfg.name.clone(),
+            f3(stats.mpki()),
+            delta_pct(full_mpki, stats.mpki()),
+            pct(stats.direction_accuracy().fraction()),
+            f3(pat.mpki()),
+            delta_pct(full_pat, pat.mpki()),
+            f3(cn.mpki()),
+            delta_pct(full_corr, cn.mpki()),
+        ]);
+    }
+    t.print();
+    println!("\npaper: the pattern/history structures carry the hard branches; on mixes");
+    println!("dominated by easy branches the BHT already covers most of the work, so");
+    println!("individual aux ablations move the LSPR average only a little while the");
+    println!("pattern-heavy and correlated-noise columns show where TAGE and the");
+    println!("perceptron respectively earn their area.");
+}

@@ -1,0 +1,90 @@
+//! Experiment E16 — reproduces **Figure 3** (overview of BPL
+//! components) and **Figure 1** (pipeline position): renders the
+//! component inventory of a configuration with live capacities.
+
+use zbp_core::config::PhtKind;
+use zbp_core::GenerationPreset;
+
+fn main() {
+    let cfg = GenerationPreset::Z15.config();
+    println!("Figure 3 — overview of BPL components ({})\n", cfg.name);
+    println!("  restart/search address");
+    println!("        |");
+    println!(
+        "        v                 +--> BTB2   {} rows x {} ways = {} branches",
+        cfg.btb2.as_ref().map_or(0, |b| b.rows),
+        cfg.btb2.as_ref().map_or(0, |b| b.ways),
+        cfg.btb2.as_ref().map_or(0, |b| b.capacity()),
+    );
+    println!(
+        "   +--- BTB1+BHT ---------+    staging queue ({} entries) -> RBW filter port",
+        cfg.btb2.as_ref().map_or(0, |b| b.staging_capacity),
+    );
+    println!(
+        "   |    {} rows x {} ways = {} branches, {}B search line, {} port(s)",
+        cfg.btb1.rows,
+        cfg.btb1.ways,
+        cfg.btb1.capacity(),
+        cfg.btb1.search_bytes,
+        cfg.btb1.search_ports,
+    );
+    match &cfg.direction.pht {
+        PhtKind::Tage { rows_per_way, short_history, long_history } => println!(
+            "   +--- TAGE PHT: short({}-br) + long({}-br), {} rows/way x {} ways x 2 = {} entries",
+            short_history,
+            long_history,
+            rows_per_way,
+            cfg.btb1.ways,
+            2 * rows_per_way * cfg.btb1.ways,
+        ),
+        PhtKind::SingleTable { rows_per_way, history } => println!(
+            "   +--- PHT: single table ({}-br history), {} rows/way = {} entries",
+            history,
+            rows_per_way,
+            rows_per_way * cfg.btb1.ways,
+        ),
+        PhtKind::None => println!("   +--- PHT: none"),
+    }
+    println!(
+        "   +--- SBHT ({} entries) / SPHT ({} entries) speculative overrides",
+        cfg.direction.sbht_entries, cfg.direction.spht_entries,
+    );
+    if let Some(p) = &cfg.direction.perceptron {
+        println!(
+            "   +--- perceptron: {} x {} = {} entries, {} weights, {}:1 virtualization",
+            p.rows,
+            p.ways,
+            p.rows * p.ways,
+            p.weights,
+            p.virtualization,
+        );
+    }
+    if let Some(c) = &cfg.ctb {
+        println!(
+            "   +--- CTB: {} entries, indexed by {}-deep GPV, tag {} bits",
+            c.entries, c.history, c.tag_bits,
+        );
+    }
+    if let Some(c) = &cfg.crs {
+        println!(
+            "   +--- CRS: 1-entry stack, distance > {} B, NSIA offsets {:?}, amnesty 1/{}",
+            c.distance_threshold, c.offsets, c.amnesty_period,
+        );
+    }
+    if let Some(c) = &cfg.cpred {
+        println!(
+            "   +--- CPRED: {} entries, stream-indexed, power prediction{}",
+            c.entries,
+            if c.with_skoot { ", SKOOT in redirect" } else { "" },
+        );
+    }
+    println!("   +--- GPV: {} taken branches x 2 bits = {} bits", cfg.gpv_depth, 2 * cfg.gpv_depth);
+    println!("        |");
+    println!("        +--> predictions --> IDU (direction apply) / ICM (fetch steer) / GPQ");
+    println!();
+    println!("Figure 1 — pipeline position: predictions made asynchronously in b0..b5,");
+    println!(
+        "integrated at decode/dispatch; branch-wrong restart ~{} cycles (statistical ~{}).",
+        cfg.timing.restart_penalty, cfg.timing.restart_penalty_statistical,
+    );
+}

@@ -1,0 +1,23 @@
+//! Experiment E2 — reproduces **Figure 4**: the 6-cycle branch
+//! prediction pipeline without CPRED acceleration. A taken prediction
+//! is presented in b5 and re-indexes the pipeline, yielding one taken
+//! branch per 5 cycles in single-thread mode (per §IV).
+
+use zbp_core::config::TimingConfig;
+use zbp_core::pipeline::{uniform_streams, SearchPipeline};
+
+fn main() {
+    let timing = TimingConfig::default();
+    println!("Figure 4 — branch prediction pipeline (no CPRED), single thread\n");
+    let pipe = SearchPipeline::new(timing.clone(), false, false, false);
+    let steps = uniform_streams(4, 1, 0, false);
+    println!("{}", pipe.render_diagram(&steps, 4));
+    let rep = pipe.run(&uniform_streams(64, 1, 0, false));
+    println!("measured: taken prediction every {:.1} cycles (paper: 5)", rep.mean_taken_period());
+    println!("searches issued: {}", rep.searches);
+
+    println!("\nSame pipeline in SMT2 (port shared between threads):\n");
+    let pipe2 = SearchPipeline::new(timing, true, false, false);
+    let rep2 = pipe2.run(&uniform_streams(64, 1, 0, false));
+    println!("measured: taken prediction every {:.1} cycles (paper: 6)", rep2.mean_taken_period());
+}

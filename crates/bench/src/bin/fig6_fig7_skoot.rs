@@ -1,0 +1,109 @@
+//! Experiment E4 — reproduces **Figures 6 and 7**: the prediction
+//! pipeline with CPRED, without vs with SKOOT. When the branches of a
+//! target stream sit several empty 64-byte lines past the target, SKOOT
+//! skips the unnecessary sequential searches (per §IV).
+
+use zbp_bench::{cli_params, Table};
+use zbp_core::config::TimingConfig;
+use zbp_core::pipeline::{uniform_streams, SearchPipeline};
+use zbp_core::{GenerationPreset, ZPredictor};
+use zbp_model::{DelayedUpdateHarness, DynamicTrace};
+use zbp_trace::workloads;
+use zbp_zarch::LINE_64B;
+
+fn main() {
+    let timing = TimingConfig::default();
+    // Streams whose stream-leaving taken branch sits 4 lines past the
+    // stream entry, with the 3 leading lines empty.
+    let steps = uniform_streams(48, 4, 3, true);
+
+    println!("Figure 6 — CPRED without SKOOT (all 4 lines searched per stream)\n");
+    let without = SearchPipeline::new(timing.clone(), false, false, true);
+    println!("{}", without.render_diagram(&steps, 6));
+
+    println!("Figure 7 — CPRED with SKOOT (3 empty lines skipped per stream)\n");
+    let with = SearchPipeline::new(timing.clone(), false, true, true);
+    println!("{}", with.render_diagram(&steps, 6));
+
+    let rep_without = without.run(&steps);
+    let rep_with = with.run(&steps);
+    let mut t = Table::new(vec!["metric", "no SKOOT", "SKOOT"]);
+    t.row(vec![
+        "searches issued".to_string(),
+        rep_without.searches.to_string(),
+        rep_with.searches.to_string(),
+    ]);
+    t.row(vec![
+        "searches skipped".to_string(),
+        rep_without.searches_skipped.to_string(),
+        rep_with.searches_skipped.to_string(),
+    ]);
+    t.row(vec![
+        "total cycles".to_string(),
+        rep_without.cycles.to_string(),
+        rep_with.cycles.to_string(),
+    ]);
+    t.row(vec![
+        "taken period (cyc)".to_string(),
+        format!("{:.2}", rep_without.mean_taken_period()),
+        format!("{:.2}", rep_with.mean_taken_period()),
+    ]);
+    t.print();
+    println!(
+        "\nSKOOT removes {:.0}% of searches on this stream shape (power + throughput).",
+        100.0 * (rep_without.searches - rep_with.searches) as f64 / rep_without.searches as f64
+    );
+
+    // Measured stream shapes: how often do real target streams begin
+    // with empty 64-byte lines SKOOT could skip?
+    let (instrs, seed) = cli_params();
+    println!("\nMeasured stream shapes and SKOOT learning per workload ({instrs} instrs)\n");
+    let mut t = Table::new(vec![
+        "workload",
+        "streams",
+        "w/ leading empty lines",
+        "mean lead lines",
+        "SKOOT learns",
+        "lines skipped",
+    ]);
+    for w in workloads::suite(seed, instrs) {
+        let trace = w.dynamic_trace();
+        let (streams, with_lead, lead_sum) = stream_shapes(&trace);
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        DelayedUpdateHarness::new(32).run(&mut p, &trace);
+        t.row(vec![
+            w.label.clone(),
+            streams.to_string(),
+            format!("{:.1}%", 100.0 * with_lead as f64 / streams.max(1) as f64),
+            format!("{:.2}", lead_sum as f64 / streams.max(1) as f64),
+            p.stats.skoot_learns.to_string(),
+            p.stats.skoot_lines_skipped.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n'lines skipped' accumulates the SKOOT skip distances the functional");
+    println!("predictor applied on taken redirects (stream entries it had learned).");
+}
+
+/// Counts streams (taken-target to next branch) and their leading empty
+/// 64-byte lines in a trace.
+fn stream_shapes(trace: &DynamicTrace) -> (u64, u64, u64) {
+    let mut streams = 0u64;
+    let mut with_lead = 0u64;
+    let mut lead_sum = 0u64;
+    let mut stream_start: Option<u64> = None;
+    for rec in trace.branches() {
+        if let Some(start) = stream_start.take() {
+            let lead = (rec.addr.raw() / LINE_64B).saturating_sub(start / LINE_64B);
+            streams += 1;
+            if lead > 0 {
+                with_lead += 1;
+                lead_sum += lead;
+            }
+        }
+        if rec.taken {
+            stream_start = Some(rec.target.raw());
+        }
+    }
+    (streams, with_lead, lead_sum)
+}

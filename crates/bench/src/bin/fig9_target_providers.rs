@@ -1,0 +1,50 @@
+//! Experiment E6 — reproduces **Figure 9** as measurement: which
+//! structure provides each taken-branch target (BTB1 / CTB / CRS), with
+//! per-provider accuracy, plus the CRS detection/blacklist/amnesty
+//! statistics, on call/return-heavy and indirect-dispatch workloads.
+
+use zbp_bench::{cli_params, pct, run_workload, Table};
+use zbp_core::GenerationPreset;
+use zbp_trace::workloads;
+
+fn main() {
+    let (instrs, seed) = cli_params();
+    let cfg = GenerationPreset::Z15.config();
+    println!(
+        "Figure 9 — target-provider selection, measured ({}, {instrs} instrs/workload)",
+        cfg.name
+    );
+
+    for w in [
+        workloads::call_return_heavy(seed, instrs),
+        workloads::indirect_dispatch(seed, instrs),
+        workloads::lspr_like(seed, instrs),
+    ] {
+        let (stats, p) = run_workload(&cfg, &w);
+        println!("\n== {} ==", w.label);
+        let mut t = Table::new(vec!["provider", "targets supplied", "share", "accuracy"]);
+        let total: u64 = p.stats.target.values().map(|x| x.predictions).sum();
+        for (prov, tally) in &p.stats.target {
+            t.row(vec![
+                prov.to_string(),
+                tally.predictions.to_string(),
+                pct(tally.predictions as f64 / total.max(1) as f64),
+                pct(tally.accuracy()),
+            ]);
+        }
+        t.print();
+        if let Some(crs) = p.crs() {
+            println!(
+                "CRS: {} detections, {} provided, {} blacklists, {} amnesties",
+                crs.stats.detections, crs.stats.provided, crs.stats.blacklists, crs.stats.amnesties,
+            );
+        }
+        if let Some(ctb) = p.ctb() {
+            println!(
+                "CTB: {} installs, {} hits / {} lookups, {} retargets",
+                ctb.stats.installs, ctb.stats.hits, ctb.stats.lookups, ctb.stats.retargets,
+            );
+        }
+        println!("MPKI {:.3} (dyn wrong-target {})", stats.mpki(), stats.dynamic_wrong_target);
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment E7 — the paper's headline quantitative claim (§VIII):
+//! "On common LSPR workloads, the average number of mispredicted
+//! branches per thousand instructions decreased 9.6% between the z14
+//! and z13, and another 25% between the z15 and z14."
+//!
+//! This regenerates the per-generation LSPR-suite MPKI and the
+//! generation-over-generation deltas. Absolute values depend on the
+//! synthetic suite; the *shape* (monotone improvement, a much larger
+//! z14→z15 step than z13→z14) is the reproduction target.
+
+use zbp_bench::{cli_params, delta_pct, f3, pct, run_suite, Table};
+use zbp_core::GenerationPreset;
+
+fn main() {
+    let (instrs, seed) = cli_params();
+    println!("LSPR-suite branch MPKI by generation ({instrs} instrs x 6 workloads, seed {seed})\n");
+    let mut t = Table::new(vec![
+        "generation",
+        "MPKI",
+        "delta vs prior",
+        "coverage",
+        "dir accuracy",
+        "surprise/1k",
+    ]);
+    let mut prior: Option<f64> = None;
+    for preset in GenerationPreset::ALL {
+        let stats = run_suite(&preset.config(), seed, instrs);
+        let mpki = stats.mpki();
+        t.row(vec![
+            preset.to_string(),
+            f3(mpki),
+            prior.map_or("-".to_string(), |p| delta_pct(p, mpki)),
+            pct(stats.coverage().fraction()),
+            pct(stats.direction_accuracy().fraction()),
+            f3(1000.0 * stats.surprises.get() as f64 / stats.instructions.get().max(1) as f64),
+        ]);
+        prior = Some(mpki);
+    }
+    t.print();
+    println!("\npaper: z13->z14 -9.6%, z14->z15 -25% (average MPKI on LSPR workloads)");
+}

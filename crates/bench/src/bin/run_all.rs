@@ -1,0 +1,67 @@
+//! Regenerates every experiment's output into `results/` — the one-shot
+//! driver behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p zbp-bench --bin run_all -- [instrs] [seed]
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table1_structures",
+    "fig3_components",
+    "fig4_pipeline_trace",
+    "fig5_cpred_trace",
+    "fig6_fig7_skoot",
+    "fig8_direction_providers",
+    "fig9_target_providers",
+    "mpki_generations",
+    "capacity_sweep",
+    "btb2_ablation",
+    "latency_prefetch",
+    "smt2_throughput",
+    "direction_ablation",
+    "target_ablation",
+    "baseline_comparison",
+    "verification_campaign",
+    "tag_ablation",
+    "update_latency",
+    "cosim_pipeline",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
+
+    let mut failures = 0;
+    for bin in BINARIES {
+        let path = exe_dir.join(bin);
+        print!("{bin:<28}");
+        let output = Command::new(&path).args(&args).output();
+        match output {
+            Ok(o) if o.status.success() => {
+                let f = out_dir.join(format!("{bin}.txt"));
+                std::fs::write(&f, &o.stdout).expect("write result");
+                println!("ok  -> {}", f.display());
+            }
+            Ok(o) => {
+                failures += 1;
+                println!("FAILED ({})", o.status);
+            }
+            Err(e) => {
+                failures += 1;
+                println!(
+                    "FAILED to launch: {e} (build with `cargo build --release -p zbp-bench` first)"
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall {} experiments regenerated into results/", BINARIES.len());
+}

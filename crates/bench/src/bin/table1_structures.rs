@@ -1,0 +1,123 @@
+//! Experiment E1 — reproduces **Table 1**: structure sizes of prior
+//! System Z processors, from the generation presets.
+//!
+//! zEC12 and z15 BTB capacities come from the paper text; z13/z14 BTB
+//! and all cache sizes marked `~` are public-literature approximations
+//! (see DESIGN.md §2).
+
+use zbp_bench::Table;
+use zbp_core::GenerationPreset;
+
+fn main() {
+    println!("Table 1 — structure sizes across Z System generations\n");
+    let mut t = Table::new(vec!["structure", "zEC12", "z13", "z14", "z15"]);
+    let infos: Vec<_> = GenerationPreset::ALL.iter().map(|p| p.info()).collect();
+    let approx = |i: &zbp_core::config::GenerationInfo, s: String| {
+        if i.cache_sizes_approx {
+            format!("~{s}")
+        } else {
+            s
+        }
+    };
+    t.row(vec![
+        "L1-I (KB)".to_string(),
+        approx(&infos[0], infos[0].l1i_kb.to_string()),
+        approx(&infos[1], infos[1].l1i_kb.to_string()),
+        approx(&infos[2], infos[2].l1i_kb.to_string()),
+        approx(&infos[3], infos[3].l1i_kb.to_string()),
+    ]);
+    t.row(vec![
+        "L2-I (KB)".to_string(),
+        approx(&infos[0], infos[0].l2i_kb.to_string()),
+        approx(&infos[1], infos[1].l2i_kb.to_string()),
+        approx(&infos[2], infos[2].l2i_kb.to_string()),
+        approx(&infos[3], infos[3].l2i_kb.to_string()),
+    ]);
+    t.row(vec![
+        "L3 (MB/chip)".to_string(),
+        approx(&infos[0], infos[0].l3_mb.to_string()),
+        approx(&infos[1], infos[1].l3_mb.to_string()),
+        approx(&infos[2], infos[2].l3_mb.to_string()),
+        approx(&infos[3], infos[3].l3_mb.to_string()),
+    ]);
+    t.row(vec![
+        "L4 (MB/drawer)".to_string(),
+        approx(&infos[0], infos[0].l4_mb.to_string()),
+        approx(&infos[1], infos[1].l4_mb.to_string()),
+        approx(&infos[2], infos[2].l4_mb.to_string()),
+        approx(&infos[3], infos[3].l4_mb.to_string()),
+    ]);
+    t.row(vec![
+        "BTB1 (branches)".to_string(),
+        infos[0].btb1_entries.to_string(),
+        format!("~{}", infos[1].btb1_entries),
+        format!("~{}", infos[2].btb1_entries),
+        infos[3].btb1_entries.to_string(),
+    ]);
+    t.row(vec![
+        "BTB2 (branches)".to_string(),
+        infos[0].btb2_entries.to_string(),
+        format!("~{}", infos[1].btb2_entries),
+        format!("~{}", infos[2].btb2_entries),
+        infos[3].btb2_entries.to_string(),
+    ]);
+    let b = |v: bool| if v { "yes" } else { "-" }.to_string();
+    t.row(vec![
+        "BTBP".to_string(),
+        b(infos[0].btbp),
+        b(infos[1].btbp),
+        b(infos[2].btbp),
+        b(infos[3].btbp),
+    ]);
+    t.row(vec![
+        "GPV depth (taken br)".to_string(),
+        infos[0].gpv_depth.to_string(),
+        infos[1].gpv_depth.to_string(),
+        infos[2].gpv_depth.to_string(),
+        infos[3].gpv_depth.to_string(),
+    ]);
+    t.row(vec![
+        "PHT".to_string(),
+        "single".to_string(),
+        "single".to_string(),
+        "single".to_string(),
+        "TAGE 2-table".to_string(),
+    ]);
+    t.row(vec![
+        "perceptron".to_string(),
+        b(infos[0].perceptron),
+        b(infos[1].perceptron),
+        b(infos[2].perceptron),
+        b(infos[3].perceptron),
+    ]);
+    t.row(vec![
+        "CTB (entries)".to_string(),
+        infos[0].ctb_entries.to_string(),
+        infos[1].ctb_entries.to_string(),
+        infos[2].ctb_entries.to_string(),
+        infos[3].ctb_entries.to_string(),
+    ]);
+    t.row(vec![
+        "CRS".to_string(),
+        b(infos[0].crs),
+        b(infos[1].crs),
+        b(infos[2].crs),
+        format!("{} (amnesty)", b(infos[3].crs)),
+    ]);
+    t.row(vec![
+        "CPRED".to_string(),
+        b(infos[0].cpred),
+        b(infos[1].cpred),
+        b(infos[2].cpred),
+        format!("{} (SKOOT)", b(infos[3].cpred)),
+    ]);
+    t.row(vec![
+        "SKOOT".to_string(),
+        b(infos[0].skoot),
+        b(infos[1].skoot),
+        b(infos[2].skoot),
+        b(infos[3].skoot),
+    ]);
+    t.print();
+    println!("\n(~ marks public-literature approximations; paper-text values elsewhere)");
+}

@@ -1,0 +1,191 @@
+//! # zbp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1_structures` | Table 1 — structure sizes per generation |
+//! | `fig3_components` | Figure 3 — BPL component inventory |
+//! | `fig4_pipeline_trace` | Figure 4 — 6-cycle pipeline, taken/5 cycles |
+//! | `fig5_cpred_trace` | Figure 5 — CPRED b2 re-index, taken/2 cycles |
+//! | `fig6_fig7_skoot` | Figures 6/7 — SKOOT search skipping |
+//! | `fig8_direction_providers` | Figure 8 — direction-provider mix |
+//! | `fig9_target_providers` | Figure 9 — target-provider mix |
+//! | `mpki_generations` | §VIII — LSPR MPKI across z13/z14/z15 |
+//! | `capacity_sweep` | §III — BTB capacity vs MPKI |
+//! | `btb2_ablation` | §III — two-level design points |
+//! | `latency_prefetch` | §II.B/IV — lookahead prefetch coverage |
+//! | `smt2_throughput` | §IV — ST vs SMT2 |
+//! | `direction_ablation` | §V — TAGE/perceptron/SBHT contributions |
+//! | `target_ablation` | §VI — CTB/CRS contributions |
+//! | `baseline_comparison` | §II.D — vs academic baselines |
+//! | `verification_campaign` | §VII — checker + mutation campaign |
+//!
+//! This library holds the shared runners and table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
+use zbp_trace::workloads::{self, Workload};
+
+/// Default instruction budget per workload for experiment binaries; can
+/// be overridden by the first CLI argument.
+pub const DEFAULT_INSTRS: u64 = 200_000;
+
+/// Default seed; can be overridden by the second CLI argument.
+pub const DEFAULT_SEED: u64 = 1234;
+
+/// Parses `(instrs, seed)` from the command line with defaults.
+pub fn cli_params() -> (u64, u64) {
+    let mut args = std::env::args().skip(1);
+    let instrs = args.next().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRS);
+    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    (instrs, seed)
+}
+
+/// Runs a predictor configuration over one workload under the standard
+/// 32-deep delayed-update harness. Returns the run's statistics and the
+/// predictor (for structure-level statistics).
+pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> (MispredictStats, ZPredictor) {
+    let trace = w.dynamic_trace();
+    let mut p = ZPredictor::new(cfg.clone());
+    let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+    (run.stats, p)
+}
+
+/// Runs a configuration over the whole LSPR suite, returning the merged
+/// statistics (the paper's "average … on common LSPR workloads").
+pub fn run_suite(cfg: &PredictorConfig, seed: u64, instrs: u64) -> MispredictStats {
+    let mut total = MispredictStats::new();
+    for w in workloads::suite(seed, instrs) {
+        let (stats, _) = run_workload(cfg, &w);
+        total.merge(&stats);
+    }
+    total
+}
+
+/// Runs any [`FullPredictor`] over the whole LSPR suite.
+pub fn run_suite_with<P: FullPredictor>(
+    mut make: impl FnMut() -> P,
+    seed: u64,
+    instrs: u64,
+) -> MispredictStats {
+    let mut total = MispredictStats::new();
+    for w in workloads::suite(seed, instrs) {
+        let trace = w.dynamic_trace();
+        let mut p = make();
+        let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+        total.merge(&run.stats);
+    }
+    total
+}
+
+/// A minimal fixed-width table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                line.push_str(&format!("{c:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a signed percentage delta between `new` and `old`.
+pub fn delta_pct(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", 100.0 * (new - old) / old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_core::GenerationPreset;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("1  "));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(delta_pct(10.0, 7.5), "-25.0%");
+        assert_eq!(delta_pct(0.0, 1.0), "n/a");
+    }
+
+    #[test]
+    fn suite_runner_produces_stats() {
+        let stats = run_suite(&GenerationPreset::Z15.config(), 1, 5_000);
+        assert!(stats.branches.get() > 1_000);
+        assert!(stats.mpki() > 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The branch entry payload shared by BTB1, BTB2 and BTBP, and the
+//! SKOOT skip-distance field.
+
+use crate::util::{tag_of, TwoBit};
+use serde::{Deserialize, Serialize};
+use zbp_zarch::{BranchClass, InstrAddr, Mnemonic};
+
+/// The SKOOT (SKip Over OffseT) field: how many empty 64-byte lines
+/// follow this branch's target stream before the next predictable
+/// branch.
+///
+/// "It is initialized to an 'unknown' state which does not perform any
+/// skipping. Over time, it is updated based on where the subsequent
+/// branches are found on the target streams, only decreasing except when
+/// being updated from the unknown state." (paper §IV)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Skoot(Option<u8>);
+
+impl Skoot {
+    /// Maximum representable skip, in 64-byte lines.
+    pub const MAX_SKIP: u8 = 63;
+
+    /// The unknown (no skipping) state.
+    pub const UNKNOWN: Skoot = Skoot(None);
+
+    /// The number of lines that may be safely skipped (0 when unknown).
+    pub fn skip_lines(self) -> u64 {
+        u64::from(self.0.unwrap_or(0))
+    }
+
+    /// Whether the field has learned a value.
+    pub fn is_known(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Learns an observed lines-to-next-branch distance: sets when
+    /// unknown, otherwise only ever decreases.
+    pub fn learn(&mut self, observed_lines: u64) {
+        let v = observed_lines.min(u64::from(Self::MAX_SKIP)) as u8;
+        self.0 = Some(match self.0 {
+            None => v,
+            Some(cur) => cur.min(v),
+        });
+    }
+}
+
+/// One branch's worth of BTB payload: partial tag, position, target and
+/// the per-branch metadata the auxiliary predictors key off.
+///
+/// The model keeps the true `branch_addr` alongside the partial tag so
+/// that aliasing (two branches matching the same row/tag/offset) can be
+/// *detected* by the harness exactly as the IDU detects bad branch
+/// predictions — while hit detection itself honestly uses only the
+/// partial tag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BtbEntry {
+    /// Partial tag over the containing line address.
+    pub tag: u32,
+    /// Halfword offset of the branch within its line.
+    pub offset_hw: u8,
+    /// The true branch address (simulation aid; not "readable" by
+    /// hit-detection logic).
+    pub branch_addr: InstrAddr,
+    /// The branch mnemonic (hardware stores equivalent type bits).
+    pub mnemonic: Mnemonic,
+    /// Predicted target address.
+    pub target: InstrAddr,
+    /// The BHT 2-bit direction counter housed with the entry.
+    pub bht: TwoBit,
+    /// Set once the branch has resolved in both directions; gates the
+    /// PHT and perceptron (paper §V).
+    pub bidirectional: bool,
+    /// Set once the branch has resolved with more than one target; gates
+    /// the CTB and CRS (paper §VI).
+    pub multi_target: bool,
+    /// Set when the branch was detected to behave like a return, with
+    /// the byte offset from the caller's NSIA (0, 2, 4, 6 or 8).
+    pub return_offset: Option<u8>,
+    /// Set when a CRS-provided target for this branch was wrong; the CRS
+    /// is no longer consulted (until amnesty).
+    pub crs_blacklisted: bool,
+    /// SKOOT skip distance along this branch's target stream.
+    pub skoot: Skoot,
+}
+
+impl BtbEntry {
+    /// Builds a fresh entry for a branch being installed, given the BTB
+    /// line size and tag width.
+    pub fn install(
+        addr: InstrAddr,
+        mnemonic: Mnemonic,
+        target: InstrAddr,
+        taken: bool,
+        line_bytes: u64,
+        tag_bits: u32,
+    ) -> Self {
+        let line = addr.raw() & !(line_bytes - 1);
+        BtbEntry {
+            tag: tag_of(line, tag_bits),
+            offset_hw: ((addr.raw() & (line_bytes - 1)) / 2) as u8,
+            branch_addr: addr,
+            mnemonic,
+            target,
+            bht: TwoBit::weak(zbp_zarch::Direction::from_taken(taken)),
+            bidirectional: false,
+            multi_target: false,
+            return_offset: None,
+            crs_blacklisted: false,
+            skoot: Skoot::UNKNOWN,
+        }
+    }
+
+    /// The branch class (derived from the stored mnemonic).
+    pub fn class(&self) -> BranchClass {
+        self.mnemonic.class()
+    }
+
+    /// Whether this entry is marked unconditional (always predicted
+    /// taken, bypassing the direction predictors — figure 8's first
+    /// test).
+    pub fn is_unconditional(&self) -> bool {
+        !self.class().is_conditional()
+    }
+
+    /// The next sequential instruction address after this branch.
+    pub fn fall_through(&self) -> InstrAddr {
+        self.branch_addr.next_seq(self.mnemonic.length().bytes())
+    }
+
+    /// Whether `(tag, offset)` matches a search of this entry's slot.
+    pub fn matches(&self, tag: u32, offset_hw: u8) -> bool {
+        self.tag == tag && self.offset_hw == offset_hw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::Direction;
+
+    #[test]
+    fn skoot_learns_monotonically_downward() {
+        let mut s = Skoot::UNKNOWN;
+        assert!(!s.is_known());
+        assert_eq!(s.skip_lines(), 0, "unknown performs no skipping");
+        s.learn(5);
+        assert_eq!(s.skip_lines(), 5);
+        s.learn(9);
+        assert_eq!(s.skip_lines(), 5, "only decreasing after first learn");
+        s.learn(2);
+        assert_eq!(s.skip_lines(), 2);
+        s.learn(1000);
+        assert_eq!(s.skip_lines(), 2, "large observations never increase it");
+    }
+
+    #[test]
+    fn skoot_saturates_at_max() {
+        let mut s = Skoot::UNKNOWN;
+        s.learn(10_000);
+        assert_eq!(s.skip_lines(), u64::from(Skoot::MAX_SKIP));
+    }
+
+    #[test]
+    fn install_derives_tag_and_offset() {
+        let addr = InstrAddr::new(0x1_0046);
+        let e = BtbEntry::install(addr, Mnemonic::Brc, InstrAddr::new(0x2000), true, 64, 14);
+        assert_eq!(e.offset_hw, 3, "0x46 within 0x40-line = byte 6 = halfword 3");
+        assert_eq!(e.tag, tag_of(0x1_0040, 14));
+        assert_eq!(e.bht.direction(), Direction::Taken);
+        assert!(e.bht.is_weak(), "fresh installs start weak");
+        assert!(!e.bidirectional && !e.multi_target && !e.crs_blacklisted);
+        assert_eq!(e.return_offset, None);
+        assert!(e.matches(e.tag, 3));
+        assert!(!e.matches(e.tag, 4));
+        assert!(!e.matches(e.tag ^ 1, 3));
+    }
+
+    #[test]
+    fn install_respects_line_size() {
+        // Same address, 32-byte lines: offset is relative to 0x1_0040
+        // still (0x46 % 32 = 6 -> halfword 3), but a branch at 0x66 maps
+        // differently.
+        let addr = InstrAddr::new(0x1_0066);
+        let e64 = BtbEntry::install(addr, Mnemonic::Brc, InstrAddr::new(0x2000), true, 64, 14);
+        let e32 = BtbEntry::install(addr, Mnemonic::Brc, InstrAddr::new(0x2000), true, 32, 14);
+        assert_eq!(e64.offset_hw, 0x26 / 2);
+        assert_eq!(e32.offset_hw, 0x06 / 2);
+        assert_ne!(e64.tag, e32.tag, "tags cover different line addresses");
+    }
+
+    #[test]
+    fn unconditional_marking_follows_class() {
+        let j = BtbEntry::install(
+            InstrAddr::new(0x1000),
+            Mnemonic::J,
+            InstrAddr::new(0x2000),
+            true,
+            64,
+            14,
+        );
+        assert!(j.is_unconditional());
+        let brc = BtbEntry::install(
+            InstrAddr::new(0x1000),
+            Mnemonic::Brc,
+            InstrAddr::new(0x2000),
+            true,
+            64,
+            14,
+        );
+        assert!(!brc.is_unconditional());
+        // Loop branches are conditional for direction purposes.
+        let brct = BtbEntry::install(
+            InstrAddr::new(0x1000),
+            Mnemonic::Brct,
+            InstrAddr::new(0x2000),
+            true,
+            64,
+            14,
+        );
+        assert!(!brct.is_unconditional());
+    }
+
+    #[test]
+    fn fall_through_uses_length() {
+        let e = BtbEntry::install(
+            InstrAddr::new(0x1000),
+            Mnemonic::Brasl,
+            InstrAddr::new(0x2000),
+            true,
+            64,
+            14,
+        );
+        assert_eq!(e.fall_through(), InstrAddr::new(0x1006));
+    }
+}

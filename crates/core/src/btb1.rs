@@ -1,0 +1,396 @@
+//! The first-level branch target buffer (BTB1).
+//!
+//! z15: 2K logical rows × 8 ways, one row per 64-byte line, searched by
+//! a single port covering 64 bytes per search (paper §III, §IV). The
+//! BTB1 also houses the BHT and all per-branch metadata; the second
+//! physical port performs the read-analyze-write duplicate filtering for
+//! installs.
+
+use crate::btb::BtbEntry;
+use crate::config::Btb1Config;
+use crate::util::{index_of, tag_of, LruRow};
+use serde::{Deserialize, Serialize};
+use zbp_zarch::InstrAddr;
+
+/// Outcome of an install attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InstallOutcome {
+    /// A new entry was written into an invalid or victim way. Carries
+    /// the evicted victim, if a valid entry was overwritten.
+    Installed {
+        /// The entry that was cast out to make room, if any.
+        victim: Option<BtbEntry>,
+    },
+    /// The read-before-write filter found the branch already present;
+    /// the existing entry was refreshed/updated instead of duplicated
+    /// (paper §III/§IV).
+    Duplicate,
+}
+
+/// The BTB1 structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Btb1 {
+    rows: Vec<Row>,
+    line_bytes: u64,
+    tag_bits: u32,
+    ways: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    entries: Vec<Option<BtbEntry>>,
+    lru: LruRow,
+}
+
+impl Btb1 {
+    /// Builds an empty BTB1 from its configuration.
+    pub fn new(cfg: &Btb1Config) -> Self {
+        Btb1 {
+            rows: (0..cfg.rows)
+                .map(|_| Row { entries: vec![None; cfg.ways], lru: LruRow::new(cfg.ways) })
+                .collect(),
+            line_bytes: cfg.search_bytes,
+            tag_bits: cfg.tag_bits,
+            ways: cfg.ways,
+        }
+    }
+
+    /// The line size (bytes) one row covers.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(|r| r.entries.iter().flatten().count()).sum()
+    }
+
+    fn line_of(&self, addr: InstrAddr) -> u64 {
+        addr.raw() & !(self.line_bytes - 1)
+    }
+
+    fn row_index(&self, line: u64) -> usize {
+        index_of(line / self.line_bytes, self.rows.len())
+    }
+
+    fn line_tag(&self, line: u64) -> u32 {
+        tag_of(line, self.tag_bits)
+    }
+
+    /// Searches the line containing `addr`, returning every matching
+    /// branch at or after `addr`'s offset, ordered by offset (the b3
+    /// ordering step). Touches LRU for hits.
+    ///
+    /// This is the prediction-search port: up to [`Self::ways`]
+    /// predictions per search.
+    pub fn search_line_from(&mut self, addr: InstrAddr) -> Vec<(usize, BtbEntry)> {
+        let line = self.line_of(addr);
+        let min_off = ((addr.raw() - line) / 2) as u8;
+        let tag = self.line_tag(line);
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        let mut hits: Vec<(usize, BtbEntry)> = row
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(w, e)| e.as_ref().map(|e| (w, *e)))
+            .filter(|(_, e)| e.tag == tag && e.offset_hw >= min_off)
+            .collect();
+        hits.sort_by_key(|(_, e)| e.offset_hw);
+        for (w, _) in &hits {
+            row.lru.touch(*w);
+        }
+        hits
+    }
+
+    /// Looks up a single branch by exact address (tag + offset match).
+    /// Touches LRU on hit. Returns the way and a copy of the entry.
+    pub fn lookup(&mut self, addr: InstrAddr) -> Option<(usize, BtbEntry)> {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        for (w, e) in row.entries.iter().enumerate() {
+            if let Some(e) = e {
+                if e.matches(tag, off) {
+                    let hit = *e;
+                    row.lru.touch(w);
+                    return Some((w, hit));
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up without touching LRU (the read-analyze-write filter
+    /// port).
+    pub fn probe(&self, addr: InstrAddr) -> Option<(usize, &BtbEntry)> {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row = &self.rows[self.row_index(line)];
+        row.entries
+            .iter()
+            .enumerate()
+            .find_map(|(w, e)| e.as_ref().filter(|e| e.matches(tag, off)).map(|e| (w, e)))
+    }
+
+    /// Installs an entry, performing the read-before-write duplicate
+    /// check first. A matching existing entry suppresses the write
+    /// entirely ("is only written into the BTB1 if the read shows that
+    /// it does not already exist", §III) — the existing entry's learned
+    /// state is never clobbered by a stale copy.
+    pub fn install(&mut self, entry: BtbEntry) -> InstallOutcome {
+        let line = self.line_of(entry.branch_addr);
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        // Read-before-write filter.
+        for (w, e) in row.entries.iter().enumerate() {
+            if let Some(existing) = e {
+                if existing.matches(entry.tag, entry.offset_hw) {
+                    row.lru.touch(w);
+                    return InstallOutcome::Duplicate;
+                }
+            }
+        }
+        // Prefer an invalid way; otherwise victimize LRU.
+        let way = row.entries.iter().position(|e| e.is_none()).unwrap_or_else(|| row.lru.lru());
+        let victim = row.entries[way].take();
+        row.entries[way] = Some(entry);
+        row.lru.touch(way);
+        InstallOutcome::Installed { victim }
+    }
+
+    /// Applies a mutation to the entry for `addr`, if present. Returns
+    /// whether an entry was found. Does not touch LRU (updates flow
+    /// through the write port).
+    pub fn update<F: FnOnce(&mut BtbEntry)>(&mut self, addr: InstrAddr, f: F) -> bool {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        for e in row.entries.iter_mut().flatten() {
+            if e.matches(tag, off) {
+                f(e);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes the entry for `addr` (bad-branch-prediction removal,
+    /// paper §IV). Returns the removed entry.
+    pub fn remove(&mut self, addr: InstrAddr) -> Option<BtbEntry> {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        for e in row.entries.iter_mut() {
+            if let Some(v) = e {
+                if v.matches(tag, off) {
+                    return e.take();
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns a copy of the LRU-most (next to be evicted) entry of the
+    /// row covering `addr`, for the periodic BTB2 refresh (paper §III:
+    /// "the available full content of a no-hit search is analyzed and
+    /// its next to be evicted (LRU) entry is refreshed back out into the
+    /// BTB2").
+    pub fn lru_entry_of_line(&self, addr: InstrAddr) -> Option<BtbEntry> {
+        let line = self.line_of(addr);
+        let row = &self.rows[self.row_index(line)];
+        // Oldest valid entry by LRU rank.
+        row.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(w, e)| e.as_ref().map(|e| (row.lru.rank(w), *e)))
+            .max_by_key(|(rank, _)| *rank)
+            .map(|(_, e)| e)
+    }
+
+    /// Iterates over all valid entries (verification/reference use).
+    pub fn iter(&self) -> impl Iterator<Item = &BtbEntry> {
+        self.rows.iter().flat_map(|r| r.entries.iter().flatten())
+    }
+
+    /// Clears all entries (context scrub in some experiments).
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            for e in &mut row.entries {
+                *e = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::z15_config;
+    use zbp_zarch::Mnemonic;
+
+    fn btb() -> Btb1 {
+        Btb1::new(&z15_config().btb1)
+    }
+
+    fn entry(addr: u64, target: u64) -> BtbEntry {
+        BtbEntry::install(InstrAddr::new(addr), Mnemonic::Brc, InstrAddr::new(target), true, 64, 14)
+    }
+
+    #[test]
+    fn install_then_lookup() {
+        let mut b = btb();
+        assert_eq!(b.occupancy(), 0);
+        let out = b.install(entry(0x1004, 0x2000));
+        assert!(matches!(out, InstallOutcome::Installed { victim: None }));
+        let (_, e) = b.lookup(InstrAddr::new(0x1004)).expect("hit");
+        assert_eq!(e.target, InstrAddr::new(0x2000));
+        assert!(b.lookup(InstrAddr::new(0x1008)).is_none());
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn duplicate_install_is_filtered() {
+        let mut b = btb();
+        b.install(entry(0x1004, 0x2000));
+        let out = b.install(entry(0x1004, 0x3000));
+        assert_eq!(out, InstallOutcome::Duplicate, "read-before-write must catch duplicates");
+        assert_eq!(b.occupancy(), 1, "no duplicate entry created");
+        let (_, e) = b.lookup(InstrAddr::new(0x1004)).unwrap();
+        assert_eq!(
+            e.target,
+            InstrAddr::new(0x2000),
+            "the filtered write never clobbers the existing entry's learned state"
+        );
+    }
+
+    #[test]
+    fn search_line_returns_sorted_from_offset() {
+        let mut b = btb();
+        // Three branches in the same 64B line, installed out of order.
+        b.install(entry(0x1030, 0xa000));
+        b.install(entry(0x1008, 0xb000));
+        b.install(entry(0x1020, 0xc000));
+        let hits = b.search_line_from(InstrAddr::new(0x1000));
+        let offs: Vec<u8> = hits.iter().map(|(_, e)| e.offset_hw).collect();
+        assert_eq!(offs, vec![4, 16, 24], "ordered by low-order instruction address (b3)");
+        // Searching from mid-line drops earlier branches.
+        let hits = b.search_line_from(InstrAddr::new(0x1010));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1.target, InstrAddr::new(0xc000));
+    }
+
+    #[test]
+    fn eight_way_row_tracks_eight_branches_per_line() {
+        let mut b = btb();
+        // 8 branches in one 64B line: all must coexist (the motivation
+        // for 8-way associativity, §IV).
+        for k in 0..8u64 {
+            b.install(entry(0x1000 + k * 8, 0x2000 + k));
+        }
+        assert_eq!(b.occupancy(), 8);
+        let hits = b.search_line_from(InstrAddr::new(0x1000));
+        assert_eq!(hits.len(), 8, "up to 8 predictions per search");
+        // A ninth branch in the same line evicts the LRU one.
+        let out = b.install(entry(0x1000 + 8 * 8 - 2, 0x9999));
+        assert!(matches!(out, InstallOutcome::Installed { victim: Some(_) }));
+        assert_eq!(b.occupancy(), 8);
+    }
+
+    #[test]
+    fn update_and_remove() {
+        let mut b = btb();
+        b.install(entry(0x1004, 0x2000));
+        assert!(b.update(InstrAddr::new(0x1004), |e| e.bidirectional = true));
+        assert!(b.lookup(InstrAddr::new(0x1004)).unwrap().1.bidirectional);
+        assert!(!b.update(InstrAddr::new(0x5000), |_| {}), "missing entries report false");
+        let removed = b.remove(InstrAddr::new(0x1004)).expect("was present");
+        assert_eq!(removed.target, InstrAddr::new(0x2000));
+        assert!(b.lookup(InstrAddr::new(0x1004)).is_none());
+        assert!(b.remove(InstrAddr::new(0x1004)).is_none());
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut b = btb();
+        // Fill a row; way order gives LRU = first installed.
+        for k in 0..8u64 {
+            b.install(entry(0x1000 + k * 8, k));
+        }
+        let lru_before = b.lru_entry_of_line(InstrAddr::new(0x1000)).unwrap();
+        // Probing the LRU entry must not promote it.
+        let _ = b.probe(lru_before.branch_addr);
+        let lru_after = b.lru_entry_of_line(InstrAddr::new(0x1000)).unwrap();
+        assert_eq!(lru_before.branch_addr, lru_after.branch_addr);
+        // But a prediction-port lookup does promote it.
+        let _ = b.lookup(lru_before.branch_addr);
+        let lru_now = b.lru_entry_of_line(InstrAddr::new(0x1000)).unwrap();
+        assert_ne!(lru_now.branch_addr, lru_before.branch_addr);
+    }
+
+    #[test]
+    fn different_lines_do_not_interfere() {
+        let mut b = btb();
+        b.install(entry(0x1004, 0x2000));
+        b.install(entry(0x2004, 0x3000));
+        assert_eq!(b.lookup(InstrAddr::new(0x1004)).unwrap().1.target, InstrAddr::new(0x2000));
+        assert_eq!(b.lookup(InstrAddr::new(0x2004)).unwrap().1.target, InstrAddr::new(0x3000));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut b = btb();
+        b.install(entry(0x1004, 0x2000));
+        b.clear();
+        assert_eq!(b.occupancy(), 0);
+        assert!(b.lookup(InstrAddr::new(0x1004)).is_none());
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut b = btb();
+        b.install(entry(0x1004, 1));
+        b.install(entry(0x2004, 2));
+        b.install(entry(0x3004, 3));
+        assert_eq!(b.iter().count(), 3);
+    }
+
+    #[test]
+    fn thirty_two_byte_line_config() {
+        let cfg = crate::config::z13_config().btb1;
+        let mut b = Btb1::new(&cfg);
+        assert_eq!(b.line_bytes(), 32);
+        let e = BtbEntry::install(
+            InstrAddr::new(0x1024),
+            Mnemonic::Brc,
+            InstrAddr::new(0x2000),
+            true,
+            32,
+            cfg.tag_bits,
+        );
+        b.install(e);
+        assert!(b.lookup(InstrAddr::new(0x1024)).is_some());
+        // 0x1004 is in a different 32B line than 0x1024.
+        let hits = b.search_line_from(InstrAddr::new(0x1000));
+        assert!(hits.is_empty());
+        let hits = b.search_line_from(InstrAddr::new(0x1020));
+        assert_eq!(hits.len(), 1);
+    }
+}

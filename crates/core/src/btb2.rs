@@ -1,0 +1,422 @@
+//! The second-level branch target buffer (BTB2) with its staging queue
+//! and search-trigger logic.
+//!
+//! "The BTB2 is used to backfill the main structure and is only accessed
+//! when content is thought to be missing from the BTB1. … The prior and
+//! current designs assume content is missing when three qualified
+//! successive BTB1 search attempts result in no predictions being made.
+//! The z15 design will additionally proactively fire up and search the
+//! BTB2 when an unusual number of non-predicted disruptive branches are
+//! found in the main pipeline within a given time period. Additionally,
+//! certain context changing events will trigger proactive BTB2 searches."
+//! (paper §III)
+
+use crate::btb::BtbEntry;
+use crate::config::{Btb2Config, InclusionPolicy};
+use crate::util::{index_of, LruRow};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use zbp_zarch::InstrAddr;
+
+/// Why a BTB2 search fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchReason {
+    /// Three qualified successive BTB1 no-prediction searches.
+    SuccessiveMisses,
+    /// A burst of non-predicted disruptive (surprise) branches.
+    DisruptiveBurst,
+    /// A context-changing event proactively priming the new context.
+    ContextChange,
+}
+
+/// Statistics the BTB2 keeps about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Btb2Stats {
+    /// Searches fired, by any reason.
+    pub searches: u64,
+    /// Searches fired by the successive-miss trigger.
+    pub searches_successive: u64,
+    /// Searches fired by the disruptive-burst trigger.
+    pub searches_burst: u64,
+    /// Searches fired by context-change priming.
+    pub searches_context: u64,
+    /// Entries found by searches and pushed toward the staging queue.
+    pub hits_staged: u64,
+    /// Entries dropped because the staging queue was full.
+    pub staging_overflow: u64,
+    /// Entries written back by the periodic refresh mechanism.
+    pub refresh_writebacks: u64,
+    /// Entries invalidated on promotion (semi-exclusive mode).
+    pub exclusive_invalidates: u64,
+}
+
+/// The BTB2 structure plus its staging queue toward the BTB1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Btb2 {
+    rows: Vec<Row>,
+    cfg: Btb2Config,
+    line_bytes: u64,
+    staging: VecDeque<BtbEntry>,
+    /// Successive qualified BTB1 no-prediction searches.
+    miss_streak: u32,
+    /// Sliding completion-window burst detector.
+    burst_events: VecDeque<u64>,
+    completion_tick: u64,
+    /// No-hit search counter for the periodic refresh.
+    refresh_counter: u32,
+    /// Statistics.
+    pub stats: Btb2Stats,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    entries: Vec<Option<BtbEntry>>,
+    lru: LruRow,
+}
+
+impl Btb2 {
+    /// Builds an empty BTB2. `line_bytes` is the BTB1 line granularity
+    /// (entries keep their BTB1-format tags/offsets on transfer).
+    pub fn new(cfg: &Btb2Config, line_bytes: u64) -> Self {
+        Btb2 {
+            rows: (0..cfg.rows)
+                .map(|_| Row { entries: vec![None; cfg.ways], lru: LruRow::new(cfg.ways) })
+                .collect(),
+            cfg: cfg.clone(),
+            line_bytes,
+            staging: VecDeque::new(),
+            miss_streak: 0,
+            burst_events: VecDeque::new(),
+            completion_tick: 0,
+            refresh_counter: 0,
+            stats: Btb2Stats::default(),
+        }
+    }
+
+    /// The inclusion policy in force.
+    pub fn inclusion(&self) -> InclusionPolicy {
+        self.cfg.inclusion
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(|r| r.entries.iter().flatten().count()).sum()
+    }
+
+    fn row_index(&self, addr: InstrAddr) -> usize {
+        let line = addr.raw() & !(self.line_bytes - 1);
+        index_of(line / self.line_bytes, self.rows.len())
+    }
+
+    /// Writes an entry into the BTB2 (fill from a BTB1 victim, a
+    /// periodic refresh, or an initial preload). Duplicates (same
+    /// tag/offset in the row) are overwritten in place.
+    pub fn fill(&mut self, entry: BtbEntry) {
+        let row_idx = self.row_index(entry.branch_addr);
+        let row = &mut self.rows[row_idx];
+        for (w, e) in row.entries.iter_mut().enumerate() {
+            if let Some(existing) = e {
+                if existing.matches(entry.tag, entry.offset_hw) {
+                    *existing = entry;
+                    row.lru.touch(w);
+                    return;
+                }
+            }
+        }
+        let way = row.entries.iter().position(|e| e.is_none()).unwrap_or_else(|| row.lru.lru());
+        row.entries[way] = Some(entry);
+        row.lru.touch(way);
+    }
+
+    /// Records a periodic-refresh writeback (semi-inclusive mode).
+    pub fn refresh(&mut self, entry: BtbEntry) {
+        self.stats.refresh_writebacks += 1;
+        self.fill(entry);
+    }
+
+    /// Removes the entry matching `entry`'s slot (semi-exclusive
+    /// promotion to BTB1). Returns whether anything was removed.
+    pub fn invalidate(&mut self, entry: &BtbEntry) -> bool {
+        let row_idx = self.row_index(entry.branch_addr);
+        let row = &mut self.rows[row_idx];
+        for e in row.entries.iter_mut() {
+            if let Some(v) = e {
+                if v.matches(entry.tag, entry.offset_hw) {
+                    *e = None;
+                    self.stats.exclusive_invalidates += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Reports one qualified BTB1 search result to the trigger logic.
+    /// Returns `Some(reason)` if a BTB2 search should fire at the search
+    /// address.
+    pub fn note_btb1_search(&mut self, predicted_anything: bool) -> Option<SearchReason> {
+        if predicted_anything {
+            self.miss_streak = 0;
+            return None;
+        }
+        self.miss_streak += 1;
+        // Periodic-refresh accounting also rides on no-hit searches.
+        if self.cfg.inclusion == InclusionPolicy::SemiInclusive && self.cfg.refresh_threshold > 0 {
+            self.refresh_counter += 1;
+        }
+        if self.miss_streak >= self.cfg.miss_trigger {
+            self.miss_streak = 0;
+            return Some(SearchReason::SuccessiveMisses);
+        }
+        None
+    }
+
+    /// Whether the periodic-refresh threshold has been reached; if so,
+    /// resets the counter and returns true (the caller writes back the
+    /// LRU entry of the no-hit row).
+    pub fn take_refresh_due(&mut self) -> bool {
+        if self.cfg.refresh_threshold > 0 && self.refresh_counter >= self.cfg.refresh_threshold {
+            self.refresh_counter = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports a completed non-predicted disruptive branch (a surprise
+    /// branch that redirected the pipeline). Returns `Some` if the burst
+    /// trigger fires.
+    pub fn note_disruptive_branch(&mut self) -> Option<SearchReason> {
+        self.completion_tick += 1;
+        self.burst_events.push_back(self.completion_tick);
+        let horizon = self.completion_tick.saturating_sub(u64::from(self.cfg.burst_window));
+        while self.burst_events.front().is_some_and(|&t| t <= horizon) {
+            self.burst_events.pop_front();
+        }
+        if self.burst_events.len() as u32 >= self.cfg.burst_trigger {
+            self.burst_events.clear();
+            return Some(SearchReason::DisruptiveBurst);
+        }
+        None
+    }
+
+    /// Reports a completed *predicted* branch, advancing the burst
+    /// window clock.
+    pub fn note_quiet_completion(&mut self) {
+        self.completion_tick += 1;
+    }
+
+    /// Performs a BTB2 search: reads [`Btb2Config::search_lines`]
+    /// consecutive lines starting at `addr`'s line and pushes every hit
+    /// into the staging queue (up to its capacity). Returns how many
+    /// entries were staged.
+    pub fn search(&mut self, addr: InstrAddr, reason: SearchReason) -> usize {
+        self.stats.searches += 1;
+        match reason {
+            SearchReason::SuccessiveMisses => self.stats.searches_successive += 1,
+            SearchReason::DisruptiveBurst => self.stats.searches_burst += 1,
+            SearchReason::ContextChange => self.stats.searches_context += 1,
+        }
+        let mut staged = 0;
+        let start_line = addr.raw() & !(self.line_bytes - 1);
+        for l in 0..self.cfg.search_lines as u64 {
+            let line_addr = InstrAddr::new(start_line + l * self.line_bytes);
+            let row_idx = self.row_index(line_addr);
+            // Collect hits first, then touch LRU.
+            let row = &mut self.rows[row_idx];
+            let mut hit_ways = Vec::new();
+            for (w, e) in row.entries.iter().enumerate() {
+                if let Some(e) = e {
+                    // A row holds entries from many lines (aliasing);
+                    // qualify by true line in the model.
+                    let eline = e.branch_addr.raw() & !(self.line_bytes - 1);
+                    if eline == line_addr.raw() {
+                        hit_ways.push((w, *e));
+                    }
+                }
+            }
+            for (w, e) in hit_ways {
+                row.lru.touch(w);
+                if self.staging.len() < self.cfg.staging_capacity {
+                    self.staging.push_back(e);
+                    staged += 1;
+                    self.stats.hits_staged += 1;
+                } else {
+                    self.stats.staging_overflow += 1;
+                }
+            }
+        }
+        staged
+    }
+
+    /// Pops the next staged entry headed for the BTB1 write port.
+    pub fn pop_staged(&mut self) -> Option<BtbEntry> {
+        self.staging.pop_front()
+    }
+
+    /// Number of entries waiting in the staging queue.
+    pub fn staged_len(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Iterates over all valid entries (verification use).
+    pub fn iter(&self) -> impl Iterator<Item = &BtbEntry> {
+        self.rows.iter().flat_map(|r| r.entries.iter().flatten())
+    }
+
+    /// Whether an entry for this exact slot exists (verification use).
+    pub fn contains(&self, entry: &BtbEntry) -> bool {
+        let row = &self.rows[self.row_index(entry.branch_addr)];
+        row.entries.iter().flatten().any(|e| e.matches(entry.tag, entry.offset_hw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::z15_config;
+    use zbp_zarch::Mnemonic;
+
+    fn btb2() -> Btb2 {
+        let c = z15_config();
+        Btb2::new(c.btb2.as_ref().unwrap(), c.btb1.search_bytes)
+    }
+
+    fn entry(addr: u64) -> BtbEntry {
+        BtbEntry::install(
+            InstrAddr::new(addr),
+            Mnemonic::Brc,
+            InstrAddr::new(addr + 0x100),
+            true,
+            64,
+            14,
+        )
+    }
+
+    #[test]
+    fn successive_miss_trigger_fires_on_third() {
+        let mut b = btb2();
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(false), Some(SearchReason::SuccessiveMisses));
+        // Streak resets after firing.
+        assert_eq!(b.note_btb1_search(false), None);
+    }
+
+    #[test]
+    fn hit_resets_miss_streak() {
+        let mut b = btb2();
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(true), None);
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(false), None);
+        assert_eq!(b.note_btb1_search(false), Some(SearchReason::SuccessiveMisses));
+    }
+
+    #[test]
+    fn burst_trigger_needs_density() {
+        let mut b = btb2();
+        // 4 disruptive branches inside a 64-completion window fire.
+        assert_eq!(b.note_disruptive_branch(), None);
+        assert_eq!(b.note_disruptive_branch(), None);
+        assert_eq!(b.note_disruptive_branch(), None);
+        assert_eq!(b.note_disruptive_branch(), Some(SearchReason::DisruptiveBurst));
+        // Spread over > window completions, they do not.
+        for _ in 0..3 {
+            assert_eq!(b.note_disruptive_branch(), None);
+            for _ in 0..70 {
+                b.note_quiet_completion();
+            }
+        }
+    }
+
+    #[test]
+    fn search_stages_hits_in_covered_lines() {
+        let mut b = btb2();
+        // Entries across several consecutive lines from 0x10000.
+        for l in 0..10u64 {
+            b.fill(entry(0x10004 + l * 64));
+        }
+        // And one far away that must not be staged.
+        b.fill(entry(0x9_0000));
+        let staged = b.search(InstrAddr::new(0x10000), SearchReason::SuccessiveMisses);
+        assert_eq!(staged, 10);
+        assert_eq!(b.staged_len(), 10);
+        assert_eq!(b.stats.searches, 1);
+        assert_eq!(b.stats.hits_staged, 10);
+        let mut n = 0;
+        while b.pop_staged().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn staging_queue_bounds_transfers() {
+        let c = z15_config();
+        let mut cfg = c.btb2.clone().unwrap();
+        cfg.staging_capacity = 4;
+        let mut b = Btb2::new(&cfg, 64);
+        for l in 0..8u64 {
+            b.fill(entry(0x10004 + l * 64));
+        }
+        let staged = b.search(InstrAddr::new(0x10000), SearchReason::ContextChange);
+        assert_eq!(staged, 4, "staging queue caps transfers");
+        assert_eq!(b.stats.staging_overflow, 4);
+    }
+
+    #[test]
+    fn fill_overwrites_same_slot() {
+        let mut b = btb2();
+        b.fill(entry(0x10004));
+        let mut e2 = entry(0x10004);
+        e2.target = InstrAddr::new(0xdead);
+        b.fill(e2);
+        assert_eq!(b.occupancy(), 1);
+        assert!(b.contains(&e2));
+    }
+
+    #[test]
+    fn invalidate_removes_promoted_entry() {
+        let mut b = btb2();
+        let e = entry(0x10004);
+        b.fill(e);
+        assert!(b.invalidate(&e));
+        assert!(!b.contains(&e));
+        assert!(!b.invalidate(&e), "second invalidate is a no-op");
+        assert_eq!(b.stats.exclusive_invalidates, 1);
+    }
+
+    #[test]
+    fn refresh_counts_and_fills() {
+        let mut b = btb2();
+        b.refresh(entry(0x10004));
+        assert_eq!(b.stats.refresh_writebacks, 1);
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn refresh_due_after_threshold_no_hit_searches() {
+        let mut b = btb2(); // threshold 4, semi-inclusive
+        for _ in 0..3 {
+            b.note_btb1_search(false);
+            assert!(!b.take_refresh_due());
+        }
+        b.note_btb1_search(false);
+        assert!(b.take_refresh_due());
+        assert!(!b.take_refresh_due(), "counter resets");
+    }
+
+    #[test]
+    fn search_reason_stats_attribution() {
+        let mut b = btb2();
+        b.search(InstrAddr::new(0x1000), SearchReason::SuccessiveMisses);
+        b.search(InstrAddr::new(0x1000), SearchReason::DisruptiveBurst);
+        b.search(InstrAddr::new(0x1000), SearchReason::ContextChange);
+        assert_eq!(b.stats.searches, 3);
+        assert_eq!(b.stats.searches_successive, 1);
+        assert_eq!(b.stats.searches_burst, 1);
+        assert_eq!(b.stats.searches_context, 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Architectural event probes.
+//!
+//! The verification harness in `zbp-verify` follows the paper's white-box
+//! methodology (§VII): hardware-signal-driven reference models observe
+//! the DUT's *actual* internal events, not re-derived expectations. The
+//! predictor therefore publishes every architecturally meaningful event
+//! through the [`Probe`] trait; monitors subscribe by installing a probe.
+
+use crate::btb::BtbEntry;
+use crate::btb2::SearchReason;
+use crate::direction::DirectionProvider;
+use crate::target::TargetProvider;
+use zbp_zarch::{Direction, InstrAddr};
+
+/// One architecturally meaningful predictor event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BplEvent {
+    /// A BTB1 prediction-port search was performed for a branch address.
+    Btb1Search {
+        /// Searched address.
+        addr: InstrAddr,
+        /// Whether anything predicted.
+        hit: bool,
+    },
+    /// A prediction was produced.
+    Predict {
+        /// Branch address.
+        addr: InstrAddr,
+        /// Dynamic (BTB hit) or surprise.
+        dynamic: bool,
+        /// Predicted direction.
+        direction: Direction,
+        /// Predicted target, if any.
+        target: Option<InstrAddr>,
+        /// Direction provider.
+        dir_provider: DirectionProvider,
+        /// Target provider, when a taken target was supplied.
+        tgt_provider: Option<TargetProvider>,
+    },
+    /// An entry was written into the BTB1 (install or promote).
+    Btb1Install {
+        /// The written entry.
+        entry: BtbEntry,
+        /// The evicted victim, if a valid entry was cast out.
+        victim: Option<BtbEntry>,
+        /// Whether the read-before-write filter suppressed a duplicate
+        /// (the write became an update).
+        duplicate: bool,
+    },
+    /// An entry was removed from the BTB1 (bad branch prediction).
+    Btb1Remove {
+        /// Address whose entry was removed.
+        addr: InstrAddr,
+    },
+    /// A completion-time write-port update of an existing BTB1 entry
+    /// (BHT training, metadata bits, target correction). Carries the
+    /// entry's post-update state.
+    Btb1Update {
+        /// The entry after the update.
+        entry: BtbEntry,
+    },
+    /// A BTB2 search fired.
+    Btb2Search {
+        /// Search address.
+        addr: InstrAddr,
+        /// Trigger reason.
+        reason: SearchReason,
+        /// Entries staged toward the BTB1.
+        staged: usize,
+    },
+    /// A BTB2 periodic-refresh writeback occurred.
+    Btb2Refresh {
+        /// The refreshed entry.
+        entry: BtbEntry,
+    },
+    /// A branch completed and its updates were applied.
+    Complete {
+        /// Branch address.
+        addr: InstrAddr,
+        /// Resolved direction.
+        resolved: Direction,
+        /// Resolved target.
+        target: InstrAddr,
+        /// Whether the prediction was wrong (restart).
+        mispredicted: bool,
+    },
+    /// A CTB entry was installed or retargeted.
+    CtbWrite {
+        /// Branch address.
+        addr: InstrAddr,
+        /// New target.
+        target: InstrAddr,
+    },
+    /// The CRS detected a return (BTB1 metadata updated).
+    CrsDetect {
+        /// The return branch.
+        addr: InstrAddr,
+        /// NSIA offset.
+        offset: u8,
+    },
+    /// A branch was blacklisted from using the CRS.
+    CrsBlacklist {
+        /// The branch.
+        addr: InstrAddr,
+    },
+    /// A blacklisted branch was granted amnesty.
+    CrsAmnesty {
+        /// The branch.
+        addr: InstrAddr,
+    },
+    /// A perceptron entry was installed.
+    PerceptronInstall {
+        /// The hard-to-predict branch.
+        addr: InstrAddr,
+    },
+    /// A pipeline flush was signalled to the predictor.
+    Flush,
+    /// A context-change event was signalled (proactive BTB2 priming).
+    ContextChange {
+        /// The new context's entry address.
+        addr: InstrAddr,
+    },
+}
+
+/// A subscriber for predictor events.
+pub trait Probe {
+    /// Receives one event, in program order.
+    fn event(&mut self, ev: &BplEvent);
+}
+
+/// A probe that records every event (useful in tests and monitors).
+#[derive(Debug, Default)]
+pub struct RecordingProbe {
+    /// The events observed so far.
+    pub events: Vec<BplEvent>,
+}
+
+impl Probe for RecordingProbe {
+    fn event(&mut self, ev: &BplEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+impl RecordingProbe {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&BplEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_probe_collects_and_counts() {
+        let mut p = RecordingProbe::new();
+        p.event(&BplEvent::Flush);
+        p.event(&BplEvent::Btb1Search { addr: InstrAddr::new(0x10), hit: true });
+        p.event(&BplEvent::Flush);
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.count(|e| matches!(e, BplEvent::Flush)), 2);
+        assert_eq!(p.count(|e| matches!(e, BplEvent::Btb1Search { hit: true, .. })), 1);
+    }
+}

@@ -1,0 +1,548 @@
+//! The perceptron auxiliary direction predictor with virtualized
+//! weights.
+//!
+//! "Since the perceptron's focus is on hard to predict branches, only 32
+//! perceptron entries are employed, implemented as a 16 row by 2 way set
+//! associative structure … Each weight corresponds to a bit in the GPV.
+//! … A process called virtualization is used to reduce the amount of
+//! storage required; 2:1 virtualization permits 34 GPVs to map to 17
+//! weights." (paper §V, patents \[13\]\[14\])
+
+use crate::config::PerceptronConfig;
+use crate::gpv::Gpv;
+use crate::util::{index_of, tag_of, SatCounter};
+use serde::{Deserialize, Serialize};
+use zbp_zarch::{Direction, InstrAddr};
+
+/// A hit in the perceptron table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerceptronHit {
+    /// Row of the hit.
+    pub row: usize,
+    /// Way of the hit.
+    pub way: usize,
+    /// The direction the weight sum produces.
+    pub dir: Direction,
+    /// Whether the entry's usefulness has crossed the provider
+    /// threshold ("the perceptron becomes the provider").
+    pub useful: bool,
+    /// The raw weight sum (diagnostics).
+    pub sum: i32,
+}
+
+/// Statistics for the perceptron.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerceptronStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit an entry.
+    pub hits: u64,
+    /// Training invocations.
+    pub trains: u64,
+    /// Trainings skipped by the θ confidence gate.
+    pub theta_skips: u64,
+    /// New entries installed.
+    pub installs: u64,
+    /// Install attempts blocked by protection limits.
+    pub install_blocked: u64,
+    /// Entries whose usefulness crossed the provider threshold.
+    pub promotions: u64,
+    /// Virtualization events (weight re-assigned to its alternate GPV
+    /// bit).
+    pub virtualizations: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    tag: u32,
+    weights: Vec<i32>,
+    /// Per-weight selector: which of the virtualized GPV bit candidates
+    /// this weight currently observes (0..virtualization).
+    selectors: Vec<u8>,
+    usefulness: SatCounter,
+    protection: SatCounter,
+    /// Completions since the last virtualization sweep.
+    since_sweep: u32,
+    /// Whether the promotion statistic has fired for this entry.
+    promoted: bool,
+}
+
+/// The perceptron table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Perceptron {
+    rows: Vec<Vec<Option<Entry>>>,
+    cfg: PerceptronConfig,
+    /// Statistics.
+    pub stats: PerceptronStats,
+}
+
+impl Perceptron {
+    /// Builds an empty perceptron table.
+    pub fn new(cfg: &PerceptronConfig) -> Self {
+        Perceptron {
+            rows: vec![vec![None; cfg.ways]; cfg.rows],
+            cfg: cfg.clone(),
+            stats: PerceptronStats::default(),
+        }
+    }
+
+    fn row_of(&self, addr: InstrAddr) -> usize {
+        index_of(addr.raw() >> 1, self.rows.len())
+    }
+
+    fn tag_for(&self, addr: InstrAddr) -> u32 {
+        tag_of(addr.raw() >> 1, 12)
+    }
+
+    /// Looks up the branch at `addr` and computes the weight-sum
+    /// prediction under `gpv`.
+    pub fn lookup(&mut self, addr: InstrAddr, gpv: &Gpv) -> Option<PerceptronHit> {
+        self.stats.lookups += 1;
+        let row = self.row_of(addr);
+        let tag = self.tag_for(addr);
+        let gpv_bits = 2 * gpv.depth();
+        let threshold = self.cfg.usefulness_threshold;
+        let weights_n = self.cfg.weights;
+        let entry = self.rows[row]
+            .iter()
+            .enumerate()
+            .find_map(|(w, e)| e.as_ref().filter(|e| e.tag == tag).map(|e| (w, e)))?;
+        let (way, e) = entry;
+        let mut sum = 0i32;
+        for i in 0..weights_n {
+            let pos = i + usize::from(e.selectors[i]) * weights_n;
+            if pos >= gpv_bits {
+                continue;
+            }
+            if gpv.bit(pos) {
+                sum += e.weights[i];
+            } else {
+                sum -= e.weights[i];
+            }
+        }
+        self.stats.hits += 1;
+        Some(PerceptronHit {
+            row,
+            way,
+            dir: if sum >= 0 { Direction::Taken } else { Direction::NotTaken },
+            useful: e.usefulness.get() >= threshold,
+            sum,
+        })
+    }
+
+    /// Trains the entry at `(row, way)` on the resolved direction using
+    /// the GPV as of prediction time. "If the branch resolved taken, all
+    /// weights that correspond to a GPV bit of 1 are incremented; others
+    /// are decremented" — and symmetrically for not-taken (§V).
+    ///
+    /// Periodically sweeps low-magnitude weights onto their alternate
+    /// virtualized GPV bit.
+    pub fn train(&mut self, row: usize, way: usize, gpv: &Gpv, resolved: Direction) {
+        let weights_n = self.cfg.weights;
+        let wmax = self.cfg.weight_max;
+        let gpv_bits = 2 * gpv.depth();
+        let virtualization = self.cfg.virtualization as u8;
+        let sweep_period = self.cfg.virtualize_period;
+        let low = self.cfg.virtualize_below;
+        let theta = self.cfg.train_theta;
+        let mut virtualized = 0u64;
+        self.stats.trains += 1;
+        let Some(e) = self.rows[row][way].as_mut() else { return };
+        // θ-gated training: adjust only when the entry was wrong or
+        // under-confident, so uncorrelated weights stay near zero
+        // instead of random-walking into saturation.
+        let mut sum = 0i32;
+        for i in 0..weights_n {
+            let pos = i + usize::from(e.selectors[i]) * weights_n;
+            if pos >= gpv_bits {
+                continue;
+            }
+            if gpv.bit(pos) {
+                sum += e.weights[i];
+            } else {
+                sum -= e.weights[i];
+            }
+        }
+        let predicted_taken = sum >= 0;
+        let adjust = predicted_taken != resolved.is_taken() || sum.abs() <= theta;
+        if !adjust {
+            self.stats.theta_skips += 1;
+        }
+        if adjust {
+            for i in 0..weights_n {
+                let pos = i + usize::from(e.selectors[i]) * weights_n;
+                if pos >= gpv_bits {
+                    continue;
+                }
+                let bit = gpv.bit(pos);
+                let delta = match (resolved, bit) {
+                    (Direction::Taken, true) | (Direction::NotTaken, false) => 1,
+                    _ => -1,
+                };
+                e.weights[i] = (e.weights[i] + delta).clamp(-wmax, wmax);
+            }
+        }
+        e.since_sweep += 1;
+        if sweep_period > 0 && e.since_sweep >= sweep_period {
+            e.since_sweep = 0;
+            for i in 0..weights_n {
+                if e.weights[i].abs() < low {
+                    // Try the next virtualized bit for this weight.
+                    e.selectors[i] = (e.selectors[i] + 1) % virtualization.max(1);
+                    e.weights[i] = 0;
+                    virtualized += 1;
+                }
+            }
+        }
+        self.stats.virtualizations += virtualized;
+    }
+
+    /// Completion-time usefulness bookkeeping (§V):
+    ///
+    /// * perceptron correct while the provider was wrong → usefulness up
+    ///   (and promotion once the threshold is crossed);
+    /// * perceptron wrong while the provider was correct → usefulness
+    ///   down;
+    /// * both wrong while usefulness is still below the threshold →
+    ///   usefulness up (lets fresh entries learn).
+    pub fn assess(
+        &mut self,
+        row: usize,
+        way: usize,
+        perceptron_correct: bool,
+        provider_correct: bool,
+    ) {
+        let threshold = self.cfg.usefulness_threshold;
+        let mut promoted_now = false;
+        if let Some(e) = self.rows[row][way].as_mut() {
+            let before = e.usefulness.get();
+            match (perceptron_correct, provider_correct) {
+                (true, false) => e.usefulness.inc(),
+                (false, true) => e.usefulness.dec(),
+                (false, false) if before < threshold => e.usefulness.inc(),
+                _ => {}
+            }
+            if !e.promoted && e.usefulness.get() >= threshold {
+                e.promoted = true;
+                promoted_now = true;
+            }
+            if e.usefulness.get() < threshold {
+                e.promoted = false;
+            }
+        }
+        if promoted_now {
+            self.stats.promotions += 1;
+        }
+    }
+
+    /// Attempts to install a new entry for a hard-to-predict branch.
+    ///
+    /// The victim is the least-useful entry in the row whose protection
+    /// limit has expired; every failed attempt decrements the
+    /// protections so fresh entries cannot be immortal (§V).
+    pub fn install(&mut self, addr: InstrAddr) -> bool {
+        let row = self.row_of(addr);
+        let tag = self.tag_for(addr);
+        // Already present?
+        if self.rows[row].iter().flatten().any(|e| e.tag == tag) {
+            return false;
+        }
+        // Initial virtualized assignments are spread across the whole
+        // GPV (weight i starts on its (i mod v)-th candidate bit), so a
+        // fresh entry observes the full history immediately; the sweep
+        // then migrates uncorrelated weights to their alternates.
+        let v = self.cfg.virtualization.max(1) as u8;
+        let fresh = Entry {
+            tag,
+            weights: vec![0; self.cfg.weights],
+            selectors: (0..self.cfg.weights).map(|i| (i as u8) % v).collect(),
+            usefulness: SatCounter::new(self.cfg.usefulness_max),
+            protection: SatCounter::at(self.cfg.protection_limit, self.cfg.protection_limit),
+            since_sweep: 0,
+            promoted: false,
+        };
+        // Invalid way first.
+        if let Some(slot) = self.rows[row].iter_mut().find(|e| e.is_none()) {
+            *slot = Some(fresh);
+            self.stats.installs += 1;
+            return true;
+        }
+        // "The least useful entry … is selected as the entry to be
+        // replaced, provided it has a protection limit of zero" (§V):
+        // the candidate is the least-useful entry overall; if it is
+        // still protected, the install fails and protections erode.
+        let candidate = self.rows[row]
+            .iter()
+            .enumerate()
+            .filter_map(|(w, e)| e.as_ref().map(|e| (w, e)))
+            .min_by_key(|(_, e)| e.usefulness.get())
+            .map(|(w, protected)| (w, !protected.protection.is_zero()));
+        match candidate {
+            Some((w, false)) => {
+                self.rows[row][w] = Some(fresh);
+                self.stats.installs += 1;
+                true
+            }
+            _ => {
+                for e in self.rows[row].iter_mut().flatten() {
+                    e.protection.dec();
+                }
+                self.stats.install_blocked += 1;
+                false
+            }
+        }
+    }
+
+    /// Debug introspection of one entry (tests/diagnostics).
+    #[doc(hidden)]
+    pub fn debug_entry(&self, addr: InstrAddr) -> Option<(Vec<i32>, Vec<u8>, u32, u32)> {
+        let row = self.row_of(addr);
+        let tag = self.tag_for(addr);
+        self.rows[row].iter().flatten().find(|e| e.tag == tag).map(|e| {
+            (e.weights.clone(), e.selectors.clone(), e.usefulness.get(), e.protection.get())
+        })
+    }
+
+    /// Number of valid entries (verification use).
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(|r| r.iter().flatten().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::z15_config;
+
+    fn perc() -> Perceptron {
+        Perceptron::new(z15_config().direction.perceptron.as_ref().unwrap())
+    }
+
+    fn gpv_pattern(pattern: &[bool]) -> Gpv {
+        // Build a GPV whose low bits follow `pattern` as closely as our
+        // 2-bit push hash allows: push addresses with known hashes.
+        let mut g = Gpv::new(17);
+        // Find addresses hashing to 0b00 and 0b01.
+        let mut a0 = None;
+        let mut a1 = None;
+        for k in 0..256u64 {
+            let a = InstrAddr::new(0x7000 + 2 * k);
+            match crate::util::branch_gpv_bits(a) {
+                0b00 if a0.is_none() => a0 = Some(a),
+                0b01 if a1.is_none() => a1 = Some(a),
+                _ => {}
+            }
+        }
+        let (a0, a1) = (a0.unwrap(), a1.unwrap());
+        for &b in pattern.iter().rev() {
+            g.push_taken(if b { a1 } else { a0 });
+        }
+        g
+    }
+
+    const ADDR: InstrAddr = InstrAddr::new(0x2_0008);
+
+    #[test]
+    fn miss_without_install() {
+        let mut p = perc();
+        assert!(p.lookup(ADDR, &Gpv::new(17)).is_none());
+        assert_eq!(p.stats.lookups, 1);
+        assert_eq!(p.stats.hits, 0);
+    }
+
+    #[test]
+    fn install_then_hit() {
+        let mut p = perc();
+        assert!(p.install(ADDR));
+        assert!(!p.install(ADDR), "re-install of a present branch is a no-op");
+        let hit = p.lookup(ADDR, &Gpv::new(17)).expect("hit");
+        assert_eq!(hit.sum, 0, "fresh weights sum to zero");
+        assert_eq!(hit.dir, Direction::Taken, "ties resolve taken");
+        assert!(!hit.useful, "fresh entries are not yet providers");
+        assert_eq!(p.occupancy(), 1);
+    }
+
+    #[test]
+    fn learns_a_history_correlated_branch() {
+        // Branch taken iff history bit 0 of the pattern is set.
+        let mut p = perc();
+        p.install(ADDR);
+        let g1 = gpv_pattern(&[true; 17]);
+        let g0 = gpv_pattern(&[false; 17]);
+        for _ in 0..20 {
+            if let Some(h) = p.lookup(ADDR, &g1) {
+                p.train(h.row, h.way, &g1, Direction::Taken);
+            }
+            if let Some(h) = p.lookup(ADDR, &g0) {
+                p.train(h.row, h.way, &g0, Direction::NotTaken);
+            }
+        }
+        assert_eq!(p.lookup(ADDR, &g1).unwrap().dir, Direction::Taken);
+        assert_eq!(p.lookup(ADDR, &g0).unwrap().dir, Direction::NotTaken);
+        let h = p.lookup(ADDR, &g1).unwrap();
+        assert!(h.sum > 0, "confident positive sum, got {}", h.sum);
+    }
+
+    #[test]
+    fn weights_saturate() {
+        let mut p = perc();
+        p.install(ADDR);
+        let g = gpv_pattern(&[true; 17]);
+        for _ in 0..200 {
+            let h = p.lookup(ADDR, &g).unwrap();
+            p.train(h.row, h.way, &g, Direction::Taken);
+        }
+        let h = p.lookup(ADDR, &g).unwrap();
+        let max = z15_config().direction.perceptron.unwrap().weight_max;
+        assert!(h.sum <= max * 17, "sum bounded by weight saturation");
+    }
+
+    #[test]
+    fn usefulness_promotion_and_demotion() {
+        let mut p = perc();
+        p.install(ADDR);
+        let g = Gpv::new(17);
+        let h = p.lookup(ADDR, &g).unwrap();
+        // Perceptron right, provider wrong, four times -> promoted.
+        for _ in 0..4 {
+            p.assess(h.row, h.way, true, false);
+        }
+        assert!(p.lookup(ADDR, &g).unwrap().useful);
+        assert_eq!(p.stats.promotions, 1);
+        // Provider recovers: demote.
+        for _ in 0..4 {
+            p.assess(h.row, h.way, false, true);
+        }
+        assert!(!p.lookup(ADDR, &g).unwrap().useful, "demoted below threshold");
+    }
+
+    #[test]
+    fn both_wrong_learns_only_below_threshold() {
+        let mut p = perc();
+        p.install(ADDR);
+        let g = Gpv::new(17);
+        let h = p.lookup(ADDR, &g).unwrap();
+        for _ in 0..20 {
+            p.assess(h.row, h.way, false, false);
+        }
+        // Usefulness climbs to the threshold but not beyond it.
+        for _ in 0..3 {
+            p.assess(h.row, h.way, true, false);
+        }
+        let hit = p.lookup(ADDR, &g).unwrap();
+        assert!(hit.useful);
+    }
+
+    #[test]
+    fn protection_blocks_then_expires() {
+        let cfg = PerceptronConfig {
+            rows: 1,
+            ways: 1,
+            protection_limit: 4,
+            ..z15_config().direction.perceptron.unwrap()
+        };
+        let mut p = Perceptron::new(&cfg);
+        assert!(p.install(InstrAddr::new(0x10)));
+        // Single way is occupied & protected: install attempts fail and
+        // erode protection (limit 4).
+        let other = InstrAddr::new(0x5010);
+        for _ in 0..4 {
+            assert!(!p.install(other));
+        }
+        assert_eq!(p.stats.install_blocked, 4);
+        assert!(p.install(other), "protection expired; replacement succeeds");
+        assert_eq!(p.occupancy(), 1);
+    }
+
+    #[test]
+    fn least_useful_entry_is_victim() {
+        let cfg = PerceptronConfig {
+            rows: 1,
+            ways: 2,
+            protection_limit: 0,
+            ..z15_config().direction.perceptron.unwrap()
+        };
+        let mut p = Perceptron::new(&cfg);
+        let a = InstrAddr::new(0x10);
+        let b = InstrAddr::new(0x20);
+        p.install(a);
+        p.install(b);
+        // Make `a` useful.
+        let ha = p.lookup(a, &Gpv::new(17)).unwrap();
+        for _ in 0..3 {
+            p.assess(ha.row, ha.way, true, false);
+        }
+        // New install evicts `b` (least useful).
+        let c = InstrAddr::new(0x9930);
+        assert!(p.install(c));
+        assert!(p.lookup(a, &Gpv::new(17)).is_some(), "useful entry kept");
+        assert!(p.lookup(b, &Gpv::new(17)).is_none(), "least useful evicted");
+        assert!(p.lookup(c, &Gpv::new(17)).is_some());
+    }
+
+    #[test]
+    fn learns_far_bit_under_noise() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut p = perc();
+        p.install(ADDR);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Find addresses for symbol control
+        let mut sym_addrs: Vec<Vec<InstrAddr>> = vec![Vec::new(); 4];
+        for k in 0..4096u64 {
+            let a = InstrAddr::new(0x7000 + 2 * k);
+            let s = crate::util::branch_gpv_bits(a) as usize;
+            if sym_addrs[s].len() < 64 {
+                sym_addrs[s].push(a);
+            }
+        }
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        for iter in 0..2000 {
+            // Build GPV: 17 pushes; push #15-back encodes the "leader" bit.
+            let leader = rng.random_bool(0.5);
+            let mut g = Gpv::new(17);
+            // oldest first: push 16th-oldest .. newest
+            // We want the leader symbol at bit-pair position 15 => it is the 16th most recent push
+            // sequence: [old junk x1] [leader] [15 noise pushes]
+            g.push_taken(sym_addrs[rng.random_range(0..4)][rng.random_range(0..64)]);
+            g.push_taken(if leader { sym_addrs[3][0] } else { sym_addrs[2][0] });
+            for _ in 0..15 {
+                let s = rng.random_range(0..4);
+                g.push_taken(sym_addrs[s][rng.random_range(0..64)]);
+            }
+            let dir = if leader { Direction::Taken } else { Direction::NotTaken };
+            if let Some(h) = p.lookup(ADDR, &g) {
+                if iter > 1000 {
+                    total += 1;
+                    if h.dir == dir {
+                        correct += 1;
+                    }
+                }
+                p.train(h.row, h.way, &g, dir);
+            }
+        }
+        let acc = correct as f64 / total.max(1) as f64;
+        assert!(
+            acc > 0.9,
+            "perceptron should learn the far correlated bit: {acc:.2} ({correct}/{total})"
+        );
+    }
+
+    #[test]
+    fn virtualization_reassigns_dead_weights() {
+        let mut cfg = z15_config().direction.perceptron.unwrap();
+        cfg.virtualize_period = 8;
+        cfg.virtualize_below = 3;
+        let mut p = Perceptron::new(&cfg);
+        p.install(ADDR);
+        // Uncorrelated (alternating) outcomes keep weights near zero;
+        // after the sweep period, virtualization fires.
+        let g = gpv_pattern(&[true; 17]);
+        for k in 0..16 {
+            let h = p.lookup(ADDR, &g).unwrap();
+            let dir = if k % 2 == 0 { Direction::Taken } else { Direction::NotTaken };
+            p.train(h.row, h.way, &g, dir);
+        }
+        assert!(p.stats.virtualizations > 0, "dead weights were reassigned");
+    }
+}

@@ -1,0 +1,325 @@
+//! The 6-cycle branch-prediction search pipeline (b0–b5) timing model.
+//!
+//! "The branch prediction pipeline consists of 6 cycles … Indexing into
+//! the BTB arrays occurs in the b0 cycle … The prediction is presented
+//! to the consumers, namely the IDU and ICM, in the b5 cycle. If there
+//! was a taken prediction predicted in the b5 cycle, the pipeline will
+//! redirect itself to the target instruction address …, performing a b0
+//! index at the target address. This branch prediction pipeline
+//! re-indexing can occur preemptively in the b2 cycle with the aid of
+//! the CPRED." (paper §IV, figures 4–7)
+//!
+//! The model replays a sequence of [`StreamStep`]s — one per prediction
+//! stream, as produced by the functional predictor or synthesized by an
+//! experiment — and accounts cycle-exact search issue, re-index latency
+//! (b5 normally, b2 with CPRED), SKOOT line skipping and SMT2 port
+//! alternation. It also renders the figure-4/5/6/7 pipeline diagrams.
+
+use crate::config::TimingConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use zbp_zarch::InstrAddr;
+
+/// One prediction stream: entered at a taken-branch target (or restart),
+/// searched sequentially, left via a predicted-taken branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStep {
+    /// The stream's entry address.
+    pub stream_start: InstrAddr,
+    /// Sequential search lines from the entry line to the line holding
+    /// the stream-leaving taken branch, inclusive (≥ 1). This is what a
+    /// design *without* SKOOT must search.
+    pub lines_to_taken: u64,
+    /// Of those, leading empty lines a SKOOT-enabled design skips.
+    pub skoot_skip: u64,
+    /// Whether the CPRED hit at stream entry with a correct redirect
+    /// (enables the b2 re-index into the *next* stream).
+    pub cpred_hit: bool,
+    /// The predicted-taken branch leaving the stream.
+    pub taken_branch: InstrAddr,
+    /// Its target (the next stream's entry).
+    pub target: InstrAddr,
+}
+
+impl StreamStep {
+    /// Searches this stream actually issues when SKOOT is enabled.
+    pub fn searches_with_skoot(&self) -> u64 {
+        self.lines_to_taken.saturating_sub(self.skoot_skip).max(1)
+    }
+}
+
+/// Cycle-exact result of replaying a stream sequence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Total cycles from first b0 to the last stream's b5.
+    pub cycles: u64,
+    /// Streams replayed.
+    pub streams: u64,
+    /// Searches issued (b0 events).
+    pub searches: u64,
+    /// Searches avoided by SKOOT.
+    pub searches_skipped: u64,
+    /// Taken predictions delivered via the CPRED fast (b2 re-index)
+    /// path.
+    pub cpred_fast_redirects: u64,
+    /// Cycle at which each stream's taken prediction was presented (b5).
+    pub taken_present_cycles: Vec<u64>,
+}
+
+impl PipelineReport {
+    /// Average cycles between consecutive taken predictions.
+    pub fn mean_taken_period(&self) -> f64 {
+        if self.taken_present_cycles.len() < 2 {
+            return 0.0;
+        }
+        let first = *self.taken_present_cycles.first().expect("nonempty");
+        let last = *self.taken_present_cycles.last().expect("nonempty");
+        (last - first) as f64 / (self.taken_present_cycles.len() - 1) as f64
+    }
+}
+
+/// The search-pipeline timing simulator.
+#[derive(Debug, Clone)]
+pub struct SearchPipeline {
+    timing: TimingConfig,
+    /// SMT2 mode: the single search port alternates between threads, so
+    /// this thread may only issue b0 on every other cycle.
+    smt2: bool,
+    /// Whether SKOOT skipping is enabled.
+    skoot: bool,
+    /// Whether CPRED b2 re-indexing is enabled.
+    cpred: bool,
+}
+
+impl SearchPipeline {
+    /// Creates a pipeline model.
+    pub fn new(timing: TimingConfig, smt2: bool, skoot: bool, cpred: bool) -> Self {
+        SearchPipeline { timing, smt2, skoot, cpred }
+    }
+
+    /// The cycle quantum between b0 issue opportunities for one thread.
+    fn issue_quantum(&self) -> u64 {
+        if self.smt2 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Aligns `cycle` up to this thread's next issue opportunity.
+    fn align(&self, cycle: u64) -> u64 {
+        let q = self.issue_quantum();
+        cycle.div_ceil(q) * q
+    }
+
+    /// Replays a stream sequence, returning the cycle accounting.
+    pub fn run(&self, steps: &[StreamStep]) -> PipelineReport {
+        let mut rep = PipelineReport::default();
+        let b5 = u64::from(self.timing.search_stages - 1);
+        let b2 = u64::from(self.timing.cpred_reindex_stage);
+        let mut next_b0 = 0u64;
+        for step in steps {
+            rep.streams += 1;
+            let searches =
+                if self.skoot { step.searches_with_skoot() } else { step.lines_to_taken.max(1) };
+            if self.skoot {
+                rep.searches_skipped += step.lines_to_taken.max(1) - searches;
+            }
+            // Sequential searches issue one per issue-quantum; the
+            // taken-finding search is the last of them.
+            let mut b0 = self.align(next_b0);
+            for _ in 0..searches {
+                rep.searches += 1;
+                b0 = self.align(b0) + self.issue_quantum();
+            }
+            // `b0` now points one quantum past the taken search's b0.
+            let taken_b0 = b0 - self.issue_quantum();
+            let present = taken_b0 + b5;
+            rep.taken_present_cycles.push(present);
+            rep.cycles = rep.cycles.max(present + 1);
+            // Next stream's b0: CPRED re-index at b2, else after b5.
+            next_b0 = if self.cpred && step.cpred_hit {
+                rep.cpred_fast_redirects += 1;
+                taken_b0 + b2
+            } else {
+                taken_b0 + b5
+            };
+        }
+        rep
+    }
+
+    /// Renders a figure-4/5/6/7 style pipeline diagram for the first
+    /// `max_searches` searches of a stream replay: one row per search,
+    /// stage labels (b0–b5) in their cycle columns.
+    pub fn render_diagram(&self, steps: &[StreamStep], max_searches: usize) -> String {
+        let stages = self.timing.search_stages as usize;
+        let b2 = u64::from(self.timing.cpred_reindex_stage);
+        let b5 = u64::from(self.timing.search_stages - 1);
+        let mut rows: Vec<(String, u64)> = Vec::new(); // (label, b0 cycle)
+        let mut next_b0 = 0u64;
+        'outer: for (si, step) in steps.iter().enumerate() {
+            let searches =
+                if self.skoot { step.searches_with_skoot() } else { step.lines_to_taken.max(1) };
+            let mut b0 = self.align(next_b0);
+            for k in 0..searches {
+                if rows.len() >= max_searches {
+                    break 'outer;
+                }
+                let last = k + 1 == searches;
+                let label = if last {
+                    format!("stream{si} taken@{:#x}", step.taken_branch.raw())
+                } else {
+                    format!("stream{si} seq+{k}")
+                };
+                rows.push((label, b0));
+                b0 = self.align(b0) + self.issue_quantum();
+            }
+            let taken_b0 = b0 - self.issue_quantum();
+            next_b0 = if self.cpred && step.cpred_hit { taken_b0 + b2 } else { taken_b0 + b5 };
+        }
+        let max_cycle = rows.iter().map(|(_, c)| *c).max().unwrap_or(0) as usize + stages;
+        let mut out = String::new();
+        let _ = write!(out, "{:<28}", "search");
+        for c in 0..max_cycle {
+            let _ = write!(out, "{c:>4}");
+        }
+        out.push('\n');
+        for (label, b0) in &rows {
+            let _ = write!(out, "{label:<28}");
+            for c in 0..max_cycle as u64 {
+                if c >= *b0 && c < *b0 + stages as u64 {
+                    let _ = write!(out, "  b{}", c - b0);
+                } else {
+                    let _ = write!(out, "    ");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Synthesizes a uniform stream sequence (every stream identical) — the
+/// workload shape of the paper's figures 4–7, where a tight loop of
+/// taken branches exercises the redirect path.
+pub fn uniform_streams(
+    n: usize,
+    lines_to_taken: u64,
+    skoot_skip: u64,
+    cpred_hit: bool,
+) -> Vec<StreamStep> {
+    (0..n)
+        .map(|i| StreamStep {
+            stream_start: InstrAddr::new(0x1_0000 + (i as u64) * 0x400),
+            lines_to_taken,
+            skoot_skip,
+            cpred_hit,
+            taken_branch: InstrAddr::new(
+                0x1_0000 + (i as u64) * 0x400 + 64 * lines_to_taken.saturating_sub(1) + 8,
+            ),
+            target: InstrAddr::new(0x1_0000 + (i as u64 + 1) * 0x400),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingConfig {
+        TimingConfig::default()
+    }
+
+    #[test]
+    fn figure4_taken_every_5_cycles_single_thread() {
+        // No CPRED: the redirect waits for b5 -> one taken prediction
+        // every 5 cycles (§IV).
+        let pipe = SearchPipeline::new(timing(), false, false, false);
+        let steps = uniform_streams(10, 1, 0, false);
+        let rep = pipe.run(&steps);
+        assert_eq!(rep.mean_taken_period(), 5.0);
+        assert_eq!(rep.cpred_fast_redirects, 0);
+        assert_eq!(rep.streams, 10);
+    }
+
+    #[test]
+    fn smt2_taken_every_6_cycles() {
+        // SMT2: port sharing aligns the post-b5 re-index to the next
+        // even cycle -> every 6 cycles (§IV).
+        let pipe = SearchPipeline::new(timing(), true, false, false);
+        let steps = uniform_streams(10, 1, 0, false);
+        let rep = pipe.run(&steps);
+        assert_eq!(rep.mean_taken_period(), 6.0);
+    }
+
+    #[test]
+    fn figure5_cpred_taken_every_2_cycles() {
+        // CPRED re-index at b2 -> a taken branch every 2 cycles (§IV).
+        let pipe = SearchPipeline::new(timing(), false, false, true);
+        let steps = uniform_streams(10, 1, 0, true);
+        let rep = pipe.run(&steps);
+        assert_eq!(rep.mean_taken_period(), 2.0);
+        assert_eq!(rep.cpred_fast_redirects, 10);
+    }
+
+    #[test]
+    fn cpred_miss_falls_back_to_5() {
+        let pipe = SearchPipeline::new(timing(), false, false, true);
+        let steps = uniform_streams(10, 1, 0, false);
+        let rep = pipe.run(&steps);
+        assert_eq!(rep.mean_taken_period(), 5.0);
+    }
+
+    #[test]
+    fn figures6_7_skoot_saves_searches() {
+        // Streams whose taken branch sits 4 lines in, with the first 3
+        // lines empty: without SKOOT, 4 searches per stream; with SKOOT,
+        // 1 search per stream.
+        let steps = uniform_streams(8, 4, 3, true);
+        let without = SearchPipeline::new(timing(), false, false, true).run(&steps);
+        let with = SearchPipeline::new(timing(), false, true, true).run(&steps);
+        assert_eq!(without.searches, 8 * 4);
+        assert_eq!(with.searches, 8);
+        assert_eq!(with.searches_skipped, 8 * 3);
+        assert!(with.cycles < without.cycles, "SKOOT shortens the replay");
+    }
+
+    #[test]
+    fn sequential_searches_pipeline_every_cycle() {
+        // One stream with 5 sequential lines: b0 issues back to back.
+        let pipe = SearchPipeline::new(timing(), false, false, false);
+        let steps = uniform_streams(1, 5, 0, false);
+        let rep = pipe.run(&steps);
+        assert_eq!(rep.searches, 5);
+        // Taken search b0 at cycle 4, presented at b5 = cycle 9.
+        assert_eq!(rep.taken_present_cycles, vec![9]);
+    }
+
+    #[test]
+    fn smt2_sequential_searches_every_other_cycle() {
+        let pipe = SearchPipeline::new(timing(), true, false, false);
+        let steps = uniform_streams(1, 3, 0, false);
+        let rep = pipe.run(&steps);
+        // b0 at cycles 0,2,4; present at 4+5=9.
+        assert_eq!(rep.taken_present_cycles, vec![9]);
+    }
+
+    #[test]
+    fn diagram_renders_stage_labels() {
+        let pipe = SearchPipeline::new(timing(), false, false, true);
+        let steps = uniform_streams(3, 2, 0, true);
+        let d = pipe.render_diagram(&steps, 6);
+        assert!(d.contains("b0"));
+        assert!(d.contains("b5"));
+        assert!(d.contains("stream0 taken@"));
+        assert!(d.lines().count() >= 4, "header plus search rows:\n{d}");
+    }
+
+    #[test]
+    fn empty_replay_is_empty() {
+        let pipe = SearchPipeline::new(timing(), false, false, false);
+        let rep = pipe.run(&[]);
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.mean_taken_period(), 0.0);
+    }
+}

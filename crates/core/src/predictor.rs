@@ -1,0 +1,1386 @@
+//! The `ZPredictor` facade: the complete z15 branch predictor in
+//! functional (predict/complete) form.
+//!
+//! This composes every structure the paper describes — BTB1+BHT, BTB2
+//! (or BTBP on older generations), GPV, TAGE PHT with SBHT/SPHT
+//! speculative overrides, perceptron, CTB, CRS, CPRED power gating and
+//! SKOOT learning — behind the [`FullPredictor`] protocol so that the
+//! same model runs under the MPKI harness, the cycle-level pipeline and
+//! the white-box verification environment.
+
+use crate::btb::BtbEntry;
+use crate::btb1::{Btb1, InstallOutcome};
+use crate::btb2::Btb2;
+use crate::btbp::Btbp;
+use crate::config::{InclusionPolicy, PredictorConfig};
+use crate::cpred::{Cpred, PowerMask};
+use crate::crs::Crs;
+use crate::ctb::Ctb;
+use crate::direction::{DirectionDecision, DirectionProvider};
+use crate::events::{BplEvent, Probe};
+use crate::gpv::Gpv;
+use crate::perceptron::Perceptron;
+use crate::sbht::SpecOverride;
+use crate::stats::ZStats;
+use crate::tage::{Pht, PhtLookup, TageTable};
+use crate::target::{TargetDecision, TargetProvider};
+use std::collections::VecDeque;
+use std::fmt;
+use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
+
+/// In-flight prediction state, the model's GPQ entry.
+#[derive(Debug, Clone)]
+struct Inflight {
+    seq: u64,
+    addr: InstrAddr,
+    /// Speculative GPV bits as of prediction time (before this branch's
+    /// own taken-push) — the history every index used.
+    gpv_bits: u64,
+    dynamic: bool,
+    way: usize,
+    dir: DirectionDecision,
+    tgt: Option<TargetDecision>,
+}
+
+/// Per-SMT-thread speculative and stream state. The prediction arrays
+/// (BTB1/BTB2, PHT, perceptron, CTB, CPRED) are shared between the two
+/// threads, exactly as §IV–V describe; path history, the GPQ and
+/// stream-tracking are per-thread control-flow state.
+#[derive(Debug)]
+struct ThreadCtx {
+    /// Speculative path history, updated at prediction time.
+    spec_gpv: Gpv,
+    /// Architected path history, updated at completion time.
+    arch_gpv: Gpv,
+    gpq: VecDeque<Inflight>,
+    /// Start address of the current prediction stream.
+    stream_start: InstrAddr,
+    /// The power mask applied to the current stream.
+    stream_power: PowerMask,
+    /// Actual auxiliary needs observed in the current stream.
+    stream_needs: PowerMask,
+    /// The power prediction (for the *next* stream) produced by the
+    /// CPRED lookup at the current stream's entry.
+    next_stream_power: Option<PowerMask>,
+    /// The previous stream's start (its CPRED entry learns the current
+    /// stream's power needs when the current stream ends).
+    prev_stream_start: Option<InstrAddr>,
+    /// Set when a surprise-taken branch redirected the pipeline to an
+    /// address the functional model does not know; the next prediction
+    /// re-anchors the stream.
+    stream_reset_pending: bool,
+    /// `(branch, target)` of the last completed taken branch, for SKOOT
+    /// distance learning at the next completion.
+    last_completed_taken: Option<(InstrAddr, InstrAddr)>,
+}
+
+impl ThreadCtx {
+    fn new(gpv_depth: usize) -> Self {
+        ThreadCtx {
+            spec_gpv: Gpv::new(gpv_depth),
+            arch_gpv: Gpv::new(gpv_depth),
+            gpq: VecDeque::new(),
+            stream_start: InstrAddr::new(0),
+            stream_power: PowerMask::ALL_ON,
+            stream_needs: PowerMask::ALL_OFF,
+            next_stream_power: None,
+            prev_stream_start: None,
+            stream_reset_pending: true,
+            last_completed_taken: None,
+        }
+    }
+}
+
+/// The complete z15-style branch predictor.
+pub struct ZPredictor {
+    cfg: PredictorConfig,
+    btb1: Btb1,
+    btb2: Option<Btb2>,
+    btbp: Option<Btbp>,
+    pht: Pht,
+    sbht: SpecOverride,
+    spht: SpecOverride,
+    perceptron: Option<Perceptron>,
+    ctb: Option<Ctb>,
+    crs: Option<Crs>,
+    cpred: Option<Cpred>,
+    seq: u64,
+    /// One context per SMT thread.
+    threads: [ThreadCtx; 2],
+    probe: Option<Box<dyn Probe + Send>>,
+    /// Aggregate statistics.
+    pub stats: ZStats,
+}
+
+impl fmt::Debug for ZPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZPredictor")
+            .field("config", &self.cfg.name)
+            .field("btb1_occupancy", &self.btb1.occupancy())
+            .field("gpq_depth", &self.inflight())
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ZPredictor {
+    /// Builds a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PredictorConfig::validate`];
+    /// build configurations through the presets or validate them first.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        cfg.validate().expect("invalid predictor configuration");
+        let line = cfg.btb1.search_bytes;
+        ZPredictor {
+            btb1: Btb1::new(&cfg.btb1),
+            btb2: cfg.btb2.as_ref().map(|c| Btb2::new(c, line)),
+            btbp: cfg.btbp.as_ref().map(|c| Btbp::new(c, line, cfg.btb1.tag_bits)),
+            pht: Pht::new(&cfg.direction, cfg.btb1.ways),
+            sbht: SpecOverride::new(cfg.direction.sbht_entries),
+            spht: SpecOverride::new(cfg.direction.spht_entries),
+            perceptron: cfg.direction.perceptron.as_ref().map(Perceptron::new),
+            ctb: cfg.ctb.as_ref().map(Ctb::new),
+            crs: cfg.crs.as_ref().map(Crs::new),
+            cpred: cfg.cpred.as_ref().map(Cpred::new),
+            seq: 0,
+            threads: [ThreadCtx::new(cfg.gpv_depth), ThreadCtx::new(cfg.gpv_depth)],
+            probe: None,
+            stats: ZStats::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Installs an event probe (white-box verification hook).
+    pub fn set_probe(&mut self, probe: Box<dyn Probe + Send>) {
+        self.probe = Some(probe);
+    }
+
+    /// Removes and returns the installed probe.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe + Send>> {
+        self.probe.take()
+    }
+
+    fn emit(&mut self, ev: BplEvent) {
+        if let Some(p) = &mut self.probe {
+            p.event(&ev);
+        }
+    }
+
+    /// Read access to the BTB1 (verification/experiments).
+    pub fn btb1(&self) -> &Btb1 {
+        &self.btb1
+    }
+
+    /// Read access to the BTB2, if configured.
+    pub fn btb2(&self) -> Option<&Btb2> {
+        self.btb2.as_ref()
+    }
+
+    /// Read access to the BTBP, if configured.
+    pub fn btbp(&self) -> Option<&Btbp> {
+        self.btbp.as_ref()
+    }
+
+    /// Read access to the PHT.
+    pub fn pht(&self) -> &Pht {
+        &self.pht
+    }
+
+    /// Read access to the perceptron, if configured.
+    pub fn perceptron(&self) -> Option<&Perceptron> {
+        self.perceptron.as_ref()
+    }
+
+    /// Read access to the CTB, if configured.
+    pub fn ctb(&self) -> Option<&Ctb> {
+        self.ctb.as_ref()
+    }
+
+    /// Read access to the CRS, if configured.
+    pub fn crs(&self) -> Option<&Crs> {
+        self.crs.as_ref()
+    }
+
+    /// Read access to the CPRED, if configured.
+    pub fn cpred(&self) -> Option<&Cpred> {
+        self.cpred.as_ref()
+    }
+
+    /// Thread 0's speculative GPV (diagnostics).
+    pub fn gpv(&self) -> &Gpv {
+        &self.threads[0].spec_gpv
+    }
+
+    /// Current GPQ (in-flight prediction) depth across both threads.
+    pub fn inflight(&self) -> usize {
+        self.threads.iter().map(|c| c.gpq.len()).sum()
+    }
+
+    /// Preloads a branch directly into the BTB1 (verification §VII:
+    /// "preloading of the branch predictor arrays like BTB1 and BTB2 to
+    /// initialize states … which would otherwise take a large number of
+    /// simulation cycles to reach").
+    pub fn preload_btb1(&mut self, entry: BtbEntry) {
+        let _ = self.btb1.install(entry);
+    }
+
+    /// Preloads a branch directly into the BTB2.
+    pub fn preload_btb2(&mut self, entry: BtbEntry) {
+        if let Some(b2) = &mut self.btb2 {
+            b2.fill(entry);
+        }
+    }
+
+    /// Signals a context-changing event (address-space switch, task
+    /// dispatch): proactively searches the BTB2 to prime the BTB1 for
+    /// the new context (§III).
+    pub fn context_switch(&mut self, new_context: InstrAddr) {
+        self.stats.context_changes += 1;
+        if let Some(b2) = &mut self.btb2 {
+            let staged = b2.search(new_context, crate::btb2::SearchReason::ContextChange);
+            self.emit(BplEvent::Btb2Search {
+                addr: new_context,
+                reason: crate::btb2::SearchReason::ContextChange,
+                staged,
+            });
+            self.drain_staging();
+        }
+        self.emit(BplEvent::ContextChange { addr: new_context });
+    }
+
+    /// Builds a [`BtbEntry`] matching this predictor's geometry.
+    pub fn make_entry(&self, rec: &BranchRecord) -> BtbEntry {
+        BtbEntry::install(
+            rec.addr,
+            rec.mnemonic,
+            rec.target,
+            rec.taken,
+            self.cfg.btb1.search_bytes,
+            self.cfg.btb1.tag_bits,
+        )
+    }
+
+    // ----- internal mechanics -------------------------------------------------
+
+    /// Moves staged BTB2 hits toward the level-1 structures: into the
+    /// BTBP on pre-z15 configurations, or through the BTB1
+    /// read-before-write port on z15.
+    fn drain_staging(&mut self) {
+        let Some(b2) = &mut self.btb2 else { return };
+        let mut staged = Vec::new();
+        while let Some(e) = b2.pop_staged() {
+            staged.push(e);
+        }
+        for e in staged {
+            if let Some(p) = &mut self.btbp {
+                p.fill(e);
+            } else {
+                self.install_btb1(e, true);
+            }
+        }
+    }
+
+    /// Installs an entry into the BTB1, routing any victim per the
+    /// inclusion policy. `from_btb2` marks promotions for statistics.
+    fn install_btb1(&mut self, entry: BtbEntry, from_btb2: bool) {
+        let outcome = self.btb1.install(entry);
+        match outcome {
+            InstallOutcome::Duplicate => {
+                self.emit(BplEvent::Btb1Install { entry, victim: None, duplicate: true });
+            }
+            InstallOutcome::Installed { victim } => {
+                if from_btb2 {
+                    self.stats.btb2_promotions += 1;
+                    // Semi-exclusive: the promoted entry leaves the BTB2.
+                    if let Some(b2) = &mut self.btb2 {
+                        if b2.inclusion() == InclusionPolicy::SemiExclusive {
+                            b2.invalidate(&entry);
+                        }
+                    }
+                } else if let Some(b2) = &mut self.btb2 {
+                    // Semi-inclusive: the BTB2 is an approximate
+                    // superset of the BTB1, so fresh installs are
+                    // written through; the periodic refresh then keeps
+                    // the copy's learned state current (§III).
+                    if b2.inclusion() == InclusionPolicy::SemiInclusive {
+                        b2.fill(entry);
+                    }
+                }
+                if let Some(v) = victim {
+                    self.stats.btb1_victims += 1;
+                    self.route_victim(v);
+                }
+                self.emit(BplEvent::Btb1Install { entry, victim, duplicate: false });
+            }
+        }
+    }
+
+    /// Routes a BTB1 victim: to the BTBP victim buffer (whose own
+    /// age-outs flow to the BTB2) on semi-exclusive designs; dropped on
+    /// z15 (the semi-inclusive BTB2 is assumed to hold it, kept fresh by
+    /// the periodic refresh).
+    fn route_victim(&mut self, victim: BtbEntry) {
+        if let Some(p) = &mut self.btbp {
+            if let Some(aged_out) = p.fill(victim) {
+                if let Some(b2) = &mut self.btb2 {
+                    b2.fill(aged_out);
+                }
+            }
+        }
+    }
+
+    /// Handles the stream bookkeeping when a predicted-taken branch ends
+    /// thread `t`'s current stream and redirects to `target`.
+    fn end_stream(
+        &mut self,
+        t: usize,
+        taken_branch: InstrAddr,
+        way: usize,
+        target: InstrAddr,
+        skoot_lines: u64,
+    ) {
+        let line = self.cfg.btb1.search_bytes;
+        let searches = (taken_branch.raw() / line)
+            .saturating_sub(self.threads[t].stream_start.raw() / line)
+            + 1;
+        if let Some(cp) = &mut self.cpred {
+            let redirect = if cp.with_skoot() && skoot_lines > 0 {
+                target.advance_lines64(skoot_lines)
+            } else {
+                target
+            };
+            cp.train_exit(
+                self.threads[t].stream_start,
+                searches.min(255) as u8,
+                way.min(255) as u8,
+                redirect,
+            );
+            // The previous stream's entry learns this stream's needs.
+            if let Some(prev) = self.threads[t].prev_stream_start {
+                cp.train_power(prev, self.threads[t].stream_needs);
+            }
+        }
+        if skoot_lines > 0 {
+            self.stats.skoot_lines_skipped += skoot_lines;
+        }
+        self.threads[t].prev_stream_start = Some(self.threads[t].stream_start);
+        self.enter_stream(t, target);
+    }
+
+    /// Enters a new stream at `start` on thread `t`: applies the power
+    /// mask predicted by the previous stream's CPRED lookup, then looks
+    /// up this stream's own entry.
+    fn enter_stream(&mut self, t: usize, start: InstrAddr) {
+        self.threads[t].stream_start = start;
+        self.threads[t].stream_needs = PowerMask::ALL_OFF;
+        self.threads[t].stream_power =
+            self.threads[t].next_stream_power.take().unwrap_or(PowerMask::ALL_ON);
+        if self.threads[t].stream_power.gated_count() > 0 {
+            self.stats.gated_streams += 1;
+        }
+        if let Some(cp) = &mut self.cpred {
+            self.threads[t].next_stream_power = cp.lookup(start).map(|p| p.power);
+        }
+    }
+
+    /// Figure-8 direction selection for a BTB1 hit on thread `t`.
+    fn decide_direction(
+        &mut self,
+        t: usize,
+        addr: InstrAddr,
+        way: usize,
+        entry: &BtbEntry,
+    ) -> DirectionDecision {
+        // The deepest fallback: BHT, possibly overridden by the SBHT.
+        let raw_bht = entry.bht.direction();
+        let sbht_override = self.sbht.lookup(sbht_key(t, addr));
+        let bht_dir = sbht_override.unwrap_or(raw_bht);
+        let bht_provider =
+            if sbht_override.is_some() { DirectionProvider::Sbht } else { DirectionProvider::Bht };
+
+        // The counter snapshot the completion write-back will train:
+        // hardware carries this through the GPQ instead of re-reading
+        // the array at completion.
+        let bht_snapshot = entry.bht;
+
+        if entry.is_unconditional() {
+            return DirectionDecision {
+                dir: Direction::Taken,
+                provider: DirectionProvider::Unconditional,
+                alt_dir: Direction::Taken,
+                perceptron_dir: None,
+                perceptron_slot: None,
+                pht_lookup: PhtLookup::default(),
+                pht_provider: None,
+                bht_dir: raw_bht,
+                bht_snapshot,
+            };
+        }
+
+        if !entry.bidirectional {
+            // Aux predictors are not consulted for single-direction
+            // branches (figure 8's "can use aux?" test). A weak counter
+            // providing the prediction is speculatively strengthened
+            // ("when assumed they are correct, will update the
+            // corresponding predictor state to strong", §IV) with an
+            // SBHT entry tracking the assumption.
+            if entry.bht.is_weak() && self.sbht.is_enabled() {
+                self.sbht.install(sbht_key(t, addr), bht_dir, self.seq);
+                self.btb1.update(addr, |e| e.bht.strengthen(bht_dir));
+            }
+            return DirectionDecision {
+                dir: bht_dir,
+                provider: bht_provider,
+                alt_dir: raw_bht,
+                perceptron_dir: None,
+                perceptron_slot: None,
+                pht_lookup: PhtLookup::default(),
+                pht_provider: None,
+                bht_dir: raw_bht,
+                bht_snapshot,
+            };
+        }
+
+        // Power gating: the CPRED may have predicted this stream needs
+        // no PHT/perceptron.
+        let pht_powered = self.threads[t].stream_power.pht;
+        let perc_powered = self.threads[t].stream_power.perceptron;
+        if !pht_powered || !perc_powered {
+            self.stats.power_gated_fallbacks += 1;
+        }
+
+        // Perceptron consult (tracked even when not provider).
+        let perc_hit = if perc_powered {
+            let gpv = &self.threads[t].spec_gpv;
+            self.perceptron.as_mut().and_then(|p| p.lookup(addr, gpv))
+        } else {
+            None
+        };
+
+        // PHT consult.
+        let pht_lookup = if pht_powered {
+            self.pht.lookup(addr, way, &self.threads[t].spec_gpv)
+        } else {
+            PhtLookup::default()
+        };
+
+        // SPHT overrides shadow PHT slots.
+        let spht_of = |hit: &crate::tage::PhtHit| spht_key(t, hit.table, hit.way, hit.row);
+        let spht_long = pht_lookup.long.and_then(|h| self.spht.lookup(spht_of(&h)));
+        let spht_short = pht_lookup.short.and_then(|h| self.spht.lookup(spht_of(&h)));
+        let spht_dir = spht_long.or(spht_short);
+
+        let pht_choice = self.pht.choose(&pht_lookup);
+
+        // Assemble the priority chain (figure 8): perceptron (if useful)
+        // → SPHT → TAGE choice → BHT/SBHT.
+        let pht_level: Option<(Direction, DirectionProvider, Option<crate::tage::PhtHit>)> =
+            if let Some(d) = spht_dir {
+                Some((d, DirectionProvider::Spht, pht_choice.map(|c| c.provider)))
+            } else {
+                pht_choice.map(|c| {
+                    let prov = match c.provider.table {
+                        TageTable::Short => DirectionProvider::TageShort,
+                        TageTable::Long => DirectionProvider::TageLong,
+                    };
+                    (c.provider.dir, prov, Some(c.provider))
+                })
+            };
+
+        let (dir, provider, alt_dir, pht_provider) = match (perc_hit, &pht_level) {
+            (Some(ph), _) if ph.useful => {
+                let alt = pht_level.as_ref().map(|(d, _, _)| *d).unwrap_or(bht_dir);
+                (ph.dir, DirectionProvider::Perceptron, alt, pht_level.and_then(|(_, _, h)| h))
+            }
+            (_, Some((d, prov, hit))) => {
+                // Alternate for a long provider is the short table if it
+                // hit, else the BHT; for short (or SPHT) it is the BHT.
+                let alt = match prov {
+                    DirectionProvider::TageLong => {
+                        pht_lookup.short.map(|s| s.dir).unwrap_or(bht_dir)
+                    }
+                    _ => bht_dir,
+                };
+                (*d, *prov, alt, *hit)
+            }
+            _ => (bht_dir, bht_provider, raw_bht, None),
+        };
+
+        // Speculative-override installs for weak providers (§IV): the
+        // assumed-correct direction is written to strong in the array
+        // immediately, so younger in-flight reads see the strengthened
+        // state; the override entry tracks the assumption until the
+        // installing branch completes or flushes.
+        match provider {
+            DirectionProvider::Bht if entry.bht.is_weak() && self.sbht.is_enabled() => {
+                self.sbht.install(sbht_key(t, addr), dir, self.seq);
+                self.btb1.update(addr, |e| e.bht.strengthen(dir));
+            }
+            DirectionProvider::TageShort | DirectionProvider::TageLong => {
+                if let Some(h) = pht_provider {
+                    if h.weak && self.spht.is_enabled() {
+                        self.spht.install(spht_key(t, h.table, h.way, h.row), dir, self.seq);
+                        self.pht.strengthen(&h, dir);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        DirectionDecision {
+            dir,
+            provider,
+            alt_dir,
+            perceptron_dir: perc_hit.map(|h| h.dir),
+            perceptron_slot: perc_hit.map(|h| (h.row, h.way)),
+            pht_lookup,
+            pht_provider,
+            bht_dir: raw_bht,
+            bht_snapshot,
+        }
+    }
+
+    /// Figure-9 target selection for a predicted-taken BTB1 hit on
+    /// thread `t`.
+    fn decide_target(&mut self, t: usize, addr: InstrAddr, entry: &BtbEntry) -> TargetDecision {
+        if entry.multi_target {
+            // CRS first, for marked returns that are not blacklisted.
+            if let (Some(offset), Some(crs)) = (entry.return_offset, self.crs.as_mut()) {
+                if !entry.crs_blacklisted {
+                    if let Some(tgt) = crs.provide(t, offset) {
+                        return TargetDecision { target: tgt, provider: TargetProvider::Crs };
+                    }
+                }
+            }
+            // CTB next, when powered.
+            if self.threads[t].stream_power.ctb {
+                if let Some(ctb) = &mut self.ctb {
+                    if let Some(tgt) = ctb.lookup(addr, &self.threads[t].spec_gpv) {
+                        return TargetDecision { target: tgt, provider: TargetProvider::Ctb };
+                    }
+                }
+            } else {
+                self.stats.power_gated_fallbacks += 1;
+            }
+        }
+        TargetDecision { target: entry.target, provider: TargetProvider::Btb }
+    }
+}
+
+/// Encodes a per-thread SBHT key (bit 63 is never a code address bit in
+/// the synthetic model's address space).
+fn sbht_key(t: usize, addr: InstrAddr) -> u64 {
+    addr.raw() ^ ((t as u64) << 63)
+}
+
+/// Encodes a PHT slot (plus the observing thread) as a
+/// speculative-override key.
+fn spht_key(t: usize, table: TageTable, way: usize, row: usize) -> u64 {
+    let tb = match table {
+        TageTable::Short => 0u64,
+        TageTable::Long => 1,
+    };
+    ((t as u64) << 61) | (tb << 62) | ((way as u64) << 48) | row as u64
+}
+
+impl FullPredictor for ZPredictor {
+    fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
+        self.predict_on(zbp_model::ThreadId::ZERO, addr, class)
+    }
+
+    fn predict_on(
+        &mut self,
+        thread: zbp_model::ThreadId,
+        addr: InstrAddr,
+        class: BranchClass,
+    ) -> Prediction {
+        let t = usize::from(thread.0.min(1));
+        let seq = self.seq;
+        self.seq += 1;
+        if self.threads[t].stream_reset_pending {
+            self.threads[t].stream_reset_pending = false;
+            self.enter_stream(t, addr);
+        }
+        let gpv_bits = self.threads[t].spec_gpv.raw();
+
+        // BTB1 prediction port; BTBP promotion path on older designs.
+        let mut hit = self.btb1.lookup(addr);
+        if hit.is_none() {
+            if let Some(p) = &mut self.btbp {
+                if let Some(promoted) = p.take_hit(addr) {
+                    self.install_btb1(promoted, true);
+                    hit = self.btb1.lookup(addr);
+                }
+            }
+        }
+        self.emit(BplEvent::Btb1Search { addr, hit: hit.is_some() });
+        let btb1_hit = hit.is_some();
+
+        let prediction = match hit {
+            None => {
+                // Surprise branch: opcode-based static guess.
+                let guess = static_guess(class);
+                let dd = DirectionDecision::surprise(guess);
+                if guess.is_taken() {
+                    self.threads[t].spec_gpv.push_taken(addr);
+                    // The pipeline redirects somewhere the functional
+                    // model may not know; re-anchor the stream at the
+                    // next prediction.
+                    self.threads[t].stream_reset_pending = true;
+                }
+                self.threads[t].gpq.push_back(Inflight {
+                    seq,
+                    addr,
+                    gpv_bits,
+                    dynamic: false,
+                    way: 0,
+                    dir: dd,
+                    tgt: None,
+                });
+                let p = Prediction::surprise(class, None);
+                self.emit(BplEvent::Predict {
+                    addr,
+                    dynamic: false,
+                    direction: p.direction,
+                    target: p.target,
+                    dir_provider: DirectionProvider::StaticGuess,
+                    tgt_provider: None,
+                });
+                p
+            }
+            Some((way, entry)) => {
+                self.threads[t].stream_needs.note_branch(entry.bidirectional, entry.multi_target);
+                let dd = self.decide_direction(t, addr, way, &entry);
+                let (tgt, p) = if dd.dir.is_taken() {
+                    let td = self.decide_target(t, addr, &entry);
+                    // Prediction-side CRS push after the prediction.
+                    if let Some(crs) = &mut self.crs {
+                        crs.note_predicted_taken(t, addr, td.target, entry.fall_through());
+                    }
+                    (Some(td), Prediction::taken(td.target))
+                } else {
+                    (None, Prediction::not_taken())
+                };
+                if dd.dir.is_taken() {
+                    self.threads[t].spec_gpv.push_taken(addr);
+                    let skoot_lines = if self.cfg.skoot { entry.skoot.skip_lines() } else { 0 };
+                    let target = tgt.expect("taken has target").target;
+                    self.end_stream(t, addr, way, target, skoot_lines);
+                }
+                self.threads[t].gpq.push_back(Inflight {
+                    seq,
+                    addr,
+                    gpv_bits,
+                    dynamic: true,
+                    way,
+                    dir: dd,
+                    tgt,
+                });
+                self.emit(BplEvent::Predict {
+                    addr,
+                    dynamic: true,
+                    direction: dd.dir,
+                    target: p.target,
+                    dir_provider: dd.provider,
+                    tgt_provider: tgt.map(|t| t.provider),
+                });
+                p
+            }
+        };
+
+        // BTB2 trigger logic rides on search outcomes. The transfer
+        // engine runs *after* the prediction is published: a staged
+        // BTB2-to-BTB1 write takes several cycles in hardware, so it can
+        // never rescue the very search that tripped the trigger —
+        // keeping the install after the `Predict` event preserves that
+        // ordering for the verification monitors.
+        let mut fire = None;
+        let mut refresh_due = false;
+        if let Some(b2) = &mut self.btb2 {
+            fire = b2.note_btb1_search(btb1_hit);
+            refresh_due = b2.take_refresh_due();
+        }
+        if refresh_due {
+            if let Some(lru) = self.btb1.lru_entry_of_line(addr) {
+                if let Some(b2) = &mut self.btb2 {
+                    b2.refresh(lru);
+                }
+                self.emit(BplEvent::Btb2Refresh { entry: lru });
+            }
+        }
+        if let Some(reason) = fire {
+            let staged = self.btb2.as_mut().map(|b2| b2.search(addr, reason)).unwrap_or(0);
+            self.emit(BplEvent::Btb2Search { addr, reason, staged });
+            self.drain_staging();
+        }
+
+        prediction
+    }
+
+    fn complete(&mut self, rec: &BranchRecord, pred: &Prediction) {
+        self.complete_on(zbp_model::ThreadId::ZERO, rec, pred)
+    }
+
+    fn complete_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord, pred: &Prediction) {
+        let t = usize::from(thread.0.min(1));
+        // Pop the matching GPQ entry (retire order, per thread).
+        let info = loop {
+            match self.threads[t].gpq.pop_front() {
+                Some(i) if i.addr == rec.addr => break Some(i),
+                Some(_) => {
+                    // Resynchronization path (should not happen under the
+                    // standard harness); drop stale entries.
+                    debug_assert!(false, "GPQ out of sync at {}", rec.addr);
+                }
+                None => break None,
+            }
+        };
+        let resolved = rec.direction();
+        let mispredicted = MispredictKind::classify(pred, rec).is_some();
+        self.emit(BplEvent::Complete {
+            addr: rec.addr,
+            resolved,
+            target: rec.target,
+            mispredicted,
+        });
+
+        // Architected history.
+        if rec.taken {
+            self.threads[t].arch_gpv.push_taken(rec.addr);
+        }
+
+        let Some(info) = info else { return };
+        let gpv_at_predict = Gpv::from_raw(info.gpv_bits, self.cfg.gpv_depth);
+
+        // Release speculative overrides installed by this prediction.
+        self.sbht.retire(info.seq);
+        self.spht.retire(info.seq);
+
+        // Attribution.
+        self.stats.record_direction(info.dir.provider, info.dir.dir == resolved);
+        if info.dynamic {
+            if let Some(t) = info.tgt {
+                if rec.taken && info.dir.dir.is_taken() {
+                    self.stats.record_target(t.provider, t.target == rec.target);
+                }
+            }
+        }
+
+        if info.dynamic {
+            self.complete_dynamic(rec, &info, &gpv_at_predict, resolved);
+        } else {
+            self.complete_surprise(rec);
+        }
+
+        // CRS detection/amnesty applies to every completed taken branch,
+        // after any surprise install so the metadata update can land.
+        self.complete_crs(t, rec, &info);
+
+        // Publish the entry's post-update state through the write port
+        // (the white-box monitors' reference image follows these).
+        if let Some((_, e)) = self.btb1.probe(rec.addr) {
+            let entry = *e;
+            self.emit(BplEvent::Btb1Update { entry });
+        }
+
+        // SKOOT distance learning: this branch is the first predictable
+        // branch along the previous taken branch's target stream.
+        if self.cfg.skoot {
+            if let Some((prev_branch, prev_target)) = self.threads[t].last_completed_taken.take() {
+                if rec.addr.raw() >= prev_target.raw() {
+                    let lines = rec.addr.line64_number() - prev_target.line64_number();
+                    if self.btb1.update(prev_branch, |e| e.skoot.learn(lines)) {
+                        self.stats.skoot_learns += 1;
+                    }
+                }
+            }
+        }
+        if rec.taken {
+            self.threads[t].last_completed_taken = Some((rec.addr, rec.target));
+        }
+    }
+
+    fn flush(&mut self, rec: &BranchRecord) {
+        self.flush_on(zbp_model::ThreadId::ZERO, rec)
+    }
+
+    fn flush_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord) {
+        let t = usize::from(thread.0.min(1));
+        let ctx = &mut self.threads[t];
+        let arch = ctx.arch_gpv;
+        ctx.spec_gpv.restore_from(&arch);
+        ctx.gpq.clear();
+        // The small speculative overrides resynchronize fully; entries
+        // belonging to the other thread are conservatively dropped too
+        // (they only accelerate weak-state convergence).
+        self.sbht.flush();
+        self.spht.flush();
+        if let Some(crs) = &mut self.crs {
+            crs.flush(t);
+        }
+        // The pipeline restarts at the corrected address; re-anchor the
+        // stream there.
+        self.threads[t].next_stream_power = None;
+        self.threads[t].prev_stream_start = None;
+        self.threads[t].stream_reset_pending = false;
+        self.enter_stream(t, rec.next_pc());
+        self.emit(BplEvent::Flush);
+    }
+
+    fn name(&self) -> String {
+        self.cfg.name.clone()
+    }
+}
+
+impl ZPredictor {
+    /// Completion-time training for a dynamically predicted branch.
+    fn complete_dynamic(
+        &mut self,
+        rec: &BranchRecord,
+        info: &Inflight,
+        gpv_at_predict: &Gpv,
+        resolved: Direction,
+    ) {
+        let dir_wrong = info.dir.dir != resolved;
+
+        // BHT training and bidirectional marking. The write-back trains
+        // the predict-time snapshot carried through the GPQ — not the
+        // live array value — matching the hardware's completion write
+        // pipeline (§IV).
+        let mut trained = info.dir.bht_snapshot;
+        trained.train(resolved);
+        self.btb1.update(rec.addr, |e| {
+            e.branch_addr = rec.addr; // heal tag-alias takeover
+            e.bht = trained;
+            if dir_wrong {
+                e.bidirectional = true;
+            }
+        });
+
+        // PHT training (provider counter + usefulness vs alternate).
+        self.pht.train(&info.dir.pht_lookup, info.dir.pht_provider, info.dir.alt_dir, resolved);
+
+        // PHT allocation after a wrong direction.
+        if dir_wrong {
+            let wrong_table = info.dir.pht_provider.filter(|h| h.dir != resolved).map(|h| h.table);
+            self.pht.allocate(rec.addr, info.way, gpv_at_predict, resolved, wrong_table);
+        }
+
+        // Perceptron training, usefulness and installation.
+        if let Some(perc) = &mut self.perceptron {
+            if let Some((row, way)) = info.dir.perceptron_slot {
+                perc.train(row, way, gpv_at_predict, resolved);
+                if let Some(pdir) = info.dir.perceptron_dir {
+                    let (perc_correct, other_correct) =
+                        if info.dir.provider == DirectionProvider::Perceptron {
+                            (pdir == resolved, info.dir.alt_dir == resolved)
+                        } else {
+                            (pdir == resolved, info.dir.dir == resolved)
+                        };
+                    perc.assess(row, way, perc_correct, other_correct);
+                }
+            } else if dir_wrong {
+                // A hard-to-predict branch the perceptron does not yet
+                // track: try to install it.
+                if perc.install(rec.addr) {
+                    self.emit(BplEvent::PerceptronInstall { addr: rec.addr });
+                }
+            }
+        }
+
+        // Target learning (§VI), only meaningful when the branch
+        // resolved taken and a target prediction was actually made.
+        if rec.taken {
+            if let Some(t) = info.tgt {
+                if t.target != rec.target {
+                    match t.provider {
+                        TargetProvider::Btb => {
+                            self.btb1.update(rec.addr, |e| {
+                                e.multi_target = true;
+                                e.target = rec.target;
+                            });
+                            if let Some(ctb) = &mut self.ctb {
+                                ctb.install(rec.addr, gpv_at_predict, rec.target);
+                                self.emit(BplEvent::CtbWrite {
+                                    addr: rec.addr,
+                                    target: rec.target,
+                                });
+                            }
+                        }
+                        TargetProvider::Ctb => {
+                            if let Some(ctb) = &mut self.ctb {
+                                ctb.retarget(rec.addr, gpv_at_predict, rec.target);
+                                self.emit(BplEvent::CtbWrite {
+                                    addr: rec.addr,
+                                    target: rec.target,
+                                });
+                            }
+                        }
+                        TargetProvider::Crs => {
+                            self.btb1.update(rec.addr, |e| e.crs_blacklisted = true);
+                            if let Some(crs) = &mut self.crs {
+                                crs.note_blacklist();
+                            }
+                            self.emit(BplEvent::CrsBlacklist { addr: rec.addr });
+                        }
+                    }
+                }
+            } else if !info.dir.dir.is_taken() {
+                // Predicted not-taken but resolved taken: refresh a
+                // stale BTB1 target so the next taken prediction is
+                // usable.
+                self.btb1.update(rec.addr, |e| e.target = rec.target);
+            }
+        }
+
+        if let Some(b2) = &mut self.btb2 {
+            b2.note_quiet_completion();
+        }
+    }
+
+    /// CRS completion machinery, run for *every* completed resolved-taken
+    /// branch (dynamic or surprise, §VI): amnesty check first (it probes
+    /// the detect stack non-destructively), then detection (which may
+    /// consume the stack). The CRS is temporarily taken out of self so
+    /// BTB1 updates and event emission can proceed alongside it.
+    fn complete_crs(&mut self, t: usize, rec: &BranchRecord, info: &Inflight) {
+        let Some(mut crs) = self.crs.take() else { return };
+        if rec.taken {
+            let was_wrong_target = info.dynamic
+                && info.tgt.is_some_and(|td| info.dir.dir.is_taken() && td.target != rec.target);
+            if was_wrong_target {
+                let blacklisted =
+                    self.btb1.probe(rec.addr).map(|(_, e)| e.crs_blacklisted).unwrap_or(false);
+                if blacklisted {
+                    let still_pairs = crs.detect_stack_matches(t, rec.target);
+                    if crs.amnesty_due(still_pairs) {
+                        self.btb1.update(rec.addr, |e| e.crs_blacklisted = false);
+                        self.emit(BplEvent::CrsAmnesty { addr: rec.addr });
+                    }
+                }
+            }
+            if let Some(off) = crs.note_completed_taken(t, rec.addr, rec.target, rec.fall_through())
+            {
+                self.btb1.update(rec.addr, |e| e.return_offset = Some(off));
+                self.emit(BplEvent::CrsDetect { addr: rec.addr, offset: off });
+            }
+        }
+        self.crs = Some(crs);
+    }
+
+    /// Completion-time handling for a surprise branch: install policy
+    /// and the disruptive-burst BTB2 trigger.
+    fn complete_surprise(&mut self, rec: &BranchRecord) {
+        let guess = static_guess(rec.class());
+        let install = guess.is_taken() || rec.taken;
+        if install {
+            let entry = self.make_entry(rec);
+            self.install_btb1(entry, false);
+            self.stats.surprise_installs += 1;
+        } else {
+            self.stats.surprise_skipped += 1;
+        }
+        // A surprise that redirected the pipeline is "disruptive".
+        let mut fire = None;
+        if let Some(b2) = &mut self.btb2 {
+            if rec.taken {
+                fire = b2.note_disruptive_branch();
+            } else {
+                b2.note_quiet_completion();
+            }
+        }
+        if let Some(reason) = fire {
+            let staged = self.btb2.as_mut().map(|b2| b2.search(rec.next_pc(), reason)).unwrap_or(0);
+            self.emit(BplEvent::Btb2Search { addr: rec.next_pc(), reason, staged });
+            self.drain_staging();
+        }
+    }
+
+    /// Prediction-port line search for lookahead mode: returns the
+    /// *perceived* branch addresses the search raises (searched line +
+    /// each hit's stored halfword offset) — exactly what the IDU later
+    /// screens against decoded instruction text. Aliased entries raise
+    /// predictions at addresses holding no branch (§IV).
+    pub fn btb1_search_for_screening(&mut self, line: InstrAddr) -> Vec<InstrAddr> {
+        let lb = self.cfg.btb1.search_bytes;
+        let base = line.raw() & !(lb - 1);
+        self.btb1
+            .search_line_from(InstrAddr::new(base))
+            .into_iter()
+            .map(|(_, e)| InstrAddr::new(base + u64::from(e.offset_hw) * 2))
+            .collect()
+    }
+
+    /// Removes a bad branch prediction (IDU detected a prediction on a
+    /// non-branch or mid-instruction address, §IV).
+    pub fn remove_bad_prediction(&mut self, addr: InstrAddr) {
+        if self.btb1.remove(addr).is_some() {
+            self.stats.bad_removals += 1;
+            self.emit(BplEvent::Btb1Remove { addr });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenerationPreset;
+    use zbp_zarch::Mnemonic;
+
+    fn z15() -> ZPredictor {
+        ZPredictor::new(GenerationPreset::Z15.config())
+    }
+
+    fn rec(addr: u64, mn: Mnemonic, taken: bool, target: u64) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), mn, taken, InstrAddr::new(target))
+    }
+
+    /// Predict+complete one record through the predictor.
+    fn step(p: &mut ZPredictor, r: &BranchRecord) -> Prediction {
+        let pr = p.predict(r.addr, r.class());
+        p.complete(r, &pr);
+        if MispredictKind::classify(&pr, r).is_some() {
+            p.flush(r);
+        }
+        pr
+    }
+
+    #[test]
+    fn surprise_then_learned() {
+        let mut p = z15();
+        let r = rec(0x1000, Mnemonic::Brct, true, 0x0f00);
+        let first = step(&mut p, &r);
+        assert!(!first.dynamic);
+        assert_eq!(first.direction, Direction::Taken, "loop branches statically taken");
+        let second = step(&mut p, &r);
+        assert!(second.dynamic, "completion installed the branch");
+        assert_eq!(second.target, Some(r.target));
+        assert_eq!(p.stats.surprise_installs, 1);
+    }
+
+    #[test]
+    fn guessed_nt_resolved_nt_is_not_installed() {
+        let mut p = z15();
+        let r = rec(0x1000, Mnemonic::Brc, false, 0x2000);
+        step(&mut p, &r);
+        assert_eq!(p.stats.surprise_skipped, 1);
+        let again = p.predict(r.addr, r.class());
+        assert!(!again.dynamic, "still a surprise — never installed");
+        p.complete(&r, &again);
+    }
+
+    #[test]
+    fn bht_learns_dominant_direction() {
+        let mut p = z15();
+        let taken = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        // First: surprise (guessed NT, resolved T -> install).
+        step(&mut p, &taken);
+        // Now dynamic; BHT starts weak-taken, train to strong.
+        for _ in 0..3 {
+            let pr = step(&mut p, &taken);
+            assert!(pr.dynamic);
+            assert_eq!(pr.direction, Direction::Taken);
+        }
+        // One not-taken flips nothing in the BHT itself
+        // (strong-taken -> weak-taken): the dominant direction stays.
+        let nt = rec(0x1000, Mnemonic::Brc, false, 0x2000);
+        step(&mut p, &nt);
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).expect("present");
+        assert_eq!(e.bht.direction(), Direction::Taken, "dominant direction retained");
+        assert!(e.bht.is_weak(), "one reversal weakens the counter");
+    }
+
+    #[test]
+    fn wrong_direction_sets_bidirectional_and_allocates_pht() {
+        let mut p = z15();
+        let taken = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        let nt = rec(0x1000, Mnemonic::Brc, false, 0x2000);
+        step(&mut p, &taken); // install
+        step(&mut p, &taken); // strengthen
+        step(&mut p, &taken);
+        // Mispredict: resolved NT while predicting T.
+        step(&mut p, &nt);
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).expect("present");
+        assert!(e.bidirectional, "wrong direction marks the branch bidirectional");
+        assert!(p.pht().occupancy() >= 1, "TAGE allocation happened");
+    }
+
+    #[test]
+    fn wrong_target_sets_multi_target_and_installs_ctb() {
+        let mut p = z15();
+        let a = rec(0x1000, Mnemonic::Br, true, 0x8000);
+        let b = rec(0x1000, Mnemonic::Br, true, 0x9000);
+        step(&mut p, &a); // surprise install with target 0x8000
+        step(&mut p, &b); // dynamic, BTB target wrong
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).expect("present");
+        assert!(e.multi_target);
+        assert_eq!(e.target, InstrAddr::new(0x9000), "BTB1 target corrected");
+        assert_eq!(p.ctb().unwrap().occupancy(), 1, "CTB entry installed");
+    }
+
+    #[test]
+    fn gpq_depth_tracks_inflight() {
+        let mut p = z15();
+        let r = rec(0x1000, Mnemonic::Brc, false, 0x2000);
+        let pr1 = p.predict(r.addr, r.class());
+        let pr2 = p.predict(r.addr, r.class());
+        assert_eq!(p.inflight(), 2);
+        p.complete(&r, &pr1);
+        assert_eq!(p.inflight(), 1);
+        p.complete(&r, &pr2);
+        assert_eq!(p.inflight(), 0);
+    }
+
+    #[test]
+    fn flush_resynchronizes_speculative_history() {
+        let mut p = z15();
+        // Predict a few taken branches without completing: spec GPV
+        // advances, arch GPV does not.
+        let r1 = rec(0x1000, Mnemonic::J, true, 0x2000);
+        step(&mut p, &r1); // learn it
+        let pr = p.predict(r1.addr, r1.class());
+        assert!(pr.is_taken());
+        assert_ne!(p.gpv().raw(), 0);
+        let spec_before = p.gpv().raw();
+        p.complete(&r1, &pr);
+        p.flush(&r1);
+        // After the flush spec == arch: exactly the two completed
+        // taken pushes.
+        let _ = spec_before;
+        assert_eq!(p.gpv().raw(), {
+            let mut g = Gpv::new(17);
+            g.push_taken(InstrAddr::new(0x1000));
+            g.push_taken(InstrAddr::new(0x1000));
+            g.raw()
+        });
+    }
+
+    #[test]
+    fn btb2_backfills_after_successive_misses() {
+        let mut p = z15();
+        // Preload a branch into the BTB2 only. The dynamic record is a
+        // guessed-NT resolved-NT conditional so surprise completions do
+        // not install it themselves.
+        let r = rec(0x4_0010, Mnemonic::Brc, false, 0x5_0000);
+        let entry = p.make_entry(&r);
+        p.preload_btb2(entry);
+        assert!(p.btb1.probe(r.addr).is_none());
+        // Three no-hit searches trigger the BTB2; the staged entry lands
+        // in the BTB1 via the write port.
+        for _ in 0..3 {
+            let pr = p.predict(r.addr, r.class());
+            p.complete(&r, &pr);
+        }
+        assert!(p.btb1.probe(r.addr).is_some(), "BTB2 hit promoted into the BTB1");
+        assert!(p.stats.btb2_promotions >= 1);
+        let pr = p.predict(r.addr, r.class());
+        assert!(pr.dynamic);
+        p.complete(&r, &pr);
+    }
+
+    #[test]
+    fn context_switch_primes_btb1() {
+        let mut p = z15();
+        let r = rec(0x7_0010, Mnemonic::Brc, true, 0x8_0000);
+        p.preload_btb2(p.make_entry(&r));
+        p.context_switch(InstrAddr::new(0x7_0000));
+        assert!(p.btb1.probe(r.addr).is_some(), "proactive search primed the BTB1");
+        assert_eq!(p.stats.context_changes, 1);
+    }
+
+    #[test]
+    fn crs_predicts_return_after_detection() {
+        let mut p = z15();
+        // Call site A at 0x1000 -> function F at 0x9000; return R at
+        // 0x9004 -> A's NSIA (0x1002 for 2-byte BASR... use BRASL 6B).
+        let call = rec(0x1000, Mnemonic::Brasl, true, 0x9000);
+        let ret_to_a = rec(0x9004, Mnemonic::Br, true, 0x1006);
+        // Second call site B at 0x3000 -> F; return to B's NSIA.
+        let call_b = rec(0x3000, Mnemonic::Brasl, true, 0x9000);
+        let ret_to_b = rec(0x9004, Mnemonic::Br, true, 0x3006);
+
+        // Round 1: everything surprises; completion detects the
+        // call/return pair and marks R as a return.
+        step(&mut p, &call);
+        step(&mut p, &ret_to_a);
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x9004)).expect("return installed");
+        assert_eq!(e.return_offset, Some(0), "detected as a return with offset 0");
+
+        // Round 2 via B: R's BTB1 target (0x1006) is wrong for this
+        // path; the wrong-target resolution marks R multi-target.
+        step(&mut p, &call_b);
+        step(&mut p, &ret_to_b);
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x9004)).expect("present");
+        assert!(e.multi_target);
+
+        // Round 3: now the CRS provides — call from A, return predicted
+        // to A's NSIA even though BTB1 says B's.
+        step(&mut p, &call);
+        let pr = p.predict(ret_to_a.addr, ret_to_a.class());
+        assert_eq!(pr.target, Some(InstrAddr::new(0x1006)), "CRS supplied the NSIA");
+        p.complete(&ret_to_a, &pr);
+    }
+
+    #[test]
+    fn crs_blacklist_on_wrong_target() {
+        let mut p = z15();
+        // Build a branch marked return + multi-target, then make the
+        // CRS provide a wrong target.
+        let call = rec(0x1000, Mnemonic::Brasl, true, 0x9000);
+        let ret_a = rec(0x9004, Mnemonic::Br, true, 0x1006);
+        let call_b = rec(0x3000, Mnemonic::Brasl, true, 0x9000);
+        let ret_b = rec(0x9004, Mnemonic::Br, true, 0x3006);
+        step(&mut p, &call);
+        step(&mut p, &ret_a);
+        step(&mut p, &call_b);
+        step(&mut p, &ret_b);
+        // Call from A but "return" goes somewhere else entirely: CRS
+        // prediction (A's NSIA) resolves wrong.
+        step(&mut p, &call);
+        let weird = rec(0x9004, Mnemonic::Br, true, 0x7777_0000);
+        let pr = p.predict(weird.addr, weird.class());
+        if pr.target == Some(InstrAddr::new(0x1006)) {
+            // CRS provided and will be wrong.
+            p.complete(&weird, &pr);
+            p.flush(&weird);
+            let (_, e) = p.btb1.probe(InstrAddr::new(0x9004)).unwrap();
+            assert!(e.crs_blacklisted, "wrong CRS target blacklists the branch");
+        } else {
+            p.complete(&weird, &pr);
+        }
+    }
+
+    #[test]
+    fn skoot_learns_line_distance() {
+        let mut p = z15();
+        // Taken branch to 0x2000; next branch at 0x2100 (4 lines later).
+        let a = rec(0x1000, Mnemonic::J, true, 0x2000);
+        let b = rec(0x2100, Mnemonic::J, true, 0x1000);
+        step(&mut p, &a); // install a
+        step(&mut p, &b); // completes after a: learning target->next distance
+        step(&mut p, &a);
+        let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).unwrap();
+        assert!(e.skoot.is_known());
+        assert_eq!(e.skoot.skip_lines(), 4, "0x2000->0x2100 is 4 whole 64B lines");
+        assert!(p.stats.skoot_learns >= 1);
+    }
+
+    #[test]
+    fn unconditional_branches_bypass_direction_predictors() {
+        let mut p = z15();
+        let j = rec(0x1000, Mnemonic::J, true, 0x2000);
+        step(&mut p, &j);
+        step(&mut p, &j);
+        step(&mut p, &j);
+        let tally = p.stats.direction.get(&DirectionProvider::Unconditional).copied();
+        assert!(tally.is_some_and(|t| t.predictions >= 2));
+    }
+
+    #[test]
+    fn probe_receives_events() {
+        use crate::events::RecordingProbe;
+        let mut p = z15();
+        p.set_probe(Box::new(RecordingProbe::new()));
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r);
+        step(&mut p, &r);
+        let probe = p.take_probe().unwrap();
+        // Downcast via Any is unavailable on the trait; instead install
+        // a fresh recorder and assert on the raw count we can observe
+        // through stats. The event machinery is exercised further in
+        // zbp-verify.
+        drop(probe);
+        assert!(p.stats.surprise_installs >= 1);
+    }
+
+    #[test]
+    fn remove_bad_prediction_deletes_entry() {
+        let mut p = z15();
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r);
+        assert!(p.btb1.probe(r.addr).is_some());
+        p.remove_bad_prediction(r.addr);
+        assert!(p.btb1.probe(r.addr).is_none());
+        assert_eq!(p.stats.bad_removals, 1);
+        p.remove_bad_prediction(r.addr);
+        assert_eq!(p.stats.bad_removals, 1, "second removal is a no-op");
+    }
+
+    #[test]
+    fn z14_btbp_path_promotes_on_hit() {
+        let mut p = ZPredictor::new(GenerationPreset::Z14.config());
+        // Guessed-NT resolved-NT so surprise completions never install.
+        let r = rec(0x4_0010, Mnemonic::Brc, false, 0x5_0000);
+        p.preload_btb2(p.make_entry(&r));
+        // Trigger BTB2 search -> staged entries land in the BTBP.
+        for _ in 0..3 {
+            let pr = p.predict(r.addr, r.class());
+            p.complete(&r, &pr);
+        }
+        assert!(!p.btbp().unwrap().is_empty(), "staged into the BTBP, not the BTB1");
+        // Next search hits the BTBP and promotes.
+        let pr = p.predict(r.addr, r.class());
+        assert!(pr.dynamic, "BTBP hit predicted dynamically");
+        p.complete(&r, &pr);
+        assert!(p.btb1.probe(r.addr).is_some(), "promoted to BTB1");
+    }
+
+    #[test]
+    fn all_generations_run_a_mixed_sequence() {
+        for preset in GenerationPreset::ALL {
+            let mut p = ZPredictor::new(preset.config());
+            let branches = [
+                rec(0x1000, Mnemonic::Brct, true, 0x0f80),
+                rec(0x1100, Mnemonic::Brc, false, 0x3000),
+                rec(0x1200, Mnemonic::Brasl, true, 0x9000),
+                rec(0x9010, Mnemonic::Br, true, 0x1206),
+                rec(0x1300, Mnemonic::J, true, 0x1000),
+            ];
+            for _ in 0..50 {
+                for r in &branches {
+                    step(&mut p, r);
+                }
+            }
+            assert!(p.stats.direction_total() > 0, "{preset}: attribution ran");
+            assert_eq!(p.inflight(), 0, "{preset}: GPQ drained");
+        }
+    }
+
+    #[test]
+    fn loop_exit_pattern_learned_by_tage() {
+        // A 4-iteration loop: T,T,T,N repeating. The BHT alone
+        // mispredicts the exit every time; TAGE learns the pattern.
+        let mut p = z15();
+        let taken = rec(0x1000, Mnemonic::Brct, true, 0x0f80);
+        let exit = rec(0x1000, Mnemonic::Brct, false, 0x0f80);
+        // Outer unconditional branch gives the loop a path signature.
+        let outer = rec(0x2000, Mnemonic::J, true, 0x0f80);
+
+        let mut late_mispredicts = 0;
+        for round in 0..200 {
+            for _ in 0..3 {
+                let pr = step(&mut p, &taken);
+                if round > 150 && MispredictKind::classify(&pr, &taken).is_some() {
+                    late_mispredicts += 1;
+                }
+            }
+            let pr = step(&mut p, &exit);
+            if round > 150 && MispredictKind::classify(&pr, &exit).is_some() {
+                late_mispredicts += 1;
+            }
+            step(&mut p, &outer);
+        }
+        assert!(
+            late_mispredicts <= 10,
+            "pattern should be learned by the aux predictors, got {late_mispredicts} late mispredicts"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Aggregate predictor statistics: provider attribution, structure
+//! activity, power gating.
+
+use crate::direction::DirectionProvider;
+use crate::target::TargetProvider;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-provider prediction/correctness attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderTally {
+    /// Predictions this provider supplied.
+    pub predictions: u64,
+    /// Of those, how many resolved correct.
+    pub correct: u64,
+}
+
+impl ProviderTally {
+    /// Records one resolution.
+    pub fn record(&mut self, correct: bool) {
+        self.predictions += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Accuracy in `[0, 1]` (0 when unused).
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// The z15 predictor's self-accounting, beyond what the generic
+/// [`zbp_model::MispredictStats`] tracks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ZStats {
+    /// Direction attribution per provider (figure-8 distribution,
+    /// experiment E5).
+    pub direction: BTreeMap<DirectionProvider, ProviderTally>,
+    /// Target attribution per provider for resolved-taken dynamic
+    /// predictions (figure-9 distribution, experiment E6).
+    pub target: BTreeMap<TargetProvider, ProviderTally>,
+    /// Surprise-branch installs into the BTB1.
+    pub surprise_installs: u64,
+    /// Surprise branches skipped (guessed NT, resolved NT).
+    pub surprise_skipped: u64,
+    /// BTB1 victims cast out by installs.
+    pub btb1_victims: u64,
+    /// Entries promoted BTB2→BTB1 (via staging or BTBP).
+    pub btb2_promotions: u64,
+    /// Bad-prediction removals.
+    pub bad_removals: u64,
+    /// Predictions made while a needed auxiliary structure was powered
+    /// down by the CPRED mask (fell back to the BHT).
+    pub power_gated_fallbacks: u64,
+    /// Streams predicted with at least one structure gated off.
+    pub gated_streams: u64,
+    /// SKOOT learn events.
+    pub skoot_learns: u64,
+    /// Lines skipped thanks to SKOOT (accumulated skip distance).
+    pub skoot_lines_skipped: u64,
+    /// Context-change notifications received.
+    pub context_changes: u64,
+}
+
+impl ZStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a direction resolution for `provider`.
+    pub fn record_direction(&mut self, provider: DirectionProvider, correct: bool) {
+        self.direction.entry(provider).or_default().record(correct);
+    }
+
+    /// Records a target resolution for `provider`.
+    pub fn record_target(&mut self, provider: TargetProvider, correct: bool) {
+        self.target.entry(provider).or_default().record(correct);
+    }
+
+    /// Total direction predictions attributed.
+    pub fn direction_total(&self) -> u64 {
+        self.direction.values().map(|t| t.predictions).sum()
+    }
+
+    /// Fraction of attributed direction predictions supplied by
+    /// `provider`.
+    pub fn direction_share(&self, provider: DirectionProvider) -> f64 {
+        let total = self.direction_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.direction.get(&provider).map_or(0.0, |t| t.predictions as f64 / total as f64)
+        }
+    }
+}
+
+impl fmt::Display for ZStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "direction providers:")?;
+        for (p, t) in &self.direction {
+            writeln!(
+                f,
+                "  {:<12} {:>10} preds  {:>6.2}% acc",
+                p.to_string(),
+                t.predictions,
+                100.0 * t.accuracy()
+            )?;
+        }
+        writeln!(f, "target providers:")?;
+        for (p, t) in &self.target {
+            writeln!(
+                f,
+                "  {:<12} {:>10} preds  {:>6.2}% acc",
+                p.to_string(),
+                t.predictions,
+                100.0 * t.accuracy()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// BTreeMap keys need Ord; derive it for the provider enums here to keep
+// the enums' own modules focused.
+impl Ord for DirectionProvider {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for DirectionProvider {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TargetProvider {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for TargetProvider {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate() {
+        let mut s = ZStats::new();
+        s.record_direction(DirectionProvider::Bht, true);
+        s.record_direction(DirectionProvider::Bht, false);
+        s.record_direction(DirectionProvider::Perceptron, true);
+        assert_eq!(s.direction_total(), 3);
+        let bht = s.direction[&DirectionProvider::Bht];
+        assert_eq!(bht.predictions, 2);
+        assert_eq!(bht.correct, 1);
+        assert!((bht.accuracy() - 0.5).abs() < 1e-12);
+        assert!((s.direction_share(DirectionProvider::Bht) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.direction_share(DirectionProvider::Spht), 0.0);
+    }
+
+    #[test]
+    fn target_tallies() {
+        let mut s = ZStats::new();
+        s.record_target(TargetProvider::Crs, true);
+        s.record_target(TargetProvider::Btb, false);
+        assert_eq!(s.target[&TargetProvider::Crs].correct, 1);
+        assert_eq!(s.target[&TargetProvider::Btb].correct, 0);
+    }
+
+    #[test]
+    fn display_renders_tables() {
+        let mut s = ZStats::new();
+        s.record_direction(DirectionProvider::TageLong, true);
+        let out = s.to_string();
+        assert!(out.contains("TAGE-long"));
+        assert!(out.contains("100.00% acc"));
+    }
+
+    #[test]
+    fn empty_stats_are_calm() {
+        let s = ZStats::new();
+        assert_eq!(s.direction_total(), 0);
+        assert_eq!(s.direction_share(DirectionProvider::Bht), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Target-provider taxonomy (figure 9).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zbp_zarch::InstrAddr;
+
+/// Which structure provided the target address of a predicted-taken
+/// branch (figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetProvider {
+    /// The BTB1 target field — the default, single-target case.
+    Btb,
+    /// The changing-target buffer.
+    Ctb,
+    /// The call/return stack.
+    Crs,
+}
+
+impl TargetProvider {
+    /// All providers, in figure-9 priority order (CRS first for marked
+    /// returns, then CTB, then BTB1).
+    pub const ALL: [TargetProvider; 3] =
+        [TargetProvider::Crs, TargetProvider::Ctb, TargetProvider::Btb];
+}
+
+impl fmt::Display for TargetProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TargetProvider::Btb => "BTB1",
+            TargetProvider::Ctb => "CTB",
+            TargetProvider::Crs => "CRS",
+        })
+    }
+}
+
+/// The target decision for one predicted-taken branch, kept in the GPQ
+/// until completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetDecision {
+    /// The predicted target.
+    pub target: InstrAddr,
+    /// Who provided it.
+    pub provider: TargetProvider,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(TargetProvider::Btb.to_string(), "BTB1");
+        assert_eq!(TargetProvider::Ctb.to_string(), "CTB");
+        assert_eq!(TargetProvider::Crs.to_string(), "CRS");
+        assert_eq!(TargetProvider::ALL.len(), 3);
+    }
+}

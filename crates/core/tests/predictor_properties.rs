@@ -1,0 +1,172 @@
+//! Property-based tests of the full predictor's protocol invariants:
+//! for *any* branch stream, the predictor never panics, drains its GPQ,
+//! keeps its statistics consistent, and behaves deterministically.
+
+use proptest::prelude::*;
+use zbp_core::{GenerationPreset, ZPredictor};
+use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_zarch::{InstrAddr, Mnemonic};
+
+#[derive(Debug, Clone)]
+struct Step {
+    site: usize,
+    taken: bool,
+    alt_target: bool,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0usize..24, any::<bool>(), any::<bool>()).prop_map(|(site, taken, alt_target)| Step {
+            site,
+            taken,
+            alt_target,
+        }),
+        1..300,
+    )
+}
+
+/// A fixed pool of branch sites with varied classes.
+fn site_record(step: &Step) -> BranchRecord {
+    let mnems = [
+        Mnemonic::Brc,
+        Mnemonic::Brcl,
+        Mnemonic::Brct,
+        Mnemonic::J,
+        Mnemonic::Br,
+        Mnemonic::Brasl,
+        Mnemonic::Basr,
+        Mnemonic::Bc,
+    ];
+    let mn = mnems[step.site % mnems.len()];
+    let addr = InstrAddr::new(0x1_0000 + (step.site as u64) * 0x96);
+    // Unconditional classes always resolve taken.
+    let taken = step.taken || !mn.class().is_conditional();
+    let target = InstrAddr::new(
+        if step.alt_target { 0x8_0000 } else { 0x4_0000 } + (step.site as u64) * 0x40,
+    );
+    BranchRecord::new(addr, mn, taken, target)
+}
+
+fn drive(p: &mut ZPredictor, recs: &[BranchRecord]) -> Vec<Prediction> {
+    let mut preds = Vec::new();
+    for rec in recs {
+        let pr = p.predict(rec.addr, rec.class());
+        p.complete(rec, &pr);
+        if MispredictKind::classify(&pr, rec).is_some() {
+            p.flush(rec);
+        }
+        preds.push(pr);
+    }
+    preds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gpq_always_drains(steps in steps()) {
+        for preset in GenerationPreset::ALL {
+            let mut p = ZPredictor::new(preset.config());
+            let recs: Vec<_> = steps.iter().map(site_record).collect();
+            drive(&mut p, &recs);
+            prop_assert_eq!(p.inflight(), 0, "{}", preset);
+        }
+    }
+
+    #[test]
+    fn attribution_covers_every_branch(steps in steps()) {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let recs: Vec<_> = steps.iter().map(site_record).collect();
+        drive(&mut p, &recs);
+        prop_assert_eq!(p.stats.direction_total(), recs.len() as u64);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs(steps in steps()) {
+        let recs: Vec<_> = steps.iter().map(site_record).collect();
+        let mut p1 = ZPredictor::new(GenerationPreset::Z15.config());
+        let mut p2 = ZPredictor::new(GenerationPreset::Z15.config());
+        let a = drive(&mut p1, &recs);
+        let b = drive(&mut p2, &recs);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(p1.btb1().occupancy(), p2.btb1().occupancy());
+    }
+
+    #[test]
+    fn dynamic_taken_predictions_always_carry_targets(steps in steps()) {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        for step in &steps {
+            let rec = site_record(step);
+            let pr = p.predict(rec.addr, rec.class());
+            if pr.dynamic && pr.is_taken() {
+                prop_assert!(pr.target.is_some(), "BTB-backed taken predictions have targets");
+            }
+            p.complete(&rec, &pr);
+            if MispredictKind::classify(&pr, &rec).is_some() {
+                p.flush(&rec);
+            }
+        }
+    }
+
+    #[test]
+    fn surprise_predictions_match_static_guess(steps in steps()) {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        for step in &steps {
+            let rec = site_record(step);
+            let pr = p.predict(rec.addr, rec.class());
+            if !pr.dynamic {
+                prop_assert_eq!(pr.direction, zbp_zarch::static_guess(rec.class()));
+            }
+            p.complete(&rec, &pr);
+            if MispredictKind::classify(&pr, &rec).is_some() {
+                p.flush(&rec);
+            }
+        }
+    }
+
+    #[test]
+    fn never_taken_conditionals_are_never_installed(n in 1usize..100) {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let rec = BranchRecord::new(
+            InstrAddr::new(0x5_0000),
+            Mnemonic::Brc,
+            false,
+            InstrAddr::new(0x6_0000),
+        );
+        for _ in 0..n {
+            let pr = p.predict(rec.addr, rec.class());
+            prop_assert!(!pr.dynamic, "guessed-NT resolved-NT branches stay out of the BTB");
+            p.complete(&rec, &pr);
+        }
+        prop_assert_eq!(p.btb1().occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancies_stay_bounded(steps in steps()) {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let recs: Vec<_> = steps.iter().map(site_record).collect();
+        drive(&mut p, &recs);
+        let cfg = p.config();
+        prop_assert!(p.btb1().occupancy() <= cfg.btb1.capacity());
+        if let (Some(b2), Some(b2cfg)) = (p.btb2(), cfg.btb2.as_ref()) {
+            prop_assert!(b2.occupancy() <= b2cfg.capacity());
+        }
+        if let Some(perc) = p.perceptron() {
+            prop_assert!(perc.occupancy() <= 32);
+        }
+    }
+
+    #[test]
+    fn flush_mid_stream_preserves_protocol(steps in steps()) {
+        // Flush after every prediction (pathological but legal): the
+        // predictor must keep draining and never panic.
+        let mut p = ZPredictor::new(GenerationPreset::Z13.config());
+        for step in &steps {
+            let rec = site_record(step);
+            let pr = p.predict(rec.addr, rec.class());
+            p.complete(&rec, &pr);
+            p.flush(&rec);
+            prop_assert_eq!(p.inflight(), 0);
+        }
+    }
+}

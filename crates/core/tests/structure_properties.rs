@@ -1,0 +1,186 @@
+//! Property-based tests over the predictor's hardware structures.
+
+use proptest::prelude::*;
+use zbp_core::btb::{BtbEntry, Skoot};
+use zbp_core::btb1::{Btb1, InstallOutcome};
+use zbp_core::config::{z15_config, Btb1Config};
+use zbp_core::gpv::Gpv;
+use zbp_core::util::{LruRow, SatCounter, TwoBit};
+use zbp_zarch::{Direction, InstrAddr, Mnemonic};
+
+fn halfword() -> impl Strategy<Value = u64> {
+    (0u64..0x10_0000u64).prop_map(|x| 0x1000 + x * 2)
+}
+
+fn mnemonic() -> impl Strategy<Value = Mnemonic> {
+    prop::sample::select(Mnemonic::ALL.to_vec())
+}
+
+fn entry_for(cfg: &Btb1Config, addr: u64, mn: Mnemonic, target: u64) -> BtbEntry {
+    BtbEntry::install(
+        InstrAddr::new(addr),
+        mn,
+        InstrAddr::new(target),
+        true,
+        cfg.search_bytes,
+        cfg.tag_bits,
+    )
+}
+
+proptest! {
+    #[test]
+    fn btb1_install_then_probe_finds_it(addr in halfword(), mn in mnemonic(), tgt in halfword()) {
+        let cfg = z15_config().btb1;
+        let mut b = Btb1::new(&cfg);
+        b.install(entry_for(&cfg, addr, mn, tgt));
+        let hit = b.probe(InstrAddr::new(addr));
+        prop_assert!(hit.is_some());
+        prop_assert_eq!(hit.expect("present").1.target, InstrAddr::new(tgt));
+    }
+
+    #[test]
+    fn btb1_occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(halfword(), 1..400)
+    ) {
+        let mut cfg = z15_config().btb1;
+        cfg.rows = 16; // force eviction pressure
+        let mut b = Btb1::new(&cfg);
+        for a in &addrs {
+            b.install(entry_for(&cfg, *a, Mnemonic::Brc, a + 0x40));
+        }
+        prop_assert!(b.occupancy() <= cfg.rows * cfg.ways);
+    }
+
+    #[test]
+    fn btb1_duplicate_installs_never_grow_occupancy(
+        addr in halfword(),
+        n in 1usize..10
+    ) {
+        let cfg = z15_config().btb1;
+        let mut b = Btb1::new(&cfg);
+        for k in 0..n {
+            let out = b.install(entry_for(&cfg, addr, Mnemonic::Brc, 0x9000 + k as u64 * 2));
+            if k == 0 {
+                let installed = matches!(out, InstallOutcome::Installed { .. });
+                prop_assert!(installed);
+            } else {
+                prop_assert_eq!(out, InstallOutcome::Duplicate);
+            }
+        }
+        prop_assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn btb1_remove_undoes_install(addr in halfword()) {
+        let cfg = z15_config().btb1;
+        let mut b = Btb1::new(&cfg);
+        b.install(entry_for(&cfg, addr, Mnemonic::J, addr + 0x100));
+        prop_assert!(b.remove(InstrAddr::new(addr)).is_some());
+        prop_assert!(b.probe(InstrAddr::new(addr)).is_none());
+        prop_assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn btb1_search_results_are_sorted_and_tagged(
+        addrs in prop::collection::vec(0u64..32, 1..8)
+    ) {
+        // Several branches within one 64B line.
+        let cfg = z15_config().btb1;
+        let mut b = Btb1::new(&cfg);
+        for off in &addrs {
+            b.install(entry_for(&cfg, 0x4_0000 + off * 2, Mnemonic::Brc, 0x9000));
+        }
+        let hits = b.search_line_from(InstrAddr::new(0x4_0000));
+        // Sorted by offset.
+        prop_assert!(hits.windows(2).all(|w| w[0].1.offset_hw <= w[1].1.offset_hw));
+        // At most `ways` predictions per search.
+        prop_assert!(hits.len() <= cfg.ways);
+    }
+
+    #[test]
+    fn gpv_raw_roundtrip(bits in any::<u64>(), depth in 1usize..=32) {
+        let g = Gpv::from_raw(bits, depth);
+        let g2 = Gpv::from_raw(g.raw(), depth);
+        prop_assert_eq!(g.raw(), g2.raw());
+        if depth < 32 {
+            prop_assert!(g.raw() < (1u64 << (2 * depth)));
+        }
+    }
+
+    #[test]
+    fn gpv_recent_is_suffix_of_raw(pushes in prop::collection::vec(halfword(), 0..40), n in 0usize..=17) {
+        let mut g = Gpv::new(17);
+        for p in pushes {
+            g.push_taken(InstrAddr::new(p));
+        }
+        let r = g.recent(n);
+        if n < 32 {
+            let mask = if n == 0 { 0 } else { (1u64 << (2 * n)) - 1 };
+            prop_assert_eq!(r, g.raw() & mask);
+        }
+    }
+
+    #[test]
+    fn gpv_indices_in_range(
+        pushes in prop::collection::vec(halfword(), 0..40),
+        addr in halfword(),
+        hist in 1usize..=17
+    ) {
+        let mut g = Gpv::new(17);
+        for p in pushes {
+            g.push_taken(InstrAddr::new(p));
+        }
+        prop_assert!(g.fold_index(hist, InstrAddr::new(addr), 512) < 512);
+        prop_assert!(g.fold_tag(hist, InstrAddr::new(addr), 10) < 1024);
+    }
+
+    #[test]
+    fn skoot_never_increases_after_first_learn(
+        first in 0u64..200,
+        observations in prop::collection::vec(0u64..200, 0..20)
+    ) {
+        let mut s = Skoot::UNKNOWN;
+        s.learn(first);
+        let mut floor = s.skip_lines();
+        for o in observations {
+            s.learn(o);
+            prop_assert!(s.skip_lines() <= floor);
+            floor = s.skip_lines();
+        }
+    }
+
+    #[test]
+    fn two_bit_tracks_majority_of_constant_stream(taken in any::<bool>(), n in 2usize..10) {
+        let mut c = TwoBit::default();
+        let dir = Direction::from_taken(taken);
+        for _ in 0..n {
+            c.train(dir);
+        }
+        prop_assert_eq!(c.direction(), dir);
+        prop_assert!(!c.is_weak(), "saturated after >= 2 consistent outcomes");
+    }
+
+    #[test]
+    fn sat_counter_stays_in_bounds(ops in prop::collection::vec(any::<bool>(), 0..100), max in 1u32..16) {
+        let mut c = SatCounter::new(max);
+        for up in ops {
+            if up { c.inc() } else { c.dec() }
+            prop_assert!(c.get() <= max);
+        }
+    }
+
+    #[test]
+    fn lru_victim_is_always_valid_and_not_mru(
+        touches in prop::collection::vec(0usize..8, 1..50)
+    ) {
+        let mut l = LruRow::new(8);
+        let mut last = None;
+        for t in touches {
+            l.touch(t);
+            last = Some(t);
+        }
+        let v = l.lru();
+        prop_assert!(v < 8);
+        prop_assert_ne!(Some(v), last, "the most recently used way is never the victim");
+    }
+}

@@ -1,0 +1,161 @@
+//! Dynamic branch outcome records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
+
+/// A hardware thread identifier (the z15 core is SMT2, so 0 or 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Thread 0 — the only thread in single-thread mode.
+    pub const ZERO: ThreadId = ThreadId(0);
+    /// Thread 1 — the second SMT2 thread.
+    pub const ONE: ThreadId = ThreadId(1);
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One retired dynamic branch: where it was, what it was, and what it did.
+///
+/// Records also carry `gap_instrs`: the number of *non-branch*
+/// instructions retired since the previous branch (or trace start). This
+/// lets a trace of branches stand in for the full instruction stream —
+/// total instruction counts for MPKI, sequential-fetch extents for the
+/// timing model — without storing every instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Instruction address of the branch.
+    pub addr: InstrAddr,
+    /// The branch mnemonic (implies length and class).
+    pub mnemonic: Mnemonic,
+    /// Resolved direction: did the branch redirect control flow?
+    pub taken: bool,
+    /// Resolved target address. For a not-taken conditional branch this
+    /// is the target the branch *would* have redirected to (known for
+    /// relative branches from instruction text; synthesized by the
+    /// workload generator for indirect ones).
+    pub target: InstrAddr,
+    /// Which SMT thread retired this branch.
+    pub thread: ThreadId,
+    /// Non-branch instructions retired since the previous branch on this
+    /// thread.
+    pub gap_instrs: u32,
+}
+
+impl BranchRecord {
+    /// Creates a record on thread 0 with no preceding non-branch gap.
+    /// Convenient for unit tests; workload generators fill all fields.
+    pub fn new(addr: InstrAddr, mnemonic: Mnemonic, taken: bool, target: InstrAddr) -> Self {
+        BranchRecord { addr, mnemonic, taken, target, thread: ThreadId::ZERO, gap_instrs: 0 }
+    }
+
+    /// The branch class of this record's mnemonic.
+    pub fn class(&self) -> BranchClass {
+        self.mnemonic.class()
+    }
+
+    /// The resolved direction as a [`Direction`].
+    pub fn direction(&self) -> Direction {
+        Direction::from_taken(self.taken)
+    }
+
+    /// The address control flow actually continued at: the target if
+    /// taken, the fall-through otherwise.
+    pub fn next_pc(&self) -> InstrAddr {
+        if self.taken {
+            self.target
+        } else {
+            self.fall_through()
+        }
+    }
+
+    /// The next sequential instruction address (branch address plus
+    /// instruction length) — the NSIA the call/return heuristic matches.
+    pub fn fall_through(&self) -> InstrAddr {
+        self.addr.next_seq(self.mnemonic.length().bytes())
+    }
+
+    /// Returns a copy with the thread id replaced.
+    pub fn on_thread(mut self, thread: ThreadId) -> Self {
+        self.thread = thread;
+        self
+    }
+
+    /// Returns a copy with the non-branch gap replaced.
+    pub fn with_gap(mut self, gap_instrs: u32) -> Self {
+        self.gap_instrs = gap_instrs;
+        self
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} -> {}",
+            self.addr,
+            self.mnemonic,
+            if self.taken { "T" } else { "N" },
+            self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Brc, taken, InstrAddr::new(0x2000))
+    }
+
+    #[test]
+    fn next_pc_follows_direction() {
+        assert_eq!(rec(true).next_pc(), InstrAddr::new(0x2000));
+        assert_eq!(rec(false).next_pc(), InstrAddr::new(0x1004)); // BRC is 4 bytes
+    }
+
+    #[test]
+    fn fall_through_uses_mnemonic_length() {
+        let r =
+            BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Br, true, InstrAddr::new(0x9000));
+        assert_eq!(r.fall_through(), InstrAddr::new(0x1002)); // BR is 2 bytes
+        let r6 = BranchRecord::new(
+            InstrAddr::new(0x1000),
+            Mnemonic::Brasl,
+            true,
+            InstrAddr::new(0x9000),
+        );
+        assert_eq!(r6.fall_through(), InstrAddr::new(0x1006));
+    }
+
+    #[test]
+    fn class_and_direction_are_derived() {
+        let r = rec(true);
+        assert_eq!(r.class(), BranchClass::CondRelative);
+        assert_eq!(r.direction(), Direction::Taken);
+        assert_eq!(rec(false).direction(), Direction::NotTaken);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let r = rec(true).on_thread(ThreadId::ONE).with_gap(7);
+        assert_eq!(r.thread, ThreadId::ONE);
+        assert_eq!(r.gap_instrs, 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = rec(true).to_string();
+        assert!(s.contains("BRC"), "{s}");
+        assert!(s.contains(" T "), "{s}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # zbp-model — simulation substrate shared by predictors and harnesses
+//!
+//! This crate defines the contract between workloads and predictors:
+//!
+//! * [`BranchRecord`] — one dynamic (retired) branch outcome;
+//! * [`DynamicTrace`] — a stream of branch records plus enough metadata
+//!   to reconstruct the sequential instruction stream between branches;
+//! * [`Prediction`] and the [`FullPredictor`] / [`DirectionPredictor`]
+//!   traits — the predict-then-complete protocol every predictor model
+//!   (the z15 model in `zbp-core` and every baseline in `zbp-baselines`)
+//!   implements;
+//! * [`DelayedUpdateHarness`] — drives a predictor over a trace with a
+//!   configurable predict→complete gap, modeling the long in-flight
+//!   window the paper's §IV highlights (the motivation for the
+//!   speculative BHT/PHT);
+//! * [`MispredictStats`] and friends — MPKI and misprediction-breakdown
+//!   accounting.
+//!
+//! ## The predict/complete protocol
+//!
+//! For every dynamic branch, the harness calls
+//! [`FullPredictor::predict`] *before* revealing the outcome, then
+//! [`FullPredictor::complete`] with the resolved [`BranchRecord`] — in
+//! order, but possibly many branches later (the delayed-update harness).
+//! Predictors may update *speculative* state (path history, speculative
+//! counters) inside `predict`, and must do all non-speculative training
+//! inside `complete`, exactly as the z15 does its updates at instruction
+//! completion from the GPQ and GCT.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod harness;
+mod metrics;
+mod predictor;
+mod trace;
+
+pub use branch::{BranchRecord, ThreadId};
+pub use harness::{DelayedUpdateHarness, RunStats};
+pub use metrics::{Counter, MispredictStats, Ratio};
+pub use predictor::{
+    DirectionPredictor, FullPredictor, MispredictKind, Prediction, TargetPredictor,
+};
+pub use trace::{DynamicTrace, TraceSummary};

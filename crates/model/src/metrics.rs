@@ -1,0 +1,308 @@
+//! Misprediction accounting: MPKI, breakdowns, ratios.
+
+use crate::branch::BranchRecord;
+use crate::predictor::{MispredictKind, Prediction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple saturating event counter with a ratio helper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn bump(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// The raw count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// A numerator/denominator pair that formats as a percentage and never
+/// divides by zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    /// Number of events observed.
+    pub hits: u64,
+    /// Number of opportunities.
+    pub total: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio.
+    pub fn new(hits: u64, total: u64) -> Self {
+        Ratio { hits, total }
+    }
+
+    /// The fraction in `[0, 1]`; `0.0` when there were no opportunities.
+    pub fn fraction(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The fraction as a percentage.
+    pub fn percent(self) -> f64 {
+        100.0 * self.fraction()
+    }
+
+    /// The Wilson score interval for the underlying proportion at the
+    /// given z value (1.96 ≈ 95 % confidence) — used when comparing
+    /// accuracies measured over different run lengths.
+    pub fn wilson_ci(self, z: f64) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.total as f64;
+        let p = self.fraction();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.percent())
+    }
+}
+
+/// Aggregate misprediction statistics for one predictor run.
+///
+/// The central figure of merit is [`mpki`](Self::mpki) — mispredicted
+/// branches per thousand instructions, the metric the paper's conclusion
+/// reports improving 9.6% (z13→z14) and 25% (z14→z15) on LSPR workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MispredictStats {
+    /// Dynamic branches observed.
+    pub branches: Counter,
+    /// Instructions retired (branches plus non-branch gap instructions).
+    pub instructions: Counter,
+    /// Branches answered dynamically (BTB hit at prediction time).
+    pub dynamic_predictions: Counter,
+    /// Surprise branches (static guess only).
+    pub surprises: Counter,
+    /// Wrong-direction restarts from dynamic predictions.
+    pub dynamic_wrong_direction: Counter,
+    /// Wrong-target restarts from dynamic predictions.
+    pub dynamic_wrong_target: Counter,
+    /// Wrong-direction restarts from surprise static guesses.
+    pub surprise_wrong_direction: Counter,
+    /// Surprise branches guessed taken whose (indirect) target had to be
+    /// awaited from the execution units — a stall, not a restart.
+    pub surprise_indirect_stalls: Counter,
+    /// Taken branches observed (for taken-ratio reporting).
+    pub taken: Counter,
+}
+
+impl MispredictStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one predicted/resolved branch, classifying any
+    /// misprediction; returns the classification.
+    pub fn record(&mut self, pred: &Prediction, rec: &BranchRecord) -> Option<MispredictKind> {
+        self.branches.bump();
+        self.instructions.add(1 + u64::from(rec.gap_instrs));
+        if rec.taken {
+            self.taken.bump();
+        }
+        if pred.dynamic {
+            self.dynamic_predictions.bump();
+        } else {
+            self.surprises.bump();
+            if pred.is_taken() && pred.target.is_none() && rec.taken {
+                self.surprise_indirect_stalls.bump();
+            }
+        }
+        let kind = MispredictKind::classify(pred, rec);
+        match (pred.dynamic, kind) {
+            (true, Some(MispredictKind::Direction)) => self.dynamic_wrong_direction.bump(),
+            (true, Some(MispredictKind::Target)) => self.dynamic_wrong_target.bump(),
+            (false, Some(_)) => self.surprise_wrong_direction.bump(),
+            (_, None) => {}
+        }
+        kind
+    }
+
+    /// Adds non-branch instructions that retired outside any branch
+    /// record (e.g. a trailing straight-line tail).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions.add(n);
+    }
+
+    /// Total mispredictions (restart-causing events).
+    pub fn mispredictions(&self) -> u64 {
+        self.dynamic_wrong_direction.get()
+            + self.dynamic_wrong_target.get()
+            + self.surprise_wrong_direction.get()
+    }
+
+    /// Mispredicted branches per thousand instructions.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions.get() == 0 {
+            0.0
+        } else {
+            1000.0 * self.mispredictions() as f64 / self.instructions.get() as f64
+        }
+    }
+
+    /// Direction accuracy over all branches (dynamic and surprise).
+    pub fn direction_accuracy(&self) -> Ratio {
+        let wrong = self.dynamic_wrong_direction.get() + self.surprise_wrong_direction.get();
+        Ratio::new(self.branches.get() - wrong, self.branches.get())
+    }
+
+    /// Fraction of branches that were dynamically predicted (BTB
+    /// coverage).
+    pub fn coverage(&self) -> Ratio {
+        Ratio::new(self.dynamic_predictions.get(), self.branches.get())
+    }
+
+    /// Fraction of branches that resolved taken.
+    pub fn taken_ratio(&self) -> Ratio {
+        Ratio::new(self.taken.get(), self.branches.get())
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: &MispredictStats) {
+        self.branches.add(other.branches.get());
+        self.instructions.add(other.instructions.get());
+        self.dynamic_predictions.add(other.dynamic_predictions.get());
+        self.surprises.add(other.surprises.get());
+        self.dynamic_wrong_direction.add(other.dynamic_wrong_direction.get());
+        self.dynamic_wrong_target.add(other.dynamic_wrong_target.get());
+        self.surprise_wrong_direction.add(other.surprise_wrong_direction.get());
+        self.surprise_indirect_stalls.add(other.surprise_indirect_stalls.get());
+        self.taken.add(other.taken.get());
+    }
+}
+
+impl fmt::Display for MispredictStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MPKI {:.3} over {} instrs / {} branches (coverage {}, dir-acc {})",
+            self.mpki(),
+            self.instructions,
+            self.branches,
+            self.coverage(),
+            self.direction_accuracy(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::{BranchClass, InstrAddr, Mnemonic};
+
+    fn rec(taken: bool, gap: u32) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Brc, taken, InstrAddr::new(0x2000))
+            .with_gap(gap)
+    }
+
+    #[test]
+    fn counter_and_ratio_basics() {
+        let mut c = Counter::default();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let r = Ratio::new(1, 4);
+        assert!((r.fraction() - 0.25).abs() < 1e-12);
+        assert!((r.percent() - 25.0).abs() < 1e-12);
+        assert_eq!(Ratio::new(0, 0).fraction(), 0.0);
+        assert_eq!(r.to_string(), "1/4 (25.00%)");
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let r = Ratio::new(80, 100);
+        let (lo, hi) = r.wilson_ci(1.96);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.70 && hi < 0.90, "reasonable width at n=100: ({lo:.3}, {hi:.3})");
+        // More data narrows the interval.
+        let (lo2, hi2) = Ratio::new(8000, 10000).wilson_ci(1.96);
+        assert!(hi2 - lo2 < hi - lo);
+        // Degenerate cases stay in bounds.
+        assert_eq!(Ratio::new(0, 0).wilson_ci(1.96), (0.0, 1.0));
+        let (l, h) = Ratio::new(5, 5).wilson_ci(1.96);
+        assert!(l > 0.5 && h <= 1.0);
+    }
+
+    #[test]
+    fn mpki_counts_instructions_including_gaps() {
+        let mut s = MispredictStats::new();
+        // One correct, one wrong-direction, 9 gap instructions each:
+        // 20 instructions, 1 mispredict -> MPKI 50.
+        s.record(&Prediction::not_taken(), &rec(false, 9));
+        s.record(&Prediction::not_taken(), &rec(true, 9));
+        assert_eq!(s.instructions.get(), 20);
+        assert_eq!(s.mispredictions(), 1);
+        assert!((s.mpki() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_attributes_by_source() {
+        let mut s = MispredictStats::new();
+        // Dynamic wrong target.
+        s.record(&Prediction::taken(InstrAddr::new(0x3000)), &rec(true, 0));
+        // Surprise wrong direction (guessed NT, resolved T).
+        s.record(&Prediction::surprise(BranchClass::CondRelative, None), &rec(true, 0));
+        // Surprise indirect stall: guessed taken, no target, resolved taken.
+        let ind =
+            BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Br, true, InstrAddr::new(0x2000));
+        s.record(&Prediction::surprise(BranchClass::UncondIndirect, None), &ind);
+        assert_eq!(s.dynamic_wrong_target.get(), 1);
+        assert_eq!(s.surprise_wrong_direction.get(), 1);
+        assert_eq!(s.surprise_indirect_stalls.get(), 1);
+        assert_eq!(s.mispredictions(), 2, "the stall is not a restart");
+        assert_eq!(s.coverage(), Ratio::new(1, 3));
+        assert_eq!(s.taken_ratio(), Ratio::new(3, 3));
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = MispredictStats::new();
+        a.record(&Prediction::not_taken(), &rec(true, 4));
+        let mut b = MispredictStats::new();
+        b.record(&Prediction::not_taken(), &rec(false, 4));
+        b.add_instructions(10);
+        a.merge(&b);
+        assert_eq!(a.branches.get(), 2);
+        assert_eq!(a.instructions.get(), 20);
+        assert_eq!(a.mispredictions(), 1);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_mpki() {
+        assert_eq!(MispredictStats::new().mpki(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_mpki() {
+        let mut s = MispredictStats::new();
+        s.record(&Prediction::not_taken(), &rec(false, 0));
+        assert!(s.to_string().starts_with("MPKI"));
+    }
+}

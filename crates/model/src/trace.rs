@@ -1,0 +1,264 @@
+//! Dynamic traces: ordered branch outcomes plus instruction accounting.
+
+use crate::branch::BranchRecord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered stream of retired branches standing in for a full dynamic
+/// instruction trace.
+///
+/// Between consecutive records, `gap_instrs` non-branch instructions
+/// retire sequentially, so the trace reconstructs both the instruction
+/// count (for MPKI) and the sequential-fetch extents (for the timing
+/// model in `zbp-uarch`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynamicTrace {
+    records: Vec<BranchRecord>,
+    /// Non-branch instructions after the last branch (straight-line
+    /// tail).
+    tail_instrs: u64,
+    /// A human-readable label, e.g. the generator name and seed.
+    label: String,
+}
+
+impl DynamicTrace {
+    /// Creates an empty trace with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        DynamicTrace { records: Vec::new(), tail_instrs: 0, label: label.into() }
+    }
+
+    /// Creates a trace from parts. Mostly useful in tests.
+    pub fn from_records(label: impl Into<String>, records: Vec<BranchRecord>) -> Self {
+        DynamicTrace { records, tail_instrs: 0, label: label.into() }
+    }
+
+    /// Appends a branch record.
+    pub fn push(&mut self, rec: BranchRecord) {
+        self.records.push(rec);
+    }
+
+    /// Adds straight-line instructions after the final branch.
+    pub fn push_tail_instrs(&mut self, n: u64) {
+        self.tail_instrs += n;
+    }
+
+    /// The trace label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The branch records in retire order.
+    pub fn branches(&self) -> impl Iterator<Item = &BranchRecord> {
+        self.records.iter()
+    }
+
+    /// The branch records as a slice.
+    pub fn as_slice(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Number of dynamic branches.
+    pub fn branch_count(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Total retired instructions: every branch plus every gap plus the
+    /// tail.
+    pub fn instruction_count(&self) -> u64 {
+        self.branch_count()
+            + self.records.iter().map(|r| u64::from(r.gap_instrs)).sum::<u64>()
+            + self.tail_instrs
+    }
+
+    /// Whether the trace contains no branches.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary {
+            label: self.label.clone(),
+            branches: self.branch_count(),
+            instructions: self.instruction_count(),
+            ..TraceSummary::default()
+        };
+        let mut lines = std::collections::HashSet::new();
+        let mut code_bytes_lo = u64::MAX;
+        let mut code_bytes_hi = 0u64;
+        for r in &self.records {
+            if r.taken {
+                s.taken += 1;
+            }
+            if r.class().is_indirect() {
+                s.indirect += 1;
+            }
+            if r.class().is_conditional() {
+                s.conditional += 1;
+            }
+            if r.class().is_link_setting() {
+                s.calls += 1;
+            }
+            lines.insert(r.addr.line64().raw());
+            code_bytes_lo = code_bytes_lo.min(r.addr.raw());
+            code_bytes_hi = code_bytes_hi.max(r.addr.raw());
+        }
+        s.touched_lines64 = lines.len() as u64;
+        s.address_span_bytes =
+            if self.records.is_empty() { 0 } else { code_bytes_hi - code_bytes_lo };
+        s
+    }
+}
+
+impl Extend<BranchRecord> for DynamicTrace {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<BranchRecord> for DynamicTrace {
+    fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
+        DynamicTrace {
+            records: iter.into_iter().collect(),
+            tail_instrs: 0,
+            label: String::from("collected"),
+        }
+    }
+}
+
+/// Aggregate properties of a trace, used to validate that generated
+/// workloads match the footprint/density/taken-ratio assumptions the
+/// paper states for LSPR workloads (§II.A).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace label.
+    pub label: String,
+    /// Dynamic branch count.
+    pub branches: u64,
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Branches that resolved taken.
+    pub taken: u64,
+    /// Indirect branches.
+    pub indirect: u64,
+    /// Conditional branches.
+    pub conditional: u64,
+    /// Link-setting (call-like) branches.
+    pub calls: u64,
+    /// Distinct 64-byte code lines containing at least one branch — a
+    /// proxy for warm-code footprint.
+    pub touched_lines64: u64,
+    /// Span between the lowest and highest branch address.
+    pub address_span_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Dynamic instructions per branch (the paper cites ~4–5 on
+    /// commercial code).
+    pub fn instrs_per_branch(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of branches that resolved taken.
+    pub fn taken_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} instrs, {} branches ({:.1} instrs/branch, {:.0}% taken, {} ind, {} calls), {} warm 64B lines",
+            self.label,
+            self.instructions,
+            self.branches,
+            self.instrs_per_branch(),
+            100.0 * self.taken_fraction(),
+            self.indirect,
+            self.calls,
+            self.touched_lines64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::{InstrAddr, Mnemonic};
+
+    fn rec(addr: u64, mn: Mnemonic, taken: bool, target: u64, gap: u32) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), mn, taken, InstrAddr::new(target)).with_gap(gap)
+    }
+
+    #[test]
+    fn counts_include_gaps_and_tail() {
+        let mut t = DynamicTrace::new("test");
+        t.push(rec(0x1000, Mnemonic::Brc, true, 0x2000, 3));
+        t.push(rec(0x2000, Mnemonic::Br, true, 0x1000, 4));
+        t.push_tail_instrs(5);
+        assert_eq!(t.branch_count(), 2);
+        assert_eq!(t.instruction_count(), 2 + 3 + 4 + 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn summary_classifies_branches() {
+        let mut t = DynamicTrace::new("mix");
+        t.push(rec(0x1000, Mnemonic::Brc, false, 0x2000, 4)); // cond rel
+        t.push(rec(0x1010, Mnemonic::Basr, true, 0x8000, 4)); // call ind
+        t.push(rec(0x8004, Mnemonic::Br, true, 0x1014, 4)); // uncond ind
+        let s = t.summary();
+        assert_eq!(s.branches, 3);
+        assert_eq!(s.taken, 2);
+        assert_eq!(s.conditional, 1);
+        assert_eq!(s.indirect, 2);
+        assert_eq!(s.calls, 1);
+        // 0x1000 and 0x1010 share one 64-byte line; 0x8004 is a second.
+        assert_eq!(s.touched_lines64, 2);
+        assert_eq!(s.address_span_bytes, 0x8004 - 0x1000);
+        assert!((s.instrs_per_branch() - 5.0).abs() < 1e-12);
+        assert!((s.taken_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.to_string().contains("mix:"));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = DynamicTrace::new("empty").summary();
+        assert_eq!(s.branches, 0);
+        assert_eq!(s.instrs_per_branch(), 0.0);
+        assert_eq!(s.taken_fraction(), 0.0);
+        assert_eq!(s.address_span_bytes, 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let records = vec![
+            rec(0x1000, Mnemonic::J, true, 0x2000, 0),
+            rec(0x2000, Mnemonic::J, true, 0x1000, 0),
+        ];
+        let mut t: DynamicTrace = records.clone().into_iter().collect();
+        assert_eq!(t.branch_count(), 2);
+        t.extend(records);
+        assert_eq!(t.branch_count(), 4);
+        assert_eq!(t.as_slice().len(), 4);
+    }
+
+    #[test]
+    fn clone_preserves_equality() {
+        let mut t = DynamicTrace::new("roundtrip");
+        t.push(rec(0x1000, Mnemonic::Brct, true, 0xf00, 7));
+        t.push_tail_instrs(3);
+        let t2 = t.clone();
+        assert_eq!(t, t2);
+        assert_eq!(t.label(), "roundtrip");
+    }
+}

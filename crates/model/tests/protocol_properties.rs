@@ -1,0 +1,137 @@
+//! Property tests of the prediction protocol's accounting invariants.
+
+use proptest::prelude::*;
+use zbp_model::{
+    BranchRecord, DelayedUpdateHarness, DynamicTrace, FullPredictor, MispredictKind,
+    MispredictStats, Prediction,
+};
+use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
+
+fn any_mnemonic() -> impl Strategy<Value = Mnemonic> {
+    prop::sample::select(Mnemonic::ALL.to_vec())
+}
+
+fn any_record() -> impl Strategy<Value = BranchRecord> {
+    (any_mnemonic(), 0u64..1_000, any::<bool>(), 0u64..1_000, 0u32..12).prop_map(
+        |(mn, a, taken, t, gap)| {
+            let taken = taken || !mn.class().is_conditional();
+            BranchRecord::new(
+                InstrAddr::new(0x1000 + a * 2),
+                mn,
+                taken,
+                InstrAddr::new(0x9000 + t * 2),
+            )
+            .with_gap(gap)
+        },
+    )
+}
+
+/// A predictor whose answers are a pure function of the branch class —
+/// deterministic fodder for accounting checks.
+struct ClassOracle;
+
+impl FullPredictor for ClassOracle {
+    fn predict(&mut self, _addr: InstrAddr, class: BranchClass) -> Prediction {
+        if class.is_conditional() {
+            Prediction::not_taken()
+        } else {
+            Prediction { dynamic: true, direction: Direction::Taken, target: None }
+        }
+    }
+    fn complete(&mut self, _rec: &BranchRecord, _pred: &Prediction) {}
+    fn name(&self) -> String {
+        "class-oracle".into()
+    }
+}
+
+proptest! {
+    #[test]
+    fn classification_is_exhaustive_and_exclusive(rec in any_record()) {
+        // For every possible prediction about this record, classify()
+        // must be consistent with the component comparisons.
+        let preds = [
+            Prediction::taken(rec.target),
+            Prediction::taken(InstrAddr::new(0x7777_0000)),
+            Prediction::not_taken(),
+            Prediction::surprise(rec.class(), None),
+        ];
+        for p in preds {
+            let k = MispredictKind::classify(&p, &rec);
+            match k {
+                Some(MispredictKind::Direction) => prop_assert_ne!(p.direction, rec.direction()),
+                Some(MispredictKind::Target) => {
+                    prop_assert_eq!(p.direction, rec.direction());
+                    prop_assert!(rec.taken);
+                    prop_assert!(p.target.is_some());
+                    prop_assert_ne!(p.target, Some(rec.target));
+                }
+                None => {
+                    prop_assert_eq!(p.direction, rec.direction());
+                    if rec.taken {
+                        if let Some(t) = p.target {
+                            prop_assert_eq!(t, rec.target);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_totals_are_conserved(recs in prop::collection::vec(any_record(), 0..200)) {
+        let trace = DynamicTrace::from_records("prop", recs.clone());
+        let out = DelayedUpdateHarness::new(8).run(&mut ClassOracle, &trace);
+        let s = &out.stats;
+        prop_assert_eq!(s.branches.get(), recs.len() as u64);
+        prop_assert_eq!(s.branches.get(), s.dynamic_predictions.get() + s.surprises.get());
+        prop_assert!(s.mispredictions() <= s.branches.get());
+        prop_assert_eq!(s.instructions.get(), trace.instruction_count());
+        prop_assert_eq!(s.taken.get(), recs.iter().filter(|r| r.taken).count() as u64);
+    }
+
+    #[test]
+    fn harness_depth_does_not_change_completion_counts(
+        recs in prop::collection::vec(any_record(), 1..100),
+        depth in 0usize..64
+    ) {
+        struct CountingPredictor { completes: u64 }
+        impl FullPredictor for CountingPredictor {
+            fn predict(&mut self, _a: InstrAddr, class: BranchClass) -> Prediction {
+                Prediction::surprise(class, None)
+            }
+            fn complete(&mut self, _r: &BranchRecord, _p: &Prediction) {
+                self.completes += 1;
+            }
+            fn name(&self) -> String { "counting".into() }
+        }
+        let trace = DynamicTrace::from_records("prop", recs.clone());
+        let mut p = CountingPredictor { completes: 0 };
+        DelayedUpdateHarness::new(depth).run(&mut p, &trace);
+        prop_assert_eq!(p.completes, recs.len() as u64, "every prediction completes exactly once");
+    }
+
+    #[test]
+    fn merge_is_associative_on_counts(
+        a in prop::collection::vec(any_record(), 0..50),
+        b in prop::collection::vec(any_record(), 0..50)
+    ) {
+        let run = |recs: &[BranchRecord]| {
+            let mut s = MispredictStats::new();
+            for r in recs {
+                s.record(&Prediction::surprise(r.class(), None), r);
+            }
+            s
+        };
+        let sa = run(&a);
+        let sb = run(&b);
+        let mut merged = sa;
+        merged.merge(&sb);
+        let mut joint_records = a.clone();
+        joint_records.extend(b.clone());
+        let joint = run(&joint_records);
+        prop_assert_eq!(merged.branches.get(), joint.branches.get());
+        prop_assert_eq!(merged.instructions.get(), joint.instructions.get());
+        prop_assert_eq!(merged.mispredictions(), joint.mispredictions());
+        prop_assert_eq!(merged.surprise_indirect_stalls.get(), joint.surprise_indirect_stalls.get());
+    }
+}

@@ -1,0 +1,259 @@
+//! Trace persistence: a compact, versioned binary format for
+//! [`DynamicTrace`]s, so experiment inputs can be frozen and shared
+//! (the role instruction traces played for the paper's own
+//! "parameterizable, sizeable performance modeling environment", §VII).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "ZBPT"            4 bytes
+//! version u32              currently 1
+//! label   u32 len + bytes  UTF-8
+//! tail    u64              tail instructions
+//! count   u64              record count
+//! records count × 28 bytes:
+//!   addr u64 | target u64 | mnemonic u8 | taken u8 | thread u8 |
+//!   pad u8 | gap u32 | reserved u32
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use zbp_model::{BranchRecord, DynamicTrace, ThreadId};
+use zbp_zarch::{InstrAddr, Mnemonic};
+
+const MAGIC: &[u8; 4] = b"ZBPT";
+const VERSION: u32 = 1;
+
+/// An error loading a trace file.
+#[derive(Debug)]
+pub enum LoadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for LoadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            LoadTraceError::BadMagic => f.write_str("not a zbp trace file (bad magic)"),
+            LoadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            LoadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadTraceError {
+    fn from(e: io::Error) -> Self {
+        LoadTraceError::Io(e)
+    }
+}
+
+fn mnemonic_code(m: Mnemonic) -> u8 {
+    Mnemonic::ALL.iter().position(|x| *x == m).expect("mnemonic in ALL") as u8
+}
+
+fn mnemonic_from(code: u8) -> Option<Mnemonic> {
+    Mnemonic::ALL.get(usize::from(code)).copied()
+}
+
+/// Writes a trace to any [`Write`] sink (pass `&mut file` to keep the
+/// file usable afterwards).
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn write_trace<W: Write>(mut w: W, trace: &DynamicTrace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let label = trace.label().as_bytes();
+    w.write_all(&(label.len() as u32).to_le_bytes())?;
+    w.write_all(label)?;
+    let tail = trace.instruction_count()
+        - trace.branch_count()
+        - trace.branches().map(|r| u64::from(r.gap_instrs)).sum::<u64>();
+    w.write_all(&tail.to_le_bytes())?;
+    w.write_all(&trace.branch_count().to_le_bytes())?;
+    for r in trace.branches() {
+        w.write_all(&r.addr.raw().to_le_bytes())?;
+        w.write_all(&r.target.raw().to_le_bytes())?;
+        w.write_all(&[mnemonic_code(r.mnemonic), u8::from(r.taken), r.thread.0, 0])?;
+        w.write_all(&r.gap_instrs.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from any [`Read`] source.
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn read_trace<R: Read>(mut r: R) -> Result<DynamicTrace, LoadTraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadTraceError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(LoadTraceError::BadVersion(version));
+    }
+    let label_len = read_u32(&mut r)? as usize;
+    if label_len > 1 << 20 {
+        return Err(LoadTraceError::Corrupt("label length"));
+    }
+    let mut label = vec![0u8; label_len];
+    r.read_exact(&mut label)?;
+    let label = String::from_utf8(label).map_err(|_| LoadTraceError::Corrupt("label not UTF-8"))?;
+    let tail = read_u64(&mut r)?;
+    let count = read_u64(&mut r)?;
+    let mut trace = DynamicTrace::new(label);
+    for _ in 0..count {
+        let addr = read_u64(&mut r)?;
+        let target = read_u64(&mut r)?;
+        let mut meta = [0u8; 4];
+        r.read_exact(&mut meta)?;
+        let gap = read_u32(&mut r)?;
+        let _reserved = read_u32(&mut r)?;
+        let mnemonic = mnemonic_from(meta[0]).ok_or(LoadTraceError::Corrupt("unknown mnemonic"))?;
+        let rec =
+            BranchRecord::new(InstrAddr::new(addr), mnemonic, meta[1] != 0, InstrAddr::new(target))
+                .on_thread(ThreadId(meta[2]))
+                .with_gap(gap);
+        trace.push(rec);
+    }
+    trace.push_tail_instrs(tail);
+    Ok(trace)
+}
+
+/// Saves a trace to a file path.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn save_trace(path: impl AsRef<Path>, trace: &DynamicTrace) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_trace(io::BufWriter::new(f), trace)
+}
+
+/// Loads a trace from a file path.
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<DynamicTrace, LoadTraceError> {
+    let f = std::fs::File::open(path).map_err(LoadTraceError::Io)?;
+    read_trace(io::BufReader::new(f))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = workloads::lspr_like(5, 20_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(t, back);
+        assert_eq!(t.instruction_count(), back.instruction_count());
+    }
+
+    #[test]
+    fn roundtrip_smt_threads() {
+        let a = workloads::compute_loop(1, 5_000).dynamic_trace();
+        let b = workloads::patterned(2, 5_000).dynamic_trace();
+        let smt = workloads::interleave_smt2(&a, &b, 3);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &smt).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(smt, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let t = workloads::compute_loop(1, 2_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        buf.truncate(buf.len() - 7);
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let t = workloads::compute_loop(1, 500).dynamic_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        // Corrupt the first record's mnemonic byte.
+        let label_len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+        let first_mnemonic = 4 + 4 + 4 + label_len + 8 + 8 + 16;
+        buf[first_mnemonic] = 0xff;
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join("zbp_trace_io_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("t.zbpt");
+        let t = workloads::indirect_dispatch(3, 5_000).dynamic_trace();
+        save_trace(&path, &t).expect("save");
+        let back = load_trace(&path).expect("load");
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(LoadTraceError::BadMagic.to_string().contains("magic"));
+        assert!(LoadTraceError::BadVersion(7).to_string().contains('7'));
+        assert!(LoadTraceError::Corrupt("label length").to_string().contains("label"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # zbp-trace — synthetic z-like workloads and dynamic branch traces
+//!
+//! LSPR production traces are proprietary, so this crate builds the
+//! closest synthetic equivalent (see DESIGN.md §2): structured random
+//! *programs* over the `zbp-zarch` ISA model — functions, loops,
+//! biased/patterned/correlated conditionals, call/return linkage through
+//! link registers, and indirect dispatch tables — which an [`Executor`]
+//! then runs into a [`DynamicTrace`](zbp_model::DynamicTrace).
+//!
+//! The generators in [`workloads`] are parameterized on exactly the
+//! properties the paper says matter for the z15 design point:
+//! instruction footprint (warm-code bytes), branch density (~1 branch
+//! per 4–5 instructions), taken ratio, call/return distance and
+//! multi-target fan-out.
+//!
+//! ## Example
+//!
+//! ```
+//! use zbp_trace::workloads;
+//!
+//! let trace = workloads::lspr_like(7, 50_000).dynamic_trace();
+//! let s = trace.summary();
+//! assert!(s.instructions >= 50_000);
+//! // Commercial-code branch density: one branch per ~4-6 instructions.
+//! assert!(s.instrs_per_branch() > 3.0 && s.instrs_per_branch() < 8.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+pub mod io;
+mod program;
+pub mod workloads;
+
+pub use exec::Executor;
+pub use io::{load_trace, save_trace, LoadTraceError};
+pub use program::{
+    CondBehavior, Func, IndirectSelector, Op, Program, ProgramBuilder, ProgramError,
+};
+pub use workloads::Workload;

@@ -1,0 +1,192 @@
+//! Control-flow consistency properties every generator must satisfy:
+//! the branch stream must describe a *walkable* instruction stream
+//! (each branch lies sequentially after the previous branch's next PC),
+//! or the timing model's segment reconstruction would be meaningless.
+
+use proptest::prelude::*;
+use zbp_model::DynamicTrace;
+use zbp_trace::workloads;
+
+fn check_walkable(trace: &DynamicTrace) -> Result<(), String> {
+    let mut pc: Option<u64> = None;
+    for (i, r) in trace.branches().enumerate() {
+        if let Some(pc) = pc {
+            if r.addr.raw() < pc {
+                return Err(format!(
+                    "record {i}: branch at {} is before the flow point {pc:#x}",
+                    r.addr
+                ));
+            }
+            // The sequential gap must be consistent with the recorded
+            // instruction count (2..=6 bytes per instruction).
+            let gap_bytes = r.addr.raw() - pc;
+            let gi = u64::from(r.gap_instrs);
+            if gap_bytes < gi * 2 || gap_bytes > gi * 6 {
+                return Err(format!(
+                    "record {i}: {gi} gap instructions cannot span {gap_bytes} bytes"
+                ));
+            }
+        }
+        pc = Some(r.next_pc().raw());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lspr_is_walkable(seed in 0u64..500) {
+        let t = workloads::lspr_like(seed, 10_000).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn compute_loop_is_walkable(seed in 0u64..500) {
+        let t = workloads::compute_loop(seed, 10_000).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn call_return_is_walkable(seed in 0u64..500) {
+        let t = workloads::call_return_heavy(seed, 10_000).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn indirect_dispatch_is_walkable(seed in 0u64..500) {
+        let t = workloads::indirect_dispatch(seed, 10_000).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn microservices_is_walkable(seed in 0u64..500) {
+        let t = workloads::microservices(seed, 10_000).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn footprint_sweep_is_walkable(seed in 0u64..200, services in 4usize..200) {
+        let t = workloads::footprint_sweep(seed, 8_000, services).dynamic_trace();
+        prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+    }
+
+    #[test]
+    fn patterned_and_correlated_are_walkable(seed in 0u64..200) {
+        for t in [
+            workloads::patterned(seed, 8_000).dynamic_trace(),
+            workloads::correlated_noise(seed, 8_000, 10).dynamic_trace(),
+        ] {
+            prop_assert!(check_walkable(&t).is_ok(), "{:?}", check_walkable(&t));
+        }
+    }
+
+    #[test]
+    fn budgets_are_met_without_overshoot(seed in 0u64..200, instrs in 1_000u64..50_000) {
+        let t = workloads::lspr_like(seed, instrs).dynamic_trace();
+        prop_assert!(t.instruction_count() >= instrs);
+        prop_assert!(t.instruction_count() < instrs + 200, "prompt stop after the budget");
+    }
+
+    #[test]
+    fn unconditional_records_are_always_taken(seed in 0u64..200) {
+        let t = workloads::suite(seed, 5_000).into_iter().next().expect("suite nonempty");
+        for r in t.dynamic_trace().branches() {
+            if !r.class().is_conditional() {
+                prop_assert!(r.taken, "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_preserves_records(seed in 0u64..100, quantum in 1usize..8) {
+        let a = workloads::compute_loop(seed, 3_000).dynamic_trace();
+        let b = workloads::patterned(seed + 1, 3_000).dynamic_trace();
+        let m = workloads::interleave_smt2(&a, &b, quantum);
+        prop_assert_eq!(m.branch_count(), a.branch_count() + b.branch_count());
+        // Per-thread subsequences are unchanged.
+        let t0: Vec<_> = m
+            .branches()
+            .filter(|r| r.thread == zbp_model::ThreadId::ZERO)
+            .map(|r| (r.addr, r.taken, r.target))
+            .collect();
+        let orig: Vec<_> = a.branches().map(|r| (r.addr, r.taken, r.target)).collect();
+        prop_assert_eq!(t0, orig);
+    }
+}
+
+#[test]
+fn image_decodes_back_to_branch_sites() {
+    // Render each generator's program to machine bytes, walk the image
+    // with the real decoder, and compare the discovered branch sites
+    // against the layout's branch ops — generator, layout and encoder
+    // must agree byte for byte.
+    for w in [
+        workloads::lspr_like(4, 1_000),
+        workloads::compute_loop(4, 1_000),
+        workloads::call_return_heavy(4, 1_000),
+        workloads::indirect_dispatch(4, 1_000),
+        workloads::patterned(4, 1_000),
+    ] {
+        let program = w.program();
+        let image = program.render_image();
+        // Expected: every branch op's address.
+        let mut expected: Vec<u64> = Vec::new();
+        for f in &program.funcs {
+            for (oi, op) in f.body.iter().enumerate() {
+                if op.is_branch() {
+                    expected.push(f.addr_of(oi).raw());
+                }
+            }
+        }
+        expected.sort_unstable();
+        // Found: decode every image segment.
+        let mut found: Vec<u64> = Vec::new();
+        for (base, bytes) in &image {
+            let mut at = 0usize;
+            while at < bytes.len() {
+                let (len, br) = zbp_zarch::decode(&bytes[at..]).expect("image decodes cleanly");
+                if br.is_some() {
+                    found.push(base.raw() + at as u64);
+                }
+                at += len.bytes() as usize;
+            }
+        }
+        found.sort_unstable();
+        assert_eq!(expected, found, "{}", w.label);
+    }
+}
+
+#[test]
+fn image_relative_targets_match_layout() {
+    let w = workloads::compute_loop(9, 1_000);
+    let program = w.program();
+    let image = program.render_image();
+    use std::collections::HashMap;
+    // Expected relative-branch targets from the layout.
+    let mut expected: HashMap<u64, u64> = HashMap::new();
+    for f in &program.funcs {
+        for (oi, op) in f.body.iter().enumerate() {
+            match op {
+                zbp_trace::Op::Cond { target, .. } | zbp_trace::Op::Goto { target, .. } => {
+                    expected.insert(f.addr_of(oi).raw(), f.addr_of(*target).raw());
+                }
+                _ => {}
+            }
+        }
+    }
+    for (base, bytes) in &image {
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let (len, br) = zbp_zarch::decode(&bytes[at..]).expect("decodes");
+            if let Some(b) = br {
+                let here = zbp_zarch::InstrAddr::new(base.raw() + at as u64);
+                if let (Some(t), Some(want)) = (b.relative_target(here), expected.get(&here.raw()))
+                {
+                    assert_eq!(t.raw(), *want, "target mismatch at {here}");
+                }
+            }
+            at += len.bytes() as usize;
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! A cycle-stepped co-simulation of the asynchronous front end.
+//!
+//! Unlike the segment-walking [`Frontend`](crate::Frontend) (which
+//! *charges* the paper's restart penalties as constants), this model
+//! steps the three machines one cycle at a time and lets the costs
+//! **emerge** from their interaction, the way §II.B describes them
+//! ("Recovery of filling up this reservoir along with generating a
+//! steady stream of I-fetches … can add up to 10 cycles of additional
+//! pipeline inefficiency delay to a restart event"):
+//!
+//! * the **BPL** issues one 64-byte search per cycle along its own
+//!   predicted path, re-indexes itself on taken predictions (b5, or b2
+//!   on a CPRED stream hit), skips SKOOT-learned empty lines, and
+//!   pushes predictions into a bounded prediction queue — stalling when
+//!   consumers are full ("when they are full, they tell branch
+//!   prediction to stop sending", §IV);
+//! * the **ICM** fetches 32 bytes per cycle, never ahead of the BPL's
+//!   searched point (the strict §IV synchronization), paying I-cache
+//!   latencies except where a BPL-initiated prefetch is already in
+//!   flight;
+//! * **dispatch** retires up to 6 instructions per cycle, requires both
+//!   fetched bytes and the branch's queued prediction, and resolves
+//!   branches a fixed delay later; a misprediction flushes everything
+//!   and the machines restart cold at the corrected address.
+//!
+//! The report includes the *measured* mean restart penalty so it can be
+//! compared against the paper's ~26-cycle architectural number.
+
+use crate::icache::{Icache, IcacheConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_model::{BranchRecord, DynamicTrace, FullPredictor, MispredictKind, Prediction};
+use zbp_zarch::LINE_64B;
+
+/// Co-simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosimConfig {
+    /// Prediction-queue capacity between the BPL and its consumers.
+    pub pred_queue: usize,
+    /// Dispatch width (instructions per cycle).
+    pub dispatch_width: u32,
+    /// Dispatch-to-resolution delay in cycles.
+    pub resolve_delay: u32,
+    /// Instruction-cache hierarchy.
+    pub icache: IcacheConfig,
+    /// Hard cycle limit (safety valve for malformed inputs).
+    pub max_cycles: u64,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        CosimConfig {
+            pred_queue: 24,
+            dispatch_width: 6,
+            resolve_delay: 12,
+            icache: IcacheConfig::default(),
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+/// The co-simulation's cycle accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CosimReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions dispatched.
+    pub instructions: u64,
+    /// Searches the BPL issued.
+    pub searches: u64,
+    /// Cycles the BPL spent stalled on a full prediction queue.
+    pub bpl_backpressure_cycles: u64,
+    /// Cycles fetch waited at the BPL's searched point.
+    pub fetch_wait_bpl_cycles: u64,
+    /// Cycles fetch stalled on I-cache misses.
+    pub fetch_icache_cycles: u64,
+    /// Cycles dispatch had nothing it could do.
+    pub dispatch_idle_cycles: u64,
+    /// Mispredict restarts.
+    pub restarts: u64,
+    /// Total cycles between a mispredicted branch's dispatch and the
+    /// first post-restart dispatch — the *measured* restart penalty.
+    pub restart_penalty_cycles: u64,
+    /// Functional misprediction statistics.
+    pub mispredicts: zbp_model::MispredictStats,
+    /// Peak prediction-queue occupancy.
+    pub peak_pred_queue: usize,
+}
+
+impl CosimReport {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Mean measured restart penalty in cycles.
+    pub fn mean_restart_penalty(&self) -> f64 {
+        if self.restarts == 0 {
+            0.0
+        } else {
+            self.restart_penalty_cycles as f64 / self.restarts as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedPrediction {
+    rec_idx: usize,
+    pred: Prediction,
+    present_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamMemo {
+    exit_line: u64,
+    lead_empty: u64,
+}
+
+/// Runs the co-simulation over a retired-path trace.
+pub fn run_cosim(
+    pred_cfg: PredictorConfig,
+    cfg: &CosimConfig,
+    trace: &DynamicTrace,
+) -> CosimReport {
+    let records: Vec<BranchRecord> = trace.branches().copied().collect();
+    let mut rep = CosimReport::default();
+    if records.is_empty() {
+        return rep;
+    }
+    let b5 = u64::from(pred_cfg.timing.search_stages - 1);
+    let b2 = u64::from(pred_cfg.timing.cpred_reindex_stage);
+    let cpred_on = pred_cfg.cpred.is_some();
+    let skoot_on = pred_cfg.skoot;
+    let mut predictor = ZPredictor::new(pred_cfg);
+    let mut icache = Icache::new(cfg.icache.clone());
+
+    // --- machine state -------------------------------------------------
+    let mut cycle: u64 = 0;
+
+    // BPL.
+    let mut bpl_rec = 0usize; // next record the BPL will predict
+    let mut bpl_line = records[0].addr.raw() / LINE_64B;
+    let mut bpl_ready_at: u64 = 0; // redirect wait
+    let mut stream_line = bpl_line;
+    let mut stream_first = true;
+    let mut memos: HashMap<u64, StreamMemo> = HashMap::new();
+    let mut prefetch_ready: HashMap<u64, u64> = HashMap::new();
+    let mut pred_queue: VecDeque<QueuedPrediction> = VecDeque::new();
+
+    // Fetch.
+    let mut fetch_rec = 0usize; // record whose segment fetch works on
+    let mut fetch_addr = records[0].addr.raw() & !31;
+    let mut fetch_busy_until: u64 = 0;
+    // Bytes fetched per record segment end (fall-through covered?).
+    let mut fetched_through: Vec<bool> = vec![false; records.len()];
+
+    // Dispatch.
+    let mut disp_rec = 0usize;
+    let mut disp_insns_left: u64 = u64::from(records[0].gap_instrs) + 1;
+    // Pending resolutions: (resolve_cycle, rec_idx, mispredicted).
+    let mut resolutions: VecDeque<(u64, usize, bool)> = VecDeque::new();
+    // Dispatch freezes once a branch that will flush has dispatched
+    // (younger work would be wrong-path, which this model does not
+    // execute).
+    let mut dispatch_frozen = false;
+    // Open restart-penalty window: set at the flush, closed at the
+    // first post-restart dispatch.
+    let mut restart_window: Option<u64> = None;
+
+    let seg_start = |records: &[BranchRecord], k: usize| -> u64 {
+        if k == 0 {
+            records[0].addr.raw()
+        } else {
+            records[k - 1].next_pc().raw()
+        }
+    };
+
+    while disp_rec < records.len() && cycle < cfg.max_cycles {
+        // ---- resolutions (oldest first) -------------------------------
+        while let Some(&(when, idx, wrong)) = resolutions.front() {
+            if when > cycle {
+                break;
+            }
+            resolutions.pop_front();
+            let rec = records[idx];
+            if wrong {
+                // Flush: everything restarts at the corrected address.
+                rep.restarts += 1;
+                restart_window = Some(cycle);
+                dispatch_frozen = false;
+                predictor.flush(&rec);
+                pred_queue.clear();
+                resolutions.clear();
+                let next = idx + 1;
+                bpl_rec = next;
+                disp_rec = next;
+                fetch_rec = next;
+                if next < records.len() {
+                    let pc = rec.next_pc().raw();
+                    bpl_line = pc / LINE_64B;
+                    stream_line = bpl_line;
+                    stream_first = true;
+                    fetch_addr = pc & !31;
+                    disp_insns_left = u64::from(records[next].gap_instrs) + 1;
+                    fetched_through[next..].iter_mut().for_each(|f| *f = false);
+                }
+                bpl_ready_at = cycle + 1;
+                fetch_busy_until = cycle + 1;
+            }
+        }
+        if disp_rec >= records.len() {
+            break;
+        }
+
+        // ---- BPL: one search per cycle --------------------------------
+        if bpl_rec < records.len() && cycle >= bpl_ready_at {
+            if pred_queue.len() >= cfg.pred_queue {
+                rep.bpl_backpressure_cycles += 1;
+            } else {
+                let rec = records[bpl_rec];
+                let target_line = rec.addr.raw() / LINE_64B;
+                // SKOOT: on stream entry, jump over learned empty lines.
+                if skoot_on && stream_first {
+                    if let Some(m) = memos.get(&stream_line) {
+                        let skip = m.lead_empty.min(target_line.saturating_sub(bpl_line));
+                        bpl_line += skip;
+                    }
+                }
+                if stream_first {
+                    let lead = target_line.saturating_sub(stream_line);
+                    let e = memos
+                        .entry(stream_line)
+                        .or_insert(StreamMemo { exit_line: 0, lead_empty: lead });
+                    e.lead_empty = e.lead_empty.min(lead);
+                    stream_first = false;
+                }
+                rep.searches += 1;
+                // Lookahead prefetch of the searched line's cache line.
+                let cl = (bpl_line * LINE_64B) / cfg.icache.line_bytes;
+                if let std::collections::hash_map::Entry::Vacant(e) = prefetch_ready.entry(cl) {
+                    let lat = icache
+                        .prefetch(zbp_zarch::InstrAddr::new(bpl_line * LINE_64B))
+                        .map_or(0, u64::from);
+                    e.insert(cycle + lat);
+                }
+                if bpl_line < target_line {
+                    // An empty sequential search; next line next cycle.
+                    bpl_line += 1;
+                } else {
+                    // The search covers the branch: predict it.
+                    let pred = predictor.predict(rec.addr, rec.class());
+                    let present_at = cycle + b5;
+                    pred_queue.push_back(QueuedPrediction { rec_idx: bpl_rec, pred, present_at });
+                    rep.peak_pred_queue = rep.peak_pred_queue.max(pred_queue.len());
+                    if let (true, Some(target)) = (pred.is_taken(), pred.target) {
+                        let tline = target.raw() / LINE_64B;
+                        let memo_hit = cpred_on
+                            && memos.get(&stream_line).is_some_and(|m| m.exit_line == target_line);
+                        memos
+                            .entry(stream_line)
+                            .and_modify(|m| m.exit_line = target_line)
+                            .or_insert(StreamMemo { exit_line: target_line, lead_empty: 0 });
+                        bpl_ready_at = cycle + if memo_hit { b2 } else { b5 };
+                        bpl_line = tline;
+                        stream_line = tline;
+                        stream_first = true;
+                    } else {
+                        // Not-taken (or target-less): continue sequentially
+                        // from the branch's line.
+                        bpl_line = target_line
+                            + u64::from(rec.fall_through().raw() / LINE_64B > target_line);
+                        if !pred.is_taken() {
+                            // same stream continues
+                        } else {
+                            // surprise-taken with unknown target: the BPL
+                            // restarts with fetch at the resolved point.
+                            bpl_line = rec.next_pc().raw() / LINE_64B;
+                            stream_line = bpl_line;
+                            stream_first = true;
+                            bpl_ready_at = cycle + b5;
+                        }
+                    }
+                    bpl_rec += 1;
+                }
+            }
+        }
+
+        // ---- fetch: 32 B per cycle, behind the BPL --------------------
+        if fetch_rec < records.len() && cycle >= fetch_busy_until {
+            let rec = records[fetch_rec];
+            let end = rec.fall_through().raw();
+            // Strict synchronization: fetch may not pass the BPL's
+            // searched point (progress reporting, §IV).
+            let bpl_point = (bpl_line + 1) * LINE_64B;
+            let fetch_goal = end.min(seg_start(&records, fetch_rec).max(fetch_addr) + 32);
+            if fetch_rec >= bpl_rec && fetch_goal > bpl_point {
+                rep.fetch_wait_bpl_cycles += 1;
+            } else {
+                // Cache access for the 256B line this 32B block is in.
+                let cl = fetch_addr / cfg.icache.line_bytes;
+                let (_, penalty) = icache.access(zbp_zarch::InstrAddr::new(fetch_addr));
+                let ready = prefetch_ready.get(&cl).copied().unwrap_or(0);
+                let stall = if penalty > 0 {
+                    u64::from(penalty)
+                } else {
+                    ready.saturating_sub(cycle).min(u64::from(cfg.icache.l2_penalty))
+                };
+                if stall > 0 {
+                    rep.fetch_icache_cycles += stall;
+                    fetch_busy_until = cycle + stall;
+                } else {
+                    fetch_addr += 32;
+                    if fetch_addr >= end {
+                        fetched_through[fetch_rec] = true;
+                        fetch_rec += 1;
+                        if fetch_rec < records.len() {
+                            fetch_addr = seg_start(&records, fetch_rec) & !31;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- dispatch: up to width instructions -----------------------
+        let mut width = u64::from(cfg.dispatch_width);
+        let mut dispatched_any = false;
+        while !dispatch_frozen && width > 0 && disp_rec < records.len() {
+            // Data available? The segment must be fetched through.
+            if !fetched_through[disp_rec] {
+                break;
+            }
+            if disp_insns_left > 1 {
+                let n = disp_insns_left.saturating_sub(1).min(width);
+                disp_insns_left -= n;
+                rep.instructions += n;
+                width -= n;
+                dispatched_any = true;
+                continue;
+            }
+            // The branch itself: needs its prediction present.
+            let ready =
+                pred_queue.front().is_some_and(|q| q.rec_idx == disp_rec && q.present_at <= cycle);
+            if !ready {
+                break;
+            }
+            let q = pred_queue.pop_front().expect("checked front");
+            let rec = records[disp_rec];
+            rep.instructions += 1;
+            width -= 1;
+            dispatched_any = true;
+            let wrong = MispredictKind::classify(&q.pred, &rec).is_some();
+            rep.mispredicts.record(&q.pred, &rec);
+            predictor.complete(&rec, &q.pred);
+            resolutions.push_back((cycle + u64::from(cfg.resolve_delay), disp_rec, wrong));
+            if wrong {
+                // Dispatch cannot proceed past a branch that will flush
+                // (younger instructions would be wrong-path).
+                dispatch_frozen = true;
+                break;
+            }
+            disp_rec += 1;
+            if disp_rec < records.len() {
+                disp_insns_left = u64::from(records[disp_rec].gap_instrs) + 1;
+            }
+        }
+        if !dispatched_any {
+            rep.dispatch_idle_cycles += 1;
+        } else if let Some(start) = restart_window.take() {
+            // First post-restart dispatch closes the penalty window; the
+            // back-end drain (dispatch to resolve) belongs to it too.
+            rep.restart_penalty_cycles +=
+                cycle.saturating_sub(start) + u64::from(cfg.resolve_delay);
+        }
+
+        // Keep the prefetch memo bounded.
+        if prefetch_ready.len() > 1 << 16 {
+            prefetch_ready.clear();
+        }
+        cycle += 1;
+    }
+
+    // Straight-line tail after the final branch record.
+    let tail = trace.instruction_count().saturating_sub(
+        records.len() as u64 + records.iter().map(|r| u64::from(r.gap_instrs)).sum::<u64>(),
+    );
+    if tail > 0 {
+        rep.instructions += tail;
+        cycle += tail.div_ceil(u64::from(cfg.dispatch_width));
+        rep.mispredicts.add_instructions(tail);
+    }
+    rep.cycles = cycle;
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_core::GenerationPreset;
+    use zbp_trace::workloads;
+
+    fn run(instrs: u64) -> CosimReport {
+        let trace = workloads::compute_loop(3, instrs).dynamic_trace();
+        run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace)
+    }
+
+    #[test]
+    fn terminates_and_accounts() {
+        let rep = run(20_000);
+        assert!(rep.cycles > 0);
+        assert!(rep.cycles < CosimConfig::default().max_cycles, "no livelock");
+        assert!(rep.instructions >= 20_000);
+        assert!(rep.cpi() > 0.1 && rep.cpi() < 50.0, "cpi {}", rep.cpi());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let rep = run_cosim(
+            GenerationPreset::Z15.config(),
+            &CosimConfig::default(),
+            &zbp_model::DynamicTrace::new("empty"),
+        );
+        assert_eq!(rep.cycles, 0);
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity() {
+        let rep = run(10_000);
+        assert!(rep.peak_pred_queue <= CosimConfig::default().pred_queue);
+    }
+
+    #[test]
+    fn measured_restart_penalty_is_pipeline_scale() {
+        let trace = workloads::lspr_like(9, 40_000).dynamic_trace();
+        let rep = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
+        assert!(rep.restarts > 0);
+        let pen = rep.mean_restart_penalty();
+        assert!(
+            (8.0..80.0).contains(&pen),
+            "measured restart penalty should be pipeline-scale, got {pen:.1}"
+        );
+    }
+
+    #[test]
+    fn mispredict_counts_match_functional_model() {
+        let trace = workloads::patterned(5, 30_000).dynamic_trace();
+        let rep = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
+        assert_eq!(rep.restarts, rep.mispredicts.mispredictions());
+        assert_eq!(rep.mispredicts.branches.get(), trace.branch_count());
+    }
+}

@@ -1,0 +1,481 @@
+//! The coupled front-end timing model: BPL lookahead + ICM fetch + IDU
+//! dispatch synchronization + restart accounting.
+//!
+//! The model walks the retired path segment by segment (a segment is
+//! the sequential run ending at each branch) and maintains two virtual
+//! clocks:
+//!
+//! * `bpl_time` — when the branch predictor's search pipeline reaches a
+//!   point, per the b0–b5 rules (64 B/search-cycle, b5 redirect, b2 with
+//!   CPRED, SKOOT line skipping, SMT2 port alternation);
+//! * `fetch_time` — when the ICM delivers the bytes (32 B/cycle,
+//!   I-cache latencies, steering gated on predictions).
+//!
+//! Dispatch strictly waits for both ("care is taken to ensure that the
+//! dispatch stage waits for branch prediction", §IV). Because the BPL
+//! runs ahead it prefetches I-cache lines; a demand miss stalls only for
+//! whatever latency its prefetch lead failed to hide — the paper's
+//! "mitigating and often eliminating the penalty of L1 instruction
+//! cache misses" (§IV).
+
+use crate::icache::{Icache, IcacheConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use zbp_core::PredictorConfig;
+use zbp_core::ZPredictor;
+use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
+use zbp_zarch::{InstrAddr, LINE_64B};
+
+/// Front-end parameters beyond the predictor configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    /// Instruction-cache hierarchy.
+    pub icache: IcacheConfig,
+    /// Dispatch width in instructions per cycle (z15: up to 6).
+    pub dispatch_width: u32,
+    /// Dispatch-to-resolution delay in cycles (indirect targets are
+    /// computed "about a dozen cycles into the back end", §I).
+    pub resolve_delay: u32,
+    /// Decode-time redirect bubble for statically-guessed-taken
+    /// relative surprise branches.
+    pub decode_redirect_penalty: u32,
+    /// SMT2 mode: two threads share the search port.
+    pub smt2: bool,
+    /// Whether the BPL's lookahead search prefetches I-cache lines
+    /// (§IV). Disable for the no-lookahead-prefetch baseline.
+    pub bpl_prefetch: bool,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            icache: IcacheConfig::default(),
+            dispatch_width: 6,
+            resolve_delay: 12,
+            decode_redirect_penalty: 6,
+            smt2: false,
+            bpl_prefetch: true,
+        }
+    }
+}
+
+/// The stall breakdown and headline cycle counts of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontendReport {
+    /// Total cycles to dispatch the whole trace.
+    pub cycles: u64,
+    /// Instructions dispatched.
+    pub instructions: u64,
+    /// Branch-wrong restart cycles charged.
+    pub restart_cycles: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Cycles dispatch spent waiting on instruction fetch beyond the
+    /// pipelined minimum (I-cache misses not hidden by lookahead).
+    pub icache_stall_cycles: u64,
+    /// I-cache miss latency cycles hidden by BPL lookahead prefetch.
+    pub icache_hidden_cycles: u64,
+    /// Cycles dispatch spent waiting for branch prediction to catch up.
+    pub bpl_wait_cycles: u64,
+    /// Stall cycles waiting for indirect surprise targets from the
+    /// execution units.
+    pub indirect_target_stall_cycles: u64,
+    /// Decode-redirect bubbles for surprise taken relative branches.
+    pub decode_redirect_cycles: u64,
+    /// Functional misprediction statistics from the embedded predictor.
+    pub mispredicts: MispredictStats,
+    /// Final I-cache statistics.
+    pub icache: crate::icache::IcacheStats,
+    /// Mean BPL lead over fetch at the taken-branch line, in cycles:
+    /// positive when the lookahead searched the line before fetch
+    /// arrived (prefetch opportunity).
+    pub mean_bpl_lead: f64,
+}
+
+impl FrontendReport {
+    /// Cycles per instruction as seen by the front end.
+    pub fn frontend_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The coupled front-end simulator.
+#[derive(Debug)]
+pub struct Frontend {
+    predictor: ZPredictor,
+    cfg: FrontendConfig,
+    timing: zbp_core::config::TimingConfig,
+    cpred_enabled: bool,
+    skoot_enabled: bool,
+    /// Stream memo standing in for CPRED/SKOOT *timing* state: stream
+    /// start line → (exit line, leading empty lines).
+    stream_memo: HashMap<u64, StreamMemo>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamMemo {
+    exit_line: u64,
+    lead_empty_lines: u64,
+}
+
+impl Frontend {
+    /// Builds a front end around a predictor configuration.
+    pub fn new(pred_cfg: PredictorConfig, cfg: FrontendConfig) -> Self {
+        let timing = pred_cfg.timing.clone();
+        let cpred_enabled = pred_cfg.cpred.is_some();
+        let skoot_enabled = pred_cfg.skoot;
+        Frontend {
+            predictor: ZPredictor::new(pred_cfg),
+            cfg,
+            timing,
+            cpred_enabled,
+            skoot_enabled,
+            stream_memo: HashMap::new(),
+        }
+    }
+
+    /// Read access to the embedded predictor.
+    pub fn predictor(&self) -> &ZPredictor {
+        &self.predictor
+    }
+
+    /// The BPL search-issue quantum in cycles (2 under SMT2 port
+    /// sharing).
+    fn quantum(&self) -> u64 {
+        if self.cfg.smt2 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Replays the trace, returning the cycle/stall breakdown.
+    pub fn run(&mut self, trace: &DynamicTrace) -> FrontendReport {
+        let mut rep = FrontendReport::default();
+        let mut icache = Icache::new(self.cfg.icache.clone());
+        let q = self.quantum();
+        let b5 = u64::from(self.timing.search_stages - 1);
+        let b2 = u64::from(self.timing.cpred_reindex_stage);
+        let fetch_q: u64 = if self.cfg.smt2 { 2 } else { 1 };
+
+        // Virtual clocks.
+        let mut bpl_time: u64 = 0; // next b0 issue opportunity
+        let mut fetch_time: u64 = 0; // fetch engine free at
+        let mut dispatch_time: u64 = 0;
+        let mut steer_time: u64 = 0; // when fetch knows where this segment is
+
+        let mut current_pc: Option<InstrAddr> = None;
+        let mut stream_start: Option<InstrAddr> = None;
+        let mut stream_first_branch_seen = false;
+        // Absolute 64B-line number the BPL will search next, and the b0
+        // cycle of the most recent search (for same-line branches).
+        let mut search_cursor: Option<u64> = None;
+        let mut last_b0: u64 = 0;
+        // cache line -> (fill completes at, fill latency), for lines the
+        // BPL prefetched along its path.
+        let mut prefetch_ready: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut lead_samples: (f64, u64) = (0.0, 0);
+
+        for rec in trace.branches() {
+            let seg_start = current_pc.unwrap_or(rec.addr);
+            let seg_end = rec.fall_through();
+            let seg_bytes = if seg_end.raw() > seg_start.raw()
+                && seg_end.raw() - seg_start.raw() < (u64::from(rec.gap_instrs) + 1) * 6 + 64
+            {
+                seg_end.raw() - seg_start.raw()
+            } else {
+                (u64::from(rec.gap_instrs) + 1) * 5
+            };
+            let n_instrs = u64::from(rec.gap_instrs) + 1;
+
+            // ---- functional prediction -----------------------------------
+            let pred = self.predictor.predict(rec.addr, rec.class());
+            let kind = rep.mispredicts.record(&pred, rec);
+
+            // ---- BPL search timing (incremental per stream) ---------------
+            let start = stream_start.unwrap_or(seg_start);
+            let stream_line = start.raw() / LINE_64B;
+            let mut from_line = search_cursor.unwrap_or(stream_line);
+            // SKOOT: on a revisited stream whose leading lines are
+            // empty, skip straight past them on stream entry.
+            if self.skoot_enabled && !stream_first_branch_seen {
+                if let Some(memo) = self.stream_memo.get(&stream_line) {
+                    from_line += memo.lead_empty_lines;
+                }
+            }
+            let target_line = rec.addr.raw() / LINE_64B;
+            if !stream_first_branch_seen {
+                // Lead-empty-lines learning for this stream.
+                let lead = target_line.saturating_sub(stream_line);
+                let entry = self
+                    .stream_memo
+                    .entry(stream_line)
+                    .or_insert(StreamMemo { exit_line: 0, lead_empty_lines: lead });
+                entry.lead_empty_lines = entry.lead_empty_lines.min(lead);
+                stream_first_branch_seen = true;
+            }
+            let from_line = from_line.min(target_line);
+            // Issue one search per not-yet-searched line; prefetch each
+            // line's 256B cache line as the BPL passes it (§IV).
+            let mut b0 = bpl_time.div_ceil(q) * q;
+            for line in from_line..=target_line {
+                let line_addr = InstrAddr::new(line * LINE_64B);
+                let cl = line_addr.raw() / self.cfg.icache.line_bytes;
+                if self.cfg.bpl_prefetch {
+                    if let std::collections::hash_map::Entry::Vacant(e) = prefetch_ready.entry(cl) {
+                        // The prefetch completes after the actual fill
+                        // latency from the moment the BPL searched it.
+                        let lat = icache.prefetch(line_addr).map_or(0, u64::from);
+                        e.insert((b0 + lat, lat));
+                    }
+                }
+                b0 += q;
+                last_b0 = b0 - q;
+            }
+            search_cursor = Some(target_line + 1);
+            let taken_b0 = last_b0;
+            let prediction_ready = taken_b0 + b5;
+            // Bound the prefetch memo so long runs stay lean.
+            if prefetch_ready.len() > 4096 {
+                prefetch_ready.clear();
+            }
+
+            // ---- fetch timing --------------------------------------------
+            // A demand miss blocks the in-order fetch engine for its
+            // full latency. A line the BPL prefetched is different: the
+            // fill was issued early and proceeds in parallel, so it only
+            // delays *consumption* if it is still in flight when the
+            // streamed bytes would otherwise be ready — the paper's
+            // miss-hiding mechanism (§IV).
+            let fetch_begin = fetch_time.max(steer_time);
+            let mut blocking = 0u64;
+            let mut hidden = 0u64;
+            let mut fill_ready_max = 0u64;
+            let mut fill_lat_sum = 0u64;
+            let lines256 = seg_bytes / self.cfg.icache.line_bytes + 1;
+            let mut faddr = seg_start;
+            for _ in 0..lines256 {
+                let cl = faddr.raw() / self.cfg.icache.line_bytes;
+                // Each fill is accounted once, at first consumption.
+                let prefetched = prefetch_ready.remove(&cl);
+                let (_, penalty) = icache.access(faddr);
+                if penalty > 0 {
+                    blocking += u64::from(penalty);
+                } else if let Some((ready, lat)) = prefetched {
+                    fill_ready_max = fill_ready_max.max(ready);
+                    fill_lat_sum += lat;
+                }
+                faddr = InstrAddr::new(faddr.raw() + self.cfg.icache.line_bytes);
+            }
+            // Streaming the bytes at 32 B/cycle (halved under SMT2).
+            let streamed = fetch_begin + blocking + (seg_bytes / 32 + 1) * fetch_q;
+            // In-flight prefetch fills gate delivery only past the
+            // streaming point.
+            let fetch_done = streamed.max(fill_ready_max);
+            let fill_wait = fetch_done - streamed;
+            hidden += fill_lat_sum.saturating_sub(fill_wait);
+            rep.icache_stall_cycles += blocking + fill_wait;
+            rep.icache_hidden_cycles += hidden;
+
+            // ---- dispatch synchronization --------------------------------
+            let data_ready = fetch_done;
+            let pred_ready = prediction_ready;
+            let begin = dispatch_time.max(data_ready).max(pred_ready);
+            // Dispatch waits on prediction only for the cycles beyond
+            // what fetch and earlier dispatch already imposed (§IV
+            // strict synchronization).
+            rep.bpl_wait_cycles += pred_ready.saturating_sub(data_ready.max(dispatch_time));
+            // BPL lead at the taken line: fetch arrival minus the BPL's
+            // b0 for that line (positive = searched before needed).
+            lead_samples.0 += fetch_done as f64 - taken_b0 as f64;
+            lead_samples.1 += 1;
+            let done = begin + n_instrs.div_ceil(u64::from(self.cfg.dispatch_width)).max(1);
+            rep.instructions += n_instrs;
+            dispatch_time = done;
+            fetch_time = fetch_done;
+
+            // ---- outcome handling ----------------------------------------
+            let resolve_at = done + u64::from(self.cfg.resolve_delay);
+            self.predictor.complete(rec, &pred);
+            if let Some(k) = kind {
+                // Branch-wrong restart: everything resynchronizes after
+                // the architectural penalty plus refill inefficiency.
+                let _ = k;
+                self.predictor.flush(rec);
+                let restart = resolve_at
+                    + u64::from(self.timing.restart_penalty)
+                    + u64::from(self.timing.restart_refill_overhead);
+                rep.restart_cycles += restart - done;
+                rep.restarts += 1;
+                dispatch_time = restart;
+                fetch_time = restart;
+                bpl_time = restart;
+                steer_time = restart;
+                current_pc = Some(rec.next_pc());
+                stream_start = Some(rec.next_pc());
+                stream_first_branch_seen = false;
+                search_cursor = None;
+                if let Some(MispredictKind::Direction) = kind {
+                    // nothing extra; target stalls handled below
+                }
+                continue;
+            }
+
+            // Surprise-branch front-end effects.
+            if !pred.dynamic && rec.taken {
+                if rec.class().is_indirect() {
+                    // Fetch shuts down until the execution units produce
+                    // the target.
+                    let stall_until = resolve_at;
+                    rep.indirect_target_stall_cycles += stall_until.saturating_sub(fetch_time);
+                    fetch_time = fetch_time.max(stall_until);
+                    bpl_time = bpl_time.max(stall_until);
+                    steer_time = stall_until;
+                } else {
+                    // Decode computes the relative target: small bubble.
+                    rep.decode_redirect_cycles += u64::from(self.cfg.decode_redirect_penalty);
+                    fetch_time += u64::from(self.cfg.decode_redirect_penalty);
+                    steer_time = fetch_time;
+                    bpl_time = bpl_time.max(fetch_time);
+                }
+                current_pc = Some(rec.next_pc());
+                stream_start = Some(rec.next_pc());
+                stream_first_branch_seen = false;
+                search_cursor = None;
+                continue;
+            }
+
+            if rec.taken {
+                // Predicted-taken redirect: CPRED hit (stream revisited)
+                // re-indexes at b2, otherwise at b5.
+                let start_line = start.raw() / LINE_64B;
+                let memo_hit = self.cpred_enabled
+                    && self
+                        .stream_memo
+                        .get(&start_line)
+                        .is_some_and(|m| m.exit_line == rec.addr.raw() / LINE_64B);
+                bpl_time = if memo_hit { taken_b0 + b2 } else { taken_b0 + b5 };
+                self.stream_memo
+                    .entry(start_line)
+                    .and_modify(|m| m.exit_line = rec.addr.raw() / LINE_64B)
+                    .or_insert(StreamMemo {
+                        exit_line: rec.addr.raw() / LINE_64B,
+                        lead_empty_lines: 0,
+                    });
+                // Fetch steering for the next segment becomes available
+                // only when the taken prediction is presented (fetch
+                // cannot redirect to a target it does not know).
+                steer_time = steer_time.max(prediction_ready);
+                current_pc = Some(rec.target);
+                stream_start = Some(rec.target);
+                stream_first_branch_seen = false;
+                search_cursor = None;
+            } else {
+                // Sequential continuation: the BPL keeps searching ahead
+                // from the line after its cursor.
+                bpl_time = taken_b0 + q;
+                current_pc = Some(rec.fall_through());
+            }
+        }
+
+        // Straight-line tail instructions after the last branch.
+        let tail = trace.instruction_count().saturating_sub(rep.instructions);
+        if tail > 0 {
+            rep.instructions += tail;
+            dispatch_time += tail.div_ceil(u64::from(self.cfg.dispatch_width));
+            rep.mispredicts.add_instructions(tail);
+        }
+        rep.cycles = dispatch_time;
+        rep.icache = icache.stats;
+        rep.mean_bpl_lead =
+            if lead_samples.1 == 0 { 0.0 } else { lead_samples.0 / lead_samples.1 as f64 };
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_core::GenerationPreset;
+    use zbp_trace::workloads;
+
+    fn run(preset: GenerationPreset, smt2: bool, instrs: u64) -> FrontendReport {
+        let trace = workloads::lspr_like(5, instrs).dynamic_trace();
+        let mut fe =
+            Frontend::new(preset.config(), FrontendConfig { smt2, ..FrontendConfig::default() });
+        fe.run(&trace)
+    }
+
+    #[test]
+    fn produces_consistent_accounting() {
+        let rep = run(GenerationPreset::Z15, false, 30_000);
+        assert!(rep.cycles > 0);
+        assert_eq!(rep.instructions, rep.mispredicts.instructions.get());
+        assert!(rep.frontend_cpi() > 0.1, "cpi {}", rep.frontend_cpi());
+        assert!(rep.frontend_cpi() < 50.0, "cpi {}", rep.frontend_cpi());
+        assert!(rep.restarts > 0, "an LSPR mix mispredicts sometimes");
+        assert!(rep.restart_cycles >= rep.restarts * 26);
+    }
+
+    #[test]
+    fn smt2_thread_is_slower_than_st() {
+        let st = run(GenerationPreset::Z15, false, 30_000);
+        let smt = run(GenerationPreset::Z15, true, 30_000);
+        assert!(
+            smt.cycles > st.cycles,
+            "one SMT2 thread sees port sharing: {} vs {}",
+            smt.cycles,
+            st.cycles
+        );
+    }
+
+    #[test]
+    fn lookahead_prefetch_reduces_fetch_stalls() {
+        let trace = workloads::footprint_sweep(5, 60_000, 300).dynamic_trace();
+        let on = {
+            let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+            fe.run(&trace)
+        };
+        let off = {
+            let cfg = FrontendConfig { bpl_prefetch: false, ..FrontendConfig::default() };
+            let mut fe = Frontend::new(GenerationPreset::Z15.config(), cfg);
+            fe.run(&trace)
+        };
+        assert!(on.icache.prefetches > 0, "the BPL prefetches along its search path");
+        assert!(
+            on.icache_stall_cycles < off.icache_stall_cycles,
+            "lookahead prefetch must reduce fetch stalls: {} vs {}",
+            on.icache_stall_cycles,
+            off.icache_stall_cycles
+        );
+        assert!(on.cycles <= off.cycles, "and total cycles: {} vs {}", on.cycles, off.cycles);
+    }
+
+    #[test]
+    fn z15_front_end_beats_zec12() {
+        let old = run(GenerationPreset::ZEc12, false, 40_000);
+        let new = run(GenerationPreset::Z15, false, 40_000);
+        assert!(
+            new.frontend_cpi() < old.frontend_cpi(),
+            "z15 {:.3} vs zEC12 {:.3}",
+            new.frontend_cpi(),
+            old.frontend_cpi()
+        );
+    }
+
+    #[test]
+    fn compute_loop_has_low_cpi() {
+        let trace = workloads::compute_loop(1, 30_000).dynamic_trace();
+        let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+        let rep = fe.run(&trace);
+        assert!(
+            rep.frontend_cpi() < 1.5,
+            "a tiny predictable kernel should stream: cpi {:.3}",
+            rep.frontend_cpi()
+        );
+    }
+}

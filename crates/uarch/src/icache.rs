@@ -1,0 +1,349 @@
+//! The instruction-cache hierarchy: private L1-I and L2-I, shared L3.
+//!
+//! Latencies follow the paper (§II.A): the 4 MB dedicated per-core L2
+//! I-cache "is delayed a minimal of 8 cycles over the L1 I-cache
+//! access", and the L3 carries "a latency of 45 cycles over an L1 hit".
+
+use serde::{Deserialize, Serialize};
+use zbp_zarch::InstrAddr;
+
+/// Where an instruction fetch was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// L1 instruction cache hit.
+    L1,
+    /// L2 instruction cache hit (+8 cycles).
+    L2,
+    /// On-chip L3 hit (+45 cycles).
+    L3,
+    /// Off-chip (L4/memory) access.
+    Memory,
+}
+
+/// Hierarchy geometry and latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IcacheConfig {
+    /// L1-I capacity in bytes (z15: 128 KB).
+    pub l1_bytes: u64,
+    /// L1-I associativity.
+    pub l1_ways: usize,
+    /// L2-I capacity in bytes (z15: 4 MB).
+    pub l2_bytes: u64,
+    /// L2-I associativity.
+    pub l2_ways: usize,
+    /// Cache-line size in bytes (z: 256 B).
+    pub line_bytes: u64,
+    /// Extra cycles for an L2 hit over an L1 hit.
+    pub l2_penalty: u32,
+    /// Extra cycles for an L3 hit over an L1 hit.
+    pub l3_penalty: u32,
+    /// Extra cycles for an off-chip access over an L1 hit.
+    pub memory_penalty: u32,
+    /// L3 capacity in bytes (z15: 256 MB per chip); modeled as a hit
+    /// for any line previously seen within this budget.
+    pub l3_bytes: u64,
+}
+
+impl Default for IcacheConfig {
+    fn default() -> Self {
+        IcacheConfig {
+            l1_bytes: 128 * 1024,
+            l1_ways: 8,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 8,
+            line_bytes: 256,
+            l2_penalty: 8,
+            l3_penalty: 45,
+            memory_penalty: 250,
+            l3_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcacheStats {
+    /// Demand line accesses.
+    pub accesses: u64,
+    /// Demand hits in L1.
+    pub l1_hits: u64,
+    /// Demand hits in L2.
+    pub l2_hits: u64,
+    /// Demand hits in L3.
+    pub l3_hits: u64,
+    /// Demand off-chip accesses.
+    pub memory: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Prefetches that brought a line the L1 did not have.
+    pub useful_prefetch_fills: u64,
+    /// Demand accesses that hit in L1 on a line brought by prefetch.
+    pub prefetch_covered: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    prefetched: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    sets: Vec<Vec<Option<Line>>>,
+    lru: Vec<Vec<u8>>,
+    ways: usize,
+}
+
+impl Level {
+    fn new(bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        let lines = (bytes / line_bytes) as usize;
+        let sets = (lines / ways).max(1).next_power_of_two();
+        Level {
+            sets: vec![vec![None; ways]; sets],
+            lru: vec![(0..ways as u8).collect(); sets],
+            ways,
+        }
+    }
+
+    fn set_of(&self, line_no: u64) -> usize {
+        (line_no as usize) & (self.sets.len() - 1)
+    }
+
+    fn lookup(&mut self, line_no: u64) -> Option<bool> {
+        let s = self.set_of(line_no);
+        for w in 0..self.ways {
+            if let Some(l) = self.sets[s][w] {
+                if l.tag == line_no {
+                    self.touch(s, w);
+                    return Some(l.prefetched);
+                }
+            }
+        }
+        None
+    }
+
+    fn contains(&self, line_no: u64) -> bool {
+        let s = self.set_of(line_no);
+        self.sets[s].iter().flatten().any(|l| l.tag == line_no)
+    }
+
+    fn fill(&mut self, line_no: u64, prefetched: bool) {
+        let s = self.set_of(line_no);
+        for w in 0..self.ways {
+            if let Some(l) = &mut self.sets[s][w] {
+                if l.tag == line_no {
+                    // Refill keeps the stronger "demand" attribution.
+                    l.prefetched &= prefetched;
+                    self.touch(s, w);
+                    return;
+                }
+            }
+        }
+        let victim = self.sets[s].iter().position(|l| l.is_none()).unwrap_or_else(|| {
+            let mut worst = 0;
+            for w in 1..self.ways {
+                if self.lru[s][w] > self.lru[s][worst] {
+                    worst = w;
+                }
+            }
+            worst
+        });
+        self.sets[s][victim] = Some(Line { tag: line_no, prefetched });
+        self.touch(s, victim);
+    }
+
+    fn touch(&mut self, s: usize, w: usize) {
+        let old = self.lru[s][w];
+        for r in &mut self.lru[s] {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.lru[s][w] = 0;
+    }
+}
+
+/// The modeled hierarchy.
+#[derive(Debug, Clone)]
+pub struct Icache {
+    cfg: IcacheConfig,
+    l1: Level,
+    l2: Level,
+    /// L3 modeled as a bounded recently-seen set (FIFO over line
+    /// numbers).
+    l3_seen: std::collections::VecDeque<u64>,
+    l3_set: std::collections::HashSet<u64>,
+    l3_capacity: usize,
+    /// Statistics.
+    pub stats: IcacheStats,
+}
+
+impl Icache {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: IcacheConfig) -> Self {
+        let l1 = Level::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes);
+        let l2 = Level::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes);
+        let l3_capacity = (cfg.l3_bytes / cfg.line_bytes) as usize;
+        Icache {
+            cfg,
+            l1,
+            l2,
+            l3_seen: std::collections::VecDeque::new(),
+            l3_set: std::collections::HashSet::new(),
+            l3_capacity,
+            stats: IcacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IcacheConfig {
+        &self.cfg
+    }
+
+    fn line_no(&self, addr: InstrAddr) -> u64 {
+        addr.raw() / self.cfg.line_bytes
+    }
+
+    /// A demand fetch of the line containing `addr`: returns the level
+    /// that served it and the added latency in cycles over an L1 hit.
+    pub fn access(&mut self, addr: InstrAddr) -> (CacheLevel, u32) {
+        let line = self.line_no(addr);
+        self.stats.accesses += 1;
+        if let Some(prefetched) = self.l1.lookup(line) {
+            self.stats.l1_hits += 1;
+            if prefetched {
+                self.stats.prefetch_covered += 1;
+            }
+            return (CacheLevel::L1, 0);
+        }
+        let (level, penalty) = self.outer_access(line);
+        self.l1.fill(line, false);
+        (level, penalty)
+    }
+
+    /// A BPL-initiated prefetch of the line containing `addr` into L1.
+    /// Returns the fill latency in cycles when it filled a missing line
+    /// (`None` if the line was already present).
+    pub fn prefetch(&mut self, addr: InstrAddr) -> Option<u32> {
+        let line = self.line_no(addr);
+        self.stats.prefetches += 1;
+        if self.l1.contains(line) {
+            return None;
+        }
+        let (_, penalty) = self.outer_access(line);
+        self.l1.fill(line, true);
+        self.stats.useful_prefetch_fills += 1;
+        Some(penalty)
+    }
+
+    fn outer_access(&mut self, line: u64) -> (CacheLevel, u32) {
+        if self.l2.lookup(line).is_some() {
+            self.stats.l2_hits += 1;
+            return (CacheLevel::L2, self.cfg.l2_penalty);
+        }
+        self.l2.fill(line, false);
+        if self.l3_set.contains(&line) {
+            self.stats.l3_hits += 1;
+            return (CacheLevel::L3, self.cfg.l3_penalty);
+        }
+        // Record in L3.
+        self.l3_seen.push_back(line);
+        self.l3_set.insert(line);
+        if self.l3_seen.len() > self.l3_capacity {
+            if let Some(old) = self.l3_seen.pop_front() {
+                self.l3_set.remove(&old);
+            }
+        }
+        self.stats.memory += 1;
+        (CacheLevel::Memory, self.cfg.memory_penalty)
+    }
+
+    /// L1 demand miss ratio.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.stats.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.stats.l1_hits as f64 / self.stats.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> Icache {
+        Icache::new(IcacheConfig::default())
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = cache();
+        let a = InstrAddr::new(0x10_0000);
+        let (lvl, pen) = c.access(a);
+        assert_eq!(lvl, CacheLevel::Memory);
+        assert_eq!(pen, 250);
+        let (lvl, pen) = c.access(a);
+        assert_eq!(lvl, CacheLevel::L1);
+        assert_eq!(pen, 0);
+        // Same 256B line, different byte.
+        let (lvl, _) = c.access(InstrAddr::new(0x10_00f0));
+        assert_eq!(lvl, CacheLevel::L1);
+    }
+
+    #[test]
+    fn l2_serves_l1_victims_with_8_cycle_penalty() {
+        let mut c = cache();
+        let target = InstrAddr::new(0x10_0000);
+        c.access(target);
+        // Thrash L1 (128KB, 8-way, 256B lines = 64 sets): 9+ lines in
+        // the same set evict the target from L1 but not from 4MB L2.
+        for k in 1..=12u64 {
+            c.access(InstrAddr::new(0x10_0000 + k * 64 * 256));
+        }
+        let (lvl, pen) = c.access(target);
+        assert_eq!(lvl, CacheLevel::L2, "paper: L2-I backs the L1");
+        assert_eq!(pen, 8, "minimal 8 cycles over the L1 access");
+    }
+
+    #[test]
+    fn l3_serves_l2_victims_with_45_cycle_penalty() {
+        let mut c = cache();
+        let target = InstrAddr::new(0x10_0000);
+        c.access(target);
+        // Thrash both L1 and L2 sets for this line.
+        // L2: 4MB/256B/8 ways = 2048 sets.
+        for k in 1..=12u64 {
+            c.access(InstrAddr::new(0x10_0000 + k * 2048 * 256));
+        }
+        let (lvl, pen) = c.access(target);
+        assert_eq!(lvl, CacheLevel::L3);
+        assert_eq!(pen, 45, "45 cycles over an L1 hit");
+    }
+
+    #[test]
+    fn prefetch_hides_the_miss() {
+        let mut c = cache();
+        let a = InstrAddr::new(0x20_0000);
+        assert_eq!(c.prefetch(a), Some(250), "cold line fills from memory");
+        let (lvl, pen) = c.access(a);
+        assert_eq!(lvl, CacheLevel::L1);
+        assert_eq!(pen, 0);
+        assert_eq!(c.stats.prefetch_covered, 1);
+        // Prefetching a present line is not useful.
+        assert_eq!(c.prefetch(a), None);
+        assert_eq!(c.stats.useful_prefetch_fills, 1);
+        assert_eq!(c.stats.prefetches, 2);
+    }
+
+    #[test]
+    fn miss_ratio_accounting() {
+        let mut c = cache();
+        c.access(InstrAddr::new(0x0));
+        c.access(InstrAddr::new(0x0));
+        c.access(InstrAddr::new(0x10000));
+        assert_eq!(c.stats.accesses, 3);
+        assert_eq!(c.stats.l1_hits, 1);
+        assert!((c.l1_miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

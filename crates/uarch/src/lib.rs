@@ -1,0 +1,43 @@
+//! # zbp-uarch — the cycle-level front-end model
+//!
+//! The substrate the branch predictor steers: an instruction-cache
+//! hierarchy with the paper's latencies (L2-I +8 cycles, L3 +45 over an
+//! L1 hit, §II.A/B), a 32 B/cycle instruction-fetch engine (ICM), a
+//! decode/dispatch stage strictly synchronized with branch-prediction
+//! progress (§IV), and a restart model charging the paper's ~26-cycle
+//! architectural / ~35-cycle statistical branch-wrong penalties plus
+//! issue-queue refill overhead (§II.B/D).
+//!
+//! The [`Frontend`] couples a functional
+//! [`ZPredictor`](zbp_core::ZPredictor) (for *what* is predicted) with
+//! the [`SearchPipeline`](zbp_core::pipeline::SearchPipeline) timing
+//! rules (for *when* predictions arrive) and replays a retired-path
+//! trace, producing the stall breakdown the latency/throughput
+//! experiments (E10/E11) report.
+//!
+//! ## Example
+//!
+//! ```
+//! use zbp_core::GenerationPreset;
+//! use zbp_trace::workloads;
+//! use zbp_uarch::{Frontend, FrontendConfig};
+//!
+//! let trace = workloads::compute_loop(1, 20_000).dynamic_trace();
+//! let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+//! let report = fe.run(&trace);
+//! assert!(report.cycles > 0);
+//! assert!(report.frontend_cpi() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosim;
+mod frontend;
+mod icache;
+pub mod lookahead;
+
+pub use cosim::{run_cosim, CosimConfig, CosimReport};
+pub use frontend::{Frontend, FrontendConfig, FrontendReport};
+pub use icache::{CacheLevel, Icache, IcacheConfig, IcacheStats};
+pub use lookahead::{run_lookahead, LookaheadReport};

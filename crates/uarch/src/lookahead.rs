@@ -1,0 +1,154 @@
+//! The lookahead search mode with IDU bad-prediction detection.
+//!
+//! "Another complexity in this type of design is when a predicted branch
+//! does not make sense in terms of the actual instructions at the
+//! predicted branch address. For example, a branch prediction in the
+//! middle of an instruction, or a branch prediction on a non-branch
+//! instruction. These scenarios occur due to partial tagging in the BTB.
+//! In such cases the IDU detects the bad branch prediction, causes the
+//! front end of the processor to restart, and triggers the bad branch
+//! prediction to be removed from the BTB." (paper §IV)
+//!
+//! This mode drives the BTB1's *line-search* port (up to 8 predictions
+//! per 64-byte search, exactly as the b0–b5 pipeline does) along the
+//! retired path, instead of the exact per-branch lookups of the
+//! functional protocol. Because hit detection uses only the partial
+//! tag + halfword offset, aliased entries produce predictions at
+//! addresses that are not branches — which the modeled IDU detects
+//! against the program's true instruction stream and removes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
+use zbp_zarch::InstrAddr;
+
+/// Statistics from a lookahead-mode run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LookaheadReport {
+    /// Line searches performed.
+    pub line_searches: u64,
+    /// Predictions raised by line searches.
+    pub raised_predictions: u64,
+    /// Predictions the IDU rejected as bad (no branch at that address).
+    pub bad_predictions: u64,
+    /// Bad predictions removed from the BTB1.
+    pub removals: u64,
+    /// Front-end restarts caused by bad predictions.
+    pub bad_restarts: u64,
+    /// Functional misprediction statistics for the run.
+    pub mispredicts: MispredictStats,
+}
+
+impl LookaheadReport {
+    /// Bad predictions per thousand instructions.
+    pub fn bad_per_kilo_instr(&self) -> f64 {
+        if self.mispredicts.instructions.get() == 0 {
+            0.0
+        } else {
+            1000.0 * self.bad_predictions as f64 / self.mispredicts.instructions.get() as f64
+        }
+    }
+}
+
+/// Runs the predictor in lookahead line-search mode over a trace.
+///
+/// Two passes: the first collects the true branch-site set (what the
+/// IDU knows from decoding instruction text); the second drives
+/// prediction, with every search's raised predictions screened against
+/// that set. Screening failures exercise
+/// [`ZPredictor::remove_bad_prediction`].
+pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadReport {
+    let mut rep = LookaheadReport::default();
+
+    // Pass 1: the IDU's ground truth — addresses that hold branches.
+    let sites: HashSet<u64> = trace.branches().map(|r| r.addr.raw()).collect();
+
+    let line_bytes = cfg.btb1.search_bytes;
+    let mut p = ZPredictor::new(cfg);
+    let mut search_point: Option<InstrAddr> = None;
+
+    for rec in trace.branches() {
+        // The BPL searches the lines from the current search point up to
+        // this branch's line (the sequential stream the pipeline covers).
+        let from = search_point.unwrap_or(rec.addr).raw() & !(line_bytes - 1);
+        let to = rec.addr.raw() & !(line_bytes - 1);
+        let mut line = from;
+        while line <= to {
+            rep.line_searches += 1;
+            // The prediction-port search raises every matching entry in
+            // the line; the IDU screens them.
+            let hits = p.btb1_search_for_screening(InstrAddr::new(line));
+            for entry_addr in hits {
+                rep.raised_predictions += 1;
+                if !sites.contains(&entry_addr.raw()) {
+                    // A prediction where decode finds no branch: bad
+                    // branch prediction — restart + removal (§IV).
+                    rep.bad_predictions += 1;
+                    rep.bad_restarts += 1;
+                    p.remove_bad_prediction(entry_addr);
+                    rep.removals += 1;
+                }
+            }
+            if line == to {
+                break;
+            }
+            line += line_bytes;
+        }
+
+        // Functional predict/complete keeps the predictor learning as
+        // the real pipeline would.
+        let pred = p.predict(rec.addr, rec.class());
+        rep.mispredicts.record(&pred, rec);
+        p.complete(rec, &pred);
+        if MispredictKind::classify(&pred, rec).is_some() {
+            p.flush(rec);
+        }
+        search_point = Some(rec.next_pc());
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_core::GenerationPreset;
+    use zbp_trace::workloads;
+
+    #[test]
+    fn full_tags_produce_no_bad_predictions() {
+        let mut cfg = GenerationPreset::Z15.config();
+        cfg.btb1.tag_bits = 30; // effectively full tags at our footprints
+        let trace = workloads::lspr_like(7, 40_000).dynamic_trace();
+        let rep = run_lookahead(cfg, &trace);
+        assert!(rep.line_searches > 0);
+        assert!(rep.raised_predictions > 0);
+        assert_eq!(rep.bad_predictions, 0, "no aliasing with wide tags at this footprint");
+    }
+
+    #[test]
+    fn tiny_tags_alias_and_are_detected_and_removed() {
+        let mut cfg = GenerationPreset::Z15.config();
+        cfg.btb1.tag_bits = 2; // 4 tag values: heavy aliasing
+        cfg.btb1.rows = 64; // heavy row sharing too
+        let trace = workloads::lspr_like(7, 60_000).dynamic_trace();
+        let rep = run_lookahead(cfg, &trace);
+        assert!(rep.bad_predictions > 0, "2-bit tags must alias on a large footprint");
+        assert_eq!(rep.removals, rep.bad_predictions, "every bad prediction is removed");
+    }
+
+    #[test]
+    fn bad_rate_decreases_with_tag_width() {
+        let trace = workloads::lspr_like(9, 60_000).dynamic_trace();
+        let mut last = f64::MAX;
+        for bits in [3u32, 6, 10, 14] {
+            let mut cfg = GenerationPreset::Z15.config();
+            cfg.btb1.tag_bits = bits;
+            let rep = run_lookahead(cfg, &trace);
+            let rate = rep.bad_per_kilo_instr();
+            assert!(rate <= last + 0.05, "bad-prediction rate must shrink with tag width");
+            last = rate;
+        }
+        assert!(last < 0.2, "14-bit tags are nearly alias-free here: {last}");
+    }
+}

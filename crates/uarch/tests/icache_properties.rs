@@ -1,0 +1,116 @@
+//! Property tests for the instruction-cache hierarchy and front-end
+//! edge cases.
+
+use proptest::prelude::*;
+use zbp_core::GenerationPreset;
+use zbp_uarch::{Frontend, FrontendConfig, Icache, IcacheConfig};
+use zbp_zarch::InstrAddr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn second_access_to_any_line_hits_l1(addrs in prop::collection::vec(any::<u32>(), 1..50)) {
+        let mut c = Icache::new(IcacheConfig::default());
+        for a in &addrs {
+            let addr = InstrAddr::new(u64::from(*a) & !1);
+            c.access(addr);
+            let (lvl, pen) = c.access(addr);
+            prop_assert_eq!(lvl, zbp_uarch::CacheLevel::L1);
+            prop_assert_eq!(pen, 0);
+        }
+    }
+
+    #[test]
+    fn penalties_are_monotone_in_level(addr in any::<u32>()) {
+        // Whatever level serves a first touch, its penalty must match
+        // the configured ladder.
+        let cfg = IcacheConfig::default();
+        let mut c = Icache::new(cfg.clone());
+        let (lvl, pen) = c.access(InstrAddr::new(u64::from(addr)));
+        let expect = match lvl {
+            zbp_uarch::CacheLevel::L1 => 0,
+            zbp_uarch::CacheLevel::L2 => cfg.l2_penalty,
+            zbp_uarch::CacheLevel::L3 => cfg.l3_penalty,
+            zbp_uarch::CacheLevel::Memory => cfg.memory_penalty,
+        };
+        prop_assert_eq!(pen, expect);
+    }
+
+    #[test]
+    fn prefetch_then_access_is_free(addr in any::<u32>()) {
+        let mut c = Icache::new(IcacheConfig::default());
+        let a = InstrAddr::new(u64::from(addr));
+        c.prefetch(a);
+        let (_, pen) = c.access(a);
+        prop_assert_eq!(pen, 0);
+    }
+
+    #[test]
+    fn stats_add_up(addrs in prop::collection::vec(any::<u16>(), 1..100)) {
+        let mut c = Icache::new(IcacheConfig::default());
+        for a in &addrs {
+            c.access(InstrAddr::new(u64::from(*a) * 64));
+        }
+        let s = c.stats;
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(s.accesses, s.l1_hits + s.l2_hits + s.l3_hits + s.memory);
+    }
+}
+
+#[test]
+fn frontend_empty_trace_is_zero_cycles() {
+    let trace = zbp_model::DynamicTrace::new("empty");
+    let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+    let rep = fe.run(&trace);
+    assert_eq!(rep.cycles, 0);
+    assert_eq!(rep.instructions, 0);
+    assert_eq!(rep.frontend_cpi(), 0.0);
+}
+
+#[test]
+fn frontend_single_branch() {
+    use zbp_model::{BranchRecord, DynamicTrace};
+    use zbp_zarch::Mnemonic;
+    let mut trace = DynamicTrace::new("one");
+    trace.push(BranchRecord::new(
+        InstrAddr::new(0x1000),
+        Mnemonic::Brc,
+        false,
+        InstrAddr::new(0x2000),
+    ));
+    let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+    let rep = fe.run(&trace);
+    assert_eq!(rep.instructions, 1);
+    assert!(rep.cycles >= 6, "at least the b0-b5 pipeline depth");
+}
+
+#[test]
+fn all_generations_run_the_frontend() {
+    let trace = zbp_trace::workloads::lspr_like(3, 15_000).dynamic_trace();
+    let mut last_cpi = f64::MAX;
+    for preset in GenerationPreset::ALL {
+        let mut fe = Frontend::new(preset.config(), FrontendConfig::default());
+        let rep = fe.run(&trace);
+        assert!(rep.cycles > 0, "{preset}");
+        assert_eq!(rep.instructions, trace.instruction_count(), "{preset}");
+        // Not strictly monotone per-workload, but the span should be
+        // sane and z15 must not be the worst.
+        if preset == GenerationPreset::Z15 {
+            assert!(rep.frontend_cpi() <= last_cpi * 1.05, "{preset} regressed front-end CPI");
+        }
+        last_cpi = rep.frontend_cpi();
+    }
+}
+
+#[test]
+fn restart_cycles_scale_with_mispredicts() {
+    let trace = zbp_trace::workloads::indirect_dispatch(5, 20_000).dynamic_trace();
+    let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
+    let rep = fe.run(&trace);
+    assert!(rep.restarts > 0);
+    // Each restart charges at least the architectural penalty.
+    assert!(rep.restart_cycles >= rep.restarts * 26);
+    // And the restart count equals the functional mispredictions.
+    assert_eq!(rep.restarts, rep.mispredicts.mispredictions());
+}

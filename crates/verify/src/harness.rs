@@ -1,0 +1,234 @@
+//! The verification harness: DUT + monitors + stimulus + seeded bugs.
+
+use crate::monitors::{MonitorGeometry, MonitorSet};
+use crate::stimulus::{RandomBranchDriver, StimulusParams};
+use crate::transaction::Transaction;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::{Arc, Mutex};
+use zbp_core::config::PredictorConfig;
+use zbp_core::events::{BplEvent, Probe};
+use zbp_core::ZPredictor;
+use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_zarch::InstrAddr;
+
+/// Which checkers run (modular enable/disable, §VII: "Crosschecking was
+/// done using a modular approach that allowed for disabling certain
+/// checkers via parameter files while there were pending fixes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerConfig {
+    /// Search-side (read) monitors.
+    pub search_side: bool,
+    /// Write-side monitors.
+    pub write_side: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig { search_side: true, write_side: true }
+    }
+}
+
+/// A fault seeded into the observed signal stream, modeling an RTL
+/// defect for mutation-coverage campaigns (experiment E15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeededBug {
+    /// No fault: the healthy DUT.
+    None,
+    /// Install signals are silently dropped with probability `1/denom`
+    /// (a write-enable bug).
+    DropInstalls {
+        /// One out of this many installs is dropped.
+        denom: u32,
+    },
+    /// Predicted targets are corrupted with probability `1/denom`
+    /// (a target-bus bug).
+    CorruptTargets {
+        /// One out of this many predictions is corrupted.
+        denom: u32,
+    },
+    /// Duplicate-filter failures: with probability `1/denom` an install
+    /// writes a *second* slot for a branch instead of being filtered by
+    /// the read-before-write port.
+    BreakDuplicateFilter {
+        /// One out of this many installs duplicates its slot.
+        denom: u32,
+    },
+    /// Restart-protocol failures: pipeline-flush signals are dropped
+    /// with probability `1/denom` after mispredicted completions.
+    DropFlushes {
+        /// One out of this many flushes is dropped.
+        denom: u32,
+    },
+}
+
+/// The result of a verification run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Branch records driven.
+    pub records: u64,
+    /// Transactions observed.
+    pub transactions: usize,
+    /// Checks that ran and held.
+    pub checks_passed: u64,
+    /// Violations, as `(checker, message)` pairs.
+    pub violations: Vec<(String, String)>,
+    /// Functional mispredictions observed while driving (not failures —
+    /// workload characterization).
+    pub mispredicts: u64,
+}
+
+impl CheckReport {
+    /// Whether the run found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The verification harness around one DUT instance.
+#[derive(Debug)]
+pub struct VerifyHarness {
+    dut: ZPredictor,
+    checkers: CheckerConfig,
+    geometry: MonitorGeometry,
+}
+
+impl VerifyHarness {
+    /// Builds a harness around a fresh DUT.
+    pub fn new(cfg: PredictorConfig, checkers: CheckerConfig) -> Self {
+        let geometry = MonitorGeometry::of(&cfg);
+        VerifyHarness { dut: ZPredictor::new(cfg), checkers, geometry }
+    }
+
+    /// Mutable DUT access (for preloading).
+    pub fn dut_mut(&mut self) -> &mut ZPredictor {
+        &mut self.dut
+    }
+
+    /// Runs a constrained-random campaign of `n` branches.
+    pub fn run_constrained_random(
+        &mut self,
+        params: &StimulusParams,
+        seed: u64,
+        n: u64,
+        bug: SeededBug,
+    ) -> CheckReport {
+        let mut driver = RandomBranchDriver::new(params, seed);
+        let records: Vec<_> = (0..n).map(|_| driver.next_record()).collect();
+        self.drive(&records, bug, seed)
+    }
+
+    /// Runs a directed campaign over a coherent program trace.
+    pub fn run_trace(&mut self, trace: &DynamicTrace, bug: SeededBug, seed: u64) -> CheckReport {
+        self.drive(trace.as_slice(), bug, seed)
+    }
+
+    fn drive(
+        &mut self,
+        records: &[zbp_model::BranchRecord],
+        bug: SeededBug,
+        seed: u64,
+    ) -> CheckReport {
+        let recording: Arc<Mutex<Vec<BplEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        self.dut.set_probe(Box::new(SharedRecorder(Arc::clone(&recording))));
+        let mut mispredicts = 0u64;
+        for rec in records {
+            let pred = self.dut.predict(rec.addr, rec.class());
+            let wrong = MispredictKind::classify(&pred, rec).is_some();
+            self.dut.complete(rec, &pred);
+            if wrong {
+                mispredicts += 1;
+                self.dut.flush(rec);
+            }
+        }
+        // Retrieve the signal recording; feed it (optionally tampered)
+        // through the monitors in stream order.
+        drop(self.dut.take_probe());
+        let events = std::mem::take(&mut *recording.lock().expect("recorder lock"));
+        let tampered = tamper(events, bug, seed);
+
+        let mut monitors = MonitorSet::new(self.geometry);
+        monitors.check_search_side = self.checkers.search_side;
+        monitors.check_write_side = self.checkers.write_side;
+        for ev in &tampered {
+            if let Some(tx) = Transaction::from_event(ev) {
+                monitors.observe(&tx);
+            }
+        }
+        monitors.checkpoint();
+
+        CheckReport {
+            records: records.len() as u64,
+            transactions: monitors.transactions,
+            checks_passed: monitors.checks_passed,
+            violations: monitors
+                .violations
+                .into_iter()
+                .map(|v| (v.checker.to_string(), v.message))
+                .collect(),
+            mispredicts,
+        }
+    }
+}
+
+/// A probe writing into a buffer shared with the harness — the signal
+/// tap the monitors read.
+#[derive(Debug)]
+struct SharedRecorder(Arc<Mutex<Vec<BplEvent>>>);
+
+impl Probe for SharedRecorder {
+    fn event(&mut self, ev: &BplEvent) {
+        self.0.lock().expect("recorder lock").push(ev.clone());
+    }
+}
+
+/// Applies a seeded bug to the observed event stream.
+fn tamper(events: Vec<BplEvent>, bug: SeededBug, seed: u64) -> Vec<BplEvent> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb0_6b06);
+    match bug {
+        SeededBug::None => events,
+        SeededBug::DropInstalls { denom } => events
+            .into_iter()
+            .filter(|ev| {
+                !(matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
+                    && rng.random_range(0..denom) == 0)
+            })
+            .collect(),
+        SeededBug::CorruptTargets { denom } => events
+            .into_iter()
+            .map(|ev| match ev {
+                BplEvent::Predict {
+                    addr,
+                    dynamic: true,
+                    direction,
+                    target: Some(t),
+                    dir_provider,
+                    tgt_provider,
+                } if rng.random_range(0..denom) == 0 => BplEvent::Predict {
+                    addr,
+                    dynamic: true,
+                    direction,
+                    target: Some(InstrAddr::new(t.raw() ^ 0x40)),
+                    dir_provider,
+                    tgt_provider,
+                },
+                other => other,
+            })
+            .collect(),
+        SeededBug::DropFlushes { denom } => events
+            .into_iter()
+            .filter(|ev| !(matches!(ev, BplEvent::Flush) && rng.random_range(0..denom) == 0))
+            .collect(),
+        SeededBug::BreakDuplicateFilter { denom } => {
+            let mut out = Vec::with_capacity(events.len());
+            for ev in events {
+                let dup = matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
+                    && rng.random_range(0..denom) == 0;
+                if dup {
+                    out.push(ev.clone());
+                }
+                out.push(ev);
+            }
+            out
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # zbp-verify — white-box verification of the branch predictor
+//!
+//! A reproduction of the paper's §VII verification methodology:
+//!
+//! * **Interface monitors** abstract the DUT's signals (here: the
+//!   [`BplEvent`](zbp_core::events::BplEvent) probe stream) into
+//!   [`Transaction`]s.
+//! * **Hardware-signal-driven reference models**: the search-side
+//!   monitor keeps a shadow BTB1 image updated *only by observed
+//!   hardware writes* — never by expectations — so implementation bugs
+//!   corrupt the model and surface as crosscheck failures, exactly as
+//!   figure 10 describes.
+//! * **Decoupled read/write checking** (figure 11): the search-side and
+//!   write-side monitors share nothing; each can be enabled or disabled
+//!   independently via [`CheckerConfig`].
+//! * **Expect-value checkpoints**: the write-side monitor queues
+//!   expected installs at completion events and crosschecks them against
+//!   actual install transactions; leftovers at the end-of-run checkpoint
+//!   are violations. Expect values are never fed forward as inputs.
+//! * **Constrained-random stimulus** ([`stimulus`]): a parameter block
+//!   of probability knobs drives random branch streams at the DUT.
+//! * **Array preloading** ([`preload`]): BTB1/BTB2 states that would
+//!   take many cycles to reach are installed directly.
+//! * **Seeded-bug (mutation) campaigns**: [`SeededBug`] tampers with the
+//!   observed signal stream the way an RTL defect would, demonstrating
+//!   that the checkers detect it (experiment E15).
+//!
+//! ## Example
+//!
+//! ```
+//! use zbp_core::GenerationPreset;
+//! use zbp_verify::{stimulus::StimulusParams, CheckerConfig, SeededBug, VerifyHarness};
+//!
+//! let mut h = VerifyHarness::new(GenerationPreset::Z15.config(), CheckerConfig::default());
+//! let report = h.run_constrained_random(&StimulusParams::default(), 42, 2_000, SeededBug::None);
+//! assert!(report.is_clean(), "violations: {:?}", report.violations);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod monitors;
+pub mod preload;
+pub mod stimulus;
+mod transaction;
+
+pub use harness::{CheckReport, CheckerConfig, SeededBug, VerifyHarness};
+pub use monitors::{MonitorGeometry, MonitorSet, ShadowBtb1};
+pub use transaction::Transaction;

@@ -1,0 +1,217 @@
+//! Constrained-random stimulus.
+//!
+//! "Constrained random verification environments support a symbolic
+//! language that allows a user to specify constraints in a parameter
+//! file. … Constraints restrict the random behavior of drivers and
+//! allow the user to determine the probability of certain events."
+//! (§VII)
+//!
+//! [`StimulusParams`] is that parameter block; [`RandomBranchDriver`]
+//! interprets it into a stream of branch records driven at the DUT.
+//! Unlike the workload generators in `zbp-trace` (which produce
+//! *coherent programs*), the driver produces deliberately adversarial
+//! randomness — alias pressure, inconsistent revisits, tiny address
+//! pools — to reach corner cases.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use zbp_model::BranchRecord;
+use zbp_zarch::{InstrAddr, Mnemonic};
+
+/// The constraint parameter block (the "parameter file").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StimulusParams {
+    /// Number of distinct branch sites to draw from.
+    pub site_pool: usize,
+    /// Base of the branch-address pool.
+    pub addr_base: u64,
+    /// Byte span of the branch-address pool (small spans create row and
+    /// alias pressure).
+    pub addr_span: u64,
+    /// Probability a site is conditional (vs unconditional).
+    pub p_conditional: f64,
+    /// Probability a conditional site resolves taken on each execution.
+    pub p_taken: f64,
+    /// Probability a site is indirect.
+    pub p_indirect: f64,
+    /// Probability a site is link-setting (call-like).
+    pub p_call: f64,
+    /// Number of distinct targets an indirect site rotates among.
+    pub indirect_fanout: usize,
+    /// Probability of re-executing a recent site (temporal locality).
+    pub p_revisit: f64,
+}
+
+impl Default for StimulusParams {
+    fn default() -> Self {
+        StimulusParams {
+            site_pool: 256,
+            addr_base: 0x0200_0000,
+            addr_span: 1 << 20,
+            p_conditional: 0.6,
+            p_taken: 0.5,
+            p_indirect: 0.15,
+            p_call: 0.1,
+            indirect_fanout: 4,
+            p_revisit: 0.7,
+        }
+    }
+}
+
+impl StimulusParams {
+    /// A high-pressure variant: a tiny address pool maximizing row
+    /// conflicts and capacity churn.
+    pub fn high_pressure() -> Self {
+        StimulusParams { site_pool: 2048, addr_span: 1 << 14, p_revisit: 0.3, ..Self::default() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Site {
+    addr: InstrAddr,
+    mnemonic: Mnemonic,
+    targets: Vec<InstrAddr>,
+    rotation: usize,
+}
+
+/// Interprets a [`StimulusParams`] block into a random branch stream.
+#[derive(Debug)]
+pub struct RandomBranchDriver {
+    sites: Vec<Site>,
+    rng: StdRng,
+    p_taken: f64,
+    p_revisit: f64,
+    recent: Vec<usize>,
+}
+
+impl RandomBranchDriver {
+    /// Builds the driver (deterministic per seed).
+    pub fn new(params: &StimulusParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites = Vec::with_capacity(params.site_pool);
+        for _ in 0..params.site_pool {
+            let addr =
+                InstrAddr::new(params.addr_base + (rng.random_range(0..params.addr_span) & !1));
+            let mnemonic = if rng.random_bool(params.p_call) {
+                if rng.random_bool(0.5) {
+                    Mnemonic::Brasl
+                } else {
+                    Mnemonic::Basr
+                }
+            } else if rng.random_bool(params.p_indirect) {
+                Mnemonic::Br
+            } else if rng.random_bool(params.p_conditional) {
+                *[Mnemonic::Brc, Mnemonic::Brcl, Mnemonic::Brct]
+                    .get(rng.random_range(0..3))
+                    .expect("index")
+            } else {
+                if rng.random_bool(0.5) {
+                    Mnemonic::J
+                } else {
+                    Mnemonic::Jg
+                }
+            };
+            let fanout =
+                if mnemonic.class().is_indirect() { params.indirect_fanout.max(1) } else { 1 };
+            let targets = (0..fanout)
+                .map(|_| {
+                    InstrAddr::new(params.addr_base + (rng.random_range(0..params.addr_span) & !1))
+                })
+                .collect();
+            sites.push(Site { addr, mnemonic, targets, rotation: 0 });
+        }
+        RandomBranchDriver {
+            sites,
+            rng,
+            p_taken: params.p_taken,
+            p_revisit: params.p_revisit,
+            recent: Vec::new(),
+        }
+    }
+
+    /// Draws the next random branch record.
+    pub fn next_record(&mut self) -> BranchRecord {
+        let idx = if !self.recent.is_empty() && self.rng.random_bool(self.p_revisit) {
+            self.recent[self.rng.random_range(0..self.recent.len())]
+        } else {
+            self.rng.random_range(0..self.sites.len())
+        };
+        self.recent.push(idx);
+        if self.recent.len() > 32 {
+            self.recent.remove(0);
+        }
+        let gap = self.rng.random_range(0..8u32);
+        let taken_roll = self.rng.random_bool(self.p_taken);
+        let site = &mut self.sites[idx];
+        let taken = if site.mnemonic.class().is_conditional() { taken_roll } else { true };
+        let target = site.targets[site.rotation % site.targets.len()];
+        site.rotation += 1;
+        BranchRecord::new(site.addr, site.mnemonic, taken, target).with_gap(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = StimulusParams::default();
+        let mut a = RandomBranchDriver::new(&p, 1);
+        let mut b = RandomBranchDriver::new(&p, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+        let mut c = RandomBranchDriver::new(&p, 2);
+        let differs = (0..100).any(|_| a.next_record() != c.next_record());
+        assert!(differs);
+    }
+
+    #[test]
+    fn respects_class_probabilities_roughly() {
+        let p = StimulusParams { p_indirect: 0.0, p_call: 0.0, ..StimulusParams::default() };
+        let mut d = RandomBranchDriver::new(&p, 3);
+        for _ in 0..200 {
+            let r = d.next_record();
+            assert!(
+                !r.class().is_indirect() && !r.class().is_link_setting(),
+                "disabled classes never appear: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconditional_sites_always_take() {
+        let p = StimulusParams { p_conditional: 0.0, p_taken: 0.0, ..StimulusParams::default() };
+        let mut d = RandomBranchDriver::new(&p, 4);
+        for _ in 0..200 {
+            let r = d.next_record();
+            if !r.class().is_conditional() {
+                assert!(r.taken);
+            }
+        }
+    }
+
+    #[test]
+    fn high_pressure_shrinks_the_pool() {
+        let hp = StimulusParams::high_pressure();
+        assert!(hp.addr_span < StimulusParams::default().addr_span);
+        assert!(hp.site_pool > StimulusParams::default().site_pool);
+        let mut d = RandomBranchDriver::new(&hp, 5);
+        for _ in 0..50 {
+            let r = d.next_record();
+            assert!(r.addr.raw() < hp.addr_base + hp.addr_span);
+            assert!(r.addr.raw() >= hp.addr_base);
+        }
+    }
+
+    #[test]
+    fn addresses_are_halfword_aligned() {
+        let mut d = RandomBranchDriver::new(&StimulusParams::default(), 6);
+        for _ in 0..100 {
+            let r = d.next_record();
+            assert!(r.addr.is_halfword_aligned());
+            assert!(r.target.is_halfword_aligned());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Transactions: the abstraction interface monitors raise from signal
+//! activity (figure 11's "Interface Monitors … abstract signals in the
+//! design into Transactions").
+
+use zbp_core::btb::BtbEntry;
+use zbp_core::events::BplEvent;
+use zbp_zarch::{Direction, InstrAddr};
+
+/// A monitored interface transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transaction {
+    /// A prediction-port search.
+    Search {
+        /// Searched address.
+        addr: InstrAddr,
+        /// Whether anything predicted.
+        hit: bool,
+    },
+    /// A produced prediction.
+    Predict {
+        /// Branch address.
+        addr: InstrAddr,
+        /// Dynamic (BTB-backed) or static surprise guess.
+        dynamic: bool,
+        /// Predicted direction.
+        direction: Direction,
+        /// Predicted target, if any.
+        target: Option<InstrAddr>,
+    },
+    /// A write into the BTB1.
+    Install {
+        /// The written entry.
+        entry: BtbEntry,
+        /// Cast-out victim, if any.
+        victim: Option<BtbEntry>,
+        /// Whether the read-before-write filter turned this into an
+        /// update of an existing entry.
+        duplicate: bool,
+    },
+    /// A removal from the BTB1.
+    Remove {
+        /// Removed address.
+        addr: InstrAddr,
+    },
+    /// A completion-time write-port update of an existing entry.
+    Update {
+        /// Post-update entry state.
+        entry: BtbEntry,
+    },
+    /// An instruction completion with resolution.
+    Complete {
+        /// Branch address.
+        addr: InstrAddr,
+        /// Resolved direction.
+        resolved: Direction,
+        /// Resolved target.
+        target: InstrAddr,
+        /// Whether the prediction was wrong.
+        mispredicted: bool,
+    },
+    /// A pipeline flush.
+    Flush,
+}
+
+impl Transaction {
+    /// Raises a transaction from a raw DUT event, if this event is
+    /// interface-visible (some events are internal-only and return
+    /// `None`).
+    pub fn from_event(ev: &BplEvent) -> Option<Transaction> {
+        match ev {
+            BplEvent::Btb1Search { addr, hit } => {
+                Some(Transaction::Search { addr: *addr, hit: *hit })
+            }
+            BplEvent::Predict { addr, dynamic, direction, target, .. } => {
+                Some(Transaction::Predict {
+                    addr: *addr,
+                    dynamic: *dynamic,
+                    direction: *direction,
+                    target: *target,
+                })
+            }
+            BplEvent::Btb1Install { entry, victim, duplicate } => {
+                Some(Transaction::Install { entry: *entry, victim: *victim, duplicate: *duplicate })
+            }
+            BplEvent::Btb1Remove { addr } => Some(Transaction::Remove { addr: *addr }),
+            BplEvent::Btb1Update { entry } => Some(Transaction::Update { entry: *entry }),
+            BplEvent::Complete { addr, resolved, target, mispredicted } => {
+                Some(Transaction::Complete {
+                    addr: *addr,
+                    resolved: *resolved,
+                    target: *target,
+                    mispredicted: *mispredicted,
+                })
+            }
+            BplEvent::Flush => Some(Transaction::Flush),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raises_interface_events_only() {
+        let ev = BplEvent::Btb1Search { addr: InstrAddr::new(0x40), hit: true };
+        assert!(matches!(
+            Transaction::from_event(&ev),
+            Some(Transaction::Search { hit: true, .. })
+        ));
+        let internal = BplEvent::ContextChange { addr: InstrAddr::new(0x40) };
+        assert_eq!(Transaction::from_event(&internal), None);
+        assert_eq!(Transaction::from_event(&BplEvent::Flush), Some(Transaction::Flush));
+    }
+}

@@ -1,0 +1,243 @@
+//! Instruction addresses and fetch-line arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a halfword in bytes. All z instructions are halfword aligned
+/// and relative-branch offsets are expressed in halfwords.
+pub const HALFWORD: u64 = 2;
+
+/// The 64-byte granule the z15 branch-prediction logic searches per cycle
+/// (one BTB1 row covers one 64-byte line).
+pub const LINE_64B: u64 = 64;
+
+/// The 32-byte granule instruction fetch consumes per cycle, and the
+/// per-port search granule of the z13/z14 two-port designs.
+pub const LINE_32B: u64 = 32;
+
+/// A 64-bit virtual instruction address.
+///
+/// A newtype rather than a bare `u64` so that instruction addresses,
+/// byte counts and table indices cannot be mixed up. The predictor
+/// model derives all of its index/tag arithmetic from this type.
+///
+/// # Example
+///
+/// ```
+/// use zbp_zarch::InstrAddr;
+/// let ia = InstrAddr::new(0x1000_0046);
+/// assert_eq!(ia.line64(), InstrAddr::new(0x1000_0040));
+/// assert_eq!(ia.offset_in_line64(), 6);
+/// assert_eq!(ia.next_seq(4), InstrAddr::new(0x1000_004a));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct InstrAddr(u64);
+
+impl InstrAddr {
+    /// Creates an instruction address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        InstrAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address aligned down to its 64-byte line.
+    pub const fn line64(self) -> Self {
+        InstrAddr(self.0 & !(LINE_64B - 1))
+    }
+
+    /// Returns the address aligned down to its 32-byte line.
+    pub const fn line32(self) -> Self {
+        InstrAddr(self.0 & !(LINE_32B - 1))
+    }
+
+    /// Returns the byte offset of this address within its 64-byte line.
+    pub const fn offset_in_line64(self) -> u64 {
+        self.0 & (LINE_64B - 1)
+    }
+
+    /// Returns the byte offset of this address within its 32-byte line.
+    pub const fn offset_in_line32(self) -> u64 {
+        self.0 & (LINE_32B - 1)
+    }
+
+    /// Returns the 64-byte line *number* (address divided by 64).
+    ///
+    /// Useful as the unit of the SKOOT skip-distance field, which counts
+    /// whole 64-byte lines that contain no predictable branch.
+    pub const fn line64_number(self) -> u64 {
+        self.0 / LINE_64B
+    }
+
+    /// Returns the address of the sequentially next instruction given the
+    /// byte length of the instruction at this address.
+    pub const fn next_seq(self, len_bytes: u64) -> Self {
+        InstrAddr(self.0.wrapping_add(len_bytes))
+    }
+
+    /// Returns the address advanced by `n` whole 64-byte lines, aligned
+    /// to the start of that line.
+    pub const fn advance_lines64(self, n: u64) -> Self {
+        InstrAddr(self.line64().0.wrapping_add(n * LINE_64B))
+    }
+
+    /// Computes the target of a relative branch: this address plus a
+    /// signed halfword offset, exactly as the z front end does.
+    pub const fn offset_halfwords(self, halfwords: i64) -> Self {
+        InstrAddr(self.0.wrapping_add_signed(halfwords * HALFWORD as i64))
+    }
+
+    /// Adds a signed byte displacement.
+    pub const fn offset_bytes(self, bytes: i64) -> Self {
+        InstrAddr(self.0.wrapping_add_signed(bytes))
+    }
+
+    /// Whether the address is halfword aligned (a legal instruction
+    /// address in this architecture).
+    pub const fn is_halfword_aligned(self) -> bool {
+        self.0.is_multiple_of(HALFWORD)
+    }
+
+    /// Absolute distance in bytes between two instruction addresses.
+    ///
+    /// This is the quantity the call/return-stack heuristic thresholds:
+    /// a taken branch whose target is "far away" is a call candidate.
+    pub const fn distance_bytes(self, other: InstrAddr) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Extracts `width` bits starting at bit position `lo` (bit 0 = LSB).
+    ///
+    /// The predictor model uses this for index/tag/hash derivation, e.g.
+    /// the 2-bit "branch GPV" hash of a taken branch's address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `lo + width > 64`.
+    pub fn bits(self, lo: u32, width: u32) -> u64 {
+        assert!(width > 0 && lo + width <= 64, "bit range out of bounds");
+        if width == 64 {
+            self.0
+        } else {
+            (self.0 >> lo) & ((1u64 << width) - 1)
+        }
+    }
+}
+
+impl From<u64> for InstrAddr {
+    fn from(raw: u64) -> Self {
+        InstrAddr(raw)
+    }
+}
+
+impl From<InstrAddr> for u64 {
+    fn from(ia: InstrAddr) -> Self {
+        ia.0
+    }
+}
+
+impl fmt::Display for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let ia = InstrAddr::new(0x1000_007e);
+        assert_eq!(ia.line64().raw(), 0x1000_0040);
+        assert_eq!(ia.line32().raw(), 0x1000_0060);
+        assert_eq!(ia.offset_in_line64(), 0x3e);
+        assert_eq!(ia.offset_in_line32(), 0x1e);
+    }
+
+    #[test]
+    fn line_number_and_advance() {
+        let ia = InstrAddr::new(0x1000_0040);
+        assert_eq!(ia.line64_number(), 0x1000_0040 / 64);
+        assert_eq!(ia.advance_lines64(2).raw(), 0x1000_00c0);
+        // advance aligns first
+        assert_eq!(InstrAddr::new(0x1000_0041).advance_lines64(1).raw(), 0x1000_0080);
+    }
+
+    #[test]
+    fn relative_offsets() {
+        let ia = InstrAddr::new(0x2000);
+        assert_eq!(ia.offset_halfwords(3).raw(), 0x2006);
+        assert_eq!(ia.offset_halfwords(-4).raw(), 0x1ff8);
+        assert_eq!(ia.offset_bytes(-2).raw(), 0x1ffe);
+    }
+
+    #[test]
+    fn alignment_check() {
+        assert!(InstrAddr::new(0x1000).is_halfword_aligned());
+        assert!(!InstrAddr::new(0x1001).is_halfword_aligned());
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = InstrAddr::new(0x1000);
+        let b = InstrAddr::new(0x1800);
+        assert_eq!(a.distance_bytes(b), 0x800);
+        assert_eq!(b.distance_bytes(a), 0x800);
+        assert_eq!(a.distance_bytes(a), 0);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let ia = InstrAddr::new(0xdead_beef_1234_5678);
+        assert_eq!(ia.bits(0, 4), 0x8);
+        assert_eq!(ia.bits(4, 8), 0x67);
+        assert_eq!(ia.bits(0, 64), 0xdead_beef_1234_5678);
+        assert_eq!(ia.bits(60, 4), 0xd);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit range out of bounds")]
+    fn bit_extraction_out_of_range_panics() {
+        InstrAddr::new(0).bits(60, 8);
+    }
+
+    #[test]
+    fn wrapping_is_well_defined() {
+        let top = InstrAddr::new(u64::MAX - 1);
+        assert_eq!(top.next_seq(4).raw(), 2);
+        assert_eq!(InstrAddr::new(0).offset_halfwords(-1).raw(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn display_formats_as_hex() {
+        let ia = InstrAddr::new(0xabc);
+        assert_eq!(ia.to_string(), "0x0000000000000abc");
+        assert_eq!(format!("{ia:x}"), "abc");
+        assert_eq!(format!("{ia:X}"), "ABC");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let ia: InstrAddr = 0x42u64.into();
+        let raw: u64 = ia.into();
+        assert_eq!(raw, 0x42);
+    }
+}

@@ -1,0 +1,347 @@
+//! Instruction-text encoding and decoding for the modeled branch
+//! subset.
+//!
+//! Real z/Architecture opcodes are used where the mnemonic maps to a
+//! specific opcode byte (e.g. `BC` = 0x47, `BRAS` = 0xA75, `BRCL` =
+//! 0xC04). Decoding recovers the mnemonic, the condition mask and the
+//! relative offset — which is what the IDU needs to apply static
+//! guesses and compute relative targets at decode time (paper §IV).
+//!
+//! Non-branch instructions are encoded as representative arithmetic ops
+//! of each format length, so whole basic blocks can be rendered into
+//! honest byte streams.
+
+use crate::addr::InstrAddr;
+use crate::insn::{InstrLength, Mnemonic};
+use std::fmt;
+
+/// A decoded branch: mnemonic, condition mask and (for relative forms)
+/// the signed halfword offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedBranch {
+    /// Which branch instruction.
+    pub mnemonic: Mnemonic,
+    /// The 4-bit condition mask (15 = unconditional forms; count
+    /// register forms carry their register here).
+    pub mask: u8,
+    /// Signed halfword offset for relative forms; `None` for register
+    /// (indirect) forms.
+    pub offset_halfwords: Option<i32>,
+}
+
+impl DecodedBranch {
+    /// The branch's target given its own address (relative forms only).
+    pub fn relative_target(&self, at: InstrAddr) -> Option<InstrAddr> {
+        self.offset_halfwords.map(|hw| at.offset_halfwords(i64::from(hw)))
+    }
+}
+
+/// An encoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The halfword offset does not fit the instruction format's
+    /// immediate field (16-bit for RI, 32-bit for RIL).
+    OffsetOutOfRange,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("relative offset does not fit the instruction format")
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes a branch instruction into its machine bytes.
+///
+/// `mask` is the condition mask (or R1 for count/link forms);
+/// `offset_halfwords` supplies the RI/RIL immediate for relative forms
+/// and is ignored for register forms.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::OffsetOutOfRange`] when a relative offset
+/// exceeds the format's immediate width.
+pub fn encode_branch(
+    mnemonic: Mnemonic,
+    mask: u8,
+    offset_halfwords: i32,
+) -> Result<Vec<u8>, EncodeError> {
+    let m = mask & 0xf;
+    let ri16 = || -> Result<[u8; 2], EncodeError> {
+        i16::try_from(offset_halfwords)
+            .map(|v| v.to_be_bytes())
+            .map_err(|_| EncodeError::OffsetOutOfRange)
+    };
+    Ok(match mnemonic {
+        // RR formats: opcode, R1R2.
+        Mnemonic::Bcr => vec![0x07, (m << 4) | 0x1],
+        Mnemonic::Br => vec![0x07, 0xf1],
+        Mnemonic::Bctr => vec![0x06, (m << 4) | 0x1],
+        Mnemonic::Balr => vec![0x05, (m << 4) | 0x1],
+        Mnemonic::Basr => vec![0x0d, (m << 4) | 0x1],
+        // RX formats: opcode, R1X2, B2D2 (register/displacement fields
+        // are representative).
+        Mnemonic::Bc => vec![0x47, m << 4, 0x20, 0x00],
+        Mnemonic::Bct => vec![0x46, m << 4, 0x20, 0x00],
+        Mnemonic::Bal => vec![0x45, m << 4, 0x20, 0x00],
+        // RI formats: opcode nibble pair, immediate16.
+        Mnemonic::Brc => {
+            let imm = ri16()?;
+            vec![0xa7, (m << 4) | 0x4, imm[0], imm[1]]
+        }
+        Mnemonic::J => {
+            let imm = ri16()?;
+            vec![0xa7, 0xf4, imm[0], imm[1]]
+        }
+        Mnemonic::Brct => {
+            let imm = ri16()?;
+            vec![0xa7, (m << 4) | 0x6, imm[0], imm[1]]
+        }
+        Mnemonic::Bras => {
+            let imm = ri16()?;
+            vec![0xa7, (m << 4) | 0x5, imm[0], imm[1]]
+        }
+        // RIL formats: opcode nibble pair, immediate32.
+        Mnemonic::Brcl => {
+            let imm = offset_halfwords.to_be_bytes();
+            vec![0xc0, (m << 4) | 0x4, imm[0], imm[1], imm[2], imm[3]]
+        }
+        Mnemonic::Jg => {
+            let imm = offset_halfwords.to_be_bytes();
+            vec![0xc0, 0xf4, imm[0], imm[1], imm[2], imm[3]]
+        }
+        Mnemonic::Brasl => {
+            let imm = offset_halfwords.to_be_bytes();
+            vec![0xc0, (m << 4) | 0x5, imm[0], imm[1], imm[2], imm[3]]
+        }
+    })
+}
+
+/// Encodes a representative non-branch instruction of the given length
+/// (`LR`, `LGR`-style RRE, and a 6-byte RXY load).
+pub fn encode_filler(length: InstrLength) -> Vec<u8> {
+    match length {
+        InstrLength::Two => vec![0x18, 0x12],              // LR r1,r2
+        InstrLength::Four => vec![0xb9, 0x04, 0x00, 0x12], // LGR r1,r2
+        InstrLength::Six => vec![0xe3, 0x10, 0x20, 0x00, 0x00, 0x04], // LG r1,d(b2)
+    }
+}
+
+/// The instruction length implied by the first opcode byte's top two
+/// bits — the z rule the decoder applies before anything else.
+pub fn length_of_first_byte(b0: u8) -> InstrLength {
+    match b0 >> 6 {
+        0b00 => InstrLength::Two,
+        0b01 | 0b10 => InstrLength::Four,
+        _ => InstrLength::Six,
+    }
+}
+
+/// Decodes the instruction at the start of `bytes`: its length, and the
+/// branch description when it is one of the modeled branch opcodes.
+///
+/// Returns `None` when fewer bytes remain than the instruction needs.
+pub fn decode(bytes: &[u8]) -> Option<(InstrLength, Option<DecodedBranch>)> {
+    let b0 = *bytes.first()?;
+    let len = length_of_first_byte(b0);
+    if bytes.len() < len.bytes() as usize {
+        return None;
+    }
+    let mask = |b1: u8| b1 >> 4;
+    let branch = match (b0, len) {
+        (0x07, _) => Some(DecodedBranch {
+            mnemonic: if mask(bytes[1]) == 0xf { Mnemonic::Br } else { Mnemonic::Bcr },
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0x06, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Bctr,
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0x05, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Balr,
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0x0d, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Basr,
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0x47, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Bc,
+            mask: mask(bytes[1]),
+            offset_halfwords: None, // storage-operand target: indirect
+        }),
+        (0x46, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Bct,
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0x45, _) => Some(DecodedBranch {
+            mnemonic: Mnemonic::Bal,
+            mask: mask(bytes[1]),
+            offset_halfwords: None,
+        }),
+        (0xa7, _) => {
+            let op2 = bytes[1] & 0xf;
+            let imm = i32::from(i16::from_be_bytes([bytes[2], bytes[3]]));
+            let m = mask(bytes[1]);
+            match op2 {
+                0x4 => Some(DecodedBranch {
+                    mnemonic: if m == 0xf { Mnemonic::J } else { Mnemonic::Brc },
+                    mask: m,
+                    offset_halfwords: Some(imm),
+                }),
+                0x5 => Some(DecodedBranch {
+                    mnemonic: Mnemonic::Bras,
+                    mask: m,
+                    offset_halfwords: Some(imm),
+                }),
+                0x6 => Some(DecodedBranch {
+                    mnemonic: Mnemonic::Brct,
+                    mask: m,
+                    offset_halfwords: Some(imm),
+                }),
+                _ => None,
+            }
+        }
+        (0xc0, _) => {
+            let op2 = bytes[1] & 0xf;
+            let imm = i32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+            let m = mask(bytes[1]);
+            match op2 {
+                0x4 => Some(DecodedBranch {
+                    mnemonic: if m == 0xf { Mnemonic::Jg } else { Mnemonic::Brcl },
+                    mask: m,
+                    offset_halfwords: Some(imm),
+                }),
+                0x5 => Some(DecodedBranch {
+                    mnemonic: Mnemonic::Brasl,
+                    mask: m,
+                    offset_halfwords: Some(imm),
+                }),
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    Some((len, branch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_follow_the_top_bits_rule() {
+        assert_eq!(length_of_first_byte(0x07), InstrLength::Two); // 00xx
+        assert_eq!(length_of_first_byte(0x47), InstrLength::Four); // 01xx
+        assert_eq!(length_of_first_byte(0xa7), InstrLength::Four); // 10xx
+        assert_eq!(length_of_first_byte(0xc0), InstrLength::Six); // 11xx
+        assert_eq!(length_of_first_byte(0xe3), InstrLength::Six);
+    }
+
+    #[test]
+    fn every_branch_roundtrips() {
+        for mn in Mnemonic::ALL {
+            let enc = encode_branch(mn, 0x8, 100).expect("encodes");
+            assert_eq!(enc.len() as u64, mn.length().bytes(), "{mn}");
+            let (len, br) = decode(&enc).expect("decodes");
+            assert_eq!(len, mn.length(), "{mn}");
+            let br = br.unwrap_or_else(|| panic!("{mn} must decode as a branch"));
+            assert_eq!(br.mnemonic, mn, "{mn}");
+            if !mn.class().is_indirect() && !matches!(mn, Mnemonic::Bct | Mnemonic::Bctr) {
+                // Relative forms carry the offset (loop RX/RR forms are
+                // register/storage-based in text even though we class
+                // them relative for behaviour).
+                if matches!(
+                    mn,
+                    Mnemonic::Brc
+                        | Mnemonic::J
+                        | Mnemonic::Jg
+                        | Mnemonic::Brcl
+                        | Mnemonic::Brct
+                        | Mnemonic::Bras
+                        | Mnemonic::Brasl
+                ) {
+                    assert_eq!(br.offset_halfwords, Some(100), "{mn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_target_computation() {
+        let enc = encode_branch(Mnemonic::J, 0xf, -8).expect("encodes");
+        let (_, br) = decode(&enc).expect("decodes");
+        let br = br.expect("branch");
+        assert_eq!(
+            br.relative_target(InstrAddr::new(0x1010)),
+            Some(InstrAddr::new(0x1000)),
+            "J -8 halfwords lands 16 bytes back"
+        );
+    }
+
+    #[test]
+    fn ri_offset_range_is_enforced() {
+        assert!(encode_branch(Mnemonic::Brc, 0x8, i32::from(i16::MAX)).is_ok());
+        assert_eq!(
+            encode_branch(Mnemonic::Brc, 0x8, i32::from(i16::MAX) + 1),
+            Err(EncodeError::OffsetOutOfRange)
+        );
+        // RIL forms take the full 32 bits.
+        assert!(encode_branch(Mnemonic::Brcl, 0x8, i32::MAX).is_ok());
+    }
+
+    #[test]
+    fn mask_15_forms_decode_as_unconditional() {
+        let enc = encode_branch(Mnemonic::Brc, 0xf, 4).expect("encodes");
+        let (_, br) = decode(&enc).expect("decodes");
+        assert_eq!(br.expect("branch").mnemonic, Mnemonic::J, "BRC 15 is J");
+        let enc = encode_branch(Mnemonic::Bcr, 0xf, 0).expect("encodes");
+        let (_, br) = decode(&enc).expect("decodes");
+        assert_eq!(br.expect("branch").mnemonic, Mnemonic::Br, "BCR 15 is BR");
+    }
+
+    #[test]
+    fn fillers_are_not_branches() {
+        for len in InstrLength::ALL {
+            let enc = encode_filler(len);
+            assert_eq!(enc.len() as u64, len.bytes());
+            let (dlen, br) = decode(&enc).expect("decodes");
+            assert_eq!(dlen, len);
+            assert!(br.is_none(), "fillers must not decode as branches");
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_return_none() {
+        let enc = encode_branch(Mnemonic::Brasl, 0x8, 50).expect("encodes");
+        assert!(decode(&enc[..4]).is_none());
+        assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn block_of_instructions_decodes_sequentially() {
+        // filler(2) + BRC + filler(6) + J : walk the block by decoded
+        // lengths like the IDU parser does.
+        let mut block = Vec::new();
+        block.extend(encode_filler(InstrLength::Two));
+        block.extend(encode_branch(Mnemonic::Brc, 0x4, 12).expect("enc"));
+        block.extend(encode_filler(InstrLength::Six));
+        block.extend(encode_branch(Mnemonic::J, 0xf, -6).expect("enc"));
+        let mut at = 0usize;
+        let mut branches = Vec::new();
+        while at < block.len() {
+            let (len, br) = decode(&block[at..]).expect("decodes");
+            if let Some(b) = br {
+                branches.push((at, b.mnemonic));
+            }
+            at += len.bytes() as usize;
+        }
+        assert_eq!(branches, vec![(2, Mnemonic::Brc), (12, Mnemonic::J)]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Instruction and branch classification.
+
+use crate::addr::InstrAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three legal z instruction lengths, determined by the first two
+/// opcode bits in the real architecture.
+///
+/// The average dynamic instruction length on commercial workloads is
+/// about 5 bytes (paper §II.A), which places a branch roughly once every
+/// 25 bytes given one branch per ~4–5 instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstrLength {
+    /// A 2-byte instruction (e.g. `BCR`, `BCTR`, `BASR`).
+    Two,
+    /// A 4-byte instruction (e.g. `BC`, `BCT`, `BRC`, `BRAS`, `BAL`).
+    Four,
+    /// A 6-byte instruction (e.g. `BRCL`, `BRASL`).
+    Six,
+}
+
+impl InstrLength {
+    /// The length in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            InstrLength::Two => 2,
+            InstrLength::Four => 4,
+            InstrLength::Six => 6,
+        }
+    }
+
+    /// The length in halfwords.
+    pub const fn halfwords(self) -> u64 {
+        self.bytes() / 2
+    }
+
+    /// All lengths, shortest first.
+    pub const ALL: [InstrLength; 3] = [InstrLength::Two, InstrLength::Four, InstrLength::Six];
+}
+
+impl fmt::Display for InstrLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// Branch classification at the granularity the predictor cares about.
+///
+/// z/Architecture has dozens of branch instructions but no architected
+/// call/return (paper §I); what the front end can tell from instruction
+/// text is: relative vs indirect target, conditional vs unconditional,
+/// loop-closing (count-type) and link-setting (call-like) opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BranchClass {
+    /// Conditional, relative target (`BRC`, `BRCL`, `BC` with mask < 15).
+    CondRelative,
+    /// Conditional, indirect target (`BCR` with mask < 15).
+    CondIndirect,
+    /// Unconditional, relative target (`J`, `JG`, `BRC 15`).
+    UncondRelative,
+    /// Unconditional, indirect target (`BR`, `BCR 15`) — the typical
+    /// *return* encoding, and also computed gotos / branch tables.
+    UncondIndirect,
+    /// Loop-closing decrement-and-branch (`BCT`, `BCTR`, `BRCT`):
+    /// conditional, but statically guessed taken.
+    LoopRelative,
+    /// Link-setting relative branch (`BRAS`, `BRASL`, `BAL`): the
+    /// conventional *call* idiom; unconditional.
+    CallRelative,
+    /// Link-setting indirect branch (`BALR`, `BASR`): call through a
+    /// function pointer / GOT; unconditional.
+    CallIndirect,
+}
+
+impl BranchClass {
+    /// Whether the branch direction depends on a runtime condition.
+    pub const fn is_conditional(self) -> bool {
+        matches!(
+            self,
+            BranchClass::CondRelative | BranchClass::CondIndirect | BranchClass::LoopRelative
+        )
+    }
+
+    /// Whether the target is computed from registers (base + index +
+    /// displacement) by the execution units, about a dozen cycles into
+    /// the back end (paper §I) — as opposed to an instruction-text
+    /// relative offset the front end can compute itself.
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchClass::CondIndirect | BranchClass::UncondIndirect | BranchClass::CallIndirect
+        )
+    }
+
+    /// Whether the instruction saves the next-sequential instruction
+    /// address in a register (call-like behaviour).
+    pub const fn is_link_setting(self) -> bool {
+        matches!(self, BranchClass::CallRelative | BranchClass::CallIndirect)
+    }
+
+    /// All classes.
+    pub const ALL: [BranchClass; 7] = [
+        BranchClass::CondRelative,
+        BranchClass::CondIndirect,
+        BranchClass::UncondRelative,
+        BranchClass::UncondIndirect,
+        BranchClass::LoopRelative,
+        BranchClass::CallRelative,
+        BranchClass::CallIndirect,
+    ];
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchClass::CondRelative => "cond-rel",
+            BranchClass::CondIndirect => "cond-ind",
+            BranchClass::UncondRelative => "uncond-rel",
+            BranchClass::UncondIndirect => "uncond-ind",
+            BranchClass::LoopRelative => "loop-rel",
+            BranchClass::CallRelative => "call-rel",
+            BranchClass::CallIndirect => "call-ind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A small, representative subset of real z branch mnemonics, enough to
+/// give generated workloads realistic opcode/length mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are the documentation: real mnemonics
+pub enum Mnemonic {
+    /// BRANCH ON CONDITION (RX, 4B) — conditional, indirect via storage
+    /// operand address; modeled as indirect.
+    Bc,
+    /// BRANCH ON CONDITION (RR, 2B) — conditional register branch.
+    Bcr,
+    /// BRANCH RELATIVE ON CONDITION (RI, 4B).
+    Brc,
+    /// BRANCH RELATIVE ON CONDITION LONG (RIL, 6B).
+    Brcl,
+    /// Unconditional jump `J` (BRC 15, 4B).
+    J,
+    /// Unconditional long jump `JG` (BRCL 15, 6B).
+    Jg,
+    /// Unconditional register branch `BR` (BCR 15, 2B) — return idiom.
+    Br,
+    /// BRANCH ON COUNT (RX, 4B) — loop closing.
+    Bct,
+    /// BRANCH ON COUNT (RR, 2B) — loop closing, register form. The RR
+    /// form branches to a register address; we keep the loop-relative
+    /// classification because trip-count behaviour dominates.
+    Bctr,
+    /// BRANCH RELATIVE ON COUNT (RI, 4B) — loop closing.
+    Brct,
+    /// BRANCH AND LINK (RX, 4B) — call, storage-operand target.
+    Bal,
+    /// BRANCH AND LINK (RR, 2B) — call through register.
+    Balr,
+    /// BRANCH AND SAVE (RR, 2B) — call through register.
+    Basr,
+    /// BRANCH RELATIVE AND SAVE (RI, 4B) — direct call.
+    Bras,
+    /// BRANCH RELATIVE AND SAVE LONG (RIL, 6B) — direct call, long reach.
+    Brasl,
+}
+
+impl Mnemonic {
+    /// The branch class of this mnemonic.
+    pub const fn class(self) -> BranchClass {
+        match self {
+            Mnemonic::Bc => BranchClass::CondIndirect,
+            Mnemonic::Bcr => BranchClass::CondIndirect,
+            Mnemonic::Brc | Mnemonic::Brcl => BranchClass::CondRelative,
+            Mnemonic::J | Mnemonic::Jg => BranchClass::UncondRelative,
+            Mnemonic::Br => BranchClass::UncondIndirect,
+            Mnemonic::Bct | Mnemonic::Bctr | Mnemonic::Brct => BranchClass::LoopRelative,
+            Mnemonic::Bal => BranchClass::CallRelative,
+            Mnemonic::Balr | Mnemonic::Basr => BranchClass::CallIndirect,
+            Mnemonic::Bras | Mnemonic::Brasl => BranchClass::CallRelative,
+        }
+    }
+
+    /// The instruction length of this mnemonic's format.
+    pub const fn length(self) -> InstrLength {
+        match self {
+            Mnemonic::Bcr | Mnemonic::Br | Mnemonic::Bctr | Mnemonic::Balr | Mnemonic::Basr => {
+                InstrLength::Two
+            }
+            Mnemonic::Bc
+            | Mnemonic::Brc
+            | Mnemonic::J
+            | Mnemonic::Bct
+            | Mnemonic::Brct
+            | Mnemonic::Bal
+            | Mnemonic::Bras => InstrLength::Four,
+            Mnemonic::Brcl | Mnemonic::Jg | Mnemonic::Brasl => InstrLength::Six,
+        }
+    }
+
+    /// All modeled mnemonics.
+    pub const ALL: [Mnemonic; 15] = [
+        Mnemonic::Bc,
+        Mnemonic::Bcr,
+        Mnemonic::Brc,
+        Mnemonic::Brcl,
+        Mnemonic::J,
+        Mnemonic::Jg,
+        Mnemonic::Br,
+        Mnemonic::Bct,
+        Mnemonic::Bctr,
+        Mnemonic::Brct,
+        Mnemonic::Bal,
+        Mnemonic::Balr,
+        Mnemonic::Basr,
+        Mnemonic::Bras,
+        Mnemonic::Brasl,
+    ];
+}
+
+impl fmt::Display for Mnemonic {
+    /// Renders the conventional assembler spelling (`Brct` → `BRCT`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dbg = format!("{self:?}");
+        f.write_str(&dbg.to_uppercase())
+    }
+}
+
+/// What kind of instruction occupies an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstructionKind {
+    /// A branch instruction with a specific mnemonic.
+    Branch(Mnemonic),
+    /// Any non-branch instruction (load, store, arithmetic, …); the
+    /// predictor only needs to know it is not a branch.
+    Other,
+}
+
+impl InstructionKind {
+    /// Whether this is a branch.
+    pub const fn is_branch(self) -> bool {
+        matches!(self, InstructionKind::Branch(_))
+    }
+
+    /// The branch class, if this is a branch.
+    pub const fn branch_class(self) -> Option<BranchClass> {
+        match self {
+            InstructionKind::Branch(m) => Some(m.class()),
+            InstructionKind::Other => None,
+        }
+    }
+}
+
+/// A static instruction: an address, a length and a kind.
+///
+/// This is the unit of the synthetic program images in `zbp-trace`;
+/// dynamic outcomes (taken/not-taken, resolved target) live in
+/// `zbp_model::BranchRecord`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The instruction address.
+    pub addr: InstrAddr,
+    /// The format length.
+    pub length: InstrLength,
+    /// Branch or not, and which branch.
+    pub kind: InstructionKind,
+}
+
+impl Instruction {
+    /// Creates a non-branch instruction of the given length.
+    pub const fn other(addr: InstrAddr, length: InstrLength) -> Self {
+        Instruction { addr, length, kind: InstructionKind::Other }
+    }
+
+    /// Creates a branch instruction; the length is implied by the
+    /// mnemonic's format.
+    pub const fn branch(addr: InstrAddr, mnemonic: Mnemonic) -> Self {
+        Instruction { addr, length: mnemonic.length(), kind: InstructionKind::Branch(mnemonic) }
+    }
+
+    /// Address of the sequentially next instruction (the NSIA, which a
+    /// link-setting branch saves and the call/return heuristic matches).
+    pub const fn next_sequential(self) -> InstrAddr {
+        self.addr.next_seq(self.length.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_2_4_6() {
+        assert_eq!(InstrLength::Two.bytes(), 2);
+        assert_eq!(InstrLength::Four.bytes(), 4);
+        assert_eq!(InstrLength::Six.bytes(), 6);
+        assert_eq!(InstrLength::Six.halfwords(), 3);
+    }
+
+    #[test]
+    fn every_mnemonic_has_consistent_class_and_length() {
+        for m in Mnemonic::ALL {
+            // Lengths must be legal.
+            assert!(InstrLength::ALL.contains(&m.length()), "{m}");
+            // Link-setting mnemonics must be unconditional.
+            if m.class().is_link_setting() {
+                assert!(!m.class().is_conditional(), "{m} cannot be a conditional call");
+            }
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(BranchClass::CondRelative.is_conditional());
+        assert!(!BranchClass::CondRelative.is_indirect());
+        assert!(BranchClass::CondIndirect.is_indirect());
+        assert!(BranchClass::LoopRelative.is_conditional());
+        assert!(!BranchClass::LoopRelative.is_indirect());
+        assert!(BranchClass::UncondIndirect.is_indirect());
+        assert!(!BranchClass::UncondIndirect.is_conditional());
+        assert!(BranchClass::CallRelative.is_link_setting());
+        assert!(BranchClass::CallIndirect.is_indirect());
+    }
+
+    #[test]
+    fn return_idiom_is_uncond_indirect() {
+        assert_eq!(Mnemonic::Br.class(), BranchClass::UncondIndirect);
+        assert_eq!(Mnemonic::Br.length(), InstrLength::Two);
+    }
+
+    #[test]
+    fn call_idioms() {
+        assert_eq!(Mnemonic::Brasl.class(), BranchClass::CallRelative);
+        assert_eq!(Mnemonic::Brasl.length(), InstrLength::Six);
+        assert_eq!(Mnemonic::Basr.class(), BranchClass::CallIndirect);
+        assert_eq!(Mnemonic::Basr.length(), InstrLength::Two);
+    }
+
+    #[test]
+    fn instruction_next_sequential() {
+        let i = Instruction::branch(InstrAddr::new(0x1000), Mnemonic::Brasl);
+        assert_eq!(i.next_sequential(), InstrAddr::new(0x1006));
+        let o = Instruction::other(InstrAddr::new(0x1000), InstrLength::Two);
+        assert_eq!(o.next_sequential(), InstrAddr::new(0x1002));
+        assert!(!o.kind.is_branch());
+        assert!(i.kind.is_branch());
+        assert_eq!(i.kind.branch_class(), Some(BranchClass::CallRelative));
+        assert_eq!(o.kind.branch_class(), None);
+    }
+
+    #[test]
+    fn display_spells_assembler_names() {
+        assert_eq!(Mnemonic::Brct.to_string(), "BRCT");
+        assert_eq!(Mnemonic::Basr.to_string(), "BASR");
+        assert_eq!(BranchClass::LoopRelative.to_string(), "loop-rel");
+    }
+}

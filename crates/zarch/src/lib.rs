@@ -1,0 +1,49 @@
+//! # zbp-zarch — a z/Architecture-like ISA model
+//!
+//! This crate models the *branch-visible* properties of the
+//! z/Architecture CISC instruction set, as needed by the branch-predictor
+//! model in `zbp-core` and the workload generators in `zbp-trace`:
+//!
+//! * instructions are 2, 4 or 6 bytes long and halfword aligned
+//!   ([`InstrLength`]);
+//! * there are dozens of branch instructions but **no architected
+//!   call/return** instructions ([`Mnemonic`], [`BranchClass`]) — call and
+//!   return *behaviour* exists (link-setting branches, register branches
+//!   back to the link) and is detected heuristically by the predictor;
+//! * branches divide into **relative** (target = branch address + signed
+//!   halfword offset) and **indirect** (target computed from registers by
+//!   the fixed-point units deep in the pipeline);
+//! * undecoded branches get a **static direction guess** from the opcode
+//!   ([`static_guess`]): unconditional and loop-closing branches are
+//!   guessed taken, most conditionals not-taken.
+//!
+//! The model deliberately stops at this level: register contents, memory
+//! and data-flow semantics are irrelevant to the predictor and are owned
+//! by the synthetic program executor in `zbp-trace`.
+//!
+//! ## Example
+//!
+//! ```
+//! use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic, static_guess};
+//!
+//! let branch_at = InstrAddr::new(0x0001_2340);
+//! let mn = Mnemonic::Brct; // BRANCH RELATIVE ON COUNT — a loop-closing branch
+//! assert_eq!(mn.class(), BranchClass::LoopRelative);
+//! assert_eq!(static_guess(mn.class()), Direction::Taken);
+//! // Relative target: halfword offset -8 (loop back 16 bytes).
+//! let target = branch_at.offset_halfwords(-8);
+//! assert_eq!(target, InstrAddr::new(0x0001_2330));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod encode;
+mod insn;
+mod static_guess;
+
+pub use addr::{InstrAddr, HALFWORD, LINE_32B, LINE_64B};
+pub use encode::{decode, encode_branch, encode_filler, DecodedBranch, EncodeError};
+pub use insn::{BranchClass, InstrLength, Instruction, InstructionKind, Mnemonic};
+pub use static_guess::{static_guess, Direction};

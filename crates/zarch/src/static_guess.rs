@@ -1,0 +1,130 @@
+//! Opcode-based static direction guessing.
+//!
+//! When a branch is not found in the BTB at search time it dispatches as
+//! a *surprise branch* and its direction is "statically guessed based on
+//! the opcode and other fields in the instruction text. For example,
+//! unconditional branches and loop branches are statically guessed taken.
+//! Most conditional branches are statically guessed not-taken."
+//! (paper §IV)
+
+use crate::insn::BranchClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// A resolved or predicted branch direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The branch redirects control flow to its target.
+    Taken,
+    /// Control flow continues sequentially.
+    NotTaken,
+}
+
+impl Direction {
+    /// Creates a direction from a boolean `taken` flag.
+    pub const fn from_taken(taken: bool) -> Self {
+        if taken {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        }
+    }
+
+    /// Whether this is [`Direction::Taken`].
+    pub const fn is_taken(self) -> bool {
+        matches!(self, Direction::Taken)
+    }
+}
+
+impl Not for Direction {
+    type Output = Direction;
+
+    fn not(self) -> Direction {
+        match self {
+            Direction::Taken => Direction::NotTaken,
+            Direction::NotTaken => Direction::Taken,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Taken => "taken",
+            Direction::NotTaken => "not-taken",
+        })
+    }
+}
+
+/// Returns the static direction guess the decode logic applies to a
+/// surprise branch of the given class.
+///
+/// Unconditional branches (including link-setting calls) and loop-closing
+/// count branches are guessed taken; plain conditional branches are
+/// guessed not-taken.
+///
+/// # Example
+///
+/// ```
+/// use zbp_zarch::{static_guess, BranchClass, Direction};
+/// assert_eq!(static_guess(BranchClass::CondRelative), Direction::NotTaken);
+/// assert_eq!(static_guess(BranchClass::LoopRelative), Direction::Taken);
+/// assert_eq!(static_guess(BranchClass::UncondIndirect), Direction::Taken);
+/// ```
+pub const fn static_guess(class: BranchClass) -> Direction {
+    match class {
+        BranchClass::CondRelative | BranchClass::CondIndirect => Direction::NotTaken,
+        BranchClass::UncondRelative
+        | BranchClass::UncondIndirect
+        | BranchClass::LoopRelative
+        | BranchClass::CallRelative
+        | BranchClass::CallIndirect => Direction::Taken,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconditional_and_loops_guessed_taken() {
+        for class in [
+            BranchClass::UncondRelative,
+            BranchClass::UncondIndirect,
+            BranchClass::LoopRelative,
+            BranchClass::CallRelative,
+            BranchClass::CallIndirect,
+        ] {
+            assert_eq!(static_guess(class), Direction::Taken, "{class}");
+        }
+    }
+
+    #[test]
+    fn plain_conditionals_guessed_not_taken() {
+        assert_eq!(static_guess(BranchClass::CondRelative), Direction::NotTaken);
+        assert_eq!(static_guess(BranchClass::CondIndirect), Direction::NotTaken);
+    }
+
+    #[test]
+    fn guess_covers_every_class() {
+        // Exhaustiveness is enforced by the compiler; this asserts the
+        // invariant that unconditional classes are never guessed not-taken.
+        for class in BranchClass::ALL {
+            if !class.is_conditional() {
+                assert_eq!(static_guess(class), Direction::Taken);
+            }
+        }
+    }
+
+    #[test]
+    fn direction_helpers() {
+        assert_eq!(Direction::from_taken(true), Direction::Taken);
+        assert_eq!(Direction::from_taken(false), Direction::NotTaken);
+        assert!(Direction::Taken.is_taken());
+        assert!(!Direction::NotTaken.is_taken());
+        assert_eq!(!Direction::Taken, Direction::NotTaken);
+        assert_eq!(!Direction::NotTaken, Direction::Taken);
+        assert_eq!(Direction::Taken.to_string(), "taken");
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for instruction-address arithmetic.
+
+use proptest::prelude::*;
+use zbp_zarch::{InstrAddr, LINE_32B, LINE_64B};
+
+proptest! {
+    #[test]
+    fn line64_is_idempotent_and_aligned(raw in any::<u64>()) {
+        let ia = InstrAddr::new(raw);
+        let line = ia.line64();
+        prop_assert_eq!(line.line64(), line);
+        prop_assert_eq!(line.raw() % LINE_64B, 0);
+        prop_assert!(line.raw() <= raw);
+        prop_assert!(raw - line.raw() < LINE_64B);
+    }
+
+    #[test]
+    fn line32_is_within_line64(raw in any::<u64>()) {
+        let ia = InstrAddr::new(raw);
+        prop_assert!(ia.line32().raw() >= ia.line64().raw());
+        prop_assert_eq!(ia.line32().raw() % LINE_32B, 0);
+    }
+
+    #[test]
+    fn offset_in_line_matches_subtraction(raw in any::<u64>()) {
+        let ia = InstrAddr::new(raw);
+        prop_assert_eq!(ia.offset_in_line64(), raw - ia.line64().raw());
+        prop_assert_eq!(ia.offset_in_line32(), raw - ia.line32().raw());
+    }
+
+    #[test]
+    fn halfword_offset_roundtrips(raw in any::<u64>(), hw in -1_000_000i64..1_000_000) {
+        let ia = InstrAddr::new(raw);
+        let there = ia.offset_halfwords(hw);
+        let back = there.offset_halfwords(-hw);
+        prop_assert_eq!(back, ia);
+        // Halfword offsets preserve halfword alignment.
+        prop_assert_eq!(there.raw() % 2, raw % 2);
+    }
+
+    #[test]
+    fn distance_is_a_metric(a in any::<u64>(), b in any::<u64>()) {
+        let (ia, ib) = (InstrAddr::new(a), InstrAddr::new(b));
+        prop_assert_eq!(ia.distance_bytes(ib), ib.distance_bytes(ia));
+        prop_assert_eq!(ia.distance_bytes(ia), 0);
+    }
+
+    #[test]
+    fn advance_lines_adds_exact_line_counts(raw in any::<u64>(), n in 0u64..1024) {
+        let ia = InstrAddr::new(raw);
+        let advanced = ia.advance_lines64(n);
+        prop_assert_eq!(advanced.raw(), ia.line64().raw().wrapping_add(n * LINE_64B));
+        prop_assert_eq!(advanced.offset_in_line64(), 0);
+    }
+
+    #[test]
+    fn bits_never_exceed_width(raw in any::<u64>(), lo in 0u32..63, width in 1u32..8) {
+        prop_assume!(lo + width <= 64);
+        let v = InstrAddr::new(raw).bits(lo, width);
+        prop_assert!(v < (1u64 << width));
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build a z15 predictor, run it over a generated workload,
+//! and read the results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use zbp::core::{GenerationPreset, ZPredictor};
+use zbp::model::DelayedUpdateHarness;
+use zbp::trace::workloads;
+
+fn main() {
+    // 1. Generate a synthetic LSPR-like workload (deterministic per
+    //    seed): a transaction loop over ~200 warm service functions.
+    let workload = workloads::lspr_like(42, 100_000);
+    let trace = workload.dynamic_trace();
+    println!("workload: {}", trace.summary());
+
+    // 2. Build the z15 predictor from its generation preset. Every
+    //    capacity and policy knob is in the config if you want to turn
+    //    them (see `zbp::core::PredictorConfig`).
+    let config = GenerationPreset::Z15.config();
+    let mut predictor = ZPredictor::new(config);
+
+    // 3. Drive it through the delayed-update harness: predictions are
+    //    made in program order and training happens ~32 branches later,
+    //    like the real GPQ-based completion-time updates.
+    let run = DelayedUpdateHarness::new(32).run(&mut predictor, &trace);
+
+    // 4. Read the results.
+    println!("\n{}", run.stats);
+    println!("\nper-provider attribution:\n{}", predictor.stats);
+    println!("BTB1 occupancy: {} branches", predictor.btb1().occupancy());
+    if let Some(b2) = predictor.btb2() {
+        println!(
+            "BTB2: {} searches fired, {} entries staged toward the BTB1",
+            b2.stats.searches, b2.stats.hits_staged
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Design-space exploration with a custom configuration — what the
+//! paper's own "parameterizable, sizeable performance modeling
+//! environment" (§VII) was built for. Starts from the z15 preset and
+//! tunes individual knobs, reporting the MPKI consequence of each move
+//! on a chosen workload.
+//!
+//! ```text
+//! cargo run --release --example tune_predictor
+//! ```
+
+use zbp::core::config::PhtKind;
+use zbp::core::{GenerationPreset, PredictorConfig, ZPredictor};
+use zbp::model::DelayedUpdateHarness;
+use zbp::trace::workloads;
+
+fn measure(cfg: &PredictorConfig, label: &str, baseline: Option<f64>) -> f64 {
+    let trace = workloads::lspr_like(77, 120_000).dynamic_trace();
+    let mut p = ZPredictor::new(cfg.clone());
+    let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+    let mpki = run.stats.mpki();
+    match baseline {
+        Some(b) => {
+            println!("{label:<34} MPKI {mpki:>7.3}  ({:+.1}% vs z15)", 100.0 * (mpki - b) / b)
+        }
+        None => println!("{label:<34} MPKI {mpki:>7.3}  (baseline)"),
+    }
+    mpki
+}
+
+fn main() {
+    println!("design-space exploration on lspr-like(77), 120k instrs\n");
+    let base_cfg = GenerationPreset::Z15.config();
+    let base = measure(&base_cfg, "z15 preset", None);
+
+    // Double the TAGE tables.
+    let mut cfg = base_cfg.clone();
+    cfg.direction.pht = PhtKind::Tage { rows_per_way: 1024, short_history: 9, long_history: 17 };
+    measure(&cfg, "2x TAGE rows", Some(base));
+
+    // Longer long-history (needs a deeper GPV).
+    let mut cfg = base_cfg.clone();
+    cfg.gpv_depth = 24;
+    cfg.direction.pht = PhtKind::Tage { rows_per_way: 512, short_history: 9, long_history: 24 };
+    if let Some(p) = &mut cfg.direction.perceptron {
+        p.weights = 24; // 2:1 virtualization must still cover 48 GPV bits
+    }
+    if let Some(ctb) = &mut cfg.ctb {
+        ctb.history = 17;
+    }
+    measure(&cfg, "24-deep GPV + 24-history TAGE", Some(base));
+
+    // A bigger perceptron.
+    let mut cfg = base_cfg.clone();
+    if let Some(p) = &mut cfg.direction.perceptron {
+        p.rows = 64;
+    }
+    measure(&cfg, "128-entry perceptron", Some(base));
+
+    // Double the CTB.
+    let mut cfg = base_cfg.clone();
+    if let Some(ctb) = &mut cfg.ctb {
+        ctb.entries = 4096;
+    }
+    measure(&cfg, "4K-entry CTB", Some(base));
+
+    // Half the BTB1, relying on the BTB2.
+    let mut cfg = base_cfg.clone();
+    cfg.btb1.rows = 1024;
+    measure(&cfg, "8K-branch BTB1 (half)", Some(base));
+
+    // A wider weak filter (trust weak TAGE entries sooner).
+    let mut cfg = base_cfg.clone();
+    cfg.direction.weak_filter_threshold = 0;
+    measure(&cfg, "weak filter disabled", Some(base));
+
+    println!("\nEach knob is a field on PredictorConfig — validate() guards the");
+    println!("combinations, and every structure sizes itself from the config.");
+}

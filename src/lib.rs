@@ -1,0 +1,49 @@
+//! # zbp — an open-source model of the IBM z15 branch predictor
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! * [`zarch`] — z/Architecture-like ISA model (addresses, branch classes,
+//!   static guess rules).
+//! * [`model`] — simulation substrate: predictor traits, delayed-update
+//!   harness, misprediction metrics.
+//! * [`trace`] — synthetic workload generators producing LSPR-like
+//!   dynamic branch traces.
+//! * [`core`] — the z15 asynchronous lookahead branch predictor itself.
+//! * [`baselines`] — comparison predictors (bimodal, gshare, L-TAGE, …).
+//! * [`uarch`] — cycle-level front-end model (I-cache hierarchy, fetch,
+//!   decode, dispatch synchronization, restart penalties).
+//! * [`verify`] — white-box verification harness per the paper's §VII.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zbp::core::{GenerationPreset, ZPredictor};
+//! use zbp::model::{FullPredictor, MispredictKind};
+//! use zbp::trace::workloads;
+//!
+//! // Generate a small LSPR-like workload and measure z15 MPKI.
+//! let trace = workloads::lspr_like(42, 20_000).dynamic_trace();
+//! let mut predictor = ZPredictor::new(GenerationPreset::Z15.config());
+//! let mut mispredicts = 0u64;
+//! for rec in trace.branches() {
+//!     let p = predictor.predict(rec.addr, rec.class());
+//!     if MispredictKind::classify(&p, rec).is_some() {
+//!         mispredicts += 1;
+//!         predictor.complete(rec, &p);
+//!         predictor.flush(rec);
+//!     } else {
+//!         predictor.complete(rec, &p);
+//!     }
+//! }
+//! let mpki = 1000.0 * mispredicts as f64 / trace.instruction_count() as f64;
+//! assert!(mpki < 100.0);
+//! ```
+
+pub use zbp_baselines as baselines;
+pub use zbp_core as core;
+pub use zbp_model as model;
+pub use zbp_trace as trace;
+pub use zbp_uarch as uarch;
+pub use zbp_verify as verify;
+pub use zbp_zarch as zarch;

@@ -1,0 +1,62 @@
+//! Cross-crate integration: the headline MPKI experiment shape.
+//!
+//! The paper's conclusion reports that on LSPR workloads the average
+//! branch MPKI improved z13→z14 and again z14→z15. These tests check
+//! that the same *ordering* emerges from the model on the synthetic
+//! LSPR suite, and that every generation configuration runs end to end.
+
+use zbp::core::{GenerationPreset, ZPredictor};
+use zbp::model::DelayedUpdateHarness;
+use zbp::trace::workloads;
+
+fn suite_mpki(preset: GenerationPreset, instrs: u64) -> f64 {
+    let harness = DelayedUpdateHarness::new(32);
+    let mut total = zbp::model::MispredictStats::new();
+    for w in workloads::suite(1234, instrs) {
+        let trace = w.dynamic_trace();
+        let mut p = ZPredictor::new(preset.config());
+        let run = harness.run(&mut p, &trace);
+        total.merge(&run.stats);
+    }
+    total.mpki()
+}
+
+#[test]
+fn generations_improve_monotonically_on_the_lspr_suite() {
+    let instrs = 120_000;
+    let z13 = suite_mpki(GenerationPreset::Z13, instrs);
+    let z14 = suite_mpki(GenerationPreset::Z14, instrs);
+    let z15 = suite_mpki(GenerationPreset::Z15, instrs);
+    println!("MPKI: z13={z13:.3} z14={z14:.3} z15={z15:.3}");
+    assert!(z13 > 0.0 && z14 > 0.0 && z15 > 0.0, "all runs produced work");
+    assert!(z14 < z13, "z14 must beat z13 (paper: -9.6%), got {z13:.3} -> {z14:.3}");
+    assert!(z15 < z14, "z15 must beat z14 (paper: -25%), got {z14:.3} -> {z15:.3}");
+}
+
+#[test]
+fn z15_mpki_is_in_a_plausible_band() {
+    let mpki = suite_mpki(GenerationPreset::Z15, 100_000);
+    // Commercial-workload branch MPKI on a modern predictor sits in the
+    // low single digits; sanity-check the model is neither perfect nor
+    // broken.
+    assert!(mpki > 0.05, "suspiciously perfect: {mpki}");
+    assert!(mpki < 20.0, "suspiciously bad: {mpki}");
+}
+
+#[test]
+fn every_generation_runs_every_suite_workload() {
+    for preset in GenerationPreset::ALL {
+        for w in workloads::suite(7, 20_000) {
+            let trace = w.dynamic_trace();
+            let mut p = ZPredictor::new(preset.config());
+            let run = DelayedUpdateHarness::new(16).run(&mut p, &trace);
+            assert!(run.stats.branches.get() > 0, "{preset} x {}: no branches observed", w.label);
+            assert_eq!(
+                run.stats.instructions.get(),
+                trace.instruction_count(),
+                "{preset} x {}: instruction accounting drift",
+                w.label
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The perceptron's raison d'être (§V): a branch correlated with one
+//! older branch, surrounded by enough noisy branches that a pattern
+//! table would need 2^16 contexts. The perceptron's virtualized weights
+//! single out the informative GPV bit.
+
+use zbp::core::{GenerationPreset, ZPredictor};
+use zbp::model::{DelayedUpdateHarness, FullPredictor, MispredictKind, MispredictStats};
+use zbp::trace::workloads;
+
+fn follower_accuracy(with_perceptron: bool) -> f64 {
+    let w = workloads::correlated_noise(3, 250_000, 15);
+    let trace = w.dynamic_trace();
+    // The follower is the highest-addressed BRC hammock head.
+    let follower = trace
+        .branches()
+        .filter(|r| r.mnemonic == zbp::zarch::Mnemonic::Brc)
+        .map(|r| r.addr)
+        .max()
+        .expect("has conditionals");
+    let mut cfg = GenerationPreset::Z15.config();
+    if !with_perceptron {
+        cfg.direction.perceptron = None;
+    }
+    let mut p = ZPredictor::new(cfg);
+    let (mut correct, mut total) = (0u64, 0u64);
+    for rec in trace.branches() {
+        let pr = p.predict(rec.addr, rec.class());
+        if rec.addr == follower {
+            total += 1;
+            if pr.direction == rec.direction() {
+                correct += 1;
+            }
+        }
+        p.complete(rec, &pr);
+        if MispredictKind::classify(&pr, rec).is_some() {
+            p.flush(rec);
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+#[test]
+fn perceptron_rescues_the_correlated_branch() {
+    let with = follower_accuracy(true);
+    let without = follower_accuracy(false);
+    println!("follower accuracy: with perceptron {with:.3}, without {without:.3}");
+    assert!(without < 0.75, "without the perceptron the branch is near-random: {without:.3}");
+    assert!(with > 0.85, "the perceptron should nail it: {with:.3}");
+    assert!(with > without + 0.15, "clear separation expected");
+}
+
+#[test]
+fn whole_trace_mpki_improves_with_perceptron() {
+    let trace = workloads::correlated_noise(9, 150_000, 15).dynamic_trace();
+    let run = |perc: bool| -> MispredictStats {
+        let mut cfg = GenerationPreset::Z15.config();
+        if !perc {
+            cfg.direction.perceptron = None;
+        }
+        let mut p = ZPredictor::new(cfg);
+        DelayedUpdateHarness::new(16).run(&mut p, &trace).stats
+    };
+    let with = run(true).mpki();
+    let without = run(false).mpki();
+    assert!(with < without, "perceptron must help on its showcase: {with:.3} vs {without:.3}");
+}
