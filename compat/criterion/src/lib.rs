@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors a small wall-clock benchmark runner exposing the criterion
+//! surface the `crates/bench/benches/*` files were written against:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched_ref`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It reports median / min / max per-iteration time (and derived
+//! throughput) as plain text; there is no statistical analysis, HTML
+//! report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for callers that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How much work one batch of `iter_batched*` should hold. Ignored: the
+/// stand-in always runs one setup per measured call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher { samples: Vec::new(), target_samples }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over a fresh `setup()` value each sample; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.target_samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = |d: Duration, n: u64| -> String {
+        if d.as_nanos() == 0 {
+            return "inf".into();
+        }
+        let per_sec = n as f64 / d.as_secs_f64();
+        if per_sec >= 1e6 {
+            format!("{:.2} M/s", per_sec / 1e6)
+        } else {
+            format!("{per_sec:.0} /s")
+        }
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => format!("  [{} elem]", rate(median, n)),
+        Some(Throughput::Bytes(n)) => format!("  [{} byte]", rate(median, n)),
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} median {median:>12?}  (min {min:?}, max {max:?}, n={}){extra}",
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration, enabling rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Default number of timed samples when a group doesn't override it.
+    const DEFAULT_SAMPLES: usize = 20;
+
+    /// Starts a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: Self::DEFAULT_SAMPLES,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(Self::DEFAULT_SAMPLES);
+        f(&mut b);
+        report(&id.into(), &mut b.samples, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(n, 6, "5 timed + 1 warm-up");
+    }
+
+    #[test]
+    fn iter_batched_ref_sets_up_per_sample() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u64;
+        b.iter_batched_ref(
+            || {
+                setups += 1;
+                vec![1u8, 2, 3]
+            },
+            |v| v.iter().copied().sum::<u8>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5, "4 timed + 1 warm-up");
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("one", |b| b.iter(|| black_box(21u64 * 2)));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -5,76 +5,71 @@
 use zbp_baselines::{
     Bimodal, BtbComposite, Gshare, LocalTwoLevel, Ltage, PerceptronGlobal, StaticOnly,
 };
-use zbp_bench::{cli_params, f3, pct, run_suite, run_suite_with, Table};
+use zbp_bench::{f3, pct, BenchArgs, Experiment, Table};
 use zbp_core::GenerationPreset;
 use zbp_model::DirectionPredictor;
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Baseline comparison, LSPR suite ({instrs} instrs/workload)\n");
     let mut t =
         Table::new(vec!["predictor", "direction storage (KB)", "MPKI", "dir-MPKI", "dir accuracy"]);
 
     // Baselines with comparable direction-predictor storage to the z15
-    // PHT+perceptron complex.
-    type MakeComposite = Box<dyn Fn() -> BtbComposite>;
-    let rows: Vec<(String, u64, MakeComposite)> = vec![
-        (
-            StaticOnly::new().name(),
-            StaticOnly::new().storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(StaticOnly::new()))),
-        ),
-        (
-            Bimodal::new(16 * 1024).name(),
-            Bimodal::new(16 * 1024).storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(Bimodal::new(16 * 1024)))),
-        ),
-        (
-            Gshare::new(16 * 1024, 12).name(),
-            Gshare::new(16 * 1024, 12).storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(Gshare::new(16 * 1024, 12)))),
-        ),
+    // PHT+perceptron complex. All entries (and the z15 reference) fan
+    // out in one experiment; the per-row storage figures come from a
+    // throwaway instance of each predictor.
+    let storage: Vec<(String, u64)> = vec![
+        (StaticOnly::new().name(), StaticOnly::new().storage_bits()),
+        (Bimodal::new(16 * 1024).name(), Bimodal::new(16 * 1024).storage_bits()),
+        (Gshare::new(16 * 1024, 12).name(), Gshare::new(16 * 1024, 12).storage_bits()),
         (
             LocalTwoLevel::new(1024, 10, 16 * 1024).name(),
             LocalTwoLevel::new(1024, 10, 16 * 1024).storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(LocalTwoLevel::new(1024, 10, 16 * 1024)))),
         ),
-        (
-            PerceptronGlobal::new(512, 24).name(),
-            PerceptronGlobal::new(512, 24).storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(PerceptronGlobal::new(512, 24)))),
-        ),
-        (
-            Ltage::new(4, 1024, 10).name(),
-            Ltage::new(4, 1024, 10).storage_bits(),
-            Box::new(|| BtbComposite::new(Box::new(Ltage::new(4, 1024, 10)))),
-        ),
+        (PerceptronGlobal::new(512, 24).name(), PerceptronGlobal::new(512, 24).storage_bits()),
+        (Ltage::new(4, 1024, 10).name(), Ltage::new(4, 1024, 10).storage_bits()),
     ];
 
-    for (name, bits, make) in rows {
-        let stats = run_suite_with(make, seed, instrs);
-        let dir_mpki = 1000.0
-            * (stats.dynamic_wrong_direction.get() + stats.surprise_wrong_direction.get()) as f64
-            / stats.instructions.get().max(1) as f64;
+    let z15_cfg = GenerationPreset::Z15.config();
+    let result = Experiment::bare()
+        .predictor(&storage[0].0, || BtbComposite::new(Box::new(StaticOnly::new())))
+        .predictor(&storage[1].0, || BtbComposite::new(Box::new(Bimodal::new(16 * 1024))))
+        .predictor(&storage[2].0, || BtbComposite::new(Box::new(Gshare::new(16 * 1024, 12))))
+        .predictor(&storage[3].0, || {
+            BtbComposite::new(Box::new(LocalTwoLevel::new(1024, 10, 16 * 1024)))
+        })
+        .predictor(&storage[4].0, || BtbComposite::new(Box::new(PerceptronGlobal::new(512, 24))))
+        .predictor(&storage[5].0, || BtbComposite::new(Box::new(Ltage::new(4, 1024, 10))))
+        .config("z15 model", &z15_cfg)
+        .suite(seed, instrs)
+        .apply(&args)
+        .run();
+
+    let dir_mpki = |stats: &zbp_model::MispredictStats| {
+        1000.0 * (stats.dynamic_wrong_direction.get() + stats.surprise_wrong_direction.get()) as f64
+            / stats.instructions.get().max(1) as f64
+    };
+
+    for (i, (name, bits)) in storage.iter().enumerate() {
+        let stats = &result.entries[i].total;
         t.row(vec![
             format!("btb+{name}"),
-            format!("{:.1}", bits as f64 / 8192.0),
+            format!("{:.1}", *bits as f64 / 8192.0),
             f3(stats.mpki()),
-            f3(dir_mpki),
+            f3(dir_mpki(stats)),
             pct(stats.direction_accuracy().fraction()),
         ]);
     }
 
     // The z15 model (full target prediction, two-level BTB).
-    let z15 = run_suite(&GenerationPreset::Z15.config(), seed, instrs);
-    let z15_dir = 1000.0
-        * (z15.dynamic_wrong_direction.get() + z15.surprise_wrong_direction.get()) as f64
-        / z15.instructions.get().max(1) as f64;
+    let z15 = &result.entries.last().expect("nonempty").total;
     t.row(vec![
         "z15 model".to_string(),
         "~10 (PHT) + perceptron".to_string(),
         f3(z15.mpki()),
-        f3(z15_dir),
+        f3(dir_mpki(z15)),
         pct(z15.direction_accuracy().fraction()),
     ]);
     t.print();

@@ -9,7 +9,7 @@
 //! Plus the trigger-mechanism statistics (successive-miss, disruptive
 //! burst, refresh write-backs).
 
-use zbp_bench::{cli_params, f3, pct, run_workload, Table};
+use zbp_bench::{f3, pct, run_workload, BenchArgs, Experiment, Table};
 use zbp_core::config::{BtbpConfig, InclusionPolicy};
 use zbp_core::{GenerationPreset, PredictorConfig};
 use zbp_trace::workloads;
@@ -36,17 +36,24 @@ fn btbp_style() -> PredictorConfig {
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Two-level BTB ablation on a large-footprint workload ({instrs} instrs)\n");
     let w = workloads::footprint_sweep(seed, instrs, 400);
+    let mut exp = Experiment::bare().workload(w).apply(&args);
+    for cfg in [no_btb2(), btbp_style(), GenerationPreset::Z15.config()] {
+        exp = exp.config(cfg.name.clone(), &cfg);
+    }
+    let result = exp.run();
     let mut t =
         Table::new(vec!["design", "MPKI", "coverage", "BTB2 searches", "promotions", "refreshes"]);
-    for cfg in [no_btb2(), btbp_style(), GenerationPreset::Z15.config()] {
-        let (stats, p) = run_workload(&cfg, &w);
+    for entry in &result.entries {
+        let cell = &entry.cells[0];
+        let p = cell.predictor.as_ref().expect("config entries keep their predictor");
         t.row(vec![
-            cfg.name.clone(),
-            f3(stats.mpki()),
-            pct(stats.coverage().fraction()),
+            entry.label.clone(),
+            f3(cell.stats.mpki()),
+            pct(cell.stats.coverage().fraction()),
             p.btb2().map_or(0, |b| b.stats.searches).to_string(),
             p.stats.btb2_promotions.to_string(),
             p.btb2().map_or(0, |b| b.stats.refresh_writebacks).to_string(),
@@ -56,8 +63,8 @@ fn main() {
 
     println!("\nBTB2 trigger breakdown (z15, microservices churn)\n");
     let w = workloads::microservices(seed, instrs);
-    let (_, p) = run_workload(&GenerationPreset::Z15.config(), &w);
-    if let Some(b2) = p.btb2() {
+    let r = run_workload(&GenerationPreset::Z15.config(), &w);
+    if let Some(b2) = r.predictor.btb2() {
         let mut t = Table::new(vec!["trigger", "searches"]);
         t.row(vec![
             "3 successive no-hit searches".to_string(),
@@ -118,7 +125,7 @@ fn measure_transfer_bursts(instrs: u64, seed: u64) -> Vec<u32> {
         }
     }
 
-    let trace = workloads::microservices_sized(seed, instrs, 8, 300, 60).dynamic_trace();
+    let trace = workloads::microservices_sized(seed, instrs, 8, 300, 60).cached_trace();
     let mut p = zbp_core::ZPredictor::new(GenerationPreset::Z15.config());
     let bursts = Arc::new(Mutex::new(Vec::new()));
     p.set_probe(Box::new(Tap(Arc::clone(&bursts))));

@@ -6,9 +6,11 @@
 //! workload footprint at fixed z15 geometry, reporting MPKI and BTB
 //! coverage.
 
-use zbp_bench::{cli_params, f3, pct, run_workload, Table};
+use zbp_bench::{f3, pct, BenchArgs, Experiment, Table};
 use zbp_core::{GenerationPreset, PredictorConfig};
 use zbp_trace::workloads;
+
+const BTB1_ROWS: [usize; 5] = [256, 512, 1024, 2048, 4096];
 
 fn with_btb1_rows(mut cfg: PredictorConfig, rows: usize) -> PredictorConfig {
     cfg.btb1.rows = rows;
@@ -17,7 +19,8 @@ fn with_btb1_rows(mut cfg: PredictorConfig, rows: usize) -> PredictorConfig {
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
 
     println!("(a) BTB1 capacity sweep on a uniformly-warm footprint ({instrs} instrs)\n");
     let w = workloads::footprint_sweep(seed, instrs, 400);
@@ -26,6 +29,19 @@ fn main() {
         w.program().branch_sites(),
         w.program().footprint_bytes() / 1024
     );
+    // One experiment holds both columns of every row: with/without the
+    // BTB2 at each BTB1 size, all cells fanned out together.
+    let mut exp = Experiment::bare().workload(w).apply(&args);
+    for rows in BTB1_ROWS {
+        let mut solo = with_btb1_rows(GenerationPreset::Z15.config(), rows);
+        solo.btb2 = None;
+        exp = exp.config(format!("solo-{rows}"), &solo);
+        exp = exp.config(
+            format!("with-btb2-{rows}"),
+            &with_btb1_rows(GenerationPreset::Z15.config(), rows),
+        );
+    }
+    let result = exp.run();
     let mut t = Table::new(vec![
         "BTB1 branches",
         "MPKI (no BTB2)",
@@ -33,12 +49,9 @@ fn main() {
         "MPKI (with BTB2)",
         "coverage ",
     ]);
-    for rows in [256usize, 512, 1024, 2048, 4096] {
-        let mut solo = with_btb1_rows(GenerationPreset::Z15.config(), rows);
-        solo.btb2 = None;
-        let (s1, _) = run_workload(&solo, &w);
-        let cfg = with_btb1_rows(GenerationPreset::Z15.config(), rows);
-        let (s2, _) = run_workload(&cfg, &w);
+    for (i, rows) in BTB1_ROWS.iter().enumerate() {
+        let s1 = &result.entries[2 * i].total;
+        let s2 = &result.entries[2 * i + 1].total;
         t.row(vec![
             (rows * 8).to_string(),
             f3(s1.mpki()),
@@ -50,16 +63,19 @@ fn main() {
     t.print();
 
     println!("\n(b) footprint sweep at fixed z15 geometry\n");
+    let services = [25usize, 50, 100, 200, 400, 800];
+    let ws: Vec<_> =
+        services.iter().map(|&s| workloads::footprint_sweep(seed, instrs, s)).collect();
+    let footprints: Vec<u64> = ws.iter().map(|w| w.program().footprint_bytes() / 1024).collect();
+    let result = Experiment::new(&GenerationPreset::Z15.config()).workloads(ws).apply(&args).run();
     let mut t = Table::new(vec!["services", "footprint (KB)", "MPKI", "coverage", "BTB2 searches"]);
-    for services in [25usize, 50, 100, 200, 400, 800] {
-        let w = workloads::footprint_sweep(seed, instrs, services);
-        let cfg = GenerationPreset::Z15.config();
-        let (stats, p) = run_workload(&cfg, &w);
+    for (i, cell) in result.entries[0].cells.iter().enumerate() {
+        let p = cell.predictor.as_ref().expect("config entries keep their predictor");
         t.row(vec![
-            services.to_string(),
-            (w.program().footprint_bytes() / 1024).to_string(),
-            f3(stats.mpki()),
-            pct(stats.coverage().fraction()),
+            services[i].to_string(),
+            footprints[i].to_string(),
+            f3(cell.stats.mpki()),
+            pct(cell.stats.coverage().fraction()),
             p.btb2().map_or(0, |b| b.stats.searches).to_string(),
         ]);
     }

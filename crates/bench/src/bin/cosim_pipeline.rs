@@ -5,13 +5,14 @@
 //! *emergent* properties of three interacting machines rather than
 //! charged constants.
 
-use zbp_bench::{cli_params, f3, Table};
+use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
 use zbp_trace::workloads;
 use zbp_uarch::{run_cosim, CosimConfig, Frontend, FrontendConfig};
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Cycle-stepped co-simulation vs the analytic front end ({instrs} instrs)\n");
     let mut t = Table::new(vec![
         "workload",
@@ -23,7 +24,7 @@ fn main() {
         "peak pred-queue",
     ]);
     for w in workloads::suite(seed, instrs) {
-        let trace = w.dynamic_trace();
+        let trace = w.cached_trace();
         let cosim = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
         let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
         let fr = fe.run(&trace);
@@ -43,7 +44,7 @@ fn main() {
     println!("(flush -> first re-dispatch + resolve drain) instead of being charged.");
 
     println!("\nPrediction-queue capacity sweep (lspr, emergent throttling)\n");
-    let trace = workloads::lspr_like(seed, instrs).dynamic_trace();
+    let trace = workloads::lspr_like(seed, instrs).cached_trace();
     let mut t = Table::new(vec!["queue depth", "CPI", "BPL backpressure cycles"]);
     for q in [2usize, 4, 8, 16, 32, 64] {
         let cfg = CosimConfig { pred_queue: q, ..CosimConfig::default() };

@@ -6,7 +6,7 @@
 //! * SBHT/SPHT speculative overrides on/off (the weak-loop pathology);
 //! * GPV depth 9 vs 17.
 
-use zbp_bench::{cli_params, delta_pct, f3, pct, run_suite, run_workload, Table};
+use zbp_bench::{delta_pct, f3, pct, BenchArgs, Experiment, Table};
 use zbp_core::config::PhtKind;
 use zbp_core::{GenerationPreset, PredictorConfig};
 use zbp_trace::workloads;
@@ -19,7 +19,8 @@ fn variant(name: &str, f: impl FnOnce(&mut PredictorConfig)) -> PredictorConfig 
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Direction-prediction ablation, LSPR suite ({instrs} instrs/workload)\n");
 
     let variants = vec![
@@ -51,6 +52,29 @@ fn main() {
         variant("z15-full", |_| {}),
     ];
 
+    // Every variant runs over the LSPR suite plus the two showcase
+    // workloads in a single fan-out; the suite cells come first.
+    let suite = workloads::suite(seed, instrs);
+    let n_suite = suite.len();
+    let mut ws = suite;
+    ws.push(workloads::patterned(seed, instrs));
+    ws.push(workloads::correlated_noise(seed, instrs, 15));
+    let mut exp = Experiment::bare().workloads(ws).apply(&args);
+    for cfg in &variants {
+        exp = exp.config(cfg.name.clone(), cfg);
+    }
+    let result = exp.run();
+
+    let suite_total = |i: usize| {
+        let mut total = zbp_model::MispredictStats::new();
+        for cell in &result.entries[i].cells[..n_suite] {
+            total.merge(&cell.stats);
+        }
+        total
+    };
+    let pat_mpki = |i: usize| result.entries[i].cells[n_suite].stats.mpki();
+    let corr_mpki = |i: usize| result.entries[i].cells[n_suite + 1].stats.mpki();
+
     let mut t = Table::new(vec![
         "variant",
         "MPKI (lspr)",
@@ -61,31 +85,22 @@ fn main() {
         "MPKI (corr-noise)",
         "vs full  ",
     ]);
-    let full = run_suite(variants.last().expect("nonempty"), seed, instrs);
-    let full_mpki = full.mpki();
-    let patterned = workloads::patterned(seed, instrs);
-    let corr = workloads::correlated_noise(seed, instrs, 15);
-    let full_pat = {
-        let (s, _) = run_workload(variants.last().expect("nonempty"), &patterned);
-        s.mpki()
-    };
-    let full_corr = {
-        let (s, _) = run_workload(variants.last().expect("nonempty"), &corr);
-        s.mpki()
-    };
-    for cfg in &variants {
-        let stats = run_suite(cfg, seed, instrs);
-        let (pat, _) = run_workload(cfg, &patterned);
-        let (cn, _) = run_workload(cfg, &corr);
+    let full_idx = variants.len() - 1;
+    let full_mpki = suite_total(full_idx).mpki();
+    let full_pat = pat_mpki(full_idx);
+    let full_corr = corr_mpki(full_idx);
+    for (i, cfg) in variants.iter().enumerate() {
+        let stats = suite_total(i);
+        let (pat, cn) = (pat_mpki(i), corr_mpki(i));
         t.row(vec![
             cfg.name.clone(),
             f3(stats.mpki()),
             delta_pct(full_mpki, stats.mpki()),
             pct(stats.direction_accuracy().fraction()),
-            f3(pat.mpki()),
-            delta_pct(full_pat, pat.mpki()),
-            f3(cn.mpki()),
-            delta_pct(full_corr, cn.mpki()),
+            f3(pat),
+            delta_pct(full_pat, pat),
+            f3(cn),
+            delta_pct(full_corr, cn),
         ]);
     }
     t.print();

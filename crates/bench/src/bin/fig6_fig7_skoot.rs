@@ -3,11 +3,11 @@
 //! target stream sit several empty 64-byte lines past the target, SKOOT
 //! skips the unnecessary sequential searches (per §IV).
 
-use zbp_bench::{cli_params, Table};
+use zbp_bench::{BenchArgs, Experiment, Table};
 use zbp_core::config::TimingConfig;
 use zbp_core::pipeline::{uniform_streams, SearchPipeline};
-use zbp_core::{GenerationPreset, ZPredictor};
-use zbp_model::{DelayedUpdateHarness, DynamicTrace};
+use zbp_core::GenerationPreset;
+use zbp_model::DynamicTrace;
 use zbp_trace::workloads;
 use zbp_zarch::LINE_64B;
 
@@ -56,7 +56,8 @@ fn main() {
 
     // Measured stream shapes: how often do real target streams begin
     // with empty 64-byte lines SKOOT could skip?
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("\nMeasured stream shapes and SKOOT learning per workload ({instrs} instrs)\n");
     let mut t = Table::new(vec![
         "workload",
@@ -66,13 +67,14 @@ fn main() {
         "SKOOT learns",
         "lines skipped",
     ]);
-    for w in workloads::suite(seed, instrs) {
-        let trace = w.dynamic_trace();
-        let (streams, with_lead, lead_sum) = stream_shapes(&trace);
-        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
-        DelayedUpdateHarness::new(32).run(&mut p, &trace);
+    let ws = workloads::suite(seed, instrs);
+    let result =
+        Experiment::new(&GenerationPreset::Z15.config()).workloads(ws.clone()).apply(&args).run();
+    for (w, cell) in ws.iter().zip(&result.entries[0].cells) {
+        let (streams, with_lead, lead_sum) = stream_shapes(&w.cached_trace());
+        let p = cell.predictor.as_ref().expect("config entries keep their predictor");
         t.row(vec![
-            w.label.clone(),
+            cell.workload.clone(),
             streams.to_string(),
             format!("{:.1}%", 100.0 * with_lead as f64 / streams.max(1) as f64),
             format!("{:.2}", lead_sum as f64 / streams.max(1) as f64),

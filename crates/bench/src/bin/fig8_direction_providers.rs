@@ -3,19 +3,19 @@
 //! short / TAGE long / SPHT / perceptron), with per-provider accuracy,
 //! on the LSPR suite and on a pattern-heavy mix.
 
-use zbp_bench::{cli_params, pct, run_workload, Table};
+use zbp_bench::{pct, BenchArgs, CellResult, Table};
 use zbp_core::direction::DirectionProvider;
 use zbp_core::GenerationPreset;
 use zbp_model::MispredictStats;
 use zbp_trace::workloads;
-use zbp_trace::Workload;
 
-fn report(label: &str, stats: &[(MispredictStats, zbp_core::ZPredictor)]) {
+fn report(label: &str, cells: &[CellResult]) {
     println!("\n== {label} ==");
     let mut t = Table::new(vec!["provider", "predictions", "share", "accuracy"]);
     let mut merged: std::collections::BTreeMap<DirectionProvider, (u64, u64)> = Default::default();
     let mut total = 0u64;
-    for (_, p) in stats {
+    for cell in cells {
+        let p = cell.predictor.as_ref().expect("config entries keep their predictor");
         for (prov, tally) in &p.stats.direction {
             let e = merged.entry(*prov).or_default();
             e.0 += tally.predictions;
@@ -33,33 +33,34 @@ fn report(label: &str, stats: &[(MispredictStats, zbp_core::ZPredictor)]) {
     }
     t.print();
     let mut all = MispredictStats::new();
-    for (s, _) in stats {
-        all.merge(s);
+    for cell in cells {
+        all.merge(&cell.stats);
     }
     println!("overall MPKI {:.3}, direction accuracy {}", all.mpki(), all.direction_accuracy());
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     let cfg = GenerationPreset::Z15.config();
     println!(
         "Figure 8 — direction-provider selection, measured ({}, {instrs} instrs/workload)",
         cfg.name
     );
 
-    let lspr: Vec<_> =
-        workloads::suite(seed, instrs).iter().map(|w| run_workload(&cfg, w)).collect();
-    report("LSPR suite", &lspr);
+    // One experiment covers all three workload groups; the cells are
+    // sliced back out by suite position below.
+    let suite = workloads::suite(seed, instrs);
+    let n_suite = suite.len();
+    let mut ws = suite;
+    ws.push(workloads::patterned(seed, instrs));
+    ws.push(workloads::compute_loop(seed, instrs));
+    let result = zbp_bench::Experiment::new(&cfg).workloads(ws).apply(&args).run();
+    let cells = &result.entries[0].cells;
 
-    let patt: Vec<(MispredictStats, zbp_core::ZPredictor)> =
-        vec![run_workload(&cfg, &workloads::patterned(seed, instrs))];
-    report("pattern-heavy mix (aux-predictor showcase)", &patt);
-
-    let loops: Vec<_> = [workloads::compute_loop(seed, instrs)]
-        .iter()
-        .map(|w: &Workload| run_workload(&cfg, w))
-        .collect();
-    report("compute loop", &loops);
+    report("LSPR suite", &cells[..n_suite]);
+    report("pattern-heavy mix (aux-predictor showcase)", &cells[n_suite..n_suite + 1]);
+    report("compute loop", &cells[n_suite + 1..]);
 
     println!(
         "\nFlowchart conformance: unconditional branches never consult aux predictors;\n\

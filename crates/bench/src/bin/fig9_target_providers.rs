@@ -3,25 +3,30 @@
 //! per-provider accuracy, plus the CRS detection/blacklist/amnesty
 //! statistics, on call/return-heavy and indirect-dispatch workloads.
 
-use zbp_bench::{cli_params, pct, run_workload, Table};
+use zbp_bench::{pct, BenchArgs, Experiment, Table};
 use zbp_core::GenerationPreset;
 use zbp_trace::workloads;
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     let cfg = GenerationPreset::Z15.config();
     println!(
         "Figure 9 — target-provider selection, measured ({}, {instrs} instrs/workload)",
         cfg.name
     );
 
-    for w in [
+    let ws = vec![
         workloads::call_return_heavy(seed, instrs),
         workloads::indirect_dispatch(seed, instrs),
         workloads::lspr_like(seed, instrs),
-    ] {
-        let (stats, p) = run_workload(&cfg, &w);
-        println!("\n== {} ==", w.label);
+    ];
+    let result = Experiment::new(&cfg).workloads(ws).apply(&args).run();
+
+    for cell in &result.entries[0].cells {
+        let stats = &cell.stats;
+        let p = cell.predictor.as_ref().expect("config entries keep their predictor");
+        println!("\n== {} ==", cell.workload);
         let mut t = Table::new(vec!["provider", "targets supplied", "share", "accuracy"]);
         let total: u64 = p.stats.target.values().map(|x| x.predictions).sum();
         for (prov, tally) in &p.stats.target {

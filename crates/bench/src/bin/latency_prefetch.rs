@@ -6,13 +6,14 @@
 //! Reports the front-end stall breakdown with the BPL lookahead model,
 //! per workload.
 
-use zbp_bench::{cli_params, f3, Table};
+use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
 use zbp_trace::workloads;
 use zbp_uarch::{Frontend, FrontendConfig};
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Front-end latency & lookahead-prefetch breakdown (z15, {instrs} instrs)\n");
     let mut t = Table::new(vec![
         "workload",
@@ -26,7 +27,7 @@ fn main() {
         "bpl lead",
     ]);
     for w in workloads::suite(seed, instrs) {
-        let trace = w.dynamic_trace();
+        let trace = w.cached_trace();
         let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
         let rep = fe.run(&trace);
         let l1_miss = if rep.icache.accesses == 0 {

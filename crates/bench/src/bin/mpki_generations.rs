@@ -8,12 +8,20 @@
 //! synthetic suite; the *shape* (monotone improvement, a much larger
 //! z14→z15 step than z13→z14) is the reproduction target.
 
-use zbp_bench::{cli_params, delta_pct, f3, pct, run_suite, Table};
+use zbp_bench::{delta_pct, f3, pct, BenchArgs, Experiment, Table};
 use zbp_core::GenerationPreset;
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("LSPR-suite branch MPKI by generation ({instrs} instrs x 6 workloads, seed {seed})\n");
+
+    let mut exp = Experiment::bare().suite(seed, instrs).apply(&args);
+    for preset in GenerationPreset::ALL {
+        exp = exp.config(preset.to_string(), &preset.config());
+    }
+    let result = exp.run();
+
     let mut t = Table::new(vec![
         "generation",
         "MPKI",
@@ -23,11 +31,11 @@ fn main() {
         "surprise/1k",
     ]);
     let mut prior: Option<f64> = None;
-    for preset in GenerationPreset::ALL {
-        let stats = run_suite(&preset.config(), seed, instrs);
+    for entry in &result.entries {
+        let stats = entry.total;
         let mpki = stats.mpki();
         t.row(vec![
-            preset.to_string(),
+            entry.label.clone(),
             f3(mpki),
             prior.map_or("-".to_string(), |p| delta_pct(p, mpki)),
             pct(stats.coverage().fraction()),

@@ -2,11 +2,24 @@
 //! driver behind EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p zbp-bench --bin run_all -- [instrs] [seed]
+//! cargo run --release -p zbp-bench --bin run_all -- \
+//!     [--instrs N] [--seed N] [--threads N] [--json PATH]
 //! ```
+//!
+//! Whole experiments are scheduled as concurrent child processes
+//! (`--threads` many at a time; the flag is *not* forwarded, so each
+//! child runs serially and its stdout stays deterministic). Status
+//! lines and the captured `results/<bin>.txt` files are printed and
+//! written in the fixed roster order regardless of completion order,
+//! so the output is byte-identical to a serial run. Unless overridden
+//! with `--json`, children append their per-cell records to
+//! `results/bench.json`.
 
 use std::path::Path;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use zbp_bench::BenchArgs;
 
 const BINARIES: &[&str] = &[
     "table1_structures",
@@ -31,18 +44,56 @@ const BINARIES: &[&str] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = BenchArgs::parse();
     let out_dir = Path::new("results");
     std::fs::create_dir_all(out_dir).expect("create results/");
     let exe_dir =
         std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
 
+    // Arguments forwarded to every child. `--threads` stays here (it
+    // controls experiment-level concurrency); each child gets an
+    // explicit `--threads 1` so its cells run serially and repeated
+    // invocations produce identical tables.
+    let mut child_args: Vec<String> = vec![
+        "--instrs".into(),
+        args.instrs.to_string(),
+        "--seed".into(),
+        args.seed.to_string(),
+        "--threads".into(),
+        "1".into(),
+    ];
+    let json_path = args.json.clone().unwrap_or_else(|| out_dir.join("bench.json"));
+    child_args.push("--json".into());
+    child_args.push(json_path.display().to_string());
+
+    let start = std::time::Instant::now();
+    let threads = args.effective_threads().min(BINARIES.len());
+    let next = AtomicUsize::new(0);
+    let outputs: Vec<Mutex<Option<std::io::Result<std::process::Output>>>> =
+        (0..BINARIES.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= BINARIES.len() {
+                    break;
+                }
+                let out = Command::new(exe_dir.join(BINARIES[i])).args(&child_args).output();
+                *outputs[i].lock().expect("output slot") = Some(out);
+            });
+        }
+    });
+    eprintln!(
+        "ran {} experiments on {} thread(s) in {:.1} s",
+        BINARIES.len(),
+        threads,
+        start.elapsed().as_secs_f64()
+    );
+
     let mut failures = 0;
-    for bin in BINARIES {
-        let path = exe_dir.join(bin);
+    for (bin, slot) in BINARIES.iter().zip(outputs) {
         print!("{bin:<28}");
-        let output = Command::new(&path).args(&args).output();
-        match output {
+        match slot.into_inner().expect("output slot").expect("worker ran every index") {
             Ok(o) if o.status.success() => {
                 let f = out_dir.join(format!("{bin}.txt"));
                 std::fs::write(&f, &o.stdout).expect("write result");
@@ -64,4 +115,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall {} experiments regenerated into results/", BINARIES.len());
+    println!("per-cell records appended to {}", json_path.display());
 }

@@ -5,7 +5,7 @@
 //!
 //! Reports per-thread slowdown and aggregate throughput for ST vs SMT2.
 
-use zbp_bench::{cli_params, f3, Table};
+use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::config::TimingConfig;
 use zbp_core::pipeline::{uniform_streams, SearchPipeline};
 use zbp_core::GenerationPreset;
@@ -13,7 +13,8 @@ use zbp_trace::workloads;
 use zbp_uarch::{Frontend, FrontendConfig};
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
 
     println!("(a) search-pipeline taken-branch periods (analytical)\n");
     let timing = TimingConfig::default();
@@ -39,8 +40,8 @@ fn main() {
         "per-thread cycles",
         "aggregate instrs/cycle",
     ]);
-    let trace_a = workloads::lspr_like(seed, instrs).dynamic_trace();
-    let trace_b = workloads::lspr_like(seed + 17, instrs).dynamic_trace();
+    let trace_a = workloads::lspr_like(seed, instrs).cached_trace();
+    let trace_b = workloads::lspr_like(seed + 17, instrs).cached_trace();
 
     // Single thread.
     let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
@@ -72,8 +73,8 @@ fn main() {
     println!("\n(c) functional SMT2: two threads sharing the prediction arrays\n");
     use zbp_core::ZPredictor;
     use zbp_model::{DelayedUpdateHarness, MispredictStats};
-    let tr0 = workloads::lspr_like(seed, instrs).dynamic_trace();
-    let tr1 = workloads::lspr_like(seed + 17, instrs).dynamic_trace();
+    let tr0 = workloads::lspr_like(seed, instrs).cached_trace();
+    let tr1 = workloads::lspr_like(seed + 17, instrs).cached_trace();
     let solo = |tr: &zbp_model::DynamicTrace| -> MispredictStats {
         let mut p = ZPredictor::new(GenerationPreset::Z15.config());
         DelayedUpdateHarness::new(32).run(&mut p, tr).stats

@@ -8,14 +8,15 @@
 //! rates from the lookahead line-search mode, plus the storage each tag
 //! bit costs — the tradeoff partial tagging makes.
 
-use zbp_bench::{cli_params, f3, Table};
+use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
 use zbp_trace::workloads;
 use zbp_uarch::run_lookahead;
 
 fn main() {
-    let (instrs, seed) = cli_params();
-    let trace = workloads::lspr_like(seed, instrs).dynamic_trace();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
+    let trace = workloads::lspr_like(seed, instrs).cached_trace();
     println!("Partial-tag ablation: bad branch predictions vs tag width ({instrs} instrs)\n");
     let mut t = Table::new(vec![
         "tag bits",

@@ -3,7 +3,7 @@
 //! change (9-deep pre-z15 vs 17-deep z15).
 
 use zbp_baselines::{Ittage, LastTarget};
-use zbp_bench::{cli_params, delta_pct, f3, pct, run_workload, Table};
+use zbp_bench::{delta_pct, f3, pct, run_workload, BenchArgs, Experiment, Table};
 use zbp_core::{GenerationPreset, PredictorConfig};
 use zbp_model::TargetPredictor;
 use zbp_trace::workloads;
@@ -16,7 +16,8 @@ fn variant(name: &str, f: impl FnOnce(&mut PredictorConfig)) -> PredictorConfig 
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     let variants = vec![
         variant("btb-target-only", |c| {
             c.ctb = None;
@@ -32,19 +33,27 @@ fn main() {
         variant("z15-full", |_| {}),
     ];
 
-    for w in
-        [workloads::call_return_heavy(seed, instrs), workloads::indirect_dispatch(seed, instrs)]
-    {
-        println!("\n== {} ({instrs} instrs) ==\n", w.label);
+    // All variants over both workloads in one fan-out; tables below
+    // slice the cells by workload position.
+    let ws = vec![
+        workloads::call_return_heavy(seed, instrs),
+        workloads::indirect_dispatch(seed, instrs),
+    ];
+    let labels: Vec<String> = ws.iter().map(|w| w.label.clone()).collect();
+    let mut exp = Experiment::bare().workloads(ws).apply(&args);
+    for cfg in &variants {
+        exp = exp.config(cfg.name.clone(), cfg);
+    }
+    let result = exp.run();
+
+    for (wi, wlabel) in labels.iter().enumerate() {
+        println!("\n== {wlabel} ({instrs} instrs) ==\n");
         let mut t = Table::new(vec!["variant", "MPKI", "vs z15-full", "wrong-target/1k instr"]);
-        let full_mpki = {
-            let (s, _) = run_workload(variants.last().expect("nonempty"), &w);
-            s.mpki()
-        };
-        for cfg in &variants {
-            let (stats, _) = run_workload(cfg, &w);
+        let full_mpki = result.entries.last().expect("nonempty").cells[wi].stats.mpki();
+        for entry in &result.entries {
+            let stats = &entry.cells[wi].stats;
             t.row(vec![
-                cfg.name.clone(),
+                entry.label.clone(),
                 f3(stats.mpki()),
                 delta_pct(full_mpki, stats.mpki()),
                 f3(1000.0 * stats.dynamic_wrong_target.get() as f64
@@ -55,7 +64,7 @@ fn main() {
     }
     // (c) standalone indirect-target shootout: the z15 CTB's company.
     println!("\nIndirect-target predictors on the dispatch mix (standalone)\n");
-    let trace = workloads::indirect_dispatch(seed, instrs).dynamic_trace();
+    let trace = workloads::indirect_dispatch(seed, instrs).cached_trace();
     let mut t = Table::new(vec!["predictor", "storage (KB)", "indirect accuracy"]);
     let mut last = LastTarget::new(4096);
     let mut ittage = Ittage::new(4, 1024, 6);
@@ -88,10 +97,10 @@ fn main() {
     ]);
     // The z15's composite indirect path (BTB1 + CTB + CRS) from the full
     // run above.
-    let (_, p) =
+    let r =
         run_workload(&GenerationPreset::Z15.config(), &workloads::indirect_dispatch(seed, instrs));
     let (mut c, mut n) = (0u64, 0u64);
-    for tally in p.stats.target.values() {
+    for tally in r.predictor.stats.target.values() {
         c += tally.correct;
         n += tally.predictions;
     }

@@ -8,29 +8,23 @@
 //! the gap grows, weak-counter staleness hurts and the speculative
 //! structures buy it back.
 
-use zbp_bench::{cli_params, f3, Table};
-use zbp_core::{GenerationPreset, PredictorConfig, ZPredictor};
-use zbp_model::{DelayedUpdateHarness, MispredictStats};
-use zbp_trace::workloads;
+use zbp_bench::{f3, BenchArgs, Experiment, Table};
+use zbp_core::GenerationPreset;
+use zbp_trace::{workloads, Workload};
 
-fn run(cfg: &PredictorConfig, depth: usize, seed: u64, instrs: u64) -> MispredictStats {
-    let mut total = MispredictStats::new();
+fn sweep_workloads(seed: u64, instrs: u64) -> Vec<Workload> {
+    let mut ws = Vec::new();
     for s in 0..3u64 {
-        for w in [
-            workloads::compute_loop(seed + s * 10, instrs),
-            workloads::patterned(seed + s * 10 + 1, instrs),
-            workloads::lspr_like(seed + s * 10 + 2, instrs),
-        ] {
-            let trace = w.dynamic_trace();
-            let mut p = ZPredictor::new(cfg.clone());
-            total.merge(&DelayedUpdateHarness::new(depth).run(&mut p, &trace).stats);
-        }
+        ws.push(workloads::compute_loop(seed + s * 10, instrs));
+        ws.push(workloads::patterned(seed + s * 10 + 1, instrs));
+        ws.push(workloads::lspr_like(seed + s * 10 + 2, instrs));
     }
-    total
+    ws
 }
 
 fn main() {
-    let (instrs, seed) = cli_params();
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
     println!("Update-latency sweep: MPKI vs in-flight window depth ({instrs} instrs)\n");
     let with = GenerationPreset::Z15.config();
     let mut without = GenerationPreset::Z15.config();
@@ -43,9 +37,19 @@ fn main() {
         "MPKI (without)",
         "spec-override benefit",
     ]);
+    // One experiment per depth (the harness depth is an engine-level
+    // knob); within each, both variants fan out over the nine traces,
+    // which the cache generates only once across all five depths.
     for depth in [0usize, 4, 8, 16, 32] {
-        let a = run(&with, depth, seed, instrs).mpki();
-        let b = run(&without, depth, seed, instrs).mpki();
+        let result = Experiment::bare()
+            .config("with-spec", &with)
+            .config("without-spec", &without)
+            .workloads(sweep_workloads(seed, instrs))
+            .harness_depth(depth)
+            .apply(&args)
+            .run();
+        let a = result.entries[0].total.mpki();
+        let b = result.entries[1].total.mpki();
         t.row(vec![
             depth.to_string(),
             f3(a),

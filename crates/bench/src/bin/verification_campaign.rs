@@ -4,14 +4,14 @@
 //! signal defects (mutations) must be detected by the decoupled
 //! white-box checkers.
 
-use zbp_bench::{cli_params, Table};
+use zbp_bench::{BenchArgs, Table};
 use zbp_core::GenerationPreset;
 use zbp_verify::stimulus::StimulusParams;
 use zbp_verify::{CheckerConfig, SeededBug, VerifyHarness};
 
 fn main() {
-    let (n, seed) = cli_params();
-    let n = n.min(50_000);
+    let args = BenchArgs::parse();
+    let (n, seed) = (args.instrs.min(50_000), args.seed);
 
     println!("(a) clean-DUT constrained-random campaign ({n} branches per run)\n");
     let mut t = Table::new(vec!["DUT", "stimulus", "transactions", "checks passed", "violations"]);

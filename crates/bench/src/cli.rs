@@ -1,0 +1,161 @@
+//! Flag parsing shared by all experiment binaries.
+//!
+//! Every binary accepts the same small vocabulary:
+//!
+//! ```text
+//! <bin> [--instrs N] [--seed N] [--threads N] [--json PATH] [INSTRS [SEED]]
+//! ```
+//!
+//! `--flag value` and `--flag=value` both work, and the historical
+//! positional `INSTRS SEED` form keeps working so existing scripts and
+//! `run_all` invocations do not break. Unknown flags are reported on
+//! stderr and skipped rather than aborting: experiment binaries are
+//! throwaway drivers and a typo should not eat a long run.
+
+use crate::{DEFAULT_INSTRS, DEFAULT_SEED};
+
+/// Parsed command-line arguments for an experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Instruction budget per workload (`--instrs`, or positional 1).
+    pub instrs: u64,
+    /// Workload generator seed (`--seed`, or positional 2).
+    pub seed: u64,
+    /// Worker threads for suite fan-out; `0` means "auto" (one per
+    /// available core, capped by the number of cells).
+    pub threads: usize,
+    /// When set, append one JSON record per (config, workload) cell to
+    /// this file (JSON Lines).
+    pub json: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { instrs: DEFAULT_INSTRS, seed: DEFAULT_SEED, threads: 0, json: None }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable entry point).
+    pub fn parse_from<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = BenchArgs::default();
+        let mut positional = 0u32;
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            let (flag, mut inline_value) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+                _ => (arg.clone(), None),
+            };
+            match flag.as_str() {
+                "--instrs" => {
+                    let val = inline_value.take().or_else(|| it.next());
+                    if let Some(v) = val.and_then(|v| v.parse().ok()) {
+                        out.instrs = v;
+                    } else {
+                        eprintln!("warning: --instrs needs a number; keeping {}", out.instrs);
+                    }
+                }
+                "--seed" => {
+                    let val = inline_value.take().or_else(|| it.next());
+                    if let Some(v) = val.and_then(|v| v.parse().ok()) {
+                        out.seed = v;
+                    } else {
+                        eprintln!("warning: --seed needs a number; keeping {}", out.seed);
+                    }
+                }
+                "--threads" => {
+                    let val = inline_value.take().or_else(|| it.next());
+                    if let Some(v) = val.and_then(|v| v.parse().ok()) {
+                        out.threads = v;
+                    } else {
+                        eprintln!("warning: --threads needs a number; keeping auto");
+                    }
+                }
+                "--json" => match inline_value.take().or_else(|| it.next()) {
+                    Some(p) => out.json = Some(p.into()),
+                    None => eprintln!("warning: --json needs a path; ignoring"),
+                },
+                f if f.starts_with("--") => {
+                    eprintln!("warning: unknown flag {f}; ignoring");
+                }
+                _ => {
+                    // Positional compatibility: INSTRS then SEED.
+                    match (positional, arg.parse::<u64>()) {
+                        (0, Ok(v)) => out.instrs = v,
+                        (1, Ok(v)) => out.seed = v,
+                        (_, Ok(_)) => eprintln!("warning: extra positional {arg}; ignoring"),
+                        (_, Err(_)) => eprintln!("warning: unparseable argument {arg}; ignoring"),
+                    }
+                    positional += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolved worker count: `threads` when non-zero, else available
+    /// parallelism (falling back to 1 on error).
+    pub fn effective_threads(&self) -> usize {
+        crate::experiment::resolve_threads(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(a, BenchArgs::default());
+        assert_eq!(a.instrs, DEFAULT_INSTRS);
+        assert_eq!(a.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn flags_space_and_equals_forms() {
+        let a = BenchArgs::parse_from(["--instrs", "5000", "--seed=7", "--threads", "4"]);
+        assert_eq!(a.instrs, 5_000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 4);
+        let b = BenchArgs::parse_from(["--json=out/x.json"]);
+        assert_eq!(b.json.as_deref(), Some(std::path::Path::new("out/x.json")));
+    }
+
+    #[test]
+    fn positional_compatibility() {
+        let a = BenchArgs::parse_from(["30000", "99"]);
+        assert_eq!(a.instrs, 30_000);
+        assert_eq!(a.seed, 99);
+    }
+
+    #[test]
+    fn positional_and_flags_mix() {
+        let a = BenchArgs::parse_from(["30000", "--threads", "2", "99"]);
+        assert_eq!(a.instrs, 30_000);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_skipped() {
+        let a = BenchArgs::parse_from(["--wibble", "--instrs", "123"]);
+        assert_eq!(a.instrs, 123);
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(BenchArgs::default().effective_threads() >= 1);
+        let a = BenchArgs { threads: 3, ..BenchArgs::default() };
+        assert_eq!(a.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,517 @@
+//! Minimal JSON support for experiment results.
+//!
+//! The container this repo builds in has no network access, so instead
+//! of `serde_json` we carry a small hand-rolled JSON value type with a
+//! writer and a recursive-descent parser — enough to emit and re-read
+//! the flat records in `results/bench.json` (one JSON object per line,
+//! i.e. JSON Lines, so concurrent binaries can append without a merge
+//! step).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A JSON value. Objects use a [`BTreeMap`] so output key order is
+/// deterministic, which keeps `results/bench.json` diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers are emitted without a fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value under `key`, when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer (exact numbers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// This value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON value from a string.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::at(p.pos, "trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(pos: usize, message: impl Into<String>) -> Self {
+        JsonError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::at(self.pos, "expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::at(start, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| JsonError::at(self.pos, "bad \\u escape"))?;
+                            // Surrogate pairs are not needed for our
+                            // ASCII-labelled records; reject them.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| JsonError::at(self.pos, "bad \\u code point"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::at(self.pos, "bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::at(self.pos, "invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::at(start, format!("bad number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// One measured `(config, workload)` cell, as recorded in
+/// `results/bench.json`.
+///
+/// The schema is flat on purpose: each line is independent, so files
+/// from different binaries/runs concatenate cleanly and ad-hoc tooling
+/// (`grep`, `jq`, a five-line Python script) can slice them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which experiment binary produced the record, e.g.
+    /// `"mpki_generations"`.
+    pub experiment: String,
+    /// Predictor or configuration label, e.g. `"z15"` or `"gshare-8KB"`.
+    pub config: String,
+    /// Workload label within the suite.
+    pub workload: String,
+    /// Instruction budget the workload was generated with.
+    pub instrs: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Mispredictions per thousand instructions.
+    pub mpki: f64,
+    /// Direction accuracy in `[0, 1]`.
+    pub dir_acc: f64,
+    /// Dynamic (BTB-hit) prediction coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Dynamic branches measured.
+    pub branches: u64,
+    /// Restart-causing mispredictions.
+    pub mispredicts: u64,
+    /// Pipeline flushes delivered to the predictor.
+    pub flushes: u64,
+    /// Wall-clock time for this cell, in milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads the parent experiment ran with.
+    pub threads: u64,
+}
+
+impl BenchRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(1.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("instrs", Json::Num(self.instrs as f64)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("mpki", Json::Num(self.mpki)),
+            ("dir_acc", Json::Num(self.dir_acc)),
+            ("coverage", Json::Num(self.coverage)),
+            ("branches", Json::Num(self.branches as f64)),
+            ("mispredicts", Json::Num(self.mispredicts as f64)),
+            ("flushes", Json::Num(self.flushes as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("threads", Json::Num(self.threads as f64)),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object (as written by
+    /// [`to_json`](Self::to_json)).
+    pub fn from_json(v: &Json) -> Option<BenchRecord> {
+        Some(BenchRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            workload: v.get("workload")?.as_str()?.to_string(),
+            instrs: v.get("instrs")?.as_u64()?,
+            seed: v.get("seed")?.as_u64()?,
+            mpki: v.get("mpki")?.as_f64()?,
+            dir_acc: v.get("dir_acc")?.as_f64()?,
+            coverage: v.get("coverage")?.as_f64()?,
+            branches: v.get("branches")?.as_u64()?,
+            mispredicts: v.get("mispredicts")?.as_u64()?,
+            flushes: v.get("flushes")?.as_u64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            threads: v.get("threads")?.as_u64()?,
+        })
+    }
+}
+
+/// Appends records to a JSON Lines file, creating parent directories as
+/// needed. All lines are buffered and written with a single `write_all`
+/// so concurrently-appending processes interleave at record granularity,
+/// not byte granularity.
+pub fn append_records(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable record from a JSON Lines file.
+pub fn read_records(path: &Path) -> std::io::Result<Vec<BenchRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| BenchRecord::from_json(&v))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            experiment: "mpki_generations".into(),
+            config: "z15".into(),
+            workload: "oltp-like".into(),
+            instrs: 200_000,
+            seed: 1234,
+            mpki: 4.321,
+            dir_acc: 0.9712,
+            coverage: 0.883,
+            branches: 41_234,
+            mispredicts: 876,
+            flushes: 880,
+            wall_ms: 12.5,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_text() {
+        let r = sample();
+        let text = r.to_json().to_string();
+        let back = BenchRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(200000.0).to_string(), "200000");
+        assert_eq!(Json::Num(4.5).to_string(), "4.5");
+        assert_eq!(Json::Num(-3.0).to_string(), "-3");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        let text = s.to_string();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(Json::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_ws() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5 , null , true ] , \"b\" : {} } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Null, Json::Bool(true)])
+        );
+        assert_eq!(v.get("b").unwrap(), &Json::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn append_and_read_records() {
+        let dir = std::env::temp_dir().join(format!("zbp-json-test-{}", std::process::id()));
+        let path = dir.join("nested/bench.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        append_records(&path, &[sample()]).unwrap();
+        let mut second = sample();
+        second.config = "z14".into();
+        append_records(&path, &[second.clone()]).unwrap();
+        let all = read_records(&path).unwrap();
+        assert_eq!(all, vec![sample(), second]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

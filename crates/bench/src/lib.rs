@@ -22,62 +22,98 @@
 //! | `baseline_comparison` | §II.D — vs academic baselines |
 //! | `verification_campaign` | §VII — checker + mutation campaign |
 //!
-//! This library holds the shared runners and table formatting.
+//! This library holds the shared experiment engine ([`Experiment`]),
+//! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
+//! formatting ([`Table`]).
+//!
+//! ## The Experiment API
+//!
+//! ```
+//! use zbp_bench::Experiment;
+//! use zbp_core::GenerationPreset;
+//!
+//! let result = Experiment::new(&GenerationPreset::Z15.config())
+//!     .suite(1, 2_000) // seed, instructions per workload
+//!     .threads(2)      // 0 = one worker per core
+//!     .run();
+//! assert!(result.entries[0].total.mpki() > 0.0);
+//! ```
+//!
+//! The old free functions (`run_suite`, `run_suite_with`, `cli_params`)
+//! are deprecated shims over this engine and will be removed next PR.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod experiment;
+pub mod json;
+
+pub use cli::BenchArgs;
+pub use experiment::{
+    resolve_threads, CellResult, EntryResult, Experiment, ExperimentResult, RunResult,
+    DEFAULT_HARNESS_DEPTH,
+};
+pub use json::{append_records, read_records, BenchRecord, Json};
+
+use std::time::Instant;
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
-use zbp_trace::workloads::{self, Workload};
+use zbp_trace::workloads::Workload;
 
 /// Default instruction budget per workload for experiment binaries; can
-/// be overridden by the first CLI argument.
+/// be overridden with `--instrs` (or the first positional argument).
 pub const DEFAULT_INSTRS: u64 = 200_000;
 
-/// Default seed; can be overridden by the second CLI argument.
+/// Default seed; can be overridden with `--seed` (or the second
+/// positional argument).
 pub const DEFAULT_SEED: u64 = 1234;
 
 /// Parses `(instrs, seed)` from the command line with defaults.
+#[deprecated(since = "0.2.0", note = "use `BenchArgs::parse()`; removal planned next PR")]
 pub fn cli_params() -> (u64, u64) {
-    let mut args = std::env::args().skip(1);
-    let instrs = args.next().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRS);
-    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
-    (instrs, seed)
+    let args = BenchArgs::parse();
+    (args.instrs, args.seed)
 }
 
 /// Runs a predictor configuration over one workload under the standard
-/// 32-deep delayed-update harness. Returns the run's statistics and the
-/// predictor (for structure-level statistics).
-pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> (MispredictStats, ZPredictor) {
-    let trace = w.dynamic_trace();
+/// 32-deep delayed-update harness, using the process-wide trace cache.
+pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> RunResult {
+    let trace = w.cached_trace();
     let mut p = ZPredictor::new(cfg.clone());
-    let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
-    (run.stats, p)
+    let start = Instant::now();
+    let run = DelayedUpdateHarness::new(DEFAULT_HARNESS_DEPTH).run(&mut p, &trace);
+    RunResult { stats: run.stats, flushes: run.flushes, wall_time: start.elapsed(), predictor: p }
 }
 
 /// Runs a configuration over the whole LSPR suite, returning the merged
 /// statistics (the paper's "average … on common LSPR workloads").
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::new(cfg).suite(seed, instrs).run()`; removal planned next PR"
+)]
 pub fn run_suite(cfg: &PredictorConfig, seed: u64, instrs: u64) -> MispredictStats {
-    let mut total = MispredictStats::new();
-    for w in workloads::suite(seed, instrs) {
-        let (stats, _) = run_workload(cfg, &w);
-        total.merge(&stats);
-    }
-    total
+    Experiment::new(cfg).suite(seed, instrs).threads(1).run().entries[0].total
 }
 
 /// Runs any [`FullPredictor`] over the whole LSPR suite.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::bare().predictor(label, make).suite(seed, instrs).run()`; \
+            removal planned next PR"
+)]
 pub fn run_suite_with<P: FullPredictor>(
     mut make: impl FnMut() -> P,
     seed: u64,
     instrs: u64,
 ) -> MispredictStats {
+    // The new engine requires `Fn + Send + Sync` factories; this shim
+    // keeps the old `FnMut` contract by staying serial.
     let mut total = MispredictStats::new();
-    for w in workloads::suite(seed, instrs) {
-        let trace = w.dynamic_trace();
+    for w in zbp_trace::workloads::suite(seed, instrs) {
+        let trace = w.cached_trace();
         let mut p = make();
-        let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+        let run = DelayedUpdateHarness::new(DEFAULT_HARNESS_DEPTH).run(&mut p, &trace);
         total.merge(&run.stats);
     }
     total
@@ -183,9 +219,28 @@ mod tests {
     }
 
     #[test]
-    fn suite_runner_produces_stats() {
-        let stats = run_suite(&GenerationPreset::Z15.config(), 1, 5_000);
-        assert!(stats.branches.get() > 1_000);
-        assert!(stats.mpki() > 0.0);
+    fn run_workload_surfaces_flushes() {
+        let w = zbp_trace::workloads::suite(1, 3_000).remove(0);
+        let r = run_workload(&GenerationPreset::Z15.config(), &w);
+        assert!(r.stats.branches.get() > 0);
+        assert_eq!(
+            r.flushes,
+            r.stats.mispredictions(),
+            "every restart-causing mispredict flushes exactly once"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_engine() {
+        let cfg = GenerationPreset::Z15.config();
+        let via_shim = run_suite(&cfg, 1, 3_000);
+        let via_engine = Experiment::new(&cfg).suite(1, 3_000).threads(2).run().entries[0].total;
+        assert_eq!(via_shim, via_engine);
+        let (instrs, seed) = {
+            let a = BenchArgs::parse_from(Vec::<String>::new());
+            (a.instrs, a.seed)
+        };
+        assert_eq!((instrs, seed), (DEFAULT_INSTRS, DEFAULT_SEED));
     }
 }

@@ -2,7 +2,6 @@
 //! SKOOT skip-distance field.
 
 use crate::util::{tag_of, TwoBit};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::{BranchClass, InstrAddr, Mnemonic};
 
 /// The SKOOT (SKip Over OffseT) field: how many empty 64-byte lines
@@ -13,7 +12,7 @@ use zbp_zarch::{BranchClass, InstrAddr, Mnemonic};
 /// skipping. Over time, it is updated based on where the subsequent
 /// branches are found on the target streams, only decreasing except when
 /// being updated from the unknown state." (paper §IV)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Skoot(Option<u8>);
 
 impl Skoot {
@@ -52,7 +51,7 @@ impl Skoot {
 /// *detected* by the harness exactly as the IDU detects bad branch
 /// predictions — while hit detection itself honestly uses only the
 /// partial tag.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BtbEntry {
     /// Partial tag over the containing line address.
     pub tag: u32,

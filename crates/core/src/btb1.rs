@@ -9,11 +9,10 @@
 use crate::btb::BtbEntry;
 use crate::config::Btb1Config;
 use crate::util::{index_of, tag_of, LruRow};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// Outcome of an install attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InstallOutcome {
     /// A new entry was written into an invalid or victim way. Carries
     /// the evicted victim, if a valid entry was overwritten.
@@ -28,7 +27,7 @@ pub enum InstallOutcome {
 }
 
 /// The BTB1 structure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Btb1 {
     rows: Vec<Row>,
     line_bytes: u64,
@@ -36,7 +35,7 @@ pub struct Btb1 {
     ways: usize,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Row {
     entries: Vec<Option<BtbEntry>>,
     lru: LruRow,

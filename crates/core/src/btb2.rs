@@ -14,12 +14,11 @@
 use crate::btb::BtbEntry;
 use crate::config::{Btb2Config, InclusionPolicy};
 use crate::util::{index_of, LruRow};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zbp_zarch::InstrAddr;
 
 /// Why a BTB2 search fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SearchReason {
     /// Three qualified successive BTB1 no-prediction searches.
     SuccessiveMisses,
@@ -30,7 +29,7 @@ pub enum SearchReason {
 }
 
 /// Statistics the BTB2 keeps about itself.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Btb2Stats {
     /// Searches fired, by any reason.
     pub searches: u64,
@@ -51,7 +50,7 @@ pub struct Btb2Stats {
 }
 
 /// The BTB2 structure plus its staging queue toward the BTB1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Btb2 {
     rows: Vec<Row>,
     cfg: Btb2Config,
@@ -68,7 +67,7 @@ pub struct Btb2 {
     pub stats: Btb2Stats,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Row {
     entries: Vec<Option<BtbEntry>>,
     lru: LruRow,

@@ -15,12 +15,11 @@
 
 use crate::btb::BtbEntry;
 use crate::config::BtbpConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zbp_zarch::InstrAddr;
 
 /// Statistics the BTBP keeps about itself.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BtbpStats {
     /// Entries written in (from BTB2 hits or BTB1 victims).
     pub fills: u64,
@@ -32,7 +31,7 @@ pub struct BtbpStats {
 }
 
 /// The BTB preload buffer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Btbp {
     entries: VecDeque<BtbEntry>,
     capacity: usize,

@@ -5,12 +5,11 @@
 //! paper narrates (and Table 1 summarizes) can be expressed as *data*
 //! and the experiments can sweep it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Configuration of the first-level BTB (BTB1), which also houses the
 /// BHT and per-branch metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Btb1Config {
     /// Logical rows; one row covers one search line. z15: 2K.
     pub rows: usize,
@@ -36,7 +35,7 @@ impl Btb1Config {
 }
 
 /// BTB1↔BTB2 inclusion policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InclusionPolicy {
     /// zEC12–z14: avoid storing entries at both levels; BTB1 victims are
     /// written back out (via the BTBP victim path).
@@ -47,7 +46,7 @@ pub enum InclusionPolicy {
 }
 
 /// Configuration of the second-level BTB (BTB2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Btb2Config {
     /// Logical rows. z15: 32K.
     pub rows: usize,
@@ -91,14 +90,14 @@ impl Btb2Config {
 /// Configuration of the pre-z15 BTB preload buffer (BTBP): the staging
 /// ground, duplicate filter and victim buffer that z15 removed in favour
 /// of a larger BTB1 plus read-before-write filtering (§III).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BtbpConfig {
     /// Entry count (fully associative in the model).
     pub entries: usize,
 }
 
 /// Which pattern-history design backs direction prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhtKind {
     /// No PHT at all (BHT only).
     None,
@@ -121,7 +120,7 @@ pub enum PhtKind {
 }
 
 /// Perceptron auxiliary direction predictor configuration (§V).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerceptronConfig {
     /// Rows (16 on z14/z15).
     pub rows: usize,
@@ -153,7 +152,7 @@ pub struct PerceptronConfig {
 }
 
 /// Direction-prediction configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DirectionConfig {
     /// PHT design.
     pub pht: PhtKind,
@@ -176,7 +175,7 @@ pub struct DirectionConfig {
 }
 
 /// Changing-target buffer configuration (§VI).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CtbConfig {
     /// Entry count (2K on z15, as four 512-entry SRAMs).
     pub entries: usize,
@@ -188,7 +187,7 @@ pub struct CtbConfig {
 }
 
 /// Call/return-stack heuristic configuration (§VI).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrsConfig {
     /// Minimum branch→target distance in bytes for a taken branch to be
     /// treated as a call candidate.
@@ -207,7 +206,7 @@ impl Default for CrsConfig {
 }
 
 /// Column-predictor configuration (§IV).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpredConfig {
     /// Entry count (direct mapped on stream start address).
     pub entries: usize,
@@ -220,7 +219,7 @@ pub struct CpredConfig {
 
 /// Timing parameters of the branch-prediction pipeline and its
 /// integration (paper §II, §IV and figures 4–7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingConfig {
     /// Pipeline depth of the search pipeline in cycles (b0..b5 = 6).
     pub search_stages: u32,
@@ -253,7 +252,7 @@ impl Default for TimingConfig {
 }
 
 /// The complete predictor configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictorConfig {
     /// A short name used in reports ("z15", "z14-noperceptron", …).
     pub name: String,
@@ -402,7 +401,7 @@ impl std::error::Error for ConfigError {}
 /// BTB capacities for zEC12 and z15 are from the paper text; z13/z14
 /// values are approximations from the public IBM journal literature and
 /// are marked as such in [`GenerationInfo`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GenerationPreset {
     /// zEC12 (2012): the original two-level BTB design — 4K BTB1 +
     /// 24K BTB2, semi-exclusive with the BTBP.
@@ -477,7 +476,7 @@ impl fmt::Display for GenerationPreset {
 }
 
 /// One row of the Table 1 reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenerationInfo {
     /// Which generation.
     pub preset: GenerationPreset,

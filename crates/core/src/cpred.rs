@@ -13,11 +13,10 @@
 
 use crate::config::CpredConfig;
 use crate::util::{index_of, tag_of};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// Which auxiliary structures a stream needs powered up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PowerMask {
     /// PHT (TAGE) arrays needed (some branch in the stream is
     /// bidirectional).
@@ -56,7 +55,7 @@ impl Default for PowerMask {
 }
 
 /// A CPRED prediction for one stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpredPrediction {
     /// Sequential searches before the stream-leaving taken branch.
     pub searches_to_taken: u8,
@@ -69,14 +68,14 @@ pub struct CpredPrediction {
     pub power: PowerMask,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     tag: u32,
     pred: CpredPrediction,
 }
 
 /// Statistics for the CPRED.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpredStats {
     /// Lookups on stream entry.
     pub lookups: u64,
@@ -94,7 +93,7 @@ pub struct CpredStats {
 }
 
 /// The column predictor: direct-mapped on stream start address.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cpred {
     entries: Vec<Option<Entry>>,
     tag_bits: u32,

@@ -11,11 +11,10 @@
 //! *prediction* — keep a one-entry stack.
 
 use crate::config::CrsConfig;
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// Statistics for the CRS.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CrsStats {
     /// Prediction-side stack pushes (call candidates).
     pub predict_pushes: u64,
@@ -33,7 +32,7 @@ pub struct CrsStats {
 
 /// The call/return stack pair (predict-side + detect-side), one pair
 /// per SMT thread (control flow is per-thread state).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Crs {
     cfg: CrsConfig,
     /// Prediction-time stacks (per thread): NSIA of the most recent

@@ -7,11 +7,10 @@
 
 use crate::config::CtbConfig;
 use crate::gpv::Gpv;
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// Statistics for the CTB.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtbStats {
     /// Lookups performed.
     pub lookups: u64,
@@ -23,7 +22,7 @@ pub struct CtbStats {
     pub retargets: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     tag: u32,
     target: InstrAddr,
@@ -31,7 +30,7 @@ struct Entry {
 
 /// The changing-target buffer: direct-mapped on path history, tagged by
 /// branch address.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ctb {
     entries: Vec<Option<Entry>>,
     history: usize,

@@ -8,12 +8,11 @@
 
 use crate::tage::{PhtHit, PhtLookup};
 use crate::util::TwoBit;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use zbp_zarch::Direction;
 
 /// Which structure provided the direction prediction (figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DirectionProvider {
     /// The branch is marked unconditional in the BTB1: always taken.
     Unconditional,
@@ -66,7 +65,7 @@ impl fmt::Display for DirectionProvider {
 
 /// The full direction decision for one predicted branch, kept in the
 /// GPQ until completion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectionDecision {
     /// The predicted direction.
     pub dir: Direction,

@@ -11,12 +11,11 @@
 //! part of the path representation.
 
 use crate::util::{branch_gpv_bits, fold_hash};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// A shift-register path history of the last `depth` taken branches,
 /// 2 bits per branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Gpv {
     bits: u64,
     depth: usize,

@@ -11,11 +11,10 @@
 use crate::config::PerceptronConfig;
 use crate::gpv::Gpv;
 use crate::util::{index_of, tag_of, SatCounter};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::{Direction, InstrAddr};
 
 /// A hit in the perceptron table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PerceptronHit {
     /// Row of the hit.
     pub row: usize,
@@ -31,7 +30,7 @@ pub struct PerceptronHit {
 }
 
 /// Statistics for the perceptron.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerceptronStats {
     /// Lookups performed.
     pub lookups: u64,
@@ -52,7 +51,7 @@ pub struct PerceptronStats {
     pub virtualizations: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Entry {
     tag: u32,
     weights: Vec<i32>,
@@ -68,7 +67,7 @@ struct Entry {
 }
 
 /// The perceptron table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Perceptron {
     rows: Vec<Vec<Option<Entry>>>,
     cfg: PerceptronConfig,

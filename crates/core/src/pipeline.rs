@@ -16,13 +16,12 @@
 //! alternation. It also renders the figure-4/5/6/7 pipeline diagrams.
 
 use crate::config::TimingConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use zbp_zarch::InstrAddr;
 
 /// One prediction stream: entered at a taken-branch target (or restart),
 /// searched sequentially, left via a predicted-taken branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamStep {
     /// The stream's entry address.
     pub stream_start: InstrAddr,
@@ -49,7 +48,7 @@ impl StreamStep {
 }
 
 /// Cycle-exact result of replaying a stream sequence.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineReport {
     /// Total cycles from first b0 to the last stream's b5.
     pub cycles: u64,

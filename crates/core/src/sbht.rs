@@ -16,12 +16,11 @@
 //! One [`SpecOverride`] instance serves as the SBHT (keyed by branch
 //! address) and another as the SPHT (keyed by the PHT slot).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zbp_zarch::Direction;
 
 /// A small FIFO of speculative direction overrides.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpecOverride {
     entries: VecDeque<SpecEntry>,
     capacity: usize,
@@ -29,7 +28,7 @@ pub struct SpecOverride {
     pub stats: SpecStats,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SpecEntry {
     key: u64,
     dir: Direction,
@@ -37,7 +36,7 @@ struct SpecEntry {
 }
 
 /// Statistics for a speculative override structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpecStats {
     /// Entries installed.
     pub installs: u64,

@@ -3,12 +3,11 @@
 
 use crate::direction::DirectionProvider;
 use crate::target::TargetProvider;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Per-provider prediction/correctness attribution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProviderTally {
     /// Predictions this provider supplied.
     pub predictions: u64,
@@ -37,7 +36,7 @@ impl ProviderTally {
 
 /// The z15 predictor's self-accounting, beyond what the generic
 /// [`zbp_model::MispredictStats`] tracks.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ZStats {
     /// Direction attribution per provider (figure-8 distribution,
     /// experiment E5).

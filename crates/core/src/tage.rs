@@ -10,11 +10,10 @@
 use crate::config::{DirectionConfig, PhtKind};
 use crate::gpv::Gpv;
 use crate::util::{SatCounter, TwoBit};
-use serde::{Deserialize, Serialize};
 use zbp_zarch::{Direction, InstrAddr};
 
 /// Which TAGE table an entry/hit belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TageTable {
     /// The 9-branch-history table.
     Short,
@@ -23,7 +22,7 @@ pub enum TageTable {
 }
 
 /// One tagged PHT entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhtEntry {
     tag: u32,
     ctr: TwoBit,
@@ -31,7 +30,7 @@ pub struct PhtEntry {
 }
 
 /// A hit in one PHT table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhtHit {
     /// Which table (always [`TageTable::Short`] for the single-table
     /// design).
@@ -47,7 +46,7 @@ pub struct PhtHit {
 }
 
 /// The result of looking up both TAGE tables (or the one single table).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhtLookup {
     /// Short-table (or single-table) hit.
     pub short: Option<PhtHit>,
@@ -56,7 +55,7 @@ pub struct PhtLookup {
 }
 
 /// The provider choice the weak-filtering rules arrive at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhtChoice {
     /// The hit that provides the prediction.
     pub provider: PhtHit,
@@ -64,7 +63,7 @@ pub struct PhtChoice {
 
 /// The pattern-history structure for one predictor configuration:
 /// either the z15 two-table TAGE or the older single tagged table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pht {
     kind: Kind,
     tag_bits: u32,
@@ -81,14 +80,14 @@ pub struct Pht {
     pub stats: PhtStats,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Kind {
     None,
     Single { table: Table, history: usize },
     Tage { short: Table, long: Table, short_history: usize, long_history: usize },
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Table {
     /// `entries[way][row]`.
     entries: Vec<Vec<Option<PhtEntry>>>,
@@ -96,7 +95,7 @@ struct Table {
 }
 
 /// PHT statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhtStats {
     /// Lookups performed.
     pub lookups: u64,

@@ -1,12 +1,11 @@
 //! Target-provider taxonomy (figure 9).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use zbp_zarch::InstrAddr;
 
 /// Which structure provided the target address of a predicted-taken
 /// branch (figure 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetProvider {
     /// The BTB1 target field — the default, single-target case.
     Btb,
@@ -35,7 +34,7 @@ impl fmt::Display for TargetProvider {
 
 /// The target decision for one predicted-taken branch, kept in the GPQ
 /// until completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TargetDecision {
     /// The predicted target.
     pub target: InstrAddr,

@@ -1,6 +1,5 @@
 //! Small shared mechanisms: saturating counters, address hashing, LRU.
 
-use serde::{Deserialize, Serialize};
 use zbp_zarch::{Direction, InstrAddr};
 
 /// A 2-bit saturating direction counter — the BHT/PHT state element.
@@ -8,7 +7,7 @@ use zbp_zarch::{Direction, InstrAddr};
 /// States 0 and 1 predict not-taken (strong/weak), 2 and 3 predict taken
 /// (weak/strong). "The BHT is a 2-bit saturating counter that indicates
 /// the direction and strength" (paper §V).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TwoBit(u8);
 
 impl TwoBit {
@@ -90,7 +89,7 @@ impl Default for TwoBit {
 
 /// An unsigned saturating counter with a configurable ceiling (TAGE
 /// usefulness, perceptron protection limits, trigger counters, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SatCounter {
     value: u32,
     max: u32,
@@ -186,7 +185,7 @@ pub fn branch_gpv_bits(addr: InstrAddr) -> u8 {
 /// Per-row true-LRU tracking for a set-associative structure.
 ///
 /// `ranks[w]` is the age of way `w`: 0 = most recently used.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LruRow {
     ranks: Vec<u8>,
 }

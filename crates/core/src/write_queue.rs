@@ -16,12 +16,11 @@
 //! the write port is "sized to handle the vast statistical majority of
 //! BTB2 branch hit transfers" (§III).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zbp_zarch::InstrAddr;
 
 /// The source of a pending write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteSource {
     /// A completed surprise branch to install.
     SurpriseInstall,
@@ -32,7 +31,7 @@ pub enum WriteSource {
 }
 
 /// One pending write operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOp {
     /// What produced this write.
     pub source: WriteSource,
@@ -43,7 +42,7 @@ pub struct WriteOp {
 }
 
 /// Statistics for the write queue.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WriteQueueStats {
     /// Ops accepted.
     pub enqueued: u64,
@@ -71,7 +70,7 @@ impl WriteQueueStats {
 }
 
 /// The bounded write queue with its 1-op-per-cycle drain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WriteQueue {
     q: VecDeque<WriteOp>,
     capacity: usize,

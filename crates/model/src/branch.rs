@@ -1,13 +1,10 @@
 //! Dynamic branch outcome records.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
 
 /// A hardware thread identifier (the z15 core is SMT2, so 0 or 1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u8);
 
 impl ThreadId {
@@ -30,7 +27,7 @@ impl fmt::Display for ThreadId {
 /// lets a trace of branches stand in for the full instruction stream —
 /// total instruction counts for MPKI, sequential-fetch extents for the
 /// timing model — without storing every instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     /// Instruction address of the branch.
     pub addr: InstrAddr,

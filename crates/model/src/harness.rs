@@ -105,8 +105,18 @@ impl DelayedUpdateHarness {
         while let Some((r, pr, _)) = inflight.pop_front() {
             pred.complete_on(r.thread, &r, &pr);
         }
-        out.stats.add_instructions(
-            trace.instruction_count() - out.stats.instructions.get().min(trace.instruction_count()),
+        // Instruction accounting is split exactly once: `record` already
+        // counted `1 + gap_instrs` per branch, so the harness adds only
+        // the straight-line tail after the final branch. (An earlier
+        // version re-derived the remainder from `instruction_count()`,
+        // which silently absorbed any double-counting bug on either
+        // side; the strict split plus this assertion keeps both honest.)
+        out.stats.add_instructions(trace.tail_instrs());
+        debug_assert_eq!(
+            out.stats.instructions.get(),
+            trace.instruction_count(),
+            "per-branch accounting in MispredictStats::record plus the trace tail must \
+             reconstruct the trace's instruction count exactly"
         );
         out
     }
@@ -223,5 +233,54 @@ mod tests {
         let mut p = LastCompleted::default();
         let out = DelayedUpdateHarness::immediate().run(&mut p, &trace);
         assert_eq!(out.stats.instructions.get(), trace.instruction_count());
+    }
+
+    #[test]
+    fn tail_instructions_are_counted_once_regardless_of_depth() {
+        // Regression for the old end-of-run accounting hack, which
+        // back-filled `instruction_count() - counted` and so masked any
+        // mismatch between record() and the trace: with the explicit
+        // split, branch gaps and the tail must each land exactly once,
+        // at every window depth (the flush path drains differently).
+        let mut trace = DynamicTrace::new("tail");
+        trace.push(taken_at(0x10).with_gap(4)); // mispredicted -> flush drain
+        trace.push(taken_at(0x10).with_gap(7));
+        trace.push(taken_at(0x20).with_gap(2));
+        trace.push_tail_instrs(33);
+        let expect = 3 + 4 + 7 + 2 + 33;
+        assert_eq!(trace.instruction_count(), expect);
+        for depth in [0usize, 1, 2, 16] {
+            let mut p = LastCompleted::default();
+            let out = DelayedUpdateHarness::new(depth).run(&mut p, &trace);
+            assert_eq!(out.stats.instructions.get(), expect, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn tail_only_trace_accounts_without_branches() {
+        let mut trace = DynamicTrace::new("no-branches");
+        trace.push_tail_instrs(250);
+        let mut p = LastCompleted::default();
+        let out = DelayedUpdateHarness::default().run(&mut p, &trace);
+        assert_eq!(out.stats.branches.get(), 0);
+        assert_eq!(out.stats.instructions.get(), 250);
+        assert_eq!(out.stats.mpki(), 0.0);
+    }
+
+    #[test]
+    fn merged_runs_add_instructions_linearly() {
+        // merge() after the strict split must be additive — the old
+        // clamp could hide a merge-side double count too.
+        let mut t1 = DynamicTrace::new("a");
+        t1.push(taken_at(0x10).with_gap(3));
+        t1.push_tail_instrs(10);
+        let mut t2 = DynamicTrace::new("b");
+        t2.push(taken_at(0x20).with_gap(5));
+        t2.push_tail_instrs(20);
+        let r1 = DelayedUpdateHarness::default().run(&mut LastCompleted::default(), &t1);
+        let r2 = DelayedUpdateHarness::default().run(&mut LastCompleted::default(), &t2);
+        let mut merged = r1.stats;
+        merged.merge(&r2.stats);
+        assert_eq!(merged.instructions.get(), t1.instruction_count() + t2.instruction_count());
     }
 }

@@ -2,11 +2,10 @@
 
 use crate::branch::BranchRecord;
 use crate::predictor::{MispredictKind, Prediction};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simple saturating event counter with a ratio helper.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -34,7 +33,7 @@ impl fmt::Display for Counter {
 
 /// A numerator/denominator pair that formats as a percentage and never
 /// divides by zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     /// Number of events observed.
     pub hits: u64,
@@ -90,7 +89,7 @@ impl fmt::Display for Ratio {
 /// The central figure of merit is [`mpki`](Self::mpki) — mispredicted
 /// branches per thousand instructions, the metric the paper's conclusion
 /// reports improving 9.6% (z13→z14) and 25% (z14→z15) on LSPR workloads.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MispredictStats {
     /// Dynamic branches observed.
     pub branches: Counter,
@@ -121,6 +120,13 @@ impl MispredictStats {
 
     /// Records one predicted/resolved branch, classifying any
     /// misprediction; returns the classification.
+    ///
+    /// Owns the *per-branch* instruction accounting: each call adds
+    /// `1 + rec.gap_instrs` (the branch itself plus the straight-line
+    /// run leading to it) to [`instructions`](Self::instructions).
+    /// Callers must not add those instructions again — only
+    /// instructions outside any branch record (a trace's tail) go
+    /// through [`add_instructions`](Self::add_instructions).
     pub fn record(&mut self, pred: &Prediction, rec: &BranchRecord) -> Option<MispredictKind> {
         self.branches.bump();
         self.instructions.add(1 + u64::from(rec.gap_instrs));
@@ -146,7 +152,9 @@ impl MispredictStats {
     }
 
     /// Adds non-branch instructions that retired outside any branch
-    /// record (e.g. a trailing straight-line tail).
+    /// record — i.e. a trace's straight-line tail. Instructions covered
+    /// by branch records are counted by [`record`](Self::record); adding
+    /// them here as well would double-count.
     pub fn add_instructions(&mut self, n: u64) {
         self.instructions.add(n);
     }

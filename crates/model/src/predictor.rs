@@ -1,7 +1,6 @@
 //! Predictor traits and the prediction/outcome protocol.
 
 use crate::branch::{BranchRecord, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
 
@@ -15,7 +14,7 @@ use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
 /// instruction text); surprise **indirect** taken branches have no
 /// target until the execution units produce one, which the timing model
 /// charges as a front-end stall rather than a misprediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
     /// Whether this was a dynamic (BTB-hit) prediction, as opposed to a
     /// surprise branch with only a static guess.
@@ -56,7 +55,7 @@ impl Prediction {
 }
 
 /// How a prediction turned out to be wrong.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MispredictKind {
     /// The predicted (or statically guessed) direction was wrong. Costs
     /// a full pipeline restart (~26 cycles architecturally, ~35

@@ -1,7 +1,6 @@
 //! Dynamic traces: ordered branch outcomes plus instruction accounting.
 
 use crate::branch::BranchRecord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered stream of retired branches standing in for a full dynamic
@@ -11,7 +10,7 @@ use std::fmt;
 /// retire sequentially, so the trace reconstructs both the instruction
 /// count (for MPKI) and the sequential-fetch extents (for the timing
 /// model in `zbp-uarch`).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DynamicTrace {
     records: Vec<BranchRecord>,
     /// Non-branch instructions after the last branch (straight-line
@@ -45,6 +44,14 @@ impl DynamicTrace {
     /// The trace label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// Non-branch instructions that retire after the final branch (the
+    /// straight-line tail). These are the only instructions a harness
+    /// must account for itself — everything else is carried on the
+    /// branch records' `gap_instrs`.
+    pub fn tail_instrs(&self) -> u64 {
+        self.tail_instrs
     }
 
     /// The branch records in retire order.
@@ -129,7 +136,7 @@ impl FromIterator<BranchRecord> for DynamicTrace {
 /// Aggregate properties of a trace, used to validate that generated
 /// workloads match the footprint/density/taken-ratio assumptions the
 /// paper states for LSPR workloads (§II.A).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
     /// Trace label.
     pub label: String,

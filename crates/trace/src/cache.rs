@@ -1,0 +1,170 @@
+//! Shared dynamic-trace cache.
+//!
+//! Sweeping a design space costs O(configs × workloads) runs, but only
+//! O(workloads) *traces*: a [`Workload`] executes deterministically for
+//! a given `(label, seed, target_instrs)`, so every config in a sweep
+//! can predict over the same materialized trace. [`TraceCache`]
+//! generates each trace once and hands out [`Arc`] clones; the
+//! process-wide [`TraceCache::global`] instance lets independent call
+//! sites (an experiment's suite pass and its follow-up single-workload
+//! probes, say) share work without plumbing a cache handle through.
+
+use crate::workloads::Workload;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use zbp_model::DynamicTrace;
+
+/// Identity of a generated trace: the workload label already encodes
+/// the generator and its parameters (e.g. `lspr-like(s7,f200)`), so
+/// label + seed + instruction budget pins the exact byte stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Workload label (generator name + parameters).
+    pub label: String,
+    /// Executor seed.
+    pub seed: u64,
+    /// Minimum retired-instruction budget.
+    pub instrs: u64,
+}
+
+impl TraceKey {
+    /// The key identifying `w`'s dynamic trace.
+    pub fn of(w: &Workload) -> Self {
+        TraceKey { label: w.label.clone(), seed: w.seed, instrs: w.target_instrs }
+    }
+}
+
+/// A keyed store of reference-counted dynamic traces.
+///
+/// Thread-safe: concurrent lookups of *different* keys generate in
+/// parallel; concurrent lookups of the *same* key may both generate,
+/// but the first insert wins so every caller still ends up sharing one
+/// allocation (generation is deterministic, so the loser's copy was
+/// identical anyway).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<TraceKey, Arc<DynamicTrace>>>,
+    hits: Mutex<u64>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared cache.
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// The dynamic trace for `w`, generated on first use.
+    ///
+    /// Repeated calls with an equivalent workload return clones of the
+    /// same `Arc` (pointer-equal), not a regenerated trace.
+    pub fn trace(&self, w: &Workload) -> Arc<DynamicTrace> {
+        let key = TraceKey::of(w);
+        if let Some(hit) = self.map.lock().expect("trace cache poisoned").get(&key) {
+            *self.hits.lock().expect("hit counter poisoned") += 1;
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock so distinct workloads materialize in
+        // parallel.
+        let generated = Arc::new(w.dynamic_trace());
+        let mut map = self.map.lock().expect("trace cache poisoned");
+        Arc::clone(map.entry(key).or_insert(generated))
+    }
+
+    /// Number of distinct traces currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups served from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock().expect("hit counter poisoned")
+    }
+
+    /// Drops every cached trace (reclaims memory between sweeps; any
+    /// outstanding `Arc`s stay valid).
+    pub fn clear(&self) {
+        self.map.lock().expect("trace cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn same_key_returns_same_arc() {
+        let cache = TraceCache::new();
+        let w1 = workloads::compute_loop(3, 2_000);
+        let w2 = workloads::compute_loop(3, 2_000);
+        let a = cache.trace(&w1);
+        let b = cache.trace(&w2);
+        assert!(Arc::ptr_eq(&a, &b), "identical (label, seed, instrs) must share one trace");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn different_keys_are_distinct() {
+        let cache = TraceCache::new();
+        let a = cache.trace(&workloads::compute_loop(3, 2_000));
+        let b = cache.trace(&workloads::compute_loop(4, 2_000));
+        let c = cache.trace(&workloads::compute_loop(3, 3_000));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cached_trace_matches_direct_generation() {
+        let w = workloads::patterned(11, 4_000);
+        let direct = w.dynamic_trace();
+        let cached = TraceCache::new().trace(&w);
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_trace() {
+        let cache = TraceCache::new();
+        let ptrs: Vec<_> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        Arc::as_ptr(&cache.trace(&workloads::compute_loop(9, 2_000))) as usize
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(cache.len(), 1);
+        // All threads observe the winning insert.
+        let survivors: std::collections::HashSet<_> = ptrs
+            .iter()
+            .map(|_| Arc::as_ptr(&cache.trace(&workloads::compute_loop(9, 2_000))) as usize)
+            .collect();
+        assert_eq!(survivors.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_arcs_alive() {
+        let cache = TraceCache::new();
+        let a = cache.trace(&workloads::compute_loop(1, 1_000));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(a.instruction_count() >= 1_000, "outstanding Arc still usable");
+    }
+}

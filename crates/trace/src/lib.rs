@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod exec;
 pub mod io;
 mod program;
 pub mod workloads;
 
+pub use cache::{TraceCache, TraceKey};
 pub use exec::Executor;
 pub use io::{load_trace, save_trace, LoadTraceError};
 pub use program::{

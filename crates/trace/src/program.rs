@@ -1,12 +1,11 @@
 //! The synthetic program model: functions of straight-line runs and
 //! typed branch sites, laid out at concrete instruction addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use zbp_zarch::{InstrAddr, Mnemonic};
 
 /// How a conditional branch site behaves dynamically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CondBehavior {
     /// A counted loop: taken `trip - 1` times, then not-taken once,
     /// repeating. The classic BRCT for-loop shape (paper §V).
@@ -37,7 +36,7 @@ pub enum CondBehavior {
 }
 
 /// How an indirect branch site selects among its targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndirectSelector {
     /// Cycle through the targets in order (path-correlated: perfectly
     /// CTB-predictable once the rotation is in the history).
@@ -54,7 +53,7 @@ pub enum IndirectSelector {
 }
 
 /// One operation in a function body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// A run of `count` non-branch instructions occupying `bytes` bytes.
     Straight {
@@ -127,7 +126,7 @@ impl Op {
 }
 
 /// A function: a base address and a body of ops laid out sequentially.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Func {
     /// Base (entry) instruction address.
     pub base: InstrAddr,
@@ -150,7 +149,7 @@ impl Func {
 }
 
 /// A complete synthetic program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// The functions; index 0 is the entry.
     pub funcs: Vec<Func>,

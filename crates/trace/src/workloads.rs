@@ -49,6 +49,15 @@ impl Workload {
     pub fn dynamic_trace(&self) -> DynamicTrace {
         Executor::new(self.program.clone(), self.seed).run(self.target_instrs, self.label.clone())
     }
+
+    /// The workload's trace via the process-wide [`TraceCache`]: one
+    /// generation per `(label, seed, instrs)`, shared as an `Arc` — the
+    /// cheap path for sweeps running many configs over one suite.
+    ///
+    /// [`TraceCache`]: crate::cache::TraceCache
+    pub fn cached_trace(&self) -> std::sync::Arc<DynamicTrace> {
+        crate::cache::TraceCache::global().trace(self)
+    }
 }
 
 /// Function-slot spacing: generated function bodies stay well under

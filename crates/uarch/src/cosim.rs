@@ -27,14 +27,13 @@
 //! compared against the paper's ~26-cycle architectural number.
 
 use crate::icache::{Icache, IcacheConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{BranchRecord, DynamicTrace, FullPredictor, MispredictKind, Prediction};
 use zbp_zarch::LINE_64B;
 
 /// Co-simulation parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CosimConfig {
     /// Prediction-queue capacity between the BPL and its consumers.
     pub pred_queue: usize,
@@ -61,7 +60,7 @@ impl Default for CosimConfig {
 }
 
 /// The co-simulation's cycle accounting.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CosimReport {
     /// Total cycles.
     pub cycles: u64,

@@ -19,7 +19,6 @@
 //! cache misses" (§IV).
 
 use crate::icache::{Icache, IcacheConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use zbp_core::PredictorConfig;
 use zbp_core::ZPredictor;
@@ -27,7 +26,7 @@ use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
 use zbp_zarch::{InstrAddr, LINE_64B};
 
 /// Front-end parameters beyond the predictor configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrontendConfig {
     /// Instruction-cache hierarchy.
     pub icache: IcacheConfig,
@@ -60,7 +59,7 @@ impl Default for FrontendConfig {
 }
 
 /// The stall breakdown and headline cycle counts of one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrontendReport {
     /// Total cycles to dispatch the whole trace.
     pub cycles: u64,

@@ -4,11 +4,10 @@
 //! I-cache "is delayed a minimal of 8 cycles over the L1 I-cache
 //! access", and the L3 carries "a latency of 45 cycles over an L1 hit".
 
-use serde::{Deserialize, Serialize};
 use zbp_zarch::InstrAddr;
 
 /// Where an instruction fetch was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheLevel {
     /// L1 instruction cache hit.
     L1,
@@ -21,7 +20,7 @@ pub enum CacheLevel {
 }
 
 /// Hierarchy geometry and latencies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IcacheConfig {
     /// L1-I capacity in bytes (z15: 128 KB).
     pub l1_bytes: u64,
@@ -61,7 +60,7 @@ impl Default for IcacheConfig {
 }
 
 /// Access statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IcacheStats {
     /// Demand line accesses.
     pub accesses: u64,

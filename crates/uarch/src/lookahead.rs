@@ -17,14 +17,13 @@
 //! addresses that are not branches — which the modeled IDU detects
 //! against the program's true instruction stream and removes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
 use zbp_zarch::InstrAddr;
 
 /// Statistics from a lookahead-mode run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LookaheadReport {
     /// Line searches performed.
     pub line_searches: u64,

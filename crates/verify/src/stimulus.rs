@@ -14,12 +14,11 @@
 //! pools — to reach corner cases.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use zbp_model::BranchRecord;
 use zbp_zarch::{InstrAddr, Mnemonic};
 
 /// The constraint parameter block (the "parameter file").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StimulusParams {
     /// Number of distinct branch sites to draw from.
     pub site_pool: usize,

@@ -1,6 +1,5 @@
 //! Instruction addresses and fetch-line arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a halfword in bytes. All z instructions are halfword aligned
@@ -30,9 +29,7 @@ pub const LINE_32B: u64 = 32;
 /// assert_eq!(ia.offset_in_line64(), 6);
 /// assert_eq!(ia.next_seq(4), InstrAddr::new(0x1000_004a));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct InstrAddr(u64);
 
 impl InstrAddr {

@@ -1,7 +1,6 @@
 //! Instruction and branch classification.
 
 use crate::addr::InstrAddr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three legal z instruction lengths, determined by the first two
@@ -10,7 +9,7 @@ use std::fmt;
 /// The average dynamic instruction length on commercial workloads is
 /// about 5 bytes (paper §II.A), which places a branch roughly once every
 /// 25 bytes given one branch per ~4–5 instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstrLength {
     /// A 2-byte instruction (e.g. `BCR`, `BCTR`, `BASR`).
     Two,
@@ -51,7 +50,7 @@ impl fmt::Display for InstrLength {
 /// call/return (paper §I); what the front end can tell from instruction
 /// text is: relative vs indirect target, conditional vs unconditional,
 /// loop-closing (count-type) and link-setting (call-like) opcodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BranchClass {
     /// Conditional, relative target (`BRC`, `BRCL`, `BC` with mask < 15).
     CondRelative,
@@ -128,7 +127,7 @@ impl fmt::Display for BranchClass {
 
 /// A small, representative subset of real z branch mnemonics, enough to
 /// give generated workloads realistic opcode/length mixes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // the variants are the documentation: real mnemonics
 pub enum Mnemonic {
     /// BRANCH ON CONDITION (RX, 4B) — conditional, indirect via storage
@@ -228,7 +227,7 @@ impl fmt::Display for Mnemonic {
 }
 
 /// What kind of instruction occupies an address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstructionKind {
     /// A branch instruction with a specific mnemonic.
     Branch(Mnemonic),
@@ -257,7 +256,7 @@ impl InstructionKind {
 /// This is the unit of the synthetic program images in `zbp-trace`;
 /// dynamic outcomes (taken/not-taken, resolved target) live in
 /// `zbp_model::BranchRecord`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instruction {
     /// The instruction address.
     pub addr: InstrAddr,

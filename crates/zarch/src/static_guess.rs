@@ -8,12 +8,11 @@
 //! (paper §IV)
 
 use crate::insn::BranchClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Not;
 
 /// A resolved or predicted branch direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// The branch redirects control flow to its target.
     Taken,

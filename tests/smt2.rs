@@ -136,7 +136,8 @@ fn timing_models_agree_on_functional_outcomes() {
     // The co-simulation runs the predictor genuinely ahead of
     // completion (a deeper predict->complete gap than the per-record
     // front end), so misprediction counts sit close but not identical.
-    let (a, b) = (cosim.mispredicts.mispredictions() as f64, fr.mispredicts.mispredictions() as f64);
+    let (a, b) =
+        (cosim.mispredicts.mispredictions() as f64, fr.mispredicts.mispredictions() as f64);
     assert!((a - b).abs() / b.max(1.0) < 0.25, "outcome drift too large: {a} vs {b}");
     assert_eq!(cosim.instructions, fr.instructions);
     let ratio = fr.frontend_cpi() / cosim.cpi().max(1e-9);
