@@ -7,13 +7,16 @@
 
 use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
+use zbp_telemetry::{chrome, Snapshot, Telemetry};
 use zbp_trace::workloads;
-use zbp_uarch::{run_cosim, CosimConfig, Frontend, FrontendConfig};
+use zbp_uarch::{run_cosim, run_cosim_traced, CosimConfig, Frontend, FrontendConfig};
 
 fn main() {
     let args = BenchArgs::parse();
     let (instrs, seed) = (args.instrs, args.seed);
+    let traced = args.telemetry.is_some();
     println!("Cycle-stepped co-simulation vs the analytic front end ({instrs} instrs)\n");
+    let mut cells: Vec<(String, Snapshot)> = Vec::new();
     let mut t = Table::new(vec![
         "workload",
         "cosim CPI",
@@ -25,7 +28,12 @@ fn main() {
     ]);
     for w in workloads::suite(seed, instrs) {
         let trace = w.cached_trace();
-        let cosim = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
+        let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+        let (cosim, snap) =
+            run_cosim_traced(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace, tel);
+        if traced {
+            cells.push((w.label.clone(), snap));
+        }
         let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
         let fr = fe.run(&trace);
         t.row(vec![
@@ -39,6 +47,21 @@ fn main() {
         ]);
     }
     t.print();
+    if let Some(out) = &args.telemetry {
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        let refs: Vec<(String, &Snapshot)> =
+            cells.iter().map(|(label, s)| (label.clone(), s)).collect();
+        match std::fs::File::create(out)
+            .and_then(|f| chrome::write_chrome_trace(std::io::BufWriter::new(f), &refs))
+        {
+            Ok(()) => println!("\nwrote pipeline timeline to {} (chrome://tracing)", out.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", out.display()),
+        }
+    }
     println!("\npaper §II: a branch-wrong restart costs ~26 cycles architecturally and");
     println!("~35 statistically; here the restart cost *emerges* from queue refill");
     println!("(flush -> first re-dispatch + resolve drain) instead of being charged.");

@@ -1,0 +1,102 @@
+//! Telemetry tour — records counters, histograms and the bounded span
+//! timeline while the cycle-stepped co-simulation runs, then writes a
+//! Chrome trace-event file showing the BPL search pipeline, the CPRED
+//! 2-cycle vs 5-cycle re-index paths, and the ICM/IDU queue hand-offs.
+//!
+//! Open the output in `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! ```text
+//! cargo run --release --bin telemetry_demo -- --telemetry out.json
+//! ```
+
+use zbp_bench::{f3, BenchArgs, Table};
+use zbp_core::GenerationPreset;
+use zbp_telemetry::{chrome, Snapshot, Telemetry};
+use zbp_trace::workloads;
+use zbp_uarch::{run_cosim_traced, CosimConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs, args.seed);
+    let out = args
+        .telemetry
+        .unwrap_or_else(|| std::path::PathBuf::from("results/telemetry_demo.trace.json"));
+    println!("Telemetry tour: traced co-simulation over the LSPR-like suite ({instrs} instrs)\n");
+
+    let mut cells: Vec<(String, Snapshot)> = Vec::new();
+    let mut t = Table::new(vec![
+        "workload",
+        "CPI",
+        "predictions",
+        "restarts",
+        "GPQ p99",
+        "pred-lat mean",
+        "spans (dropped)",
+    ]);
+    for w in workloads::suite(seed, instrs) {
+        let trace = w.cached_trace();
+        let (rep, snap) = run_cosim_traced(
+            GenerationPreset::Z15.config(),
+            &CosimConfig::default(),
+            &trace,
+            Telemetry::enabled(),
+        );
+        let gpq = snap.histogram("gpq.occupancy").map(|h| h.quantile(0.99)).unwrap_or(0);
+        let lat = snap.histogram("cosim.pred_latency_cycles").map(|h| h.mean()).unwrap_or(0.0);
+        t.row(vec![
+            w.label.clone(),
+            f3(rep.cpi()),
+            snap.counter("bpl.predictions").to_string(),
+            snap.counter("cosim.restarts").to_string(),
+            gpq.to_string(),
+            format!("{lat:.1}"),
+            format!("{} ({})", snap.spans.len(), snap.spans_dropped),
+        ]);
+        cells.push((w.label.clone(), snap));
+    }
+    t.print();
+
+    println!("\nCounter totals across the suite\n");
+    let mut total = Snapshot::new();
+    for (_, s) in &cells {
+        total.merge(s);
+    }
+    let mut t = Table::new(vec!["counter", "total"]);
+    for (name, v) in &total.counters {
+        t.row(vec![name.clone(), v.to_string()]);
+    }
+    t.print();
+
+    println!("\nHistograms (log2 buckets; quantiles good to a factor of two)\n");
+    let mut t = Table::new(vec!["histogram", "count", "min", "p50", "p99", "max", "mean"]);
+    for (name, h) in &total.histograms {
+        t.row(vec![
+            name.clone(),
+            h.count().to_string(),
+            h.min().to_string(),
+            h.quantile(0.5).to_string(),
+            h.quantile(0.99).to_string(),
+            h.max().to_string(),
+            format!("{:.2}", h.mean()),
+        ]);
+    }
+    t.print();
+
+    let refs: Vec<(String, &Snapshot)> =
+        cells.iter().map(|(label, s)| (label.clone(), s)).collect();
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::File::create(&out)
+        .and_then(|f| chrome::write_chrome_trace(std::io::BufWriter::new(f), &refs))
+    {
+        Ok(()) => {
+            println!("\nwrote {} — open it in chrome://tracing or ui.perfetto.dev;", out.display());
+            println!("each workload is a process; tracks: BPL search pipeline (look for");
+            println!("\"reindex.b2 (CPRED)\" vs \"reindex.b5\" spans), ICM fetch, IDU dispatch.");
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", out.display()),
+    }
+}

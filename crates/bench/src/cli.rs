@@ -3,7 +3,8 @@
 //! Every binary accepts the same small vocabulary:
 //!
 //! ```text
-//! <bin> [--instrs N] [--seed N] [--threads N] [--json PATH] [INSTRS [SEED]]
+//! <bin> [--instrs N] [--seed N] [--threads N] [--json PATH]
+//!       [--telemetry PATH] [INSTRS [SEED]]
 //! ```
 //!
 //! `--flag value` and `--flag=value` both work, and the historical
@@ -27,11 +28,21 @@ pub struct BenchArgs {
     /// When set, append one JSON record per (config, workload) cell to
     /// this file (JSON Lines).
     pub json: Option<std::path::PathBuf>,
+    /// When set, record telemetry during the run and write a Chrome
+    /// trace-event timeline (viewable in `chrome://tracing` / Perfetto)
+    /// to this file.
+    pub telemetry: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { instrs: DEFAULT_INSTRS, seed: DEFAULT_SEED, threads: 0, json: None }
+        BenchArgs {
+            instrs: DEFAULT_INSTRS,
+            seed: DEFAULT_SEED,
+            threads: 0,
+            json: None,
+            telemetry: None,
+        }
     }
 }
 
@@ -84,6 +95,10 @@ impl BenchArgs {
                     Some(p) => out.json = Some(p.into()),
                     None => eprintln!("warning: --json needs a path; ignoring"),
                 },
+                "--telemetry" => match inline_value.take().or_else(|| it.next()) {
+                    Some(p) => out.telemetry = Some(p.into()),
+                    None => eprintln!("warning: --telemetry needs a path; ignoring"),
+                },
                 f if f.starts_with("--") => {
                     eprintln!("warning: unknown flag {f}; ignoring");
                 }
@@ -129,6 +144,16 @@ mod tests {
         assert_eq!(a.threads, 4);
         let b = BenchArgs::parse_from(["--json=out/x.json"]);
         assert_eq!(b.json.as_deref(), Some(std::path::Path::new("out/x.json")));
+    }
+
+    #[test]
+    fn telemetry_flag_both_forms() {
+        let a = BenchArgs::parse_from(["--telemetry", "out/trace.json"]);
+        assert_eq!(a.telemetry.as_deref(), Some(std::path::Path::new("out/trace.json")));
+        let b = BenchArgs::parse_from(["--telemetry=t.json", "--instrs", "42"]);
+        assert_eq!(b.telemetry.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(b.instrs, 42);
+        assert_eq!(BenchArgs::default().telemetry, None);
     }
 
     #[test]

@@ -28,13 +28,14 @@
 //! ```
 
 use crate::cli::BenchArgs;
-use crate::json::{append_records, BenchRecord};
-use std::path::PathBuf;
+use crate::json::{append_records, telemetry_json, BenchRecord};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
+use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_trace::{workloads, Workload};
 
 /// The default delayed-update window depth used by all experiments.
@@ -102,6 +103,11 @@ pub struct CellResult {
     /// The predictor, for configuration entries ([`None`] for
     /// factory-built baselines, which may not be `Send`).
     pub predictor: Option<ZPredictor>,
+    /// Telemetry recorded during this cell's run ([`None`] when the
+    /// experiment was not traced). Harness-level and predictor-level
+    /// snapshots are merged, harness first, so the result is
+    /// deterministic at any thread count.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// All cells for one entry, plus the suite-merged total.
@@ -155,6 +161,7 @@ impl ExperimentResult {
                 flushes: c.flushes,
                 wall_ms: c.wall_time.as_secs_f64() * 1e3,
                 threads: self.threads as u64,
+                telemetry: c.telemetry.as_ref().map(telemetry_json),
             })
             .collect()
     }
@@ -170,6 +177,7 @@ pub struct Experiment {
     threads: usize,
     depth: usize,
     json: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -189,6 +197,7 @@ impl Experiment {
             threads: 0,
             depth: DEFAULT_HARNESS_DEPTH,
             json: None,
+            telemetry: None,
         }
     }
 
@@ -260,11 +269,23 @@ impl Experiment {
         self
     }
 
-    /// Applies the shared CLI arguments: thread count and JSON sink.
-    /// (`instrs`/`seed` feed [`suite`](Self::suite), which callers
-    /// invoke explicitly because some experiments sweep them.)
+    /// When `Some`, records telemetry in every cell and writes a Chrome
+    /// trace-event timeline (one process per cell, in declared order) to
+    /// this file after the run. Cell snapshots also land in
+    /// [`CellResult::telemetry`] and, with a JSON sink, in each
+    /// [`BenchRecord`]. Recording does not change predictions: traced
+    /// and untraced runs produce identical statistics.
+    pub fn telemetry(mut self, path: Option<PathBuf>) -> Self {
+        self.telemetry = path;
+        self
+    }
+
+    /// Applies the shared CLI arguments: thread count, JSON sink and
+    /// telemetry sink. (`instrs`/`seed` feed [`suite`](Self::suite),
+    /// which callers invoke explicitly because some experiments sweep
+    /// them.)
     pub fn apply(self, args: &BenchArgs) -> Self {
-        self.threads(args.threads).json(args.json.clone())
+        self.threads(args.threads).json(args.json.clone()).telemetry(args.telemetry.clone())
     }
 
     /// Runs every `(entry, workload)` cell and merges the results.
@@ -274,12 +295,18 @@ impl Experiment {
         let n_workloads = self.workloads.len();
         let n_cells = n_entries * n_workloads;
         let threads = resolve_threads(self.threads).min(n_cells.max(1));
+        let traced = self.telemetry.is_some();
 
         let mut slots: Vec<Option<CellSlot>> = Vec::with_capacity(n_cells);
         if threads <= 1 || n_cells <= 1 {
             for ei in 0..n_entries {
                 for wi in 0..n_workloads {
-                    slots.push(Some(run_cell(&self.entries[ei], &self.workloads[wi], self.depth)));
+                    slots.push(Some(run_cell(
+                        &self.entries[ei],
+                        &self.workloads[wi],
+                        self.depth,
+                        traced,
+                    )));
                 }
             }
         } else {
@@ -316,7 +343,7 @@ impl Experiment {
                             break;
                         }
                         let (ei, wi) = (i / n_workloads, i % n_workloads);
-                        let r = run_cell(&entries[ei], &workloads[wi], depth);
+                        let r = run_cell(&entries[ei], &workloads[wi], depth, traced);
                         *cells[i].lock().expect("cell slot poisoned") = Some(r);
                     });
                 }
@@ -347,6 +374,7 @@ impl Experiment {
                     flushes: slot.flushes,
                     wall_time: slot.wall_time,
                     predictor: slot.predictor,
+                    telemetry: slot.telemetry,
                 });
             }
             entries_out.push(EntryResult { label: entry.label.clone(), cells, total, flushes });
@@ -365,8 +393,33 @@ impl Experiment {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
+        if let Some(path) = &self.telemetry {
+            if let Err(e) = write_timeline(path, &result) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
         result
     }
+}
+
+/// Writes the experiment's Chrome trace-event timeline: one trace
+/// process per `(entry, workload)` cell, in declared order — the same
+/// order at any thread count, so the file is byte-identical across
+/// `--threads` settings.
+fn write_timeline(path: &Path, result: &ExperimentResult) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let cells: Vec<(String, &Snapshot)> = result
+        .entries
+        .iter()
+        .flat_map(|e| e.cells.iter())
+        .filter_map(|c| c.telemetry.as_ref().map(|s| (format!("{}/{}", c.entry, c.workload), s)))
+        .collect();
+    let f = std::fs::File::create(path)?;
+    zbp_telemetry::chrome::write_chrome_trace(std::io::BufWriter::new(f), &cells)
 }
 
 struct CellSlot {
@@ -374,30 +427,42 @@ struct CellSlot {
     flushes: u64,
     wall_time: Duration,
     predictor: Option<ZPredictor>,
+    telemetry: Option<Snapshot>,
 }
 
-fn run_cell(entry: &Entry, w: &Workload, depth: usize) -> CellSlot {
+fn run_cell(entry: &Entry, w: &Workload, depth: usize, traced: bool) -> CellSlot {
     let trace = w.cached_trace();
+    let harness = DelayedUpdateHarness::new(depth);
     let start = Instant::now();
     match &entry.kind {
         EntryKind::Config(cfg) => {
             let mut p = ZPredictor::new((**cfg).clone());
-            let run = DelayedUpdateHarness::new(depth).run(&mut p, &trace);
+            if traced {
+                p.set_telemetry(Telemetry::enabled());
+            }
+            let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+            let (run, mut snap) = harness.run_traced(&mut p, &trace, tel);
+            snap.merge(&p.take_telemetry().into_snapshot());
             CellSlot {
                 stats: run.stats,
                 flushes: run.flushes,
                 wall_time: start.elapsed(),
                 predictor: Some(p),
+                telemetry: traced.then_some(snap),
             }
         }
         EntryKind::Factory(make) => {
+            // Factory predictors are opaque `FullPredictor`s, so only
+            // the harness-level telemetry is available for them.
             let mut p = make();
-            let run = DelayedUpdateHarness::new(depth).run(&mut *p, &trace);
+            let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+            let (run, snap) = harness.run_traced(&mut *p, &trace, tel);
             CellSlot {
                 stats: run.stats,
                 flushes: run.flushes,
                 wall_time: start.elapsed(),
                 predictor: None,
+                telemetry: traced.then_some(snap),
             }
         }
     }
@@ -492,6 +557,40 @@ mod tests {
         // The suite derives per-workload seeds base..base+5.
         assert!(recs.iter().all(|x| x.instrs == 1_500 && (2..8).contains(&x.seed)));
         assert!(recs.iter().all(|x| x.branches > 0));
+    }
+
+    #[test]
+    fn telemetry_sink_writes_a_chrome_trace_without_perturbing_stats() {
+        let dir = std::env::temp_dir().join(format!("zbp-tel-test-{}", std::process::id()));
+        let path = dir.join("timeline.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = GenerationPreset::Z15.config();
+        let plain = Experiment::new(&cfg).suite(4, 2_000).threads(2).run();
+        let traced =
+            Experiment::new(&cfg).suite(4, 2_000).threads(2).telemetry(Some(path.clone())).run();
+        assert_eq!(
+            plain.entries[0].total, traced.entries[0].total,
+            "recording telemetry must not change predictions"
+        );
+        for c in &traced.entries[0].cells {
+            let snap = c.telemetry.as_ref().expect("traced run fills every cell");
+            assert_eq!(
+                snap.counter("bpl.predictions"),
+                c.stats.branches.get(),
+                "one bpl.predictions count per predicted branch"
+            );
+            assert_eq!(snap.counter("harness.flushes"), c.flushes);
+        }
+        assert!(plain.entries[0].cells.iter().all(|c| c.telemetry.is_none()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = crate::json::Json::parse(&text).expect("timeline must be valid JSON");
+        match v.get("traceEvents") {
+            Some(crate::json::Json::Arr(evs)) => {
+                assert!(!evs.is_empty(), "timeline must contain events")
+            }
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -361,13 +361,17 @@ pub struct BenchRecord {
     pub wall_ms: f64,
     /// Worker threads the parent experiment ran with.
     pub threads: u64,
+    /// Telemetry summary for this cell (schema 2): counters and
+    /// histogram aggregates as produced by [`telemetry_json`]. `None`
+    /// when the run was not traced.
+    pub telemetry: Option<Json>,
 }
 
 impl BenchRecord {
     /// Converts the record to a JSON object.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("schema", Json::Num(1.0)),
+        let mut pairs = vec![
+            ("schema", Json::Num(2.0)),
             ("experiment", Json::Str(self.experiment.clone())),
             ("config", Json::Str(self.config.clone())),
             ("workload", Json::Str(self.workload.clone())),
@@ -381,11 +385,16 @@ impl BenchRecord {
             ("flushes", Json::Num(self.flushes as f64)),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("threads", Json::Num(self.threads as f64)),
-        ])
+        ];
+        if let Some(tel) = &self.telemetry {
+            pairs.push(("telemetry", tel.clone()));
+        }
+        Json::obj(pairs)
     }
 
     /// Reconstructs a record from a JSON object (as written by
-    /// [`to_json`](Self::to_json)).
+    /// [`to_json`](Self::to_json); schema-1 lines, which lack the
+    /// `telemetry` field, parse with `telemetry: None`).
     pub fn from_json(v: &Json) -> Option<BenchRecord> {
         Some(BenchRecord {
             experiment: v.get("experiment")?.as_str()?.to_string(),
@@ -401,8 +410,45 @@ impl BenchRecord {
             flushes: v.get("flushes")?.as_u64()?,
             wall_ms: v.get("wall_ms")?.as_f64()?,
             threads: v.get("threads")?.as_u64()?,
+            telemetry: v.get("telemetry").cloned(),
         })
     }
+}
+
+/// Summarises a telemetry [`Snapshot`](zbp_telemetry::Snapshot) as a
+/// JSON object suitable for embedding in a [`BenchRecord`]: every
+/// counter verbatim, each histogram reduced to its aggregates
+/// (`count`/`sum`/`min`/`max`/`mean`/`p50`/`p99`), and the span-window
+/// accounting (`spans` retained, `spans_dropped` evicted). Spans
+/// themselves go to the Chrome trace file, not the results log.
+pub fn telemetry_json(snap: &zbp_telemetry::Snapshot) -> Json {
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect());
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("count", Json::Num(h.count() as f64)),
+                        ("sum", Json::Num(h.sum() as f64)),
+                        ("min", Json::Num(h.min() as f64)),
+                        ("max", Json::Num(h.max() as f64)),
+                        ("mean", Json::Num(h.mean())),
+                        ("p50", Json::Num(h.quantile(0.5) as f64)),
+                        ("p99", Json::Num(h.quantile(0.99) as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("counters", counters),
+        ("histograms", histograms),
+        ("spans", Json::Num(snap.spans.len() as f64)),
+        ("spans_dropped", Json::Num(snap.spans_dropped as f64)),
+    ])
 }
 
 /// Appends records to a JSON Lines file, creating parent directories as
@@ -457,6 +503,7 @@ mod tests {
             flushes: 880,
             wall_ms: 12.5,
             threads: 4,
+            telemetry: None,
         }
     }
 
@@ -466,6 +513,31 @@ mod tests {
         let text = r.to_json().to_string();
         let back = BenchRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn telemetry_summary_round_trips() {
+        let mut snap = zbp_telemetry::Snapshot::new();
+        snap.counters.insert("bpl.predictions".into(), 17);
+        let mut h = zbp_telemetry::Histogram::new();
+        for v in [1u64, 2, 3, 8] {
+            h.observe(v);
+        }
+        snap.histograms.insert("gpq.occupancy".into(), h);
+        snap.spans_dropped = 5;
+        let mut r = sample();
+        r.telemetry = Some(telemetry_json(&snap));
+        let text = r.to_json().to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(2));
+        let back = BenchRecord::from_json(&v).unwrap();
+        assert_eq!(r, back);
+        let tel = back.telemetry.unwrap();
+        assert_eq!(tel.get("counters").unwrap().get("bpl.predictions").unwrap().as_u64(), Some(17));
+        let gpq = tel.get("histograms").unwrap().get("gpq.occupancy").unwrap();
+        assert_eq!(gpq.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(gpq.get("max").unwrap().as_u64(), Some(8));
+        assert_eq!(tel.get("spans_dropped").unwrap().as_u64(), Some(5));
     }
 
     #[test]

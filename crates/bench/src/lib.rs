@@ -21,6 +21,7 @@
 //! | `target_ablation` | §VI — CTB/CRS contributions |
 //! | `baseline_comparison` | §II.D — vs academic baselines |
 //! | `verification_campaign` | §VII — checker + mutation campaign |
+//! | `telemetry_demo` | traced co-simulation + Chrome trace timeline |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),
 //! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
@@ -40,7 +41,10 @@
 //! ```
 //!
 //! The old free functions (`run_suite`, `run_suite_with`, `cli_params`)
-//! are deprecated shims over this engine and will be removed next PR.
+//! have been removed; use [`Experiment`] and [`BenchArgs`] as above.
+//! With `--telemetry PATH`, an experiment also records counters,
+//! histograms and a bounded span timeline per cell, writing a Chrome
+//! trace-event file (see [`Experiment::telemetry`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,11 +58,11 @@ pub use experiment::{
     resolve_threads, CellResult, EntryResult, Experiment, ExperimentResult, RunResult,
     DEFAULT_HARNESS_DEPTH,
 };
-pub use json::{append_records, read_records, BenchRecord, Json};
+pub use json::{append_records, read_records, telemetry_json, BenchRecord, Json};
 
 use std::time::Instant;
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
+use zbp_model::DelayedUpdateHarness;
 use zbp_trace::workloads::Workload;
 
 /// Default instruction budget per workload for experiment binaries; can
@@ -69,13 +73,6 @@ pub const DEFAULT_INSTRS: u64 = 200_000;
 /// positional argument).
 pub const DEFAULT_SEED: u64 = 1234;
 
-/// Parses `(instrs, seed)` from the command line with defaults.
-#[deprecated(since = "0.2.0", note = "use `BenchArgs::parse()`; removal planned next PR")]
-pub fn cli_params() -> (u64, u64) {
-    let args = BenchArgs::parse();
-    (args.instrs, args.seed)
-}
-
 /// Runs a predictor configuration over one workload under the standard
 /// 32-deep delayed-update harness, using the process-wide trace cache.
 pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> RunResult {
@@ -84,39 +81,6 @@ pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> RunResult {
     let start = Instant::now();
     let run = DelayedUpdateHarness::new(DEFAULT_HARNESS_DEPTH).run(&mut p, &trace);
     RunResult { stats: run.stats, flushes: run.flushes, wall_time: start.elapsed(), predictor: p }
-}
-
-/// Runs a configuration over the whole LSPR suite, returning the merged
-/// statistics (the paper's "average … on common LSPR workloads").
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Experiment::new(cfg).suite(seed, instrs).run()`; removal planned next PR"
-)]
-pub fn run_suite(cfg: &PredictorConfig, seed: u64, instrs: u64) -> MispredictStats {
-    Experiment::new(cfg).suite(seed, instrs).threads(1).run().entries[0].total
-}
-
-/// Runs any [`FullPredictor`] over the whole LSPR suite.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Experiment::bare().predictor(label, make).suite(seed, instrs).run()`; \
-            removal planned next PR"
-)]
-pub fn run_suite_with<P: FullPredictor>(
-    mut make: impl FnMut() -> P,
-    seed: u64,
-    instrs: u64,
-) -> MispredictStats {
-    // The new engine requires `Fn + Send + Sync` factories; this shim
-    // keeps the old `FnMut` contract by staying serial.
-    let mut total = MispredictStats::new();
-    for w in zbp_trace::workloads::suite(seed, instrs) {
-        let trace = w.cached_trace();
-        let mut p = make();
-        let run = DelayedUpdateHarness::new(DEFAULT_HARNESS_DEPTH).run(&mut p, &trace);
-        total.merge(&run.stats);
-    }
-    total
 }
 
 /// A minimal fixed-width table printer for experiment output.
@@ -231,16 +195,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_engine() {
+    fn engine_matches_per_workload_runs() {
+        // What the removed `run_suite` shim used to guarantee: the
+        // engine's suite total equals the sum of independent
+        // per-workload runs.
         let cfg = GenerationPreset::Z15.config();
-        let via_shim = run_suite(&cfg, 1, 3_000);
         let via_engine = Experiment::new(&cfg).suite(1, 3_000).threads(2).run().entries[0].total;
-        assert_eq!(via_shim, via_engine);
-        let (instrs, seed) = {
-            let a = BenchArgs::parse_from(Vec::<String>::new());
-            (a.instrs, a.seed)
-        };
-        assert_eq!((instrs, seed), (DEFAULT_INSTRS, DEFAULT_SEED));
+        let mut manual = zbp_model::MispredictStats::new();
+        for w in zbp_trace::workloads::suite(1, 3_000) {
+            manual.merge(&run_workload(&cfg, &w).stats);
+        }
+        assert_eq!(via_engine, manual);
+        let a = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!((a.instrs, a.seed), (DEFAULT_INSTRS, DEFAULT_SEED));
     }
 }

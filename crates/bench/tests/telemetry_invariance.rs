@@ -1,0 +1,74 @@
+//! The telemetry subsystem's two load-bearing guarantees, checked
+//! through the public experiment API:
+//!
+//! 1. **Observation does not perturb**: a telemetry-enabled run produces
+//!    byte-identical statistics (MPKI, per-cell stats, flushes) to a
+//!    disabled run.
+//! 2. **Thread-count invariance**: counter totals, histograms and the
+//!    exported Chrome trace file are identical whether the experiment
+//!    ran on 1 thread or 8.
+
+use std::path::PathBuf;
+use zbp_bench::Experiment;
+use zbp_core::GenerationPreset;
+use zbp_telemetry::Snapshot;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zbp-tel-inv-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn enabled_telemetry_leaves_statistics_untouched() {
+    let cfg = GenerationPreset::Z15.config();
+    let path = tmp("perturb.json");
+    let plain = Experiment::new(&cfg).suite(11, 3_000).threads(2).run();
+    let traced =
+        Experiment::new(&cfg).suite(11, 3_000).threads(2).telemetry(Some(path.clone())).run();
+    let (p, t) = (&plain.entries[0], &traced.entries[0]);
+    assert_eq!(p.total, t.total, "suite-merged stats must not move");
+    assert_eq!(p.total.mpki(), t.total.mpki());
+    assert_eq!(p.flushes, t.flushes);
+    for (pc, tc) in p.cells.iter().zip(&t.cells) {
+        assert_eq!(pc.stats, tc.stats, "cell {} perturbed by telemetry", pc.workload);
+        assert_eq!(pc.flushes, tc.flushes);
+        assert!(tc.telemetry.is_some() && pc.telemetry.is_none());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn counter_totals_and_timeline_are_thread_count_invariant() {
+    let cfg = GenerationPreset::Z14.config();
+    let (path1, path8) = (tmp("t1.json"), tmp("t8.json"));
+    let run = |threads: usize, path: &PathBuf| {
+        Experiment::new(&cfg)
+            .name("inv") // the default name is the test binary's, fine either way
+            .suite(5, 2_500)
+            .threads(threads)
+            .telemetry(Some(path.clone()))
+            .run()
+    };
+    let r1 = run(1, &path1);
+    let r8 = run(8, &path8);
+
+    let merge_all = |r: &zbp_bench::ExperimentResult| {
+        let mut total = Snapshot::new();
+        for c in &r.entries[0].cells {
+            total.merge(c.telemetry.as_ref().expect("traced cell"));
+        }
+        total
+    };
+    let (s1, s8) = (merge_all(&r1), merge_all(&r8));
+    assert_eq!(s1.counters, s8.counters, "counter totals must not depend on --threads");
+    assert_eq!(s1.histograms, s8.histograms);
+    assert_eq!(s1.spans, s8.spans, "declared-order merge keeps span order deterministic");
+    assert!(s1.counter("bpl.predictions") > 0, "the run must actually record");
+
+    let (f1, f8) = (
+        std::fs::read(&path1).expect("timeline written at 1 thread"),
+        std::fs::read(&path8).expect("timeline written at 8 threads"),
+    );
+    assert_eq!(f1, f8, "Chrome trace file must be byte-identical at any thread count");
+    let _ = std::fs::remove_file(&path1);
+    let _ = std::fs::remove_file(&path8);
+}

@@ -128,28 +128,71 @@ pub trait Probe {
     fn event(&mut self, ev: &BplEvent);
 }
 
-/// A probe that records every event (useful in tests and monitors).
-#[derive(Debug, Default)]
+/// Default retained-event bound for a [`RecordingProbe`].
+pub const DEFAULT_PROBE_CAPACITY: usize = 1 << 16;
+
+/// A probe that records events into a *bounded* ring (tests, monitors).
+///
+/// Earlier versions grew an unbounded `Vec`, which made long traced
+/// runs balloon; the recorder is now a thin adapter over
+/// [`zbp_telemetry::Ring`], keeping the newest `capacity` events and
+/// counting what it evicted.
+#[derive(Debug)]
 pub struct RecordingProbe {
-    /// The events observed so far.
-    pub events: Vec<BplEvent>,
+    ring: zbp_telemetry::Ring<BplEvent>,
+}
+
+impl Default for RecordingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Probe for RecordingProbe {
     fn event(&mut self, ev: &BplEvent) {
-        self.events.push(ev.clone());
+        self.ring.push(ev.clone());
     }
 }
 
 impl RecordingProbe {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder with the default retention bound.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_PROBE_CAPACITY)
     }
 
-    /// Counts events matching a predicate.
+    /// Creates an empty recorder keeping at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecordingProbe { ring: zbp_telemetry::Ring::new(capacity) }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &BplEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the window was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Consumes the recorder, returning the retained events in order.
+    pub fn into_events(self) -> Vec<BplEvent> {
+        self.ring.into_vec()
+    }
+
+    /// Counts retained events matching a predicate.
     pub fn count(&self, mut pred: impl FnMut(&BplEvent) -> bool) -> usize {
-        self.events.iter().filter(|e| pred(e)).count()
+        self.ring.iter().filter(|e| pred(e)).count()
     }
 }
 
@@ -163,8 +206,22 @@ mod tests {
         p.event(&BplEvent::Flush);
         p.event(&BplEvent::Btb1Search { addr: InstrAddr::new(0x10), hit: true });
         p.event(&BplEvent::Flush);
-        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.dropped(), 0);
         assert_eq!(p.count(|e| matches!(e, BplEvent::Flush)), 2);
         assert_eq!(p.count(|e| matches!(e, BplEvent::Btb1Search { hit: true, .. })), 1);
+        assert_eq!(p.into_events().len(), 3);
+    }
+
+    #[test]
+    fn recording_probe_is_bounded() {
+        let mut p = RecordingProbe::with_capacity(2);
+        for _ in 0..5 {
+            p.event(&BplEvent::Flush);
+        }
+        p.event(&BplEvent::Btb1Search { addr: InstrAddr::new(0x20), hit: false });
+        assert_eq!(p.len(), 2, "only the newest window is retained");
+        assert_eq!(p.dropped(), 4);
+        assert_eq!(p.count(|e| matches!(e, BplEvent::Btb1Search { .. })), 1);
     }
 }

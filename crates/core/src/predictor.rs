@@ -27,6 +27,7 @@ use crate::target::{TargetDecision, TargetProvider};
 use std::collections::VecDeque;
 use std::fmt;
 use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_telemetry::Telemetry;
 use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
 
 /// In-flight prediction state, the model's GPQ entry.
@@ -109,6 +110,7 @@ pub struct ZPredictor {
     /// One context per SMT thread.
     threads: [ThreadCtx; 2],
     probe: Option<Box<dyn Probe + Send>>,
+    tel: Telemetry,
     /// Aggregate statistics.
     pub stats: ZStats,
 }
@@ -148,6 +150,7 @@ impl ZPredictor {
             seq: 0,
             threads: [ThreadCtx::new(cfg.gpv_depth), ThreadCtx::new(cfg.gpv_depth)],
             probe: None,
+            tel: Telemetry::disabled(),
             stats: ZStats::new(),
             cfg,
         }
@@ -166,6 +169,24 @@ impl ZPredictor {
     /// Removes and returns the installed probe.
     pub fn take_probe(&mut self) -> Option<Box<dyn Probe + Send>> {
         self.probe.take()
+    }
+
+    /// Installs a telemetry handle: prediction/completion counters, GPQ
+    /// occupancy and BTB2 transfer activity record into it from here on.
+    /// Telemetry only observes — predictions and training are identical
+    /// with the handle enabled, disabled or absent.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Removes and returns the telemetry handle, leaving a disabled one.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.tel)
+    }
+
+    /// Read access to the installed telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     fn emit(&mut self, ev: BplEvent) {
@@ -246,6 +267,8 @@ impl ZPredictor {
         self.stats.context_changes += 1;
         if let Some(b2) = &mut self.btb2 {
             let staged = b2.search(new_context, crate::btb2::SearchReason::ContextChange);
+            self.tel.count("btb2.searches", 1);
+            self.tel.record("btb2.staged_per_search", staged as u64);
             self.emit(BplEvent::Btb2Search {
                 addr: new_context,
                 reason: crate::btb2::SearchReason::ContextChange,
@@ -278,6 +301,9 @@ impl ZPredictor {
         let mut staged = Vec::new();
         while let Some(e) = b2.pop_staged() {
             staged.push(e);
+        }
+        if !staged.is_empty() {
+            self.tel.count("btb2.transfers", staged.len() as u64);
         }
         for e in staged {
             if let Some(p) = &mut self.btbp {
@@ -370,6 +396,8 @@ impl ZPredictor {
         }
         if skoot_lines > 0 {
             self.stats.skoot_lines_skipped += skoot_lines;
+            self.tel.count("skoot.skips", 1);
+            self.tel.count("skoot.lines_skipped", skoot_lines);
         }
         self.threads[t].prev_stream_start = Some(self.threads[t].stream_start);
         self.enter_stream(t, target);
@@ -623,6 +651,8 @@ impl FullPredictor for ZPredictor {
         }
         self.emit(BplEvent::Btb1Search { addr, hit: hit.is_some() });
         let btb1_hit = hit.is_some();
+        self.tel.count("bpl.predictions", 1);
+        self.tel.count(if btb1_hit { "bpl.btb1_hits" } else { "bpl.surprises" }, 1);
 
         let prediction = match hit {
             None => {
@@ -696,6 +726,8 @@ impl FullPredictor for ZPredictor {
             }
         };
 
+        self.tel.record("gpq.occupancy", self.threads[t].gpq.len() as u64);
+
         // BTB2 trigger logic rides on search outcomes. The transfer
         // engine runs *after* the prediction is published: a staged
         // BTB2-to-BTB1 write takes several cycles in hardware, so it can
@@ -718,6 +750,8 @@ impl FullPredictor for ZPredictor {
         }
         if let Some(reason) = fire {
             let staged = self.btb2.as_mut().map(|b2| b2.search(addr, reason)).unwrap_or(0);
+            self.tel.count("btb2.searches", 1);
+            self.tel.record("btb2.staged_per_search", staged as u64);
             self.emit(BplEvent::Btb2Search { addr, reason, staged });
             self.drain_staging();
         }
@@ -745,6 +779,10 @@ impl FullPredictor for ZPredictor {
         };
         let resolved = rec.direction();
         let mispredicted = MispredictKind::classify(pred, rec).is_some();
+        self.tel.count("bpl.completions", 1);
+        if mispredicted {
+            self.tel.count("bpl.mispredicts", 1);
+        }
         self.emit(BplEvent::Complete {
             addr: rec.addr,
             resolved,
@@ -832,6 +870,7 @@ impl FullPredictor for ZPredictor {
         self.threads[t].prev_stream_start = None;
         self.threads[t].stream_reset_pending = false;
         self.enter_stream(t, rec.next_pc());
+        self.tel.count("bpl.flushes", 1);
         self.emit(BplEvent::Flush);
     }
 
@@ -999,6 +1038,8 @@ impl ZPredictor {
         }
         if let Some(reason) = fire {
             let staged = self.btb2.as_mut().map(|b2| b2.search(rec.next_pc(), reason)).unwrap_or(0);
+            self.tel.count("btb2.searches", 1);
+            self.tel.record("btb2.staged_per_search", staged as u64);
             self.emit(BplEvent::Btb2Search { addr: rec.next_pc(), reason, staged });
             self.drain_staging();
         }
@@ -1299,6 +1340,40 @@ mod tests {
         // zbp-verify.
         drop(probe);
         assert!(p.stats.surprise_installs >= 1);
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_outcomes() {
+        let mut plain = z15();
+        let mut traced = z15();
+        traced.set_telemetry(Telemetry::enabled());
+        let branches = [
+            rec(0x1000, Mnemonic::Brct, true, 0x0f80),
+            rec(0x1100, Mnemonic::Brc, false, 0x3000),
+            rec(0x1200, Mnemonic::Brasl, true, 0x9000),
+            rec(0x9010, Mnemonic::Br, true, 0x1206),
+            rec(0x1300, Mnemonic::J, true, 0x1000),
+        ];
+        let mut n = 0u64;
+        for _ in 0..40 {
+            for r in &branches {
+                let a = step(&mut plain, r);
+                let b = step(&mut traced, r);
+                assert_eq!((a.dynamic, a.direction, a.target), (b.dynamic, b.direction, b.target));
+                n += 1;
+            }
+        }
+        assert_eq!(plain.stats.direction_total(), traced.stats.direction_total());
+        let snap = traced.take_telemetry().into_snapshot();
+        assert_eq!(snap.counter("bpl.predictions"), n);
+        assert_eq!(snap.counter("bpl.completions"), n);
+        assert_eq!(
+            snap.counter("bpl.btb1_hits") + snap.counter("bpl.surprises"),
+            snap.counter("bpl.predictions"),
+        );
+        assert!(snap.counter("bpl.btb1_hits") > 0);
+        let gpq = snap.histogram("gpq.occupancy").expect("gpq occupancy recorded");
+        assert_eq!(gpq.count(), n);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::metrics::MispredictStats;
 use crate::predictor::{FullPredictor, MispredictKind, Prediction};
 use crate::trace::DynamicTrace;
 use std::collections::VecDeque;
+use zbp_telemetry::{Snapshot, Telemetry, Track};
 
 /// Drives a [`FullPredictor`] over a [`DynamicTrace`] with a configurable
 /// predict→complete gap.
@@ -76,19 +77,38 @@ impl DelayedUpdateHarness {
 
     /// Runs the predictor over the whole trace and returns statistics.
     pub fn run<P: FullPredictor + ?Sized>(&self, pred: &mut P, trace: &DynamicTrace) -> RunStats {
+        self.run_traced(pred, trace, Telemetry::disabled()).0
+    }
+
+    /// Runs like [`DelayedUpdateHarness::run`], recording harness-level
+    /// telemetry into `tel`: per-branch window occupancy, flush markers
+    /// on the harness timeline track, and branch/flush counters. The
+    /// statistics returned are identical whether `tel` is enabled or
+    /// disabled — telemetry only observes. (Predictor-internal telemetry
+    /// is installed on the predictor itself, not through the harness.)
+    pub fn run_traced<P: FullPredictor + ?Sized>(
+        &self,
+        pred: &mut P,
+        trace: &DynamicTrace,
+        mut tel: Telemetry,
+    ) -> (RunStats, Snapshot) {
         let mut out = RunStats::default();
         let mut inflight: VecDeque<(BranchRecord, Prediction, Option<MispredictKind>)> =
             VecDeque::with_capacity(self.depth + 1);
 
-        for rec in trace.branches() {
+        for (branch_idx, rec) in (0u64..).zip(trace.branches()) {
             let p = pred.predict_on(rec.thread, rec.addr, rec.class());
             let kind = out.stats.record(&p, rec);
             inflight.push_back((*rec, p, kind));
+            tel.count("harness.branches", 1);
+            tel.record("harness.window_occupancy", inflight.len() as u64);
 
             if kind.is_some() {
                 // Branch-wrong restart: everything up to and including
                 // the mispredicted branch completes, the predictor
                 // repairs speculative state.
+                tel.count("harness.flushes", 1);
+                tel.instant(Track::Harness, "flush", branch_idx);
                 while let Some((r, pr, _)) = inflight.pop_front() {
                     pred.complete_on(r.thread, &r, &pr);
                 }
@@ -118,7 +138,7 @@ impl DelayedUpdateHarness {
             "per-branch accounting in MispredictStats::record plus the trace tail must \
              reconstruct the trace's instruction count exactly"
         );
-        out
+        (out, tel.into_snapshot())
     }
 }
 
@@ -265,6 +285,26 @@ mod tests {
         assert_eq!(out.stats.branches.get(), 0);
         assert_eq!(out.stats.instructions.get(), 250);
         assert_eq!(out.stats.mpki(), 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_flushes() {
+        let trace = DynamicTrace::from_records(
+            "t",
+            vec![taken_at(0x10), taken_at(0x10), taken_at(0x10), taken_at(0x10)],
+        );
+        let plain = DelayedUpdateHarness::new(16).run(&mut LastCompleted::default(), &trace);
+        let (traced, snap) = DelayedUpdateHarness::new(16).run_traced(
+            &mut LastCompleted::default(),
+            &trace,
+            Telemetry::enabled(),
+        );
+        assert_eq!(plain.stats.mispredictions(), traced.stats.mispredictions());
+        assert_eq!(plain.flushes, traced.flushes);
+        assert_eq!(snap.counter("harness.branches"), 4);
+        assert_eq!(snap.counter("harness.flushes"), traced.flushes);
+        assert_eq!(snap.spans.len() as u64, traced.flushes, "one flush marker per flush");
+        assert_eq!(snap.histogram("harness.window_occupancy").unwrap().count(), 4);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders snapshot span windows into the [trace-event format] consumed
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! *process* per snapshot (an experiment cell, a co-simulated workload),
+//! one *thread* per [`Track`], complete (`"ph":"X"`)
+//! events for spans and instant (`"ph":"i"`) events for markers. Cycle
+//! timestamps are written 1:1 as trace microseconds so the viewer's
+//! ruler reads in cycles.
+//!
+//! The writer is hand-rolled (the build environment is offline, so no
+//! serde); the emitted byte stream is deterministic for a given input.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::snapshot::Snapshot;
+use crate::span::Track;
+use std::io::{self, Write};
+
+/// Escapes a string into a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes one trace-event JSON document covering `cells`: each `(label,
+/// snapshot)` pair becomes a process named `label` whose tracks carry
+/// the snapshot's spans.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn write_chrome_trace<W: Write>(mut w: W, cells: &[(String, &Snapshot)]) -> io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |w: &mut W, ev: &str| -> io::Result<()> {
+        if first {
+            first = false;
+        } else {
+            w.write_all(b",")?;
+        }
+        w.write_all(b"\n")?;
+        w.write_all(ev.as_bytes())
+    };
+    for (pid, (label, snap)) in cells.iter().enumerate() {
+        // Process + thread naming metadata.
+        emit(
+            &mut w,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(label)
+            ),
+        )?;
+        let mut used: Vec<Track> = snap.spans.iter().map(|s| s.track).collect();
+        used.sort();
+        used.dedup();
+        for t in used {
+            emit(
+                &mut w,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    t.tid(),
+                    json_str(t.label())
+                ),
+            )?;
+        }
+        for s in &snap.spans {
+            let args = match s.detail {
+                Some((k, v)) => format!(",\"args\":{{{}:{v}}}", json_str(k)),
+                None => String::new(),
+            };
+            let ev = if s.dur > 0 {
+                format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                     \"ts\":{},\"dur\":{}{args}}}",
+                    json_str(s.name),
+                    json_str(s.track.label()),
+                    s.track.tid(),
+                    s.ts,
+                    s.dur
+                )
+            } else {
+                format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                     \"tid\":{},\"ts\":{}{args}}}",
+                    json_str(s.name),
+                    json_str(s.track.label()),
+                    s.track.tid(),
+                    s.ts
+                )
+            };
+            emit(&mut w, &ev)?;
+        }
+    }
+    w.write_all(b"\n]}\n")
+}
+
+/// Renders the trace to an in-memory string (tests, small exports).
+pub fn chrome_trace_string(cells: &[(String, &Snapshot)]) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, cells).expect("Vec<u8> writes are infallible");
+    String::from_utf8(buf).expect("writer emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.spans.push(SpanEvent::span(Track::Bpl, "search", 0, 6).with_detail("line", 64));
+        s.spans.push(SpanEvent::span(Track::Bpl, "reindex.b2", 6, 2));
+        s.spans.push(SpanEvent::instant(Track::Idu, "restart", 9));
+        s
+    }
+
+    #[test]
+    fn emits_complete_and_instant_events() {
+        let snap = sample();
+        let text = chrome_trace_string(&[("z15/lspr".into(), &snap)]);
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"dur\":6"));
+        assert!(text.contains("\"args\":{\"line\":64}"));
+        assert!(text.contains("\"name\":\"process_name\""));
+        assert!(text.contains("BPL search pipeline"));
+        assert!(text.contains("IDU dispatch"));
+    }
+
+    #[test]
+    fn multiple_cells_get_distinct_pids() {
+        let (a, b) = (sample(), sample());
+        let text = chrome_trace_string(&[("cell-a".into(), &a), ("cell-b".into(), &b)]);
+        assert!(text.contains("\"pid\":0"));
+        assert!(text.contains("\"pid\":1"));
+        assert!(text.contains("\"cell-a\""));
+        assert!(text.contains("\"cell-b\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let snap = Snapshot::new();
+        let text = chrome_trace_string(&[("we\"ird\\label".into(), &snap)]);
+        assert!(text.contains("we\\\"ird\\\\label"));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json_shell() {
+        let text = chrome_trace_string(&[]);
+        assert_eq!(text, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,274 @@
+//! # zbp-telemetry — unified observability for the z15 model
+//!
+//! The paper's §VII verification methodology rests on *white-box
+//! visibility*: monitors watching every internal structure. This crate
+//! is the reproduction's equivalent for performance work — one handle,
+//! [`Telemetry`], through which every layer (predictor core, cycle
+//! models, harnesses, experiment engine) publishes what it is doing:
+//!
+//! * **counters** — named monotonic event counts
+//!   (`"bpl.predictions"`, `"btb2.transfers"`, `"skoot.skips"`, …);
+//! * **histograms** — log2-bucketed distributions
+//!   ([`Histogram`]) for latencies and occupancies (GPQ depth,
+//!   prediction latency in cycles, predictions per search);
+//! * **spans** — a *bounded* ring ([`Ring`]) of timeline events
+//!   ([`SpanEvent`]) on fixed tracks ([`Track`]), exportable as a
+//!   Chrome trace-event JSON timeline ([`chrome`]) viewable in
+//!   `chrome://tracing` or Perfetto.
+//!
+//! ## Zero cost when disabled
+//!
+//! [`Telemetry::disabled`] carries no storage; every recording call is
+//! one well-predicted null check. Instrumented code therefore keeps a
+//! telemetry handle unconditionally and never branches on configuration
+//! itself. Crucially, recording only ever *observes* — the subsystem
+//! guarantees (and the workspace tests assert) that an enabled handle
+//! changes no model outcome.
+//!
+//! ## Determinism
+//!
+//! Recording sites are single-owner (`&mut self`), so there are no
+//! locks and no cross-thread interleaving; a parallel experiment gives
+//! each cell its own handle and merges the [`Snapshot`]s in declared
+//! order. Counter totals and exported timelines are byte-identical at
+//! any worker count.
+//!
+//! ```
+//! use zbp_telemetry::{Telemetry, Track};
+//!
+//! let mut tel = Telemetry::enabled();
+//! tel.count("bpl.predictions", 1);
+//! tel.record("gpq.occupancy", 17);
+//! tel.span(Track::Bpl, "search", 0, 6);
+//! let snap = tel.into_snapshot();
+//! assert_eq!(snap.counter("bpl.predictions"), 1);
+//! assert_eq!(snap.histogram("gpq.occupancy").unwrap().max(), 17);
+//! assert_eq!(snap.spans.len(), 1);
+//!
+//! let mut off = Telemetry::disabled();
+//! off.count("bpl.predictions", 1); // no-op, no allocation
+//! assert!(off.into_snapshot().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod histogram;
+pub mod ring;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use ring::Ring;
+pub use snapshot::Snapshot;
+pub use span::{SpanEvent, Track};
+
+use std::collections::BTreeMap;
+
+/// Default bound on the retained span window.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
+/// Live recording state. Boxed behind the handle so a disabled
+/// [`Telemetry`] is a single null pointer.
+#[derive(Debug, Clone)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Ring<SpanEvent>,
+}
+
+/// A recording handle: either disabled (free) or an owned set of
+/// counters, histograms and a bounded span ring.
+///
+/// See the [crate documentation](self) for the design.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Option<Box<Inner>>,
+}
+
+impl Default for Telemetry {
+    /// The default handle records nothing.
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing at (almost) no cost.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default span-window bound.
+    pub fn enabled() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `capacity` spans.
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Box::new(Inner {
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                spans: Ring::new(capacity),
+            })),
+        }
+    }
+
+    /// Whether recording calls store anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to the named counter.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        if let Some(inner) = &mut self.inner {
+            *inner.counters.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.histograms.entry(name).or_default().observe(value);
+        }
+    }
+
+    /// Appends a span `[ts, ts + dur)` to the bounded timeline.
+    #[inline]
+    pub fn span(&mut self, track: Track, name: &'static str, ts: u64, dur: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.spans.push(SpanEvent::span(track, name, ts, dur));
+        }
+    }
+
+    /// Appends a span carrying a `(key, value)` detail pair.
+    #[inline]
+    pub fn span_with(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        ts: u64,
+        dur: u64,
+        key: &'static str,
+        value: u64,
+    ) {
+        if let Some(inner) = &mut self.inner {
+            inner.spans.push(SpanEvent::span(track, name, ts, dur).with_detail(key, value));
+        }
+    }
+
+    /// Appends an instant marker to the bounded timeline.
+    #[inline]
+    pub fn instant(&mut self, track: Track, name: &'static str, ts: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.spans.push(SpanEvent::instant(track, name, ts));
+        }
+    }
+
+    /// The named counter's current value (0 when disabled or unset).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().and_then(|i| i.counters.get(name)).copied().unwrap_or(0)
+    }
+
+    /// Copies the current state out as a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::new(),
+            Some(inner) => Snapshot {
+                counters: inner.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                histograms: inner
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.to_string(), h.clone()))
+                    .collect(),
+                spans: inner.spans.iter().copied().collect(),
+                spans_dropped: inner.spans.dropped(),
+            },
+        }
+    }
+
+    /// Consumes the handle, returning its final [`Snapshot`].
+    pub fn into_snapshot(self) -> Snapshot {
+        match self.inner {
+            None => Snapshot::new(),
+            Some(inner) => Snapshot {
+                counters: inner.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                histograms: inner.histograms.into_iter().map(|(k, h)| (k.to_string(), h)).collect(),
+                spans_dropped: inner.spans.dropped(),
+                spans: inner.spans.into_vec(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.count("a", 5);
+        t.record("h", 9);
+        t.span(Track::Bpl, "s", 0, 1);
+        t.instant(Track::Idu, "i", 0);
+        assert_eq!(t.counter("a"), 0);
+        assert!(t.snapshot().is_empty());
+        assert!(t.into_snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_accumulates_everything() {
+        let mut t = Telemetry::enabled();
+        assert!(t.is_enabled());
+        t.count("a", 2);
+        t.count("a", 3);
+        t.count("b", 1);
+        t.record("h", 4);
+        t.record("h", 8);
+        t.span(Track::Bpl, "s", 10, 5);
+        t.span_with(Track::Btb2, "xfer", 15, 3, "staged", 7);
+        t.instant(Track::Harness, "flush", 20);
+        assert_eq!(t.counter("a"), 5);
+        let snap = t.into_snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        let h = snap.histogram("h").unwrap();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 12, 4, 8));
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[1].detail, Some(("staged", 7)));
+        assert_eq!(snap.spans_dropped, 0);
+    }
+
+    #[test]
+    fn span_window_is_bounded() {
+        let mut t = Telemetry::with_span_capacity(4);
+        for c in 0..10 {
+            t.span(Track::Bpl, "s", c, 1);
+        }
+        let snap = t.into_snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.spans_dropped, 6);
+        assert_eq!(snap.spans[0].ts, 6, "oldest events were evicted");
+    }
+
+    #[test]
+    fn snapshot_then_keep_recording() {
+        let mut t = Telemetry::enabled();
+        t.count("a", 1);
+        let before = t.snapshot();
+        t.count("a", 1);
+        assert_eq!(before.counter("a"), 1);
+        assert_eq!(t.counter("a"), 2);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+}

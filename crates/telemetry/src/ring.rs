@@ -1,0 +1,119 @@
+//! A bounded ring buffer for event tracing.
+//!
+//! Observability buffers must never grow with the length of the run: a
+//! monitor attached to a billion-instruction simulation should cost a
+//! fixed amount of memory and keep the *most recent* window of events,
+//! the way a hardware trace array does. [`Ring`] is that primitive —
+//! a fixed-capacity FIFO that evicts the oldest element on overflow and
+//! counts what it dropped, so consumers can tell a complete trace from
+//! a windowed one.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that drops its oldest element when full.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` elements (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring { buf: VecDeque::with_capacity(capacity.min(1 << 12)), capacity, dropped: 0 }
+    }
+
+    /// Appends an element, evicting (and counting) the oldest if full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-to-newest over the retained window.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, returning the retained window in order.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Discards all elements (the drop counter is retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_then_evicts_oldest() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = Ring::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let mut r = Ring::new(1);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

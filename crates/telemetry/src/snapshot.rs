@@ -1,0 +1,105 @@
+//! Frozen telemetry state with a deterministic merge.
+//!
+//! A [`Snapshot`] is what leaves a recording site: plain sorted maps of
+//! counters and histograms plus the retained span window. Snapshots
+//! from independent workers merge associatively and deterministically —
+//! counters add, histogram buckets add, span windows concatenate in the
+//! order the caller merges them — so a parallel run reduced in declared
+//! order is byte-identical to the serial run.
+
+use crate::histogram::Histogram;
+use crate::span::SpanEvent;
+use std::collections::BTreeMap;
+
+/// Frozen counters, histograms and spans from one recording site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic event counts, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value distributions, sorted by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// The retained timeline window, oldest first.
+    pub spans: Vec<SpanEvent>,
+    /// Spans evicted from the bounded ring before the snapshot.
+    pub spans_dropped: u64,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter's value, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, spans append in `other`'s order.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.spans.extend(other.spans.iter().copied());
+        self.spans_dropped += other.spans_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Track;
+
+    fn snap(counter_val: u64, hist_val: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.counters.insert("c".into(), counter_val);
+        let mut h = Histogram::new();
+        h.observe(hist_val);
+        s.histograms.insert("h".into(), h);
+        s.spans.push(SpanEvent::instant(Track::Bpl, "e", hist_val));
+        s
+    }
+
+    #[test]
+    fn merge_is_additive_and_ordered() {
+        let mut a = snap(2, 10);
+        let b = snap(3, 20);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("missing"), 0);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(a.spans.iter().map(|s| s.ts).collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn merge_order_determines_span_order_only() {
+        let (mut ab, mut ba) = (snap(1, 1), snap(2, 2));
+        ab.merge(&snap(2, 2));
+        ba.merge(&snap(1, 1));
+        assert_eq!(ab.counters, ba.counters, "counters are order-independent");
+        assert_eq!(ab.histograms, ba.histograms);
+        assert_ne!(ab.spans, ba.spans, "span concatenation follows merge order");
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Snapshot::new().is_empty());
+        assert!(!snap(1, 1).is_empty());
+    }
+}

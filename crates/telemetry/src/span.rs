@@ -1,0 +1,105 @@
+//! Timeline events: spans and instants on named tracks.
+//!
+//! A span is a `[ts, ts+dur)` interval in *cycles* on one of the fixed
+//! micro-architectural tracks; an instant is a zero-duration marker.
+//! Cycle timestamps are rendered 1:1 as trace-event microseconds, so a
+//! Perfetto/`chrome://tracing` ruler reads directly in cycles.
+
+/// The fixed set of timeline tracks (trace-event `tid`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// The BPL search pipeline (b0–b5, re-index paths, SKOOT skips).
+    Bpl,
+    /// The instruction-cache/fetch machine (ICM).
+    Icm,
+    /// Decode/dispatch (IDU), including restart windows.
+    Idu,
+    /// BTB2 transfer machinery (searches, staging drains).
+    Btb2,
+    /// Harness-level events (flushes, run phases).
+    Harness,
+}
+
+impl Track {
+    /// Every track, in `tid` order.
+    pub const ALL: [Track; 5] = [Track::Bpl, Track::Icm, Track::Idu, Track::Btb2, Track::Harness];
+
+    /// The trace-event thread id for this track.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Bpl => 0,
+            Track::Icm => 1,
+            Track::Idu => 2,
+            Track::Btb2 => 3,
+            Track::Harness => 4,
+        }
+    }
+
+    /// The human-readable track name shown in the timeline viewer.
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Bpl => "BPL search pipeline",
+            Track::Icm => "ICM fetch",
+            Track::Idu => "IDU dispatch",
+            Track::Btb2 => "BTB2 transfer",
+            Track::Harness => "harness",
+        }
+    }
+}
+
+/// One timeline event: a span (`dur > 0`) or an instant (`dur == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The track the event belongs to.
+    pub track: Track,
+    /// Event name (static so recording never allocates).
+    pub name: &'static str,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles; 0 renders as an instant marker.
+    pub dur: u64,
+    /// Optional `(key, value)` detail rendered into the event's `args`.
+    pub detail: Option<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// A span covering `[ts, ts + dur)`.
+    pub fn span(track: Track, name: &'static str, ts: u64, dur: u64) -> Self {
+        SpanEvent { track, name, ts, dur, detail: None }
+    }
+
+    /// An instant marker at `ts`.
+    pub fn instant(track: Track, name: &'static str, ts: u64) -> Self {
+        SpanEvent { track, name, ts, dur: 0, detail: None }
+    }
+
+    /// Attaches a `(key, value)` detail pair.
+    pub fn with_detail(mut self, key: &'static str, value: u64) -> Self {
+        self.detail = Some((key, value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tids_are_unique_and_ordered() {
+        let tids: Vec<u64> = Track::ALL.iter().map(|t| t.tid()).collect();
+        assert_eq!(tids, vec![0, 1, 2, 3, 4]);
+        for t in Track::ALL {
+            assert!(!t.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let s = SpanEvent::span(Track::Bpl, "search", 10, 6).with_detail("line", 0x40);
+        assert_eq!(s.ts, 10);
+        assert_eq!(s.dur, 6);
+        assert_eq!(s.detail, Some(("line", 0x40)));
+        let i = SpanEvent::instant(Track::Idu, "restart", 99);
+        assert_eq!(i.dur, 0);
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::workloads::Workload;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use zbp_model::DynamicTrace;
 
@@ -37,14 +38,16 @@ impl TraceKey {
 /// A keyed store of reference-counted dynamic traces.
 ///
 /// Thread-safe: concurrent lookups of *different* keys generate in
-/// parallel; concurrent lookups of the *same* key may both generate,
-/// but the first insert wins so every caller still ends up sharing one
-/// allocation (generation is deterministic, so the loser's copy was
-/// identical anyway).
+/// parallel, while concurrent lookups of the *same* key are serialized
+/// by a per-key in-flight guard — the first caller generates and every
+/// other caller waits on its [`OnceLock`] instead of racing a duplicate
+/// generation (which earlier versions then threw away). The map lock is
+/// held only to find or create the slot, never during generation.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    map: Mutex<HashMap<TraceKey, Arc<DynamicTrace>>>,
-    hits: Mutex<u64>,
+    map: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<DynamicTrace>>>>>,
+    hits: AtomicU64,
+    generations: AtomicU64,
 }
 
 impl TraceCache {
@@ -62,23 +65,39 @@ impl TraceCache {
     /// The dynamic trace for `w`, generated on first use.
     ///
     /// Repeated calls with an equivalent workload return clones of the
-    /// same `Arc` (pointer-equal), not a regenerated trace.
+    /// same `Arc` (pointer-equal), not a regenerated trace. A call that
+    /// arrives while another thread is generating the same key blocks
+    /// until that generation finishes and shares its result.
     pub fn trace(&self, w: &Workload) -> Arc<DynamicTrace> {
         let key = TraceKey::of(w);
-        if let Some(hit) = self.map.lock().expect("trace cache poisoned").get(&key) {
-            *self.hits.lock().expect("hit counter poisoned") += 1;
-            return Arc::clone(hit);
+        let slot = {
+            let mut map = self.map.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Generate outside the map lock so distinct workloads
+        // materialize in parallel; the slot's `OnceLock` guarantees at
+        // most one generation per key even when same-key lookups race.
+        let mut generated_here = false;
+        let trace = slot.get_or_init(|| {
+            generated_here = true;
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(w.dynamic_trace())
+        });
+        if !generated_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        // Generate outside the lock so distinct workloads materialize in
-        // parallel.
-        let generated = Arc::new(w.dynamic_trace());
-        let mut map = self.map.lock().expect("trace cache poisoned");
-        Arc::clone(map.entry(key).or_insert(generated))
+        Arc::clone(trace)
     }
 
-    /// Number of distinct traces currently cached.
+    /// Number of distinct traces currently cached (slots whose
+    /// generation is still in flight are not counted).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("trace cache poisoned").len()
+        self.map
+            .lock()
+            .expect("trace cache poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// Whether the cache holds no traces.
@@ -86,9 +105,18 @@ impl TraceCache {
         self.len() == 0
     }
 
-    /// Number of lookups served from the cache since creation.
+    /// Number of lookups served from the cache since creation — calls
+    /// that did not run the generator, including those that waited on
+    /// another thread's in-flight generation.
     pub fn hits(&self) -> u64 {
-        *self.hits.lock().expect("hit counter poisoned")
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of times the workload generator actually ran. After any
+    /// quiescent point this equals the number of distinct keys ever
+    /// requested, however many threads raced on them.
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
     }
 
     /// Drops every cached trace (reclaims memory between sweeps; any
@@ -113,6 +141,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "identical (label, seed, instrs) must share one trace");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.generations(), 1);
     }
 
     #[test]
@@ -125,6 +154,7 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.generations(), 3);
     }
 
     #[test]
@@ -151,12 +181,30 @@ mod tests {
                 .collect()
         });
         assert_eq!(cache.len(), 1);
-        // All threads observe the winning insert.
-        let survivors: std::collections::HashSet<_> = ptrs
-            .iter()
-            .map(|_| Arc::as_ptr(&cache.trace(&workloads::compute_loop(9, 2_000))) as usize)
-            .collect();
-        assert_eq!(survivors.len(), 1);
+        // With the in-flight guard, every thread gets the *same* Arc —
+        // not merely an equal trace — even when the lookups race.
+        let unique: std::collections::HashSet<_> = ptrs.into_iter().collect();
+        assert_eq!(unique.len(), 1, "all racing threads share one allocation");
+        assert_eq!(cache.generations(), 1, "the generator ran exactly once");
+        assert_eq!(cache.hits(), 3, "the three non-generating threads count as hits");
+    }
+
+    #[test]
+    fn barrier_race_generates_exactly_once() {
+        let cache = TraceCache::new();
+        let n = 8;
+        let barrier = std::sync::Barrier::new(n);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    barrier.wait();
+                    cache.trace(&workloads::lspr_like(21, 3_000))
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.generations(), 1, "simultaneous same-key lookups must not duplicate");
+        assert_eq!(cache.hits(), n as u64 - 1);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Black-box tests for the trace persistence format: a well-formed file
+//! round-trips exactly, and every malformed input — wrong magic, future
+//! version, mangled content, or any truncation point — is rejected with
+//! the matching [`LoadTraceError`] variant instead of panicking or
+//! yielding a silently-wrong trace.
+
+use zbp_trace::io::{read_trace, write_trace, LoadTraceError};
+use zbp_trace::workloads;
+
+fn serialized(seed: u64, instrs: u64) -> Vec<u8> {
+    let t = workloads::lspr_like(seed, instrs).dynamic_trace();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &t).expect("in-memory write cannot fail");
+    buf
+}
+
+#[test]
+fn nontrivial_trace_round_trips_exactly() {
+    let a = workloads::microservices(11, 8_000).dynamic_trace();
+    let b = workloads::call_return_heavy(12, 8_000).dynamic_trace();
+    let smt = workloads::interleave_smt2(&a, &b, 5);
+    for t in [a, b, smt] {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(t, back, "{} must survive a roundtrip", back.label());
+        assert_eq!(t.instruction_count(), back.instruction_count());
+        assert_eq!(t.branch_count(), back.branch_count());
+    }
+}
+
+#[test]
+fn empty_input_is_an_io_error() {
+    let err = read_trace(&b""[..]).expect_err("empty input must fail");
+    assert!(matches!(err, LoadTraceError::Io(_)), "{err}");
+}
+
+#[test]
+fn wrong_magic_is_rejected_before_anything_else() {
+    let mut buf = serialized(1, 2_000);
+    buf[0..4].copy_from_slice(b"ELF\x7f");
+    let err = read_trace(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::BadMagic), "{err}");
+}
+
+#[test]
+fn future_version_is_rejected_with_the_version_number() {
+    let mut buf = serialized(1, 2_000);
+    buf[4..8].copy_from_slice(&7u32.to_le_bytes());
+    let err = read_trace(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::BadVersion(7)), "{err}");
+}
+
+#[test]
+fn absurd_label_length_is_corrupt_not_oom() {
+    let mut buf = serialized(1, 2_000);
+    buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = read_trace(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn non_utf8_label_is_corrupt() {
+    let mut buf = serialized(1, 2_000);
+    let label_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    assert!(label_len > 0, "suite labels are non-empty");
+    buf[12] = 0xff; // 0xff is never valid in UTF-8
+    let err = read_trace(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn mangled_mnemonic_is_corrupt() {
+    let mut buf = serialized(1, 2_000);
+    let label_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    // magic + version + label_len + label + tail + count, then the
+    // first record's addr + target precede its mnemonic byte.
+    let first_mnemonic = 12 + label_len + 16 + 16;
+    buf[first_mnemonic] = 0xee;
+    let err = read_trace(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    // The format has no optional fields: any strict prefix must fail
+    // (with BadMagic inside the magic, Io everywhere else), and never
+    // parse into a shorter-but-plausible trace.
+    let buf = serialized(3, 600);
+    assert!(read_trace(buf.as_slice()).is_ok(), "the full file parses");
+    for len in 0..buf.len() {
+        match read_trace(&buf[..len]) {
+            Err(LoadTraceError::Io(_)) | Err(LoadTraceError::BadMagic) => {}
+            Err(other) => panic!("prefix of {len} bytes: unexpected error {other}"),
+            Ok(_) => panic!("prefix of {len} bytes parsed as a complete trace"),
+        }
+    }
+}

@@ -30,6 +30,7 @@ use crate::icache::{Icache, IcacheConfig};
 use std::collections::{HashMap, VecDeque};
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{BranchRecord, DynamicTrace, FullPredictor, MispredictKind, Prediction};
+use zbp_telemetry::{Snapshot, Telemetry, Track};
 use zbp_zarch::LINE_64B;
 
 /// Co-simulation parameters.
@@ -126,16 +127,34 @@ pub fn run_cosim(
     cfg: &CosimConfig,
     trace: &DynamicTrace,
 ) -> CosimReport {
+    run_cosim_traced(pred_cfg, cfg, trace, Telemetry::disabled()).0
+}
+
+/// Runs like [`run_cosim`], recording a cycle timeline into `tel`:
+/// 1-cycle `search` spans along the BPL track, `reindex.b2 (CPRED)` vs
+/// `reindex.b5` spans for the two taken-redirect paths, ICM stall spans,
+/// IDU hand-off/restart events and prediction-latency/queue-occupancy
+/// histograms. The returned snapshot also folds in the predictor's own
+/// counters. The report is identical whether `tel` is enabled or not.
+pub fn run_cosim_traced(
+    pred_cfg: PredictorConfig,
+    cfg: &CosimConfig,
+    trace: &DynamicTrace,
+    mut tel: Telemetry,
+) -> (CosimReport, Snapshot) {
     let records: Vec<BranchRecord> = trace.branches().copied().collect();
     let mut rep = CosimReport::default();
     if records.is_empty() {
-        return rep;
+        return (rep, tel.into_snapshot());
     }
     let b5 = u64::from(pred_cfg.timing.search_stages - 1);
     let b2 = u64::from(pred_cfg.timing.cpred_reindex_stage);
     let cpred_on = pred_cfg.cpred.is_some();
     let skoot_on = pred_cfg.skoot;
     let mut predictor = ZPredictor::new(pred_cfg);
+    if tel.is_enabled() {
+        predictor.set_telemetry(Telemetry::enabled());
+    }
     let mut icache = Icache::new(cfg.icache.clone());
 
     // --- machine state -------------------------------------------------
@@ -190,6 +209,8 @@ pub fn run_cosim(
             if wrong {
                 // Flush: everything restarts at the corrected address.
                 rep.restarts += 1;
+                tel.count("cosim.restarts", 1);
+                tel.instant(Track::Harness, "flush", cycle);
                 restart_window = Some(cycle);
                 dispatch_frozen = false;
                 predictor.flush(&rec);
@@ -220,6 +241,7 @@ pub fn run_cosim(
         if bpl_rec < records.len() && cycle >= bpl_ready_at {
             if pred_queue.len() >= cfg.pred_queue {
                 rep.bpl_backpressure_cycles += 1;
+                tel.span(Track::Bpl, "backpressure", cycle, 1);
             } else {
                 let rec = records[bpl_rec];
                 let target_line = rec.addr.raw() / LINE_64B;
@@ -239,6 +261,7 @@ pub fn run_cosim(
                     stream_first = false;
                 }
                 rep.searches += 1;
+                tel.span_with(Track::Bpl, "search", cycle, 1, "line", bpl_line);
                 // Lookahead prefetch of the searched line's cache line.
                 let cl = (bpl_line * LINE_64B) / cfg.icache.line_bytes;
                 if let std::collections::hash_map::Entry::Vacant(e) = prefetch_ready.entry(cl) {
@@ -256,6 +279,7 @@ pub fn run_cosim(
                     let present_at = cycle + b5;
                     pred_queue.push_back(QueuedPrediction { rec_idx: bpl_rec, pred, present_at });
                     rep.peak_pred_queue = rep.peak_pred_queue.max(pred_queue.len());
+                    tel.record("cosim.pred_queue_occupancy", pred_queue.len() as u64);
                     if let (true, Some(target)) = (pred.is_taken(), pred.target) {
                         let tline = target.raw() / LINE_64B;
                         let memo_hit = cpred_on
@@ -264,6 +288,11 @@ pub fn run_cosim(
                             .entry(stream_line)
                             .and_modify(|m| m.exit_line = target_line)
                             .or_insert(StreamMemo { exit_line: target_line, lead_empty: 0 });
+                        if memo_hit {
+                            tel.span(Track::Bpl, "reindex.b2 (CPRED)", cycle, b2);
+                        } else {
+                            tel.span(Track::Bpl, "reindex.b5", cycle, b5);
+                        }
                         bpl_ready_at = cycle + if memo_hit { b2 } else { b5 };
                         bpl_line = tline;
                         stream_line = tline;
@@ -278,6 +307,7 @@ pub fn run_cosim(
                         } else {
                             // surprise-taken with unknown target: the BPL
                             // restarts with fetch at the resolved point.
+                            tel.span(Track::Bpl, "reindex.b5", cycle, b5);
                             bpl_line = rec.next_pc().raw() / LINE_64B;
                             stream_line = bpl_line;
                             stream_first = true;
@@ -299,6 +329,7 @@ pub fn run_cosim(
             let fetch_goal = end.min(seg_start(&records, fetch_rec).max(fetch_addr) + 32);
             if fetch_rec >= bpl_rec && fetch_goal > bpl_point {
                 rep.fetch_wait_bpl_cycles += 1;
+                tel.span(Track::Icm, "wait.bpl", cycle, 1);
             } else {
                 // Cache access for the 256B line this 32B block is in.
                 let cl = fetch_addr / cfg.icache.line_bytes;
@@ -312,6 +343,7 @@ pub fn run_cosim(
                 if stall > 0 {
                     rep.fetch_icache_cycles += stall;
                     fetch_busy_until = cycle + stall;
+                    tel.span_with(Track::Icm, "icache.stall", cycle, stall, "addr", fetch_addr);
                 } else {
                     fetch_addr += 32;
                     if fetch_addr >= end {
@@ -352,6 +384,10 @@ pub fn run_cosim(
             rep.instructions += 1;
             width -= 1;
             dispatched_any = true;
+            // Prediction latency: BPL issue (present_at - b5) to the IDU
+            // hand-off consuming the queued prediction here.
+            tel.record("cosim.pred_latency_cycles", (cycle + b5).saturating_sub(q.present_at));
+            tel.instant(Track::Idu, "dispatch.branch", cycle);
             let wrong = MispredictKind::classify(&q.pred, &rec).is_some();
             rep.mispredicts.record(&q.pred, &rec);
             predictor.complete(&rec, &q.pred);
@@ -372,8 +408,9 @@ pub fn run_cosim(
         } else if let Some(start) = restart_window.take() {
             // First post-restart dispatch closes the penalty window; the
             // back-end drain (dispatch to resolve) belongs to it too.
-            rep.restart_penalty_cycles +=
-                cycle.saturating_sub(start) + u64::from(cfg.resolve_delay);
+            let penalty = cycle.saturating_sub(start) + u64::from(cfg.resolve_delay);
+            rep.restart_penalty_cycles += penalty;
+            tel.span_with(Track::Idu, "restart", start, penalty, "penalty", penalty);
         }
 
         // Keep the prefetch memo bounded.
@@ -393,7 +430,9 @@ pub fn run_cosim(
         rep.mispredicts.add_instructions(tail);
     }
     rep.cycles = cycle;
-    rep
+    let mut snap = tel.into_snapshot();
+    snap.merge(&predictor.take_telemetry().into_snapshot());
+    (rep, snap)
 }
 
 #[cfg(test)]
@@ -442,6 +481,32 @@ mod tests {
             (8.0..80.0).contains(&pen),
             "measured restart penalty should be pipeline-scale, got {pen:.1}"
         );
+    }
+
+    #[test]
+    fn traced_cosim_matches_untraced_and_times_the_pipeline() {
+        let trace = workloads::lspr_like(11, 30_000).dynamic_trace();
+        let plain = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
+        let (traced, snap) = run_cosim_traced(
+            GenerationPreset::Z15.config(),
+            &CosimConfig::default(),
+            &trace,
+            Telemetry::enabled(),
+        );
+        assert_eq!(plain, traced, "telemetry must not perturb the cycle model");
+        assert_eq!(snap.counter("cosim.restarts"), traced.restarts);
+        assert_eq!(
+            snap.histogram("cosim.pred_queue_occupancy").unwrap().max() as usize,
+            traced.peak_pred_queue,
+        );
+        let lat = snap.histogram("cosim.pred_latency_cycles").unwrap();
+        let b5 = u64::from(GenerationPreset::Z15.config().timing.search_stages - 1);
+        assert!(lat.min() >= b5, "a prediction is never consumed before b5");
+        // The timeline shows the search pipeline and both re-index paths.
+        assert!(snap.spans.iter().any(|s| s.name == "search" && s.track == Track::Bpl));
+        assert!(snap.spans.iter().any(|s| s.name.starts_with("reindex.")));
+        // Predictor-internal counters were folded into the same snapshot.
+        assert!(snap.counter("bpl.predictions") > 0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod frontend;
 mod icache;
 pub mod lookahead;
 
-pub use cosim::{run_cosim, CosimConfig, CosimReport};
+pub use cosim::{run_cosim, run_cosim_traced, CosimConfig, CosimReport};
 pub use frontend::{Frontend, FrontendConfig, FrontendReport};
 pub use icache::{CacheLevel, Icache, IcacheConfig, IcacheStats};
-pub use lookahead::{run_lookahead, LookaheadReport};
+pub use lookahead::{run_lookahead, run_lookahead_traced, LookaheadReport};

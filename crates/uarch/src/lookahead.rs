@@ -20,6 +20,7 @@
 use std::collections::HashSet;
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
+use zbp_telemetry::{Snapshot, Telemetry, Track};
 use zbp_zarch::InstrAddr;
 
 /// Statistics from a lookahead-mode run.
@@ -58,6 +59,19 @@ impl LookaheadReport {
 /// that set. Screening failures exercise
 /// [`ZPredictor::remove_bad_prediction`].
 pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadReport {
+    run_lookahead_traced(cfg, trace, Telemetry::disabled()).0
+}
+
+/// Runs like [`run_lookahead`], recording telemetry into `tel`: a
+/// `bpl.preds_per_search` histogram (predictions raised per 64-byte line
+/// search), `idu.bad_predictions`/`idu.removals` counters and IDU-track
+/// markers for screening rejections. The report is identical whether
+/// `tel` is enabled or disabled.
+pub fn run_lookahead_traced(
+    cfg: PredictorConfig,
+    trace: &DynamicTrace,
+    mut tel: Telemetry,
+) -> (LookaheadReport, Snapshot) {
     let mut rep = LookaheadReport::default();
 
     // Pass 1: the IDU's ground truth — addresses that hold branches.
@@ -65,6 +79,9 @@ pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadRep
 
     let line_bytes = cfg.btb1.search_bytes;
     let mut p = ZPredictor::new(cfg);
+    if tel.is_enabled() {
+        p.set_telemetry(Telemetry::enabled());
+    }
     let mut search_point: Option<InstrAddr> = None;
 
     for rec in trace.branches() {
@@ -78,6 +95,7 @@ pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadRep
             // The prediction-port search raises every matching entry in
             // the line; the IDU screens them.
             let hits = p.btb1_search_for_screening(InstrAddr::new(line));
+            tel.record("bpl.preds_per_search", hits.len() as u64);
             for entry_addr in hits {
                 rep.raised_predictions += 1;
                 if !sites.contains(&entry_addr.raw()) {
@@ -87,6 +105,9 @@ pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadRep
                     rep.bad_restarts += 1;
                     p.remove_bad_prediction(entry_addr);
                     rep.removals += 1;
+                    tel.count("idu.bad_predictions", 1);
+                    tel.count("idu.removals", 1);
+                    tel.instant(Track::Idu, "bad_prediction", rep.line_searches);
                 }
             }
             if line == to {
@@ -105,7 +126,9 @@ pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadRep
         }
         search_point = Some(rec.next_pc());
     }
-    rep
+    let mut snap = tel.into_snapshot();
+    snap.merge(&p.take_telemetry().into_snapshot());
+    (rep, snap)
 }
 
 #[cfg(test)]
@@ -134,6 +157,23 @@ mod tests {
         let rep = run_lookahead(cfg, &trace);
         assert!(rep.bad_predictions > 0, "2-bit tags must alias on a large footprint");
         assert_eq!(rep.removals, rep.bad_predictions, "every bad prediction is removed");
+    }
+
+    #[test]
+    fn traced_lookahead_matches_untraced() {
+        let mut cfg = GenerationPreset::Z15.config();
+        cfg.btb1.tag_bits = 2;
+        cfg.btb1.rows = 64;
+        let trace = workloads::lspr_like(7, 40_000).dynamic_trace();
+        let plain = run_lookahead(cfg.clone(), &trace);
+        let (traced, snap) = run_lookahead_traced(cfg, &trace, Telemetry::enabled());
+        assert_eq!(plain, traced, "telemetry must not perturb the lookahead model");
+        assert_eq!(snap.counter("idu.bad_predictions"), traced.bad_predictions);
+        assert_eq!(snap.counter("idu.removals"), traced.removals);
+        let per_search = snap.histogram("bpl.preds_per_search").unwrap();
+        assert_eq!(per_search.count(), traced.line_searches);
+        assert_eq!(per_search.sum(), traced.raised_predictions);
+        assert!(per_search.max() <= 8, "a 64B line raises at most 8 predictions");
     }
 
     #[test]

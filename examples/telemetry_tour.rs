@@ -1,0 +1,75 @@
+//! A guided tour of `zbp-telemetry`: counters, histograms, the bounded
+//! span ring, deterministic snapshot merging, and Chrome trace export.
+//!
+//! ```text
+//! cargo run --example telemetry_tour
+//! ```
+//!
+//! The full-size integration (telemetry over whole experiment suites
+//! with `--telemetry PATH`) lives in `zbp-bench`; this example shows
+//! the same machinery on a single traced run, small enough to read.
+
+use zbp::core::GenerationPreset;
+use zbp::telemetry::{chrome, Snapshot, Telemetry, Track};
+use zbp::trace::workloads;
+use zbp::uarch::{run_cosim, run_cosim_traced, CosimConfig};
+
+fn main() {
+    // A Telemetry handle is either disabled (a null pointer — recording
+    // calls compile to a branch on None) or enabled (owned counters,
+    // histograms, and a bounded span ring). The default is disabled, so
+    // instrumented code costs nothing unless someone asks to observe.
+    let mut tel = Telemetry::enabled();
+    tel.count("tour.steps", 1);
+    tel.record("tour.values", 42);
+    tel.span(Track::Harness, "warmup", 0, 10);
+    assert!(tel.is_enabled());
+
+    // The same calls on a disabled handle are no-ops.
+    let mut off = Telemetry::disabled();
+    off.count("tour.steps", 1);
+    assert_eq!(off.counter("tour.steps"), 0);
+
+    // Run the cycle-stepped co-simulation twice: untraced, and traced.
+    // The reports are identical — observation never perturbs the model.
+    let trace = workloads::lspr_like(7, 20_000).dynamic_trace();
+    let cfg = GenerationPreset::Z15.config();
+    let plain = run_cosim(cfg.clone(), &CosimConfig::default(), &trace);
+    let (traced, snap) =
+        run_cosim_traced(cfg, &CosimConfig::default(), &trace, Telemetry::enabled());
+    assert_eq!(plain, traced, "telemetry must be invisible to the model");
+
+    println!("co-simulated {} cycles, CPI {:.3}\n", traced.cycles, traced.cpi());
+    println!("counters:");
+    for (name, v) in &snap.counters {
+        println!("  {name:<24} {v}");
+    }
+    println!("\nhistograms (count / mean / p99):");
+    for (name, h) in &snap.histograms {
+        println!("  {name:<28} {:>8} / {:>8.2} / {:>6}", h.count(), h.mean(), h.quantile(0.99));
+    }
+    println!(
+        "\nspan ring: {} retained, {} dropped (bounded — long runs can't balloon)",
+        snap.spans.len(),
+        snap.spans_dropped
+    );
+
+    // Snapshots merge associatively and deterministically: counters
+    // add, histogram buckets add, spans concatenate in merge order.
+    // This is what lets parallel experiment cells reduce to the same
+    // bytes as a serial run.
+    let mut total = Snapshot::new();
+    total.merge(&snap);
+    total.merge(&snap);
+    assert_eq!(total.counter("cosim.restarts"), 2 * snap.counter("cosim.restarts"));
+
+    // Export a Chrome trace-event timeline. Open it in chrome://tracing
+    // or https://ui.perfetto.dev: each cell is a process, with tracks
+    // for the BPL search pipeline (watch for "reindex.b2 (CPRED)" vs
+    // "reindex.b5" spans), ICM fetch, and IDU dispatch.
+    let out = std::env::temp_dir().join("zbp_telemetry_tour.trace.json");
+    let cells = vec![(String::from("lspr-like"), &snap)];
+    let f = std::fs::File::create(&out).expect("create trace file");
+    chrome::write_chrome_trace(std::io::BufWriter::new(f), &cells).expect("write trace");
+    println!("\nwrote {} — open it in chrome://tracing or ui.perfetto.dev", out.display());
+}

@@ -14,6 +14,8 @@
 //! * [`uarch`] — cycle-level front-end model (I-cache hierarchy, fetch,
 //!   decode, dispatch synchronization, restart penalties).
 //! * [`verify`] — white-box verification harness per the paper's §VII.
+//! * [`telemetry`] — observability subsystem: counters, histograms,
+//!   bounded event tracing, Chrome-trace timeline export.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use zbp_baselines as baselines;
 pub use zbp_core as core;
 pub use zbp_model as model;
+pub use zbp_telemetry as telemetry;
 pub use zbp_trace as trace;
 pub use zbp_uarch as uarch;
 pub use zbp_verify as verify;
