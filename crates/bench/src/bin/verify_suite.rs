@@ -1,0 +1,139 @@
+//! The white-box verification suite — the CI gate for the §VII
+//! harness. Three parts:
+//!
+//! 1. **Differential clean pass**: every stock generation config runs
+//!    the standard workload suite under [`Experiment::verify`] at
+//!    [`VerifyLevel::Monitored`]; any divergence or monitor violation
+//!    fails the suite.
+//! 2. **Seeded-bug detection + shrinking**: a corrupted-target-bus
+//!    mutation must produce differential divergences, and the failing
+//!    trace must delta-debug down to a sub-1000-branch reproducer,
+//!    written under `results/repro/`.
+//! 3. **Fault-injection campaigns** (with the `verify` feature): every
+//!    `zbp_verify::inject::FaultClass` corrupting the
+//!    DUT's internal state must be caught by a monitor while the run
+//!    completes gracefully.
+//!
+//! Exits non-zero on any failure, so CI can gate on it directly.
+
+use std::path::Path;
+use std::process::ExitCode;
+use zbp_bench::{BenchArgs, Experiment, Table};
+use zbp_core::GenerationPreset;
+use zbp_model::DynamicTrace;
+use zbp_verify::differential::{diff_trace_with, DiffReport};
+use zbp_verify::stimulus::{RandomBranchDriver, StimulusParams};
+use zbp_verify::{shrink, write_repro, SeededBug, VerifyLevel};
+
+fn stimulus_trace(seed: u64, n: u64) -> DynamicTrace {
+    let params = StimulusParams::default();
+    let mut driver = RandomBranchDriver::new(&params, seed);
+    let records: Vec<_> = (0..n).map(|_| driver.next_record()).collect();
+    DynamicTrace::from_records("verify-suite", records)
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    let (instrs, seed) = (args.instrs.min(60_000), args.seed);
+    let mut failed = false;
+
+    // ---- Part 1: differential + monitored clean pass -------------------
+    println!("(1) differential + monitor clean pass, standard suite ({instrs} instrs/workload)\n");
+    let mut t = Table::new(vec!["DUT", "workload", "records", "checks", "divergences", "monitor"]);
+    let result = Experiment::bare()
+        .name("verify_suite")
+        .config("zEC12", &GenerationPreset::ZEc12.config())
+        .config("z13", &GenerationPreset::Z13.config())
+        .config("z14", &GenerationPreset::Z14.config())
+        .config("z15", &GenerationPreset::Z15.config())
+        .suite(seed, instrs)
+        .threads(args.threads)
+        .verify(VerifyLevel::Monitored)
+        .run();
+    for cell in result.entries.iter().flat_map(|e| e.cells.iter()) {
+        let v = cell.verify.as_ref().expect("verify level requested");
+        if !v.is_clean() {
+            failed = true;
+        }
+        t.row(vec![
+            cell.entry.clone(),
+            cell.workload.clone(),
+            v.records.to_string(),
+            v.checks_passed.to_string(),
+            v.divergences.to_string(),
+            v.monitor_violations.to_string(),
+        ]);
+    }
+    t.print();
+
+    // ---- Part 2: seeded bug → divergence → shrink → repro --------------
+    let n = instrs.min(8_000);
+    println!("\n(2) seeded target-bus defect: divergence detection and trace shrinking\n");
+    let trace = stimulus_trace(seed, n);
+    let bug = SeededBug::CorruptTargets { denom: 12 };
+    let z15 = GenerationPreset::Z15.config();
+    let diverges = |t: &DynamicTrace| -> DiffReport { diff_trace_with(z15.clone(), t, bug, seed) };
+    let report = diverges(&trace);
+    println!("  full trace : {} records, {} divergence(s)", n, report.divergence_count());
+    if report.is_clean() {
+        eprintln!("FAIL: the seeded target-bus bug produced no divergence");
+        failed = true;
+    } else {
+        let first = &report.divergences[0];
+        println!("  first      : {first}");
+        let outcome = shrink(&trace, |t| !diverges(t).is_clean());
+        let len = outcome.trace.branch_count();
+        println!(
+            "  shrunk     : {} -> {} records ({} predicate evaluations)",
+            n, len, outcome.evaluations
+        );
+        if len >= 1_000 {
+            eprintln!("FAIL: reproducer did not shrink below 1000 branches");
+            failed = true;
+        }
+        let notes = format!(
+            "bug=CorruptTargets denom=12 seed={seed}\nfirst divergence: {first}\noriginal records: {n}"
+        );
+        match write_repro(Path::new("results/repro"), "corrupt_targets", &outcome.trace, &notes) {
+            Ok(path) => println!("  repro      : {}", path.display()),
+            Err(e) => {
+                eprintln!("FAIL: could not write reproducer: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // ---- Part 3: fault-injection campaigns (feature-gated) -------------
+    #[cfg(feature = "verify")]
+    {
+        use zbp_verify::inject::{run_fault_campaign, FaultClass};
+        println!("\n(3) fault-injection campaigns on the z15 DUT ({n} records, 1 fault/250)\n");
+        let mut t = Table::new(vec!["fault class", "injected", "invariant", "monitor", "detected"]);
+        let trace = stimulus_trace(seed.wrapping_add(1), n);
+        for class in FaultClass::ALL {
+            let rep = run_fault_campaign(GenerationPreset::Z15.config(), &trace, class, seed, 250);
+            let ok = rep.injected > 0 && rep.detected() && rep.records == trace.branch_count();
+            if !ok {
+                failed = true;
+            }
+            t.row(vec![
+                class.to_string(),
+                rep.injected.to_string(),
+                rep.invariant_violations.len().to_string(),
+                rep.monitor_violations.len().to_string(),
+                if ok { "yes".to_string() } else { "NO".to_string() },
+            ]);
+        }
+        t.print();
+    }
+    #[cfg(not(feature = "verify"))]
+    println!("\n(3) fault-injection campaigns skipped (build with --features verify)");
+
+    if failed {
+        eprintln!("\nverify_suite: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nverify_suite: all checks clean");
+        ExitCode::SUCCESS
+    }
+}

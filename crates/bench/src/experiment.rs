@@ -37,6 +37,7 @@ use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_trace::{workloads, Workload};
+use zbp_verify::{verify_cell, VerifyLevel, VerifySummary};
 
 /// The default delayed-update window depth used by all experiments.
 pub const DEFAULT_HARNESS_DEPTH: usize = 32;
@@ -108,6 +109,10 @@ pub struct CellResult {
     /// snapshots are merged, harness first, so the result is
     /// deterministic at any thread count.
     pub telemetry: Option<Snapshot>,
+    /// White-box verification verdict for this cell ([`None`] unless
+    /// [`Experiment::verify`] was requested; always [`None`] for
+    /// factory baselines, which the reference models do not cover).
+    pub verify: Option<VerifySummary>,
 }
 
 /// All cells for one entry, plus the suite-merged total.
@@ -178,6 +183,7 @@ pub struct Experiment {
     depth: usize,
     json: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    verify: Option<VerifyLevel>,
 }
 
 impl Experiment {
@@ -198,6 +204,7 @@ impl Experiment {
             depth: DEFAULT_HARNESS_DEPTH,
             json: None,
             telemetry: None,
+            verify: None,
         }
     }
 
@@ -280,6 +287,18 @@ impl Experiment {
         self
     }
 
+    /// Runs white-box verification alongside every configuration cell:
+    /// the differential checker (and, at [`VerifyLevel::Monitored`],
+    /// the full monitor set) re-drives the cell's trace through a fresh
+    /// predictor and the verdict lands in [`CellResult::verify`].
+    /// Verification never touches the benchmark numbers — stats, JSON
+    /// records and telemetry timelines are byte-identical with it on or
+    /// off; verdicts are summarized on stderr only.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = Some(level);
+        self
+    }
+
     /// Applies the shared CLI arguments: thread count, JSON sink and
     /// telemetry sink. (`instrs`/`seed` feed [`suite`](Self::suite),
     /// which callers invoke explicitly because some experiments sweep
@@ -296,6 +315,7 @@ impl Experiment {
         let n_cells = n_entries * n_workloads;
         let threads = resolve_threads(self.threads).min(n_cells.max(1));
         let traced = self.telemetry.is_some();
+        let verify = self.verify;
 
         let mut slots: Vec<Option<CellSlot>> = Vec::with_capacity(n_cells);
         if threads <= 1 || n_cells <= 1 {
@@ -306,6 +326,7 @@ impl Experiment {
                         &self.workloads[wi],
                         self.depth,
                         traced,
+                        verify,
                     )));
                 }
             }
@@ -343,7 +364,7 @@ impl Experiment {
                             break;
                         }
                         let (ei, wi) = (i / n_workloads, i % n_workloads);
-                        let r = run_cell(&entries[ei], &workloads[wi], depth, traced);
+                        let r = run_cell(&entries[ei], &workloads[wi], depth, traced, verify);
                         *cells[i].lock().expect("cell slot poisoned") = Some(r);
                     });
                 }
@@ -375,6 +396,7 @@ impl Experiment {
                     wall_time: slot.wall_time,
                     predictor: slot.predictor,
                     telemetry: slot.telemetry,
+                    verify: slot.verify,
                 });
             }
             entries_out.push(EntryResult { label: entry.label.clone(), cells, total, flushes });
@@ -388,6 +410,33 @@ impl Experiment {
             threads,
             result.wall_time.as_secs_f64() * 1e3,
         );
+        if let Some(level) = verify {
+            // Verdicts go to stderr only: stdout and every sink stay
+            // byte-identical whether verification ran or not.
+            for (cell, v) in result
+                .entries
+                .iter()
+                .flat_map(|e| e.cells.iter())
+                .filter_map(|c| c.verify.as_ref().map(|v| (c, v)))
+            {
+                if v.is_clean() {
+                    eprintln!(
+                        "[{}] verify({level}) {}/{}: clean ({} checks)",
+                        self.name, cell.entry, cell.workload, v.checks_passed,
+                    );
+                } else {
+                    eprintln!(
+                        "[{}] verify({level}) {}/{}: {} divergence(s), {} monitor violation(s); first: {}",
+                        self.name,
+                        cell.entry,
+                        cell.workload,
+                        v.divergences,
+                        v.monitor_violations,
+                        v.first_failure.as_deref().unwrap_or("<none>"),
+                    );
+                }
+            }
+        }
         if let Some(path) = &self.json {
             if let Err(e) = append_records(path, &result.records(&self.name)) {
                 eprintln!("warning: could not write {}: {e}", path.display());
@@ -428,9 +477,16 @@ struct CellSlot {
     wall_time: Duration,
     predictor: Option<ZPredictor>,
     telemetry: Option<Snapshot>,
+    verify: Option<VerifySummary>,
 }
 
-fn run_cell(entry: &Entry, w: &Workload, depth: usize, traced: bool) -> CellSlot {
+fn run_cell(
+    entry: &Entry,
+    w: &Workload,
+    depth: usize,
+    traced: bool,
+    verify: Option<VerifyLevel>,
+) -> CellSlot {
     let trace = w.cached_trace();
     let harness = DelayedUpdateHarness::new(depth);
     let start = Instant::now();
@@ -443,17 +499,25 @@ fn run_cell(entry: &Entry, w: &Workload, depth: usize, traced: bool) -> CellSlot
             let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
             let (run, mut snap) = harness.run_traced(&mut p, &trace, tel);
             snap.merge(&p.take_telemetry().into_snapshot());
+            let wall_time = start.elapsed();
+            // Verification re-drives the trace through a *fresh* DUT
+            // after the timed run, so neither the benchmark numbers nor
+            // the reported wall time are touched by it.
+            let verdict = verify.map(|level| verify_cell((**cfg).clone(), &trace, level));
             CellSlot {
                 stats: run.stats,
                 flushes: run.flushes,
-                wall_time: start.elapsed(),
+                wall_time,
                 predictor: Some(p),
                 telemetry: traced.then_some(snap),
+                verify: verdict,
             }
         }
         EntryKind::Factory(make) => {
             // Factory predictors are opaque `FullPredictor`s, so only
-            // the harness-level telemetry is available for them.
+            // the harness-level telemetry is available for them — and
+            // no white-box verification (the reference models shadow
+            // `ZPredictor` internals).
             let mut p = make();
             let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
             let (run, snap) = harness.run_traced(&mut *p, &trace, tel);
@@ -463,6 +527,7 @@ fn run_cell(entry: &Entry, w: &Workload, depth: usize, traced: bool) -> CellSlot
                 wall_time: start.elapsed(),
                 predictor: None,
                 telemetry: traced.then_some(snap),
+                verify: None,
             }
         }
     }
@@ -591,6 +656,28 @@ mod tests {
             other => panic!("traceEvents must be an array, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_hook_fills_cells_without_perturbing_stats() {
+        let cfg = GenerationPreset::Z15.config();
+        let plain = Experiment::new(&cfg).suite(6, 2_000).threads(2).run();
+        let verified = Experiment::new(&cfg)
+            .suite(6, 2_000)
+            .threads(2)
+            .verify(zbp_verify::VerifyLevel::Differential)
+            .run();
+        assert_eq!(
+            plain.entries[0].total, verified.entries[0].total,
+            "verification must not change the benchmark numbers"
+        );
+        assert!(plain.entries[0].cells.iter().all(|c| c.verify.is_none()));
+        for c in &verified.entries[0].cells {
+            let v = c.verify.as_ref().expect("verified run fills every cell");
+            assert!(v.is_clean(), "{}/{}: {:?}", c.entry, c.workload, v.first_failure);
+            assert!(v.checks_passed > 0);
+            assert_eq!(v.monitor_violations, 0, "differential level skips the monitor set");
+        }
     }
 
     #[test]

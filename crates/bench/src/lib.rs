@@ -21,6 +21,7 @@
 //! | `target_ablation` | §VI — CTB/CRS contributions |
 //! | `baseline_comparison` | §II.D — vs academic baselines |
 //! | `verification_campaign` | §VII — checker + mutation campaign |
+//! | `verify_suite` | §VII — differential + shrink + fault-injection CI gate |
 //! | `telemetry_demo` | traced co-simulation + Chrome trace timeline |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),

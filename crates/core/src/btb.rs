@@ -41,6 +41,15 @@ impl Skoot {
             Some(cur) => cur.min(v),
         });
     }
+
+    /// Fault-injection backdoor: constructs a raw (possibly unsound)
+    /// skip value, bypassing [`Skoot::learn`]'s clamping. Exists so the
+    /// verification harness can plant corrupted state and prove the
+    /// SKOOT soundness monitor fires; unreachable from normal operation.
+    #[cfg(feature = "verify")]
+    pub fn corrupt_raw(v: u8) -> Skoot {
+        Skoot(Some(v))
+    }
 }
 
 /// One branch's worth of BTB payload: partial tag, position, target and

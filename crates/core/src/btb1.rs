@@ -5,6 +5,30 @@
 //! BTB1 also houses the BHT and all per-branch metadata; the second
 //! physical port performs the read-analyze-write duplicate filtering for
 //! installs.
+//!
+//! # Example
+//!
+//! Install a branch, then watch the read-before-write filter suppress a
+//! duplicate of it:
+//!
+//! ```
+//! use zbp_core::btb::BtbEntry;
+//! use zbp_core::btb1::{Btb1, InstallOutcome};
+//! use zbp_core::config::z15_config;
+//! use zbp_zarch::{InstrAddr, Mnemonic};
+//!
+//! let cfg = z15_config().btb1;
+//! let mut btb = Btb1::new(&cfg);
+//! let entry = BtbEntry::install(
+//!     InstrAddr::new(0x1004), Mnemonic::Brc, InstrAddr::new(0x2000),
+//!     true, cfg.search_bytes, cfg.tag_bits);
+//! assert!(matches!(btb.install(entry), InstallOutcome::Installed { victim: None }));
+//! // "is only written into the BTB1 if the read shows that it does not
+//! // already exist" (§III):
+//! assert_eq!(btb.install(entry), InstallOutcome::Duplicate);
+//! let (_way, hit) = btb.lookup(InstrAddr::new(0x1004)).expect("prediction-port hit");
+//! assert_eq!(hit.target, InstrAddr::new(0x2000));
+//! ```
 
 use crate::btb::BtbEntry;
 use crate::config::Btb1Config;
@@ -227,6 +251,65 @@ impl Btb1 {
     /// Iterates over all valid entries (verification/reference use).
     pub fn iter(&self) -> impl Iterator<Item = &BtbEntry> {
         self.rows.iter().flat_map(|r| r.entries.iter().flatten())
+    }
+
+    /// Counts the valid slots in `addr`'s row that match its
+    /// (tag, offset) pair — the read-before-write duplicate audit. A
+    /// healthy table reports at most 1 for any address (verification
+    /// use; does not touch LRU).
+    pub fn matches_in_row(&self, addr: InstrAddr) -> usize {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row = &self.rows[self.row_index(line)];
+        row.entries.iter().flatten().filter(|e| e.matches(tag, off)).count()
+    }
+
+    /// Scans every row for duplicate (tag, offset) pairs, returning the
+    /// branch address of each surplus entry (verification audit; empty
+    /// on a healthy table).
+    pub fn duplicate_slots(&self) -> Vec<InstrAddr> {
+        let mut dups = Vec::new();
+        for row in &self.rows {
+            let live: Vec<&BtbEntry> = row.entries.iter().flatten().collect();
+            for (i, e) in live.iter().enumerate() {
+                if live[..i].iter().any(|p| p.matches(e.tag, e.offset_hw)) {
+                    dups.push(e.branch_addr);
+                }
+            }
+        }
+        dups
+    }
+
+    /// Fault-injection backdoor: copies the entry for `addr` into
+    /// another way of the same row *without* running the
+    /// read-before-write filter, modelling a broken duplicate check.
+    /// Returns whether a duplicate was planted. Exists so the
+    /// verification harness can prove the duplicate-filter monitor
+    /// fires; unreachable from normal operation.
+    #[cfg(feature = "verify")]
+    pub fn force_duplicate(&mut self, addr: InstrAddr) -> bool {
+        let line = self.line_of(addr);
+        let tag = self.line_tag(line);
+        let off = ((addr.raw() - line) / 2) as u8;
+        let row_idx = self.row_index(line);
+        let row = &mut self.rows[row_idx];
+        let Some(src) = row.entries.iter().flatten().find(|e| e.matches(tag, off)).copied() else {
+            return false;
+        };
+        let way = match row.entries.iter().position(|e| e.is_none()) {
+            Some(w) => w,
+            None => {
+                let w = row.lru.lru();
+                // Don't clobber the source copy itself.
+                if row.entries[w].as_ref().is_some_and(|e| e.matches(tag, off)) {
+                    return false;
+                }
+                w
+            }
+        };
+        row.entries[way] = Some(src);
+        true
     }
 
     /// Clears all entries (context scrub in some experiments).

@@ -10,6 +10,29 @@
 //! found in the main pipeline within a given time period. Additionally,
 //! certain context changing events will trigger proactive BTB2 searches."
 //! (paper §III)
+//!
+//! # Example
+//!
+//! A search stages *copies* of its hits toward the BTB1's write port;
+//! under the z15 semi-inclusive policy the BTB2 keeps its own copy:
+//!
+//! ```
+//! use zbp_core::btb::BtbEntry;
+//! use zbp_core::btb2::{Btb2, SearchReason};
+//! use zbp_core::config::z15_config;
+//! use zbp_zarch::{InstrAddr, Mnemonic};
+//!
+//! let cfg = z15_config();
+//! let mut b2 = Btb2::new(cfg.btb2.as_ref().unwrap(), cfg.btb1.search_bytes);
+//! let entry = BtbEntry::install(
+//!     InstrAddr::new(0x1004), Mnemonic::Brc, InstrAddr::new(0x2000),
+//!     true, cfg.btb1.search_bytes, cfg.btb1.tag_bits);
+//! b2.fill(entry);
+//! let staged = b2.search(InstrAddr::new(0x1000), SearchReason::SuccessiveMisses);
+//! assert_eq!(staged, 1);
+//! assert_eq!(b2.pop_staged().unwrap().branch_addr, InstrAddr::new(0x1004));
+//! assert!(b2.contains(&entry), "staging copies; the BTB2 copy remains");
+//! ```
 
 use crate::btb::BtbEntry;
 use crate::config::{Btb2Config, InclusionPolicy};

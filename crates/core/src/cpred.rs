@@ -10,6 +10,25 @@
 //!
 //! A *stream* is the run of sequential code entered at a taken-branch
 //! target and left by the next taken branch.
+//!
+//! # Example
+//!
+//! ```
+//! use zbp_core::config::z15_config;
+//! use zbp_core::cpred::Cpred;
+//! use zbp_zarch::InstrAddr;
+//!
+//! let cfg = z15_config();
+//! let mut cp = Cpred::new(cfg.cpred.as_ref().unwrap());
+//! let stream = InstrAddr::new(0x4000);
+//! assert!(cp.lookup(stream).is_none(), "untrained stream has no column hint");
+//! // The stream's exit behaviour is learned when it ends: 3 searches to
+//! // the taken branch, which lived in BTB1 way 5.
+//! cp.train_exit(stream, 3, 5, InstrAddr::new(0x8000));
+//! let hint = cp.lookup(stream).expect("trained");
+//! assert_eq!((hint.searches_to_taken, hint.way), (3, 5));
+//! assert_eq!(hint.redirect, InstrAddr::new(0x8000));
+//! ```
 
 use crate::config::CpredConfig;
 use crate::util::{index_of, tag_of};
@@ -193,6 +212,12 @@ impl Cpred {
     /// Number of valid entries (verification use).
     pub fn occupancy(&self) -> usize {
         self.entries.iter().flatten().count()
+    }
+
+    /// Iterates over the trained predictions (verification/audit use;
+    /// does not touch stats).
+    pub fn predictions(&self) -> impl Iterator<Item = &CpredPrediction> {
+        self.entries.iter().flatten().map(|e| &e.pred)
     }
 }
 

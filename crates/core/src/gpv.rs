@@ -9,6 +9,23 @@
 //! Only *taken* branches participate: the branch-prediction pipeline
 //! re-indexes on taken predictions, so not-taken predictions never form
 //! part of the path representation.
+//!
+//! # Example
+//!
+//! ```
+//! use zbp_core::gpv::Gpv;
+//! use zbp_zarch::InstrAddr;
+//!
+//! // The z15 GPV: 17 taken branches × 2 bits = 34 bits of history.
+//! let mut gpv = Gpv::new(17);
+//! gpv.push_taken(InstrAddr::new(0x1000));
+//! gpv.push_taken(InstrAddr::new(0x2046));
+//! assert!(gpv.raw() < 1 << 34, "history is bounded by 2 × depth bits");
+//! // The youngest branch occupies the low 2 bits.
+//! assert_eq!(gpv.recent(1), gpv.raw() & 0b11);
+//! // Predictors with shorter history fold a prefix of the vector.
+//! assert_eq!(gpv.recent(17), gpv.raw());
+//! ```
 
 use crate::util::{branch_gpv_bits, fold_hash};
 use zbp_zarch::InstrAddr;

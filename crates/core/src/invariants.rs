@@ -1,0 +1,410 @@
+//! White-box invariant monitors (paper §VII), compiled in behind the
+//! `verify` feature.
+//!
+//! The z15 verification methodology attaches monitors directly to the
+//! hardware's internal signals rather than only observing architected
+//! results. This module is the model-side analogue: [`ZPredictor`]
+//! carries an [`InvariantMonitor`] that its internal hand-off points
+//! report into, asserting the structural invariants the paper calls out:
+//!
+//! - **BTB1/BTB2 inclusion** on install/evict: under the z15
+//!   semi-inclusive policy a line promoted or written through to the
+//!   BTB1 must still be present in the BTB2; under the pre-z15
+//!   semi-exclusive policy a promotion must have invalidated the BTB2
+//!   copy.
+//! - **GPQ FIFO ordering and bounded occupancy**: prediction-queue
+//!   entries complete in the order predicted, and the queue never grows
+//!   past [`GPQ_BOUND`].
+//! - **Write-queue read-before-write duplicate filtering**: after any
+//!   install, no BTB1 row holds two entries with the same (tag, offset).
+//! - **CPRED column-hint consistency**: trained column predictions name
+//!   a real way and a non-zero search count.
+//! - **SKOOT skip soundness**: learned skip distances never exceed
+//!   [`Skoot::MAX_SKIP`](crate::btb::Skoot::MAX_SKIP) and re-learning
+//!   only ever shortens a skip.
+//!
+//! Monitors **collect** violations instead of panicking so that the
+//! fault-injection layer in `zbp-verify` can prove they fire while the
+//! model keeps running (graceful degradation). Hosts drain findings via
+//! [`ZPredictor::take_invariant_violations`].
+//!
+//! [`ZPredictor`]: crate::predictor::ZPredictor
+//! [`ZPredictor::take_invariant_violations`]: crate::predictor::ZPredictor::take_invariant_violations
+
+use std::fmt;
+
+use crate::btb::Skoot;
+use crate::config::InclusionPolicy;
+use zbp_zarch::InstrAddr;
+
+/// Upper bound on per-thread GPQ occupancy the monitor enforces. The
+/// harness resolves at most `depth` (default 32) predictions per drain,
+/// so anything approaching this bound indicates a completion leak.
+pub const GPQ_BOUND: usize = 128;
+
+/// The structural invariant classes monitored from paper §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// BTB1/BTB2 inclusion violated on an install or promotion.
+    Inclusion,
+    /// GPQ entries observed out of predicted order, or a completion
+    /// arrived with an empty queue.
+    GpqOrder,
+    /// GPQ occupancy exceeded [`GPQ_BOUND`].
+    GpqBound,
+    /// The read-before-write filter let a duplicate (tag, offset) pair
+    /// into one BTB1 row.
+    DuplicateFilter,
+    /// A CPRED entry carries an impossible column hint (way out of
+    /// range, or zero searches-to-taken).
+    CpredHint,
+    /// A SKOOT skip distance is unsound (above the cap, or re-learned
+    /// upward).
+    SkootSound,
+}
+
+impl InvariantKind {
+    /// Stable short name, used in reports and CI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::Inclusion => "btb.inclusion",
+            InvariantKind::GpqOrder => "gpq.order",
+            InvariantKind::GpqBound => "gpq.bound",
+            InvariantKind::DuplicateFilter => "write.duplicate-filter",
+            InvariantKind::CpredHint => "cpred.hint",
+            InvariantKind::SkootSound => "skoot.sound",
+        }
+    }
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant class fired.
+    pub kind: InvariantKind,
+    /// The branch or stream address involved, when one is known.
+    pub addr: Option<InstrAddr>,
+    /// Human-readable description of the observed inconsistency.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "[{}] {} at {a}", self.kind, self.detail),
+            None => write!(f, "[{}] {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Cap on stored violations; beyond this, findings are only counted.
+/// Keeps a persistently-faulted run from accumulating unbounded text.
+const STORED_CAP: usize = 1024;
+
+/// Collects invariant violations reported by the predictor's internal
+/// hook points. Never panics: a faulted model keeps running and the
+/// host decides what to do with the findings.
+#[derive(Debug, Default)]
+pub struct InvariantMonitor {
+    violations: Vec<InvariantViolation>,
+    suppressed: u64,
+    checks_passed: u64,
+}
+
+impl InvariantMonitor {
+    /// A fresh monitor with no findings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of checks that ran and held.
+    pub fn checks_passed(&self) -> u64 {
+        self.checks_passed
+    }
+
+    /// Violations recorded but not stored once [`STORED_CAP`] was hit.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// True when no invariant has fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Read access to stored violations.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Drains the stored violations, resetting the monitor to clean.
+    pub fn take(&mut self) -> Vec<InvariantViolation> {
+        self.suppressed = 0;
+        std::mem::take(&mut self.violations)
+    }
+
+    fn record(&mut self, kind: InvariantKind, addr: Option<InstrAddr>, detail: String) {
+        if self.violations.len() < STORED_CAP {
+            self.violations.push(InvariantViolation { kind, addr, detail });
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn check(
+        &mut self,
+        ok: bool,
+        kind: InvariantKind,
+        addr: Option<InstrAddr>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if ok {
+            self.checks_passed += 1;
+        } else {
+            self.record(kind, addr, detail());
+        }
+    }
+
+    /// BTB1/BTB2 inclusion at an install. `promoted` is true when the
+    /// entry arrived from the second-level staging queue; `in_btb2` is
+    /// whether the BTB2 holds the entry *after* the install completed.
+    pub(crate) fn check_inclusion(
+        &mut self,
+        policy: InclusionPolicy,
+        promoted: bool,
+        in_btb2: bool,
+        addr: InstrAddr,
+    ) {
+        match policy {
+            // z15: the staging queue copies entries, and fresh installs
+            // write through — the BTB2 must still/also hold the branch.
+            InclusionPolicy::SemiInclusive => {
+                self.check(in_btb2, InvariantKind::Inclusion, Some(addr), || {
+                    "semi-inclusive install left no BTB2 copy".to_string()
+                })
+            }
+            // Pre-z15: a promotion must have invalidated the BTB2 copy.
+            InclusionPolicy::SemiExclusive => {
+                if promoted {
+                    self.check(!in_btb2, InvariantKind::Inclusion, Some(addr), || {
+                        "semi-exclusive promotion left a live BTB2 copy".to_string()
+                    });
+                }
+            }
+        }
+    }
+
+    /// Read-before-write audit at an install: `matches` is how many
+    /// slots in the installed row now match the branch's (tag, offset).
+    pub(crate) fn check_duplicate_filter(&mut self, addr: InstrAddr, matches: usize) {
+        self.check(matches <= 1, InvariantKind::DuplicateFilter, Some(addr), || {
+            format!("{matches} slots in one row match the same (tag, offset)")
+        });
+    }
+
+    /// GPQ push: occupancy stays bounded and sequence numbers are
+    /// strictly increasing (FIFO issue order).
+    pub(crate) fn check_gpq_push(
+        &mut self,
+        occupancy: usize,
+        prev_seq: Option<u64>,
+        new_seq: u64,
+        addr: InstrAddr,
+    ) {
+        self.check(occupancy <= GPQ_BOUND, InvariantKind::GpqBound, Some(addr), || {
+            format!("occupancy {occupancy} exceeds bound {GPQ_BOUND}")
+        });
+        if let Some(prev) = prev_seq {
+            self.check(new_seq > prev, InvariantKind::GpqOrder, Some(addr), || {
+                format!("pushed seq {new_seq} after {prev}; issue order not monotonic")
+            });
+        }
+    }
+
+    /// A completion matched a later queue entry than the FIFO head.
+    pub(crate) fn gpq_out_of_sync(&mut self, completed: InstrAddr, head: InstrAddr) {
+        self.record(
+            InvariantKind::GpqOrder,
+            Some(completed),
+            format!("completion skipped FIFO head {head}"),
+        );
+    }
+
+    /// A completion arrived with no matching in-flight prediction.
+    pub(crate) fn gpq_underflow(&mut self, completed: InstrAddr) {
+        self.record(
+            InvariantKind::GpqOrder,
+            Some(completed),
+            "completion with no matching in-flight prediction".to_string(),
+        );
+    }
+
+    /// CPRED hint read at stream entry: the hint must name a real way
+    /// and a non-zero search count ([`train_exit`] clamps both).
+    ///
+    /// [`train_exit`]: crate::cpred::Cpred::train_exit
+    pub(crate) fn check_cpred_hint(
+        &mut self,
+        stream_start: InstrAddr,
+        searches_to_taken: u8,
+        way: u8,
+        ways: usize,
+    ) {
+        self.check(
+            searches_to_taken >= 1 && usize::from(way) < ways,
+            InvariantKind::CpredHint,
+            Some(stream_start),
+            || {
+                format!(
+                    "hint (searches {searches_to_taken}, way {way}) impossible for {ways}-way BTB1"
+                )
+            },
+        );
+    }
+
+    /// SKOOT read at prediction: a stored skip may never exceed the cap.
+    pub(crate) fn check_skoot_sound(&mut self, addr: InstrAddr, skip_lines: u64) {
+        self.check(
+            skip_lines <= u64::from(Skoot::MAX_SKIP),
+            InvariantKind::SkootSound,
+            Some(addr),
+            || format!("skip of {skip_lines} lines exceeds cap {}", Skoot::MAX_SKIP),
+        );
+    }
+
+    /// SKOOT learn: re-learning clamps to the cap and only ever
+    /// shortens a known skip (`learn` takes the minimum).
+    pub(crate) fn check_skoot_learn(&mut self, addr: InstrAddr, before: Skoot, after: Skoot) {
+        self.check(
+            after.skip_lines() <= u64::from(Skoot::MAX_SKIP),
+            InvariantKind::SkootSound,
+            Some(addr),
+            || format!("learned skip {} exceeds cap {}", after.skip_lines(), Skoot::MAX_SKIP),
+        );
+        if before.is_known() {
+            self.check(
+                after.skip_lines() <= before.skip_lines(),
+                InvariantKind::SkootSound,
+                Some(addr),
+                || {
+                    format!(
+                        "skip grew {} -> {}; learning must be monotone decreasing",
+                        before.skip_lines(),
+                        after.skip_lines()
+                    )
+                },
+            );
+        }
+    }
+
+    /// Structural-audit finding (row duplicate scan).
+    pub(crate) fn audit_duplicate(&mut self, addr: InstrAddr) {
+        self.record(
+            InvariantKind::DuplicateFilter,
+            Some(addr),
+            "audit: duplicate (tag, offset) pair live in one row".to_string(),
+        );
+    }
+
+    /// Structural-audit finding (SKOOT field scan).
+    pub(crate) fn audit_skoot(&mut self, addr: InstrAddr, skip_lines: u64) {
+        self.record(
+            InvariantKind::SkootSound,
+            Some(addr),
+            format!("audit: stored skip {skip_lines} exceeds cap {}", Skoot::MAX_SKIP),
+        );
+    }
+
+    /// Structural-audit finding (CPRED table scan).
+    pub(crate) fn audit_cpred(&mut self, searches_to_taken: u8, way: u8) {
+        self.record(
+            InvariantKind::CpredHint,
+            None,
+            format!("audit: trained hint (searches {searches_to_taken}, way {way}) impossible"),
+        );
+    }
+
+    /// Notes a passed audit sweep (keeps `checks_passed` meaningful for
+    /// audit-only campaigns).
+    pub(crate) fn note_audit_pass(&mut self) {
+        self.checks_passed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_monitor_reports_clean() {
+        let mut m = InvariantMonitor::new();
+        m.check_duplicate_filter(InstrAddr::new(0x100), 1);
+        m.check_gpq_push(3, Some(1), 2, InstrAddr::new(0x100));
+        assert!(m.is_clean());
+        assert!(m.checks_passed() >= 2);
+        assert!(m.take().is_empty());
+    }
+
+    #[test]
+    fn each_kind_fires() {
+        let mut m = InvariantMonitor::new();
+        let a = InstrAddr::new(0x40);
+        m.check_inclusion(InclusionPolicy::SemiInclusive, false, false, a);
+        m.check_inclusion(InclusionPolicy::SemiExclusive, true, true, a);
+        m.check_duplicate_filter(a, 2);
+        m.check_gpq_push(GPQ_BOUND + 1, None, 0, a);
+        m.check_gpq_push(4, Some(7), 7, a);
+        m.gpq_out_of_sync(a, InstrAddr::new(0x80));
+        m.gpq_underflow(a);
+        m.check_cpred_hint(a, 0, 0, 8);
+        m.check_cpred_hint(a, 1, 8, 8);
+        m.check_skoot_sound(a, 64);
+        let mut worse = Skoot::UNKNOWN;
+        worse.learn(2);
+        let mut better = Skoot::UNKNOWN;
+        better.learn(5);
+        // Simulated upward re-learn: before=2, after=5.
+        m.check_skoot_learn(a, worse, better);
+        assert!(!m.is_clean());
+        let kinds: std::collections::HashSet<_> = m.violations().iter().map(|v| v.kind).collect();
+        for k in [
+            InvariantKind::Inclusion,
+            InvariantKind::DuplicateFilter,
+            InvariantKind::GpqBound,
+            InvariantKind::GpqOrder,
+            InvariantKind::CpredHint,
+            InvariantKind::SkootSound,
+        ] {
+            assert!(kinds.contains(&k), "missing {k}");
+        }
+        let drained = m.take();
+        assert!(!drained.is_empty());
+        assert!(m.is_clean());
+    }
+
+    #[test]
+    fn storage_is_capped_not_unbounded() {
+        let mut m = InvariantMonitor::new();
+        for i in 0..(STORED_CAP as u64 + 10) {
+            m.gpq_underflow(InstrAddr::new(i * 2));
+        }
+        assert_eq!(m.violations().len(), STORED_CAP);
+        assert_eq!(m.suppressed(), 10);
+        assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn display_includes_kind_and_addr() {
+        let mut m = InvariantMonitor::new();
+        m.gpq_underflow(InstrAddr::new(0x1234));
+        let s = m.violations()[0].to_string();
+        assert!(s.contains("gpq.order"), "{s}");
+        assert!(s.contains("1234"), "{s}");
+    }
+}

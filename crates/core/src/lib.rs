@@ -60,6 +60,8 @@ pub mod ctb;
 pub mod direction;
 pub mod events;
 pub mod gpv;
+#[cfg(feature = "verify")]
+pub mod invariants;
 pub mod perceptron;
 pub mod pipeline;
 pub mod predictor;

@@ -19,6 +19,8 @@ use crate::ctb::Ctb;
 use crate::direction::{DirectionDecision, DirectionProvider};
 use crate::events::{BplEvent, Probe};
 use crate::gpv::Gpv;
+#[cfg(feature = "verify")]
+use crate::invariants::{InvariantMonitor, InvariantViolation};
 use crate::perceptron::Perceptron;
 use crate::sbht::SpecOverride;
 use crate::stats::ZStats;
@@ -111,6 +113,8 @@ pub struct ZPredictor {
     threads: [ThreadCtx; 2],
     probe: Option<Box<dyn Probe + Send>>,
     tel: Telemetry,
+    #[cfg(feature = "verify")]
+    inv: InvariantMonitor,
     /// Aggregate statistics.
     pub stats: ZStats,
 }
@@ -151,6 +155,8 @@ impl ZPredictor {
             threads: [ThreadCtx::new(cfg.gpv_depth), ThreadCtx::new(cfg.gpv_depth)],
             probe: None,
             tel: Telemetry::disabled(),
+            #[cfg(feature = "verify")]
+            inv: InvariantMonitor::new(),
             stats: ZStats::new(),
             cfg,
         }
@@ -344,6 +350,25 @@ impl ZPredictor {
                     self.stats.btb1_victims += 1;
                     self.route_victim(v);
                 }
+                #[cfg(feature = "verify")]
+                {
+                    // Read-before-write audit: the install must not have
+                    // created a second (tag, offset) match in its row.
+                    let matches = self.btb1.matches_in_row(entry.branch_addr);
+                    self.inv.check_duplicate_filter(entry.branch_addr, matches);
+                    // Inclusion: semi-inclusive installs (promotion or
+                    // write-through) leave a live BTB2 copy;
+                    // semi-exclusive promotions must not.
+                    if let Some(b2) = &self.btb2 {
+                        let present = b2.contains(&entry);
+                        self.inv.check_inclusion(
+                            b2.inclusion(),
+                            from_btb2,
+                            present,
+                            entry.branch_addr,
+                        );
+                    }
+                }
                 self.emit(BplEvent::Btb1Install { entry, victim, duplicate: false });
             }
         }
@@ -415,7 +440,14 @@ impl ZPredictor {
             self.stats.gated_streams += 1;
         }
         if let Some(cp) = &mut self.cpred {
-            self.threads[t].next_stream_power = cp.lookup(start).map(|p| p.power);
+            let looked = cp.lookup(start);
+            #[cfg(feature = "verify")]
+            if let Some(p) = &looked {
+                // Column-hint consistency: a trained hint must name a
+                // real way and a non-zero search count.
+                self.inv.check_cpred_hint(start, p.searches_to_taken, p.way, self.btb1.ways());
+            }
+            self.threads[t].next_stream_power = looked.map(|p| p.power);
         }
     }
 
@@ -688,6 +720,8 @@ impl FullPredictor for ZPredictor {
             }
             Some((way, entry)) => {
                 self.threads[t].stream_needs.note_branch(entry.bidirectional, entry.multi_target);
+                #[cfg(feature = "verify")]
+                self.inv.check_skoot_sound(addr, entry.skoot.skip_lines());
                 let dd = self.decide_direction(t, addr, way, &entry);
                 let (tgt, p) = if dd.dir.is_taken() {
                     let td = self.decide_target(t, addr, &entry);
@@ -725,6 +759,16 @@ impl FullPredictor for ZPredictor {
                 p
             }
         };
+
+        #[cfg(feature = "verify")]
+        {
+            // FIFO issue order and bounded occupancy of the GPQ.
+            let q = &self.threads[t].gpq;
+            let occupancy = q.len();
+            let prev_seq = occupancy.checked_sub(2).and_then(|i| q.get(i)).map(|i| i.seq);
+            let new_seq = q.back().map(|i| i.seq).unwrap_or(seq);
+            self.inv.check_gpq_push(occupancy, prev_seq, new_seq, addr);
+        }
 
         self.tel.record("gpq.occupancy", self.threads[t].gpq.len() as u64);
 
@@ -769,10 +813,19 @@ impl FullPredictor for ZPredictor {
         let info = loop {
             match self.threads[t].gpq.pop_front() {
                 Some(i) if i.addr == rec.addr => break Some(i),
-                Some(_) => {
+                Some(stale) => {
                     // Resynchronization path (should not happen under the
-                    // standard harness); drop stale entries.
-                    debug_assert!(false, "GPQ out of sync at {}", rec.addr);
+                    // standard harness); drop stale entries. Under the
+                    // verify feature this is a recorded FIFO-order
+                    // violation rather than an assertion so injected
+                    // queue faults degrade gracefully.
+                    #[cfg(feature = "verify")]
+                    self.inv.gpq_out_of_sync(rec.addr, stale.addr);
+                    #[cfg(not(feature = "verify"))]
+                    {
+                        let _ = &stale;
+                        debug_assert!(false, "GPQ out of sync at {}", rec.addr);
+                    }
                 }
                 None => break None,
             }
@@ -795,7 +848,13 @@ impl FullPredictor for ZPredictor {
             self.threads[t].arch_gpv.push_taken(rec.addr);
         }
 
-        let Some(info) = info else { return };
+        let Some(info) = info else {
+            // Completion with no matching in-flight prediction: a
+            // dropped/lost GPQ entry.
+            #[cfg(feature = "verify")]
+            self.inv.gpq_underflow(rec.addr);
+            return;
+        };
         let gpv_at_predict = Gpv::from_raw(info.gpv_bits, self.cfg.gpv_depth);
 
         // Release speculative overrides installed by this prediction.
@@ -835,7 +894,24 @@ impl FullPredictor for ZPredictor {
             if let Some((prev_branch, prev_target)) = self.threads[t].last_completed_taken.take() {
                 if rec.addr.raw() >= prev_target.raw() {
                     let lines = rec.addr.line64_number() - prev_target.line64_number();
-                    if self.btb1.update(prev_branch, |e| e.skoot.learn(lines)) {
+                    #[cfg(not(feature = "verify"))]
+                    let learned = self.btb1.update(prev_branch, |e| e.skoot.learn(lines));
+                    #[cfg(feature = "verify")]
+                    let learned = {
+                        // Capture before/after so the soundness monitor
+                        // can check the skip only ever shrinks.
+                        let mut observed = None;
+                        let updated = self.btb1.update(prev_branch, |e| {
+                            let before = e.skoot;
+                            e.skoot.learn(lines);
+                            observed = Some((before, e.skoot));
+                        });
+                        if let Some((before, after)) = observed {
+                            self.inv.check_skoot_learn(prev_branch, before, after);
+                        }
+                        updated
+                    };
+                    if learned {
                         self.stats.skoot_learns += 1;
                     }
                 }
@@ -1066,6 +1142,96 @@ impl ZPredictor {
         if self.btb1.remove(addr).is_some() {
             self.stats.bad_removals += 1;
             self.emit(BplEvent::Btb1Remove { addr });
+        }
+    }
+}
+
+/// White-box verification surface, compiled in behind the `verify`
+/// feature: read access to the invariant monitor, a structural audit
+/// sweep, and the fault-injection backdoors the `zbp-verify` campaigns
+/// use to prove the monitors fire (paper §VII's seeded-bug methodology).
+#[cfg(feature = "verify")]
+impl ZPredictor {
+    /// Read access to the invariant monitor.
+    pub fn invariants(&self) -> &InvariantMonitor {
+        &self.inv
+    }
+
+    /// Drains the collected invariant violations, resetting the monitor
+    /// to clean.
+    pub fn take_invariant_violations(&mut self) -> Vec<InvariantViolation> {
+        self.inv.take()
+    }
+
+    /// Runs the structural audit sweep over the tables: BTB1 row
+    /// duplicate scan, SKOOT field scan, and CPRED hint scan. Findings
+    /// land in the invariant monitor.
+    pub fn verify_audit(&mut self) {
+        let dups = self.btb1.duplicate_slots();
+        let bad_skoot: Vec<(InstrAddr, u64)> = self
+            .btb1
+            .iter()
+            .filter(|e| e.skoot.skip_lines() > u64::from(crate::btb::Skoot::MAX_SKIP))
+            .map(|e| (e.branch_addr, e.skoot.skip_lines()))
+            .collect();
+        let ways = self.btb1.ways();
+        let bad_cpred: Vec<(u8, u8)> = self
+            .cpred
+            .as_ref()
+            .map(|c| {
+                c.predictions()
+                    .filter(|p| p.searches_to_taken == 0 || usize::from(p.way) >= ways)
+                    .map(|p| (p.searches_to_taken, p.way))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if dups.is_empty() && bad_skoot.is_empty() && bad_cpred.is_empty() {
+            self.inv.note_audit_pass();
+        }
+        for a in dups {
+            self.inv.audit_duplicate(a);
+        }
+        for (a, s) in bad_skoot {
+            self.inv.audit_skoot(a, s);
+        }
+        for (s, w) in bad_cpred {
+            self.inv.audit_cpred(s, w);
+        }
+    }
+
+    /// Branch addresses currently installed in the BTB1, for fault
+    /// targeting.
+    pub fn installed_branches(&self) -> Vec<InstrAddr> {
+        self.btb1.iter().map(|e| e.branch_addr).collect()
+    }
+
+    /// Fault backdoor: mutates the BTB1 entry for `addr` in place,
+    /// bypassing the training paths. Returns whether an entry was found.
+    pub fn fault_mutate_btb1<F: FnOnce(&mut BtbEntry)>(&mut self, addr: InstrAddr, f: F) -> bool {
+        self.btb1.update(addr, f)
+    }
+
+    /// Fault backdoor: plants a duplicate copy of `addr`'s entry in its
+    /// row, modelling a broken read-before-write filter.
+    pub fn fault_force_duplicate(&mut self, addr: InstrAddr) -> bool {
+        self.btb1.force_duplicate(addr)
+    }
+
+    /// Fault backdoor: silently drops thread `thread`'s oldest in-flight
+    /// prediction (a lost GPQ entry). Returns the dropped address.
+    pub fn fault_drop_gpq_front(&mut self, thread: usize) -> Option<InstrAddr> {
+        self.threads[thread.min(1)].gpq.pop_front().map(|i| i.addr)
+    }
+
+    /// Fault backdoor: overwrites the CPRED entry for `stream_start`
+    /// with an impossible column hint (zero searches, way 255).
+    pub fn fault_corrupt_cpred(&mut self, stream_start: InstrAddr) -> bool {
+        match &mut self.cpred {
+            Some(cp) => {
+                cp.train_exit(stream_start, 0, 255, stream_start);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -1457,5 +1623,111 @@ mod tests {
             late_mispredicts <= 10,
             "pattern should be learned by the aux predictors, got {late_mispredicts} late mispredicts"
         );
+    }
+}
+
+#[cfg(all(test, feature = "verify"))]
+mod verify_tests {
+    use super::*;
+    use crate::config::GenerationPreset;
+    use crate::invariants::InvariantKind;
+    use zbp_zarch::Mnemonic;
+
+    fn rec(addr: u64, mn: Mnemonic, taken: bool, target: u64) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), mn, taken, InstrAddr::new(target))
+    }
+
+    fn step(p: &mut ZPredictor, r: &BranchRecord) {
+        let pr = p.predict(r.addr, r.class());
+        p.complete(r, &pr);
+        if MispredictKind::classify(&pr, r).is_some() {
+            p.flush(r);
+        }
+    }
+
+    fn mixed_run(p: &mut ZPredictor, rounds: usize) {
+        let branches = [
+            rec(0x1000, Mnemonic::Brct, true, 0x0f80),
+            rec(0x1100, Mnemonic::Brc, false, 0x3000),
+            rec(0x1200, Mnemonic::Brasl, true, 0x9000),
+            rec(0x9010, Mnemonic::Br, true, 0x1206),
+            rec(0x1300, Mnemonic::J, true, 0x1000),
+        ];
+        for _ in 0..rounds {
+            for r in &branches {
+                step(p, r);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_runs_keep_every_invariant_clean() {
+        for preset in GenerationPreset::ALL {
+            let mut p = ZPredictor::new(preset.config());
+            mixed_run(&mut p, 100);
+            p.verify_audit();
+            assert!(
+                p.invariants().is_clean(),
+                "{preset}: {:?}",
+                p.invariants().violations().first()
+            );
+            assert!(p.invariants().checks_passed() > 0, "{preset}: monitors actually ran");
+        }
+    }
+
+    #[test]
+    fn dropped_gpq_entry_is_detected() {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r); // install
+        let pr = p.predict(r.addr, r.class());
+        assert_eq!(p.fault_drop_gpq_front(0), Some(r.addr));
+        p.complete(&r, &pr);
+        let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&InvariantKind::GpqOrder), "got {kinds:?}");
+    }
+
+    #[test]
+    fn forced_duplicate_is_detected_by_audit() {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r);
+        assert!(p.fault_force_duplicate(r.addr));
+        p.verify_audit();
+        let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&InvariantKind::DuplicateFilter), "got {kinds:?}");
+    }
+
+    #[test]
+    fn corrupt_skoot_is_detected_on_next_predict() {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r);
+        assert!(p.fault_mutate_btb1(r.addr, |e| e.skoot = crate::btb::Skoot::corrupt_raw(200)));
+        let pr = p.predict(r.addr, r.class());
+        p.complete(&r, &pr);
+        let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&InvariantKind::SkootSound), "got {kinds:?}");
+    }
+
+    #[test]
+    fn corrupt_cpred_hint_is_detected_by_audit() {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        mixed_run(&mut p, 5);
+        assert!(p.fault_corrupt_cpred(InstrAddr::new(0x1000)));
+        p.verify_audit();
+        let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&InvariantKind::CpredHint), "got {kinds:?}");
+    }
+
+    #[test]
+    fn take_violations_resets_the_monitor() {
+        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
+        let r = rec(0x1000, Mnemonic::Brc, true, 0x2000);
+        step(&mut p, &r);
+        p.fault_force_duplicate(r.addr);
+        p.verify_audit();
+        assert!(!p.take_invariant_violations().is_empty());
+        assert!(p.invariants().is_clean());
     }
 }

@@ -6,6 +6,29 @@
 //! … the short TAGE PHT table's index function includes the most recent
 //! 9 branches in the GPV history, whereas the long TAGE PHT table's
 //! index function includes the most recent 17 branches." (paper §V)
+//!
+//! # Example
+//!
+//! A mispredict allocates a tagged entry for the (address, path) pair;
+//! the same path then finds it again:
+//!
+//! ```
+//! use zbp_core::config::z15_config;
+//! use zbp_core::gpv::Gpv;
+//! use zbp_core::tage::Pht;
+//! use zbp_zarch::{Direction, InstrAddr};
+//!
+//! let cfg = z15_config();
+//! let mut pht = Pht::new(&cfg.direction, cfg.btb1.ways);
+//! let mut gpv = Gpv::new(cfg.gpv_depth);
+//! gpv.push_taken(InstrAddr::new(0x2000));
+//! let addr = InstrAddr::new(0x1000);
+//! assert!(pht.lookup(addr, 0, &gpv).short.is_none(), "nothing allocated yet");
+//! pht.allocate(addr, 0, &gpv, Direction::Taken, None);
+//! let hit = pht.lookup(addr, 0, &gpv).short.expect("allocated on the short table");
+//! assert_eq!(hit.dir, Direction::Taken);
+//! assert!(hit.weak, "fresh allocations start at the weak counter state");
+//! ```
 
 use crate::config::{DirectionConfig, PhtKind};
 use crate::gpv::Gpv;

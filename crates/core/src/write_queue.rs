@@ -15,6 +15,23 @@
 //! experiments can quantify why the staging queue between the BTB2 and
 //! the write port is "sized to handle the vast statistical majority of
 //! BTB2 branch hit transfers" (§III).
+//!
+//! # Example
+//!
+//! ```
+//! use zbp_core::write_queue::{WriteQueue, WriteSource};
+//! use zbp_zarch::InstrAddr;
+//!
+//! let mut q = WriteQueue::new(4);
+//! q.push(WriteSource::SurpriseInstall, InstrAddr::new(0x1000), 0);
+//! q.push(WriteSource::Btb2Transfer, InstrAddr::new(0x2000), 0);
+//! // "Up to one write queue entry per cycle enters into the write queue
+//! // pipeline" — ops drain in FIFO order, one per step.
+//! assert_eq!(q.step(1).unwrap().addr, InstrAddr::new(0x1000));
+//! assert_eq!(q.step(2).unwrap().addr, InstrAddr::new(0x2000));
+//! assert!(q.step(3).is_none());
+//! assert!((q.stats.mean_delay() - 1.5).abs() < 1e-12);
+//! ```
 
 use std::collections::VecDeque;
 use zbp_zarch::InstrAddr;

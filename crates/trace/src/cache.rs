@@ -15,9 +15,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use zbp_model::DynamicTrace;
 
-/// Identity of a generated trace: the workload label already encodes
-/// the generator and its parameters (e.g. `lspr-like(s7,f200)`), so
-/// label + seed + instruction budget pins the exact byte stream.
+/// Identity of a generated trace — the cache-key contract.
+///
+/// The workload label already encodes the generator and its parameters
+/// (e.g. `lspr-like(s7,f200)`), so `(label, seed, instrs)` pins the
+/// exact byte stream: two workloads with equal keys produce equal
+/// traces, and the cache may (and does) hand both the same `Arc`.
+/// Conversely, a workload whose generation depends on anything *not*
+/// captured by these three fields must encode that extra parameter in
+/// its label, or sharing would silently serve the wrong trace.
+///
+/// ```
+/// use zbp_trace::{workloads, TraceKey};
+///
+/// let a = TraceKey::of(&workloads::compute_loop(3, 2_000));
+/// let b = TraceKey::of(&workloads::compute_loop(3, 2_000));
+/// assert_eq!(a, b, "same generator, seed and budget: same key");
+///
+/// // Changing any of the three fields changes the key...
+/// assert_ne!(a, TraceKey::of(&workloads::compute_loop(4, 2_000)));
+/// assert_ne!(a, TraceKey::of(&workloads::compute_loop(3, 3_000)));
+/// // ...and a different generator differs in the label even at the
+/// // same (seed, instrs).
+/// assert_ne!(a, TraceKey::of(&workloads::lspr_like(3, 2_000)));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TraceKey {
     /// Workload label (generator name + parameters).
@@ -155,6 +176,25 @@ mod tests {
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.generations(), 3);
+    }
+
+    #[test]
+    fn cold_lookup_generates_warm_lookup_hits() {
+        let cache = TraceCache::new();
+        let w = workloads::compute_loop(5, 2_000);
+        assert_eq!((cache.generations(), cache.hits()), (0, 0), "fresh cache is cold");
+        let cold = cache.trace(&w);
+        assert_eq!((cache.generations(), cache.hits()), (1, 0), "cold lookup runs the generator");
+        for warm_round in 1..=3u64 {
+            let warm = cache.trace(&w);
+            assert!(Arc::ptr_eq(&cold, &warm));
+            assert_eq!(cache.generations(), 1, "warm lookups never regenerate");
+            assert_eq!(cache.hits(), warm_round);
+        }
+        // A different key is cold again and does not disturb the
+        // existing entry's accounting.
+        cache.trace(&workloads::compute_loop(6, 2_000));
+        assert_eq!((cache.generations(), cache.hits()), (2, 3));
     }
 
     #[test]

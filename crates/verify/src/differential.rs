@@ -1,0 +1,517 @@
+//! Differential checking: the DUT run lock-step against a simple
+//! architectural reference model.
+//!
+//! The reference ("oracle") side is deliberately trivial — an oracle BTB
+//! keyed by branch address whose targets and directions come straight
+//! from the trace being driven — so that any disagreement implicates the
+//! DUT's machinery, not the model. Three divergence classes are checked
+//! at every record:
+//!
+//! * **Redirect targets** ([`DivergenceKind::RedirectTarget`]): a
+//!   BTB-provided taken prediction for a branch the oracle knows to have
+//!   exactly one target must name that target.
+//! * **Queue hand-offs** ([`DivergenceKind::QueueHandoff`]): every
+//!   prediction is answered by exactly one completion for the same
+//!   address, the GPQ drains to empty each step, and a mispredicted
+//!   completion is followed by a restart (flush) hand-off.
+//! * **Update ordering** ([`DivergenceKind::UpdateOrdering`]): within a
+//!   step the completion precedes any BTB1 update write, surprise
+//!   installs that must happen are observed, and an install for a
+//!   branch already live in the event-derived shadow image means the
+//!   read-before-write filter was bypassed.
+//!
+//! Each divergence carries a telemetry span dump — the most recent
+//! records and flushes leading up to the divergence point — captured
+//! from a [`zbp_telemetry`] ring at the moment of detection.
+//!
+//! Checks run on the *tampered* event stream when a [`SeededBug`] is
+//! active, so mutation campaigns produce real divergences for the
+//! [shrinker](mod@crate::shrink) to minimize.
+
+use crate::harness::{SeededBug, SharedRecorder, StreamTamperer};
+use crate::monitors::MonitorGeometry;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use zbp_core::config::PredictorConfig;
+use zbp_core::events::BplEvent;
+use zbp_core::target::TargetProvider;
+use zbp_core::ZPredictor;
+use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_telemetry::{Snapshot, Telemetry, Track};
+use zbp_zarch::{static_guess, InstrAddr};
+
+/// How many divergences are stored verbatim before only counting.
+const DIVERGENCE_CAP: usize = 32;
+
+/// How many trailing timeline events the span dump keeps.
+const TIMELINE_DEPTH: usize = 48;
+
+/// The class of a DUT/reference disagreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivergenceKind {
+    /// A taken BTB prediction named a target the oracle contradicts.
+    RedirectTarget,
+    /// Prediction/completion/flush hand-offs broke lock-step.
+    QueueHandoff,
+    /// Completion-time update writes were missing, duplicated or
+    /// reordered.
+    UpdateOrdering,
+}
+
+impl DivergenceKind {
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergenceKind::RedirectTarget => "redirect-target",
+            DivergenceKind::QueueHandoff => "queue-handoff",
+            DivergenceKind::UpdateOrdering => "update-ordering",
+        }
+    }
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected divergence, with the telemetry context at the point of
+/// detection.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the diverging record in the driven trace.
+    pub index: usize,
+    /// The branch address involved.
+    pub addr: InstrAddr,
+    /// The divergence class.
+    pub kind: DivergenceKind,
+    /// What disagreed, exactly.
+    pub detail: String,
+    /// The telemetry span dump: the most recent records/flushes leading
+    /// up to (and including) the divergence point, oldest first.
+    pub timeline: Vec<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {} [{}] {} at {}", self.index, self.kind, self.detail, self.addr)
+    }
+}
+
+/// The outcome of a differential run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Records driven.
+    pub records: u64,
+    /// Lock-step checks that ran and held.
+    pub checks_passed: u64,
+    /// Stored divergences (capped at 32), in detection
+    /// order.
+    pub divergences: Vec<Divergence>,
+    /// Divergences detected beyond the storage cap.
+    pub truncated: u64,
+    /// Functional mispredictions observed (workload characterization,
+    /// not failures).
+    pub mispredicts: u64,
+}
+
+impl DiffReport {
+    /// Whether DUT and reference agreed everywhere.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.truncated == 0
+    }
+
+    /// Total divergences detected, stored or not.
+    pub fn divergence_count(&self) -> u64 {
+        self.divergences.len() as u64 + self.truncated
+    }
+}
+
+/// What the trace has taught the oracle about one branch site.
+#[derive(Debug, Clone, Copy)]
+struct OracleSite {
+    target: InstrAddr,
+    multi_target: bool,
+    completions: u64,
+}
+
+/// The architectural reference model: branch targets straight from the
+/// trace, plus the aliasing bookkeeping needed to know when a partial-tag
+/// BTB can legitimately disagree with it.
+struct Oracle {
+    sites: HashMap<u64, OracleSite>,
+    /// Physical slot → first site address seen there; a second distinct
+    /// site in the same slot marks both as alias suspects.
+    slots: HashMap<(usize, u32, u8), u64>,
+    alias_suspects: HashSet<u64>,
+    geometry: MonitorGeometry,
+}
+
+impl Oracle {
+    fn new(geometry: MonitorGeometry) -> Self {
+        Oracle {
+            sites: HashMap::new(),
+            slots: HashMap::new(),
+            alias_suspects: HashSet::new(),
+            geometry,
+        }
+    }
+
+    fn slot_of_addr(&self, addr: InstrAddr) -> (usize, u32, u8) {
+        let line = addr.raw() & !(self.geometry.line_bytes - 1);
+        let row = zbp_core::util::index_of(line / self.geometry.line_bytes, self.geometry.rows);
+        let tag = zbp_core::util::tag_of(line, self.geometry.tag_bits);
+        let off = ((addr.raw() - line) / 2) as u8;
+        (row, tag, off)
+    }
+
+    /// Learns from a completed record.
+    fn observe(&mut self, addr: InstrAddr, target: InstrAddr) {
+        match self.sites.get_mut(&addr.raw()) {
+            Some(site) => {
+                if site.target != target {
+                    site.multi_target = true;
+                }
+                site.completions += 1;
+            }
+            None => {
+                self.sites
+                    .insert(addr.raw(), OracleSite { target, multi_target: false, completions: 1 });
+                let slot = self.slot_of_addr(addr);
+                match self.slots.get(&slot) {
+                    Some(&other) if other != addr.raw() => {
+                        // Two sites share a physical slot: the partial-tag
+                        // BTB cannot tell them apart, so target checks on
+                        // either would blame the DUT for honest aliasing.
+                        self.alias_suspects.insert(other);
+                        self.alias_suspects.insert(addr.raw());
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.slots.insert(slot, addr.raw());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The single target the oracle vouches for, if this site has
+    /// exactly one and is free of slot aliasing.
+    fn stable_target(&self, addr: InstrAddr) -> Option<InstrAddr> {
+        let site = self.sites.get(&addr.raw())?;
+        if site.multi_target || site.completions == 0 || self.alias_suspects.contains(&addr.raw()) {
+            None
+        } else {
+            Some(site.target)
+        }
+    }
+}
+
+/// Runs the DUT lock-step against the reference model over `trace`.
+pub fn diff_trace(cfg: PredictorConfig, trace: &DynamicTrace) -> DiffReport {
+    diff_trace_with(cfg, trace, SeededBug::None, 0)
+}
+
+/// Like [`diff_trace`], with a [`SeededBug`] tampering the observed
+/// event stream — the mutation-campaign entry point. With
+/// [`SeededBug::None`] the checks see the true stream.
+pub fn diff_trace_with(
+    cfg: PredictorConfig,
+    trace: &DynamicTrace,
+    bug: SeededBug,
+    seed: u64,
+) -> DiffReport {
+    let geometry = MonitorGeometry::of(&cfg);
+    let mut dut = ZPredictor::new(cfg);
+    let recording: Arc<Mutex<Vec<BplEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    dut.set_probe(Box::new(SharedRecorder(Arc::clone(&recording))));
+
+    let mut tamperer = StreamTamperer::new(bug, seed);
+    let mut oracle = Oracle::new(geometry);
+    let mut tel = Telemetry::with_span_capacity(TIMELINE_DEPTH);
+    // Event-derived shadow of which branches are live in the BTB1.
+    let mut shadow_live: HashSet<u64> = HashSet::new();
+    let mut report = DiffReport { records: trace.branch_count(), ..DiffReport::default() };
+
+    for (i, rec) in trace.as_slice().iter().enumerate() {
+        let ts = i as u64;
+        tel.span_with(Track::Harness, "record", ts, 1, "addr", rec.addr.raw());
+        let pred = dut.predict_on(rec.thread, rec.addr, rec.class());
+        let mispredicted = MispredictKind::classify(&pred, rec).is_some();
+        dut.complete_on(rec.thread, rec, &pred);
+        if mispredicted {
+            report.mispredicts += 1;
+            tel.instant(Track::Harness, "flush", ts);
+            dut.flush_on(rec.thread, rec);
+        }
+
+        let step = std::mem::take(&mut *recording.lock().expect("recorder lock"));
+        let step = tamperer.apply(step);
+
+        let mut diverge = |report: &mut DiffReport, kind: DivergenceKind, detail: String| {
+            tel.instant(Track::Harness, "divergence", ts);
+            if report.divergences.len() < DIVERGENCE_CAP {
+                let timeline = format_timeline(&tel.snapshot());
+                report.divergences.push(Divergence {
+                    index: i,
+                    addr: rec.addr,
+                    kind,
+                    detail,
+                    timeline,
+                });
+            } else {
+                report.truncated += 1;
+            }
+        };
+
+        // ---- Queue hand-offs ------------------------------------------------
+        let completes: Vec<_> = step
+            .iter()
+            .filter_map(|ev| match ev {
+                BplEvent::Complete { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        if completes.len() == 1 && completes[0] == rec.addr {
+            report.checks_passed += 1;
+        } else {
+            diverge(
+                &mut report,
+                DivergenceKind::QueueHandoff,
+                format!(
+                    "expected one completion hand-off for {}, observed {:?}",
+                    rec.addr, completes
+                ),
+            );
+        }
+        if dut.inflight() == 0 {
+            report.checks_passed += 1;
+        } else {
+            diverge(
+                &mut report,
+                DivergenceKind::QueueHandoff,
+                format!(
+                    "{} predictions still in flight after lock-step completion",
+                    dut.inflight()
+                ),
+            );
+        }
+        if mispredicted {
+            if step.iter().any(|ev| matches!(ev, BplEvent::Flush)) {
+                report.checks_passed += 1;
+            } else {
+                diverge(
+                    &mut report,
+                    DivergenceKind::QueueHandoff,
+                    "mispredicted completion not followed by a restart (flush) hand-off"
+                        .to_string(),
+                );
+            }
+        }
+
+        // ---- Redirect targets ----------------------------------------------
+        for ev in &step {
+            if let BplEvent::Predict {
+                addr,
+                dynamic: true,
+                target: Some(t),
+                tgt_provider: Some(TargetProvider::Btb),
+                ..
+            } = ev
+            {
+                if let Some(expected) = oracle.stable_target(*addr) {
+                    if *t == expected {
+                        report.checks_passed += 1;
+                    } else {
+                        diverge(
+                            &mut report,
+                            DivergenceKind::RedirectTarget,
+                            format!(
+                                "BTB redirect to {t} but the oracle knows the single target {expected}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- Update ordering -----------------------------------------------
+        let first_complete = step.iter().position(|ev| matches!(ev, BplEvent::Complete { .. }));
+        for (k, ev) in step.iter().enumerate() {
+            if matches!(ev, BplEvent::Btb1Update { .. }) {
+                match first_complete {
+                    Some(c) if k > c => report.checks_passed += 1,
+                    Some(_) => diverge(
+                        &mut report,
+                        DivergenceKind::UpdateOrdering,
+                        "BTB1 update write observed before the completion that caused it"
+                            .to_string(),
+                    ),
+                    None => diverge(
+                        &mut report,
+                        DivergenceKind::UpdateOrdering,
+                        "BTB1 update write with no completion in the same step".to_string(),
+                    ),
+                }
+            }
+        }
+        let mut installed_this_step = false;
+        for ev in &step {
+            match ev {
+                BplEvent::Btb1Install { entry, victim, duplicate: false } => {
+                    if let Some(v) = victim {
+                        shadow_live.remove(&v.branch_addr.raw());
+                    }
+                    if shadow_live.insert(entry.branch_addr.raw()) {
+                        report.checks_passed += 1;
+                    } else {
+                        diverge(
+                            &mut report,
+                            DivergenceKind::UpdateOrdering,
+                            format!(
+                                "install for {} which the shadow image already holds — the \
+                                 read-before-write filter was bypassed",
+                                entry.branch_addr
+                            ),
+                        );
+                    }
+                    installed_this_step |= entry.branch_addr == rec.addr;
+                }
+                BplEvent::Btb1Install { entry, duplicate: true, .. } => {
+                    installed_this_step |= entry.branch_addr == rec.addr;
+                }
+                BplEvent::Btb1Remove { addr } => {
+                    shadow_live.remove(&addr.raw());
+                }
+                _ => {}
+            }
+        }
+        let surprise_must_install =
+            !pred.dynamic && (rec.taken || static_guess(rec.class()).is_taken());
+        if surprise_must_install {
+            if installed_this_step {
+                report.checks_passed += 1;
+            } else {
+                diverge(
+                    &mut report,
+                    DivergenceKind::UpdateOrdering,
+                    "surprise completion owed a BTB1 install that was never observed".to_string(),
+                );
+            }
+        }
+
+        // The oracle learns from the architected record last, exactly as
+        // completion logic would.
+        oracle.observe(rec.addr, rec.target);
+    }
+
+    drop(dut.take_probe());
+    report
+}
+
+/// Renders the captured span ring into human-readable timeline lines.
+fn format_timeline(snap: &Snapshot) -> Vec<String> {
+    let mut lines: Vec<String> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            let detail = match s.detail {
+                Some((k, v)) => format!(" {k}=0x{v:x}"),
+                None => String::new(),
+            };
+            format!("[{}] t={} {}{}", s.track.label(), s.ts, s.name, detail)
+        })
+        .collect();
+    if snap.spans_dropped > 0 {
+        lines.insert(0, format!("... ({} earlier events dropped)", snap.spans_dropped));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::{RandomBranchDriver, StimulusParams};
+    use zbp_core::GenerationPreset;
+
+    fn trace(seed: u64, n: u64) -> DynamicTrace {
+        let params = StimulusParams::default();
+        let mut driver = RandomBranchDriver::new(&params, seed);
+        let records: Vec<_> = (0..n).map(|_| driver.next_record()).collect();
+        DynamicTrace::from_records("diff-test", records)
+    }
+
+    #[test]
+    fn clean_on_every_generation() {
+        let t = trace(7, 4_000);
+        for preset in GenerationPreset::ALL {
+            let report = diff_trace(preset.config(), &t);
+            assert!(
+                report.is_clean(),
+                "{preset}: {:?}",
+                report.divergences.first().map(|d| d.to_string())
+            );
+            assert!(report.checks_passed > 0, "{preset}: checks ran");
+        }
+    }
+
+    #[test]
+    fn corrupt_targets_bug_diverges_with_timeline() {
+        let t = trace(11, 6_000);
+        let report = diff_trace_with(
+            GenerationPreset::Z15.config(),
+            &t,
+            SeededBug::CorruptTargets { denom: 40 },
+            11,
+        );
+        assert!(!report.is_clean(), "a corrupted target bus must diverge");
+        let d = &report.divergences[0];
+        assert_eq!(d.kind, DivergenceKind::RedirectTarget);
+        assert!(!d.timeline.is_empty(), "divergence carries a span dump");
+        assert!(
+            d.timeline.iter().any(|l| l.contains("divergence")),
+            "span dump marks the divergence point: {:?}",
+            d.timeline
+        );
+    }
+
+    #[test]
+    fn drop_installs_bug_diverges() {
+        let t = trace(13, 6_000);
+        let report = diff_trace_with(
+            GenerationPreset::Z15.config(),
+            &t,
+            SeededBug::DropInstalls { denom: 10 },
+            13,
+        );
+        assert!(!report.is_clean());
+        assert!(report.divergences.iter().any(|d| d.kind == DivergenceKind::UpdateOrdering));
+    }
+
+    #[test]
+    fn drop_flushes_bug_diverges() {
+        let t = trace(17, 6_000);
+        let report = diff_trace_with(
+            GenerationPreset::Z15.config(),
+            &t,
+            SeededBug::DropFlushes { denom: 4 },
+            17,
+        );
+        assert!(!report.is_clean());
+        assert!(report.divergences.iter().any(|d| d.kind == DivergenceKind::QueueHandoff));
+    }
+
+    #[test]
+    fn broken_duplicate_filter_bug_diverges() {
+        let t = trace(19, 6_000);
+        let report = diff_trace_with(
+            GenerationPreset::Z15.config(),
+            &t,
+            SeededBug::BreakDuplicateFilter { denom: 10 },
+            19,
+        );
+        assert!(!report.is_clean());
+        assert!(report.divergences.iter().any(|d| d.kind == DivergenceKind::UpdateOrdering));
+    }
+}

@@ -144,7 +144,7 @@ impl VerifyHarness {
         // through the monitors in stream order.
         drop(self.dut.take_probe());
         let events = std::mem::take(&mut *recording.lock().expect("recorder lock"));
-        let tampered = tamper(events, bug, seed);
+        let tampered = StreamTamperer::new(bug, seed).apply(events);
 
         let mut monitors = MonitorSet::new(self.geometry);
         monitors.check_search_side = self.checkers.search_side;
@@ -173,7 +173,7 @@ impl VerifyHarness {
 /// A probe writing into a buffer shared with the harness — the signal
 /// tap the monitors read.
 #[derive(Debug)]
-struct SharedRecorder(Arc<Mutex<Vec<BplEvent>>>);
+pub(crate) struct SharedRecorder(pub(crate) Arc<Mutex<Vec<BplEvent>>>);
 
 impl Probe for SharedRecorder {
     fn event(&mut self, ev: &BplEvent) {
@@ -181,54 +181,72 @@ impl Probe for SharedRecorder {
     }
 }
 
-/// Applies a seeded bug to the observed event stream.
-fn tamper(events: Vec<BplEvent>, bug: SeededBug, seed: u64) -> Vec<BplEvent> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xb0_6b06);
-    match bug {
-        SeededBug::None => events,
-        SeededBug::DropInstalls { denom } => events
-            .into_iter()
-            .filter(|ev| {
-                !(matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
-                    && rng.random_range(0..denom) == 0)
-            })
-            .collect(),
-        SeededBug::CorruptTargets { denom } => events
-            .into_iter()
-            .map(|ev| match ev {
-                BplEvent::Predict {
-                    addr,
-                    dynamic: true,
-                    direction,
-                    target: Some(t),
-                    dir_provider,
-                    tgt_provider,
-                } if rng.random_range(0..denom) == 0 => BplEvent::Predict {
-                    addr,
-                    dynamic: true,
-                    direction,
-                    target: Some(InstrAddr::new(t.raw() ^ 0x40)),
-                    dir_provider,
-                    tgt_provider,
-                },
-                other => other,
-            })
-            .collect(),
-        SeededBug::DropFlushes { denom } => events
-            .into_iter()
-            .filter(|ev| !(matches!(ev, BplEvent::Flush) && rng.random_range(0..denom) == 0))
-            .collect(),
-        SeededBug::BreakDuplicateFilter { denom } => {
-            let mut out = Vec::with_capacity(events.len());
-            for ev in events {
-                let dup = matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
-                    && rng.random_range(0..denom) == 0;
-                if dup {
-                    out.push(ev.clone());
+/// Applies a [`SeededBug`] to an observed event stream. The RNG state
+/// persists across [`StreamTamperer::apply`] calls, so a stream may be
+/// tampered in per-step slices (the differential checker) or in one
+/// batch (the monitor harness) with identical results.
+#[derive(Debug)]
+pub(crate) struct StreamTamperer {
+    bug: SeededBug,
+    rng: StdRng,
+}
+
+impl StreamTamperer {
+    /// Seeds the tamper RNG; the `^ 0xb0_6b06` whitening keeps the fault
+    /// pattern decorrelated from the stimulus RNG fed the same seed.
+    pub(crate) fn new(bug: SeededBug, seed: u64) -> Self {
+        StreamTamperer { bug, rng: StdRng::seed_from_u64(seed ^ 0xb0_6b06) }
+    }
+
+    /// Applies the bug to a slice of the event stream.
+    pub(crate) fn apply(&mut self, events: Vec<BplEvent>) -> Vec<BplEvent> {
+        let rng = &mut self.rng;
+        match self.bug {
+            SeededBug::None => events,
+            SeededBug::DropInstalls { denom } => events
+                .into_iter()
+                .filter(|ev| {
+                    !(matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
+                        && rng.random_range(0..denom) == 0)
+                })
+                .collect(),
+            SeededBug::CorruptTargets { denom } => events
+                .into_iter()
+                .map(|ev| match ev {
+                    BplEvent::Predict {
+                        addr,
+                        dynamic: true,
+                        direction,
+                        target: Some(t),
+                        dir_provider,
+                        tgt_provider,
+                    } if rng.random_range(0..denom) == 0 => BplEvent::Predict {
+                        addr,
+                        dynamic: true,
+                        direction,
+                        target: Some(InstrAddr::new(t.raw() ^ 0x40)),
+                        dir_provider,
+                        tgt_provider,
+                    },
+                    other => other,
+                })
+                .collect(),
+            SeededBug::DropFlushes { denom } => events
+                .into_iter()
+                .filter(|ev| !(matches!(ev, BplEvent::Flush) && rng.random_range(0..denom) == 0))
+                .collect(),
+            SeededBug::BreakDuplicateFilter { denom } => {
+                let mut out = Vec::with_capacity(events.len());
+                for ev in events {
+                    let dup = matches!(ev, BplEvent::Btb1Install { duplicate: false, .. })
+                        && rng.random_range(0..denom) == 0;
+                    if dup {
+                        out.push(ev.clone());
+                    }
+                    out.push(ev);
                 }
-                out.push(ev);
+                out
             }
-            out
         }
     }
 }

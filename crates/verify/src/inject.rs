@@ -1,0 +1,308 @@
+//! Fault injection: seeded corruption of the DUT's *internal state*
+//! proving the white-box monitors fire and the harness degrades
+//! gracefully.
+//!
+//! Where [`SeededBug`](crate::SeededBug) tampers with the observed
+//! *signal stream* (a model of an RTL defect on an interface), the
+//! campaigns here reach through the `verify`-gated backdoors of
+//! [`ZPredictor`] and flip bits in the arrays themselves: BTB1 targets
+//! and SKOOT fields, planted duplicate slots, dropped GPQ entries,
+//! poisoned CPRED hints. Each [`FaultClass`] maps to the checker that
+//! must catch it:
+//!
+//! | fault | detector |
+//! |---|---|
+//! | [`FaultClass::CorruptTarget`] | search-side shadow crosscheck (`search.target`) |
+//! | [`FaultClass::DropQueueEntry`] | GPQ order invariant (`gpq.order`) |
+//! | [`FaultClass::DuplicateInstall`] | duplicate-filter audit (`write.duplicate-filter`) |
+//! | [`FaultClass::CorruptSkoot`] | SKOOT soundness invariant (`skoot.sound`) |
+//! | [`FaultClass::CorruptCpredHint`] | CPRED hint audit (`cpred.hint`) |
+//!
+//! Graceful degradation is part of the contract: monitors *collect*
+//! violations and the run always completes — an injected fault must
+//! never panic the harness (paper §VII's "disabling certain checkers
+//! while there were pending fixes" only works if checkers are
+//! fail-soft).
+//!
+//! This module only exists with the `verify` feature enabled (it needs
+//! the backdoors compiled into `zbp-core`).
+
+use crate::harness::SharedRecorder;
+use crate::monitors::{MonitorGeometry, MonitorSet};
+use crate::transaction::Transaction;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::{Arc, Mutex};
+use zbp_core::btb::Skoot;
+use zbp_core::config::PredictorConfig;
+use zbp_core::events::BplEvent;
+use zbp_core::ZPredictor;
+use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_zarch::InstrAddr;
+
+/// A class of internal-state fault the campaign can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// XOR a bit into an installed BTB1 entry's target address.
+    CorruptTarget,
+    /// Silently drop the oldest in-flight GPQ entry.
+    DropQueueEntry,
+    /// Plant a second BTB1 slot for an installed branch, bypassing the
+    /// read-before-write duplicate filter.
+    DuplicateInstall,
+    /// Write an out-of-range skip count into an entry's SKOOT field,
+    /// bypassing the learn-path clamp.
+    CorruptSkoot,
+    /// Poison a CPRED entry with an impossible column hint.
+    CorruptCpredHint,
+}
+
+impl FaultClass {
+    /// Every injectable fault class.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::CorruptTarget,
+        FaultClass::DropQueueEntry,
+        FaultClass::DuplicateInstall,
+        FaultClass::CorruptSkoot,
+        FaultClass::CorruptCpredHint,
+    ];
+
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::CorruptTarget => "corrupt-target",
+            FaultClass::DropQueueEntry => "drop-queue-entry",
+            FaultClass::DuplicateInstall => "duplicate-install",
+            FaultClass::CorruptSkoot => "corrupt-skoot",
+            FaultClass::CorruptCpredHint => "corrupt-cpred-hint",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// Records driven (always the full trace: graceful degradation).
+    pub records: u64,
+    /// Faults actually injected (an injection point is skipped when its
+    /// precondition fails, e.g. no installed branch to corrupt yet).
+    pub injected: u64,
+    /// Violations raised by the in-DUT invariant monitors, rendered.
+    pub invariant_violations: Vec<String>,
+    /// Violations raised by the event-stream monitor set, as
+    /// `(checker, message)` pairs.
+    pub monitor_violations: Vec<(String, String)>,
+    /// Functional mispredictions (workload characterization).
+    pub mispredicts: u64,
+}
+
+impl CampaignReport {
+    /// Whether any checker caught the injected faults.
+    pub fn detected(&self) -> bool {
+        !self.invariant_violations.is_empty() || !self.monitor_violations.is_empty()
+    }
+}
+
+/// Runs a fault-injection campaign: drives `trace` through a fresh DUT,
+/// injecting one `class` fault roughly every `period` records under a
+/// seeded RNG, with both the in-DUT invariant monitors and the
+/// event-stream [`MonitorSet`] watching.
+pub fn run_fault_campaign(
+    cfg: PredictorConfig,
+    trace: &DynamicTrace,
+    class: FaultClass,
+    seed: u64,
+    period: u64,
+) -> CampaignReport {
+    let geometry = MonitorGeometry::of(&cfg);
+    let mut dut = ZPredictor::new(cfg);
+    let recording: Arc<Mutex<Vec<BplEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    dut.set_probe(Box::new(SharedRecorder(Arc::clone(&recording))));
+    let mut monitors = MonitorSet::new(geometry);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa_17);
+    let period = period.max(1);
+
+    let mut report = CampaignReport {
+        class,
+        records: 0,
+        injected: 0,
+        invariant_violations: Vec::new(),
+        monitor_violations: Vec::new(),
+        mispredicts: 0,
+    };
+
+    for (i, rec) in trace.as_slice().iter().enumerate() {
+        let inject_here = (i as u64 + 1).is_multiple_of(period);
+        let pred = dut.predict_on(rec.thread, rec.addr, rec.class());
+
+        // DropQueueEntry strikes in the predict→complete window, where a
+        // write-enable glitch on the queue would.
+        if inject_here
+            && class == FaultClass::DropQueueEntry
+            && dut.fault_drop_gpq_front(rec.thread.0 as usize).is_some()
+        {
+            report.injected += 1;
+        }
+
+        let wrong = MispredictKind::classify(&pred, rec).is_some();
+        dut.complete_on(rec.thread, rec, &pred);
+        if wrong {
+            report.mispredicts += 1;
+            dut.flush_on(rec.thread, rec);
+        }
+
+        // The remaining classes corrupt at-rest state between branches.
+        if inject_here && class != FaultClass::DropQueueEntry && inject(&mut dut, class, &mut rng) {
+            report.injected += 1;
+            // Structural faults are audit-visible immediately; sweep so
+            // detection does not depend on the stimulus happening to
+            // touch the corrupted entry again.
+            match class {
+                FaultClass::DuplicateInstall
+                | FaultClass::CorruptSkoot
+                | FaultClass::CorruptCpredHint => dut.verify_audit(),
+                _ => {}
+            }
+        }
+
+        // Feed this step's signal activity through the stream monitors.
+        let step = std::mem::take(&mut *recording.lock().expect("recorder lock"));
+        for ev in &step {
+            if let Some(tx) = Transaction::from_event(ev) {
+                monitors.observe(&tx);
+            }
+        }
+        report.records += 1;
+    }
+
+    monitors.checkpoint();
+    drop(dut.take_probe());
+
+    report.invariant_violations =
+        dut.take_invariant_violations().iter().map(|v| v.to_string()).collect();
+    report.monitor_violations =
+        monitors.violations.into_iter().map(|v| (v.checker.to_string(), v.message)).collect();
+    report
+}
+
+/// Performs one injection of `class`; returns whether the precondition
+/// held and state was actually corrupted.
+fn inject(dut: &mut ZPredictor, class: FaultClass, rng: &mut StdRng) -> bool {
+    let pick = |dut: &ZPredictor, rng: &mut StdRng| -> Option<InstrAddr> {
+        let installed = dut.installed_branches();
+        if installed.is_empty() {
+            None
+        } else {
+            Some(installed[rng.random_range(0..installed.len())])
+        }
+    };
+    match class {
+        FaultClass::CorruptTarget => match pick(dut, rng) {
+            Some(addr) => dut.fault_mutate_btb1(addr, |e| {
+                e.target = InstrAddr::new(e.target.raw() ^ 0x40);
+                // A corrupted array cell has no memory of being
+                // multi-target; clearing the bit models the stuck-at
+                // fault hitting the whole entry word.
+                e.multi_target = false;
+            }),
+            None => false,
+        },
+        FaultClass::CorruptSkoot => match pick(dut, rng) {
+            Some(addr) => dut.fault_mutate_btb1(addr, |e| e.skoot = Skoot::corrupt_raw(200)),
+            None => false,
+        },
+        FaultClass::DuplicateInstall => match pick(dut, rng) {
+            Some(addr) => dut.fault_force_duplicate(addr),
+            None => false,
+        },
+        FaultClass::CorruptCpredHint => {
+            // A fixed far-away stream start keeps the poisoned entry
+            // clear of slots the stimulus retrains.
+            let jitter: u64 = rng.random_range(0..0x40);
+            dut.fault_corrupt_cpred(InstrAddr::new(0xdead_0000 + jitter * 2))
+        }
+        FaultClass::DropQueueEntry => unreachable!("handled in the predict window"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::{RandomBranchDriver, StimulusParams};
+    use zbp_core::GenerationPreset;
+
+    fn trace(seed: u64, n: u64) -> DynamicTrace {
+        let params = StimulusParams::default();
+        let mut driver = RandomBranchDriver::new(&params, seed);
+        let records: Vec<_> = (0..n).map(|_| driver.next_record()).collect();
+        DynamicTrace::from_records("inject-test", records)
+    }
+
+    #[test]
+    fn healthy_dut_raises_nothing() {
+        // period beyond the trace length = zero injections.
+        let t = trace(3, 3_000);
+        let report = run_fault_campaign(
+            GenerationPreset::Z15.config(),
+            &t,
+            FaultClass::CorruptSkoot,
+            3,
+            1 << 40,
+        );
+        assert_eq!(report.injected, 0);
+        assert!(
+            !report.detected(),
+            "inv: {:?} mon: {:?}",
+            report.invariant_violations,
+            report.monitor_violations
+        );
+        assert_eq!(report.records, 3_000, "full trace driven");
+    }
+
+    #[test]
+    fn every_fault_class_is_detected_and_survives() {
+        let t = trace(5, 5_000);
+        for class in FaultClass::ALL {
+            let report = run_fault_campaign(GenerationPreset::Z15.config(), &t, class, 5, 250);
+            assert!(report.injected > 0, "{class}: campaign injected faults");
+            assert!(report.detected(), "{class}: an injected fault must be caught");
+            assert_eq!(report.records, 5_000, "{class}: graceful degradation — the run completes");
+        }
+    }
+
+    #[test]
+    fn detection_attributes_to_the_right_checker() {
+        let t = trace(9, 5_000);
+        let skoot = run_fault_campaign(
+            GenerationPreset::Z15.config(),
+            &t,
+            FaultClass::CorruptSkoot,
+            9,
+            300,
+        );
+        assert!(
+            skoot.invariant_violations.iter().any(|v| v.contains("skoot.sound")),
+            "{:?}",
+            skoot.invariant_violations
+        );
+        let target = run_fault_campaign(
+            GenerationPreset::Z15.config(),
+            &t,
+            FaultClass::CorruptTarget,
+            9,
+            300,
+        );
+        assert!(
+            target.monitor_violations.iter().any(|(c, _)| c == "search.target"),
+            "{:?}",
+            target.monitor_violations
+        );
+    }
+}

@@ -24,6 +24,17 @@
 //! * **Seeded-bug (mutation) campaigns**: [`SeededBug`] tampers with the
 //!   observed signal stream the way an RTL defect would, demonstrating
 //!   that the checkers detect it (experiment E15).
+//! * **Differential checking** ([`differential`]): the DUT runs
+//!   lock-step against a trivial architectural reference, flagging
+//!   redirect-target, queue-hand-off and update-ordering divergences
+//!   with a telemetry span dump at the divergence point.
+//! * **Failing-trace shrinking** ([`mod@shrink`]): a divergent trace is
+//!   delta-debugged down to a minimal reproducer and written to
+//!   `results/repro/`.
+//! * **Fault injection** (`inject`, behind the `verify` feature):
+//!   seeded corruption of the DUT's internal arrays and queues, proving
+//!   the in-DUT invariant monitors and the stream monitors fire and the
+//!   harness degrades gracefully.
 //!
 //! ## Example
 //!
@@ -39,12 +50,97 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod differential;
 mod harness;
+#[cfg(feature = "verify")]
+pub mod inject;
 mod monitors;
 pub mod preload;
+pub mod shrink;
 pub mod stimulus;
 mod transaction;
 
+pub use differential::{DiffReport, Divergence, DivergenceKind};
 pub use harness::{CheckReport, CheckerConfig, SeededBug, VerifyHarness};
 pub use monitors::{MonitorGeometry, MonitorSet, ShadowBtb1};
+pub use shrink::{shrink, write_repro, ShrinkOutcome};
 pub use transaction::Transaction;
+
+use zbp_core::config::PredictorConfig;
+use zbp_model::DynamicTrace;
+
+/// How much verification runs alongside an experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// Differential checking only: the DUT lock-step against the
+    /// architectural reference model.
+    Differential,
+    /// Differential checking plus the decoupled search/write monitor
+    /// set over the full signal stream.
+    Monitored,
+}
+
+impl std::fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VerifyLevel::Differential => "differential",
+            VerifyLevel::Monitored => "monitored",
+        })
+    }
+}
+
+/// A compact, thread-portable verification verdict for one experiment
+/// cell (plain data; `Send`, so suite runners can move it across
+/// worker threads).
+#[derive(Debug, Clone)]
+pub struct VerifySummary {
+    /// The level that ran.
+    pub level: VerifyLevel,
+    /// Records driven.
+    pub records: u64,
+    /// Checks that ran and held across all engaged checkers.
+    pub checks_passed: u64,
+    /// Differential divergences detected.
+    pub divergences: u64,
+    /// Monitor-set violations detected (zero at
+    /// [`VerifyLevel::Differential`], which does not engage them).
+    pub monitor_violations: u64,
+    /// The first failure, rendered, if any.
+    pub first_failure: Option<String>,
+}
+
+impl VerifySummary {
+    /// Whether the cell verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.divergences == 0 && self.monitor_violations == 0
+    }
+}
+
+/// Verifies one (config, trace) experiment cell at the requested level.
+/// This is the entry point the bench crate's `Experiment::verify` hook
+/// calls for each cell of a suite.
+pub fn verify_cell(
+    cfg: PredictorConfig,
+    trace: &DynamicTrace,
+    level: VerifyLevel,
+) -> VerifySummary {
+    let diff = differential::diff_trace(cfg.clone(), trace);
+    let mut summary = VerifySummary {
+        level,
+        records: diff.records,
+        checks_passed: diff.checks_passed,
+        divergences: diff.divergence_count(),
+        monitor_violations: 0,
+        first_failure: diff.divergences.first().map(|d| d.to_string()),
+    };
+    if level == VerifyLevel::Monitored {
+        let mut h = VerifyHarness::new(cfg, CheckerConfig::default());
+        let report = h.run_trace(trace, SeededBug::None, 0);
+        summary.checks_passed += report.checks_passed;
+        summary.monitor_violations = report.violations.len() as u64;
+        if summary.first_failure.is_none() {
+            summary.first_failure = report.violations.first().map(|(c, m)| format!("[{c}] {m}"));
+        }
+    }
+    summary
+}

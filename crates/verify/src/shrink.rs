@@ -1,0 +1,182 @@
+//! Failing-trace shrinking: delta-debugging a divergent trace down to a
+//! minimal reproducer.
+//!
+//! When the [differential checker](crate::differential) flags a
+//! divergence on a long trace, debugging wants the shortest stimulus
+//! that still reproduces it. [`shrink`] runs the classic ddmin loop —
+//! remove chunks at increasing granularity, keep any removal that still
+//! fails — and [`write_repro`] persists the result as a human-readable
+//! repro file under `results/repro/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use zbp_model::{BranchRecord, DynamicTrace};
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized trace; the predicate still holds on it.
+    pub trace: DynamicTrace,
+    /// Records in the original trace.
+    pub original_len: usize,
+    /// Predicate evaluations performed.
+    pub evaluations: u64,
+}
+
+impl ShrinkOutcome {
+    /// Shrunk size as a fraction of the original.
+    pub fn ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            return 1.0;
+        }
+        self.trace.branch_count() as f64 / self.original_len as f64
+    }
+}
+
+/// Minimizes `trace` with delta debugging (ddmin): `fails` must return
+/// `true` when the candidate trace still reproduces the failure. The
+/// input trace itself must fail — callers check this before shrinking.
+///
+/// The returned trace is *1-minimal with respect to chunk removal*: no
+/// single tried chunk can be removed without losing the failure. It is
+/// not guaranteed to be globally minimal — ddmin trades optimality for
+/// a polynomial number of predicate evaluations.
+pub fn shrink<F>(trace: &DynamicTrace, mut fails: F) -> ShrinkOutcome
+where
+    F: FnMut(&DynamicTrace) -> bool,
+{
+    let label = format!("{}.shrunk", trace.label());
+    let mut current: Vec<BranchRecord> = trace.as_slice().to_vec();
+    let mut evaluations = 0u64;
+    let mut granularity = 2usize;
+
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // The complement: everything except [start, end).
+            let mut candidate: Vec<BranchRecord> =
+                Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            evaluations += 1;
+            if fails(&DynamicTrace::from_records(label.clone(), candidate.clone())) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep on the shrunk trace.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+
+    ShrinkOutcome {
+        trace: DynamicTrace::from_records(label, current),
+        original_len: trace.branch_count() as usize,
+        evaluations,
+    }
+}
+
+/// Writes a minimized trace as a human-readable repro file,
+/// `<dir>/<name>.repro.txt`, and returns the path. The file records one
+/// branch per line (`addr mnemonic taken target thread gap`) plus the
+/// free-form `notes` header, so a failure found in CI can be replayed
+/// and inspected without rerunning the campaign that produced it.
+pub fn write_repro(
+    dir: &Path,
+    name: &str,
+    trace: &DynamicTrace,
+    notes: &str,
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.repro.txt"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "# zbp-verify minimized reproducer: {}", trace.label())?;
+    for line in notes.lines() {
+        writeln!(f, "# {line}")?;
+    }
+    writeln!(f, "# records: {}", trace.branch_count())?;
+    writeln!(f, "# format: addr mnemonic taken target thread gap_instrs")?;
+    for rec in trace.as_slice() {
+        writeln!(
+            f,
+            "{} {:?} {} {} {} {}",
+            rec.addr,
+            rec.mnemonic,
+            if rec.taken { "T" } else { "N" },
+            rec.target,
+            rec.thread,
+            rec.gap_instrs
+        )?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_model::BranchRecord;
+    use zbp_zarch::{InstrAddr, Mnemonic};
+
+    fn rec(addr: u64) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, true, InstrAddr::new(addr + 0x40))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // The failure is "the trace contains address 0x6660".
+        let mut records: Vec<BranchRecord> = (0..500u64).map(|i| rec(0x1000 + i * 8)).collect();
+        records.insert(317, rec(0x6660));
+        let trace = DynamicTrace::from_records("culprit", records);
+        let fails =
+            |t: &DynamicTrace| t.as_slice().iter().any(|r| r.addr == InstrAddr::new(0x6660));
+        assert!(fails(&trace), "precondition: the input fails");
+        let out = shrink(&trace, fails);
+        assert_eq!(out.trace.branch_count(), 1, "single-record repro");
+        assert_eq!(out.trace.as_slice()[0].addr, InstrAddr::new(0x6660));
+        assert!(out.ratio() < 0.01);
+    }
+
+    #[test]
+    fn shrinks_an_interacting_pair() {
+        // The failure needs BOTH 0x100 and 0x9000 — order-insensitive.
+        let mut records: Vec<BranchRecord> = (0..300u64).map(|i| rec(0x2000 + i * 8)).collect();
+        records.insert(10, rec(0x100));
+        records.insert(250, rec(0x9000));
+        let trace = DynamicTrace::from_records("pair", records);
+        let fails = |t: &DynamicTrace| {
+            let s = t.as_slice();
+            s.iter().any(|r| r.addr == InstrAddr::new(0x100))
+                && s.iter().any(|r| r.addr == InstrAddr::new(0x9000))
+        };
+        let out = shrink(&trace, fails);
+        assert_eq!(out.trace.branch_count(), 2, "both culprits, nothing else");
+    }
+
+    #[test]
+    fn repro_file_round_trips_the_records() {
+        let trace = DynamicTrace::from_records("demo", vec![rec(0x1000), rec(0x2000)]);
+        let dir = std::env::temp_dir().join("zbp-verify-shrink-test");
+        let path = write_repro(&dir, "demo", &trace, "seed=42\nbug=CorruptTargets").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# seed=42"));
+        assert!(text.contains("# records: 2"));
+        assert!(text.lines().filter(|l| !l.starts_with('#')).count() == 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
