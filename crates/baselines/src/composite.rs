@@ -143,7 +143,7 @@ impl FullPredictor for BtbComposite {
 mod tests {
     use super::*;
     use crate::{Bimodal, Gshare};
-    use zbp_model::{DelayedUpdateHarness, DynamicTrace};
+    use zbp_model::{DynamicTrace, ReplayCore};
     use zbp_zarch::Mnemonic;
 
     fn rec(addr: u64, taken: bool, target: u64) -> BranchRecord {
@@ -185,7 +185,7 @@ mod tests {
             .collect();
         let trace = DynamicTrace::from_records("mix", records);
         let mut c = BtbComposite::new(Box::new(Gshare::new(4096, 10)));
-        let out = DelayedUpdateHarness::new(8).run(&mut c, &trace);
+        let out = ReplayCore::replay(8, &mut c, &trace);
         assert_eq!(out.stats.branches.get(), 500);
         assert!(out.stats.coverage().fraction() > 0.9, "BTB warms up");
     }

@@ -20,8 +20,13 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.bench_function("lookahead-screening", |b| {
+        use zbp_serve::{ReplayMode, Session};
         b.iter(|| {
-            std::hint::black_box(zbp_uarch::run_lookahead(GenerationPreset::Z15.config(), &trace))
+            std::hint::black_box(Session::run(
+                &GenerationPreset::Z15.config(),
+                ReplayMode::Lookahead,
+                &trace,
+            ))
         })
     });
     g.finish();

@@ -54,9 +54,9 @@ fn main() {
             entry.label.clone(),
             f3(cell.stats.mpki()),
             pct(cell.stats.coverage().fraction()),
-            p.btb2().map_or(0, |b| b.stats.searches).to_string(),
+            p.structures().btb2.map_or(0, |b| b.stats.searches).to_string(),
             p.stats.btb2_promotions.to_string(),
-            p.btb2().map_or(0, |b| b.stats.refresh_writebacks).to_string(),
+            p.structures().btb2.map_or(0, |b| b.stats.refresh_writebacks).to_string(),
         ]);
     }
     t.print();
@@ -64,7 +64,7 @@ fn main() {
     println!("\nBTB2 trigger breakdown (z15, microservices churn)\n");
     let w = workloads::microservices(seed, instrs);
     let r = run_workload(&GenerationPreset::Z15.config(), &w);
-    if let Some(b2) = r.predictor.btb2() {
+    if let Some(b2) = r.predictor.structures().btb2 {
         let mut t = Table::new(vec!["trigger", "searches"]);
         t.row(vec![
             "3 successive no-hit searches".to_string(),

@@ -76,7 +76,7 @@ fn main() {
             footprints[i].to_string(),
             f3(cell.stats.mpki()),
             pct(cell.stats.coverage().fraction()),
-            p.btb2().map_or(0, |b| b.stats.searches).to_string(),
+            p.structures().btb2.map_or(0, |b| b.stats.searches).to_string(),
         ]);
     }
     t.print();

@@ -7,9 +7,10 @@
 
 use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
-use zbp_telemetry::{chrome, Snapshot, Telemetry};
+use zbp_serve::{ReplayMode, Session};
+use zbp_telemetry::{chrome, Snapshot};
 use zbp_trace::workloads;
-use zbp_uarch::{run_cosim, run_cosim_traced, CosimConfig, Frontend, FrontendConfig};
+use zbp_uarch::{CosimConfig, Frontend, FrontendConfig};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -28,11 +29,15 @@ fn main() {
     ]);
     for w in workloads::suite(seed, instrs) {
         let trace = w.cached_trace();
-        let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
-        let (cosim, snap) =
-            run_cosim_traced(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace, tel);
+        let mode = ReplayMode::Cosim(CosimConfig::default());
+        let report = if traced {
+            Session::run_traced(&GenerationPreset::Z15.config(), mode, &trace)
+        } else {
+            Session::run(&GenerationPreset::Z15.config(), mode, &trace)
+        };
+        let cosim = report.cosim.expect("cosim mode fills the cosim report");
         if traced {
-            cells.push((w.label.clone(), snap));
+            cells.push((w.label.clone(), report.telemetry.expect("traced run fills telemetry")));
         }
         let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
         let fr = fe.run(&trace);
@@ -71,7 +76,9 @@ fn main() {
     let mut t = Table::new(vec!["queue depth", "CPI", "BPL backpressure cycles"]);
     for q in [2usize, 4, 8, 16, 32, 64] {
         let cfg = CosimConfig { pred_queue: q, ..CosimConfig::default() };
-        let rep = run_cosim(GenerationPreset::Z15.config(), &cfg, &trace);
+        let rep = Session::run(&GenerationPreset::Z15.config(), ReplayMode::Cosim(cfg), &trace)
+            .cosim
+            .expect("cosim mode fills the cosim report");
         t.row(vec![q.to_string(), f3(rep.cpi()), rep.bpl_backpressure_cycles.to_string()]);
     }
     t.print();

@@ -38,13 +38,13 @@ fn main() {
             ]);
         }
         t.print();
-        if let Some(crs) = p.crs() {
+        if let Some(crs) = p.structures().crs {
             println!(
                 "CRS: {} detections, {} provided, {} blacklists, {} amnesties",
                 crs.stats.detections, crs.stats.provided, crs.stats.blacklists, crs.stats.amnesties,
             );
         }
-        if let Some(ctb) = p.ctb() {
+        if let Some(ctb) = p.structures().ctb {
             println!(
                 "CTB: {} installs, {} hits / {} lookups, {} retargets",
                 ctb.stats.installs, ctb.stats.hits, ctb.stats.lookups, ctb.stats.retargets,

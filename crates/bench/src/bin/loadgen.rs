@@ -1,0 +1,277 @@
+//! Load generator for the `zbp-serve` prediction service.
+//!
+//! Boots an in-process [`Server`] on a loopback port, then replays the
+//! cached workload suite as `--clients` concurrent TCP clients against
+//! a pool of `--shards` predictor shards. Every completed remote
+//! session is parity-checked bit-for-bit against a single-stream
+//! [`Session::run`] of the same trace, so throughput numbers can never
+//! come from a predictor that silently diverged.
+//!
+//! ```text
+//! loadgen [--shards N] [--clients M] [--seconds S] [--batch B]
+//!         [--instrs N] [--seed N] [--json PATH]
+//! ```
+//!
+//! With `--seconds 0` (the default) each client makes one pass over
+//! the suite; with `--seconds S` clients keep replaying until the
+//! deadline, always finishing the session in flight. Results append to
+//! `results/bench.json` as schema-3 JSON Lines (see
+//! [`zbp_bench::ServeRecord`]).
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use zbp_bench::{f3, BenchArgs, ServeRecord, Table};
+use zbp_core::GenerationPreset;
+use zbp_model::MispredictStats;
+use zbp_serve::{
+    Client, PoolConfig, ReplayMode, Server, Session, WireMode, DEFAULT_BATCH, DEFAULT_DEPTH,
+};
+use zbp_trace::workloads;
+
+/// One locally computed reference result a remote session must match.
+struct Baseline {
+    label: String,
+    stats: MispredictStats,
+    flushes: u64,
+    records: u64,
+}
+
+struct LoadArgs {
+    shards: usize,
+    clients: usize,
+    seconds: u64,
+    batch: usize,
+    bench: BenchArgs,
+}
+
+fn parse_args() -> LoadArgs {
+    let mut shards = 2usize;
+    let mut clients = 8usize;
+    let mut seconds = 0u64;
+    let mut batch = DEFAULT_BATCH;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let num = |name: &str, dst: &mut u64, it: &mut dyn Iterator<Item = String>| match inline
+            .clone()
+            .or_else(|| it.next())
+            .and_then(|v| v.parse().ok())
+        {
+            Some(v) => *dst = v,
+            None => eprintln!("warning: {name} needs a number; keeping {dst}"),
+        };
+        match flag.as_str() {
+            "--shards" => {
+                let mut v = shards as u64;
+                num("--shards", &mut v, &mut it);
+                shards = (v as usize).max(1);
+            }
+            "--clients" => {
+                let mut v = clients as u64;
+                num("--clients", &mut v, &mut it);
+                clients = (v as usize).max(1);
+            }
+            "--seconds" => num("--seconds", &mut seconds, &mut it),
+            "--batch" => {
+                let mut v = batch as u64;
+                num("--batch", &mut v, &mut it);
+                batch = (v as usize).max(1);
+            }
+            _ => rest.push(arg),
+        }
+    }
+    LoadArgs { shards, clients, seconds, batch, bench: BenchArgs::parse_from(rest) }
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (instrs, seed) = (args.bench.instrs, args.bench.seed);
+    let preset = GenerationPreset::Z15;
+    let cfg = preset.config();
+
+    println!(
+        "loadgen: {} clients x suite({seed}, {instrs}) over {} shard(s), batch {}{}",
+        args.clients,
+        args.shards,
+        args.batch,
+        if args.seconds > 0 { format!(", {}s deadline", args.seconds) } else { String::new() }
+    );
+
+    // Local single-stream ground truth, one run per workload. Remote
+    // sessions must reproduce these numbers exactly.
+    let suite = workloads::suite(seed, instrs);
+    let baselines: Vec<Baseline> = suite
+        .iter()
+        .map(|w| {
+            let trace = w.cached_trace();
+            let rep = Session::run(&cfg, ReplayMode::Delayed { depth: DEFAULT_DEPTH }, &trace);
+            Baseline {
+                label: w.label.clone(),
+                stats: rep.stats,
+                flushes: rep.flushes,
+                records: trace.branch_count(),
+            }
+        })
+        .collect();
+
+    let pool_cfg = PoolConfig { shards: args.shards, ..PoolConfig::default() };
+    let server = match Server::bind("127.0.0.1:0", pool_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: could not bind loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("loadgen: serving on {addr}\n");
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let total_records = AtomicU64::new(0);
+    let total_sessions = AtomicU64::new(0);
+    let total_busy = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let deadline = (args.seconds > 0).then(|| Instant::now() + Duration::from_secs(args.seconds));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..args.clients {
+            let suite = &suite;
+            let baselines = &baselines;
+            let latencies = &latencies;
+            let total_records = &total_records;
+            let total_sessions = &total_sessions;
+            let total_busy = &total_busy;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        eprintln!("client {c}: connect failed: {e}");
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                loop {
+                    for (w, base) in suite.iter().zip(baselines.iter()) {
+                        let trace = w.cached_trace();
+                        let t0 = Instant::now();
+                        let rep = match client.run_trace(
+                            preset,
+                            WireMode::Delayed(DEFAULT_DEPTH as u32),
+                            &trace,
+                            args.batch,
+                        ) {
+                            Ok(rep) => rep,
+                            Err(e) => {
+                                eprintln!("client {c}: {} failed: {e}", w.label);
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        };
+                        let us = t0.elapsed().as_secs_f64() * 1e6;
+                        if rep.stats != base.stats
+                            || rep.flushes != base.flushes
+                            || rep.records != base.records
+                        {
+                            eprintln!(
+                                "client {c}: PARITY MISMATCH on {} (stream {}, shard {})",
+                                base.label, rep.id, rep.shard
+                            );
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        latencies.lock().unwrap().push(us);
+                        total_records.fetch_add(rep.records, Ordering::Relaxed);
+                        total_sessions.fetch_add(1, Ordering::Relaxed);
+                        total_busy.fetch_add(rep.busy_retries, Ordering::Relaxed);
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return;
+                        }
+                    }
+                    if deadline.is_none() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let summary = server.shutdown();
+    let sessions = total_sessions.load(Ordering::Relaxed);
+    let records = total_records.load(Ordering::Relaxed);
+    let busy = total_busy.load(Ordering::Relaxed) + summary.busy_rejections;
+    let bad = mismatches.load(Ordering::Relaxed);
+
+    let mut lats = latencies.into_inner().unwrap();
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let rps = records as f64 / wall.as_secs_f64().max(1e-9);
+
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["sessions completed".to_string(), sessions.to_string()]);
+    t.row(vec!["records served".to_string(), records.to_string()]);
+    t.row(vec!["busy rejections".to_string(), busy.to_string()]);
+    t.row(vec!["wall (ms)".to_string(), format!("{wall_ms:.1}")]);
+    t.row(vec!["throughput (records/s)".to_string(), f3(rps)]);
+    t.row(vec!["session p50 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.5))]);
+    t.row(vec!["session p90 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.9))]);
+    t.row(vec!["session p99 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.99))]);
+    t.row(vec![
+        "session max (us)".to_string(),
+        format!("{:.0}", lats.last().copied().unwrap_or(0.0)),
+    ]);
+    t.print();
+
+    if let Some(path) = &args.bench.json {
+        let rec = ServeRecord {
+            experiment: "loadgen".to_string(),
+            config: preset.to_string(),
+            shards: args.shards as u64,
+            clients: args.clients as u64,
+            sessions,
+            records,
+            busy_rejections: busy,
+            wall_ms,
+            throughput_rps: rps,
+            lat_p50_us: quantile(&lats, 0.5),
+            lat_p90_us: quantile(&lats, 0.9),
+            lat_p99_us: quantile(&lats, 0.99),
+            lat_max_us: lats.last().copied().unwrap_or(0.0),
+        };
+        match zbp_bench::append_serve_records(path, &[rec]) {
+            Ok(()) => println!("\nappended schema-3 record to {}", path.display()),
+            Err(e) => {
+                eprintln!("loadgen: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if bad > 0 {
+        eprintln!("\nloadgen: FAILED — {bad} client error(s)/parity mismatch(es)");
+        return ExitCode::FAILURE;
+    }
+    if sessions == 0 {
+        eprintln!("\nloadgen: FAILED — no sessions completed");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nloadgen: clean shutdown — {sessions} session(s), every stream bit-identical to a \
+         single-stream Session::run"
+    );
+    ExitCode::SUCCESS
+}

@@ -71,19 +71,22 @@ fn main() {
     t.print();
 
     println!("\n(c) functional SMT2: two threads sharing the prediction arrays\n");
-    use zbp_core::ZPredictor;
-    use zbp_model::{DelayedUpdateHarness, MispredictStats};
+    use zbp_model::MispredictStats;
+    use zbp_serve::{ReplayMode, Session};
     let tr0 = workloads::lspr_like(seed, instrs).cached_trace();
     let tr1 = workloads::lspr_like(seed + 17, instrs).cached_trace();
     let solo = |tr: &zbp_model::DynamicTrace| -> MispredictStats {
-        let mut p = ZPredictor::new(GenerationPreset::Z15.config());
-        DelayedUpdateHarness::new(32).run(&mut p, tr).stats
+        Session::run(&GenerationPreset::Z15.config(), ReplayMode::Delayed { depth: 32 }, tr).stats
     };
     let s0 = solo(&tr0);
     let s1 = solo(&tr1);
     let smt_trace = workloads::interleave_smt2(&tr0, &tr1, 4);
-    let mut p = ZPredictor::new(GenerationPreset::Z15.config());
-    let smt = DelayedUpdateHarness::new(32).run(&mut p, &smt_trace).stats;
+    let smt = Session::run(
+        &GenerationPreset::Z15.config(),
+        ReplayMode::Delayed { depth: 32 },
+        &smt_trace,
+    )
+    .stats;
     let mut t = Table::new(vec!["mode", "MPKI", "coverage"]);
     t.row(vec![
         "thread A solo".to_string(),

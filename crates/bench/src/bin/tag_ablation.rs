@@ -10,8 +10,8 @@
 
 use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
+use zbp_serve::{ReplayMode, Session};
 use zbp_trace::workloads;
-use zbp_uarch::run_lookahead;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -30,7 +30,9 @@ fn main() {
         let mut cfg = GenerationPreset::Z15.config();
         cfg.btb1.tag_bits = bits;
         let capacity = cfg.btb1.capacity() as u64;
-        let rep = run_lookahead(cfg, &trace);
+        let rep = Session::run(&cfg, ReplayMode::Lookahead, &trace)
+            .lookahead
+            .expect("lookahead mode fills the lookahead report");
         t.row(vec![
             bits.to_string(),
             format!("{:.1}", (capacity * u64::from(bits)) as f64 / 8192.0),

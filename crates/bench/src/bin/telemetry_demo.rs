@@ -11,9 +11,10 @@
 
 use zbp_bench::{f3, BenchArgs, Table};
 use zbp_core::GenerationPreset;
-use zbp_telemetry::{chrome, Snapshot, Telemetry};
+use zbp_serve::{ReplayMode, Session};
+use zbp_telemetry::{chrome, Snapshot};
 use zbp_trace::workloads;
-use zbp_uarch::{run_cosim_traced, CosimConfig};
+use zbp_uarch::CosimConfig;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -35,12 +36,13 @@ fn main() {
     ]);
     for w in workloads::suite(seed, instrs) {
         let trace = w.cached_trace();
-        let (rep, snap) = run_cosim_traced(
-            GenerationPreset::Z15.config(),
-            &CosimConfig::default(),
+        let report = Session::run_traced(
+            &GenerationPreset::Z15.config(),
+            ReplayMode::Cosim(CosimConfig::default()),
             &trace,
-            Telemetry::enabled(),
         );
+        let rep = report.cosim.expect("cosim mode fills the cosim report");
+        let snap = report.telemetry.expect("traced run fills telemetry");
         let gpq = snap.histogram("gpq.occupancy").map(|h| h.quantile(0.99)).unwrap_or(0);
         let lat = snap.histogram("cosim.pred_latency_cycles").map(|h| h.mean()).unwrap_or(0.0);
         t.row(vec![

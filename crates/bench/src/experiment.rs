@@ -34,7 +34,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{DelayedUpdateHarness, FullPredictor, MispredictStats};
+use zbp_model::{FullPredictor, MispredictStats, ReplayCore};
+use zbp_serve::{PoolConfig, ReplayMode, ServeError, Session, ShardPool};
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_trace::{workloads, Workload};
 use zbp_verify::{verify_cell, VerifyLevel, VerifySummary};
@@ -184,6 +185,7 @@ pub struct Experiment {
     json: Option<PathBuf>,
     telemetry: Option<PathBuf>,
     verify: Option<VerifyLevel>,
+    serve: Option<usize>,
 }
 
 impl Experiment {
@@ -205,6 +207,7 @@ impl Experiment {
             json: None,
             telemetry: None,
             verify: None,
+            serve: None,
         }
     }
 
@@ -299,6 +302,20 @@ impl Experiment {
         self
     }
 
+    /// Routes configuration cells through an in-process
+    /// [`ShardPool`] with the given shard count instead of running
+    /// them inline: all cell sessions are opened up front, fed in
+    /// interleaved batches, and closed in declared order, exercising
+    /// the serving path end to end. Because every served stream runs
+    /// on a private (recycled) predictor, cell statistics and
+    /// telemetry are byte-identical to a non-serve run; only
+    /// [`CellResult::predictor`] becomes [`None`] (the pool keeps its
+    /// predictors for reuse). Factory entries still run inline.
+    pub fn serve(mut self, shards: usize) -> Self {
+        self.serve = Some(shards.max(1));
+        self
+    }
+
     /// Applies the shared CLI arguments: thread count, JSON sink and
     /// telemetry sink. (`instrs`/`seed` feed [`suite`](Self::suite),
     /// which callers invoke explicitly because some experiments sweep
@@ -318,7 +335,9 @@ impl Experiment {
         let verify = self.verify;
 
         let mut slots: Vec<Option<CellSlot>> = Vec::with_capacity(n_cells);
-        if threads <= 1 || n_cells <= 1 {
+        if let Some(shards) = self.serve {
+            slots = run_served(&self.entries, &self.workloads, self.depth, shards, traced, verify);
+        } else if threads <= 1 || n_cells <= 1 {
             for ei in 0..n_entries {
                 for wi in 0..n_workloads {
                     slots.push(Some(run_cell(
@@ -488,49 +507,157 @@ fn run_cell(
     verify: Option<VerifyLevel>,
 ) -> CellSlot {
     let trace = w.cached_trace();
-    let harness = DelayedUpdateHarness::new(depth);
     let start = Instant::now();
     match &entry.kind {
         EntryKind::Config(cfg) => {
-            let mut p = ZPredictor::new((**cfg).clone());
-            if traced {
-                p.set_telemetry(Telemetry::enabled());
-            }
-            let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
-            let (run, mut snap) = harness.run_traced(&mut p, &trace, tel);
-            snap.merge(&p.take_telemetry().into_snapshot());
+            let mut s = Session::open(trace.label(), cfg, ReplayMode::Delayed { depth }, traced);
+            s.feed(trace.as_slice());
+            let (report, pred) = s.finish_into(trace.tail_instrs());
             let wall_time = start.elapsed();
             // Verification re-drives the trace through a *fresh* DUT
             // after the timed run, so neither the benchmark numbers nor
             // the reported wall time are touched by it.
             let verdict = verify.map(|level| verify_cell((**cfg).clone(), &trace, level));
             CellSlot {
-                stats: run.stats,
-                flushes: run.flushes,
+                stats: report.stats,
+                flushes: report.flushes,
                 wall_time,
-                predictor: Some(p),
-                telemetry: traced.then_some(snap),
+                predictor: pred,
+                telemetry: report.telemetry,
                 verify: verdict,
             }
         }
         EntryKind::Factory(make) => {
-            // Factory predictors are opaque `FullPredictor`s, so only
-            // the harness-level telemetry is available for them — and
-            // no white-box verification (the reference models shadow
-            // `ZPredictor` internals).
+            // Factory predictors are opaque `FullPredictor`s, so
+            // `Session` (which owns a `ZPredictor`) does not apply;
+            // they run on the streaming core directly, with only the
+            // replay-level telemetry available — and no white-box
+            // verification (the reference models shadow `ZPredictor`
+            // internals).
             let mut p = make();
-            let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
-            let (run, snap) = harness.run_traced(&mut *p, &trace, tel);
+            let mut tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+            let mut core = ReplayCore::new(depth);
+            for rec in trace.branches() {
+                core.step(&mut *p, rec, &mut tel);
+            }
+            let run = core.finish(&mut *p, trace.tail_instrs());
             CellSlot {
                 stats: run.stats,
                 flushes: run.flushes,
                 wall_time: start.elapsed(),
                 predictor: None,
-                telemetry: traced.then_some(snap),
+                telemetry: traced.then_some(tel.into_snapshot()),
                 verify: None,
             }
         }
     }
+}
+
+/// Retries a pool call through transient `Busy` rejections. The pool
+/// is in-process and drained synchronously, so any other error is a
+/// bug, not an operational condition.
+fn pool_retry<T>(mut call: impl FnMut() -> Result<T, ServeError>) -> T {
+    loop {
+        match call() {
+            Ok(v) => return v,
+            Err(ServeError::Busy { retry_after_ms }) => {
+                std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms)));
+            }
+            Err(e) => panic!("shard pool error: {e}"),
+        }
+    }
+}
+
+/// Serve-mode cell execution: configuration cells become sessions on
+/// one shared [`ShardPool`]; they are opened in declared order, fed in
+/// interleaved batches (so sessions genuinely multiplex on shards),
+/// and closed in order. Factory cells run inline as usual. Slot order
+/// matches the inline paths exactly.
+fn run_served(
+    entries: &[Entry],
+    workloads: &[Workload],
+    depth: usize,
+    shards: usize,
+    traced: bool,
+    verify: Option<VerifyLevel>,
+) -> Vec<Option<CellSlot>> {
+    const SERVE_BATCH: usize = 4096;
+
+    struct Served {
+        slot: usize,
+        id: zbp_serve::StreamId,
+        cfg: Box<PredictorConfig>,
+        trace: std::sync::Arc<zbp_model::DynamicTrace>,
+        cursor: usize,
+        wall: Duration,
+    }
+
+    let pool = ShardPool::new(PoolConfig { shards, ..PoolConfig::default() });
+    let n_cells = entries.len() * workloads.len();
+    let mut slots: Vec<Option<CellSlot>> = (0..n_cells).map(|_| None).collect();
+    let mut served: Vec<Served> = Vec::new();
+    for (ei, entry) in entries.iter().enumerate() {
+        for (wi, w) in workloads.iter().enumerate() {
+            let slot = ei * workloads.len() + wi;
+            match &entry.kind {
+                EntryKind::Config(cfg) => {
+                    let trace = w.cached_trace();
+                    let label = format!("{}/{}", entry.label, w.label);
+                    let t0 = Instant::now();
+                    let opened = pool_retry(|| {
+                        pool.open(&label, cfg, ReplayMode::Delayed { depth }, traced)
+                    });
+                    served.push(Served {
+                        slot,
+                        id: opened.id,
+                        cfg: cfg.clone(),
+                        trace,
+                        cursor: 0,
+                        wall: t0.elapsed(),
+                    });
+                }
+                EntryKind::Factory(_) => {
+                    slots[slot] = Some(run_cell(entry, w, depth, traced, verify));
+                }
+            }
+        }
+    }
+    // Interleaved feeding: every open session advances one batch per
+    // round, so streams sharing a shard constantly alternate.
+    loop {
+        let mut progressed = false;
+        for s in &mut served {
+            let records = s.trace.as_slice();
+            if s.cursor < records.len() {
+                let end = (s.cursor + SERVE_BATCH).min(records.len());
+                let batch = records[s.cursor..end].to_vec();
+                let t0 = Instant::now();
+                pool_retry(|| pool.feed(s.id, batch.clone()));
+                s.wall += t0.elapsed();
+                s.cursor = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for s in served {
+        let t0 = Instant::now();
+        let report = pool_retry(|| pool.close(s.id, s.trace.tail_instrs()));
+        let wall_time = s.wall + t0.elapsed();
+        let verdict = verify.map(|level| verify_cell((*s.cfg).clone(), &s.trace, level));
+        slots[s.slot] = Some(CellSlot {
+            stats: report.stats,
+            flushes: report.flushes,
+            wall_time,
+            predictor: None,
+            telemetry: report.telemetry,
+            verify: verdict,
+        });
+    }
+    pool.shutdown();
+    slots
 }
 
 fn default_experiment_name() -> String {
@@ -678,6 +805,45 @@ mod tests {
             assert!(v.checks_passed > 0);
             assert_eq!(v.monitor_violations, 0, "differential level skips the monitor set");
         }
+    }
+
+    #[test]
+    fn serve_mode_matches_inline_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!("zbp-serve-mode-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = GenerationPreset::Z15.config();
+        let inline = Experiment::bare()
+            .config("z14", &GenerationPreset::Z14.config())
+            .config("z15", &cfg)
+            .suite(8, 2_500)
+            .threads(2)
+            .telemetry(Some(dir.join("inline.json")))
+            .run();
+        let served = Experiment::bare()
+            .config("z14", &GenerationPreset::Z14.config())
+            .config("z15", &cfg)
+            .suite(8, 2_500)
+            .serve(2)
+            .telemetry(Some(dir.join("served.json")))
+            .run();
+        assert_eq!(inline.entries.len(), served.entries.len());
+        for (i, s) in inline.entries.iter().zip(&served.entries) {
+            assert_eq!(i.label, s.label);
+            assert_eq!(i.total, s.total, "served suite totals must match inline");
+            assert_eq!(i.flushes, s.flushes);
+            for (ic, sc) in i.cells.iter().zip(&s.cells) {
+                assert_eq!(ic.workload, sc.workload);
+                assert_eq!(ic.stats, sc.stats, "cell {} diverged under serving", ic.workload);
+                assert_eq!(ic.flushes, sc.flushes);
+                assert_eq!(
+                    ic.telemetry, sc.telemetry,
+                    "cell {} telemetry diverged under serving",
+                    ic.workload
+                );
+                assert!(sc.predictor.is_none(), "the pool keeps served predictors");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

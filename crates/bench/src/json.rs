@@ -415,6 +415,118 @@ impl BenchRecord {
     }
 }
 
+/// One load-generator run against the sharded prediction service, as
+/// recorded in `results/bench.json` (schema 3).
+///
+/// Schema-3 lines coexist with schema-2 [`BenchRecord`] lines in the
+/// same JSON Lines file; readers dispatch on the `schema` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecord {
+    /// Which binary produced the record, e.g. `"loadgen"`.
+    pub experiment: String,
+    /// Predictor configuration label the streams ran with.
+    pub config: String,
+    /// Predictor shards in the pool.
+    pub shards: u64,
+    /// Concurrent client connections.
+    pub clients: u64,
+    /// Sessions completed across all clients.
+    pub sessions: u64,
+    /// Branch records served in total.
+    pub records: u64,
+    /// Feed/open/close attempts rejected with `Busy` (then retried).
+    pub busy_rejections: u64,
+    /// End-to-end wall time, in milliseconds.
+    pub wall_ms: f64,
+    /// Served records per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median per-session completion latency, in microseconds.
+    pub lat_p50_us: f64,
+    /// 90th-percentile session latency, in microseconds.
+    pub lat_p90_us: f64,
+    /// 99th-percentile session latency, in microseconds.
+    pub lat_p99_us: f64,
+    /// Worst session latency, in microseconds.
+    pub lat_max_us: f64,
+}
+
+impl ServeRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(3.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("shards", Json::Num(self.shards as f64)),
+            ("clients", Json::Num(self.clients as f64)),
+            ("sessions", Json::Num(self.sessions as f64)),
+            ("records", Json::Num(self.records as f64)),
+            ("busy_rejections", Json::Num(self.busy_rejections as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("throughput_rps", Json::Num(self.throughput_rps)),
+            ("lat_p50_us", Json::Num(self.lat_p50_us)),
+            ("lat_p90_us", Json::Num(self.lat_p90_us)),
+            ("lat_p99_us", Json::Num(self.lat_p99_us)),
+            ("lat_max_us", Json::Num(self.lat_max_us)),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object; `None` unless the line
+    /// declares `schema: 3`.
+    pub fn from_json(v: &Json) -> Option<ServeRecord> {
+        if v.get("schema")?.as_u64()? != 3 {
+            return None;
+        }
+        Some(ServeRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            shards: v.get("shards")?.as_u64()?,
+            clients: v.get("clients")?.as_u64()?,
+            sessions: v.get("sessions")?.as_u64()?,
+            records: v.get("records")?.as_u64()?,
+            busy_rejections: v.get("busy_rejections")?.as_u64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            throughput_rps: v.get("throughput_rps")?.as_f64()?,
+            lat_p50_us: v.get("lat_p50_us")?.as_f64()?,
+            lat_p90_us: v.get("lat_p90_us")?.as_f64()?,
+            lat_p99_us: v.get("lat_p99_us")?.as_f64()?,
+            lat_max_us: v.get("lat_max_us")?.as_f64()?,
+        })
+    }
+}
+
+/// Appends serve records to a JSON Lines file (same appending contract
+/// as [`append_records`]).
+pub fn append_serve_records(path: &Path, records: &[ServeRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable schema-3 record from a JSON Lines file,
+/// skipping schema-2 benchmark lines.
+pub fn read_serve_records(path: &Path) -> std::io::Result<Vec<ServeRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| ServeRecord::from_json(&v))
+        .collect())
+}
+
 /// Summarises a telemetry [`Snapshot`](zbp_telemetry::Snapshot) as a
 /// JSON object suitable for embedding in a [`BenchRecord`]: every
 /// counter verbatim, each histogram reduced to its aggregates
@@ -571,6 +683,48 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    fn sample_serve() -> ServeRecord {
+        ServeRecord {
+            experiment: "loadgen".into(),
+            config: "z15".into(),
+            shards: 2,
+            clients: 8,
+            sessions: 48,
+            records: 1_000_000,
+            busy_rejections: 12,
+            wall_ms: 950.0,
+            throughput_rps: 1.05e6,
+            lat_p50_us: 1800.0,
+            lat_p90_us: 2400.0,
+            lat_p99_us: 3100.0,
+            lat_max_us: 4200.0,
+        }
+    }
+
+    #[test]
+    fn serve_record_round_trips_as_schema_3() {
+        let r = sample_serve();
+        let text = r.to_json().to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(3));
+        assert_eq!(ServeRecord::from_json(&v).unwrap(), r);
+        // Schema-2 readers skip it, and vice versa.
+        assert!(BenchRecord::from_json(&v).is_none());
+        assert!(ServeRecord::from_json(&sample().to_json()).is_none());
+    }
+
+    #[test]
+    fn mixed_schema_files_read_cleanly() {
+        let dir = std::env::temp_dir().join(format!("zbp-json-mixed-{}", std::process::id()));
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        append_records(&path, &[sample()]).unwrap();
+        append_serve_records(&path, &[sample_serve()]).unwrap();
+        assert_eq!(read_records(&path).unwrap(), vec![sample()]);
+        assert_eq!(read_serve_records(&path).unwrap(), vec![sample_serve()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

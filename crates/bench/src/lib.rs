@@ -23,6 +23,7 @@
 //! | `verification_campaign` | §VII — checker + mutation campaign |
 //! | `verify_suite` | §VII — differential + shrink + fault-injection CI gate |
 //! | `telemetry_demo` | traced co-simulation + Chrome trace timeline |
+//! | `loadgen` | serving throughput — concurrent clients vs a `zbp-serve` pool |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),
 //! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
@@ -59,11 +60,14 @@ pub use experiment::{
     resolve_threads, CellResult, EntryResult, Experiment, ExperimentResult, RunResult,
     DEFAULT_HARNESS_DEPTH,
 };
-pub use json::{append_records, read_records, telemetry_json, BenchRecord, Json};
+pub use json::{
+    append_records, append_serve_records, read_records, read_serve_records, telemetry_json,
+    BenchRecord, Json, ServeRecord,
+};
 
 use std::time::Instant;
-use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::DelayedUpdateHarness;
+use zbp_core::PredictorConfig;
+use zbp_serve::{ReplayMode, Session};
 use zbp_trace::workloads::Workload;
 
 /// Default instruction budget per workload for experiment binaries; can
@@ -75,13 +79,25 @@ pub const DEFAULT_INSTRS: u64 = 200_000;
 pub const DEFAULT_SEED: u64 = 1234;
 
 /// Runs a predictor configuration over one workload under the standard
-/// 32-deep delayed-update harness, using the process-wide trace cache.
+/// 32-deep delayed-update replay ([`Session`]), using the process-wide
+/// trace cache.
 pub fn run_workload(cfg: &PredictorConfig, w: &Workload) -> RunResult {
     let trace = w.cached_trace();
-    let mut p = ZPredictor::new(cfg.clone());
     let start = Instant::now();
-    let run = DelayedUpdateHarness::new(DEFAULT_HARNESS_DEPTH).run(&mut p, &trace);
-    RunResult { stats: run.stats, flushes: run.flushes, wall_time: start.elapsed(), predictor: p }
+    let mut s = Session::open(
+        trace.label(),
+        cfg,
+        ReplayMode::Delayed { depth: DEFAULT_HARNESS_DEPTH },
+        false,
+    );
+    s.feed(trace.as_slice());
+    let (report, pred) = s.finish_into(trace.tail_instrs());
+    RunResult {
+        stats: report.stats,
+        flushes: report.flushes,
+        wall_time: start.elapsed(),
+        predictor: pred.expect("delayed-mode sessions hand their predictor back"),
+    }
 }
 
 /// A minimal fixed-width table printer for experiment output.

@@ -161,6 +161,15 @@ impl Crs {
     pub fn flush(&mut self, t: usize) {
         self.predict_stack[t] = None;
     }
+
+    /// Context change: both stacks on both threads describe the old
+    /// address space and are dropped (unlike [`Crs::flush`], which keeps
+    /// the architected detect side). Cumulative statistics survive.
+    pub fn clear(&mut self) {
+        self.predict_stack = [None; 2];
+        self.detect_stack = [None; 2];
+        self.amnesty_counter = 0;
+    }
 }
 
 #[cfg(test)]

@@ -73,4 +73,4 @@ pub mod util;
 pub mod write_queue;
 
 pub use config::{GenerationPreset, PredictorConfig};
-pub use predictor::ZPredictor;
+pub use predictor::{Structures, ZPredictor};

@@ -95,6 +95,34 @@ impl ThreadCtx {
     }
 }
 
+/// A read-only typed view over every prediction structure inside a
+/// [`ZPredictor`], returned by [`ZPredictor::structures`]. Optional
+/// fields are `None` when the generation being modelled does not
+/// configure that structure (e.g. no BTBP on z15, no BTB2 on z13).
+#[derive(Debug)]
+pub struct Structures<'a> {
+    /// Level-1 branch target buffer (+BHT).
+    pub btb1: &'a Btb1,
+    /// Level-2 BTB, when configured (z14/z15).
+    pub btb2: Option<&'a Btb2>,
+    /// BTB preload buffer, when configured (pre-z15 two-level designs).
+    pub btbp: Option<&'a Btbp>,
+    /// TAGE pattern history table.
+    pub pht: &'a Pht,
+    /// Perceptron direction predictor, when configured.
+    pub perceptron: Option<&'a Perceptron>,
+    /// Changing-target buffer, when configured.
+    pub ctb: Option<&'a Ctb>,
+    /// Call-return stack, when configured.
+    pub crs: Option<&'a Crs>,
+    /// CPRED power-gating predictor, when configured.
+    pub cpred: Option<&'a Cpred>,
+    /// Thread 0's speculative global path vector (diagnostics).
+    pub gpv: &'a Gpv,
+    /// Current GPQ (in-flight prediction) depth across both threads.
+    pub inflight: usize,
+}
+
 /// The complete z15-style branch predictor.
 pub struct ZPredictor {
     cfg: PredictorConfig,
@@ -124,7 +152,7 @@ impl fmt::Debug for ZPredictor {
         f.debug_struct("ZPredictor")
             .field("config", &self.cfg.name)
             .field("btb1_occupancy", &self.btb1.occupancy())
-            .field("gpq_depth", &self.inflight())
+            .field("gpq_depth", &self.inflight_depth())
             .field("seq", &self.seq)
             .finish_non_exhaustive()
     }
@@ -201,54 +229,38 @@ impl ZPredictor {
         }
     }
 
-    /// Read access to the BTB1 (verification/experiments).
-    pub fn btb1(&self) -> &Btb1 {
-        &self.btb1
-    }
-
-    /// Read access to the BTB2, if configured.
-    pub fn btb2(&self) -> Option<&Btb2> {
-        self.btb2.as_ref()
-    }
-
-    /// Read access to the BTBP, if configured.
-    pub fn btbp(&self) -> Option<&Btbp> {
-        self.btbp.as_ref()
-    }
-
-    /// Read access to the PHT.
-    pub fn pht(&self) -> &Pht {
-        &self.pht
-    }
-
-    /// Read access to the perceptron, if configured.
-    pub fn perceptron(&self) -> Option<&Perceptron> {
-        self.perceptron.as_ref()
-    }
-
-    /// Read access to the CTB, if configured.
-    pub fn ctb(&self) -> Option<&Ctb> {
-        self.ctb.as_ref()
-    }
-
-    /// Read access to the CRS, if configured.
-    pub fn crs(&self) -> Option<&Crs> {
-        self.crs.as_ref()
-    }
-
-    /// Read access to the CPRED, if configured.
-    pub fn cpred(&self) -> Option<&Cpred> {
-        self.cpred.as_ref()
-    }
-
-    /// Thread 0's speculative GPV (diagnostics).
-    pub fn gpv(&self) -> &Gpv {
-        &self.threads[0].spec_gpv
+    /// One read-only view over every prediction structure — the single
+    /// inspection surface for verification and experiment code,
+    /// replacing the former per-structure accessor sprawl (`btb1()`,
+    /// `btb2()`, `pht()`, …).
+    pub fn structures(&self) -> Structures<'_> {
+        Structures {
+            btb1: &self.btb1,
+            btb2: self.btb2.as_ref(),
+            btbp: self.btbp.as_ref(),
+            pht: &self.pht,
+            perceptron: self.perceptron.as_ref(),
+            ctb: self.ctb.as_ref(),
+            crs: self.crs.as_ref(),
+            cpred: self.cpred.as_ref(),
+            gpv: &self.threads[0].spec_gpv,
+            inflight: self.inflight_depth(),
+        }
     }
 
     /// Current GPQ (in-flight prediction) depth across both threads.
-    pub fn inflight(&self) -> usize {
+    fn inflight_depth(&self) -> usize {
         self.threads.iter().map(|c| c.gpq.len()).sum()
+    }
+
+    /// Returns the predictor to its power-on state, keeping the
+    /// configuration but discarding every learned table, speculative
+    /// override, path history and statistic. This is how a serving
+    /// shard recycles a predictor between sessions so one stream's
+    /// history can never leak into the next (the probe and telemetry
+    /// handles are discarded too — reinstall per session).
+    pub fn reset(&mut self) {
+        *self = ZPredictor::new(self.cfg.clone());
     }
 
     /// Preloads a branch directly into the BTB1 (verification §VII:
@@ -271,6 +283,23 @@ impl ZPredictor {
     /// the new context (§III).
     pub fn context_switch(&mut self, new_context: InstrAddr) {
         self.stats.context_changes += 1;
+        // Per-stream speculative state describes the *old* context and
+        // must not colour the new one (nor leak between sessions when a
+        // serving shard recycles a predictor): drop the SBHT/SPHT
+        // assumption entries, both threads' call-return stacks, and the
+        // stream-tracking bookkeeping so the next prediction re-anchors
+        // its stream in the new context.
+        self.sbht.flush();
+        self.spht.flush();
+        if let Some(crs) = &mut self.crs {
+            crs.clear();
+        }
+        for ctx in &mut self.threads {
+            ctx.next_stream_power = None;
+            ctx.prev_stream_start = None;
+            ctx.last_completed_taken = None;
+            ctx.stream_reset_pending = true;
+        }
         if let Some(b2) = &mut self.btb2 {
             let staged = b2.search(new_context, crate::btb2::SearchReason::ContextChange);
             self.tel.count("btb2.searches", 1);
@@ -1317,7 +1346,7 @@ mod tests {
         step(&mut p, &nt);
         let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).expect("present");
         assert!(e.bidirectional, "wrong direction marks the branch bidirectional");
-        assert!(p.pht().occupancy() >= 1, "TAGE allocation happened");
+        assert!(p.structures().pht.occupancy() >= 1, "TAGE allocation happened");
     }
 
     #[test]
@@ -1330,7 +1359,7 @@ mod tests {
         let (_, e) = p.btb1.probe(InstrAddr::new(0x1000)).expect("present");
         assert!(e.multi_target);
         assert_eq!(e.target, InstrAddr::new(0x9000), "BTB1 target corrected");
-        assert_eq!(p.ctb().unwrap().occupancy(), 1, "CTB entry installed");
+        assert_eq!(p.structures().ctb.unwrap().occupancy(), 1, "CTB entry installed");
     }
 
     #[test]
@@ -1339,11 +1368,11 @@ mod tests {
         let r = rec(0x1000, Mnemonic::Brc, false, 0x2000);
         let pr1 = p.predict(r.addr, r.class());
         let pr2 = p.predict(r.addr, r.class());
-        assert_eq!(p.inflight(), 2);
+        assert_eq!(p.structures().inflight, 2);
         p.complete(&r, &pr1);
-        assert_eq!(p.inflight(), 1);
+        assert_eq!(p.structures().inflight, 1);
         p.complete(&r, &pr2);
-        assert_eq!(p.inflight(), 0);
+        assert_eq!(p.structures().inflight, 0);
     }
 
     #[test]
@@ -1355,14 +1384,14 @@ mod tests {
         step(&mut p, &r1); // learn it
         let pr = p.predict(r1.addr, r1.class());
         assert!(pr.is_taken());
-        assert_ne!(p.gpv().raw(), 0);
-        let spec_before = p.gpv().raw();
+        assert_ne!(p.structures().gpv.raw(), 0);
+        let spec_before = p.structures().gpv.raw();
         p.complete(&r1, &pr);
         p.flush(&r1);
         // After the flush spec == arch: exactly the two completed
         // taken pushes.
         let _ = spec_before;
-        assert_eq!(p.gpv().raw(), {
+        assert_eq!(p.structures().gpv.raw(), {
             let mut g = Gpv::new(17);
             g.push_taken(InstrAddr::new(0x1000));
             g.push_taken(InstrAddr::new(0x1000));
@@ -1566,7 +1595,7 @@ mod tests {
             let pr = p.predict(r.addr, r.class());
             p.complete(&r, &pr);
         }
-        assert!(!p.btbp().unwrap().is_empty(), "staged into the BTBP, not the BTB1");
+        assert!(!p.structures().btbp.unwrap().is_empty(), "staged into the BTBP, not the BTB1");
         // Next search hits the BTBP and promotes.
         let pr = p.predict(r.addr, r.class());
         assert!(pr.dynamic, "BTBP hit predicted dynamically");
@@ -1591,8 +1620,65 @@ mod tests {
                 }
             }
             assert!(p.stats.direction_total() > 0, "{preset}: attribution ran");
-            assert_eq!(p.inflight(), 0, "{preset}: GPQ drained");
+            assert_eq!(p.structures().inflight, 0, "{preset}: GPQ drained");
         }
+    }
+
+    #[test]
+    fn context_switch_clears_speculative_stream_state() {
+        let mut p = z15();
+        // A predicted-taken far call pushes the CRS predict stack; run
+        // it twice so the second prediction is dynamic (predicted
+        // taken), which is what feeds the stack.
+        let call = rec(0x1000, Mnemonic::Brasl, true, 0x9000);
+        step(&mut p, &call);
+        step(&mut p, &call);
+        assert!(p.structures().crs.unwrap().predict_stack_valid(0), "call primed the CRS");
+        p.context_switch(InstrAddr::new(0x4_0000));
+        assert!(
+            !p.structures().crs.unwrap().predict_stack_valid(0),
+            "context switch drops the call-return stack"
+        );
+        assert!(p.sbht.is_empty(), "context switch drops SBHT overrides");
+        assert!(p.spht.is_empty(), "context switch drops SPHT overrides");
+        for ctx in &p.threads {
+            assert!(ctx.stream_reset_pending, "streams re-anchor in the new context");
+            assert!(ctx.next_stream_power.is_none());
+            assert!(ctx.prev_stream_start.is_none());
+            assert!(ctx.last_completed_taken.is_none());
+        }
+    }
+
+    #[test]
+    fn reset_recycles_to_power_on_behavior() {
+        let branches = [
+            rec(0x1000, Mnemonic::Brct, true, 0x0f80),
+            rec(0x1100, Mnemonic::Brc, false, 0x3000),
+            rec(0x1200, Mnemonic::Brasl, true, 0x9000),
+            rec(0x9010, Mnemonic::Br, true, 0x1206),
+            rec(0x1300, Mnemonic::J, true, 0x1000),
+        ];
+        let drive = |p: &mut ZPredictor| -> Vec<(bool, Direction, Option<InstrAddr>)> {
+            let mut out = Vec::new();
+            for _ in 0..30 {
+                for r in &branches {
+                    let pr = step(p, r);
+                    out.push((pr.dynamic, pr.direction, pr.target));
+                }
+            }
+            out
+        };
+        let mut recycled = z15();
+        let _ = drive(&mut recycled);
+        recycled.reset();
+        assert_eq!(recycled.structures().btb1.occupancy(), 0, "tables forgotten");
+        assert_eq!(recycled.structures().inflight, 0, "GPQ empty");
+        let mut fresh = z15();
+        assert_eq!(
+            drive(&mut recycled),
+            drive(&mut fresh),
+            "a recycled predictor replays exactly like a power-on one"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn disruptive_burst_fires_btb2_search() {
         let r = rec(0x10_0000 + k * 0x40, Mnemonic::J, true, 0x20_0000 + k * 0x40);
         step(&mut p, &r);
     }
-    let b2 = p.btb2().expect("z15 has a BTB2");
+    let b2 = p.structures().btb2.expect("z15 has a BTB2");
     assert!(
         b2.stats.searches_burst > 0,
         "disruptive surprise-taken burst must trigger proactive searches: {:?}",
@@ -96,8 +96,12 @@ fn crs_amnesty_restores_blacklisted_returns() {
     step(&mut p, &call_a);
     let weird = rec(0x9004, Mnemonic::Br, true, 0x7777_0000);
     step(&mut p, &weird);
-    let blacklisted =
-        p.btb1().probe(InstrAddr::new(0x9004)).map(|(_, e)| e.crs_blacklisted).unwrap_or(false);
+    let blacklisted = p
+        .structures()
+        .btb1
+        .probe(InstrAddr::new(0x9004))
+        .map(|(_, e)| e.crs_blacklisted)
+        .unwrap_or(false);
     assert!(blacklisted, "CRS wrong target must blacklist the return");
 
     // Now repeatedly run correct call/return pairs whose *BTB/CTB*
@@ -109,15 +113,19 @@ fn crs_amnesty_restores_blacklisted_returns() {
         let (call, ret) = if round % 2 == 0 { (&call_a, &ret_a) } else { (&call_b, &ret_b) };
         step(&mut p, call);
         step(&mut p, ret);
-        let bl =
-            p.btb1().probe(InstrAddr::new(0x9004)).map(|(_, e)| e.crs_blacklisted).unwrap_or(false);
+        let bl = p
+            .structures()
+            .btb1
+            .probe(InstrAddr::new(0x9004))
+            .map(|(_, e)| e.crs_blacklisted)
+            .unwrap_or(false);
         if !bl {
             lifted = true;
             break;
         }
     }
     assert!(lifted, "amnesty should restore CRS use for the return");
-    assert!(p.crs().expect("crs").stats.amnesties >= 1);
+    assert!(p.structures().crs.expect("crs").stats.amnesties >= 1);
 }
 
 #[test]

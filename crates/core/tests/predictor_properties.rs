@@ -69,7 +69,7 @@ proptest! {
             let mut p = ZPredictor::new(preset.config());
             let recs: Vec<_> = steps.iter().map(site_record).collect();
             drive(&mut p, &recs);
-            prop_assert_eq!(p.inflight(), 0, "{}", preset);
+            prop_assert_eq!(p.structures().inflight, 0, "{}", preset);
         }
     }
 
@@ -89,7 +89,7 @@ proptest! {
         let a = drive(&mut p1, &recs);
         let b = drive(&mut p2, &recs);
         prop_assert_eq!(a, b);
-        prop_assert_eq!(p1.btb1().occupancy(), p2.btb1().occupancy());
+        prop_assert_eq!(p1.structures().btb1.occupancy(), p2.structures().btb1.occupancy());
     }
 
     #[test]
@@ -138,7 +138,7 @@ proptest! {
             prop_assert!(!pr.dynamic, "guessed-NT resolved-NT branches stay out of the BTB");
             p.complete(&rec, &pr);
         }
-        prop_assert_eq!(p.btb1().occupancy(), 0);
+        prop_assert_eq!(p.structures().btb1.occupancy(), 0);
     }
 
     #[test]
@@ -147,11 +147,11 @@ proptest! {
         let recs: Vec<_> = steps.iter().map(site_record).collect();
         drive(&mut p, &recs);
         let cfg = p.config();
-        prop_assert!(p.btb1().occupancy() <= cfg.btb1.capacity());
-        if let (Some(b2), Some(b2cfg)) = (p.btb2(), cfg.btb2.as_ref()) {
+        prop_assert!(p.structures().btb1.occupancy() <= cfg.btb1.capacity());
+        if let (Some(b2), Some(b2cfg)) = (p.structures().btb2, cfg.btb2.as_ref()) {
             prop_assert!(b2.occupancy() <= b2cfg.capacity());
         }
-        if let Some(perc) = p.perceptron() {
+        if let Some(perc) = p.structures().perceptron {
             prop_assert!(perc.occupancy() <= 32);
         }
     }
@@ -166,7 +166,7 @@ proptest! {
             let pr = p.predict(rec.addr, rec.class());
             p.complete(&rec, &pr);
             p.flush(&rec);
-            prop_assert_eq!(p.inflight(), 0);
+            prop_assert_eq!(p.structures().inflight, 0);
         }
     }
 }

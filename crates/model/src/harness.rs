@@ -7,28 +7,37 @@ use crate::trace::DynamicTrace;
 use std::collections::VecDeque;
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 
-/// Drives a [`FullPredictor`] over a [`DynamicTrace`] with a configurable
-/// predict→complete gap.
+/// The streaming core of the delayed-update replay protocol: feed
+/// [`BranchRecord`]s one at a time with [`ReplayCore::step`], then
+/// [`ReplayCore::finish`] to drain the window and account the
+/// straight-line tail.
 ///
 /// On the z15 "there is a large gap in time between when branches are
 /// predicted and when they are updated" (paper §IV): predictions are
 /// queued in the GPQ and training happens only at instruction completion.
-/// The harness models that gap as a FIFO of `depth` in-flight branches:
+/// The core models that gap as a FIFO of `depth` in-flight branches:
 /// a branch's [`FullPredictor::complete`] is only called once `depth`
 /// younger branches have been predicted. A depth of 0 degenerates to
 /// immediate update (the idealization most academic simulators use).
 ///
-/// When a misprediction is detected the pipeline would flush; the
-/// harness models this by draining the in-flight window (completing the
+/// When a misprediction is detected the pipeline would flush; the core
+/// models this by draining the in-flight window (completing the
 /// mispredicted branch and everything older *immediately*) and calling
 /// [`FullPredictor::flush`] so the predictor can repair speculative
 /// history. This matches the hardware, where a branch-wrong restart
 /// resynchronizes the BPL with architected state.
 ///
+/// Because the window is explicit state (not a loop local), a caller
+/// can interleave many concurrently-open streams, each with its own
+/// `ReplayCore` and predictor — this is what `zbp_serve::Session` and
+/// its shard pool are built on. Whole-trace replay is a thin wrapper:
+/// see [`DelayedUpdateHarness`] (deprecated) and `zbp_serve::Session`.
+///
 /// # Example
 ///
 /// ```
-/// use zbp_model::{DelayedUpdateHarness, DynamicTrace, FullPredictor, Prediction};
+/// use zbp_model::{DynamicTrace, FullPredictor, Prediction, ReplayCore};
+/// use zbp_telemetry::Telemetry;
 /// use zbp_zarch::{static_guess, BranchClass, InstrAddr};
 ///
 /// /// A predictor that always applies the static guess.
@@ -42,15 +51,24 @@ use zbp_telemetry::{Snapshot, Telemetry, Track};
 /// }
 ///
 /// let trace = DynamicTrace::new("empty");
-/// let stats = DelayedUpdateHarness::new(32).run(&mut StaticOnly, &trace);
-/// assert_eq!(stats.stats.branches.get(), 0);
+/// let mut core = ReplayCore::new(32);
+/// let mut tel = Telemetry::disabled();
+/// let mut pred = StaticOnly;
+/// for rec in trace.branches() {
+///     core.step(&mut pred, rec, &mut tel);
+/// }
+/// let out = core.finish(&mut pred, trace.tail_instrs());
+/// assert_eq!(out.stats.branches.get(), 0);
 /// ```
-#[derive(Debug, Clone)]
-pub struct DelayedUpdateHarness {
+#[derive(Debug, Clone, Default)]
+pub struct ReplayCore {
     depth: usize,
+    inflight: VecDeque<(BranchRecord, Prediction, Option<MispredictKind>)>,
+    out: RunStats,
+    branch_idx: u64,
 }
 
-/// The result of one harness run.
+/// The result of one replay run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Misprediction accounting.
@@ -59,6 +77,116 @@ pub struct RunStats {
     pub flushes: u64,
 }
 
+impl ReplayCore {
+    /// Creates a replay core with the given in-flight window depth.
+    pub fn new(depth: usize) -> Self {
+        ReplayCore { depth, inflight: VecDeque::with_capacity(depth + 1), ..Self::default() }
+    }
+
+    /// The configured in-flight depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of branch records fed so far.
+    pub fn branches_fed(&self) -> u64 {
+        self.branch_idx
+    }
+
+    /// Statistics accumulated so far (the final numbers come from
+    /// [`ReplayCore::finish`], which also accounts the trace tail).
+    pub fn stats_so_far(&self) -> &RunStats {
+        &self.out
+    }
+
+    /// Feeds one branch record: predicts, queues the in-flight entry,
+    /// and completes whatever retires — the whole window on a
+    /// mispredict-triggered restart, or the overflow beyond `depth`
+    /// otherwise. Harness-level telemetry (window occupancy, flush
+    /// markers, branch/flush counters) records into `tel`; statistics
+    /// are identical whether telemetry is enabled or disabled.
+    pub fn step<P: FullPredictor + ?Sized>(
+        &mut self,
+        pred: &mut P,
+        rec: &BranchRecord,
+        tel: &mut Telemetry,
+    ) {
+        let p = pred.predict_on(rec.thread, rec.addr, rec.class());
+        let kind = self.out.stats.record(&p, rec);
+        self.inflight.push_back((*rec, p, kind));
+        tel.count("harness.branches", 1);
+        tel.record("harness.window_occupancy", self.inflight.len() as u64);
+
+        if kind.is_some() {
+            // Branch-wrong restart: everything up to and including
+            // the mispredicted branch completes, the predictor
+            // repairs speculative state.
+            tel.count("harness.flushes", 1);
+            tel.instant(Track::Harness, "flush", self.branch_idx);
+            while let Some((r, pr, _)) = self.inflight.pop_front() {
+                pred.complete_on(r.thread, &r, &pr);
+            }
+            pred.flush_on(rec.thread, rec);
+            self.out.flushes += 1;
+        } else {
+            while self.inflight.len() > self.depth {
+                let (r, pr, _) = self.inflight.pop_front().expect("non-empty");
+                pred.complete_on(r.thread, &r, &pr);
+            }
+        }
+        self.branch_idx += 1;
+    }
+
+    /// End of stream: drains the in-flight window and adds the
+    /// straight-line `tail_instrs` after the final branch, returning the
+    /// completed statistics.
+    ///
+    /// Instruction accounting is split exactly once:
+    /// [`MispredictStats::record`] already counted `1 + gap_instrs` per
+    /// branch, so the finish step adds only the tail. (An earlier
+    /// version re-derived the remainder from the trace's
+    /// `instruction_count()`, which silently absorbed any
+    /// double-counting bug on either side; the strict split keeps both
+    /// honest.)
+    pub fn finish<P: FullPredictor + ?Sized>(mut self, pred: &mut P, tail_instrs: u64) -> RunStats {
+        while let Some((r, pr, _)) = self.inflight.pop_front() {
+            pred.complete_on(r.thread, &r, &pr);
+        }
+        self.out.stats.add_instructions(tail_instrs);
+        self.out
+    }
+
+    /// Replays a whole trace through a fresh core with telemetry
+    /// disabled — the one-call form of [`ReplayCore::step`] +
+    /// [`ReplayCore::finish`] for driving *custom* [`FullPredictor`]
+    /// implementations. For `ZPredictor` streams, prefer
+    /// `zbp_serve::Session`.
+    pub fn replay<P: FullPredictor + ?Sized>(
+        depth: usize,
+        pred: &mut P,
+        trace: &crate::DynamicTrace,
+    ) -> RunStats {
+        let mut tel = Telemetry::disabled();
+        let mut core = ReplayCore::new(depth);
+        for rec in trace.branches() {
+            core.step(pred, rec, &mut tel);
+        }
+        core.finish(pred, trace.tail_instrs())
+    }
+}
+
+/// Whole-trace replay under the delayed-update protocol.
+#[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `zbp_serve::Session` with `ReplayMode::Delayed` (or `ReplayCore` directly for \
+            custom drivers); this wrapper will be removed next release"
+)]
+pub struct DelayedUpdateHarness {
+    depth: usize,
+}
+
+#[allow(deprecated)]
 impl DelayedUpdateHarness {
     /// Creates a harness with the given in-flight window depth.
     pub fn new(depth: usize) -> Self {
@@ -81,57 +209,19 @@ impl DelayedUpdateHarness {
     }
 
     /// Runs like [`DelayedUpdateHarness::run`], recording harness-level
-    /// telemetry into `tel`: per-branch window occupancy, flush markers
-    /// on the harness timeline track, and branch/flush counters. The
-    /// statistics returned are identical whether `tel` is enabled or
-    /// disabled — telemetry only observes. (Predictor-internal telemetry
-    /// is installed on the predictor itself, not through the harness.)
+    /// telemetry into `tel`. (Predictor-internal telemetry is installed
+    /// on the predictor itself, not through the harness.)
     pub fn run_traced<P: FullPredictor + ?Sized>(
         &self,
         pred: &mut P,
         trace: &DynamicTrace,
         mut tel: Telemetry,
     ) -> (RunStats, Snapshot) {
-        let mut out = RunStats::default();
-        let mut inflight: VecDeque<(BranchRecord, Prediction, Option<MispredictKind>)> =
-            VecDeque::with_capacity(self.depth + 1);
-
-        for (branch_idx, rec) in (0u64..).zip(trace.branches()) {
-            let p = pred.predict_on(rec.thread, rec.addr, rec.class());
-            let kind = out.stats.record(&p, rec);
-            inflight.push_back((*rec, p, kind));
-            tel.count("harness.branches", 1);
-            tel.record("harness.window_occupancy", inflight.len() as u64);
-
-            if kind.is_some() {
-                // Branch-wrong restart: everything up to and including
-                // the mispredicted branch completes, the predictor
-                // repairs speculative state.
-                tel.count("harness.flushes", 1);
-                tel.instant(Track::Harness, "flush", branch_idx);
-                while let Some((r, pr, _)) = inflight.pop_front() {
-                    pred.complete_on(r.thread, &r, &pr);
-                }
-                pred.flush_on(rec.thread, rec);
-                out.flushes += 1;
-            } else {
-                while inflight.len() > self.depth {
-                    let (r, pr, _) = inflight.pop_front().expect("non-empty");
-                    pred.complete_on(r.thread, &r, &pr);
-                }
-            }
+        let mut core = ReplayCore::new(self.depth);
+        for rec in trace.branches() {
+            core.step(pred, rec, &mut tel);
         }
-        // End of trace: drain the window.
-        while let Some((r, pr, _)) = inflight.pop_front() {
-            pred.complete_on(r.thread, &r, &pr);
-        }
-        // Instruction accounting is split exactly once: `record` already
-        // counted `1 + gap_instrs` per branch, so the harness adds only
-        // the straight-line tail after the final branch. (An earlier
-        // version re-derived the remainder from `instruction_count()`,
-        // which silently absorbed any double-counting bug on either
-        // side; the strict split plus this assertion keeps both honest.)
-        out.stats.add_instructions(trace.tail_instrs());
+        let out = core.finish(pred, trace.tail_instrs());
         debug_assert_eq!(
             out.stats.instructions.get(),
             trace.instruction_count(),
@@ -142,6 +232,7 @@ impl DelayedUpdateHarness {
     }
 }
 
+#[allow(deprecated)]
 impl Default for DelayedUpdateHarness {
     /// A default window of 32 in-flight branches, a plausible OoO-window
     /// occupancy for a wide machine.
@@ -150,7 +241,10 @@ impl Default for DelayedUpdateHarness {
     }
 }
 
+// The wrapper stays the most convenient way to exercise the core over
+// short literal traces, so the tests keep using it until it is removed.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};

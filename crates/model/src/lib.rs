@@ -37,7 +37,9 @@ mod predictor;
 mod trace;
 
 pub use branch::{BranchRecord, ThreadId};
-pub use harness::{DelayedUpdateHarness, RunStats};
+#[allow(deprecated)]
+pub use harness::DelayedUpdateHarness;
+pub use harness::{ReplayCore, RunStats};
 pub use metrics::{Counter, MispredictStats, Ratio};
 pub use predictor::{
     DirectionPredictor, FullPredictor, MispredictKind, Prediction, TargetPredictor,

@@ -2,10 +2,16 @@
 
 use proptest::prelude::*;
 use zbp_model::{
-    BranchRecord, DelayedUpdateHarness, DynamicTrace, FullPredictor, MispredictKind,
-    MispredictStats, Prediction,
+    BranchRecord, DynamicTrace, FullPredictor, MispredictKind, MispredictStats, Prediction,
+    ReplayCore, RunStats,
 };
 use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
+
+/// Drives a custom predictor through the replay core — the raw
+/// streaming API beneath `zbp_serve::Session`.
+fn replay<P: FullPredictor + ?Sized>(depth: usize, pred: &mut P, trace: &DynamicTrace) -> RunStats {
+    ReplayCore::replay(depth, pred, trace)
+}
 
 fn any_mnemonic() -> impl Strategy<Value = Mnemonic> {
     prop::sample::select(Mnemonic::ALL.to_vec())
@@ -80,7 +86,7 @@ proptest! {
     #[test]
     fn stats_totals_are_conserved(recs in prop::collection::vec(any_record(), 0..200)) {
         let trace = DynamicTrace::from_records("prop", recs.clone());
-        let out = DelayedUpdateHarness::new(8).run(&mut ClassOracle, &trace);
+        let out = replay(8, &mut ClassOracle, &trace);
         let s = &out.stats;
         prop_assert_eq!(s.branches.get(), recs.len() as u64);
         prop_assert_eq!(s.branches.get(), s.dynamic_predictions.get() + s.surprises.get());
@@ -106,7 +112,7 @@ proptest! {
         }
         let trace = DynamicTrace::from_records("prop", recs.clone());
         let mut p = CountingPredictor { completes: 0 };
-        DelayedUpdateHarness::new(depth).run(&mut p, &trace);
+        replay(depth, &mut p, &trace);
         prop_assert_eq!(p.completes, recs.len() as u64, "every prediction completes exactly once");
     }
 

@@ -1,0 +1,43 @@
+//! # zbp-serve — sharded multi-stream prediction service
+//!
+//! The serving layer on top of the z15 predictor model, in three
+//! pieces:
+//!
+//! * [`Session`] — the **unified replay API**: open a stream, feed
+//!   [`BranchRecord`](zbp_model::BranchRecord) batches, finish for a
+//!   [`SessionReport`]. One entry point covers delayed-update replay,
+//!   co-simulation and lookahead analysis (see [`ReplayMode`]); the
+//!   one-shot [`Session::run`]/[`Session::run_traced`] replace the old
+//!   trio of `DelayedUpdateHarness::run`, `run_cosim_traced` and
+//!   `run_lookahead_traced`.
+//! * [`ShardPool`] — N predictor shards, each a worker thread with a
+//!   bounded work queue and a free list of recycled predictors, serving
+//!   many concurrently-open sessions. Full queues reject with
+//!   [`ServeError::Busy`] (backpressure, not blocking); shutdown drains
+//!   gracefully and reduces per-stream telemetry deterministically.
+//! * [`Server`]/[`Client`] — a length-prefixed binary TCP protocol
+//!   ([`proto`]) exposing the pool to external processes, plus the
+//!   `zbp_serve` and `loadgen` binaries.
+//!
+//! The shape mirrors the paper's Fig. 2: sessions are the asynchronous
+//! BPL's consumers, the bounded per-shard queue is the BPL→ICM/IDU
+//! prediction-queue handoff, and `Busy` is its full-queue stall made
+//! visible to the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod pool;
+pub mod proto;
+mod server;
+mod session;
+
+pub use client::{Client, ClientError, RemoteReport, DEFAULT_BATCH};
+pub use pool::{
+    shard_for_label, CompletedSession, Opened, PoolConfig, PoolSummary, ServeError, ShardPause,
+    ShardPool, StreamId,
+};
+pub use proto::{close_ok, Frame, ProtoError, WireMode, MAX_FRAME, RECORD_BYTES};
+pub use server::Server;
+pub use session::{ReplayMode, Session, SessionReport, DEFAULT_DEPTH};

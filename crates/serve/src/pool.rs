@@ -1,0 +1,465 @@
+//! The sharded session multiplexer: N worker threads, each owning a
+//! bounded work queue and a free list of recycled predictors, serving
+//! many concurrently-open prediction streams.
+//!
+//! Streams hash to shards by label (FNV-1a), mirroring the paper's
+//! decoupling of the BPL from its consumers: clients are the ICM/IDU
+//! side, shards are BPL instances, and the bounded per-shard queue is
+//! the handoff — when it fills, the producer is told to back off
+//! ([`ServeError::Busy`] with a retry-after hint) instead of blocking
+//! the whole service.
+//!
+//! Every session runs on its **own** predictor (taken from the shard's
+//! free list and [`ZPredictor::reset`] between sessions), so per-stream
+//! statistics are byte-identical to an isolated [`Session::run`] no
+//! matter how many streams interleave on a shard — the property the
+//! pool tests pin down.
+
+use crate::session::{ReplayMode, Session, SessionReport};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_model::BranchRecord;
+use zbp_telemetry::Snapshot;
+
+/// Pool sizing and backpressure parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Number of predictor shards (worker threads).
+    pub shards: usize,
+    /// Bounded command-queue depth per shard; a full queue rejects with
+    /// [`ServeError::Busy`].
+    pub queue_depth: usize,
+    /// Largest accepted feed batch, in records.
+    pub max_batch: usize,
+    /// Retry hint handed back with [`ServeError::Busy`].
+    pub retry_after_ms: u32,
+    /// Recycled predictors kept per shard.
+    pub free_list: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            shards: 2,
+            queue_depth: 64,
+            max_batch: 65_536,
+            retry_after_ms: 1,
+            free_list: 8,
+        }
+    }
+}
+
+/// Identifies one stream for the lifetime of a pool; ascending in open
+/// order, which also keys the deterministic telemetry reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Why a pool operation did not happen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The target shard's queue is full; retry after the hinted delay.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// No open stream with that id (never opened, or already closed).
+    UnknownStream(u64),
+    /// The batch exceeds [`PoolConfig::max_batch`].
+    BatchTooLarge {
+        /// Records in the rejected batch.
+        len: usize,
+        /// The configured limit.
+        max: usize,
+    },
+    /// The pool is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "shard busy, retry after {retry_after_ms} ms")
+            }
+            ServeError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            ServeError::BatchTooLarge { len, max } => {
+                write!(f, "batch of {len} records exceeds limit {max}")
+            }
+            ServeError::ShuttingDown => f.write_str("pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successfully opened stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opened {
+    /// The stream's pool-wide id.
+    pub id: StreamId,
+    /// The shard the stream's label hashed to.
+    pub shard: usize,
+}
+
+/// One closed session, as collected for the pool summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedSession {
+    /// Stream id (open order).
+    pub id: StreamId,
+    /// Stream label.
+    pub label: String,
+    /// Shard that served the stream.
+    pub shard: usize,
+    /// The session's final report.
+    pub report: SessionReport,
+}
+
+/// What [`ShardPool::shutdown`] hands back after the graceful drain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolSummary {
+    /// Every completed session, sorted by stream id.
+    pub sessions: Vec<CompletedSession>,
+    /// All session telemetry reduced with [`Snapshot::merge_keyed`] by
+    /// stream id — identical at any shard count for the same stream
+    /// set.
+    pub merged_telemetry: Snapshot,
+    /// Feed/open/close attempts rejected with [`ServeError::Busy`].
+    pub busy_rejections: u64,
+}
+
+enum Cmd {
+    Open {
+        id: StreamId,
+        label: String,
+        cfg: Box<PredictorConfig>,
+        mode: ReplayMode,
+        traced: bool,
+        reply: Sender<()>,
+    },
+    Feed {
+        id: StreamId,
+        batch: Vec<BranchRecord>,
+        reply: Sender<Result<u64, ServeError>>,
+    },
+    Close {
+        id: StreamId,
+        tail_instrs: u64,
+        reply: Sender<Result<SessionReport, ServeError>>,
+    },
+    /// Maintenance/test hook: acknowledges on `ack`, then parks the
+    /// worker until `resume` disconnects — used to drain or to exercise
+    /// the backpressure path deterministically.
+    Pause {
+        ack: Sender<()>,
+        resume: Receiver<()>,
+    },
+}
+
+struct Shard {
+    tx: SyncSender<Cmd>,
+    worker: JoinHandle<()>,
+}
+
+/// The sharded session pool. See the crate docs for the execution
+/// model.
+pub struct ShardPool {
+    cfg: PoolConfig,
+    shards: Vec<Shard>,
+    /// Stream-id → shard routing for feeds/closes.
+    routes: Mutex<HashMap<u64, usize>>,
+    next_id: AtomicU64,
+    busy: AtomicU64,
+    completed_rx: Mutex<Receiver<CompletedSession>>,
+    /// Kept so workers can clone a sender; dropped at shutdown.
+    completed_tx: Mutex<Option<Sender<CompletedSession>>>,
+}
+
+impl fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards.len())
+            .field("queue_depth", &self.cfg.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a, the stream→shard hash (stable, documented: clients can
+/// compute placement offline).
+pub fn shard_for_label(label: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+impl ShardPool {
+    /// Starts `cfg.shards` worker threads.
+    pub fn new(cfg: PoolConfig) -> ShardPool {
+        let shards = cfg.shards.max(1);
+        let (ctx, crx) = std::sync::mpsc::channel();
+        let mut out = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+            let done = ctx.clone();
+            let free_cap = cfg.free_list;
+            let worker = std::thread::Builder::new()
+                .name(format!("zbp-shard-{shard}"))
+                .spawn(move || shard_worker(shard, rx, done, free_cap))
+                .expect("spawn shard worker");
+            out.push(Shard { tx, worker });
+        }
+        ShardPool {
+            cfg,
+            shards: out,
+            routes: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            completed_rx: Mutex::new(crx),
+            completed_tx: Mutex::new(Some(ctx)),
+        }
+    }
+
+    /// The pool configuration in force.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn busy_err(&self) -> ServeError {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+        ServeError::Busy { retry_after_ms: self.cfg.retry_after_ms }
+    }
+
+    fn try_send(&self, shard: usize, cmd: Cmd) -> Result<(), ServeError> {
+        match self.shards[shard].tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(self.busy_err()),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Opens a stream: hashes `label` to a shard, assigns the next
+    /// stream id, and hands the shard an open command. Fails with
+    /// [`ServeError::Busy`] when the shard's queue is full (nothing is
+    /// allocated in that case — retry later).
+    pub fn open(
+        &self,
+        label: &str,
+        cfg: &PredictorConfig,
+        mode: ReplayMode,
+        traced: bool,
+    ) -> Result<Opened, ServeError> {
+        let shard = shard_for_label(label, self.shards.len());
+        let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (reply, confirm) = std::sync::mpsc::channel();
+        self.try_send(
+            shard,
+            Cmd::Open {
+                id,
+                label: label.to_string(),
+                cfg: Box::new(cfg.clone()),
+                mode,
+                traced,
+                reply,
+            },
+        )?;
+        confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
+        self.routes.lock().expect("routes").insert(id.0, shard);
+        Ok(Opened { id, shard })
+    }
+
+    fn route(&self, id: StreamId) -> Result<usize, ServeError> {
+        self.routes
+            .lock()
+            .expect("routes")
+            .get(&id.0)
+            .copied()
+            .ok_or(ServeError::UnknownStream(id.0))
+    }
+
+    /// Feeds a batch to an open stream; returns the stream's total
+    /// records so far. [`ServeError::Busy`] means nothing was enqueued
+    /// — retry the same batch after the hinted delay.
+    pub fn feed(&self, id: StreamId, batch: Vec<BranchRecord>) -> Result<u64, ServeError> {
+        self.feed_async(id, batch)?.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Enqueues a feed without waiting for the shard to process it —
+    /// the pipelined path (and what makes backpressure deterministic to
+    /// test: the enqueue happens before this returns). The receiver
+    /// yields the stream's running record count once the shard has
+    /// consumed the batch.
+    pub fn feed_async(
+        &self,
+        id: StreamId,
+        batch: Vec<BranchRecord>,
+    ) -> Result<Receiver<Result<u64, ServeError>>, ServeError> {
+        if batch.len() > self.cfg.max_batch {
+            return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.cfg.max_batch });
+        }
+        let shard = self.route(id)?;
+        let (reply, confirm) = std::sync::mpsc::channel();
+        self.try_send(shard, Cmd::Feed { id, batch, reply })?;
+        Ok(confirm)
+    }
+
+    /// Closes a stream, returning its final report. The stream's
+    /// predictor returns to the shard's free list (reset) for reuse.
+    pub fn close(&self, id: StreamId, tail_instrs: u64) -> Result<SessionReport, ServeError> {
+        let shard = self.route(id)?;
+        let (reply, confirm) = std::sync::mpsc::channel();
+        self.try_send(shard, Cmd::Close { id, tail_instrs, reply })?;
+        let report = confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
+        if report.is_ok() {
+            self.routes.lock().expect("routes").remove(&id.0);
+        }
+        report
+    }
+
+    /// Parks a shard's worker until the returned guard is dropped —
+    /// the maintenance drain hook, and the deterministic way to fill a
+    /// queue in backpressure tests. Blocks until the worker has
+    /// actually parked (so the queue is empty and at full capacity).
+    pub fn pause_shard(&self, shard: usize) -> Result<ShardPause, ServeError> {
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+        self.try_send(shard, Cmd::Pause { ack: ack_tx, resume: resume_rx })?;
+        ack_rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+        Ok(ShardPause { _resume: resume_tx })
+    }
+
+    /// Graceful drain: stops accepting work, lets every shard finish
+    /// its queue (force-finishing sessions never closed, with a zero
+    /// tail), joins the workers and returns the summary. Telemetry is
+    /// reduced by stream id, so the result is identical at any shard
+    /// count.
+    pub fn shutdown(self) -> PoolSummary {
+        drop(self.completed_tx.lock().expect("completed_tx").take());
+        let mut workers = Vec::new();
+        for shard in self.shards {
+            drop(shard.tx);
+            workers.push(shard.worker);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        let rx = self.completed_rx.lock().expect("completed_rx");
+        let mut sessions: Vec<CompletedSession> = rx.try_iter().collect();
+        sessions.sort_by_key(|s| s.id);
+        let merged_telemetry = Snapshot::merge_keyed(
+            sessions.iter().filter_map(|s| s.report.telemetry.clone().map(|t| (s.id, t))),
+        );
+        PoolSummary {
+            sessions,
+            merged_telemetry,
+            busy_rejections: self.busy.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Guard returned by [`ShardPool::pause_shard`]; dropping it resumes
+/// the worker.
+#[derive(Debug)]
+pub struct ShardPause {
+    _resume: Sender<()>,
+}
+
+fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>, free_cap: usize) {
+    let mut open: HashMap<u64, Session> = HashMap::new();
+    let mut free: Vec<ZPredictor> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Open { id, label, cfg, mode, traced, reply } => {
+                let session = match mode {
+                    ReplayMode::Delayed { depth } => {
+                        // Recycle a predictor with a matching
+                        // configuration if one is free; reset() returned
+                        // it to power-on state, so the session behaves
+                        // exactly like one on a fresh predictor.
+                        match free.iter().position(|p| *p.config() == *cfg) {
+                            Some(i) => {
+                                Session::open_recycled(label, free.swap_remove(i), depth, traced)
+                            }
+                            None => {
+                                Session::open(label, &cfg, ReplayMode::Delayed { depth }, traced)
+                            }
+                        }
+                    }
+                    mode => Session::open(label, &cfg, mode, traced),
+                };
+                open.insert(id.0, session);
+                let _ = reply.send(());
+            }
+            Cmd::Feed { id, batch, reply } => {
+                let res = match open.get_mut(&id.0) {
+                    Some(s) => {
+                        s.feed(&batch);
+                        Ok(s.records_fed())
+                    }
+                    None => Err(ServeError::UnknownStream(id.0)),
+                };
+                let _ = reply.send(res);
+            }
+            Cmd::Close { id, tail_instrs, reply } => {
+                let res = match open.remove(&id.0) {
+                    Some(s) => {
+                        let label = s.label().to_string();
+                        let (report, pred) = s.finish_into(tail_instrs);
+                        recycle(pred, &mut free, free_cap);
+                        let _ = done.send(CompletedSession {
+                            id,
+                            label,
+                            shard,
+                            report: report.clone(),
+                        });
+                        Ok(report)
+                    }
+                    None => Err(ServeError::UnknownStream(id.0)),
+                };
+                let _ = reply.send(res);
+            }
+            Cmd::Pause { ack, resume } => {
+                let _ = ack.send(());
+                // Parked until the guard drops (recv errors on
+                // disconnect).
+                let _ = resume.recv();
+            }
+        }
+    }
+    // Drain: the pool is shutting down; force-finish whatever is still
+    // open, in id order so the summary is deterministic.
+    let mut leftovers: Vec<(u64, Session)> = open.drain().collect();
+    leftovers.sort_by_key(|(id, _)| *id);
+    for (id, s) in leftovers {
+        let label = s.label().to_string();
+        let (report, pred) = s.finish_into(0);
+        recycle(pred, &mut free, free_cap);
+        let _ = done.send(CompletedSession { id: StreamId(id), label, shard, report });
+    }
+}
+
+fn recycle(pred: Option<ZPredictor>, free: &mut Vec<ZPredictor>, cap: usize) {
+    if let Some(mut p) = pred {
+        if free.len() < cap {
+            p.reset();
+            free.push(p);
+        }
+    }
+}

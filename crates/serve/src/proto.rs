@@ -1,0 +1,536 @@
+//! Length-prefixed binary wire protocol for the prediction service.
+//!
+//! Every frame is `u32` little-endian payload length followed by the
+//! payload; the first payload byte is the opcode. Frames larger than
+//! [`MAX_FRAME`] are rejected (the server answers with an error frame
+//! and closes the connection rather than allocating attacker-chosen
+//! amounts).
+//!
+//! Integers are little-endian throughout, matching the on-disk ZBPT
+//! trace format. Branch records travel as fixed 30-byte entries; stats
+//! come back as the nine `MispredictStats` counters in declaration
+//! order, so the layout is stable as long as that struct is.
+//!
+//! | opcode | direction | meaning |
+//! |-------:|-----------|---------|
+//! | 1 | C→S | `Open` — preset, replay mode, traced flag, label |
+//! | 2 | C→S | `Feed` — stream id + record batch |
+//! | 3 | C→S | `Close` — stream id + tail instruction count |
+//! | 129 | S→C | `OpenOk` — stream id + shard index |
+//! | 130 | S→C | `FeedOk` — total records the stream has consumed |
+//! | 131 | S→C | `CloseOk` — final stats, flush and record counts |
+//! | 192 | S→C | `Busy` — queue full; retry after the hinted delay |
+//! | 193 | S→C | `Err` — terminal error with a message |
+
+use std::io::{self, Read, Write};
+use zbp_core::GenerationPreset;
+use zbp_model::{BranchRecord, Counter, MispredictStats, ThreadId};
+use zbp_zarch::{InstrAddr, Mnemonic};
+
+use crate::session::{ReplayMode, SessionReport, DEFAULT_DEPTH};
+
+/// Hard ceiling on a frame's payload size (1 MiB). At 30 bytes per
+/// record this allows batches of ~34k branches.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Encoded size of one [`BranchRecord`] on the wire.
+pub const RECORD_BYTES: usize = 30;
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Open a stream.
+    Open {
+        /// Predictor generation preset.
+        preset: GenerationPreset,
+        /// Replay mode for the stream.
+        mode: WireMode,
+        /// Record telemetry into the final report.
+        traced: bool,
+        /// Stream label (routes the stream to a shard).
+        label: String,
+    },
+    /// Feed a batch of records to an open stream.
+    Feed {
+        /// Stream id from `OpenOk`.
+        id: u64,
+        /// The batch.
+        batch: Vec<BranchRecord>,
+    },
+    /// Close a stream.
+    Close {
+        /// Stream id from `OpenOk`.
+        id: u64,
+        /// Straight-line instructions after the final branch.
+        tail_instrs: u64,
+    },
+    /// Stream opened.
+    OpenOk {
+        /// Pool-wide stream id.
+        id: u64,
+        /// Shard the stream landed on.
+        shard: u32,
+    },
+    /// Batch accepted.
+    FeedOk {
+        /// Records the stream has consumed so far.
+        records: u64,
+    },
+    /// Stream closed; final accounting.
+    CloseOk {
+        /// Misprediction statistics.
+        stats: MispredictStats,
+        /// Pipeline restarts delivered.
+        flushes: u64,
+        /// Records consumed.
+        records: u64,
+    },
+    /// Shard queue full — retry the same request after the hint.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Terminal error.
+    Err {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Replay modes expressible on the wire. Cosim runs with the default
+/// pipeline configuration; custom [`CosimConfig`](zbp_uarch::CosimConfig)s
+/// are an in-process-only feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Delayed-update replay with the given window depth.
+    Delayed(u32),
+    /// Lookahead line-search replay.
+    Lookahead,
+    /// Co-simulation with the default pipeline configuration.
+    CosimDefault,
+}
+
+impl WireMode {
+    /// The in-process replay mode this wire mode denotes.
+    pub fn replay_mode(self) -> ReplayMode {
+        match self {
+            WireMode::Delayed(d) => ReplayMode::Delayed { depth: d as usize },
+            WireMode::Lookahead => ReplayMode::Lookahead,
+            WireMode::CosimDefault => ReplayMode::Cosim(Default::default()),
+        }
+    }
+}
+
+impl Default for WireMode {
+    fn default() -> Self {
+        WireMode::Delayed(DEFAULT_DEPTH as u32)
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Payload did not parse (bad opcode, truncated fields, unknown
+    /// enum codes, non-UTF-8 label…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+const OP_OPEN: u8 = 1;
+const OP_FEED: u8 = 2;
+const OP_CLOSE: u8 = 3;
+const OP_OPEN_OK: u8 = 129;
+const OP_FEED_OK: u8 = 130;
+const OP_CLOSE_OK: u8 = 131;
+const OP_BUSY: u8 = 192;
+const OP_ERR: u8 = 193;
+
+fn preset_code(p: GenerationPreset) -> u8 {
+    GenerationPreset::ALL.iter().position(|x| *x == p).expect("preset in ALL") as u8
+}
+
+fn preset_from(code: u8) -> Option<GenerationPreset> {
+    GenerationPreset::ALL.get(usize::from(code)).copied()
+}
+
+fn mnemonic_code(m: Mnemonic) -> u8 {
+    Mnemonic::ALL.iter().position(|x| *x == m).expect("mnemonic in ALL") as u8
+}
+
+fn mnemonic_from(code: u8) -> Option<Mnemonic> {
+    Mnemonic::ALL.get(usize::from(code)).copied()
+}
+
+impl Frame {
+    /// Serializes the frame payload (opcode byte onward, no length
+    /// prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Open { preset, mode, traced, label } => {
+                out.push(OP_OPEN);
+                out.push(preset_code(*preset));
+                match mode {
+                    WireMode::Delayed(d) => {
+                        out.push(0);
+                        out.extend_from_slice(&d.to_le_bytes());
+                    }
+                    WireMode::Lookahead => {
+                        out.push(1);
+                        out.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                    WireMode::CosimDefault => {
+                        out.push(2);
+                        out.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                }
+                out.push(u8::from(*traced));
+                let label = label.as_bytes();
+                out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+                out.extend_from_slice(label);
+            }
+            Frame::Feed { id, batch } => {
+                out.push(OP_FEED);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+                for r in batch {
+                    out.extend_from_slice(&r.addr.raw().to_le_bytes());
+                    out.extend_from_slice(&r.target.raw().to_le_bytes());
+                    out.push(mnemonic_code(r.mnemonic));
+                    out.push(u8::from(r.taken));
+                    out.push(r.thread.0);
+                    out.push(0);
+                    out.extend_from_slice(&r.gap_instrs.to_le_bytes());
+                    out.extend_from_slice(&0u16.to_le_bytes());
+                }
+            }
+            Frame::Close { id, tail_instrs } => {
+                out.push(OP_CLOSE);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&tail_instrs.to_le_bytes());
+            }
+            Frame::OpenOk { id, shard } => {
+                out.push(OP_OPEN_OK);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            Frame::FeedOk { records } => {
+                out.push(OP_FEED_OK);
+                out.extend_from_slice(&records.to_le_bytes());
+            }
+            Frame::CloseOk { stats, flushes, records } => {
+                out.push(OP_CLOSE_OK);
+                for c in stats_counters(stats) {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                out.extend_from_slice(&flushes.to_le_bytes());
+                out.extend_from_slice(&records.to_le_bytes());
+            }
+            Frame::Busy { retry_after_ms } => {
+                out.push(OP_BUSY);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Frame::Err { message } => {
+                out.push(OP_ERR);
+                let msg = message.as_bytes();
+                out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                out.extend_from_slice(msg);
+            }
+        }
+        debug_assert!(out.len() <= MAX_FRAME, "encoded frame exceeds MAX_FRAME");
+        out
+    }
+
+    /// Parses a frame payload (as produced by [`Frame::encode`]).
+    pub fn decode(payload: &[u8]) -> Result<Frame, ProtoError> {
+        let mut r = Cursor { buf: payload, pos: 0 };
+        let frame = match r.u8()? {
+            OP_OPEN => {
+                let preset = preset_from(r.u8()?).ok_or(ProtoError::Malformed("unknown preset"))?;
+                let mode_code = r.u8()?;
+                let depth = r.u32()?;
+                let mode = match mode_code {
+                    0 => WireMode::Delayed(depth),
+                    1 => WireMode::Lookahead,
+                    2 => WireMode::CosimDefault,
+                    _ => return Err(ProtoError::Malformed("unknown replay mode")),
+                };
+                let traced = r.u8()? != 0;
+                let len = r.u32()? as usize;
+                let label = String::from_utf8(r.bytes(len)?.to_vec())
+                    .map_err(|_| ProtoError::Malformed("label is not UTF-8"))?;
+                Frame::Open { preset, mode, traced, label }
+            }
+            OP_FEED => {
+                let id = r.u64()?;
+                let n = r.u32()? as usize;
+                if n.checked_mul(RECORD_BYTES).is_none_or(|total| total > MAX_FRAME) {
+                    return Err(ProtoError::Malformed("batch count exceeds frame limit"));
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let addr = InstrAddr::new(r.u64()?);
+                    let target = InstrAddr::new(r.u64()?);
+                    let mnemonic =
+                        mnemonic_from(r.u8()?).ok_or(ProtoError::Malformed("unknown mnemonic"))?;
+                    let taken = r.u8()? != 0;
+                    let thread = ThreadId(r.u8()?);
+                    let _pad = r.u8()?;
+                    let gap_instrs = r.u32()?;
+                    let _pad2 = r.bytes(2)?;
+                    batch.push(BranchRecord { addr, mnemonic, taken, target, thread, gap_instrs });
+                }
+                Frame::Feed { id, batch }
+            }
+            OP_CLOSE => Frame::Close { id: r.u64()?, tail_instrs: r.u64()? },
+            OP_OPEN_OK => Frame::OpenOk { id: r.u64()?, shard: r.u32()? },
+            OP_FEED_OK => Frame::FeedOk { records: r.u64()? },
+            OP_CLOSE_OK => {
+                let mut counters = [0u64; 9];
+                for c in &mut counters {
+                    *c = r.u64()?;
+                }
+                Frame::CloseOk {
+                    stats: stats_from_counters(counters),
+                    flushes: r.u64()?,
+                    records: r.u64()?,
+                }
+            }
+            OP_BUSY => Frame::Busy { retry_after_ms: r.u32()? },
+            OP_ERR => {
+                let len = r.u32()? as usize;
+                let message = String::from_utf8(r.bytes(len)?.to_vec())
+                    .map_err(|_| ProtoError::Malformed("message is not UTF-8"))?;
+                Frame::Err { message }
+            }
+            _ => return Err(ProtoError::Malformed("unknown opcode")),
+        };
+        if r.pos != payload.len() {
+            return Err(ProtoError::Malformed("trailing bytes"));
+        }
+        Ok(frame)
+    }
+
+    /// Writes the frame with its length prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), ProtoError> {
+        let payload = self.encode();
+        if payload.len() > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge(payload.len()));
+        }
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Reads one length-prefixed frame. Returns `Ok(None)` on a clean
+    /// EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] when the declared length exceeds
+    /// [`MAX_FRAME`] (nothing further is read — the connection should be
+    /// dropped), and [`ProtoError::Malformed`]/[`ProtoError::Io`] as the
+    /// payload dictates.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, ProtoError> {
+        let mut len = [0u8; 4];
+        match r.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge(len));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Frame::decode(&payload).map(Some)
+    }
+}
+
+/// The session report fields that travel back in a `CloseOk` frame.
+pub fn close_ok(report: &SessionReport) -> Frame {
+    Frame::CloseOk { stats: report.stats, flushes: report.flushes, records: report.records }
+}
+
+fn stats_counters(s: &MispredictStats) -> [u64; 9] {
+    [
+        s.branches.get(),
+        s.instructions.get(),
+        s.dynamic_predictions.get(),
+        s.surprises.get(),
+        s.dynamic_wrong_direction.get(),
+        s.dynamic_wrong_target.get(),
+        s.surprise_wrong_direction.get(),
+        s.surprise_indirect_stalls.get(),
+        s.taken.get(),
+    ]
+}
+
+fn stats_from_counters(c: [u64; 9]) -> MispredictStats {
+    MispredictStats {
+        branches: Counter(c[0]),
+        instructions: Counter(c[1]),
+        dynamic_predictions: Counter(c[2]),
+        surprises: Counter(c[3]),
+        dynamic_wrong_direction: Counter(c[4]),
+        dynamic_wrong_target: Counter(c[5]),
+        surprise_wrong_direction: Counter(c[6]),
+        surprise_indirect_stalls: Counter(c[7]),
+        taken: Counter(c[8]),
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or(ProtoError::Malformed("truncated frame"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Brc, true, InstrAddr::new(0x2000)),
+            BranchRecord::new(InstrAddr::new(0x2000), Mnemonic::Br, false, InstrAddr::new(0x40))
+                .on_thread(ThreadId::ONE)
+                .with_gap(17),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            Frame::Open {
+                preset: GenerationPreset::Z15,
+                mode: WireMode::Delayed(32),
+                traced: true,
+                label: "lspr-like".into(),
+            },
+            Frame::Open {
+                preset: GenerationPreset::ZEc12,
+                mode: WireMode::Lookahead,
+                traced: false,
+                label: String::new(),
+            },
+            Frame::Feed { id: 7, batch: sample_records() },
+            Frame::Close { id: 7, tail_instrs: 99 },
+            Frame::OpenOk { id: 7, shard: 3 },
+            Frame::FeedOk { records: 123_456 },
+            Frame::CloseOk {
+                stats: {
+                    let mut s = MispredictStats::default();
+                    s.branches.add(10);
+                    s.taken.add(4);
+                    s
+                },
+                flushes: 3,
+                records: 10,
+            },
+            Frame::Busy { retry_after_ms: 5 },
+            Frame::Err { message: "nope".into() },
+        ];
+        for f in frames {
+            let mut wire = Vec::new();
+            f.write_to(&mut wire).unwrap();
+            let back = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(back, f, "roundtrip mismatch");
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(Frame::read_from(&mut { empty }).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_reading_payload() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        match Frame::read_from(&mut wire.as_slice()) {
+            Err(ProtoError::FrameTooLarge(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_malformed() {
+        let payload = Frame::Close { id: 1, tail_instrs: 2 }.encode();
+        assert!(matches!(
+            Frame::decode(&payload[..payload.len() - 1]),
+            Err(ProtoError::Malformed("truncated frame"))
+        ));
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(matches!(Frame::decode(&extra), Err(ProtoError::Malformed("trailing bytes"))));
+        assert!(matches!(Frame::decode(&[250]), Err(ProtoError::Malformed("unknown opcode"))));
+    }
+
+    #[test]
+    fn feed_batch_count_is_bounds_checked() {
+        // A Feed frame claiming u32::MAX records must be rejected before
+        // any allocation of that size.
+        let mut payload = vec![OP_FEED];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(ProtoError::Malformed("batch count exceeds frame limit"))
+        ));
+    }
+}

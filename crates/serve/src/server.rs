@@ -1,0 +1,196 @@
+//! TCP front end for the [`ShardPool`]: one accept loop, one thread per
+//! connection, frames decoded with [`Frame`] and translated into pool
+//! calls.
+//!
+//! Backpressure is surfaced, not absorbed: a full shard queue answers
+//! `Busy { retry_after_ms }` and the client decides when to retry, the
+//! same contract the paper's prediction queue enforces between the BPL
+//! and the instruction-fetch side.
+
+use crate::pool::{PoolConfig, ServeError, ShardPool, StreamId};
+use crate::proto::{close_ok, Frame, ProtoError};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::pool::PoolSummary;
+
+/// A running prediction service bound to a TCP address.
+pub struct Server {
+    addr: SocketAddr,
+    pool: Arc<ShardPool>,
+    stop: Arc<AtomicBool>,
+    /// Live connection sockets, so shutdown can unblock idle handlers.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: JoinHandle<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections over a fresh pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: PoolConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(ShardPool::new(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("zbp-serve-accept".into())
+                .spawn(move || accept_loop(listener, pool, stop, conns))
+                .expect("spawn accept loop")
+        };
+        Ok(Server { addr, pool, stop, conns, accept })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard pool behind this server — usable in-process alongside
+    /// TCP clients (the load generator reads merged telemetry this way).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Graceful shutdown: stops accepting, hangs up on every
+    /// connection (in-flight streams are finalized by the handlers'
+    /// orphan cleanup), drains the pool and returns the summary.
+    pub fn shutdown(self) -> PoolSummary {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        let handlers = self.accept.join().unwrap_or_default();
+        // Unblock handlers parked in read() on idle connections.
+        for conn in self.conns.lock().expect("conns").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        match Arc::try_unwrap(self.pool) {
+            Ok(pool) => pool.shutdown(),
+            // A handler leaked an Arc (should not happen once all are
+            // joined); report an empty summary rather than panic.
+            Err(_) => PoolSummary::default(),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    pool: Arc<ShardPool>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) -> Vec<JoinHandle<()>> {
+    let mut handlers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().expect("conns").push(clone);
+        }
+        let pool = Arc::clone(&pool);
+        let h = std::thread::Builder::new()
+            .name("zbp-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &pool);
+            })
+            .expect("spawn connection handler");
+        handlers.push(h);
+    }
+    handlers
+}
+
+/// Serves one connection until EOF or a fatal protocol error. Streams
+/// opened on this connection and never closed are closed (with a zero
+/// tail) when the connection ends, so a dropped client cannot leak
+/// sessions.
+fn handle_connection(stream: TcpStream, pool: &ShardPool) -> Result<(), ProtoError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    // Streams this connection opened and has not yet closed.
+    let mut live: HashMap<u64, StreamId> = HashMap::new();
+    let result = loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => break Ok(()),
+            Err(e) => {
+                let _ = Frame::Err { message: e.to_string() }.write_to(&mut writer);
+                let _ = writer.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                break Err(e);
+            }
+        };
+        let reply = match frame {
+            Frame::Open { preset, mode, traced, label } => {
+                match pool.open(&label, &preset.config(), mode.replay_mode(), traced) {
+                    Ok(opened) => {
+                        live.insert(opened.id.0, opened.id);
+                        Frame::OpenOk { id: opened.id.0, shard: opened.shard as u32 }
+                    }
+                    Err(e) => error_frame(e),
+                }
+            }
+            Frame::Feed { id, batch } => match pool.feed(StreamId(id), batch) {
+                Ok(records) => Frame::FeedOk { records },
+                Err(e) => error_frame(e),
+            },
+            Frame::Close { id, tail_instrs } => match pool.close(StreamId(id), tail_instrs) {
+                Ok(report) => {
+                    live.remove(&id);
+                    close_ok(&report)
+                }
+                Err(e) => error_frame(e),
+            },
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            Frame::OpenOk { .. }
+            | Frame::FeedOk { .. }
+            | Frame::CloseOk { .. }
+            | Frame::Busy { .. }
+            | Frame::Err { .. } => {
+                let e = ProtoError::Malformed("client sent a server frame");
+                let _ = Frame::Err { message: e.to_string() }.write_to(&mut writer);
+                let _ = writer.flush();
+                break Err(e);
+            }
+        };
+        reply.write_to(&mut writer)?;
+        writer.flush()?;
+    };
+    // Orphan cleanup: finalize anything the client left open.
+    for (_, id) in live {
+        let _ = pool.close(id, 0);
+    }
+    result
+}
+
+fn error_frame(e: ServeError) -> Frame {
+    match e {
+        ServeError::Busy { retry_after_ms } => Frame::Busy { retry_after_ms },
+        other => Frame::Err { message: other.to_string() },
+    }
+}

@@ -1,0 +1,325 @@
+//! The unified replay API: one [`Session`] drives every replay mode
+//! the workspace used to expose through three separate entry points
+//! (`DelayedUpdateHarness::run/run_traced`, `run_cosim_traced`,
+//! `run_lookahead_traced`), and it can be fed incrementally — which is
+//! what lets a shard serve many concurrently-open streams.
+
+use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_model::{BranchRecord, DynamicTrace, MispredictStats, ReplayCore};
+use zbp_telemetry::{Snapshot, Telemetry};
+use zbp_uarch::{CosimConfig, CosimReport, LookaheadReport};
+
+/// Default delayed-update window depth, matching the experiment
+/// engine's standard harness.
+pub const DEFAULT_DEPTH: usize = 32;
+
+/// How a session replays its stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayMode {
+    /// Functional replay under the delayed-update protocol: a FIFO of
+    /// `depth` in-flight branches between predict and complete. The
+    /// only mode that consumes records *incrementally* — batches step
+    /// the predictor as they arrive.
+    Delayed {
+        /// In-flight window depth (0 = immediate update).
+        depth: usize,
+    },
+    /// Cycle-stepped co-simulation of the BPL against the fetch/decode
+    /// front end. Whole-stream analysis: fed records are buffered and
+    /// the pipeline runs at [`Session::finish`].
+    Cosim(CosimConfig),
+    /// Lookahead line-search mode with IDU screening. Whole-stream
+    /// analysis (the branch-site set needs the full stream first).
+    Lookahead,
+}
+
+impl Default for ReplayMode {
+    /// The standard 32-deep delayed-update replay.
+    fn default() -> Self {
+        ReplayMode::Delayed { depth: DEFAULT_DEPTH }
+    }
+}
+
+impl ReplayMode {
+    /// Short mode tag used in logs and results.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReplayMode::Delayed { .. } => "delayed",
+            ReplayMode::Cosim(_) => "cosim",
+            ReplayMode::Lookahead => "lookahead",
+        }
+    }
+}
+
+/// What a completed session hands back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionReport {
+    /// Misprediction accounting for the stream.
+    pub stats: MispredictStats,
+    /// Pipeline restarts delivered to the predictor (for
+    /// [`ReplayMode::Cosim`] this is the report's restart count; for
+    /// [`ReplayMode::Lookahead`] every mispredict flushes once).
+    pub flushes: u64,
+    /// Branch records consumed.
+    pub records: u64,
+    /// Cycle accounting, for [`ReplayMode::Cosim`] sessions.
+    pub cosim: Option<CosimReport>,
+    /// Line-search accounting, for [`ReplayMode::Lookahead`] sessions.
+    pub lookahead: Option<LookaheadReport>,
+    /// Merged harness- and predictor-level telemetry, when the session
+    /// was opened traced.
+    pub telemetry: Option<Snapshot>,
+}
+
+enum Engine {
+    /// Streaming: each fed record steps the predictor immediately.
+    Delayed { pred: Box<ZPredictor>, core: ReplayCore, harness_tel: Telemetry },
+    /// Whole-stream: records accumulate and the analysis runs at
+    /// finish.
+    Buffered { cfg: Box<PredictorConfig>, mode: ReplayMode, trace: DynamicTrace },
+}
+
+/// One prediction stream: open → feed [`BranchRecord`] batches →
+/// [`finish`](Session::finish) for the [`SessionReport`].
+///
+/// `Session` is the single replay entry point for the workspace. The
+/// one-shot [`Session::run`] / [`Session::run_traced`] replace the old
+/// fragmented APIs (`DelayedUpdateHarness::run`, `run_cosim_traced`,
+/// `run_lookahead_traced`); the streaming surface (`open`/`feed`/
+/// `finish`) is what `ShardPool` multiplexes over predictor shards.
+///
+/// ```
+/// use zbp_core::GenerationPreset;
+/// use zbp_serve::{ReplayMode, Session};
+/// use zbp_trace::workloads;
+///
+/// let trace = workloads::lspr_like(42, 5_000).dynamic_trace();
+/// let report =
+///     Session::run(&GenerationPreset::Z15.config(), ReplayMode::default(), &trace);
+/// assert_eq!(report.records, trace.branch_count());
+/// assert!(report.stats.mpki() > 0.0);
+/// ```
+pub struct Session {
+    label: String,
+    traced: bool,
+    engine: Engine,
+    records: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("label", &self.label)
+            .field("traced", &self.traced)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Opens a stream on a fresh predictor built from `cfg`. With
+    /// `traced`, harness- and predictor-level telemetry record into the
+    /// final report's [`SessionReport::telemetry`]; statistics are
+    /// identical either way.
+    pub fn open(
+        label: impl Into<String>,
+        cfg: &PredictorConfig,
+        mode: ReplayMode,
+        traced: bool,
+    ) -> Session {
+        let label = label.into();
+        match mode {
+            ReplayMode::Delayed { depth } => {
+                Session::open_recycled(label, ZPredictor::new(cfg.clone()), depth, traced)
+            }
+            mode => Session {
+                traced,
+                engine: Engine::Buffered {
+                    cfg: Box::new(cfg.clone()),
+                    mode,
+                    trace: DynamicTrace::new(label.clone()),
+                },
+                label,
+                records: 0,
+            },
+        }
+    }
+
+    /// Opens a delayed-mode stream on an existing predictor instance —
+    /// the shard recycling path: a pool resets and reuses predictors
+    /// between sessions instead of reallocating every table. The
+    /// predictor must be in its power-on state ([`ZPredictor::reset`])
+    /// for the run to match a fresh one.
+    pub(crate) fn open_recycled(
+        label: impl Into<String>,
+        mut pred: ZPredictor,
+        depth: usize,
+        traced: bool,
+    ) -> Session {
+        if traced {
+            pred.set_telemetry(Telemetry::enabled());
+        }
+        Session {
+            label: label.into(),
+            traced,
+            engine: Engine::Delayed {
+                pred: Box::new(pred),
+                core: ReplayCore::new(depth),
+                harness_tel: if traced { Telemetry::enabled() } else { Telemetry::disabled() },
+            },
+            records: 0,
+        }
+    }
+
+    /// The stream label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Branch records consumed so far.
+    pub fn records_fed(&self) -> u64 {
+        self.records
+    }
+
+    /// Feeds one batch of branch records. Delayed-mode sessions step
+    /// the predictor record by record; whole-stream modes buffer until
+    /// [`finish`](Session::finish).
+    pub fn feed(&mut self, batch: &[BranchRecord]) {
+        self.records += batch.len() as u64;
+        match &mut self.engine {
+            Engine::Delayed { pred, core, harness_tel } => {
+                for rec in batch {
+                    core.step(pred.as_mut(), rec, harness_tel);
+                }
+            }
+            Engine::Buffered { trace, .. } => {
+                for rec in batch {
+                    trace.push(*rec);
+                }
+            }
+        }
+    }
+
+    /// Ends the stream: drains in-flight state (or runs the buffered
+    /// whole-stream analysis), accounts `tail_instrs` straight-line
+    /// instructions after the final branch, and returns the report.
+    pub fn finish(self, tail_instrs: u64) -> SessionReport {
+        self.finish_into(tail_instrs).0
+    }
+
+    /// Like [`finish`](Session::finish), additionally handing back the
+    /// predictor — for shard recycling, or for callers that inspect
+    /// structure-level statistics after the run. `None` for the
+    /// whole-stream modes, whose drivers own their predictor
+    /// internally.
+    pub fn finish_into(self, tail_instrs: u64) -> (SessionReport, Option<ZPredictor>) {
+        let traced = self.traced;
+        let records = self.records;
+        match self.engine {
+            Engine::Delayed { mut pred, core, harness_tel } => {
+                let run = core.finish(pred.as_mut(), tail_instrs);
+                let telemetry = traced.then(|| {
+                    // Same reduction order as the experiment engine's
+                    // traced cells: harness snapshot first, then the
+                    // predictor's.
+                    let mut snap = harness_tel.into_snapshot();
+                    snap.merge(&pred.take_telemetry().into_snapshot());
+                    snap
+                });
+                let report = SessionReport {
+                    stats: run.stats,
+                    flushes: run.flushes,
+                    records,
+                    cosim: None,
+                    lookahead: None,
+                    telemetry,
+                };
+                (report, Some(*pred))
+            }
+            Engine::Buffered { cfg, mode, mut trace } => {
+                trace.push_tail_instrs(tail_instrs);
+                (run_whole(&cfg, &mode, &trace, traced, records), None)
+            }
+        }
+    }
+
+    /// One-shot replay of a whole trace — the unified entry point that
+    /// replaces `DelayedUpdateHarness::run`, `run_cosim` and
+    /// `run_lookahead`.
+    pub fn run(cfg: &PredictorConfig, mode: ReplayMode, trace: &DynamicTrace) -> SessionReport {
+        Session::drive(cfg, mode, trace, false)
+    }
+
+    /// One-shot replay with telemetry recorded into the report.
+    pub fn run_traced(
+        cfg: &PredictorConfig,
+        mode: ReplayMode,
+        trace: &DynamicTrace,
+    ) -> SessionReport {
+        Session::drive(cfg, mode, trace, true)
+    }
+
+    fn drive(
+        cfg: &PredictorConfig,
+        mode: ReplayMode,
+        trace: &DynamicTrace,
+        traced: bool,
+    ) -> SessionReport {
+        match mode {
+            // Streaming path: identical to a served session fed in
+            // batches — that equivalence is what makes pool results
+            // byte-comparable to local runs.
+            ReplayMode::Delayed { .. } => {
+                let mut s = Session::open(trace.label(), cfg, mode, traced);
+                s.feed(trace.as_slice());
+                s.finish(trace.tail_instrs())
+            }
+            // Whole-trace analyses run on the caller's trace directly
+            // (no buffering copy).
+            mode => run_whole(cfg, &mode, trace, traced, trace.branch_count()),
+        }
+    }
+}
+
+/// Drives a whole-stream mode over a complete trace. The bodies of the
+/// deprecated `run_cosim_traced`/`run_lookahead_traced` move into this
+/// crate when those wrappers are removed; until then the session
+/// delegates to them.
+fn run_whole(
+    cfg: &PredictorConfig,
+    mode: &ReplayMode,
+    trace: &DynamicTrace,
+    traced: bool,
+    records: u64,
+) -> SessionReport {
+    let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+    match mode {
+        ReplayMode::Delayed { .. } => unreachable!("delayed mode streams"),
+        ReplayMode::Cosim(ccfg) => {
+            #[allow(deprecated)]
+            let (rep, snap) = zbp_uarch::run_cosim_traced(cfg.clone(), ccfg, trace, tel);
+            SessionReport {
+                stats: rep.mispredicts,
+                flushes: rep.restarts,
+                records,
+                telemetry: traced.then_some(snap),
+                cosim: Some(rep),
+                lookahead: None,
+            }
+        }
+        ReplayMode::Lookahead => {
+            #[allow(deprecated)]
+            let (rep, snap) = zbp_uarch::run_lookahead_traced(cfg.clone(), trace, tel);
+            SessionReport {
+                stats: rep.mispredicts,
+                // The lookahead driver flushes once per mispredicted
+                // branch.
+                flushes: rep.mispredicts.mispredictions(),
+                records,
+                telemetry: traced.then_some(snap),
+                cosim: None,
+                lookahead: Some(rep),
+            }
+        }
+    }
+}

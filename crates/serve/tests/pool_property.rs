@@ -1,0 +1,124 @@
+//! Sharding-invariance properties: per-stream results from a
+//! [`ShardPool`] are byte-identical to isolated [`Session`] runs, and
+//! the pool's merged telemetry does not depend on the shard count.
+
+use proptest::prelude::*;
+use zbp_core::GenerationPreset;
+use zbp_model::DynamicTrace;
+use zbp_serve::{PoolConfig, PoolSummary, ReplayMode, Session, ShardPool};
+use zbp_trace::workloads;
+
+fn suite(seeds: &[u64], len: u64) -> Vec<DynamicTrace> {
+    seeds
+        .iter()
+        .map(|s| {
+            // Distinct labels so the streams spread across shards.
+            let t = workloads::lspr_like(*s, len).dynamic_trace();
+            let tail = t.tail_instrs();
+            let mut out = DynamicTrace::from_records(format!("stream-{s}"), t.as_slice().to_vec());
+            out.push_tail_instrs(tail);
+            out
+        })
+        .collect()
+}
+
+/// Runs every trace through a pool with the given shard count (feeds
+/// interleaved round-robin in small batches to force concurrency on
+/// shared shards) and returns the drained summary.
+fn run_pooled(traces: &[DynamicTrace], shards: usize, batch: usize) -> PoolSummary {
+    let pool = ShardPool::new(PoolConfig { shards, ..PoolConfig::default() });
+    let cfg = GenerationPreset::Z15.config();
+    let opened: Vec<_> = traces
+        .iter()
+        .map(|t| pool.open(t.label(), &cfg, ReplayMode::default(), true).expect("open"))
+        .collect();
+    // Round-robin interleave: stream 0 batch 0, stream 1 batch 0, …,
+    // stream 0 batch 1, … — sessions on the same shard constantly
+    // alternate.
+    let mut cursors = vec![0usize; traces.len()];
+    loop {
+        let mut progressed = false;
+        for (i, t) in traces.iter().enumerate() {
+            let records = t.as_slice();
+            if cursors[i] < records.len() {
+                let end = (cursors[i] + batch).min(records.len());
+                pool.feed(opened[i].id, records[cursors[i]..end].to_vec()).expect("feed");
+                cursors[i] = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for (o, t) in opened.iter().zip(traces) {
+        pool.close(o.id, t.tail_instrs()).expect("close");
+    }
+    pool.shutdown()
+}
+
+#[test]
+fn interleaved_streams_match_isolated_runs() {
+    // The satellite regression: streams interleaved on shared shards
+    // must report exactly what an isolated run of each stream reports.
+    let traces = suite(&[1, 2, 3, 4], 6_000);
+    let summary = run_pooled(&traces, 2, 257);
+    assert_eq!(summary.sessions.len(), traces.len());
+    for (session, trace) in summary.sessions.iter().zip(&traces) {
+        let local =
+            Session::run_traced(&GenerationPreset::Z15.config(), ReplayMode::default(), trace);
+        assert_eq!(session.label, trace.label());
+        // Byte-identical: stats, flush counts, and telemetry all equal.
+        assert_eq!(session.report, local, "stream {} diverged under sharing", session.label);
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_merged_telemetry() {
+    let traces = suite(&[10, 11, 12, 13, 14], 4_000);
+    let baseline = run_pooled(&traces, 1, 509);
+    for shards in [2usize, 3, 5] {
+        let summary = run_pooled(&traces, shards, 509);
+        assert_eq!(
+            summary.merged_telemetry, baseline.merged_telemetry,
+            "merged telemetry diverged at {shards} shards"
+        );
+        // Per-session reports are identical too, not just the merge
+        // (shard placement is the only thing allowed to differ).
+        assert_eq!(summary.sessions.len(), baseline.sessions.len());
+        for (s, b) in summary.sessions.iter().zip(&baseline.sessions) {
+            assert_eq!(s.id, b.id);
+            assert_eq!(s.label, b.label);
+            assert_eq!(s.report, b.report, "stream {} diverged at {shards} shards", s.label);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary seeds, stream counts, batch sizes and shard
+    /// counts: pooled replay == isolated replay, and the merged
+    /// telemetry snapshot is invariant in the shard count.
+    #[test]
+    fn pooled_replay_is_shard_invariant(
+        seed in 0u64..1_000,
+        nstreams in 1usize..5,
+        shards in 1usize..4,
+        batch in 64usize..1024,
+    ) {
+        let seeds: Vec<u64> = (0..nstreams as u64).map(|i| seed * 31 + i).collect();
+        let traces = suite(&seeds, 2_000);
+        let pooled = run_pooled(&traces, shards, batch);
+        let single = run_pooled(&traces, 1, batch);
+        prop_assert_eq!(&pooled.merged_telemetry, &single.merged_telemetry);
+        for (session, trace) in pooled.sessions.iter().zip(&traces) {
+            let local = Session::run_traced(
+                &GenerationPreset::Z15.config(),
+                ReplayMode::default(),
+                trace,
+            );
+            prop_assert_eq!(&session.report, &local);
+        }
+    }
+}

@@ -57,6 +57,23 @@ impl Snapshot {
         self.spans.extend(other.spans.iter().copied());
         self.spans_dropped += other.spans_dropped;
     }
+
+    /// Reduces keyed snapshots into one, merging in ascending key order
+    /// regardless of the order `parts` arrives in. This is the tool for
+    /// shard-parallel producers (each session completes on whichever
+    /// shard it hashed to, in whatever order backpressure allowed): as
+    /// long as every part carries a stable key — a stream id, a cell
+    /// index — the reduction is identical at any shard or thread count,
+    /// so an N-shard run can be byte-compared against a serial one.
+    pub fn merge_keyed<K: Ord>(parts: impl IntoIterator<Item = (K, Snapshot)>) -> Snapshot {
+        let mut parts: Vec<(K, Snapshot)> = parts.into_iter().collect();
+        parts.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Snapshot::new();
+        for (_, s) in &parts {
+            out.merge(s);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +112,16 @@ mod tests {
         assert_eq!(ab.counters, ba.counters, "counters are order-independent");
         assert_eq!(ab.histograms, ba.histograms);
         assert_ne!(ab.spans, ba.spans, "span concatenation follows merge order");
+    }
+
+    #[test]
+    fn keyed_merge_is_arrival_order_independent() {
+        let completion_order = vec![(2u64, snap(2, 20)), (0, snap(0, 5)), (1, snap(1, 10))];
+        let serial_order = vec![(0u64, snap(0, 5)), (1, snap(1, 10)), (2, snap(2, 20))];
+        let a = Snapshot::merge_keyed(completion_order);
+        let b = Snapshot::merge_keyed(serial_order);
+        assert_eq!(a, b, "keyed reduction ignores completion order");
+        assert_eq!(a.spans.iter().map(|s| s.ts).collect::<Vec<_>>(), vec![5, 10, 20]);
     }
 
     #[test]

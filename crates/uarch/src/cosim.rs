@@ -122,11 +122,16 @@ struct StreamMemo {
 }
 
 /// Runs the co-simulation over a retired-path trace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use zbp_serve::Session::run with ReplayMode::Cosim — the unified replay entry point"
+)]
 pub fn run_cosim(
     pred_cfg: PredictorConfig,
     cfg: &CosimConfig,
     trace: &DynamicTrace,
 ) -> CosimReport {
+    #[allow(deprecated)]
     run_cosim_traced(pred_cfg, cfg, trace, Telemetry::disabled()).0
 }
 
@@ -136,6 +141,10 @@ pub fn run_cosim(
 /// IDU hand-off/restart events and prediction-latency/queue-occupancy
 /// histograms. The returned snapshot also folds in the predictor's own
 /// counters. The report is identical whether `tel` is enabled or not.
+#[deprecated(
+    since = "0.1.0",
+    note = "use zbp_serve::Session::run_traced with ReplayMode::Cosim — the unified replay entry point"
+)]
 pub fn run_cosim_traced(
     pred_cfg: PredictorConfig,
     cfg: &CosimConfig,
@@ -436,6 +445,7 @@ pub fn run_cosim_traced(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the wrappers until they are removed
 mod tests {
     use super::*;
     use zbp_core::GenerationPreset;

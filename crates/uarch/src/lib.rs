@@ -37,7 +37,11 @@ mod frontend;
 mod icache;
 pub mod lookahead;
 
-pub use cosim::{run_cosim, run_cosim_traced, CosimConfig, CosimReport};
+#[allow(deprecated)]
+pub use cosim::{run_cosim, run_cosim_traced};
+pub use cosim::{CosimConfig, CosimReport};
 pub use frontend::{Frontend, FrontendConfig, FrontendReport};
 pub use icache::{CacheLevel, Icache, IcacheConfig, IcacheStats};
-pub use lookahead::{run_lookahead, run_lookahead_traced, LookaheadReport};
+pub use lookahead::LookaheadReport;
+#[allow(deprecated)]
+pub use lookahead::{run_lookahead, run_lookahead_traced};

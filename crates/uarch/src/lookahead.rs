@@ -58,7 +58,12 @@ impl LookaheadReport {
 /// prediction, with every search's raised predictions screened against
 /// that set. Screening failures exercise
 /// [`ZPredictor::remove_bad_prediction`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use zbp_serve::Session::run with ReplayMode::Lookahead — the unified replay entry point"
+)]
 pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadReport {
+    #[allow(deprecated)]
     run_lookahead_traced(cfg, trace, Telemetry::disabled()).0
 }
 
@@ -67,6 +72,10 @@ pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadRep
 /// search), `idu.bad_predictions`/`idu.removals` counters and IDU-track
 /// markers for screening rejections. The report is identical whether
 /// `tel` is enabled or disabled.
+#[deprecated(
+    since = "0.1.0",
+    note = "use zbp_serve::Session::run_traced with ReplayMode::Lookahead — the unified replay entry point"
+)]
 pub fn run_lookahead_traced(
     cfg: PredictorConfig,
     trace: &DynamicTrace,
@@ -132,6 +141,7 @@ pub fn run_lookahead_traced(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the wrappers until they are removed
 mod tests {
     use super::*;
     use zbp_core::GenerationPreset;

@@ -285,7 +285,7 @@ pub fn diff_trace_with(
                 ),
             );
         }
-        if dut.inflight() == 0 {
+        if dut.structures().inflight == 0 {
             report.checks_passed += 1;
         } else {
             diverge(
@@ -293,7 +293,7 @@ pub fn diff_trace_with(
                 DivergenceKind::QueueHandoff,
                 format!(
                     "{} predictions still in flight after lock-step completion",
-                    dut.inflight()
+                    dut.structures().inflight
                 ),
             );
         }

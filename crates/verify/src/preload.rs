@@ -76,15 +76,15 @@ mod tests {
             })
             .collect();
         assert_eq!(preload_btb1_static(&mut dut, &branches), 16);
-        assert_eq!(dut.btb1().occupancy(), 16);
+        assert_eq!(dut.structures().btb1.occupancy(), 16);
     }
 
     #[test]
     fn dynamic_preload_fills_both_levels() {
         let mut dut = ZPredictor::new(GenerationPreset::Z15.config());
         preload_dynamic(&mut dut, &StimulusParams::default(), 9, 100);
-        assert!(dut.btb1().occupancy() > 20);
-        assert!(dut.btb2().unwrap().occupancy() > 20);
+        assert!(dut.structures().btb1.occupancy() > 20);
+        assert!(dut.structures().btb2.unwrap().occupancy() > 20);
     }
 
     #[test]

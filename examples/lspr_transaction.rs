@@ -11,7 +11,7 @@
 //! ```
 
 use zbp::core::GenerationPreset;
-use zbp::model::DelayedUpdateHarness;
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 use zbp::uarch::{Frontend, FrontendConfig};
 
@@ -28,9 +28,8 @@ fn main() {
     );
 
     for preset in GenerationPreset::ALL {
-        // Accuracy under the functional harness.
-        let mut p = zbp::core::ZPredictor::new(preset.config());
-        let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+        // Accuracy under the functional replay session.
+        let run = Session::run(&preset.config(), ReplayMode::Delayed { depth: 32 }, &trace);
 
         // Timing under the front-end model.
         let mut fe = Frontend::new(preset.config(), FrontendConfig::default());

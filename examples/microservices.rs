@@ -72,7 +72,7 @@ fn main() {
             stats.mpki(),
             100.0 * stats.coverage().fraction(),
             stats.surprises.get(),
-            p.btb2().map_or(0, |b| b.stats.searches),
+            p.structures().btb2.map_or(0, |b| b.stats.searches),
             p.stats.btb2_promotions,
         );
     }

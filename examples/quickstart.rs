@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use zbp::core::{GenerationPreset, ZPredictor};
-use zbp::model::DelayedUpdateHarness;
+use zbp::core::GenerationPreset;
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
 fn main() {
@@ -16,22 +16,26 @@ fn main() {
     let trace = workload.dynamic_trace();
     println!("workload: {}", trace.summary());
 
-    // 2. Build the z15 predictor from its generation preset. Every
-    //    capacity and policy knob is in the config if you want to turn
-    //    them (see `zbp::core::PredictorConfig`).
+    // 2. Open a replay session on the z15 preset. Every capacity and
+    //    policy knob is in the config if you want to turn them (see
+    //    `zbp::core::PredictorConfig`).
     let config = GenerationPreset::Z15.config();
-    let mut predictor = ZPredictor::new(config);
+    let mode = ReplayMode::Delayed { depth: 32 };
+    let mut session = Session::open(trace.label(), &config, mode, false);
 
-    // 3. Drive it through the delayed-update harness: predictions are
-    //    made in program order and training happens ~32 branches later,
-    //    like the real GPQ-based completion-time updates.
-    let run = DelayedUpdateHarness::new(32).run(&mut predictor, &trace);
+    // 3. Feed it the trace: predictions are made in program order and
+    //    training happens ~32 branches later, like the real GPQ-based
+    //    completion-time updates. (Batches can be fed incrementally —
+    //    the same API serves long-running streams over TCP.)
+    session.feed(trace.as_slice());
+    let (run, predictor) = session.finish_into(trace.tail_instrs());
+    let predictor = predictor.expect("delayed-mode sessions hand their predictor back");
 
     // 4. Read the results.
     println!("\n{}", run.stats);
     println!("\nper-provider attribution:\n{}", predictor.stats);
-    println!("BTB1 occupancy: {} branches", predictor.btb1().occupancy());
-    if let Some(b2) = predictor.btb2() {
+    println!("BTB1 occupancy: {} branches", predictor.structures().btb1.occupancy());
+    if let Some(b2) = predictor.structures().btb2 {
         println!(
             "BTB2: {} searches fired, {} entries staged toward the BTB1",
             b2.stats.searches, b2.stats.hits_staged

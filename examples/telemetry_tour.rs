@@ -10,9 +10,10 @@
 //! the same machinery on a single traced run, small enough to read.
 
 use zbp::core::GenerationPreset;
+use zbp::serve::{ReplayMode, Session};
 use zbp::telemetry::{chrome, Snapshot, Telemetry, Track};
 use zbp::trace::workloads;
-use zbp::uarch::{run_cosim, run_cosim_traced, CosimConfig};
+use zbp::uarch::CosimConfig;
 
 fn main() {
     // A Telemetry handle is either disabled (a null pointer — recording
@@ -34,9 +35,12 @@ fn main() {
     // The reports are identical — observation never perturbs the model.
     let trace = workloads::lspr_like(7, 20_000).dynamic_trace();
     let cfg = GenerationPreset::Z15.config();
-    let plain = run_cosim(cfg.clone(), &CosimConfig::default(), &trace);
-    let (traced, snap) =
-        run_cosim_traced(cfg, &CosimConfig::default(), &trace, Telemetry::enabled());
+    let mode = ReplayMode::Cosim(CosimConfig::default());
+    let plain =
+        Session::run(&cfg, mode.clone(), &trace).cosim.expect("cosim mode fills the cosim report");
+    let report = Session::run_traced(&cfg, mode, &trace);
+    let traced = report.cosim.expect("cosim mode fills the cosim report");
+    let snap = report.telemetry.expect("traced run fills telemetry");
     assert_eq!(plain, traced, "telemetry must be invisible to the model");
 
     println!("co-simulated {} cycles, CPI {:.3}\n", traced.cycles, traced.cpi());

@@ -9,14 +9,13 @@
 //! ```
 
 use zbp::core::config::PhtKind;
-use zbp::core::{GenerationPreset, PredictorConfig, ZPredictor};
-use zbp::model::DelayedUpdateHarness;
+use zbp::core::{GenerationPreset, PredictorConfig};
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
 fn measure(cfg: &PredictorConfig, label: &str, baseline: Option<f64>) -> f64 {
     let trace = workloads::lspr_like(77, 120_000).dynamic_trace();
-    let mut p = ZPredictor::new(cfg.clone());
-    let run = DelayedUpdateHarness::new(32).run(&mut p, &trace);
+    let run = Session::run(cfg, ReplayMode::Delayed { depth: 32 }, &trace);
     let mpki = run.stats.mpki();
     match baseline {
         Some(b) => {

@@ -16,6 +16,10 @@
 //! * [`verify`] — white-box verification harness per the paper's §VII.
 //! * [`telemetry`] — observability subsystem: counters, histograms,
 //!   bounded event tracing, Chrome-trace timeline export.
+//! * [`serve`] — the serving layer: the unified [`serve::Session`]
+//!   replay API, a sharded multi-stream prediction service with
+//!   bounded queues and backpressure, and a length-prefixed TCP
+//!   protocol with client and load generator.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 pub use zbp_baselines as baselines;
 pub use zbp_core as core;
 pub use zbp_model as model;
+pub use zbp_serve as serve;
 pub use zbp_telemetry as telemetry;
 pub use zbp_trace as trace;
 pub use zbp_uarch as uarch;

@@ -5,18 +5,16 @@
 //! that the same *ordering* emerges from the model on the synthetic
 //! LSPR suite, and that every generation configuration runs end to end.
 
-use zbp::core::{GenerationPreset, ZPredictor};
-use zbp::model::DelayedUpdateHarness;
+use zbp::core::GenerationPreset;
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
 fn suite_mpki(preset: GenerationPreset, instrs: u64) -> f64 {
-    let harness = DelayedUpdateHarness::new(32);
     let mut total = zbp::model::MispredictStats::new();
     for w in workloads::suite(1234, instrs) {
         let trace = w.dynamic_trace();
-        let mut p = ZPredictor::new(preset.config());
-        let run = harness.run(&mut p, &trace);
-        total.merge(&run.stats);
+        let report = Session::run(&preset.config(), ReplayMode::Delayed { depth: 32 }, &trace);
+        total.merge(&report.stats);
     }
     total.mpki()
 }
@@ -48,8 +46,7 @@ fn every_generation_runs_every_suite_workload() {
     for preset in GenerationPreset::ALL {
         for w in workloads::suite(7, 20_000) {
             let trace = w.dynamic_trace();
-            let mut p = ZPredictor::new(preset.config());
-            let run = DelayedUpdateHarness::new(16).run(&mut p, &trace);
+            let run = Session::run(&preset.config(), ReplayMode::Delayed { depth: 16 }, &trace);
             assert!(run.stats.branches.get() > 0, "{preset} x {}: no branches observed", w.label);
             assert_eq!(
                 run.stats.instructions.get(),

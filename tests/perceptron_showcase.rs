@@ -4,7 +4,8 @@
 //! single out the informative GPV bit.
 
 use zbp::core::{GenerationPreset, ZPredictor};
-use zbp::model::{DelayedUpdateHarness, FullPredictor, MispredictKind, MispredictStats};
+use zbp::model::{FullPredictor, MispredictKind, MispredictStats};
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
 fn follower_accuracy(with_perceptron: bool) -> f64 {
@@ -57,8 +58,7 @@ fn whole_trace_mpki_improves_with_perceptron() {
         if !perc {
             cfg.direction.perceptron = None;
         }
-        let mut p = ZPredictor::new(cfg);
-        DelayedUpdateHarness::new(16).run(&mut p, &trace).stats
+        Session::run(&cfg, ReplayMode::Delayed { depth: 16 }, &trace).stats
     };
     let with = run(true).mpki();
     let without = run(false).mpki();

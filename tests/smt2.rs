@@ -4,7 +4,8 @@
 //! (§IV–V).
 
 use zbp::core::{GenerationPreset, ZPredictor};
-use zbp::model::{DelayedUpdateHarness, ThreadId};
+use zbp::model::ThreadId;
+use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
 #[test]
@@ -14,10 +15,17 @@ fn interleaved_threads_drain_and_account() {
     let smt = workloads::interleave_smt2(&t0, &t1, 4);
     assert_eq!(smt.branch_count(), t0.branch_count() + t1.branch_count());
 
-    let mut p = ZPredictor::new(GenerationPreset::Z15.config());
-    let run = DelayedUpdateHarness::new(16).run(&mut p, &smt);
-    assert_eq!(run.stats.branches.get(), smt.branch_count());
-    assert_eq!(p.inflight(), 0, "both per-thread GPQs drained");
+    let mut s = Session::open(
+        smt.label(),
+        &GenerationPreset::Z15.config(),
+        ReplayMode::Delayed { depth: 16 },
+        false,
+    );
+    s.feed(smt.as_slice());
+    let (report, p) = s.finish_into(smt.tail_instrs());
+    let p = p.expect("delayed-mode sessions hand their predictor back");
+    assert_eq!(report.stats.branches.get(), smt.branch_count());
+    assert_eq!(p.structures().inflight, 0, "both per-thread GPQs drained");
 }
 
 #[test]
@@ -29,8 +37,11 @@ fn per_thread_history_is_isolated() {
     let noise = workloads::compute_loop(22, 60_000).dynamic_trace();
 
     // Solo run (thread 0 only).
-    let mut solo = ZPredictor::new(GenerationPreset::Z15.config());
-    let solo_run = DelayedUpdateHarness::new(16).run(&mut solo, &patterned);
+    let solo_run = Session::run(
+        &GenerationPreset::Z15.config(),
+        ReplayMode::Delayed { depth: 16 },
+        &patterned,
+    );
     let solo_mpki = solo_run.stats.mpki();
 
     // SMT run: the patterned workload on thread 1, noise on thread 0.
@@ -128,9 +139,15 @@ fn timing_models_agree_on_functional_outcomes() {
     // The analytic front end and the cycle-stepped co-simulation embed
     // the same functional predictor: their misprediction counts must
     // match exactly, and their CPIs must be the same order of magnitude.
-    use zbp::uarch::{run_cosim, CosimConfig, Frontend, FrontendConfig};
+    use zbp::uarch::{CosimConfig, Frontend, FrontendConfig};
     let trace = workloads::lspr_like(31, 30_000).dynamic_trace();
-    let cosim = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
+    let cosim = Session::run(
+        &GenerationPreset::Z15.config(),
+        ReplayMode::Cosim(CosimConfig::default()),
+        &trace,
+    )
+    .cosim
+    .expect("cosim mode fills the cosim report");
     let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
     let fr = fe.run(&trace);
     // The co-simulation runs the predictor genuinely ahead of
@@ -146,10 +163,12 @@ fn timing_models_agree_on_functional_outcomes() {
 
 #[test]
 fn cosim_runs_every_generation() {
-    use zbp::uarch::{run_cosim, CosimConfig};
+    use zbp::uarch::CosimConfig;
     let trace = workloads::compute_loop(7, 15_000).dynamic_trace();
     for preset in GenerationPreset::ALL {
-        let rep = run_cosim(preset.config(), &CosimConfig::default(), &trace);
+        let rep = Session::run(&preset.config(), ReplayMode::Cosim(CosimConfig::default()), &trace)
+            .cosim
+            .expect("cosim mode fills the cosim report");
         assert!(rep.cycles > 0, "{preset}");
         assert!(rep.instructions >= 15_000, "{preset}");
         assert!(rep.cpi() < 20.0, "{preset}: cpi {}", rep.cpi());
