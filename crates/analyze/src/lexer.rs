@@ -1,0 +1,399 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The build environment carries no crates.io registry, so `syn` is not
+//! available; the lints instead run over a token stream produced by
+//! this hand-rolled lexer. It understands exactly as much Rust as the
+//! lints need to be *sound about context*: comments (line, nested
+//! block, doc), string/char/byte/raw-string literals (so a `"HashMap"`
+//! inside a string never looks like a type), lifetimes vs. char
+//! literals, and numeric literals with a float/integer distinction for
+//! lint D3. Everything else is an identifier or a single-character
+//! punctuation token, each tagged with its 1-based source line.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `<`, …).
+    Punct(char),
+    /// String or byte-string literal, with its unescaped-enough text
+    /// retained (lint D4 reads `remove-by:` notes out of attribute
+    /// strings).
+    Str(String),
+    /// Char literal (contents irrelevant to every lint).
+    Char,
+    /// Lifetime marker (`'a`); kept distinct so it is never confused
+    /// with a char literal.
+    Lifetime,
+    /// Numeric literal; `float` distinguishes `1.0`/`1e6`/`2f64` from
+    /// integers for lint D3.
+    Num {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One comment (line comments one entry per line; block comments one
+/// entry per *source line* they cover, so waiver directives are
+/// line-addressable either way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*` framing.
+    pub text: String,
+    /// 1-based source line this piece of the comment sits on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens and comments, both line-tagged.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment lines in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` (panics never; unknown bytes become punctuation).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment { text: b[start..j].iter().collect::<String>(), line });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comment; emit one Comment per covered
+                // line so waivers inside blocks stay line-addressable.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut piece = String::new();
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else if b[j] == '\n' {
+                        out.comments.push(Comment { text: std::mem::take(&mut piece), line });
+                        line += 1;
+                        j += 1;
+                    } else {
+                        piece.push(b[j]);
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment { text: piece, line });
+                i = j;
+            }
+            '"' => {
+                let (text, nl, j) = lex_string(&b, i + 1);
+                out.tokens.push(Token { tok: Tok::Str(text), line });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let (tok, nl, j) = lex_prefixed_string(&b, i);
+                out.tokens.push(Token { tok, line });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'a` not closed by a quote) vs char literal.
+                let is_lifetime = b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Lifetime, line });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Char, line });
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (float, j) = lex_number(&b, i);
+                out.tokens.push(Token { tok: Tok::Num { float }, line });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token { tok: Tok::Ident(b[i..j].iter().collect()), line });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"# — but NOT a plain identifier
+    // starting with r/b.
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'"') {
+            return true;
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    false
+}
+
+/// Lexes from just after an opening `"`; returns (text, newlines, next index).
+fn lex_string(b: &[char], start: usize) -> (String, u32, usize) {
+    let mut j = start;
+    let mut nl = 0u32;
+    let mut text = String::new();
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' {
+            j += 1;
+            if let Some(&c) = b.get(j) {
+                text.push(c);
+            }
+        } else {
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            text.push(b[j]);
+        }
+        j += 1;
+    }
+    (text, nl, (j + 1).min(b.len()))
+}
+
+fn lex_prefixed_string(b: &[char], i: usize) -> (Tok, u32, usize) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let mut nl = 0u32;
+        let mut text = String::new();
+        while j < b.len() {
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (Tok::Str(text), nl, k);
+                }
+            }
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            text.push(b[j]);
+            j += 1;
+        }
+        (Tok::Str(text), nl, j)
+    } else {
+        // b"…" plain byte string.
+        let (text, nl, j2) = lex_string(b, j + 1);
+        (Tok::Str(text), nl, j2)
+    }
+}
+
+/// Lexes a numeric literal starting at `i`; returns (is_float, next index).
+fn lex_number(b: &[char], i: usize) -> (bool, usize) {
+    let mut j = i;
+    let mut float = false;
+    let radix_prefixed = b[j] == '0'
+        && matches!(
+            b.get(j + 1),
+            Some(&'x') | Some(&'X') | Some(&'b') | Some(&'B') | Some(&'o') | Some(&'O')
+        );
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    let body: String = b[i..j].iter().collect();
+    if !radix_prefixed {
+        // Exponent (1e6) or float suffix (2f64) make it a float.
+        if body.contains("f32") || body.contains("f64") {
+            float = true;
+        }
+        if let Some(pos) = body.find(['e', 'E']) {
+            if body
+                .get(pos + 1..)
+                .is_some_and(|rest| rest.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            {
+                float = true;
+            }
+        }
+        // Fractional part: `.` followed by a digit (so `0..n` stays two
+        // integer tokens around a range).
+        if b.get(j) == Some(&'.') && b.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            j += 1;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            // Signed exponent after the fraction: 1.5e-3.
+            if matches!(b.get(j), Some(&'+') | Some(&'-'))
+                && b.get(j.wrapping_sub(1)).is_some_and(|c| *c == 'e' || *c == 'E')
+            {
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Signed exponent directly after the integer body: 1e-6.
+    if matches!(b.get(j), Some(&'+') | Some(&'-'))
+        && b.get(j.wrapping_sub(1)).is_some_and(|c| *c == 'e' || *c == 'E')
+        && !radix_prefixed
+    {
+        float = true;
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+            j += 1;
+        }
+    }
+    (float, j)
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block */
+            let s = "HashMap::new()";
+            let r = r#"HashSet"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1);
+        assert!(!ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn comments_are_line_addressable() {
+        let src = "let a = 1;\n// waiver here\nlet b = 2; // trailing\n";
+        let lx = lex(src);
+        let lines: Vec<(u32, &str)> = lx.comments.iter().map(|c| (c.line, c.text.trim())).collect();
+        assert_eq!(lines, vec![(2, "waiver here"), (3, "trailing")]);
+    }
+
+    #[test]
+    fn block_comments_cover_every_line() {
+        let src = "/* one\ntwo\nthree */ fn x() {}\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 3);
+        assert_eq!(lx.comments[2].line, 3);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let toks = lex("1 2.5 1e6 0x1f 3f64 0..4").tokens;
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Num { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![false, true, true, false, true, false, false]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn attribute_strings_are_retained() {
+        let toks = lex(r#"#[deprecated(note = "remove-by: PR-7")]"#).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("remove-by: PR-7"))));
+    }
+}

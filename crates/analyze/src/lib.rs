@@ -1,0 +1,302 @@
+//! zbp-analyze: determinism & concurrency static analysis for the zbp
+//! workspace.
+//!
+//! The replay stack promises byte-identical results at any thread or
+//! shard count (DESIGN.md §4.4). That promise dies quietly: a `HashMap`
+//! iteration here, an `Instant::now()` there, and a float `+=` in a
+//! merge path will each pass every unit test while making `--threads 8`
+//! diverge from `--threads 1` one run in fifty. This crate is the gate
+//! that keeps those patterns out. It lexes every product source file
+//! (no `syn` in this offline environment — see [`lexer`]) and runs five
+//! lints:
+//!
+//! | id | rule |
+//! |----|------|
+//! | `nondet-iter` | no `HashMap`/`HashSet` iteration in deterministic paths |
+//! | `wall-clock` | no `Instant::now`/`SystemTime`/`thread_rng`/thread-id reads outside whitelisted latency modules |
+//! | `float-accum` | no `f32`/`f64` fields or `+=` in merged statistics |
+//! | `deprecated-expiry` | every `#[deprecated]` names `remove-by: PR-N` and fails once expired |
+//! | `unbounded-channel` | all inter-thread queues in ShardPool paths are bounded |
+//!
+//! Intentional exceptions carry an inline waiver with a mandatory
+//! reason — `// zbp-analyze: allow(<lint>): <why>` on or directly above
+//! the offending line — and every run emits `results/analyze.json`
+//! (schema 1) for CI and tooling. Run it as `cargo xtask analyze`.
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use lints::FileLex;
+use report::{Finding, InvalidWaiverAt, Report, UnusedWaiverAt};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// What to scan and which lint applies where. All paths are
+/// workspace-relative with `/` separators; a lint applies to a file
+/// when some entry is a prefix of its path.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Current PR number for `deprecated-expiry`.
+    pub current_pr: u32,
+    /// Directories to walk for `.rs` files.
+    pub scan: Vec<String>,
+    /// D1 scope: deterministic replay paths.
+    pub nondet_iter: Vec<String>,
+    /// D2 scope.
+    pub wall_clock: Vec<String>,
+    /// D2 exceptions: `(path, reason)` for latency-measurement modules
+    /// that intentionally read the wall clock.
+    pub wall_clock_whitelist: Vec<(String, String)>,
+    /// D3 scope.
+    pub float_accum: Vec<String>,
+    /// D5 scope: ShardPool / inter-thread queue paths.
+    pub unbounded_channel: Vec<String>,
+    /// Where to write `analyze.json` (skipped when `None`).
+    pub output: Option<PathBuf>,
+}
+
+impl Config {
+    /// The production configuration for this workspace.
+    pub fn workspace(root: &Path) -> Config {
+        let det = |s: &str| format!("crates/{s}/src");
+        Config {
+            root: root.to_path_buf(),
+            current_pr: current_pr(root),
+            scan: vec!["crates".into(), "src".into()],
+            nondet_iter: ["core", "model", "trace", "telemetry", "serve"]
+                .iter()
+                .map(|c| det(c))
+                .collect(),
+            wall_clock: [
+                "core",
+                "model",
+                "trace",
+                "telemetry",
+                "serve",
+                "zarch",
+                "uarch",
+                "baselines",
+                "verify",
+                "bench",
+            ]
+            .iter()
+            .map(|c| det(c))
+            .collect(),
+            wall_clock_whitelist: vec![
+                (
+                    "crates/bench/src/lib.rs".into(),
+                    "hosts the wall-time helpers the latency columns are built from".into(),
+                ),
+                (
+                    "crates/bench/src/experiment.rs".into(),
+                    "cell wall-time measurement feeding bench.json latency columns".into(),
+                ),
+                (
+                    "crates/bench/src/bin/run_all.rs".into(),
+                    "suite wall-time reporting for the operator console".into(),
+                ),
+                (
+                    "crates/bench/src/bin/loadgen.rs".into(),
+                    "client-side service latency measurement".into(),
+                ),
+            ],
+            float_accum: [
+                "core",
+                "model",
+                "trace",
+                "telemetry",
+                "serve",
+                "zarch",
+                "uarch",
+                "baselines",
+                "verify",
+                "bench",
+            ]
+            .iter()
+            .map(|c| det(c))
+            .collect(),
+            unbounded_channel: vec!["crates/serve/src".into()],
+            output: Some(root.join("results").join("analyze.json")),
+        }
+    }
+
+    /// A configuration for a self-test fixture tree: every lint applies
+    /// to everything under `root`, nothing is whitelisted, no JSON.
+    pub fn fixture(root: &Path, current_pr: u32) -> Config {
+        let all = vec![String::new()];
+        Config {
+            root: root.to_path_buf(),
+            current_pr,
+            scan: vec![String::new()],
+            nondet_iter: all.clone(),
+            wall_clock: all.clone(),
+            wall_clock_whitelist: Vec::new(),
+            float_accum: all.clone(),
+            unbounded_channel: all,
+            output: None,
+        }
+    }
+}
+
+/// Derives the current PR number from CHANGES.md: each landed PR
+/// appends one `- PR …` line, so the PR in flight is that count + 1.
+pub fn current_pr(root: &Path) -> u32 {
+    let text = std::fs::read_to_string(root.join("CHANGES.md")).unwrap_or_default();
+    let landed = text.lines().filter(|l| l.trim_start().starts_with("- PR")).count() as u32;
+    landed + 1
+}
+
+/// Directory names never scanned: test trees (covered by `#[cfg(test)]`
+/// masking where inline, excluded wholesale where out-of-line), vendored
+/// stand-ins, fixtures, and build output.
+const SKIP_DIRS: [&str; 6] = ["tests", "benches", "examples", "compat", "testdata", "target"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn in_scope(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// Runs the full analysis per `cfg`, writing `analyze.json` when
+/// configured, and returns the report.
+pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    for scan in &cfg.scan {
+        let dir = if scan.is_empty() { cfg.root.clone() } else { cfg.root.join(scan) };
+        walk(&dir, &mut paths);
+    }
+    paths.sort();
+    paths.dedup();
+
+    // Lex everything once; D3 needs a cross-file prepass (a struct and
+    // the impl carrying its merge method may live in different files).
+    let mut files = Vec::new();
+    for path in &paths {
+        let src = std::fs::read_to_string(path)?;
+        files.push(FileLex::new(rel_of(&cfg.root, path), &src));
+    }
+    let mut merge_types: BTreeSet<String> = BTreeSet::new();
+    for f in &files {
+        if in_scope(&f.rel, &cfg.float_accum) {
+            merge_types.extend(lints::collect_merge_types(f));
+        }
+    }
+
+    let mut report = Report { pr: cfg.current_pr, files_scanned: files.len(), ..Report::default() };
+    for f in &files {
+        let mut raw = Vec::new();
+        if in_scope(&f.rel, &cfg.nondet_iter) {
+            raw.extend(lints::lint_nondet_iter(f));
+        }
+        if in_scope(&f.rel, &cfg.wall_clock)
+            && !cfg.wall_clock_whitelist.iter().any(|(p, _)| *p == f.rel)
+        {
+            raw.extend(lints::lint_wall_clock(f));
+        }
+        if in_scope(&f.rel, &cfg.float_accum) {
+            for ff in lints::collect_float_fields(f) {
+                if merge_types.contains(&ff.strukt) {
+                    raw.push(lints::RawFinding {
+                        lint: "float-accum",
+                        line: ff.line,
+                        message: format!(
+                            "field `{}: {}` of `{}`, which has a merge method: float \
+                             accumulation is order-sensitive; store integer units and \
+                             derive ratios at the edge",
+                            ff.field, ff.ty, ff.strukt
+                        ),
+                    });
+                }
+            }
+            raw.extend(lints::lint_float_merge_arith(f));
+        }
+        raw.extend(lints::lint_deprecated_expiry(f, cfg.current_pr));
+        if in_scope(&f.rel, &cfg.unbounded_channel) {
+            raw.extend(lints::lint_unbounded_channel(f));
+        }
+
+        let (waivers, invalid) = lints::parse_waivers(&f.lexed.comments);
+        for w in invalid {
+            report.invalid_waivers.push(InvalidWaiverAt {
+                file: f.rel.clone(),
+                line: w.line,
+                problem: w.problem,
+            });
+        }
+        // A waiver covers findings of its lint on its own line (trailing
+        // comment) or the next code line (directive above, possibly with
+        // continuation comment lines in between).
+        let mut used = vec![false; waivers.len()];
+        raw.sort_by_key(|r| (r.line, r.lint));
+        for r in raw {
+            let mut waived = false;
+            let mut reason = None;
+            for (wi, w) in waivers.iter().enumerate() {
+                if w.lint != r.lint {
+                    continue;
+                }
+                let covers = r.line == w.line || f.next_code_line(w.line) == Some(r.line);
+                if covers {
+                    waived = true;
+                    reason = Some(w.reason.clone());
+                    used[wi] = true;
+                    break;
+                }
+            }
+            report.findings.push(Finding {
+                lint: r.lint.to_string(),
+                file: f.rel.clone(),
+                line: r.line,
+                message: r.message,
+                waived,
+                waiver_reason: reason,
+            });
+        }
+        for (wi, w) in waivers.iter().enumerate() {
+            if !used[wi] {
+                report.unused_waivers.push(UnusedWaiverAt {
+                    file: f.rel.clone(),
+                    line: w.line,
+                    lint: w.lint.clone(),
+                });
+            }
+        }
+    }
+
+    if let Some(out) = &cfg.output {
+        if let Some(parent) = out.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(out, report.to_json())?;
+    }
+    Ok(report)
+}

@@ -1,0 +1,793 @@
+//! The five determinism/concurrency lints (D1–D5) and their shared
+//! token-walking machinery.
+//!
+//! Every lint is a pure function from a lexed file (plus, for D3, a
+//! small cross-file prepass) to raw findings. Context soundness —
+//! ignoring `#[cfg(test)]`/`#[test]` code, strings and comments — is
+//! handled once here, so the individual lints stay pattern-level.
+
+use crate::lexer::{Comment, Lexed, Tok, Token};
+use std::collections::BTreeSet;
+
+/// The lint identifiers, in catalog (D1..D5) order.
+pub const LINT_IDS: [&str; 5] =
+    ["nondet-iter", "wall-clock", "float-accum", "deprecated-expiry", "unbounded-channel"];
+
+/// A lint hit before waiver resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Lint identifier (one of [`LINT_IDS`]).
+    pub lint: &'static str,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A parsed, well-formed waiver directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The lint this waiver silences.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the directive comment.
+    pub line: u32,
+}
+
+/// A malformed waiver directive (always a hard failure).
+#[derive(Debug, Clone)]
+pub struct InvalidWaiver {
+    /// Line of the directive comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A lexed file plus its test-code mask.
+pub struct FileLex {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` sits inside `#[cfg(test)]` or
+    /// `#[test]` code (lints skip those tokens).
+    pub mask: Vec<bool>,
+}
+
+impl FileLex {
+    /// Lexes `src` and computes the test mask.
+    pub fn new(rel: String, src: &str) -> Self {
+        let lexed = crate::lexer::lex(src);
+        let mask = test_mask(&lexed.tokens);
+        FileLex { rel, lexed, mask }
+    }
+
+    /// The smallest token line strictly after `line` (the "next code
+    /// line" a waiver directive covers), if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.lexed.tokens.iter().map(|t| t.line).filter(|&l| l > line).min()
+    }
+}
+
+/// Index of the token closing the bracket opened at `open_idx`, or the
+/// last token when unbalanced (truncated input).
+fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Marks every token inside `#[cfg(test)]`- or `#[test]`-gated items.
+///
+/// Recognized shapes: the attribute (plus any stacked attributes after
+/// it), then the next item body `{ … }` at paren depth 0. `#[cfg(test)]
+/// mod t;` (out-of-line test module) masks nothing here; such files are
+/// excluded at the directory level (`tests/`, `benches/`).
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching(tokens, i + 1, '[', ']');
+            let span = tokens.get(i + 2..close).unwrap_or_default();
+            let is_cfg_test = span.first().is_some_and(|t| t.is_ident("cfg"))
+                && span.iter().any(|t| t.is_ident("test"));
+            let is_test_attr = span.len() == 1 && span[0].is_ident("test");
+            if is_cfg_test || is_test_attr {
+                // Skip any further stacked attributes.
+                let mut j = close + 1;
+                while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[')
+                {
+                    j = matching(tokens, j + 1, '[', ']') + 1;
+                }
+                // Find the item body: first `{` at paren depth 0, or
+                // give up at `;` (no body).
+                let mut pd = 0i32;
+                let mut body = None;
+                while j < tokens.len() {
+                    match &tokens[j].tok {
+                        Tok::Punct('(') => pd += 1,
+                        Tok::Punct(')') => pd -= 1,
+                        Tok::Punct(';') if pd == 0 => break,
+                        Tok::Punct('{') if pd == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    let end = matching(tokens, open, '{', '}');
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Parses `zbp-analyze: allow(<lint>[, reason])[: reason]` directives
+/// out of the comment stream. A reason is mandatory; directives with an
+/// unknown lint id or no reason land in the invalid list (which fails
+/// the run).
+pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<InvalidWaiver>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Doc comments (`///…` and `//!…` lex with a leading `/` or
+        // `!`) never carry directives — prose there may legitimately
+        // *describe* the waiver syntax.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find("zbp-analyze:") else { continue };
+        let rest = c.text.get(pos + "zbp-analyze:".len()..).unwrap_or("").trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            bad.push(InvalidWaiver {
+                line: c.line,
+                problem: "unknown directive (expected `allow(<lint>): reason`)".into(),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (inner, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some(parts) => parts,
+            None => {
+                bad.push(InvalidWaiver {
+                    line: c.line,
+                    problem: "malformed directive: missing `(<lint>)`".into(),
+                });
+                continue;
+            }
+        };
+        let (id, inline_reason) = match inner.split_once(',') {
+            Some((id, r)) => (id.trim(), r.trim()),
+            None => (inner.trim(), ""),
+        };
+        let colon_reason = after.trim_start().strip_prefix(':').map(str::trim).unwrap_or("");
+        let reason = if inline_reason.is_empty() { colon_reason } else { inline_reason };
+        if !LINT_IDS.contains(&id) {
+            bad.push(InvalidWaiver {
+                line: c.line,
+                problem: format!("unknown lint id `{id}` (known: {})", LINT_IDS.join(", ")),
+            });
+        } else if reason.is_empty() {
+            bad.push(InvalidWaiver {
+                line: c.line,
+                problem: format!("waiver for `{id}` has no reason; write `allow({id}): <why>`"),
+            });
+        } else {
+            ok.push(Waiver { lint: id.to_string(), reason: reason.to_string(), line: c.line });
+        }
+    }
+    (ok, bad)
+}
+
+// ---------------------------------------------------------------------
+// D1: nondet-iter
+// ---------------------------------------------------------------------
+
+/// Methods whose call on a hash container observes hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// The binding or field name a `HashMap`/`HashSet` type token belongs
+/// to, walking left through wrapper types (`Mutex<…>`, `Arc<…>`, path
+/// segments) to the `name:` annotation or `name =` initializer.
+fn hash_binding_name(tokens: &[Token], type_idx: usize) -> Option<String> {
+    let mut j = type_idx;
+    let mut guard = 24usize;
+    while j > 0 && guard > 0 {
+        guard -= 1;
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Punct('<') | Tok::Punct('&') | Tok::Lifetime => {}
+            Tok::Ident(s) if s == "mut" || s == "dyn" => {}
+            Tok::Punct(':') => {
+                if j > 0 && tokens[j - 1].is_punct(':') {
+                    // `::` path separator: consume it plus the segment.
+                    j -= 1;
+                    if j > 0 && tokens[j - 1].ident().is_some() {
+                        j -= 1;
+                    } else {
+                        return None;
+                    }
+                } else {
+                    // Single `:` — the type annotation; the name sits
+                    // just before it.
+                    return j
+                        .checked_sub(1)
+                        .and_then(|k| tokens.get(k))
+                        .and_then(|t| t.ident())
+                        .map(str::to_string);
+                }
+            }
+            Tok::Ident(_) => {} // wrapper type like Mutex / Arc
+            Tok::Punct('=') => {
+                // `let name = HashMap::new()` / `name = HashMap::…`.
+                return j
+                    .checked_sub(1)
+                    .and_then(|k| tokens.get(k))
+                    .and_then(|t| t.ident())
+                    .map(str::to_string);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// All identifiers in the method-call chain ending just before index
+/// `end` (inclusive), e.g. `self.map.lock().expect("…")` yields
+/// `["expect", "lock", "map", "self"]`.
+fn chain_idents(tokens: &[Token], end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = end as isize;
+    let mut guard = 64usize;
+    while j >= 0 && guard > 0 {
+        guard -= 1;
+        let ju = j as usize;
+        match &tokens[ju].tok {
+            Tok::Punct(')') | Tok::Punct(']') => {
+                let (open, close) = if tokens[ju].is_punct(')') { ('(', ')') } else { ('[', ']') };
+                let mut depth = 0i32;
+                while j >= 0 {
+                    let t = &tokens[j as usize];
+                    if t.is_punct(close) {
+                        depth += 1;
+                    } else if t.is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            Tok::Ident(s) => {
+                out.push(s.clone());
+                if j >= 1 && tokens[ju - 1].is_punct('.') {
+                    j -= 2;
+                } else if j >= 2 && tokens[ju - 1].is_punct(':') && tokens[ju - 2].is_punct(':') {
+                    j -= 3;
+                } else {
+                    break;
+                }
+            }
+            Tok::Punct('?') => j -= 1,
+            _ => break,
+        }
+    }
+    out
+}
+
+/// D1: iteration over `HashMap`/`HashSet` in a deterministic path.
+pub fn lint_nondet_iter(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for (i, tok) in t.iter().enumerate() {
+        if f.mask[i] {
+            continue;
+        }
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            if let Some(n) = hash_binding_name(t, i) {
+                names.insert(n);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let hashy = |chain: &[String]| {
+        chain.iter().find(|c| names.contains(*c) || *c == "HashMap" || *c == "HashSet").cloned()
+    };
+    for (i, tok) in t.iter().enumerate() {
+        if f.mask[i] {
+            continue;
+        }
+        // `recv.iter()`-style: method call observing iteration order.
+        if let Some(m) = tok.ident() {
+            if ITER_METHODS.contains(&m)
+                && i >= 1
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && i >= 2
+            {
+                let chain = chain_idents(t, i - 2);
+                if let Some(name) = hashy(&chain) {
+                    out.push(RawFinding {
+                        lint: "nondet-iter",
+                        line: tok.line,
+                        message: format!(
+                            "`.{m}()` observes hash order of `{name}`; use \
+                             BTreeMap/BTreeSet or collect-and-sort before iterating"
+                        ),
+                    });
+                }
+            }
+        }
+        // `for x in map`-style: direct consumption in a for loop.
+        if tok.is_ident("for") {
+            // Find `in` at paren/bracket depth 0, bailing at `{`/`;`
+            // (covers `impl Trait for Type` and `for<'a>`).
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut in_idx = None;
+            let mut guard = 48usize;
+            while j < t.len() && guard > 0 {
+                guard -= 1;
+                match &t[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') | Tok::Punct(';') => break,
+                    Tok::Ident(s) if s == "in" && depth == 0 => {
+                        in_idx = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(ii) = in_idx {
+                // Collect the leading expression chain after `in`.
+                let mut k = ii + 1;
+                while t.get(k).is_some_and(|x| x.is_punct('&') || x.is_ident("mut")) {
+                    k += 1;
+                }
+                let mut chain = Vec::new();
+                while let Some(x) = t.get(k) {
+                    if let Some(id) = x.ident() {
+                        chain.push(id.to_string());
+                        if t.get(k + 1).is_some_and(|n| n.is_punct('.')) {
+                            k += 2;
+                        } else if t.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                            && t.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                        {
+                            k += 3;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                // Method calls after the chain (`map.drain()`) are
+                // already caught above; flag plain consumption here.
+                if t.get(k + 1).is_none_or(|n| !n.is_punct('(')) {
+                    if let Some(name) = hashy(&chain) {
+                        out.push(RawFinding {
+                            lint: "nondet-iter",
+                            line: tok.line,
+                            message: format!(
+                                "`for … in {}` consumes hash-ordered `{name}`; use \
+                                 BTreeMap/BTreeSet or sort first",
+                                chain.join(".")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// D2: wall-clock
+// ---------------------------------------------------------------------
+
+/// D2: wall-clock / ambient-entropy reads in deterministic paths.
+pub fn lint_wall_clock(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    let seq = |i: usize, pat: &[&str]| -> bool {
+        pat.iter().enumerate().all(|(k, p)| match *p {
+            ":" => t.get(i + k).is_some_and(|x| x.is_punct(':')),
+            "(" => t.get(i + k).is_some_and(|x| x.is_punct('(')),
+            ")" => t.get(i + k).is_some_and(|x| x.is_punct(')')),
+            "." => t.get(i + k).is_some_and(|x| x.is_punct('.')),
+            id => t.get(i + k).is_some_and(|x| x.is_ident(id)),
+        })
+    };
+    for (i, tok) in t.iter().enumerate() {
+        if f.mask[i] {
+            continue;
+        }
+        if seq(i, &["Instant", ":", ":", "now"]) {
+            out.push(RawFinding {
+                lint: "wall-clock",
+                line: tok.line,
+                message: "`Instant::now()` in a deterministic path; wall-clock reads may \
+                          only feed the whitelisted latency modules"
+                    .into(),
+            });
+        } else if tok.is_ident("SystemTime") {
+            out.push(RawFinding {
+                lint: "wall-clock",
+                line: tok.line,
+                message: "`SystemTime` in a deterministic path; timestamps must come from \
+                          the model's virtual clock"
+                    .into(),
+            });
+        } else if tok.is_ident("thread_rng") {
+            out.push(RawFinding {
+                lint: "wall-clock",
+                line: tok.line,
+                message: "`thread_rng()` is ambient entropy; deterministic paths must use \
+                          an explicitly seeded generator"
+                    .into(),
+            });
+        } else if seq(i, &["thread", ":", ":", "current", "(", ")", ".", "id"]) {
+            out.push(RawFinding {
+                lint: "wall-clock",
+                line: tok.line,
+                message: "`thread::current().id()` leaks scheduling identity into results".into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// D3: float-accum
+// ---------------------------------------------------------------------
+
+/// A float-typed field of some struct (D3 prepass output).
+#[derive(Debug, Clone)]
+pub struct FloatField {
+    /// Struct the field belongs to.
+    pub strukt: String,
+    /// Field name.
+    pub field: String,
+    /// `"f32"` or `"f64"`.
+    pub ty: &'static str,
+    /// Line of the float type token.
+    pub line: u32,
+}
+
+/// D3 prepass: float-typed fields of every struct in the file
+/// (anywhere in the field's type, so `BTreeMap<String, f64>` counts).
+pub fn collect_float_fields(f: &FileLex) -> Vec<FloatField> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if !f.mask[i] && t[i].is_ident("struct") {
+            let Some(name) = t.get(i + 1).and_then(|x| x.ident()).map(str::to_string) else {
+                i += 1;
+                continue;
+            };
+            // Skip generics / where clauses to the body (or `;`/`(`).
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut open = None;
+            while j < t.len() {
+                match &t[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct(';') | Tok::Punct('(') if angle == 0 => break,
+                    Tok::Punct('{') if angle == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = matching(t, open, '{', '}');
+                let mut field: Option<String> = None;
+                let (mut ang, mut par) = (0i32, 0i32);
+                for k in open + 1..close {
+                    match &t[k].tok {
+                        Tok::Punct('<') => ang += 1,
+                        Tok::Punct('>') => ang -= 1,
+                        Tok::Punct('(') => par += 1,
+                        Tok::Punct(')') => par -= 1,
+                        Tok::Punct(':')
+                            if ang == 0
+                                && par == 0
+                                && !t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                                && !t.get(k - 1).is_some_and(|x| x.is_punct(':')) =>
+                        {
+                            field = t.get(k - 1).and_then(|x| x.ident()).map(str::to_string);
+                        }
+                        Tok::Ident(s) if s == "f32" || s == "f64" => {
+                            if let Some(fname) = &field {
+                                out.push(FloatField {
+                                    strukt: name.clone(),
+                                    field: fname.clone(),
+                                    ty: if s == "f32" { "f32" } else { "f64" },
+                                    line: t[k].line,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// D3 prepass: names of types with an inherent or trait `merge*`
+/// method in this file.
+pub fn collect_merge_types(f: &FileLex) -> Vec<String> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if !f.mask[i] && t[i].is_ident("impl") {
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut name: Option<String> = None;
+            let mut open = None;
+            while j < t.len() {
+                match &t[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct('{') if angle <= 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    Tok::Punct(';') if angle <= 0 => break,
+                    Tok::Ident(s) if s == "for" => name = None,
+                    Tok::Ident(s) if s == "where" => break,
+                    Tok::Ident(s) if angle == 0 && s != "dyn" && s != "mut" => {
+                        name = Some(s.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `where` clause may precede the brace; find it if not yet seen.
+            if open.is_none() {
+                while j < t.len() && !t[j].is_punct('{') {
+                    j += 1;
+                }
+                if j < t.len() {
+                    open = Some(j);
+                }
+            }
+            if let (Some(name), Some(open)) = (name, open) {
+                let close = matching(t, open, '{', '}');
+                let mut k = open;
+                while k + 1 < close {
+                    if t[k].is_ident("fn")
+                        && t[k + 1].ident().is_some_and(|m| m.starts_with("merge"))
+                    {
+                        out.push(name.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// D3 (direct form): `+=` with a float operand inside a `merge*` fn.
+pub fn lint_float_merge_arith(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < t.len() {
+        if !f.mask[i]
+            && t[i].is_ident("fn")
+            && t[i + 1].ident().is_some_and(|m| m.starts_with("merge"))
+        {
+            let mut j = i + 2;
+            while j < t.len() && !t[j].is_punct('{') {
+                j += 1;
+            }
+            if j >= t.len() {
+                break;
+            }
+            let close = matching(t, j, '{', '}');
+            for k in j + 1..close.saturating_sub(1) {
+                if t[k].is_punct('+') && t[k + 1].is_punct('=') {
+                    // Scan the enclosing statement for float operands.
+                    let mut s = k;
+                    while s > j && !t[s].is_punct(';') && !t[s].is_punct('{') {
+                        s -= 1;
+                    }
+                    let mut e = k;
+                    while e < close && !t[e].is_punct(';') {
+                        e += 1;
+                    }
+                    let floaty = t.get(s..e).unwrap_or_default().iter().any(|x| {
+                        matches!(x.tok, Tok::Num { float: true })
+                            || x.is_ident("f32")
+                            || x.is_ident("f64")
+                    });
+                    if floaty {
+                        out.push(RawFinding {
+                            lint: "float-accum",
+                            line: t[k].line,
+                            message: "float `+=` inside a merge method: accumulation \
+                                      order changes the result; merge integer units and \
+                                      derive ratios at the edge"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// D4: deprecated-expiry
+// ---------------------------------------------------------------------
+
+/// Extracts `remove-by: PR-N` from a string, if present.
+fn parse_remove_by(s: &str) -> Option<u32> {
+    let idx = s.find("remove-by:")?;
+    let rest = s.get(idx + "remove-by:".len()..)?.trim_start();
+    let rest = rest.strip_prefix("PR-")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// D4: every `#[deprecated]` must carry a `remove-by: PR-N` note (in
+/// the attribute string or a comment within two lines above / one
+/// below) and fails once the current PR reaches N.
+pub fn lint_deprecated_expiry(f: &FileLex, current_pr: u32) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if f.mask[i]
+            || !t[i].is_punct('#')
+            || !t.get(i + 1).is_some_and(|x| x.is_punct('['))
+            || !t.get(i + 2).is_some_and(|x| x.is_ident("deprecated"))
+        {
+            continue;
+        }
+        let close = matching(t, i + 1, '[', ']');
+        let attr_line = t[i].line;
+        let mut remove_by =
+            t.get(i + 2..close).unwrap_or_default().iter().find_map(|x| match &x.tok {
+                Tok::Str(s) => parse_remove_by(s),
+                _ => None,
+            });
+        if remove_by.is_none() {
+            remove_by = f
+                .lexed
+                .comments
+                .iter()
+                .filter(|c| c.line + 2 >= attr_line && c.line <= attr_line + 1)
+                .find_map(|c| parse_remove_by(&c.text));
+        }
+        match remove_by {
+            None => out.push(RawFinding {
+                lint: "deprecated-expiry",
+                line: attr_line,
+                message: "`#[deprecated]` without a `remove-by: PR-N` note; every \
+                          deprecation must name the PR that deletes it"
+                    .into(),
+            }),
+            Some(n) if current_pr >= n => out.push(RawFinding {
+                lint: "deprecated-expiry",
+                line: attr_line,
+                message: format!(
+                    "deprecation expired: marked `remove-by: PR-{n}` and this is PR {current_pr}; \
+                     delete the item"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// D5: unbounded-channel
+// ---------------------------------------------------------------------
+
+/// D5: unbounded queues in ShardPool paths — `mpsc::channel()`,
+/// `unbounded()`, or a `VecDeque` used as an inter-thread buffer.
+pub fn lint_unbounded_channel(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    // Tokens inside `use …;` declarations (imports alone are harmless).
+    let mut in_use = vec![false; t.len()];
+    let mut inside = false;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.is_ident("use") {
+            inside = true;
+        } else if tok.is_punct(';') {
+            inside = false;
+        }
+        in_use[i] = inside;
+    }
+    for (i, tok) in t.iter().enumerate() {
+        if f.mask[i] || in_use[i] {
+            continue;
+        }
+        let called = t.get(i + 1).is_some_and(|x| x.is_punct('('));
+        let defined = i >= 1 && t[i - 1].is_ident("fn");
+        if tok.is_ident("channel") && called && !defined {
+            out.push(RawFinding {
+                lint: "unbounded-channel",
+                line: tok.line,
+                message: "`channel()` is unbounded; pool paths must use `sync_channel` so \
+                          backpressure is explicit"
+                    .into(),
+            });
+        } else if tok.is_ident("unbounded") && called && !defined {
+            out.push(RawFinding {
+                lint: "unbounded-channel",
+                line: tok.line,
+                message: "`unbounded()` queue in a pool path; use a bounded channel".into(),
+            });
+        } else if tok.is_ident("VecDeque") {
+            out.push(RawFinding {
+                lint: "unbounded-channel",
+                line: tok.line,
+                message: "`VecDeque` grows without bound; pool buffers must have an \
+                          explicit capacity policy"
+                    .into(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,216 @@
+//! Machine-readable results: the [`Report`] aggregate and its
+//! `analyze.json` (schema 1) serialization.
+//!
+//! The writer is hand-rolled (the build environment has no serde);
+//! the schema is documented in EXPERIMENTS.md and kept additive —
+//! consumers must ignore unknown keys.
+
+/// One lint finding after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint identifier (`nondet-iter`, `wall-clock`, …).
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether a valid waiver covers this finding.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+/// A malformed waiver directive (hard failure).
+#[derive(Debug, Clone)]
+pub struct InvalidWaiverAt {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A waiver that matched no finding (reported, non-fatal).
+#[derive(Debug, Clone)]
+pub struct UnusedWaiverAt {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// The lint it tried to waive.
+    pub lint: String,
+}
+
+/// The full result of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The PR number expiry checks ran against.
+    pub pr: u32,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, waived and unwaived, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Malformed waivers (any entry fails the run).
+    pub invalid_waivers: Vec<InvalidWaiverAt>,
+    /// Waivers that covered nothing.
+    pub unused_waivers: Vec<UnusedWaiverAt>,
+}
+
+impl Report {
+    /// Unwaived findings only.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Whether the run passes: no unwaived findings and no malformed
+    /// waivers.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().count() == 0 && self.invalid_waivers.is_empty()
+    }
+
+    /// Serializes to `analyze.json` schema 1.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"generated_by\": \"zbp-analyze\",\n");
+        s.push_str(&format!("  \"pr\": {},\n", self.pr));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        let unwaived = self.unwaived().count();
+        s.push_str("  \"counts\": {");
+        s.push_str(&format!(
+            "\"findings\": {}, \"unwaived\": {}, \"waived\": {}, \
+             \"invalid_waivers\": {}, \"unused_waivers\": {}",
+            self.findings.len(),
+            unwaived,
+            self.findings.len() - unwaived,
+            self.invalid_waivers.len(),
+            self.unused_waivers.len()
+        ));
+        s.push_str("},\n");
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!(
+                "\"lint\": {}, \"file\": {}, \"line\": {}, \"waived\": {}, \
+                 \"waiver_reason\": {}, \"message\": {}",
+                json_str(&f.lint),
+                json_str(&f.file),
+                f.line,
+                f.waived,
+                match &f.waiver_reason {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                },
+                json_str(&f.message)
+            ));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"invalid_waivers\": [");
+        for (i, w) in self.invalid_waivers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!(
+                "\"file\": {}, \"line\": {}, \"problem\": {}",
+                json_str(&w.file),
+                w.line,
+                json_str(&w.problem)
+            ));
+            s.push('}');
+        }
+        if !self.invalid_waivers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"unused_waivers\": [");
+        for (i, w) in self.unused_waivers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!(
+                "\"file\": {}, \"line\": {}, \"lint\": {}",
+                json_str(&w.file),
+                w.line,
+                json_str(&w.lint)
+            ));
+            s.push('}');
+        }
+        if !self.unused_waivers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_round_trips() {
+        let r = Report { pr: 5, files_scanned: 3, ..Report::default() };
+        assert!(r.is_clean());
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn waived_findings_do_not_fail_but_invalid_waivers_do() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            lint: "nondet-iter".into(),
+            file: "a.rs".into(),
+            line: 1,
+            message: "m".into(),
+            waived: true,
+            waiver_reason: Some("because".into()),
+        });
+        assert!(r.is_clean());
+        r.invalid_waivers.push(InvalidWaiverAt {
+            file: "a.rs".into(),
+            line: 2,
+            problem: "no reason".into(),
+        });
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

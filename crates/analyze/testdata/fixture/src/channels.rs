@@ -1,0 +1,20 @@
+//! Fixture: D5 unbounded-channel violations, one waived.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub fn fan_in() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    // VIOLATION: unbounded channel in a pool path.
+    mpsc::channel()
+}
+
+pub fn backlog() -> VecDeque<u64> {
+    // VIOLATION: unbounded queue as an inter-thread buffer.
+    VecDeque::new()
+}
+
+pub fn waived_fan_in() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    // zbp-analyze: allow(unbounded-channel): fixture waiver-path check;
+    // occupancy is bounded by the upstream command queue.
+    mpsc::channel()
+}

@@ -1,0 +1,24 @@
+//! Fixture: D2 wall-clock violations.
+
+use std::time::Instant;
+
+pub struct StatsRow {
+    pub cycles: u64,
+    pub stamp_ns: u64,
+}
+
+pub fn stamp_row(cycles: u64) -> StatsRow {
+    // VIOLATION: wall-clock read feeding a stats record.
+    let t0 = Instant::now();
+    StatsRow { cycles, stamp_ns: t0.elapsed().as_nanos() as u64 }
+}
+
+pub fn shuffle_seed() -> u64 {
+    // VIOLATION: ambient entropy in a deterministic path.
+    rand::thread_rng().next_u64()
+}
+
+pub fn worker_tag() -> String {
+    // VIOLATION: scheduling identity leaks into output.
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,16 @@
+//! Fixture: D4 deprecated-expiry violations.
+
+/// Old entry point kept for one release.
+// VIOLATION once the current PR reaches 3: remove-by: PR-3
+#[deprecated(note = "use `run_v2` instead")]
+pub fn run_v1() {}
+
+// VIOLATION: no remove-by note anywhere.
+#[deprecated]
+pub fn run_v0() {}
+
+/// Still inside its window for a long while.
+#[deprecated(note = "use `run_v3`; remove-by: PR-9999")]
+pub fn run_v2() {}
+
+pub fn run_v3() {}

@@ -1,0 +1,15 @@
+//! Fixture: D3 float-accum violations.
+
+pub struct ShardStats {
+    pub lookups: u64,
+    // VIOLATION: float field on a merged struct.
+    pub hit_rate: f64,
+}
+
+impl ShardStats {
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.lookups += other.lookups;
+        // VIOLATION: float accumulation inside a merge method.
+        self.hit_rate += other.hit_rate * 0.5;
+    }
+}

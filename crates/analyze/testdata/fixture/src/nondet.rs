@@ -1,0 +1,56 @@
+//! Fixture: D1 nondet-iter violations, one waived, one invalid waiver.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Router {
+    routes: HashMap<u64, usize>,
+}
+
+impl Router {
+    pub fn occupancy_by_shard(&self) -> Vec<(u64, usize)> {
+        // VIOLATION: hash-order iteration leaks into the result.
+        self.routes.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub fn drain_everything(&mut self) {
+        // VIOLATION: for-in consumption of a hash container.
+        for (id, _) in &self.routes {
+            let _ = id;
+        }
+    }
+}
+
+pub fn dedup_report(seen: &HashSet<u64>) -> Vec<u64> {
+    // zbp-analyze: allow(nondet-iter): fixture exercises the waiver path;
+    // the output is sorted immediately after collection.
+    let mut v: Vec<u64> = seen.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn broken_waiver(seen: &HashSet<u64>) -> usize {
+    // zbp-analyze: allow(nondet-iter)
+    seen.values_snapshot_len()
+}
+
+trait Phantom {
+    fn values_snapshot_len(&self) -> usize;
+}
+
+impl Phantom for HashSet<u64> {
+    fn values_snapshot_len(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        // No finding here even though it iterates a HashMap.
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

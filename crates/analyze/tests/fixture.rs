@@ -1,0 +1,144 @@
+//! Self-test: every lint must fire on its seeded fixture violation,
+//! waivers must silence exactly what they cover, and malformed waivers
+//! must fail the run.
+
+use std::path::{Path, PathBuf};
+use zbp_analyze::report::{Finding, Report};
+use zbp_analyze::Config;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join("fixture")
+}
+
+fn run_fixture_at_pr(pr: u32) -> Report {
+    zbp_analyze::run(&Config::fixture(&fixture_root(), pr)).expect("fixture scan")
+}
+
+fn run_fixture() -> Report {
+    run_fixture_at_pr(5)
+}
+
+fn of<'a>(r: &'a Report, lint: &str, file: &str) -> Vec<&'a Finding> {
+    r.findings.iter().filter(|f| f.lint == lint && f.file.ends_with(file)).collect()
+}
+
+#[test]
+fn nondet_iter_detects_method_and_for_loop_iteration() {
+    let r = run_fixture();
+    let hits = of(&r, "nondet-iter", "nondet.rs");
+    let unwaived: Vec<_> = hits.iter().filter(|f| !f.waived).collect();
+    assert_eq!(unwaived.len(), 2, "`.iter()` and `for … in` seeds: {hits:#?}");
+    assert!(
+        unwaived.iter().any(|f| f.message.contains(".iter()")),
+        "method-call iteration detected"
+    );
+    assert!(
+        unwaived.iter().any(|f| f.message.contains("for … in")),
+        "for-loop consumption detected"
+    );
+}
+
+#[test]
+fn nondet_iter_waiver_with_reason_is_honored() {
+    let r = run_fixture();
+    let waived: Vec<_> =
+        of(&r, "nondet-iter", "nondet.rs").into_iter().filter(|f| f.waived).collect();
+    assert_eq!(waived.len(), 1, "exactly the waived seed: {waived:#?}");
+    assert!(
+        waived[0].waiver_reason.as_deref().is_some_and(|r| r.contains("waiver path")),
+        "reason is carried into the report"
+    );
+}
+
+#[test]
+fn test_code_is_exempt_from_nondet_iter() {
+    let r = run_fixture();
+    // 2 unwaived + 1 waived; the #[cfg(test)] iteration adds nothing.
+    assert_eq!(of(&r, "nondet-iter", "nondet.rs").len(), 3);
+}
+
+#[test]
+fn wall_clock_detects_instant_entropy_and_thread_id() {
+    let r = run_fixture();
+    let hits = of(&r, "wall-clock", "clock.rs");
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(hits.iter().any(|f| f.message.contains("thread_rng")));
+    assert!(hits.iter().any(|f| f.message.contains("thread::current")));
+    assert!(hits.iter().all(|f| !f.waived));
+}
+
+#[test]
+fn float_accum_detects_merged_field_and_merge_arithmetic() {
+    let r = run_fixture();
+    let hits = of(&r, "float-accum", "float.rs");
+    assert!(
+        hits.iter().any(|f| f.message.contains("`hit_rate: f64`")),
+        "float field on a merged struct: {hits:#?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("float `+=`")),
+        "float accumulation in merge body: {hits:#?}"
+    );
+}
+
+#[test]
+fn deprecated_expiry_flags_expired_and_missing_notes() {
+    let r = run_fixture();
+    let hits = of(&r, "deprecated-expiry", "expired.rs");
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("remove-by: PR-3")),
+        "comment-carried note is read and expires"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("without a `remove-by")),
+        "missing note is its own finding"
+    );
+    // PR-9999 is far in the future and must NOT fire.
+    assert!(hits.iter().all(|f| !f.message.contains("9999")));
+}
+
+#[test]
+fn deprecated_expiry_respects_the_window() {
+    let r = run_fixture_at_pr(2);
+    let hits = of(&r, "deprecated-expiry", "expired.rs");
+    // At PR 2 the PR-3 deadline has not passed: only the missing-note
+    // seed remains.
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("without a `remove-by"));
+}
+
+#[test]
+fn unbounded_channel_detects_channel_and_vecdeque() {
+    let r = run_fixture();
+    let hits = of(&r, "unbounded-channel", "channels.rs");
+    let unwaived: Vec<_> = hits.iter().filter(|f| !f.waived).collect();
+    // `channel()` plus the VecDeque return type and constructor.
+    assert_eq!(unwaived.len(), 3, "{hits:#?}");
+    assert!(unwaived.iter().any(|f| f.message.contains("`channel()`")));
+    assert!(unwaived.iter().any(|f| f.message.contains("VecDeque")));
+    assert_eq!(hits.iter().filter(|f| f.waived).count(), 1, "waived seed honored");
+}
+
+#[test]
+fn reasonless_waiver_is_a_hard_failure() {
+    let r = run_fixture();
+    assert_eq!(r.invalid_waivers.len(), 1, "{:#?}", r.invalid_waivers);
+    assert!(r.invalid_waivers[0].file.ends_with("nondet.rs"));
+    assert!(r.invalid_waivers[0].problem.contains("no reason"));
+}
+
+#[test]
+fn fixture_run_is_not_clean_and_serializes() {
+    let r = run_fixture();
+    assert!(!r.is_clean());
+    let json = r.to_json();
+    assert!(json.contains("\"schema\": 1"));
+    for lint in zbp_analyze::lints::LINT_IDS {
+        assert!(
+            json.contains(&format!("\"lint\": \"{lint}\"")),
+            "every lint appears in analyze.json: {lint}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The analyzer's standing gate: the real workspace must be clean
+//! under the production configuration. Any new hash-order iteration,
+//! wall-clock read, float merge, expired deprecation, or unbounded
+//! pool channel fails this test until fixed or waived with a reason.
+
+use std::path::{Path, PathBuf};
+use zbp_analyze::Config;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_production_lints() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.output = None; // don't clobber results/ from a test run
+    let report = zbp_analyze::run(&cfg).expect("workspace scan");
+    let offenders: Vec<String> = report
+        .unwaived()
+        .map(|f| format!("[{}] {}:{} {}", f.lint, f.file, f.line, f.message))
+        .chain(
+            report
+                .invalid_waivers
+                .iter()
+                .map(|w| format!("[invalid-waiver] {}:{} {}", w.file, w.line, w.problem)),
+        )
+        .collect();
+    assert!(report.files_scanned > 30, "scan actually covered the tree");
+    assert!(offenders.is_empty(), "workspace must be lint-clean:\n{}", offenders.join("\n"));
+}
+
+#[test]
+fn current_pr_is_derived_from_changes_md() {
+    let pr = zbp_analyze::current_pr(&workspace_root());
+    assert!(pr >= 5, "CHANGES.md records at least the four landed PRs, got {pr}");
+}

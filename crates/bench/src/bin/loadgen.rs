@@ -193,7 +193,7 @@ fn main() -> ExitCode {
                             );
                             mismatches.fetch_add(1, Ordering::Relaxed);
                         }
-                        latencies.lock().unwrap().push(us);
+                        latencies.lock().expect("latency vec unpoisoned").push(us);
                         total_records.fetch_add(rep.records, Ordering::Relaxed);
                         total_sessions.fetch_add(1, Ordering::Relaxed);
                         total_busy.fetch_add(rep.busy_retries, Ordering::Relaxed);
@@ -216,7 +216,7 @@ fn main() -> ExitCode {
     let busy = total_busy.load(Ordering::Relaxed) + summary.busy_rejections;
     let bad = mismatches.load(Ordering::Relaxed);
 
-    let mut lats = latencies.into_inner().unwrap();
+    let mut lats = latencies.into_inner().expect("latency vec unpoisoned");
     lats.sort_by(|a, b| a.total_cmp(b));
     let wall_ms = wall.as_secs_f64() * 1e3;
     let rps = records as f64 / wall.as_secs_f64().max(1e-9);

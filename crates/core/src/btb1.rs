@@ -30,6 +30,12 @@
 //! assert_eq!(hit.target, InstrAddr::new(0x2000));
 //! ```
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::btb::BtbEntry;
 use crate::config::Btb1Config;
 use crate::util::{index_of, tag_of, LruRow};

@@ -34,6 +34,12 @@
 //! assert!(b2.contains(&entry), "staging copies; the BTB2 copy remains");
 //! ```
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::btb::BtbEntry;
 use crate::config::{Btb2Config, InclusionPolicy};
 use crate::util::{index_of, LruRow};

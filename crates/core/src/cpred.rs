@@ -30,6 +30,12 @@
 //! assert_eq!(hint.redirect, InstrAddr::new(0x8000));
 //! ```
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::config::CpredConfig;
 use crate::util::{index_of, tag_of};
 use zbp_zarch::InstrAddr;

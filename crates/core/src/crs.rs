@@ -10,6 +10,12 @@
 //! Both sides — completion-time *detection* and prediction-time
 //! *prediction* — keep a one-entry stack.
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::config::CrsConfig;
 use zbp_zarch::InstrAddr;
 

@@ -5,6 +5,12 @@
 //! with each entry as well … The CTB is indexed solely as a function of
 //! the prior code path history as represented in the GPV." (paper §VI)
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::config::CtbConfig;
 use crate::gpv::Gpv;
 use zbp_zarch::InstrAddr;

@@ -8,6 +8,12 @@
 //! storage required; 2:1 virtualization permits 34 GPVs to map to 17
 //! weights." (paper §V, patents \[13\]\[14\])
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::config::PerceptronConfig;
 use crate::gpv::Gpv;
 use crate::util::{index_of, tag_of, SatCounter};

@@ -8,6 +8,12 @@
 //! same model runs under the MPKI harness, the cycle-level pipeline and
 //! the white-box verification environment.
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::btb::BtbEntry;
 use crate::btb1::{Btb1, InstallOutcome};
 use crate::btb2::Btb2;

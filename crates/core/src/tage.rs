@@ -30,6 +30,12 @@
 //! assert!(hit.weak, "fresh allocations start at the weak counter state");
 //! ```
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "table geometries are fixed at construction and every index is masked or \
+              bounds-derived from them; a panic here is a model bug worth failing loudly"
+)]
+
 use crate::config::{DirectionConfig, PhtKind};
 use crate::gpv::Gpv;
 use crate::util::{SatCounter, TwoBit};

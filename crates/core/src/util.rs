@@ -206,21 +206,25 @@ impl LruRow {
 
     /// Marks `way` most recently used.
     pub fn touch(&mut self, way: usize) {
-        let old = self.ranks[way];
+        let old = self.ranks.get(way).copied().expect("way within row");
         for r in &mut self.ranks {
             if *r < old {
                 *r += 1;
             }
         }
-        self.ranks[way] = 0;
+        if let Some(r) = self.ranks.get_mut(way) {
+            *r = 0;
+        }
     }
 
     /// The least recently used way (the victim).
     pub fn lru(&self) -> usize {
         let mut best = 0;
-        for (w, &r) in self.ranks.iter().enumerate() {
-            if r > self.ranks[best] {
+        let mut best_rank = self.ranks.first().copied().unwrap_or(0);
+        for (w, &r) in self.ranks.iter().enumerate().skip(1) {
+            if r > best_rank {
                 best = w;
+                best_rank = r;
             }
         }
         best
@@ -228,7 +232,7 @@ impl LruRow {
 
     /// The age rank of `way` (0 = MRU).
     pub fn rank(&self, way: usize) -> u8 {
-        self.ranks[way]
+        self.ranks.get(way).copied().expect("way within row")
     }
 }
 

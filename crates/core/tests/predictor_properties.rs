@@ -37,7 +37,7 @@ fn site_record(step: &Step) -> BranchRecord {
         Mnemonic::Basr,
         Mnemonic::Bc,
     ];
-    let mn = mnems[step.site % mnems.len()];
+    let mn = mnems.get(step.site % mnems.len()).copied().expect("modulo keeps index in range");
     let addr = InstrAddr::new(0x1_0000 + (step.site as u64) * 0x96);
     // Unconditional classes always resolve taken.
     let taken = step.taken || !mn.class().is_conditional();

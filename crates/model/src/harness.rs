@@ -3,7 +3,6 @@
 use crate::branch::BranchRecord;
 use crate::metrics::MispredictStats;
 use crate::predictor::{FullPredictor, MispredictKind, Prediction};
-use crate::trace::DynamicTrace;
 use std::collections::VecDeque;
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 
@@ -31,7 +30,7 @@ use zbp_telemetry::{Snapshot, Telemetry, Track};
 /// can interleave many concurrently-open streams, each with its own
 /// `ReplayCore` and predictor — this is what `zbp_serve::Session` and
 /// its shard pool are built on. Whole-trace replay is a thin wrapper:
-/// see [`DelayedUpdateHarness`] (deprecated) and `zbp_serve::Session`.
+/// see [`ReplayCore::replay`] and `zbp_serve::Session`.
 ///
 /// # Example
 ///
@@ -173,51 +172,19 @@ impl ReplayCore {
         }
         core.finish(pred, trace.tail_instrs())
     }
-}
 
-/// Whole-trace replay under the delayed-update protocol.
-#[derive(Debug, Clone)]
-#[deprecated(
-    since = "0.1.0",
-    note = "use `zbp_serve::Session` with `ReplayMode::Delayed` (or `ReplayCore` directly for \
-            custom drivers); this wrapper will be removed next release"
-)]
-pub struct DelayedUpdateHarness {
-    depth: usize,
-}
-
-#[allow(deprecated)]
-impl DelayedUpdateHarness {
-    /// Creates a harness with the given in-flight window depth.
-    pub fn new(depth: usize) -> Self {
-        DelayedUpdateHarness { depth }
-    }
-
-    /// An immediate-update harness (depth 0).
-    pub fn immediate() -> Self {
-        DelayedUpdateHarness { depth: 0 }
-    }
-
-    /// The configured in-flight depth.
-    pub fn depth(&self) -> usize {
-        self.depth
-    }
-
-    /// Runs the predictor over the whole trace and returns statistics.
-    pub fn run<P: FullPredictor + ?Sized>(&self, pred: &mut P, trace: &DynamicTrace) -> RunStats {
-        self.run_traced(pred, trace, Telemetry::disabled()).0
-    }
-
-    /// Runs like [`DelayedUpdateHarness::run`], recording harness-level
-    /// telemetry into `tel`. (Predictor-internal telemetry is installed
-    /// on the predictor itself, not through the harness.)
-    pub fn run_traced<P: FullPredictor + ?Sized>(
-        &self,
+    /// Replays a whole trace, recording harness-level telemetry into
+    /// `tel` and returning the snapshot alongside the statistics.
+    /// (Predictor-internal telemetry is installed on the predictor
+    /// itself, not through the harness.) Statistics are identical
+    /// whether `tel` is enabled or disabled.
+    pub fn replay_traced<P: FullPredictor + ?Sized>(
+        depth: usize,
         pred: &mut P,
-        trace: &DynamicTrace,
+        trace: &crate::DynamicTrace,
         mut tel: Telemetry,
     ) -> (RunStats, Snapshot) {
-        let mut core = ReplayCore::new(self.depth);
+        let mut core = ReplayCore::new(depth);
         for rec in trace.branches() {
             core.step(pred, rec, &mut tel);
         }
@@ -232,21 +199,10 @@ impl DelayedUpdateHarness {
     }
 }
 
-#[allow(deprecated)]
-impl Default for DelayedUpdateHarness {
-    /// A default window of 32 in-flight branches, a plausible OoO-window
-    /// occupancy for a wide machine.
-    fn default() -> Self {
-        DelayedUpdateHarness::new(32)
-    }
-}
-
-// The wrapper stays the most convenient way to exercise the core over
-// short literal traces, so the tests keep using it until it is removed.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::DynamicTrace;
     use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
 
     /// Test predictor: predicts the last *completed* direction for each
@@ -291,7 +247,7 @@ mod tests {
         let trace =
             DynamicTrace::from_records("t", vec![taken_at(0x10), taken_at(0x10), taken_at(0x10)]);
         let mut p = LastCompleted::default();
-        let out = DelayedUpdateHarness::immediate().run(&mut p, &trace);
+        let out = ReplayCore::replay(0, &mut p, &trace);
         // First prediction is NT (mispredict); after completing it, the
         // second and third predict taken (and taken with no target is
         // correct-direction, no target check since target is None).
@@ -306,7 +262,7 @@ mod tests {
             vec![taken_at(0x10), taken_at(0x10), taken_at(0x10), taken_at(0x10)],
         );
         let mut p = LastCompleted::default();
-        let out = DelayedUpdateHarness::new(16).run(&mut p, &trace);
+        let out = ReplayCore::replay(16, &mut p, &trace);
         // First branch mispredicts (NT guess), which flushes/drains, so
         // training happens immediately after all; subsequent predicts are
         // correct. Exactly one flush.
@@ -332,7 +288,7 @@ mod tests {
             .collect();
         let trace = DynamicTrace::from_records("t", recs);
         let mut p = LastCompleted::default();
-        let out = DelayedUpdateHarness::new(2).run(&mut p, &trace);
+        let out = ReplayCore::replay(2, &mut p, &trace);
         assert_eq!(out.flushes, 0);
         assert_eq!(p.completions.len(), 5);
         // Completions happen in retire order regardless of delay.
@@ -345,7 +301,7 @@ mod tests {
         trace.push(taken_at(0x10).with_gap(9));
         trace.push_tail_instrs(90);
         let mut p = LastCompleted::default();
-        let out = DelayedUpdateHarness::immediate().run(&mut p, &trace);
+        let out = ReplayCore::replay(0, &mut p, &trace);
         assert_eq!(out.stats.instructions.get(), trace.instruction_count());
     }
 
@@ -365,7 +321,7 @@ mod tests {
         assert_eq!(trace.instruction_count(), expect);
         for depth in [0usize, 1, 2, 16] {
             let mut p = LastCompleted::default();
-            let out = DelayedUpdateHarness::new(depth).run(&mut p, &trace);
+            let out = ReplayCore::replay(depth, &mut p, &trace);
             assert_eq!(out.stats.instructions.get(), expect, "depth {depth}");
         }
     }
@@ -375,7 +331,7 @@ mod tests {
         let mut trace = DynamicTrace::new("no-branches");
         trace.push_tail_instrs(250);
         let mut p = LastCompleted::default();
-        let out = DelayedUpdateHarness::default().run(&mut p, &trace);
+        let out = ReplayCore::replay(32, &mut p, &trace);
         assert_eq!(out.stats.branches.get(), 0);
         assert_eq!(out.stats.instructions.get(), 250);
         assert_eq!(out.stats.mpki(), 0.0);
@@ -387,8 +343,9 @@ mod tests {
             "t",
             vec![taken_at(0x10), taken_at(0x10), taken_at(0x10), taken_at(0x10)],
         );
-        let plain = DelayedUpdateHarness::new(16).run(&mut LastCompleted::default(), &trace);
-        let (traced, snap) = DelayedUpdateHarness::new(16).run_traced(
+        let plain = ReplayCore::replay(16, &mut LastCompleted::default(), &trace);
+        let (traced, snap) = ReplayCore::replay_traced(
+            16,
             &mut LastCompleted::default(),
             &trace,
             Telemetry::enabled(),
@@ -411,8 +368,8 @@ mod tests {
         let mut t2 = DynamicTrace::new("b");
         t2.push(taken_at(0x20).with_gap(5));
         t2.push_tail_instrs(20);
-        let r1 = DelayedUpdateHarness::default().run(&mut LastCompleted::default(), &t1);
-        let r2 = DelayedUpdateHarness::default().run(&mut LastCompleted::default(), &t2);
+        let r1 = ReplayCore::replay(32, &mut LastCompleted::default(), &t1);
+        let r2 = ReplayCore::replay(32, &mut LastCompleted::default(), &t2);
         let mut merged = r1.stats;
         merged.merge(&r2.stats);
         assert_eq!(merged.instructions.get(), t1.instruction_count() + t2.instruction_count());

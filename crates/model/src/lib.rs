@@ -9,7 +9,7 @@
 //!   traits — the predict-then-complete protocol every predictor model
 //!   (the z15 model in `zbp-core` and every baseline in `zbp-baselines`)
 //!   implements;
-//! * [`DelayedUpdateHarness`] — drives a predictor over a trace with a
+//! * [`ReplayCore`] — drives a predictor over a trace with a
 //!   configurable predict→complete gap, modeling the long in-flight
 //!   window the paper's §IV highlights (the motivation for the
 //!   speculative BHT/PHT);
@@ -37,8 +37,6 @@ mod predictor;
 mod trace;
 
 pub use branch::{BranchRecord, ThreadId};
-#[allow(deprecated)]
-pub use harness::DelayedUpdateHarness;
 pub use harness::{ReplayCore, RunStats};
 pub use metrics::{Counter, MispredictStats, Ratio};
 pub use predictor::{

@@ -7,9 +7,9 @@
 //!   [`BranchRecord`](zbp_model::BranchRecord) batches, finish for a
 //!   [`SessionReport`]. One entry point covers delayed-update replay,
 //!   co-simulation and lookahead analysis (see [`ReplayMode`]); the
-//!   one-shot [`Session::run`]/[`Session::run_traced`] replace the old
-//!   trio of `DelayedUpdateHarness::run`, `run_cosim_traced` and
-//!   `run_lookahead_traced`.
+//!   one-shot [`Session::run`]/[`Session::run_traced`] replaced the old
+//!   per-mode trio of entry points, removed after their deprecation
+//!   window.
 //! * [`ShardPool`] — N predictor shards, each a worker thread with a
 //!   bounded work queue and a free list of recycled predictors, serving
 //!   many concurrently-open sessions. Full queues reject with

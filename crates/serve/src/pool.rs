@@ -16,7 +16,7 @@
 //! pool tests pin down.
 
 use crate::session::{ReplayMode, Session, SessionReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
@@ -145,23 +145,23 @@ enum Cmd {
         cfg: Box<PredictorConfig>,
         mode: ReplayMode,
         traced: bool,
-        reply: Sender<()>,
+        reply: SyncSender<()>,
     },
     Feed {
         id: StreamId,
         batch: Vec<BranchRecord>,
-        reply: Sender<Result<u64, ServeError>>,
+        reply: SyncSender<Result<u64, ServeError>>,
     },
     Close {
         id: StreamId,
         tail_instrs: u64,
-        reply: Sender<Result<SessionReport, ServeError>>,
+        reply: SyncSender<Result<SessionReport, ServeError>>,
     },
     /// Maintenance/test hook: acknowledges on `ack`, then parks the
     /// worker until `resume` disconnects — used to drain or to exercise
     /// the backpressure path deterministically.
     Pause {
-        ack: Sender<()>,
+        ack: SyncSender<()>,
         resume: Receiver<()>,
     },
 }
@@ -177,7 +177,7 @@ pub struct ShardPool {
     cfg: PoolConfig,
     shards: Vec<Shard>,
     /// Stream-id → shard routing for feeds/closes.
-    routes: Mutex<HashMap<u64, usize>>,
+    routes: Mutex<BTreeMap<u64, usize>>,
     next_id: AtomicU64,
     busy: AtomicU64,
     completed_rx: Mutex<Receiver<CompletedSession>>,
@@ -209,6 +209,11 @@ impl ShardPool {
     /// Starts `cfg.shards` worker threads.
     pub fn new(cfg: PoolConfig) -> ShardPool {
         let shards = cfg.shards.max(1);
+        // zbp-analyze: allow(unbounded-channel): completion fan-in must
+        // never block a draining worker (shutdown joins workers before
+        // it drains this receiver, so a bounded send could deadlock);
+        // occupancy is bounded by the number of open sessions, which the
+        // bounded per-shard command queues already limit.
         let (ctx, crx) = std::sync::mpsc::channel();
         let mut out = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -224,7 +229,7 @@ impl ShardPool {
         ShardPool {
             cfg,
             shards: out,
-            routes: Mutex::new(HashMap::new()),
+            routes: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             completed_rx: Mutex::new(crx),
@@ -268,7 +273,7 @@ impl ShardPool {
     ) -> Result<Opened, ServeError> {
         let shard = shard_for_label(label, self.shards.len());
         let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let (reply, confirm) = std::sync::mpsc::channel();
+        let (reply, confirm) = sync_channel(1);
         self.try_send(
             shard,
             Cmd::Open {
@@ -315,7 +320,7 @@ impl ShardPool {
             return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.cfg.max_batch });
         }
         let shard = self.route(id)?;
-        let (reply, confirm) = std::sync::mpsc::channel();
+        let (reply, confirm) = sync_channel(1);
         self.try_send(shard, Cmd::Feed { id, batch, reply })?;
         Ok(confirm)
     }
@@ -324,7 +329,7 @@ impl ShardPool {
     /// predictor returns to the shard's free list (reset) for reuse.
     pub fn close(&self, id: StreamId, tail_instrs: u64) -> Result<SessionReport, ServeError> {
         let shard = self.route(id)?;
-        let (reply, confirm) = std::sync::mpsc::channel();
+        let (reply, confirm) = sync_channel(1);
         self.try_send(shard, Cmd::Close { id, tail_instrs, reply })?;
         let report = confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
         if report.is_ok() {
@@ -338,8 +343,8 @@ impl ShardPool {
     /// queue in backpressure tests. Blocks until the worker has
     /// actually parked (so the queue is empty and at full capacity).
     pub fn pause_shard(&self, shard: usize) -> Result<ShardPause, ServeError> {
-        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
-        let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+        let (ack_tx, ack_rx) = sync_channel(1);
+        let (resume_tx, resume_rx) = sync_channel(1);
         self.try_send(shard, Cmd::Pause { ack: ack_tx, resume: resume_rx })?;
         ack_rx.recv().map_err(|_| ServeError::ShuttingDown)?;
         Ok(ShardPause { _resume: resume_tx })
@@ -378,11 +383,11 @@ impl ShardPool {
 /// the worker.
 #[derive(Debug)]
 pub struct ShardPause {
-    _resume: Sender<()>,
+    _resume: SyncSender<()>,
 }
 
 fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>, free_cap: usize) {
-    let mut open: HashMap<u64, Session> = HashMap::new();
+    let mut open: BTreeMap<u64, Session> = BTreeMap::new();
     let mut free: Vec<ZPredictor> = Vec::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -444,10 +449,9 @@ fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>,
         }
     }
     // Drain: the pool is shutting down; force-finish whatever is still
-    // open, in id order so the summary is deterministic.
-    let mut leftovers: Vec<(u64, Session)> = open.drain().collect();
-    leftovers.sort_by_key(|(id, _)| *id);
-    for (id, s) in leftovers {
+    // open — BTreeMap iteration is id-ordered, so the summary is
+    // deterministic without an explicit sort.
+    for (id, s) in open {
         let label = s.label().to_string();
         let (report, pred) = s.finish_into(0);
         recycle(pred, &mut free, free_cap);

@@ -9,7 +9,7 @@
 
 use crate::pool::{PoolConfig, ServeError, ShardPool, StreamId};
 use crate::proto::{close_ok, Frame, ProtoError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -132,7 +132,7 @@ fn handle_connection(stream: TcpStream, pool: &ShardPool) -> Result<(), ProtoErr
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream.try_clone()?);
     // Streams this connection opened and has not yet closed.
-    let mut live: HashMap<u64, StreamId> = HashMap::new();
+    let mut live: BTreeMap<u64, StreamId> = BTreeMap::new();
     let result = loop {
         let frame = match Frame::read_from(&mut reader) {
             Ok(Some(f)) => f,

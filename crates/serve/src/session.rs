@@ -1,8 +1,8 @@
 //! The unified replay API: one [`Session`] drives every replay mode
 //! the workspace used to expose through three separate entry points
-//! (`DelayedUpdateHarness::run/run_traced`, `run_cosim_traced`,
-//! `run_lookahead_traced`), and it can be fed incrementally — which is
-//! what lets a shard serve many concurrently-open streams.
+//! (a delayed-update harness plus standalone cosim/lookahead drivers,
+//! all removed), and it can be fed incrementally — which is what lets
+//! a shard serve many concurrently-open streams.
 
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::{BranchRecord, DynamicTrace, MispredictStats, ReplayCore};
@@ -83,10 +83,10 @@ enum Engine {
 /// [`finish`](Session::finish) for the [`SessionReport`].
 ///
 /// `Session` is the single replay entry point for the workspace. The
-/// one-shot [`Session::run`] / [`Session::run_traced`] replace the old
-/// fragmented APIs (`DelayedUpdateHarness::run`, `run_cosim_traced`,
-/// `run_lookahead_traced`); the streaming surface (`open`/`feed`/
-/// `finish`) is what `ShardPool` multiplexes over predictor shards.
+/// one-shot [`Session::run`] / [`Session::run_traced`] replaced the old
+/// fragmented per-mode APIs (removed after their deprecation window);
+/// the streaming surface (`open`/`feed`/`finish`) is what `ShardPool`
+/// multiplexes over predictor shards.
 ///
 /// ```
 /// use zbp_core::GenerationPreset;
@@ -243,9 +243,8 @@ impl Session {
         }
     }
 
-    /// One-shot replay of a whole trace — the unified entry point that
-    /// replaces `DelayedUpdateHarness::run`, `run_cosim` and
-    /// `run_lookahead`.
+    /// One-shot replay of a whole trace — the unified entry point for
+    /// every [`ReplayMode`].
     pub fn run(cfg: &PredictorConfig, mode: ReplayMode, trace: &DynamicTrace) -> SessionReport {
         Session::drive(cfg, mode, trace, false)
     }
@@ -281,10 +280,8 @@ impl Session {
     }
 }
 
-/// Drives a whole-stream mode over a complete trace. The bodies of the
-/// deprecated `run_cosim_traced`/`run_lookahead_traced` move into this
-/// crate when those wrappers are removed; until then the session
-/// delegates to them.
+/// Drives a whole-stream mode over a complete trace by delegating to
+/// the `zbp_uarch` engines (`drive_cosim`/`drive_lookahead`).
 fn run_whole(
     cfg: &PredictorConfig,
     mode: &ReplayMode,
@@ -296,8 +293,7 @@ fn run_whole(
     match mode {
         ReplayMode::Delayed { .. } => unreachable!("delayed mode streams"),
         ReplayMode::Cosim(ccfg) => {
-            #[allow(deprecated)]
-            let (rep, snap) = zbp_uarch::run_cosim_traced(cfg.clone(), ccfg, trace, tel);
+            let (rep, snap) = zbp_uarch::drive_cosim(cfg.clone(), ccfg, trace, tel);
             SessionReport {
                 stats: rep.mispredicts,
                 flushes: rep.restarts,
@@ -308,8 +304,7 @@ fn run_whole(
             }
         }
         ReplayMode::Lookahead => {
-            #[allow(deprecated)]
-            let (rep, snap) = zbp_uarch::run_lookahead_traced(cfg.clone(), trace, tel);
+            let (rep, snap) = zbp_uarch::drive_lookahead(cfg.clone(), trace, tel);
             SessionReport {
                 stats: rep.mispredicts,
                 // The lookahead driver flushes once per mispredicted

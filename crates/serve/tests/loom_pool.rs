@@ -1,0 +1,179 @@
+//! Interleaving models of the [`ShardPool`] hot paths, run under the
+//! loom scheduler (`RUSTFLAGS="--cfg loom" cargo test -p zbp-serve
+//! --test loom_pool`).
+//!
+//! Each model re-executes its closure across many perturbed schedules
+//! (see `compat/loom`: probabilistic exploration, `LOOM_ITERS`
+//! schedules per model). The properties are the pool's concurrency
+//! contract:
+//!
+//! 1. **Busy-then-recover** — a full command queue rejects with
+//!    `Busy`, and once the shard drains, a retry of the *same* batch
+//!    succeeds with nothing lost or duplicated.
+//! 2. **Concurrent drain vs. feed** — two streams hammering one shard
+//!    from separate threads produce byte-identical reports to isolated
+//!    serial runs.
+//! 3. **Free-list recycling** — a recycled predictor never aliases two
+//!    live sessions: concurrently opened streams that reuse free-list
+//!    predictors still match fresh isolated runs exactly.
+
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use zbp_core::GenerationPreset;
+use zbp_model::{BranchRecord, DynamicTrace};
+use zbp_serve::{PoolConfig, ReplayMode, ServeError, Session, ShardPool, StreamId};
+use zbp_trace::workloads;
+
+fn trace(seed: u64, len: u64) -> DynamicTrace {
+    let t = workloads::lspr_like(seed, len).dynamic_trace();
+    let tail = t.tail_instrs();
+    let mut out = DynamicTrace::from_records(format!("loom-{seed}"), t.as_slice().to_vec());
+    out.push_tail_instrs(tail);
+    out
+}
+
+/// Feeds every record in `batch`-sized chunks, spinning through `Busy`
+/// rejections (the loom scheduler decides how often we collide).
+fn feed_all(pool: &ShardPool, id: StreamId, records: &[BranchRecord], batch: usize) -> u64 {
+    let mut total = 0;
+    for chunk in records.chunks(batch) {
+        loop {
+            match pool.feed(id, chunk.to_vec()) {
+                Ok(n) => {
+                    total = n;
+                    break;
+                }
+                Err(ServeError::Busy { .. }) => loom::thread::yield_now(),
+                Err(e) => panic!("feed failed: {e}"),
+            }
+        }
+    }
+    total
+}
+
+#[test]
+fn busy_queue_recovers_once_the_shard_drains() {
+    loom::model(|| {
+        let t = trace(7, 300);
+        let pool =
+            ShardPool::new(PoolConfig { shards: 1, queue_depth: 1, ..PoolConfig::default() });
+        let cfg = GenerationPreset::Z15.config();
+        let opened = pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("open");
+
+        // Park the worker so the 1-deep queue fills deterministically.
+        let pause = pool.pause_shard(0).expect("pause");
+        let records = t.as_slice();
+        let (first, rest) = records.split_at(records.len() / 2);
+        let confirm = pool.feed_async(opened.id, first.to_vec()).expect("slot free");
+        let rejected = pool.feed(opened.id, rest.to_vec());
+        assert!(
+            matches!(rejected, Err(ServeError::Busy { .. })),
+            "full queue must reject, got {rejected:?}"
+        );
+
+        // Resume from another thread while this one retries: whichever
+        // way the schedule lands, the retry must eventually land the
+        // SAME batch exactly once.
+        let resumer = loom::thread::spawn(move || drop(pause));
+        let total = loop {
+            match pool.feed(opened.id, rest.to_vec()) {
+                Ok(n) => break n,
+                Err(ServeError::Busy { .. }) => loom::thread::yield_now(),
+                Err(e) => panic!("retry failed: {e}"),
+            }
+        };
+        resumer.join().expect("resumer");
+        assert_eq!(confirm.recv().expect("first batch ack"), Ok(first.len() as u64));
+        assert_eq!(total, records.len() as u64, "no loss, no duplication");
+
+        let report = pool.close(opened.id, t.tail_instrs()).expect("close");
+        assert_eq!(report, Session::run(&cfg, ReplayMode::default(), &t));
+        let summary = pool.shutdown();
+        assert!(summary.busy_rejections >= 1, "the rejection was counted");
+    });
+}
+
+#[test]
+fn concurrent_feeds_on_one_shard_match_isolated_runs() {
+    loom::model(|| {
+        let ta = trace(11, 250);
+        let tb = trace(13, 250);
+        let pool = Arc::new(ShardPool::new(PoolConfig {
+            shards: 1,
+            queue_depth: 4,
+            ..PoolConfig::default()
+        }));
+        let cfg = GenerationPreset::Z15.config();
+        let oa = pool.open(ta.label(), &cfg, ReplayMode::default(), true).expect("open a");
+        let ob = pool.open(tb.label(), &cfg, ReplayMode::default(), true).expect("open b");
+
+        let feeders: Vec<_> = [(oa.id, ta.clone()), (ob.id, tb.clone())]
+            .into_iter()
+            .map(|(id, t)| {
+                let pool = Arc::clone(&pool);
+                loom::thread::spawn(move || feed_all(&pool, id, t.as_slice(), 61))
+            })
+            .collect();
+        for f in feeders {
+            f.join().expect("feeder");
+        }
+
+        let ra = pool.close(oa.id, ta.tail_instrs()).expect("close a");
+        let rb = pool.close(ob.id, tb.tail_instrs()).expect("close b");
+        assert_eq!(ra, Session::run_traced(&cfg, ReplayMode::default(), &ta), "stream a");
+        assert_eq!(rb, Session::run_traced(&cfg, ReplayMode::default(), &tb), "stream b");
+
+        let pool = Arc::try_unwrap(pool).expect("feeders dropped their handles");
+        pool.shutdown();
+    });
+}
+
+#[test]
+fn free_list_recycling_never_aliases_live_sessions() {
+    loom::model(|| {
+        let warm = trace(17, 200);
+        let ta = trace(19, 200);
+        let tb = trace(23, 200);
+        let pool = Arc::new(ShardPool::new(PoolConfig {
+            shards: 1,
+            queue_depth: 8,
+            free_list: 2,
+            ..PoolConfig::default()
+        }));
+        let cfg = GenerationPreset::Z15.config();
+
+        // Seed the free list: run one session to completion so its
+        // predictor is parked for reuse.
+        let o0 = pool.open(warm.label(), &cfg, ReplayMode::default(), false).expect("open warm");
+        feed_all(&pool, o0.id, warm.as_slice(), 97);
+        let warm_report = pool.close(o0.id, warm.tail_instrs()).expect("close warm");
+        assert_eq!(warm_report, Session::run(&cfg, ReplayMode::default(), &warm));
+
+        // Two live sessions, at least one on a recycled predictor, fed
+        // concurrently. If recycling aliased state — shared tables, a
+        // stale GPQ — the reports would diverge from isolated runs.
+        let oa = pool.open(ta.label(), &cfg, ReplayMode::default(), false).expect("open a");
+        let ob = pool.open(tb.label(), &cfg, ReplayMode::default(), false).expect("open b");
+        assert!(o0.id < oa.id && oa.id < ob.id, "stream ids stay unique and ascending");
+
+        let feeders: Vec<_> = [(oa.id, ta.clone()), (ob.id, tb.clone())]
+            .into_iter()
+            .map(|(id, t)| {
+                let pool = Arc::clone(&pool);
+                loom::thread::spawn(move || feed_all(&pool, id, t.as_slice(), 53))
+            })
+            .collect();
+        for f in feeders {
+            f.join().expect("feeder");
+        }
+        let ra = pool.close(oa.id, ta.tail_instrs()).expect("close a");
+        let rb = pool.close(ob.id, tb.tail_instrs()).expect("close b");
+        assert_eq!(ra, Session::run(&cfg, ReplayMode::default(), &ta), "recycled session a");
+        assert_eq!(rb, Session::run(&cfg, ReplayMode::default(), &tb), "recycled session b");
+
+        let pool = Arc::try_unwrap(pool).expect("feeders dropped their handles");
+        let summary = pool.shutdown();
+        assert_eq!(summary.sessions.len(), 3);
+    });
+}

@@ -125,6 +125,57 @@ mod tests {
     }
 
     #[test]
+    fn keyed_merge_is_insertion_order_invariant_under_all_permutations() {
+        // The shard-pool determinism contract: however sessions complete
+        // (any shard count, any backpressure schedule), the keyed
+        // reduction must be byte-identical. Exercise every permutation
+        // of a 4-part set with distinct counters, histograms and spans
+        // per part, including duplicate counter names across parts.
+        let parts: Vec<(u64, Snapshot)> = (0..4u64)
+            .map(|k| {
+                let mut s = Snapshot::new();
+                s.counters.insert("shared".into(), 10 + k);
+                s.counters.insert(format!("only.{k}"), k);
+                let mut h = Histogram::new();
+                h.observe(1 << k);
+                s.histograms.insert("lat".into(), h);
+                s.spans.push(SpanEvent::instant(Track::Bpl, "e", k));
+                s.spans_dropped = k;
+                (k, s)
+            })
+            .collect();
+        let reference = Snapshot::merge_keyed(parts.clone());
+        let mut perm: Vec<usize> = (0..parts.len()).collect();
+        // Heap's algorithm, iterative: visit all 24 permutations.
+        let mut c = vec![0usize; perm.len()];
+        let check = |order: &[usize]| {
+            let shuffled: Vec<(u64, Snapshot)> = order.iter().map(|&i| parts[i].clone()).collect();
+            assert_eq!(
+                Snapshot::merge_keyed(shuffled),
+                reference,
+                "merge_keyed diverged for arrival order {order:?}"
+            );
+        };
+        check(&perm);
+        let mut i = 0;
+        while i < perm.len() {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                check(&perm);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
     fn empty_detection() {
         assert!(Snapshot::new().is_empty());
         assert!(!snap(1, 1).is_empty());

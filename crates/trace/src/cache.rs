@@ -10,7 +10,6 @@
 //! probes, say) share work without plumbing a cache handle through.
 
 use crate::workloads::Workload;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use zbp_model::DynamicTrace;
@@ -39,7 +38,7 @@ use zbp_model::DynamicTrace;
 /// // same (seed, instrs).
 /// assert_ne!(a, TraceKey::of(&workloads::lspr_like(3, 2_000)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceKey {
     /// Workload label (generator name + parameters).
     pub label: String,
@@ -66,7 +65,7 @@ impl TraceKey {
 /// held only to find or create the slot, never during generation.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    map: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<DynamicTrace>>>>>,
+    map: Mutex<std::collections::BTreeMap<TraceKey, Arc<OnceLock<Arc<DynamicTrace>>>>>,
     hits: AtomicU64,
     generations: AtomicU64,
 }

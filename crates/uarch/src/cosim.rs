@@ -121,31 +121,18 @@ struct StreamMemo {
     lead_empty: u64,
 }
 
-/// Runs the co-simulation over a retired-path trace.
-#[deprecated(
-    since = "0.1.0",
-    note = "use zbp_serve::Session::run with ReplayMode::Cosim — the unified replay entry point"
-)]
-pub fn run_cosim(
-    pred_cfg: PredictorConfig,
-    cfg: &CosimConfig,
-    trace: &DynamicTrace,
-) -> CosimReport {
-    #[allow(deprecated)]
-    run_cosim_traced(pred_cfg, cfg, trace, Telemetry::disabled()).0
-}
-
-/// Runs like [`run_cosim`], recording a cycle timeline into `tel`:
-/// 1-cycle `search` spans along the BPL track, `reindex.b2 (CPRED)` vs
-/// `reindex.b5` spans for the two taken-redirect paths, ICM stall spans,
-/// IDU hand-off/restart events and prediction-latency/queue-occupancy
-/// histograms. The returned snapshot also folds in the predictor's own
-/// counters. The report is identical whether `tel` is enabled or not.
-#[deprecated(
-    since = "0.1.0",
-    note = "use zbp_serve::Session::run_traced with ReplayMode::Cosim — the unified replay entry point"
-)]
-pub fn run_cosim_traced(
+/// Runs the co-simulation over a retired-path trace, recording a cycle
+/// timeline into `tel`: 1-cycle `search` spans along the BPL track,
+/// `reindex.b2 (CPRED)` vs `reindex.b5` spans for the two taken-redirect
+/// paths, ICM stall spans, IDU hand-off/restart events and
+/// prediction-latency/queue-occupancy histograms. The returned snapshot
+/// also folds in the predictor's own counters. The report is identical
+/// whether `tel` is enabled or not.
+///
+/// This is the whole-stream engine behind `zbp_serve::Session` with
+/// `ReplayMode::Cosim` — prefer the `Session` API unless you are
+/// driving the pipeline model directly.
+pub fn drive_cosim(
     pred_cfg: PredictorConfig,
     cfg: &CosimConfig,
     trace: &DynamicTrace,
@@ -445,11 +432,18 @@ pub fn run_cosim_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the wrappers until they are removed
 mod tests {
     use super::*;
     use zbp_core::GenerationPreset;
     use zbp_trace::workloads;
+
+    fn run_cosim(
+        pred_cfg: PredictorConfig,
+        cfg: &CosimConfig,
+        trace: &DynamicTrace,
+    ) -> CosimReport {
+        drive_cosim(pred_cfg, cfg, trace, Telemetry::disabled()).0
+    }
 
     fn run(instrs: u64) -> CosimReport {
         let trace = workloads::compute_loop(3, instrs).dynamic_trace();
@@ -497,7 +491,7 @@ mod tests {
     fn traced_cosim_matches_untraced_and_times_the_pipeline() {
         let trace = workloads::lspr_like(11, 30_000).dynamic_trace();
         let plain = run_cosim(GenerationPreset::Z15.config(), &CosimConfig::default(), &trace);
-        let (traced, snap) = run_cosim_traced(
+        let (traced, snap) = drive_cosim(
             GenerationPreset::Z15.config(),
             &CosimConfig::default(),
             &trace,

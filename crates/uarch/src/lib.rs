@@ -37,11 +37,7 @@ mod frontend;
 mod icache;
 pub mod lookahead;
 
-#[allow(deprecated)]
-pub use cosim::{run_cosim, run_cosim_traced};
-pub use cosim::{CosimConfig, CosimReport};
+pub use cosim::{drive_cosim, CosimConfig, CosimReport};
 pub use frontend::{Frontend, FrontendConfig, FrontendReport};
 pub use icache::{CacheLevel, Icache, IcacheConfig, IcacheStats};
-pub use lookahead::LookaheadReport;
-#[allow(deprecated)]
-pub use lookahead::{run_lookahead, run_lookahead_traced};
+pub use lookahead::{drive_lookahead, LookaheadReport};

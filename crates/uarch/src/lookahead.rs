@@ -58,25 +58,17 @@ impl LookaheadReport {
 /// prediction, with every search's raised predictions screened against
 /// that set. Screening failures exercise
 /// [`ZPredictor::remove_bad_prediction`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use zbp_serve::Session::run with ReplayMode::Lookahead — the unified replay entry point"
-)]
-pub fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadReport {
-    #[allow(deprecated)]
-    run_lookahead_traced(cfg, trace, Telemetry::disabled()).0
-}
-
-/// Runs like [`run_lookahead`], recording telemetry into `tel`: a
-/// `bpl.preds_per_search` histogram (predictions raised per 64-byte line
-/// search), `idu.bad_predictions`/`idu.removals` counters and IDU-track
-/// markers for screening rejections. The report is identical whether
-/// `tel` is enabled or disabled.
-#[deprecated(
-    since = "0.1.0",
-    note = "use zbp_serve::Session::run_traced with ReplayMode::Lookahead — the unified replay entry point"
-)]
-pub fn run_lookahead_traced(
+///
+/// Telemetry records into `tel`: a `bpl.preds_per_search` histogram
+/// (predictions raised per 64-byte line search),
+/// `idu.bad_predictions`/`idu.removals` counters and IDU-track markers
+/// for screening rejections. The report is identical whether `tel` is
+/// enabled or disabled.
+///
+/// This is the whole-stream engine behind `zbp_serve::Session` with
+/// `ReplayMode::Lookahead` — prefer the `Session` API unless you are
+/// driving the line-search model directly.
+pub fn drive_lookahead(
     cfg: PredictorConfig,
     trace: &DynamicTrace,
     mut tel: Telemetry,
@@ -141,11 +133,14 @@ pub fn run_lookahead_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the wrappers until they are removed
 mod tests {
     use super::*;
     use zbp_core::GenerationPreset;
     use zbp_trace::workloads;
+
+    fn run_lookahead(cfg: PredictorConfig, trace: &DynamicTrace) -> LookaheadReport {
+        drive_lookahead(cfg, trace, Telemetry::disabled()).0
+    }
 
     #[test]
     fn full_tags_produce_no_bad_predictions() {
@@ -176,7 +171,7 @@ mod tests {
         cfg.btb1.rows = 64;
         let trace = workloads::lspr_like(7, 40_000).dynamic_trace();
         let plain = run_lookahead(cfg.clone(), &trace);
-        let (traced, snap) = run_lookahead_traced(cfg, &trace, Telemetry::enabled());
+        let (traced, snap) = drive_lookahead(cfg, &trace, Telemetry::enabled());
         assert_eq!(plain, traced, "telemetry must not perturb the lookahead model");
         assert_eq!(snap.counter("idu.bad_predictions"), traced.bad_predictions);
         assert_eq!(snap.counter("idu.removals"), traced.removals);

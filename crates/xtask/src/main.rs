@@ -1,0 +1,145 @@
+//! Workspace task runner, wired up as `cargo xtask <command>` through
+//! the alias in `.cargo/config.toml`.
+//!
+//! Commands:
+//!
+//! * `analyze` — run the determinism/concurrency lints (DESIGN.md
+//!   §4.4) over the workspace, write `results/analyze.json`, and exit
+//!   nonzero on any unwaived finding or malformed waiver.
+//! * `analyze --fixture` — self-test: run the same engine over the
+//!   seeded fixture tree and require every lint to fire, the waiver
+//!   path to silence its seed, and the malformed waiver to be caught.
+//!
+//! Flags: `--json PATH` overrides the report location, `--quiet`
+//! suppresses per-finding output (the exit code still tells the truth).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask analyze [--fixture] [--json PATH] [--quiet]");
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn analyze(flags: &[String]) -> ExitCode {
+    let mut fixture = false;
+    let mut quiet = false;
+    let mut json: Option<PathBuf> = None;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--fixture" => fixture = true,
+            "--quiet" => quiet = true,
+            "--json" => match it.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let mut cfg = if fixture {
+        let fixture_root = root.join("crates").join("analyze").join("testdata").join("fixture");
+        zbp_analyze::Config::fixture(&fixture_root, zbp_analyze::current_pr(&root))
+    } else {
+        zbp_analyze::Config::workspace(&root)
+    };
+    if json.is_some() {
+        cfg.output = json;
+    }
+
+    let report = match zbp_analyze::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in report.unwaived() {
+            eprintln!("error: [{}] {}:{} {}", f.lint, f.file, f.line, f.message);
+        }
+        for w in &report.invalid_waivers {
+            eprintln!("error: [invalid-waiver] {}:{} {}", w.file, w.line, w.problem);
+        }
+        for w in &report.unused_waivers {
+            eprintln!("note: unused waiver for `{}` at {}:{}", w.lint, w.file, w.line);
+        }
+    }
+    let unwaived = report.unwaived().count();
+    let waived = report.findings.len() - unwaived;
+    eprintln!(
+        "analyze: {} files, {} finding(s) ({} waived), {} invalid waiver(s){}",
+        report.files_scanned,
+        report.findings.len(),
+        waived,
+        report.invalid_waivers.len(),
+        cfg.output.as_deref().map(|p| format!(", report -> {}", p.display())).unwrap_or_default()
+    );
+
+    if fixture {
+        // Self-test contract: every lint fires unwaived, the waiver
+        // path silences at least one seed, and the malformed waiver is
+        // rejected.
+        let mut ok = true;
+        for lint in zbp_analyze::lints::LINT_IDS {
+            if !report.unwaived().any(|f| f.lint == lint) {
+                eprintln!("self-test FAILED: lint `{lint}` did not fire on its seed");
+                ok = false;
+            }
+        }
+        if !report.findings.iter().any(|f| f.waived) {
+            eprintln!("self-test FAILED: no waived finding (waiver path broken)");
+            ok = false;
+        }
+        if report.invalid_waivers.is_empty() {
+            eprintln!("self-test FAILED: reasonless waiver was not rejected");
+            ok = false;
+        }
+        if ok {
+            eprintln!("analyze --fixture: self-test ok (all lints fire, waivers enforced)");
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
