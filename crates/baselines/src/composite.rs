@@ -1,8 +1,8 @@
 //! A BTB + direction-predictor composite implementing the full
-//! predict/complete protocol, so baselines are comparable to the z15
+//! predict/resolve protocol, so baselines are comparable to the z15
 //! model on end-to-end MPKI (direction *and* target mispredictions).
 
-use zbp_model::{BranchRecord, DirectionPredictor, FullPredictor, Prediction};
+use zbp_model::{BranchRecord, DirectionPredictor, Prediction, Predictor, TargetPredictor};
 use zbp_zarch::{BranchClass, InstrAddr};
 
 #[derive(Debug, Clone, Copy)]
@@ -12,9 +12,13 @@ struct BtbSlot {
 }
 
 /// A 4-way set-associative BTB (4K entries by default) paired with any
-/// [`DirectionPredictor`].
+/// [`DirectionPredictor`], and optionally a [`TargetPredictor`] that
+/// overrides the BTB's last-taken target for indirect-class branches
+/// (how ITTAGE and last-target baselines enter the arena).
 pub struct BtbComposite {
     direction: Box<dyn DirectionPredictor + Send>,
+    target: Option<Box<dyn TargetPredictor + Send>>,
+    label: Option<String>,
     sets: Vec<[Option<BtbSlot>; 4]>,
     lru: Vec<[u8; 4]>,
 }
@@ -22,7 +26,8 @@ pub struct BtbComposite {
 impl std::fmt::Debug for BtbComposite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BtbComposite")
-            .field("direction", &self.direction.name())
+            .field("direction", &DirectionPredictor::name(&*self.direction))
+            .field("has_target_side", &self.target.is_some())
             .field("sets", &self.sets.len())
             .finish()
     }
@@ -40,12 +45,36 @@ impl BtbComposite {
     /// Wraps a direction predictor with `sets` × 4-way BTB.
     pub fn with_sets(direction: Box<dyn DirectionPredictor + Send>, sets: usize) -> Self {
         let sets = sets.next_power_of_two();
-        BtbComposite { direction, sets: vec![[None; 4]; sets], lru: vec![[0, 1, 2, 3]; sets] }
+        BtbComposite {
+            direction,
+            target: None,
+            label: None,
+            sets: vec![[None; 4]; sets],
+            lru: vec![[0, 1, 2, 3]; sets],
+        }
+    }
+
+    /// Adds a target-side predictor consulted for indirect-class
+    /// branches (overriding the BTB's remembered target on a hit).
+    #[must_use]
+    pub fn with_target(mut self, target: Box<dyn TargetPredictor + Send>) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Overrides [`Predictor::name`] with a stable roster label, so a
+    /// registry entry reports its registry name rather than the derived
+    /// `btb+<direction>` form.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     /// The wrapped direction predictor's name.
+    #[deprecated(note = "use `Predictor::name` on the composite; remove-by: PR-8")]
     pub fn direction_name(&self) -> String {
-        self.direction.name()
+        DirectionPredictor::name(&*self.direction)
     }
 
     fn set_of(&self, addr: InstrAddr) -> usize {
@@ -102,12 +131,16 @@ impl BtbComposite {
     }
 }
 
-impl FullPredictor for BtbComposite {
+impl Predictor for BtbComposite {
     fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
         match self.lookup(addr) {
             Some(target) => {
                 let dir = self.direction.predict_direction(addr, class);
                 if dir.is_taken() {
+                    let target = match &mut self.target {
+                        Some(t) if class.is_indirect() => t.predict_target(addr).unwrap_or(target),
+                        _ => target,
+                    };
                     Prediction::taken(target)
                 } else {
                     Prediction::not_taken()
@@ -117,7 +150,10 @@ impl FullPredictor for BtbComposite {
         }
     }
 
-    fn complete(&mut self, rec: &BranchRecord, pred: &Prediction) {
+    fn resolve(&mut self, rec: &BranchRecord, pred: &Prediction) {
+        if let Some(t) = &mut self.target {
+            t.update_target(rec);
+        }
         if pred.dynamic {
             self.direction.update(rec);
             if rec.taken {
@@ -135,7 +171,18 @@ impl FullPredictor for BtbComposite {
     }
 
     fn name(&self) -> String {
-        format!("btb+{}", self.direction.name())
+        match &self.label {
+            Some(label) => label.clone(),
+            None => format!("btb+{}", DirectionPredictor::name(&*self.direction)),
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Each BTB entry holds a full tag address, a target, and 2 LRU
+        // bits; no partial-tag economy is modelled for baselines.
+        let btb = (self.sets.len() as u64) * 4 * (64 + 64 + 2);
+        btb + DirectionPredictor::storage_bits(&*self.direction)
+            + self.target.as_ref().map_or(0, |t| t.storage_bits())
     }
 }
 
@@ -156,11 +203,11 @@ mod tests {
         let r = rec(0x1000, true, 0x2000);
         let p1 = c.predict(r.addr, r.class());
         assert!(!p1.dynamic);
-        c.complete(&r, &p1);
+        c.resolve(&r, &p1);
         let p2 = c.predict(r.addr, r.class());
         assert!(p2.dynamic);
         assert_eq!(p2.target, Some(InstrAddr::new(0x2000)));
-        c.complete(&r, &p2);
+        c.resolve(&r, &p2);
     }
 
     #[test]
@@ -169,13 +216,13 @@ mod tests {
         let a = rec(0x1000, true, 0x2000);
         let b = rec(0x1000, true, 0x3000);
         let p = c.predict(a.addr, a.class());
-        c.complete(&a, &p);
+        c.resolve(&a, &p);
         let p = c.predict(b.addr, b.class());
         assert_eq!(p.target, Some(InstrAddr::new(0x2000)), "stale target predicted");
-        c.complete(&b, &p);
+        c.resolve(&b, &p);
         let p = c.predict(b.addr, b.class());
         assert_eq!(p.target, Some(InstrAddr::new(0x3000)), "corrected");
-        c.complete(&b, &p);
+        c.resolve(&b, &p);
     }
 
     #[test]
@@ -191,13 +238,50 @@ mod tests {
     }
 
     #[test]
+    fn target_side_overrides_btb_for_indirect_branches() {
+        use crate::LastTarget;
+        // An indirect branch alternating targets: the plain BTB always
+        // lags one occurrence behind; so does last-target, but routing
+        // through the target side must at least match the BTB, and the
+        // composite must train it (same table, same staleness).
+        let mut c = BtbComposite::new(Box::new(Bimodal::new(1024)))
+            .with_target(Box::new(LastTarget::new(256)))
+            .labeled("probe");
+        assert_eq!(Predictor::name(&c), "probe");
+        let ind = |target: u64| {
+            BranchRecord::new(InstrAddr::new(0x500), Mnemonic::Br, true, InstrAddr::new(target))
+        };
+        let warm = ind(0x9000);
+        for _ in 0..8 {
+            let p = c.predict(warm.addr, warm.class());
+            c.resolve(&warm, &p);
+        }
+        let p = c.predict(warm.addr, warm.class());
+        assert!(p.dynamic);
+        assert_eq!(p.target, Some(InstrAddr::new(0x9000)), "target side serves the hit");
+        c.resolve(&ind(0xa000), &p);
+        let p = c.predict(warm.addr, warm.class());
+        assert_eq!(p.target, Some(InstrAddr::new(0xa000)), "target side retrained at resolve");
+        c.resolve(&ind(0xa000), &p);
+    }
+
+    #[test]
+    fn storage_accounts_for_every_side() {
+        let plain = BtbComposite::with_sets(Box::new(Bimodal::new(1024)), 64);
+        let with_target = BtbComposite::with_sets(Box::new(Bimodal::new(1024)), 64)
+            .with_target(Box::new(crate::LastTarget::new(256)));
+        assert!(plain.storage_bits() > 0);
+        assert!(with_target.storage_bits() > plain.storage_bits());
+    }
+
+    #[test]
     fn capacity_pressure_evicts_lru() {
         let mut c = BtbComposite::with_sets(Box::new(Bimodal::new(64)), 1);
         // Five branches in one set of four ways.
         for k in 0..5u64 {
             let r = rec(0x1000 + k * 0x800, true, 0x9000);
             let p = c.predict(r.addr, r.class());
-            c.complete(&r, &p);
+            c.resolve(&r, &p);
         }
         // The first installed branch was evicted.
         let p = c.predict(InstrAddr::new(0x1000), BranchClass::CondRelative);

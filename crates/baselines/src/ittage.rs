@@ -85,6 +85,10 @@ impl TargetPredictor for Ittage {
         self.provider(addr).map(|(_, _, t)| t)
     }
 
+    fn storage_bits(&self) -> u64 {
+        Ittage::storage_bits(self)
+    }
+
     fn update_target(&mut self, rec: &BranchRecord) {
         if rec.taken {
             if rec.class().is_indirect() {
@@ -166,6 +170,11 @@ impl TargetPredictor for LastTarget {
     fn predict_target(&mut self, addr: InstrAddr) -> Option<InstrAddr> {
         let i = self.idx(addr);
         self.table[i].filter(|(a, _)| *a == addr.raw()).map(|(_, t)| t)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Full tag address + full target per direct-mapped entry.
+        (self.table.len() as u64) * (64 + 64)
     }
 
     fn update_target(&mut self, rec: &BranchRecord) {

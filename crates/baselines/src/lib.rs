@@ -15,8 +15,12 @@
 //!   target-cache family the paper cites as \[19\]) for CTB comparisons.
 //!
 //! [`BtbComposite`] wraps any direction predictor with a simple BTB so
-//! baselines can play the full predict/complete protocol (targets,
+//! baselines can play the full predict/resolve protocol (targets,
 //! surprise detection) and be compared to the z15 model on MPKI.
+//!
+//! [`registry`] is the name-keyed roster the arena and bench binaries
+//! select predictors from (`--predictor <name>`); every entry builds a
+//! ready-to-run [`Predictor`] at a chosen size scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +43,12 @@ pub use ltage::Ltage;
 pub use perceptron::PerceptronGlobal;
 pub use statics::StaticOnly;
 
+use zbp_model::Predictor;
+
 /// Builds the standard comparison roster at roughly z15-PHT-comparable
 /// storage, wrapped in BTB composites, plus labels.
+#[deprecated(note = "superseded by the name-keyed `registry()` (which also carries \
+            the indirect-target baselines); remove-by: PR-8")]
 pub fn roster() -> Vec<BtbComposite> {
     vec![
         BtbComposite::new(Box::new(StaticOnly::new())),
@@ -52,12 +60,136 @@ pub fn roster() -> Vec<BtbComposite> {
     ]
 }
 
+/// One arena-selectable baseline: a stable CLI name, a short
+/// description for roster listings, and a constructor taking a size
+/// scale (`1` = the roster's canonical, z15-PHT-comparable budget;
+/// `n` multiplies every table's entry count by `n`).
+pub struct RegistryEntry {
+    /// The `--predictor` key (kebab-case, stable across releases).
+    pub name: &'static str,
+    /// One-line description for reports and `--help` listings.
+    pub summary: &'static str,
+    /// Builds the predictor at the given size scale.
+    pub build: fn(u32) -> Box<dyn Predictor + Send>,
+}
+
+impl std::fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryEntry").field("name", &self.name).finish()
+    }
+}
+
+fn scaled(base: usize, scale: u32) -> usize {
+    base.saturating_mul(scale.max(1) as usize)
+}
+
+/// The name-keyed baseline roster: every comparison predictor the
+/// arena and bench binaries can select with `--predictor <name>`.
+///
+/// Direction-only baselines are wrapped in a [`BtbComposite`] so they
+/// play the full predict/resolve protocol; the indirect-target
+/// baselines (`ittage`, `last-target`) pair the composite's gshare
+/// direction side with a dedicated [`TargetPredictor`](zbp_model::TargetPredictor)
+/// overriding indirect-class targets.
+pub fn registry() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            name: "static",
+            summary: "opcode static guesses only (the no-hardware floor)",
+            build: |_| Box::new(BtbComposite::new(Box::new(StaticOnly::new())).labeled("static")),
+        },
+        RegistryEntry {
+            name: "bimodal",
+            summary: "per-address 2-bit counters",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(Bimodal::new(scaled(16 * 1024, s))))
+                        .labeled("bimodal"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "gshare",
+            summary: "global history XOR address into 2-bit counters",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(Gshare::new(scaled(16 * 1024, s), 12)))
+                        .labeled("gshare"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "local",
+            summary: "per-branch local history into a shared pattern table",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(LocalTwoLevel::new(
+                        scaled(1024, s),
+                        10,
+                        scaled(16 * 1024, s),
+                    )))
+                    .labeled("local"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "perceptron",
+            summary: "Jimenez-Lin global-history perceptron",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(PerceptronGlobal::new(scaled(512, s), 24)))
+                        .labeled("perceptron"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "ltage",
+            summary: "scaled-down L-TAGE (tagged geometric history)",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(Ltage::new(4, scaled(1024, s), 10)))
+                        .labeled("ltage"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "ittage",
+            summary: "gshare direction + ITTAGE indirect-target tables",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(Gshare::new(scaled(16 * 1024, s), 12)))
+                        .with_target(Box::new(Ittage::new(4, scaled(512, s), 6)))
+                        .labeled("ittage"),
+                )
+            },
+        },
+        RegistryEntry {
+            name: "last-target",
+            summary: "gshare direction + last-target table (indirect floor)",
+            build: |s| {
+                Box::new(
+                    BtbComposite::new(Box::new(Gshare::new(scaled(16 * 1024, s), 12)))
+                        .with_target(Box::new(LastTarget::new(scaled(1024, s))))
+                        .labeled("last-target"),
+                )
+            },
+        },
+    ]
+}
+
+/// Builds the registry predictor with the given name at `scale`, or
+/// `None` if the name is unknown.
+pub fn build(name: &str, scale: u32) -> Option<Box<dyn Predictor + Send>> {
+    registry().into_iter().find(|e| e.name == name).map(|e| (e.build)(scale))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use zbp_model::DirectionPredictor;
 
     #[test]
+    #[allow(deprecated)]
     fn roster_has_distinct_names_and_storage() {
         let r = roster();
         let names: std::collections::HashSet<_> = r.iter().map(|p| p.direction_name()).collect();
@@ -66,11 +198,42 @@ mod tests {
 
     #[test]
     fn storage_bits_are_nonzero_for_hardware_predictors() {
-        assert_eq!(StaticOnly::new().storage_bits(), 0);
-        assert!(Bimodal::new(1024).storage_bits() > 0);
-        assert!(Gshare::new(1024, 10).storage_bits() > 0);
-        assert!(LocalTwoLevel::new(128, 8, 1024).storage_bits() > 0);
-        assert!(PerceptronGlobal::new(64, 16).storage_bits() > 0);
-        assert!(Ltage::new(4, 256, 8).storage_bits() > 0);
+        assert_eq!(DirectionPredictor::storage_bits(&StaticOnly::new()), 0);
+        assert!(DirectionPredictor::storage_bits(&Bimodal::new(1024)) > 0);
+        assert!(DirectionPredictor::storage_bits(&Gshare::new(1024, 10)) > 0);
+        assert!(DirectionPredictor::storage_bits(&LocalTwoLevel::new(128, 8, 1024)) > 0);
+        assert!(DirectionPredictor::storage_bits(&PerceptronGlobal::new(64, 16)) > 0);
+        assert!(DirectionPredictor::storage_bits(&Ltage::new(4, 256, 8)) > 0);
+    }
+
+    #[test]
+    fn registry_names_are_distinct_and_match_built_predictors() {
+        let entries = registry();
+        let names: std::collections::HashSet<_> = entries.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), entries.len());
+        for e in &entries {
+            let p = (e.build)(1);
+            assert_eq!(p.name(), e.name, "label drifted from registry key");
+            assert!(p.storage_bits() > 0, "{}: BTB storage alone is nonzero", e.name);
+        }
+    }
+
+    #[test]
+    fn registry_covers_the_indirect_baselines_the_roster_omits() {
+        for name in ["ittage", "last-target"] {
+            assert!(build(name, 1).is_some(), "{name} missing from registry");
+        }
+        assert!(build("no-such-predictor", 1).is_none());
+    }
+
+    #[test]
+    fn scale_knob_grows_storage() {
+        let small = build("gshare", 1).expect("gshare registered");
+        let big = build("gshare", 4).expect("gshare registered");
+        assert!(big.storage_bits() > small.storage_bits());
+        // The scale knob never shrinks the floor entry below scale 1.
+        let s0 = build("static", 0).expect("static registered");
+        let s1 = build("static", 1).expect("static registered");
+        assert_eq!(s0.storage_bits(), s1.storage_bits());
     }
 }

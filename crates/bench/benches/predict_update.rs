@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use zbp_core::{GenerationPreset, ZPredictor};
-use zbp_model::FullPredictor;
+use zbp_model::Predictor;
 use zbp_trace::workloads;
 
 fn bench(c: &mut Criterion) {
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                 let mut p = ZPredictor::new(preset.config());
                 for rec in &records {
                     let pr = p.predict(rec.addr, rec.class());
-                    p.complete(rec, &pr);
+                    p.resolve(rec, &pr);
                 }
                 std::hint::black_box(p.stats.direction_total())
             })

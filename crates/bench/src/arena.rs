@@ -1,0 +1,349 @@
+//! The predictor tournament arena (experiment E21).
+//!
+//! One [`Experiment`] fan-out races the z15 model against every
+//! selected registry baseline over the same cached traces, then this
+//! module renders the outcome two ways:
+//!
+//! * a generated markdown report (`results/predictors.md`) with
+//!   accuracy, MPKI and size-normalized comparisons plus the top-N
+//!   hard-to-predict (H2P) branches per workload, mined from the
+//!   per-static-branch [`BranchTable`] profile;
+//! * one schema-4 [`ArenaRecord`] per `(predictor, workload)` cell for
+//!   `results/bench.json`.
+//!
+//! Everything rendered here is a pure function of the experiment
+//! result — no wall times, thread counts or hashes — so the report is
+//! byte-identical at any `--threads` setting, and the H2P tables are
+//! insertion-order-invariant (the profile is `BTreeMap`-keyed and
+//! merged with [`zbp_telemetry::reduce_keyed`] semantics).
+
+use crate::experiment::{CellResult, Experiment, ExperimentResult};
+use crate::json::{ArenaH2p, ArenaRecord};
+use crate::{f3, pct};
+use zbp_baselines::{registry, RegistryEntry};
+use zbp_core::GenerationPreset;
+use zbp_model::BranchTable;
+
+/// Label of the reference entry the tournament always includes.
+pub const Z15_ENTRY: &str = "z15";
+
+/// H2P branches listed per workload in the report and per cell in the
+/// schema-4 records.
+pub const TOP_H2P: usize = 10;
+
+/// Resolves `--predictor` selections against the registry. An empty
+/// selection means the full roster; an unknown name is an error
+/// listing what is available.
+pub fn select_predictors(names: &[String]) -> Result<Vec<RegistryEntry>, String> {
+    let all = registry();
+    if names.is_empty() {
+        return Ok(all);
+    }
+    let known: Vec<&str> = all.iter().map(|e| e.name).collect();
+    for n in names {
+        if !known.contains(&n.as_str()) {
+            return Err(format!("unknown predictor '{n}' (available: {})", known.join(", ")));
+        }
+    }
+    Ok(all.into_iter().filter(|e| names.iter().any(|n| n == e.name)).collect())
+}
+
+/// Runs the tournament: the z15 model first (the reference row), then
+/// every selected registry baseline at `scale`, all over the standard
+/// suite with per-branch profiling on.
+pub fn run_tournament(
+    selection: Vec<RegistryEntry>,
+    scale: u32,
+    seed: u64,
+    instrs: u64,
+    threads: usize,
+) -> ExperimentResult {
+    let mut exp = Experiment::bare()
+        .name("arena")
+        .profile(true)
+        .config(Z15_ENTRY, &GenerationPreset::Z15.config())
+        .suite(seed, instrs)
+        .threads(threads);
+    for e in selection {
+        let build = e.build;
+        exp = exp.predictor_boxed(e.name, move || build(scale));
+    }
+    exp.run()
+}
+
+/// Per-entry suite aggregate used by the report.
+struct Row<'a> {
+    label: &'a str,
+    storage_bits: u64,
+    mpki: f64,
+    dir_acc: f64,
+    coverage: f64,
+}
+
+fn rows(result: &ExperimentResult) -> Vec<Row<'_>> {
+    result
+        .entries
+        .iter()
+        .map(|e| Row {
+            label: &e.label,
+            storage_bits: e.cells.first().map_or(0, |c| c.storage_bits),
+            mpki: e.total.mpki(),
+            dir_acc: e.total.direction_accuracy().fraction(),
+            coverage: e.total.coverage().fraction(),
+        })
+        .collect()
+}
+
+fn kib(bits: u64) -> f64 {
+    bits as f64 / 8192.0
+}
+
+/// Renders the tournament report as markdown. The output is a pure
+/// function of the result's statistics and profiles: byte-identical at
+/// any thread count.
+pub fn render_report(result: &ExperimentResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let first_cell = result.entries.first().and_then(|e| e.cells.first());
+    let (instrs, seed) = first_cell.map_or((0, 0), |c| (c.instrs, c.seed));
+    let workloads: Vec<&str> = result
+        .entries
+        .first()
+        .map(|e| e.cells.iter().map(|c| c.workload.as_str()).collect())
+        .unwrap_or_default();
+
+    out.push_str("# Predictor tournament (E21)\n\n");
+    let _ = writeln!(
+        out,
+        "The z15 model and {} registry baseline(s), raced over the same \
+         cached traces in one experiment fan-out: {} workload(s), {} \
+         instructions each, base seed {}.\n",
+        result.entries.len().saturating_sub(1),
+        workloads.len(),
+        instrs,
+        seed,
+    );
+
+    out.push_str("## Summary (suite totals)\n\n");
+    out.push_str("| predictor | storage (KiB) | MPKI | dir acc | coverage | MPKI·KiB |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for r in rows(result) {
+        let (storage, normalized) = if r.storage_bits == 0 {
+            ("—".to_string(), "—".to_string())
+        } else {
+            let k = kib(r.storage_bits);
+            (format!("{k:.1}"), format!("{:.1}", r.mpki * k))
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.label,
+            storage,
+            f3(r.mpki),
+            pct(r.dir_acc),
+            pct(r.coverage),
+            normalized,
+        );
+    }
+    out.push_str(
+        "\nMPKI·KiB is the size-normalized comparison (misprediction rate × \
+         modelled storage; lower is better on both axes). `—` marks \
+         predictors with no modelled hardware budget.\n",
+    );
+
+    let _ =
+        writeln!(out, "\n## Hard-to-predict branches ({Z15_ENTRY}, top {TOP_H2P} per workload)");
+    match result.entry(Z15_ENTRY) {
+        None => out.push_str("\n(The reference entry was not part of this run.)\n"),
+        Some(z15) => {
+            for cell in &z15.cells {
+                let _ = writeln!(out, "\n### {}\n", cell.workload);
+                match &cell.profile {
+                    None => out.push_str("(no profile recorded)\n"),
+                    Some(table) => {
+                        out.push_str(
+                            "| # | address | execs | taken | mispredicts | mispredict rate |\n",
+                        );
+                        out.push_str("|---:|---|---:|---:|---:|---:|\n");
+                        for (i, (addr, counts)) in table.top_h2p(TOP_H2P).iter().enumerate() {
+                            let _ = writeln!(
+                                out,
+                                "| {} | 0x{addr:x} | {} | {} | {} | {} |",
+                                i + 1,
+                                counts.executions,
+                                counts.taken,
+                                counts.mispredicts(),
+                                pct(counts.mispredict_rate()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cell_record(cell: &CellResult) -> ArenaRecord {
+    let profile = cell.profile.as_ref();
+    ArenaRecord {
+        experiment: "arena".into(),
+        predictor: cell.entry.clone(),
+        workload: cell.workload.clone(),
+        seed: cell.seed,
+        instrs: cell.instrs,
+        storage_bits: cell.storage_bits,
+        mpki: cell.stats.mpki(),
+        dir_acc: cell.stats.direction_accuracy().fraction(),
+        coverage: cell.stats.coverage().fraction(),
+        branches: cell.stats.branches.get(),
+        mispredicts: cell.stats.mispredictions(),
+        flushes: cell.flushes,
+        static_branches: profile.map_or(0, |t| t.static_branches() as u64),
+        h2p: profile
+            .map(|t| {
+                t.top_h2p(TOP_H2P)
+                    .into_iter()
+                    .map(|(addr, c)| ArenaH2p {
+                        addr,
+                        execs: c.executions,
+                        taken: c.taken,
+                        mispredicts: c.mispredicts(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// Flattens every tournament cell into a schema-4 [`ArenaRecord`].
+pub fn arena_records(result: &ExperimentResult) -> Vec<ArenaRecord> {
+    result.entries.iter().flat_map(|e| e.cells.iter()).map(cell_record).collect()
+}
+
+/// Merges an entry's per-cell profiles into one suite-wide
+/// [`BranchTable`], keyed by workload label so the reduction is
+/// arrival-order-invariant.
+pub fn suite_profile(cells: &[CellResult]) -> BranchTable {
+    BranchTable::merge_keyed(
+        cells.iter().filter_map(|c| c.profile.as_ref().map(|p| (c.workload.clone(), p.clone()))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(threads: usize) -> ExperimentResult {
+        run_tournament(registry(), 1, 11, 2_000, threads)
+    }
+
+    #[test]
+    fn selection_rejects_unknown_names() {
+        let err = select_predictors(&["gshare".into(), "wibble".into()]).unwrap_err();
+        assert!(err.contains("wibble") && err.contains("gshare"), "{err}");
+        assert_eq!(select_predictors(&[]).unwrap().len(), registry().len());
+        let one = select_predictors(&["ltage".into()]).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, "ltage");
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        let serial = small(1);
+        let parallel = small(8);
+        assert_eq!(render_report(&serial), render_report(&parallel));
+        assert_eq!(arena_records(&serial), arena_records(&parallel));
+    }
+
+    #[test]
+    fn per_branch_tables_are_identical_for_every_registry_predictor() {
+        let serial = small(1);
+        let parallel = small(8);
+        for (s, p) in serial.entries.iter().zip(&parallel.entries) {
+            assert_eq!(s.label, p.label);
+            for (sc, pc) in s.cells.iter().zip(&p.cells) {
+                let st = sc.profile.as_ref().expect("profiled run fills every cell");
+                let pt = pc.profile.as_ref().expect("profiled run fills every cell");
+                assert_eq!(
+                    st, pt,
+                    "{}/{} profile diverged across thread counts",
+                    s.label, sc.workload
+                );
+            }
+            assert_eq!(suite_profile(&s.cells), suite_profile(&p.cells));
+        }
+    }
+
+    #[test]
+    fn report_covers_every_entry_and_workload() {
+        let r = small(2);
+        let report = render_report(&r);
+        assert!(report.starts_with("# Predictor tournament"));
+        for e in &r.entries {
+            assert!(report.contains(&format!("| {} |", e.label)), "missing row for {}", e.label);
+            for c in &e.cells {
+                assert!(report.contains(&format!("### {}", c.workload)) || e.label != Z15_ENTRY);
+            }
+        }
+        assert!(report.contains("MPKI·KiB"));
+        let records = arena_records(&r);
+        assert_eq!(records.len(), r.entries.len() * r.entries[0].cells.len());
+        assert!(records.iter().all(|x| x.branches > 0));
+        assert!(records.iter().any(|x| !x.h2p.is_empty()), "some cell mines H2P branches");
+        for w in records.iter().flat_map(|x| x.h2p.windows(2)) {
+            assert!(
+                w[0].mispredicts > w[1].mispredicts
+                    || (w[0].mispredicts == w[1].mispredicts && w[0].addr < w[1].addr),
+                "H2P lists sort by mispredicts desc, address asc"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_storage_renders_an_em_dash_not_a_division() {
+        use crate::experiment::EntryResult;
+        let cell = CellResult {
+            entry: "null".into(),
+            workload: "w0".into(),
+            seed: 0,
+            instrs: 1,
+            stats: zbp_model::MispredictStats::new(),
+            flushes: 0,
+            wall_time: std::time::Duration::ZERO,
+            predictor: None,
+            telemetry: None,
+            verify: None,
+            profile: None,
+            storage_bits: 0,
+        };
+        let result = ExperimentResult {
+            entries: vec![EntryResult {
+                label: "null".into(),
+                cells: vec![cell],
+                total: zbp_model::MispredictStats::new(),
+                flushes: 0,
+            }],
+            wall_time: std::time::Duration::ZERO,
+            threads: 1,
+        };
+        let report = render_report(&result);
+        assert!(report.contains("| null | — |"), "{report}");
+    }
+
+    #[test]
+    fn suite_profile_totals_match_cell_sums() {
+        let r = small(2);
+        let z15 = r.entry(Z15_ENTRY).expect("reference entry present");
+        let merged = suite_profile(&z15.cells);
+        let cell_mispredicts: u64 = z15
+            .cells
+            .iter()
+            .map(|c| c.profile.as_ref().expect("profiled").total_mispredicts())
+            .sum();
+        assert_eq!(merged.total_mispredicts(), cell_mispredicts);
+        assert!(
+            merged.static_branches() >= z15.cells[0].profile.as_ref().unwrap().static_branches()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Experiment E21 — the predictor tournament arena.
+//!
+//! Races the z15 model against every registry baseline (or the subset
+//! picked with repeatable `--predictor NAME` flags) over the same
+//! cached traces in one experiment fan-out, then writes:
+//!
+//! * `results/predictors.md` — the generated markdown report
+//!   (accuracy, MPKI, size-normalized comparison, top-10 H2P branches
+//!   per workload), byte-identical at any `--threads` count;
+//! * one schema-4 record per `(predictor, workload)` cell to the
+//!   `--json` sink, when given.
+//!
+//! The report also goes to stdout, so `arena | less` works without
+//! touching the results directory.
+
+use zbp_bench::arena::{arena_records, render_report, run_tournament, select_predictors};
+use zbp_bench::{append_arena_records, BenchArgs};
+
+const REPORT_PATH: &str = "results/predictors.md";
+
+fn main() {
+    let args = BenchArgs::parse();
+    let selection = match select_predictors(&args.predictors) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = run_tournament(selection, 1, args.seed, args.instrs, args.threads);
+    let report = render_report(&result);
+    print!("{report}");
+
+    if let Some(dir) = std::path::Path::new(REPORT_PATH).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+    }
+    match std::fs::write(REPORT_PATH, &report) {
+        Ok(()) => eprintln!("[arena] wrote {REPORT_PATH}"),
+        Err(e) => eprintln!("warning: could not write {REPORT_PATH}: {e}"),
+    }
+    if let Some(path) = &args.json {
+        match append_arena_records(path, &arena_records(&result)) {
+            Ok(()) => eprintln!("[arena] appended schema-4 records to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}

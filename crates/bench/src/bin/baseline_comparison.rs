@@ -1,78 +1,58 @@
-//! Experiment E14 — the z15 model against the academic baseline roster
-//! (bimodal, gshare, local two-level, global perceptron, L-TAGE; all
-//! wrapped with the same simple BTB), on the LSPR suite.
+//! Experiment E14 — the z15 model against the academic baseline
+//! registry (bimodal, gshare, local two-level, global perceptron,
+//! L-TAGE, plus the indirect-target baselines; all wrapped with the
+//! same simple BTB), on the LSPR suite.
+//!
+//! Predictors come from `zbp_baselines::registry()` and can be
+//! narrowed with repeatable `--predictor NAME` flags.
 
-use zbp_baselines::{
-    Bimodal, BtbComposite, Gshare, LocalTwoLevel, Ltage, PerceptronGlobal, StaticOnly,
-};
 use zbp_bench::{f3, pct, BenchArgs, Experiment, Table};
 use zbp_core::GenerationPreset;
-use zbp_model::DirectionPredictor;
 
 fn main() {
     let args = BenchArgs::parse();
     let (instrs, seed) = (args.instrs, args.seed);
     println!("Baseline comparison, LSPR suite ({instrs} instrs/workload)\n");
-    let mut t =
-        Table::new(vec!["predictor", "direction storage (KB)", "MPKI", "dir-MPKI", "dir accuracy"]);
+    let mut t = Table::new(vec!["predictor", "storage (KB)", "MPKI", "dir-MPKI", "dir accuracy"]);
 
-    // Baselines with comparable direction-predictor storage to the z15
-    // PHT+perceptron complex. All entries (and the z15 reference) fan
-    // out in one experiment; the per-row storage figures come from a
-    // throwaway instance of each predictor.
-    let storage: Vec<(String, u64)> = vec![
-        (StaticOnly::new().name(), StaticOnly::new().storage_bits()),
-        (Bimodal::new(16 * 1024).name(), Bimodal::new(16 * 1024).storage_bits()),
-        (Gshare::new(16 * 1024, 12).name(), Gshare::new(16 * 1024, 12).storage_bits()),
-        (
-            LocalTwoLevel::new(1024, 10, 16 * 1024).name(),
-            LocalTwoLevel::new(1024, 10, 16 * 1024).storage_bits(),
-        ),
-        (PerceptronGlobal::new(512, 24).name(), PerceptronGlobal::new(512, 24).storage_bits()),
-        (Ltage::new(4, 1024, 10).name(), Ltage::new(4, 1024, 10).storage_bits()),
-    ];
+    let selection = match zbp_bench::arena::select_predictors(&args.predictors) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
 
+    // All registry entries (and the z15 reference) fan out in one
+    // experiment; the per-row storage figures come straight from each
+    // cell's modelled budget.
     let z15_cfg = GenerationPreset::Z15.config();
-    let result = Experiment::bare()
-        .predictor(&storage[0].0, || BtbComposite::new(Box::new(StaticOnly::new())))
-        .predictor(&storage[1].0, || BtbComposite::new(Box::new(Bimodal::new(16 * 1024))))
-        .predictor(&storage[2].0, || BtbComposite::new(Box::new(Gshare::new(16 * 1024, 12))))
-        .predictor(&storage[3].0, || {
-            BtbComposite::new(Box::new(LocalTwoLevel::new(1024, 10, 16 * 1024)))
-        })
-        .predictor(&storage[4].0, || BtbComposite::new(Box::new(PerceptronGlobal::new(512, 24))))
-        .predictor(&storage[5].0, || BtbComposite::new(Box::new(Ltage::new(4, 1024, 10))))
-        .config("z15 model", &z15_cfg)
-        .suite(seed, instrs)
-        .apply(&args)
-        .run();
+    let mut exp = Experiment::bare();
+    for e in &selection {
+        let build = e.build;
+        exp = exp.predictor_boxed(e.name, move || build(1));
+    }
+    let result = exp.config("z15 model", &z15_cfg).suite(seed, instrs).apply(&args).run();
 
     let dir_mpki = |stats: &zbp_model::MispredictStats| {
         1000.0 * (stats.dynamic_wrong_direction.get() + stats.surprise_wrong_direction.get()) as f64
             / stats.instructions.get().max(1) as f64
     };
 
-    for (i, (name, bits)) in storage.iter().enumerate() {
-        let stats = &result.entries[i].total;
+    for e in &result.entries {
+        let stats = &e.total;
+        let bits = e.cells.first().map_or(0, |c| c.storage_bits);
         t.row(vec![
-            format!("btb+{name}"),
-            format!("{:.1}", *bits as f64 / 8192.0),
+            e.label.clone(),
+            format!("{:.1}", bits as f64 / 8192.0),
             f3(stats.mpki()),
             f3(dir_mpki(stats)),
             pct(stats.direction_accuracy().fraction()),
         ]);
     }
-
-    // The z15 model (full target prediction, two-level BTB).
-    let z15 = &result.entries.last().expect("nonempty").total;
-    t.row(vec![
-        "z15 model".to_string(),
-        "~10 (PHT) + perceptron".to_string(),
-        f3(z15.mpki()),
-        f3(dir_mpki(z15)),
-        pct(z15.direction_accuracy().fraction()),
-    ]);
     t.print();
-    println!("\nNote: baselines use a flat 4K-entry BTB; the z15 model adds the BTB2");
-    println!("hierarchy, CTB and CRS, so its advantage combines direction and target.");
+    println!("\nNote: baseline storage includes the flat 4K-entry BTB every composite");
+    println!("shares; the z15 model's budget covers its BTB1/BTB2 hierarchy, PHT,");
+    println!("speculative overrides, CTB and CPRED, so its advantage combines");
+    println!("direction and target prediction.");
 }

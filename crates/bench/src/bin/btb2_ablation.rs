@@ -111,7 +111,7 @@ fn main() {
 fn measure_transfer_bursts(instrs: u64, seed: u64) -> Vec<u32> {
     use std::sync::{Arc, Mutex};
     use zbp_core::events::{BplEvent, Probe};
-    use zbp_model::FullPredictor;
+    use zbp_model::Predictor;
 
     #[derive(Debug)]
     struct Tap(Arc<Mutex<Vec<u32>>>);
@@ -131,7 +131,7 @@ fn measure_transfer_bursts(instrs: u64, seed: u64) -> Vec<u32> {
     p.set_probe(Box::new(Tap(Arc::clone(&bursts))));
     for rec in trace.branches() {
         let pred = p.predict(rec.addr, rec.class());
-        p.complete(rec, &pred);
+        p.resolve(rec, &pred);
         if zbp_model::MispredictKind::classify(&pred, rec).is_some() {
             p.flush(rec);
         }

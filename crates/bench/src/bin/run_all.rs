@@ -41,6 +41,7 @@ const BINARIES: &[&str] = &[
     "tag_ablation",
     "update_latency",
     "cosim_pipeline",
+    "arena",
 ];
 
 fn main() {

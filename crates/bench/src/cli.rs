@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! <bin> [--instrs N] [--seed N] [--threads N] [--json PATH]
-//!       [--telemetry PATH] [INSTRS [SEED]]
+//!       [--telemetry PATH] [--predictor NAME]... [INSTRS [SEED]]
 //! ```
 //!
 //! `--flag value` and `--flag=value` both work, and the historical
@@ -32,6 +32,10 @@ pub struct BenchArgs {
     /// trace-event timeline (viewable in `chrome://tracing` / Perfetto)
     /// to this file.
     pub telemetry: Option<std::path::PathBuf>,
+    /// Registry predictor names to run (`--predictor`, repeatable).
+    /// Empty means "every registry entry" — binaries that select
+    /// predictors by name treat the empty list as the full roster.
+    pub predictors: Vec<String>,
 }
 
 impl Default for BenchArgs {
@@ -42,6 +46,7 @@ impl Default for BenchArgs {
             threads: 0,
             json: None,
             telemetry: None,
+            predictors: Vec::new(),
         }
     }
 }
@@ -99,6 +104,10 @@ impl BenchArgs {
                     Some(p) => out.telemetry = Some(p.into()),
                     None => eprintln!("warning: --telemetry needs a path; ignoring"),
                 },
+                "--predictor" => match inline_value.take().or_else(|| it.next()) {
+                    Some(name) => out.predictors.push(name),
+                    None => eprintln!("warning: --predictor needs a name; ignoring"),
+                },
                 f if f.starts_with("--") => {
                     eprintln!("warning: unknown flag {f}; ignoring");
                 }
@@ -154,6 +163,13 @@ mod tests {
         assert_eq!(b.telemetry.as_deref(), Some(std::path::Path::new("t.json")));
         assert_eq!(b.instrs, 42);
         assert_eq!(BenchArgs::default().telemetry, None);
+    }
+
+    #[test]
+    fn predictor_flag_is_repeatable() {
+        let a = BenchArgs::parse_from(["--predictor", "gshare", "--predictor=ltage"]);
+        assert_eq!(a.predictors, vec!["gshare".to_string(), "ltage".to_string()]);
+        assert!(BenchArgs::default().predictors.is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{FullPredictor, MispredictStats, ReplayCore};
+use zbp_model::{BranchTable, MispredictStats, Predictor, ReplayCore};
 use zbp_serve::{PoolConfig, ReplayMode, ServeError, Session, ShardPool};
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_trace::{workloads, Workload};
@@ -53,13 +53,13 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-type Factory = Box<dyn Fn() -> Box<dyn FullPredictor> + Send + Sync>;
+type Factory = Box<dyn Fn() -> Box<dyn Predictor> + Send + Sync>;
 
 enum EntryKind {
     /// A `ZPredictor` built from a configuration (the predictor is kept
     /// so callers can inspect structure-level statistics).
     Config(Box<PredictorConfig>),
-    /// An arbitrary [`FullPredictor`] factory (baselines).
+    /// An arbitrary [`Predictor`] factory (baselines).
     Factory(Factory),
 }
 
@@ -114,6 +114,13 @@ pub struct CellResult {
     /// [`Experiment::verify`] was requested; always [`None`] for
     /// factory baselines, which the reference models do not cover).
     pub verify: Option<VerifySummary>,
+    /// Per-static-branch profile ([`None`] unless
+    /// [`Experiment::profile`] was requested; serve-mode configuration
+    /// cells do not profile).
+    pub profile: Option<BranchTable>,
+    /// Modelled hardware budget of this cell's predictor in bits
+    /// (`0` when the predictor does not model one).
+    pub storage_bits: u64,
 }
 
 /// All cells for one entry, plus the suite-merged total.
@@ -186,6 +193,7 @@ pub struct Experiment {
     telemetry: Option<PathBuf>,
     verify: Option<VerifyLevel>,
     serve: Option<usize>,
+    profile: bool,
 }
 
 impl Experiment {
@@ -208,6 +216,7 @@ impl Experiment {
             telemetry: None,
             verify: None,
             serve: None,
+            profile: false,
         }
     }
 
@@ -229,13 +238,37 @@ impl Experiment {
     /// (used for academic baselines that are not `ZPredictor`s).
     pub fn predictor<P, F>(mut self, label: impl Into<String>, make: F) -> Self
     where
-        P: FullPredictor + 'static,
+        P: Predictor + 'static,
         F: Fn() -> P + Send + Sync + 'static,
     {
         self.entries.push(Entry {
             label: label.into(),
             kind: EntryKind::Factory(Box::new(move || Box::new(make()))),
         });
+        self
+    }
+
+    /// Adds a pre-boxed predictor entry — the registry path
+    /// (`zbp-baselines` hands out `Box<dyn Predictor + Send>`, which
+    /// cannot flow through the generic [`predictor`](Self::predictor)
+    /// builder).
+    pub fn predictor_boxed<F>(mut self, label: impl Into<String>, make: F) -> Self
+    where
+        F: Fn() -> Box<dyn Predictor + Send> + Send + Sync + 'static,
+    {
+        self.entries.push(Entry {
+            label: label.into(),
+            kind: EntryKind::Factory(Box::new(move || -> Box<dyn Predictor> { make() })),
+        });
+        self
+    }
+
+    /// Records a per-static-branch [`BranchTable`] in every inline
+    /// cell (landing in [`CellResult::profile`]) — how the arena mines
+    /// hard-to-predict branches. Profiling never changes predictions:
+    /// profiled and unprofiled runs produce identical statistics.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -333,10 +366,19 @@ impl Experiment {
         let threads = resolve_threads(self.threads).min(n_cells.max(1));
         let traced = self.telemetry.is_some();
         let verify = self.verify;
+        let profile = self.profile;
 
         let mut slots: Vec<Option<CellSlot>> = Vec::with_capacity(n_cells);
         if let Some(shards) = self.serve {
-            slots = run_served(&self.entries, &self.workloads, self.depth, shards, traced, verify);
+            slots = run_served(
+                &self.entries,
+                &self.workloads,
+                self.depth,
+                shards,
+                traced,
+                verify,
+                profile,
+            );
         } else if threads <= 1 || n_cells <= 1 {
             for ei in 0..n_entries {
                 for wi in 0..n_workloads {
@@ -346,6 +388,7 @@ impl Experiment {
                         self.depth,
                         traced,
                         verify,
+                        profile,
                     )));
                 }
             }
@@ -383,7 +426,8 @@ impl Experiment {
                             break;
                         }
                         let (ei, wi) = (i / n_workloads, i % n_workloads);
-                        let r = run_cell(&entries[ei], &workloads[wi], depth, traced, verify);
+                        let r =
+                            run_cell(&entries[ei], &workloads[wi], depth, traced, verify, profile);
                         *cells[i].lock().expect("cell slot poisoned") = Some(r);
                     });
                 }
@@ -416,6 +460,8 @@ impl Experiment {
                     predictor: slot.predictor,
                     telemetry: slot.telemetry,
                     verify: slot.verify,
+                    profile: slot.profile,
+                    storage_bits: slot.storage_bits,
                 });
             }
             entries_out.push(EntryResult { label: entry.label.clone(), cells, total, flushes });
@@ -497,6 +543,8 @@ struct CellSlot {
     predictor: Option<ZPredictor>,
     telemetry: Option<Snapshot>,
     verify: Option<VerifySummary>,
+    profile: Option<BranchTable>,
+    storage_bits: u64,
 }
 
 fn run_cell(
@@ -505,12 +553,14 @@ fn run_cell(
     depth: usize,
     traced: bool,
     verify: Option<VerifyLevel>,
+    profile: bool,
 ) -> CellSlot {
     let trace = w.cached_trace();
     let start = Instant::now();
     match &entry.kind {
         EntryKind::Config(cfg) => {
             let mut s = Session::open(trace.label(), cfg, ReplayMode::Delayed { depth }, traced);
+            s.set_profiling(profile);
             s.feed(trace.as_slice());
             let (report, pred) = s.finish_into(trace.tail_instrs());
             let wall_time = start.elapsed();
@@ -525,18 +575,22 @@ fn run_cell(
                 predictor: pred,
                 telemetry: report.telemetry,
                 verify: verdict,
+                profile: report.profile,
+                storage_bits: cfg.storage_bits(),
             }
         }
         EntryKind::Factory(make) => {
-            // Factory predictors are opaque `FullPredictor`s, so
+            // Factory predictors are opaque `Predictor`s, so
             // `Session` (which owns a `ZPredictor`) does not apply;
             // they run on the streaming core directly, with only the
             // replay-level telemetry available — and no white-box
             // verification (the reference models shadow `ZPredictor`
             // internals).
             let mut p = make();
+            let storage_bits = p.storage_bits();
             let mut tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
             let mut core = ReplayCore::new(depth);
+            core.set_profiling(profile);
             for rec in trace.branches() {
                 core.step(&mut *p, rec, &mut tel);
             }
@@ -548,6 +602,8 @@ fn run_cell(
                 predictor: None,
                 telemetry: traced.then_some(tel.into_snapshot()),
                 verify: None,
+                profile: run.profile,
+                storage_bits,
             }
         }
     }
@@ -580,6 +636,7 @@ fn run_served(
     shards: usize,
     traced: bool,
     verify: Option<VerifyLevel>,
+    profile: bool,
 ) -> Vec<Option<CellSlot>> {
     const SERVE_BATCH: usize = 4096;
 
@@ -617,7 +674,7 @@ fn run_served(
                     });
                 }
                 EntryKind::Factory(_) => {
-                    slots[slot] = Some(run_cell(entry, w, depth, traced, verify));
+                    slots[slot] = Some(run_cell(entry, w, depth, traced, verify, profile));
                 }
             }
         }
@@ -654,6 +711,10 @@ fn run_served(
             predictor: None,
             telemetry: report.telemetry,
             verify: verdict,
+            // The pool does not expose per-session profiling; serve-mode
+            // configuration cells report no table.
+            profile: report.profile,
+            storage_bits: s.cfg.storage_bits(),
         });
     }
     pool.shutdown();
@@ -714,7 +775,7 @@ mod tests {
     #[test]
     fn factory_entries_run_without_zpredictor() {
         struct AlwaysNotTaken;
-        impl FullPredictor for AlwaysNotTaken {
+        impl Predictor for AlwaysNotTaken {
             fn predict(
                 &mut self,
                 _a: zbp_zarch::InstrAddr,
@@ -722,7 +783,7 @@ mod tests {
             ) -> Prediction {
                 Prediction::not_taken()
             }
-            fn complete(&mut self, _r: &zbp_model::BranchRecord, _p: &Prediction) {}
+            fn resolve(&mut self, _r: &zbp_model::BranchRecord, _p: &Prediction) {}
             fn name(&self) -> String {
                 "always-nt".into()
             }

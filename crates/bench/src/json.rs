@@ -495,6 +495,164 @@ impl ServeRecord {
     }
 }
 
+/// One hard-to-predict branch inside an [`ArenaRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaH2p {
+    /// Static branch address.
+    pub addr: u64,
+    /// Dynamic executions of the branch.
+    pub execs: u64,
+    /// Times it resolved taken.
+    pub taken: u64,
+    /// Restart-causing mispredictions charged to it.
+    pub mispredicts: u64,
+}
+
+/// One `(predictor, workload)` cell of a tournament run by the `arena`
+/// binary, as recorded in `results/bench.json` (schema 4).
+///
+/// Schema-4 lines coexist with schema-2 [`BenchRecord`] and schema-3
+/// [`ServeRecord`] lines in the same JSON Lines file; readers dispatch
+/// on the `schema` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaRecord {
+    /// Which binary produced the record (normally `"arena"`).
+    pub experiment: String,
+    /// Predictor label — a registry name or `"z15"`.
+    pub predictor: String,
+    /// Workload label within the suite.
+    pub workload: String,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Instruction budget the workload was generated with.
+    pub instrs: u64,
+    /// Modelled predictor storage in bits (0 = no modelled budget).
+    pub storage_bits: u64,
+    /// Mispredictions per thousand instructions.
+    pub mpki: f64,
+    /// Direction accuracy in `[0, 1]`.
+    pub dir_acc: f64,
+    /// Dynamic (BTB-hit) prediction coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Dynamic branches measured.
+    pub branches: u64,
+    /// Restart-causing mispredictions.
+    pub mispredicts: u64,
+    /// Pipeline flushes delivered to the predictor.
+    pub flushes: u64,
+    /// Distinct static branch addresses profiled in this cell.
+    pub static_branches: u64,
+    /// The cell's hardest-to-predict branches, most mispredicted
+    /// first (ties broken by ascending address).
+    pub h2p: Vec<ArenaH2p>,
+}
+
+impl ArenaRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let h2p = Json::Arr(
+            self.h2p
+                .iter()
+                .map(|h| {
+                    Json::obj([
+                        ("addr", Json::Num(h.addr as f64)),
+                        ("execs", Json::Num(h.execs as f64)),
+                        ("taken", Json::Num(h.taken as f64)),
+                        ("mispredicts", Json::Num(h.mispredicts as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("schema", Json::Num(4.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("predictor", Json::Str(self.predictor.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("instrs", Json::Num(self.instrs as f64)),
+            ("storage_bits", Json::Num(self.storage_bits as f64)),
+            ("mpki", Json::Num(self.mpki)),
+            ("dir_acc", Json::Num(self.dir_acc)),
+            ("coverage", Json::Num(self.coverage)),
+            ("branches", Json::Num(self.branches as f64)),
+            ("mispredicts", Json::Num(self.mispredicts as f64)),
+            ("flushes", Json::Num(self.flushes as f64)),
+            ("static_branches", Json::Num(self.static_branches as f64)),
+            ("h2p", h2p),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object; `None` unless the line
+    /// declares `schema: 4`.
+    pub fn from_json(v: &Json) -> Option<ArenaRecord> {
+        if v.get("schema")?.as_u64()? != 4 {
+            return None;
+        }
+        let h2p = match v.get("h2p")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(|h| {
+                    Some(ArenaH2p {
+                        addr: h.get("addr")?.as_u64()?,
+                        execs: h.get("execs")?.as_u64()?,
+                        taken: h.get("taken")?.as_u64()?,
+                        mispredicts: h.get("mispredicts")?.as_u64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(ArenaRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            predictor: v.get("predictor")?.as_str()?.to_string(),
+            workload: v.get("workload")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_u64()?,
+            instrs: v.get("instrs")?.as_u64()?,
+            storage_bits: v.get("storage_bits")?.as_u64()?,
+            mpki: v.get("mpki")?.as_f64()?,
+            dir_acc: v.get("dir_acc")?.as_f64()?,
+            coverage: v.get("coverage")?.as_f64()?,
+            branches: v.get("branches")?.as_u64()?,
+            mispredicts: v.get("mispredicts")?.as_u64()?,
+            flushes: v.get("flushes")?.as_u64()?,
+            static_branches: v.get("static_branches")?.as_u64()?,
+            h2p,
+        })
+    }
+}
+
+/// Appends arena records to a JSON Lines file (same appending contract
+/// as [`append_records`]).
+pub fn append_arena_records(path: &Path, records: &[ArenaRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable schema-4 record from a JSON Lines file,
+/// skipping lines of every other schema.
+pub fn read_arena_records(path: &Path) -> std::io::Result<Vec<ArenaRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| ArenaRecord::from_json(&v))
+        .collect())
+}
+
 /// Appends serve records to a JSON Lines file (same appending contract
 /// as [`append_records`]).
 pub fn append_serve_records(path: &Path, records: &[ServeRecord]) -> std::io::Result<()> {
@@ -715,6 +873,42 @@ mod tests {
         assert!(ServeRecord::from_json(&sample().to_json()).is_none());
     }
 
+    fn sample_arena() -> ArenaRecord {
+        ArenaRecord {
+            experiment: "arena".into(),
+            predictor: "gshare".into(),
+            workload: "oltp-like".into(),
+            seed: 42,
+            instrs: 50_000,
+            storage_bits: 270_336,
+            mpki: 6.78,
+            dir_acc: 0.941,
+            coverage: 0.87,
+            branches: 9_876,
+            mispredicts: 339,
+            flushes: 341,
+            static_branches: 412,
+            h2p: vec![
+                ArenaH2p { addr: 0x4f20, execs: 800, taken: 400, mispredicts: 120 },
+                ArenaH2p { addr: 0x1a08, execs: 350, taken: 349, mispredicts: 44 },
+            ],
+        }
+    }
+
+    #[test]
+    fn arena_record_round_trips_as_schema_4() {
+        let r = sample_arena();
+        let text = r.to_json().to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(4));
+        assert_eq!(ArenaRecord::from_json(&v).unwrap(), r);
+        // Other-schema readers skip it, and vice versa.
+        assert!(BenchRecord::from_json(&v).is_none());
+        assert!(ServeRecord::from_json(&v).is_none());
+        assert!(ArenaRecord::from_json(&sample().to_json()).is_none());
+        assert!(ArenaRecord::from_json(&sample_serve().to_json()).is_none());
+    }
+
     #[test]
     fn mixed_schema_files_read_cleanly() {
         let dir = std::env::temp_dir().join(format!("zbp-json-mixed-{}", std::process::id()));
@@ -722,8 +916,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         append_records(&path, &[sample()]).unwrap();
         append_serve_records(&path, &[sample_serve()]).unwrap();
+        append_arena_records(&path, &[sample_arena()]).unwrap();
         assert_eq!(read_records(&path).unwrap(), vec![sample()]);
         assert_eq!(read_serve_records(&path).unwrap(), vec![sample_serve()]);
+        assert_eq!(read_arena_records(&path).unwrap(), vec![sample_arena()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -24,6 +24,7 @@
 //! | `verify_suite` | §VII — differential + shrink + fault-injection CI gate |
 //! | `telemetry_demo` | traced co-simulation + Chrome trace timeline |
 //! | `loadgen` | serving throughput — concurrent clients vs a `zbp-serve` pool |
+//! | `arena` | E21 — predictor tournament: z15 vs the registry roster, H2P mining |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),
 //! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cli;
 pub mod experiment;
 pub mod json;
@@ -61,8 +63,8 @@ pub use experiment::{
     DEFAULT_HARNESS_DEPTH,
 };
 pub use json::{
-    append_records, append_serve_records, read_records, read_serve_records, telemetry_json,
-    BenchRecord, Json, ServeRecord,
+    append_arena_records, append_records, append_serve_records, read_arena_records, read_records,
+    read_serve_records, telemetry_json, ArenaH2p, ArenaRecord, BenchRecord, Json, ServeRecord,
 };
 
 use std::time::Instant;

@@ -362,6 +362,61 @@ impl PredictorConfig {
         Ok(())
     }
 
+    /// Approximate modelled storage in bits, summed over every enabled
+    /// structure — the budget used for the arena's size-normalized
+    /// comparisons.
+    ///
+    /// The accounting is deliberately coarse (the paper publishes
+    /// capacities, not SRAM netlists): each BTB-family entry is its
+    /// partial tag plus a 32-bit target plus a few metadata bits, PHT
+    /// and CTB entries are tag + payload, the perceptron is its weight
+    /// matrix. What matters for the comparisons is that the estimate is
+    /// deterministic and applied uniformly across configurations.
+    pub fn storage_bits(&self) -> u64 {
+        // Target/payload widths shared by the BTB-family estimates.
+        const TARGET_BITS: u64 = 32; // segment-relative target
+        const BTB1_META_BITS: u64 = 6; // BHT counter + class/length bits
+        const SPEC_ADDR_BITS: u64 = 48; // full-address CAM tags
+
+        let btb1 = (self.btb1.capacity() as u64)
+            * (u64::from(self.btb1.tag_bits) + TARGET_BITS + BTB1_META_BITS);
+        let btb2 = self
+            .btb2
+            .as_ref()
+            .map_or(0, |b| (b.capacity() as u64) * (u64::from(b.tag_bits) + TARGET_BITS));
+        let btbp =
+            self.btbp.as_ref().map_or(0, |b| (b.entries as u64) * (SPEC_ADDR_BITS + TARGET_BITS));
+        let pht = match &self.direction.pht {
+            PhtKind::None => 0,
+            // 2-bit counter + partial tag per entry.
+            PhtKind::SingleTable { rows_per_way, .. } => {
+                (*rows_per_way as u64)
+                    * (self.btb1.ways as u64)
+                    * (2 + u64::from(self.direction.pht_tag_bits))
+            }
+            // Two tables; 3-bit counter + 2-bit usefulness + tag.
+            PhtKind::Tage { rows_per_way, .. } => {
+                2 * (*rows_per_way as u64)
+                    * (self.btb1.ways as u64)
+                    * (5 + u64::from(self.direction.pht_tag_bits))
+            }
+        };
+        let spec = ((self.direction.sbht_entries + self.direction.spht_entries) as u64)
+            * (SPEC_ADDR_BITS + 2);
+        let perceptron = self.direction.perceptron.as_ref().map_or(0, |p| {
+            let weight_bits = 64 - u64::from((p.weight_max as u64).leading_zeros()) + 1;
+            (p.rows as u64) * (p.ways as u64) * ((p.weights as u64) * weight_bits + 16)
+        });
+        let ctb = self
+            .ctb
+            .as_ref()
+            .map_or(0, |c| (c.entries as u64) * (u64::from(c.tag_bits) + TARGET_BITS));
+        let cpred = self.cpred.as_ref().map_or(0, |c| {
+            (c.entries as u64) * (u64::from(c.tag_bits) + 8 + if c.with_skoot { 8 } else { 0 })
+        });
+        btb1 + btb2 + btbp + pht + spec + perceptron + ctb + cpred
+    }
+
     /// Taken-branch prediction period in cycles when the CPRED misses:
     /// one full search-pipeline pass, plus one cycle in SMT2 for port
     /// sharing (§IV: "every 5 cycles in single thread mode, and every 6
@@ -755,6 +810,23 @@ mod tests {
         assert_eq!(c.btb2.as_ref().unwrap().capacity(), 24 * 1024, "original 24K BTB2");
         assert_eq!(c.btb2.as_ref().unwrap().inclusion, InclusionPolicy::SemiExclusive);
         assert!(c.btbp.is_some());
+    }
+
+    #[test]
+    fn storage_budget_is_nonzero_and_grows_by_generation() {
+        let bits: Vec<u64> =
+            GenerationPreset::ALL.iter().map(|p| p.config().storage_bits()).collect();
+        assert!(bits.iter().all(|&b| b > 0));
+        for w in bits.windows(2) {
+            assert!(w[0] <= w[1], "modelled budget grows generation to generation: {bits:?}");
+        }
+        // The BTB2 dominates the budget; dropping it must shrink the
+        // estimate, and the estimate is a pure function of the config.
+        let mut c = z15_config();
+        let full = c.storage_bits();
+        c.btb2 = None;
+        assert!(c.storage_bits() < full);
+        assert_eq!(z15_config().storage_bits(), full);
     }
 
     #[test]

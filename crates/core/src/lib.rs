@@ -30,7 +30,7 @@
 //!
 //! ```
 //! use zbp_core::{GenerationPreset, ZPredictor};
-//! use zbp_model::{BranchRecord, FullPredictor};
+//! use zbp_model::{BranchRecord, Predictor};
 //! use zbp_zarch::{InstrAddr, Mnemonic};
 //!
 //! let mut p = ZPredictor::new(GenerationPreset::Z15.config());
@@ -39,11 +39,11 @@
 //!     InstrAddr::new(0x1000), Mnemonic::Brct, true, InstrAddr::new(0x0f00));
 //! let first = p.predict(rec.addr, rec.class());
 //! assert!(!first.dynamic, "unknown branches are surprises");
-//! p.complete(&rec, &first);
+//! p.resolve(&rec, &first);
 //! let second = p.predict(rec.addr, rec.class());
 //! assert!(second.dynamic, "completion installed the branch into the BTB1");
 //! assert_eq!(second.target, Some(rec.target));
-//! # p.complete(&rec, &second);
+//! # p.resolve(&rec, &second);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -4,7 +4,7 @@
 //! This composes every structure the paper describes — BTB1+BHT, BTB2
 //! (or BTBP on older generations), GPV, TAGE PHT with SBHT/SPHT
 //! speculative overrides, perceptron, CTB, CRS, CPRED power gating and
-//! SKOOT learning — behind the [`FullPredictor`] protocol so that the
+//! SKOOT learning — behind the [`Predictor`] protocol so that the
 //! same model runs under the MPKI harness, the cycle-level pipeline and
 //! the white-box verification environment.
 
@@ -34,7 +34,7 @@ use crate::tage::{Pht, PhtLookup, TageTable};
 use crate::target::{TargetDecision, TargetProvider};
 use std::collections::VecDeque;
 use std::fmt;
-use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_model::{BranchRecord, MispredictKind, Prediction, Predictor};
 use zbp_telemetry::Telemetry;
 use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
 
@@ -686,7 +686,7 @@ fn spht_key(t: usize, table: TageTable, way: usize, row: usize) -> u64 {
     ((t as u64) << 61) | (tb << 62) | ((way as u64) << 48) | row as u64
 }
 
-impl FullPredictor for ZPredictor {
+impl Predictor for ZPredictor {
     fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
         self.predict_on(zbp_model::ThreadId::ZERO, addr, class)
     }
@@ -838,11 +838,11 @@ impl FullPredictor for ZPredictor {
         prediction
     }
 
-    fn complete(&mut self, rec: &BranchRecord, pred: &Prediction) {
-        self.complete_on(zbp_model::ThreadId::ZERO, rec, pred)
+    fn resolve(&mut self, rec: &BranchRecord, pred: &Prediction) {
+        self.resolve_on(zbp_model::ThreadId::ZERO, rec, pred)
     }
 
-    fn complete_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord, pred: &Prediction) {
+    fn resolve_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord, pred: &Prediction) {
         let t = usize::from(thread.0.min(1));
         // Pop the matching GPQ entry (retire order, per thread).
         let info = loop {
@@ -987,6 +987,10 @@ impl FullPredictor for ZPredictor {
 
     fn name(&self) -> String {
         self.cfg.name.clone()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
     }
 }
 
@@ -1288,7 +1292,7 @@ mod tests {
     /// Predict+complete one record through the predictor.
     fn step(p: &mut ZPredictor, r: &BranchRecord) -> Prediction {
         let pr = p.predict(r.addr, r.class());
-        p.complete(r, &pr);
+        p.resolve(r, &pr);
         if MispredictKind::classify(&pr, r).is_some() {
             p.flush(r);
         }
@@ -1316,7 +1320,7 @@ mod tests {
         assert_eq!(p.stats.surprise_skipped, 1);
         let again = p.predict(r.addr, r.class());
         assert!(!again.dynamic, "still a surprise — never installed");
-        p.complete(&r, &again);
+        p.resolve(&r, &again);
     }
 
     #[test]
@@ -1375,9 +1379,9 @@ mod tests {
         let pr1 = p.predict(r.addr, r.class());
         let pr2 = p.predict(r.addr, r.class());
         assert_eq!(p.structures().inflight, 2);
-        p.complete(&r, &pr1);
+        p.resolve(&r, &pr1);
         assert_eq!(p.structures().inflight, 1);
-        p.complete(&r, &pr2);
+        p.resolve(&r, &pr2);
         assert_eq!(p.structures().inflight, 0);
     }
 
@@ -1392,7 +1396,7 @@ mod tests {
         assert!(pr.is_taken());
         assert_ne!(p.structures().gpv.raw(), 0);
         let spec_before = p.structures().gpv.raw();
-        p.complete(&r1, &pr);
+        p.resolve(&r1, &pr);
         p.flush(&r1);
         // After the flush spec == arch: exactly the two completed
         // taken pushes.
@@ -1419,13 +1423,13 @@ mod tests {
         // in the BTB1 via the write port.
         for _ in 0..3 {
             let pr = p.predict(r.addr, r.class());
-            p.complete(&r, &pr);
+            p.resolve(&r, &pr);
         }
         assert!(p.btb1.probe(r.addr).is_some(), "BTB2 hit promoted into the BTB1");
         assert!(p.stats.btb2_promotions >= 1);
         let pr = p.predict(r.addr, r.class());
         assert!(pr.dynamic);
-        p.complete(&r, &pr);
+        p.resolve(&r, &pr);
     }
 
     #[test]
@@ -1468,7 +1472,7 @@ mod tests {
         step(&mut p, &call);
         let pr = p.predict(ret_to_a.addr, ret_to_a.class());
         assert_eq!(pr.target, Some(InstrAddr::new(0x1006)), "CRS supplied the NSIA");
-        p.complete(&ret_to_a, &pr);
+        p.resolve(&ret_to_a, &pr);
     }
 
     #[test]
@@ -1491,12 +1495,12 @@ mod tests {
         let pr = p.predict(weird.addr, weird.class());
         if pr.target == Some(InstrAddr::new(0x1006)) {
             // CRS provided and will be wrong.
-            p.complete(&weird, &pr);
+            p.resolve(&weird, &pr);
             p.flush(&weird);
             let (_, e) = p.btb1.probe(InstrAddr::new(0x9004)).unwrap();
             assert!(e.crs_blacklisted, "wrong CRS target blacklists the branch");
         } else {
-            p.complete(&weird, &pr);
+            p.resolve(&weird, &pr);
         }
     }
 
@@ -1599,13 +1603,13 @@ mod tests {
         // Trigger BTB2 search -> staged entries land in the BTBP.
         for _ in 0..3 {
             let pr = p.predict(r.addr, r.class());
-            p.complete(&r, &pr);
+            p.resolve(&r, &pr);
         }
         assert!(!p.structures().btbp.unwrap().is_empty(), "staged into the BTBP, not the BTB1");
         // Next search hits the BTBP and promotes.
         let pr = p.predict(r.addr, r.class());
         assert!(pr.dynamic, "BTBP hit predicted dynamically");
-        p.complete(&r, &pr);
+        p.resolve(&r, &pr);
         assert!(p.btb1.probe(r.addr).is_some(), "promoted to BTB1");
     }
 
@@ -1731,7 +1735,7 @@ mod verify_tests {
 
     fn step(p: &mut ZPredictor, r: &BranchRecord) {
         let pr = p.predict(r.addr, r.class());
-        p.complete(r, &pr);
+        p.resolve(r, &pr);
         if MispredictKind::classify(&pr, r).is_some() {
             p.flush(r);
         }
@@ -1774,7 +1778,7 @@ mod verify_tests {
         step(&mut p, &r); // install
         let pr = p.predict(r.addr, r.class());
         assert_eq!(p.fault_drop_gpq_front(0), Some(r.addr));
-        p.complete(&r, &pr);
+        p.resolve(&r, &pr);
         let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
         assert!(kinds.contains(&InvariantKind::GpqOrder), "got {kinds:?}");
     }
@@ -1797,7 +1801,7 @@ mod verify_tests {
         step(&mut p, &r);
         assert!(p.fault_mutate_btb1(r.addr, |e| e.skoot = crate::btb::Skoot::corrupt_raw(200)));
         let pr = p.predict(r.addr, r.class());
-        p.complete(&r, &pr);
+        p.resolve(&r, &pr);
         let kinds: Vec<_> = p.invariants().violations().iter().map(|v| v.kind).collect();
         assert!(kinds.contains(&InvariantKind::SkootSound), "got {kinds:?}");
     }

@@ -4,7 +4,7 @@
 
 use zbp_core::direction::DirectionProvider;
 use zbp_core::{GenerationPreset, ZPredictor};
-use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_model::{BranchRecord, MispredictKind, Prediction, Predictor};
 use zbp_zarch::{InstrAddr, Mnemonic};
 
 fn rec(addr: u64, mn: Mnemonic, taken: bool, target: u64) -> BranchRecord {
@@ -13,7 +13,7 @@ fn rec(addr: u64, mn: Mnemonic, taken: bool, target: u64) -> BranchRecord {
 
 fn step(p: &mut ZPredictor, r: &BranchRecord) -> Prediction {
     let pr = p.predict(r.addr, r.class());
-    p.complete(r, &pr);
+    p.resolve(r, &pr);
     if MispredictKind::classify(&pr, r).is_some() {
         p.flush(r);
     }
@@ -39,8 +39,8 @@ fn spht_overrides_inflight_weak_tage_predictions() {
     let pr1 = p.predict(nt.addr, nt.class());
     let pr2 = p.predict(nt.addr, nt.class());
     // Complete them in order.
-    p.complete(&nt, &pr1);
-    p.complete(&nt, &pr2);
+    p.resolve(&nt, &pr1);
+    p.resolve(&nt, &pr2);
     // The attribution must show at least one SPHT- or SBHT-provided
     // prediction: the weak provider installed a speculative override
     // that the second in-flight instance consumed.

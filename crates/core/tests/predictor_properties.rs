@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use zbp_core::{GenerationPreset, ZPredictor};
-use zbp_model::{BranchRecord, FullPredictor, MispredictKind, Prediction};
+use zbp_model::{BranchRecord, MispredictKind, Prediction, Predictor};
 use zbp_zarch::{InstrAddr, Mnemonic};
 
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ fn drive(p: &mut ZPredictor, recs: &[BranchRecord]) -> Vec<Prediction> {
     let mut preds = Vec::new();
     for rec in recs {
         let pr = p.predict(rec.addr, rec.class());
-        p.complete(rec, &pr);
+        p.resolve(rec, &pr);
         if MispredictKind::classify(&pr, rec).is_some() {
             p.flush(rec);
         }
@@ -101,7 +101,7 @@ proptest! {
             if pr.dynamic && pr.is_taken() {
                 prop_assert!(pr.target.is_some(), "BTB-backed taken predictions have targets");
             }
-            p.complete(&rec, &pr);
+            p.resolve(&rec, &pr);
             if MispredictKind::classify(&pr, &rec).is_some() {
                 p.flush(&rec);
             }
@@ -117,7 +117,7 @@ proptest! {
             if !pr.dynamic {
                 prop_assert_eq!(pr.direction, zbp_zarch::static_guess(rec.class()));
             }
-            p.complete(&rec, &pr);
+            p.resolve(&rec, &pr);
             if MispredictKind::classify(&pr, &rec).is_some() {
                 p.flush(&rec);
             }
@@ -136,7 +136,7 @@ proptest! {
         for _ in 0..n {
             let pr = p.predict(rec.addr, rec.class());
             prop_assert!(!pr.dynamic, "guessed-NT resolved-NT branches stay out of the BTB");
-            p.complete(&rec, &pr);
+            p.resolve(&rec, &pr);
         }
         prop_assert_eq!(p.structures().btb1.occupancy(), 0);
     }
@@ -164,7 +164,7 @@ proptest! {
         for step in &steps {
             let rec = site_record(step);
             let pr = p.predict(rec.addr, rec.class());
-            p.complete(&rec, &pr);
+            p.resolve(&rec, &pr);
             p.flush(&rec);
             prop_assert_eq!(p.structures().inflight, 0);
         }

@@ -2,7 +2,8 @@
 
 use crate::branch::BranchRecord;
 use crate::metrics::MispredictStats;
-use crate::predictor::{FullPredictor, MispredictKind, Prediction};
+use crate::predictor::{MispredictKind, Prediction, Predictor};
+use crate::profile::BranchTable;
 use std::collections::VecDeque;
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 
@@ -15,14 +16,14 @@ use zbp_telemetry::{Snapshot, Telemetry, Track};
 /// predicted and when they are updated" (paper §IV): predictions are
 /// queued in the GPQ and training happens only at instruction completion.
 /// The core models that gap as a FIFO of `depth` in-flight branches:
-/// a branch's [`FullPredictor::complete`] is only called once `depth`
+/// a branch's [`Predictor::resolve`] is only called once `depth`
 /// younger branches have been predicted. A depth of 0 degenerates to
 /// immediate update (the idealization most academic simulators use).
 ///
 /// When a misprediction is detected the pipeline would flush; the core
 /// models this by draining the in-flight window (completing the
 /// mispredicted branch and everything older *immediately*) and calling
-/// [`FullPredictor::flush`] so the predictor can repair speculative
+/// [`Predictor::flush`] so the predictor can repair speculative
 /// history. This matches the hardware, where a branch-wrong restart
 /// resynchronizes the BPL with architected state.
 ///
@@ -35,17 +36,17 @@ use zbp_telemetry::{Snapshot, Telemetry, Track};
 /// # Example
 ///
 /// ```
-/// use zbp_model::{DynamicTrace, FullPredictor, Prediction, ReplayCore};
+/// use zbp_model::{DynamicTrace, Prediction, Predictor, ReplayCore};
 /// use zbp_telemetry::Telemetry;
 /// use zbp_zarch::{static_guess, BranchClass, InstrAddr};
 ///
 /// /// A predictor that always applies the static guess.
 /// struct StaticOnly;
-/// impl FullPredictor for StaticOnly {
+/// impl Predictor for StaticOnly {
 ///     fn predict(&mut self, _a: InstrAddr, class: BranchClass) -> Prediction {
 ///         Prediction::surprise(class, None)
 ///     }
-///     fn complete(&mut self, _r: &zbp_model::BranchRecord, _p: &Prediction) {}
+///     fn resolve(&mut self, _r: &zbp_model::BranchRecord, _p: &Prediction) {}
 ///     fn name(&self) -> String { "static-only".into() }
 /// }
 ///
@@ -74,12 +75,34 @@ pub struct RunStats {
     pub stats: MispredictStats,
     /// Number of flush events delivered to the predictor.
     pub flushes: u64,
+    /// Per-static-branch profile, when profiling was enabled with
+    /// [`ReplayCore::set_profiling`].
+    pub profile: Option<BranchTable>,
 }
 
 impl ReplayCore {
     /// Creates a replay core with the given in-flight window depth.
     pub fn new(depth: usize) -> Self {
         ReplayCore { depth, inflight: VecDeque::with_capacity(depth + 1), ..Self::default() }
+    }
+
+    /// Enables (or disables) per-static-branch profiling: with it on,
+    /// every classified prediction also lands in a [`BranchTable`]
+    /// returned through [`RunStats::profile`]. Profiling only observes —
+    /// statistics are identical with it on or off. Call before feeding
+    /// records; toggling mid-stream profiles only the remainder.
+    pub fn set_profiling(&mut self, on: bool) {
+        if on {
+            self.out.profile.get_or_insert_with(BranchTable::new);
+        } else {
+            self.out.profile = None;
+        }
+    }
+
+    /// Builder form of [`set_profiling`](Self::set_profiling).
+    pub fn with_profiling(mut self) -> Self {
+        self.set_profiling(true);
+        self
     }
 
     /// The configured in-flight depth.
@@ -104,7 +127,7 @@ impl ReplayCore {
     /// otherwise. Harness-level telemetry (window occupancy, flush
     /// markers, branch/flush counters) records into `tel`; statistics
     /// are identical whether telemetry is enabled or disabled.
-    pub fn step<P: FullPredictor + ?Sized>(
+    pub fn step<P: Predictor + ?Sized>(
         &mut self,
         pred: &mut P,
         rec: &BranchRecord,
@@ -112,6 +135,9 @@ impl ReplayCore {
     ) {
         let p = pred.predict_on(rec.thread, rec.addr, rec.class());
         let kind = self.out.stats.record(&p, rec);
+        if let Some(table) = &mut self.out.profile {
+            table.observe(rec, kind);
+        }
         self.inflight.push_back((*rec, p, kind));
         tel.count("harness.branches", 1);
         tel.record("harness.window_occupancy", self.inflight.len() as u64);
@@ -123,14 +149,14 @@ impl ReplayCore {
             tel.count("harness.flushes", 1);
             tel.instant(Track::Harness, "flush", self.branch_idx);
             while let Some((r, pr, _)) = self.inflight.pop_front() {
-                pred.complete_on(r.thread, &r, &pr);
+                pred.resolve_on(r.thread, &r, &pr);
             }
             pred.flush_on(rec.thread, rec);
             self.out.flushes += 1;
         } else {
             while self.inflight.len() > self.depth {
                 let (r, pr, _) = self.inflight.pop_front().expect("non-empty");
-                pred.complete_on(r.thread, &r, &pr);
+                pred.resolve_on(r.thread, &r, &pr);
             }
         }
         self.branch_idx += 1;
@@ -147,9 +173,9 @@ impl ReplayCore {
     /// `instruction_count()`, which silently absorbed any
     /// double-counting bug on either side; the strict split keeps both
     /// honest.)
-    pub fn finish<P: FullPredictor + ?Sized>(mut self, pred: &mut P, tail_instrs: u64) -> RunStats {
+    pub fn finish<P: Predictor + ?Sized>(mut self, pred: &mut P, tail_instrs: u64) -> RunStats {
         while let Some((r, pr, _)) = self.inflight.pop_front() {
-            pred.complete_on(r.thread, &r, &pr);
+            pred.resolve_on(r.thread, &r, &pr);
         }
         self.out.stats.add_instructions(tail_instrs);
         self.out
@@ -157,10 +183,10 @@ impl ReplayCore {
 
     /// Replays a whole trace through a fresh core with telemetry
     /// disabled — the one-call form of [`ReplayCore::step`] +
-    /// [`ReplayCore::finish`] for driving *custom* [`FullPredictor`]
+    /// [`ReplayCore::finish`] for driving *custom* [`Predictor`]
     /// implementations. For `ZPredictor` streams, prefer
     /// `zbp_serve::Session`.
-    pub fn replay<P: FullPredictor + ?Sized>(
+    pub fn replay<P: Predictor + ?Sized>(
         depth: usize,
         pred: &mut P,
         trace: &crate::DynamicTrace,
@@ -178,7 +204,7 @@ impl ReplayCore {
     /// (Predictor-internal telemetry is installed on the predictor
     /// itself, not through the harness.) Statistics are identical
     /// whether `tel` is enabled or disabled.
-    pub fn replay_traced<P: FullPredictor + ?Sized>(
+    pub fn replay_traced<P: Predictor + ?Sized>(
         depth: usize,
         pred: &mut P,
         trace: &crate::DynamicTrace,
@@ -214,7 +240,7 @@ mod tests {
         flushes: u64,
     }
 
-    impl FullPredictor for LastCompleted {
+    impl Predictor for LastCompleted {
         fn predict(&mut self, addr: InstrAddr, _class: BranchClass) -> Prediction {
             if *self.map.get(&addr.raw()).unwrap_or(&false) {
                 // Target-less taken prediction is fine for these tests.
@@ -224,7 +250,7 @@ mod tests {
             }
         }
 
-        fn complete(&mut self, rec: &BranchRecord, _pred: &Prediction) {
+        fn resolve(&mut self, rec: &BranchRecord, _pred: &Prediction) {
             self.map.insert(rec.addr.raw(), rec.taken);
             self.completions.push(rec.addr.raw());
         }

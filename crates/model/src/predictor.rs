@@ -145,12 +145,24 @@ pub trait TargetPredictor {
 
     /// Trains on the resolved outcome.
     fn update_target(&mut self, rec: &BranchRecord);
+
+    /// Approximate modelled hardware state in bits (0 when the structure
+    /// has no modelled budget).
+    fn storage_bits(&self) -> u64 {
+        0
+    }
 }
 
-/// A complete predictor: detects branches (BTB hit vs surprise), predicts
-/// direction and target, and trains at completion — the contract of the
-/// z15 model and of composed baselines.
-pub trait FullPredictor {
+/// The unified predictor contract — the one surface every predictor in
+/// the workspace speaks, modelled on the CBP simulator wrapper
+/// (`get_prediction`/`update_predictor`): detect the branch (BTB hit vs
+/// surprise), predict direction and target, train at resolution.
+///
+/// `ZPredictor`, `BtbComposite`, and (through a blanket impl) every
+/// [`DirectionPredictor`] baseline implement it, so any of them drops
+/// into the experiment engine, the arena tournament, the verification
+/// harness, or a serve shard without an adapter.
+pub trait Predictor {
     /// Predicts the branch at `addr`. Called in program order, before the
     /// outcome is known. May update speculative state.
     ///
@@ -159,10 +171,11 @@ pub trait FullPredictor {
     /// (surprise) answer must use only the static guess derived from it.
     fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction;
 
-    /// Completes the branch: non-speculative training with the resolved
+    /// Resolves the branch: non-speculative training with the resolved
     /// record and the prediction that was made for it. Called in retire
-    /// order, possibly many branches after the corresponding `predict`.
-    fn complete(&mut self, rec: &BranchRecord, pred: &Prediction);
+    /// order, possibly many branches after the corresponding `predict` —
+    /// the z15 trains at instruction completion from the GPQ and GCT.
+    fn resolve(&mut self, rec: &BranchRecord, pred: &Prediction);
 
     /// Signals a pipeline flush at the given branch (e.g. after a
     /// misprediction): speculative state younger than the flushed branch
@@ -173,6 +186,14 @@ pub trait FullPredictor {
     /// A short human-readable name for reports.
     fn name(&self) -> String;
 
+    /// Approximate modelled hardware state in bits, for iso-storage and
+    /// size-normalized comparisons. The default of `0` is for predictors
+    /// without a modelled budget (oracles, test doubles, the static
+    /// guesser); report generators render it as "no hardware".
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
     /// SMT-aware variant of [`predict`](Self::predict). Predictors that
     /// share structures between hardware threads (the z15 is SMT2)
     /// override this; the default ignores the thread.
@@ -180,15 +201,52 @@ pub trait FullPredictor {
         self.predict(addr, class)
     }
 
-    /// SMT-aware variant of [`complete`](Self::complete).
-    fn complete_on(&mut self, _thread: ThreadId, rec: &BranchRecord, pred: &Prediction) {
-        self.complete(rec, pred)
+    /// SMT-aware variant of [`resolve`](Self::resolve).
+    fn resolve_on(&mut self, _thread: ThreadId, rec: &BranchRecord, pred: &Prediction) {
+        self.resolve(rec, pred)
     }
 
     /// SMT-aware variant of [`flush`](Self::flush): only the given
     /// thread's speculative state is repaired.
     fn flush_on(&mut self, _thread: ThreadId, rec: &BranchRecord) {
         self.flush(rec)
+    }
+}
+
+/// Transitional alias for the pre-unification trait name. All harness
+/// bounds now use [`Predictor`]; this empty supertrait exists only so
+/// out-of-tree code keeps compiling through one release.
+#[deprecated(note = "superseded by the unified `Predictor` trait; remove-by: PR-8")]
+pub trait FullPredictor: Predictor {}
+
+#[allow(deprecated)]
+impl<T: Predictor + ?Sized> FullPredictor for T {}
+
+/// Every direction-only baseline plays the full protocol with
+/// direction-only semantics: answers are always "dynamic" (the baseline
+/// has no BTB, so every branch is covered), carry no target, and train
+/// once per resolved branch. Wrong-target restarts therefore cannot
+/// occur; wrap the baseline in a `BtbComposite` for an end-to-end
+/// (direction *and* target) comparison.
+impl<P: DirectionPredictor + ?Sized> Predictor for P {
+    fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
+        if self.predict_direction(addr, class).is_taken() {
+            Prediction { dynamic: true, direction: Direction::Taken, target: None }
+        } else {
+            Prediction::not_taken()
+        }
+    }
+
+    fn resolve(&mut self, rec: &BranchRecord, _pred: &Prediction) {
+        self.update(rec);
+    }
+
+    fn name(&self) -> String {
+        DirectionPredictor::name(self)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        DirectionPredictor::storage_bits(self)
     }
 }
 
@@ -260,5 +318,42 @@ mod tests {
     fn display_names() {
         assert_eq!(MispredictKind::Direction.to_string(), "wrong-direction");
         assert_eq!(MispredictKind::Target.to_string(), "wrong-target");
+    }
+
+    /// A two-line direction baseline exercising the blanket impl.
+    struct AlwaysTaken;
+    impl DirectionPredictor for AlwaysTaken {
+        fn predict_direction(&mut self, _a: InstrAddr, _c: BranchClass) -> Direction {
+            Direction::Taken
+        }
+        fn update(&mut self, _rec: &BranchRecord) {}
+        fn name(&self) -> String {
+            "always-taken".into()
+        }
+        fn storage_bits(&self) -> u64 {
+            7
+        }
+    }
+
+    #[test]
+    fn direction_predictors_play_the_full_protocol() {
+        let mut p = AlwaysTaken;
+        let got = Predictor::predict(&mut p, InstrAddr::new(0x1000), BranchClass::CondRelative);
+        assert!(got.dynamic, "direction baselines cover every branch");
+        assert_eq!(got.direction, Direction::Taken);
+        assert_eq!(got.target, None, "direction-only answers carry no target");
+        // Taken with no target is never a wrong-target restart.
+        assert_eq!(MispredictKind::classify(&got, &rec(Mnemonic::Brc, true, 0x2000)), None);
+        p.resolve(&rec(Mnemonic::Brc, true, 0x2000), &got);
+        assert_eq!(Predictor::name(&p), "always-taken");
+        assert_eq!(Predictor::storage_bits(&p), 7, "forwards the direction-level budget");
+    }
+
+    #[test]
+    fn dyn_direction_objects_are_predictors_too() {
+        let mut boxed: Box<dyn DirectionPredictor + Send> = Box::new(AlwaysTaken);
+        let p: &mut (dyn DirectionPredictor + Send) = boxed.as_mut();
+        let got = Predictor::predict(p, InstrAddr::new(0x40), BranchClass::CondRelative);
+        assert!(got.is_taken());
     }
 }

@@ -1,0 +1,247 @@
+//! Per-static-branch profiling: execution/taken/mispredict counts.
+//!
+//! "Branch Prediction Is Not a Solved Problem" observes that the
+//! remaining misprediction headroom concentrates in a small set of
+//! hard-to-predict (H2P) static branches, and auxiliary designs like
+//! Bullseye consume exactly this per-branch mining as their input. A
+//! [`BranchTable`] is that mining surface: one [`BranchCounts`] row per
+//! static branch address, accumulated as the harness classifies each
+//! prediction, merged deterministically across parallel runs.
+//!
+//! All counts are integers and the table is [`BTreeMap`]-keyed, so
+//! merges are associative, commutative, and iteration order is the
+//! address order — a table reduced from any worker schedule is
+//! byte-identical to the serial one.
+
+use crate::branch::BranchRecord;
+use crate::predictor::MispredictKind;
+use std::collections::BTreeMap;
+
+/// Counts for one static branch address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchCounts {
+    /// Dynamic executions observed.
+    pub executions: u64,
+    /// Executions that resolved taken.
+    pub taken: u64,
+    /// Wrong-direction restarts charged to this branch.
+    pub wrong_direction: u64,
+    /// Wrong-target restarts charged to this branch.
+    pub wrong_target: u64,
+}
+
+impl BranchCounts {
+    /// Total restart-causing mispredictions.
+    pub fn mispredicts(&self) -> u64 {
+        self.wrong_direction + self.wrong_target
+    }
+
+    /// Mispredictions per execution, in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.mispredicts() as f64 / self.executions as f64
+        }
+    }
+
+    /// Adds another row's counts into this one.
+    pub fn merge(&mut self, other: &BranchCounts) {
+        self.executions = self.executions.saturating_add(other.executions);
+        self.taken = self.taken.saturating_add(other.taken);
+        self.wrong_direction = self.wrong_direction.saturating_add(other.wrong_direction);
+        self.wrong_target = self.wrong_target.saturating_add(other.wrong_target);
+    }
+}
+
+/// Per-static-branch execution/taken/mispredict accounting for one run
+/// (or a deterministic merge of several).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BranchTable {
+    counts: BTreeMap<u64, BranchCounts>,
+}
+
+impl BranchTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified prediction for the branch in `rec`.
+    pub fn observe(&mut self, rec: &BranchRecord, kind: Option<MispredictKind>) {
+        let row = self.counts.entry(rec.addr.raw()).or_default();
+        row.executions += 1;
+        if rec.taken {
+            row.taken += 1;
+        }
+        match kind {
+            Some(MispredictKind::Direction) => row.wrong_direction += 1,
+            Some(MispredictKind::Target) => row.wrong_target += 1,
+            None => {}
+        }
+    }
+
+    /// Number of distinct static branches observed.
+    pub fn static_branches(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The row for one static branch address, if observed.
+    pub fn get(&self, addr: u64) -> Option<&BranchCounts> {
+        self.counts.get(&addr)
+    }
+
+    /// Iterates rows in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BranchCounts)> {
+        self.counts.iter().map(|(a, c)| (*a, c))
+    }
+
+    /// Total restart-causing mispredictions across all branches.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.counts.values().map(BranchCounts::mispredicts).sum()
+    }
+
+    /// Folds `other` into `self`, row by row. Integer-additive and
+    /// key-merged, so the result is independent of merge order.
+    pub fn merge(&mut self, other: &BranchTable) {
+        for (addr, row) in &other.counts {
+            self.counts.entry(*addr).or_default().merge(row);
+        }
+    }
+
+    /// Reduces keyed tables into one regardless of arrival order — the
+    /// same contract as `Snapshot::merge_keyed`, built on the shared
+    /// [`zbp_telemetry::reduce_keyed`] sort-then-fold.
+    pub fn merge_keyed<K: Ord>(parts: impl IntoIterator<Item = (K, BranchTable)>) -> BranchTable {
+        zbp_telemetry::reduce_keyed(parts, BranchTable::merge)
+    }
+
+    /// The `n` hardest-to-predict branches: most mispredictions first,
+    /// ties broken by ascending address, so the ranking is total and
+    /// independent of how (or in what order) the table was accumulated.
+    pub fn top_h2p(&self, n: usize) -> Vec<(u64, BranchCounts)> {
+        let mut rows: Vec<(u64, BranchCounts)> =
+            self.counts.iter().map(|(a, c)| (*a, *c)).collect();
+        rows.sort_by(|a, b| b.1.mispredicts().cmp(&a.1.mispredicts()).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_zarch::{InstrAddr, Mnemonic};
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, taken, InstrAddr::new(0x9000))
+    }
+
+    fn table(events: &[(u64, bool, Option<MispredictKind>)]) -> BranchTable {
+        let mut t = BranchTable::new();
+        for (addr, taken, kind) in events {
+            t.observe(&rec(*addr, *taken), *kind);
+        }
+        t
+    }
+
+    #[test]
+    fn observe_accumulates_per_address() {
+        let t = table(&[
+            (0x10, true, None),
+            (0x10, true, Some(MispredictKind::Direction)),
+            (0x10, false, Some(MispredictKind::Direction)),
+            (0x20, true, Some(MispredictKind::Target)),
+        ]);
+        assert_eq!(t.static_branches(), 2);
+        let a = t.get(0x10).unwrap();
+        assert_eq!((a.executions, a.taken, a.wrong_direction, a.wrong_target), (3, 2, 2, 0));
+        assert_eq!(a.mispredicts(), 2);
+        assert!((a.mispredict_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let b = t.get(0x20).unwrap();
+        assert_eq!(b.mispredicts(), 1);
+        assert_eq!(t.total_mispredicts(), 3);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = table(&[(0x10, true, Some(MispredictKind::Direction)), (0x20, false, None)]);
+        let b = table(&[(0x10, false, None), (0x30, true, Some(MispredictKind::Target))]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "row-wise integer merge commutes");
+        assert_eq!(ab.static_branches(), 3);
+        assert_eq!(ab.get(0x10).unwrap().executions, 2);
+    }
+
+    #[test]
+    fn keyed_merge_ignores_arrival_order() {
+        let parts: Vec<(u64, BranchTable)> = (0..4u64)
+            .map(|k| (k, table(&[(0x100 + k, true, Some(MispredictKind::Direction))])))
+            .collect();
+        let reference = BranchTable::merge_keyed(parts.clone());
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        assert_eq!(BranchTable::merge_keyed(reversed), reference);
+        assert_eq!(reference.static_branches(), 4);
+    }
+
+    #[test]
+    fn top_h2p_ranks_by_mispredicts_then_address() {
+        let t = table(&[
+            (0x30, true, Some(MispredictKind::Direction)),
+            (0x30, true, Some(MispredictKind::Direction)),
+            (0x10, true, Some(MispredictKind::Target)),
+            (0x20, true, Some(MispredictKind::Direction)),
+            (0x40, true, None),
+        ]);
+        let top = t.top_h2p(3);
+        assert_eq!(top.iter().map(|(a, _)| *a).collect::<Vec<_>>(), vec![0x30, 0x10, 0x20]);
+        assert_eq!(top[0].1.mispredicts(), 2);
+        // Requesting more rows than exist returns all of them.
+        assert_eq!(t.top_h2p(10).len(), 4);
+    }
+
+    #[test]
+    fn h2p_ordering_is_insertion_order_invariant() {
+        // The same events observed in different orders — and split
+        // across differently-shaped keyed merges — must produce the
+        // same H2P ranking.
+        let events: Vec<(u64, bool, Option<MispredictKind>)> = (0..40u64)
+            .map(|i| {
+                let addr = 0x1000 + (i % 7) * 0x10;
+                let kind = (i % 3 == 0).then_some(MispredictKind::Direction);
+                (addr, i % 2 == 0, kind)
+            })
+            .collect();
+        let serial = table(&events);
+        let mut reversed_events = events.clone();
+        reversed_events.reverse();
+        let reversed = table(&reversed_events);
+        assert_eq!(serial.top_h2p(5), reversed.top_h2p(5));
+        // Split into 4 keyed shards, merged in scrambled arrival order.
+        let shards: Vec<(u64, BranchTable)> = (0..4u64)
+            .map(|k| {
+                let part: Vec<_> = events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i as u64 % 4 == k)
+                    .map(|(_, e)| *e)
+                    .collect();
+                (k, table(&part))
+            })
+            .collect();
+        let scrambled: Vec<(u64, BranchTable)> =
+            [2usize, 0, 3, 1].iter().map(|&i| shards[i].clone()).collect();
+        let merged = BranchTable::merge_keyed(scrambled);
+        assert_eq!(merged, serial);
+        assert_eq!(merged.top_h2p(5), serial.top_h2p(5));
+    }
+}

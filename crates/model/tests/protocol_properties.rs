@@ -2,14 +2,14 @@
 
 use proptest::prelude::*;
 use zbp_model::{
-    BranchRecord, DynamicTrace, FullPredictor, MispredictKind, MispredictStats, Prediction,
-    ReplayCore, RunStats,
+    BranchRecord, DynamicTrace, MispredictKind, MispredictStats, Prediction, Predictor, ReplayCore,
+    RunStats,
 };
 use zbp_zarch::{BranchClass, Direction, InstrAddr, Mnemonic};
 
 /// Drives a custom predictor through the replay core — the raw
 /// streaming API beneath `zbp_serve::Session`.
-fn replay<P: FullPredictor + ?Sized>(depth: usize, pred: &mut P, trace: &DynamicTrace) -> RunStats {
+fn replay<P: Predictor + ?Sized>(depth: usize, pred: &mut P, trace: &DynamicTrace) -> RunStats {
     ReplayCore::replay(depth, pred, trace)
 }
 
@@ -36,7 +36,7 @@ fn any_record() -> impl Strategy<Value = BranchRecord> {
 /// deterministic fodder for accounting checks.
 struct ClassOracle;
 
-impl FullPredictor for ClassOracle {
+impl Predictor for ClassOracle {
     fn predict(&mut self, _addr: InstrAddr, class: BranchClass) -> Prediction {
         if class.is_conditional() {
             Prediction::not_taken()
@@ -44,7 +44,7 @@ impl FullPredictor for ClassOracle {
             Prediction { dynamic: true, direction: Direction::Taken, target: None }
         }
     }
-    fn complete(&mut self, _rec: &BranchRecord, _pred: &Prediction) {}
+    fn resolve(&mut self, _rec: &BranchRecord, _pred: &Prediction) {}
     fn name(&self) -> String {
         "class-oracle".into()
     }
@@ -101,11 +101,11 @@ proptest! {
         depth in 0usize..64
     ) {
         struct CountingPredictor { completes: u64 }
-        impl FullPredictor for CountingPredictor {
+        impl Predictor for CountingPredictor {
             fn predict(&mut self, _a: InstrAddr, class: BranchClass) -> Prediction {
                 Prediction::surprise(class, None)
             }
-            fn complete(&mut self, _r: &BranchRecord, _p: &Prediction) {
+            fn resolve(&mut self, _r: &BranchRecord, _p: &Prediction) {
                 self.completes += 1;
             }
             fn name(&self) -> String { "counting".into() }

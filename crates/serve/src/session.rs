@@ -5,7 +5,7 @@
 //! a shard serve many concurrently-open streams.
 
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{BranchRecord, DynamicTrace, MispredictStats, ReplayCore};
+use zbp_model::{BranchRecord, BranchTable, DynamicTrace, MispredictStats, ReplayCore};
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_uarch::{CosimConfig, CosimReport, LookaheadReport};
 
@@ -69,6 +69,10 @@ pub struct SessionReport {
     /// Merged harness- and predictor-level telemetry, when the session
     /// was opened traced.
     pub telemetry: Option<Snapshot>,
+    /// Per-static-branch profile, when
+    /// [`set_profiling`](Session::set_profiling) was requested on a
+    /// delayed-mode session (whole-stream modes do not profile).
+    pub profile: Option<BranchTable>,
 }
 
 enum Engine {
@@ -171,6 +175,17 @@ impl Session {
         }
     }
 
+    /// Turns per-static-branch profiling on (or off) for a
+    /// delayed-mode session; the table lands in
+    /// [`SessionReport::profile`]. Whole-stream modes ignore the
+    /// request — their drivers own the replay loop. Profiling never
+    /// changes predictions or statistics.
+    pub fn set_profiling(&mut self, on: bool) {
+        if let Engine::Delayed { core, .. } = &mut self.engine {
+            core.set_profiling(on);
+        }
+    }
+
     /// The stream label.
     pub fn label(&self) -> &str {
         &self.label
@@ -233,6 +248,7 @@ impl Session {
                     cosim: None,
                     lookahead: None,
                     telemetry,
+                    profile: run.profile,
                 };
                 (report, Some(*pred))
             }
@@ -301,6 +317,7 @@ fn run_whole(
                 telemetry: traced.then_some(snap),
                 cosim: Some(rep),
                 lookahead: None,
+                profile: None,
             }
         }
         ReplayMode::Lookahead => {
@@ -314,6 +331,7 @@ fn run_whole(
                 telemetry: traced.then_some(snap),
                 cosim: None,
                 lookahead: Some(rep),
+                profile: None,
             }
         }
     }

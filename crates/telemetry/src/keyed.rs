@@ -1,0 +1,69 @@
+//! Order-insensitive keyed reduction.
+//!
+//! Shard- and thread-parallel producers hand back `(key, part)` pairs in
+//! whatever order scheduling allowed. [`reduce_keyed`] restores
+//! determinism by sorting on the key before folding, so the reduction is
+//! byte-identical at any worker count — the same contract
+//! [`Snapshot::merge_keyed`](crate::Snapshot::merge_keyed) provides for
+//! telemetry, generalized so other mergeable tables (per-branch profile
+//! tables, statistics) can reuse it instead of re-deriving the sort.
+
+/// Reduces keyed parts into a fresh accumulator, merging in ascending
+/// key order regardless of the order `parts` arrives in.
+///
+/// Every part must carry a stable key (a stream id, a cell index); equal
+/// keys keep their arrival order, so callers wanting full determinism
+/// should use distinct keys.
+///
+/// ```
+/// use zbp_telemetry::reduce_keyed;
+///
+/// let completion_order = vec![(2u64, 20u64), (0, 5), (1, 10)];
+/// let folded = reduce_keyed(completion_order, |acc: &mut Vec<u64>, v| acc.push(*v));
+/// assert_eq!(folded, vec![5, 10, 20]);
+/// ```
+pub fn reduce_keyed<K: Ord, V, A: Default>(
+    parts: impl IntoIterator<Item = (K, V)>,
+    mut fold: impl FnMut(&mut A, &V),
+) -> A {
+    let mut parts: Vec<(K, V)> = parts.into_iter().collect();
+    parts.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = A::default();
+    for (_, v) in &parts {
+        fold(&mut out, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_in_key_order() {
+        let a: Vec<u32> =
+            reduce_keyed(vec![(3u8, 30u32), (1, 10), (2, 20)], |acc: &mut Vec<u32>, v| {
+                acc.push(*v)
+            });
+        assert_eq!(a, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn arrival_order_is_irrelevant() {
+        let orders = [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]];
+        let parts = [(0u64, 100u64), (1, 200), (2, 300)];
+        let reference: u64 = 600;
+        for order in orders {
+            let shuffled: Vec<(u64, u64)> = order.iter().map(|&i| parts[i]).collect();
+            let sum: u64 = reduce_keyed::<u64, u64, u64>(shuffled, |acc, v| *acc += v);
+            assert_eq!(sum, reference);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_default() {
+        let v: Vec<i32> =
+            reduce_keyed(Vec::<(u8, i32)>::new(), |acc: &mut Vec<i32>, x| acc.push(*x));
+        assert!(v.is_empty());
+    }
+}

@@ -55,11 +55,13 @@
 
 pub mod chrome;
 pub mod histogram;
+pub mod keyed;
 pub mod ring;
 pub mod snapshot;
 pub mod span;
 
 pub use histogram::Histogram;
+pub use keyed::reduce_keyed;
 pub use ring::Ring;
 pub use snapshot::Snapshot;
 pub use span::{SpanEvent, Track};

@@ -66,13 +66,7 @@ impl Snapshot {
     /// index — the reduction is identical at any shard or thread count,
     /// so an N-shard run can be byte-compared against a serial one.
     pub fn merge_keyed<K: Ord>(parts: impl IntoIterator<Item = (K, Snapshot)>) -> Snapshot {
-        let mut parts: Vec<(K, Snapshot)> = parts.into_iter().collect();
-        parts.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = Snapshot::new();
-        for (_, s) in &parts {
-            out.merge(s);
-        }
-        out
+        crate::keyed::reduce_keyed(parts, Snapshot::merge)
     }
 }
 

@@ -29,7 +29,7 @@
 use crate::icache::{Icache, IcacheConfig};
 use std::collections::{HashMap, VecDeque};
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{BranchRecord, DynamicTrace, FullPredictor, MispredictKind, Prediction};
+use zbp_model::{BranchRecord, DynamicTrace, MispredictKind, Prediction, Predictor};
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 use zbp_zarch::LINE_64B;
 
@@ -386,7 +386,7 @@ pub fn drive_cosim(
             tel.instant(Track::Idu, "dispatch.branch", cycle);
             let wrong = MispredictKind::classify(&q.pred, &rec).is_some();
             rep.mispredicts.record(&q.pred, &rec);
-            predictor.complete(&rec, &q.pred);
+            predictor.resolve(&rec, &q.pred);
             resolutions.push_back((cycle + u64::from(cfg.resolve_delay), disp_rec, wrong));
             if wrong {
                 // Dispatch cannot proceed past a branch that will flush

@@ -22,7 +22,7 @@ use crate::icache::{Icache, IcacheConfig};
 use std::collections::HashMap;
 use zbp_core::PredictorConfig;
 use zbp_core::ZPredictor;
-use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
+use zbp_model::{DynamicTrace, MispredictKind, MispredictStats, Predictor};
 use zbp_zarch::{InstrAddr, LINE_64B};
 
 /// Front-end parameters beyond the predictor configuration.
@@ -299,7 +299,7 @@ impl Frontend {
 
             // ---- outcome handling ----------------------------------------
             let resolve_at = done + u64::from(self.cfg.resolve_delay);
-            self.predictor.complete(rec, &pred);
+            self.predictor.resolve(rec, &pred);
             if let Some(k) = kind {
                 // Branch-wrong restart: everything resynchronizes after
                 // the architectural penalty plus refill inefficiency.

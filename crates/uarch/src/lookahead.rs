@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{DynamicTrace, FullPredictor, MispredictKind, MispredictStats};
+use zbp_model::{DynamicTrace, MispredictKind, MispredictStats, Predictor};
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 use zbp_zarch::InstrAddr;
 
@@ -121,7 +121,7 @@ pub fn drive_lookahead(
         // the real pipeline would.
         let pred = p.predict(rec.addr, rec.class());
         rep.mispredicts.record(&pred, rec);
-        p.complete(rec, &pred);
+        p.resolve(rec, &pred);
         if MispredictKind::classify(&pred, rec).is_some() {
             p.flush(rec);
         }

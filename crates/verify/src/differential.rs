@@ -37,7 +37,7 @@ use zbp_core::config::PredictorConfig;
 use zbp_core::events::BplEvent;
 use zbp_core::target::TargetProvider;
 use zbp_core::ZPredictor;
-use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_model::{DynamicTrace, MispredictKind, Predictor};
 use zbp_telemetry::{Snapshot, Telemetry, Track};
 use zbp_zarch::{static_guess, InstrAddr};
 
@@ -239,7 +239,7 @@ pub fn diff_trace_with(
         tel.span_with(Track::Harness, "record", ts, 1, "addr", rec.addr.raw());
         let pred = dut.predict_on(rec.thread, rec.addr, rec.class());
         let mispredicted = MispredictKind::classify(&pred, rec).is_some();
-        dut.complete_on(rec.thread, rec, &pred);
+        dut.resolve_on(rec.thread, rec, &pred);
         if mispredicted {
             report.mispredicts += 1;
             tel.instant(Track::Harness, "flush", ts);

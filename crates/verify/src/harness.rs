@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 use zbp_core::config::PredictorConfig;
 use zbp_core::events::{BplEvent, Probe};
 use zbp_core::ZPredictor;
-use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_model::{DynamicTrace, MispredictKind, Predictor};
 use zbp_zarch::InstrAddr;
 
 /// Which checkers run (modular enable/disable, §VII: "Crosschecking was
@@ -134,7 +134,7 @@ impl VerifyHarness {
         for rec in records {
             let pred = self.dut.predict(rec.addr, rec.class());
             let wrong = MispredictKind::classify(&pred, rec).is_some();
-            self.dut.complete(rec, &pred);
+            self.dut.resolve(rec, &pred);
             if wrong {
                 mispredicts += 1;
                 self.dut.flush(rec);

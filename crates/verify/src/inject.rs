@@ -36,7 +36,7 @@ use zbp_core::btb::Skoot;
 use zbp_core::config::PredictorConfig;
 use zbp_core::events::BplEvent;
 use zbp_core::ZPredictor;
-use zbp_model::{DynamicTrace, FullPredictor, MispredictKind};
+use zbp_model::{DynamicTrace, MispredictKind, Predictor};
 use zbp_zarch::InstrAddr;
 
 /// A class of internal-state fault the campaign can inject.
@@ -152,7 +152,7 @@ pub fn run_fault_campaign(
         }
 
         let wrong = MispredictKind::classify(&pred, rec).is_some();
-        dut.complete_on(rec.thread, rec, &pred);
+        dut.resolve_on(rec.thread, rec, &pred);
         if wrong {
             report.mispredicts += 1;
             dut.flush_on(rec.thread, rec);

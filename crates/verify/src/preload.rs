@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn preloaded_state_predicts_immediately() {
-        use zbp_model::FullPredictor;
+        use zbp_model::Predictor;
         let mut dut = ZPredictor::new(GenerationPreset::Z15.config());
         let rec = BranchRecord::new(
             InstrAddr::new(0x7_0000),
@@ -100,6 +100,6 @@ mod tests {
         preload_btb1_static(&mut dut, &[rec]);
         let p = dut.predict(rec.addr, rec.class());
         assert!(p.dynamic, "no warm-up cycles needed");
-        dut.complete(&rec, &p);
+        dut.resolve(&rec, &p);
     }
 }

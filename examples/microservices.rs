@@ -17,7 +17,7 @@
 //! ```
 
 use zbp::core::{GenerationPreset, PredictorConfig, ZPredictor};
-use zbp::model::{FullPredictor, MispredictKind, MispredictStats};
+use zbp::model::{MispredictKind, MispredictStats, Predictor};
 use zbp::trace::workloads;
 use zbp::zarch::InstrAddr;
 
@@ -43,7 +43,7 @@ fn run(cfg: PredictorConfig, priming: bool) -> (MispredictStats, ZPredictor) {
         }
         let pred = p.predict(rec.addr, rec.class());
         stats.record(&pred, rec);
-        p.complete(rec, &pred);
+        p.resolve(rec, &pred);
         if MispredictKind::classify(&pred, rec).is_some() {
             p.flush(rec);
         }

@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use zbp::core::{GenerationPreset, ZPredictor};
-//! use zbp::model::{FullPredictor, MispredictKind};
+//! use zbp::model::{Predictor, MispredictKind};
 //! use zbp::trace::workloads;
 //!
 //! // Generate a small LSPR-like workload and measure z15 MPKI.
@@ -36,10 +36,10 @@
 //!     let p = predictor.predict(rec.addr, rec.class());
 //!     if MispredictKind::classify(&p, rec).is_some() {
 //!         mispredicts += 1;
-//!         predictor.complete(rec, &p);
+//!         predictor.resolve(rec, &p);
 //!         predictor.flush(rec);
 //!     } else {
-//!         predictor.complete(rec, &p);
+//!         predictor.resolve(rec, &p);
 //!     }
 //! }
 //! let mpki = 1000.0 * mispredicts as f64 / trace.instruction_count() as f64;

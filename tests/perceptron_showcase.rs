@@ -4,7 +4,7 @@
 //! single out the informative GPV bit.
 
 use zbp::core::{GenerationPreset, ZPredictor};
-use zbp::model::{FullPredictor, MispredictKind, MispredictStats};
+use zbp::model::{MispredictKind, MispredictStats, Predictor};
 use zbp::serve::{ReplayMode, Session};
 use zbp::trace::workloads;
 
@@ -32,7 +32,7 @@ fn follower_accuracy(with_perceptron: bool) -> f64 {
                 correct += 1;
             }
         }
-        p.complete(rec, &pr);
+        p.resolve(rec, &pr);
         if MispredictKind::classify(&pr, rec).is_some() {
             p.flush(rec);
         }

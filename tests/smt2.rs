@@ -48,13 +48,13 @@ fn per_thread_history_is_isolated() {
     let smt = workloads::interleave_smt2(&noise, &patterned, 2);
     let mut p = ZPredictor::new(GenerationPreset::Z15.config());
     let mut t1_stats = zbp::model::MispredictStats::new();
-    use zbp::model::{FullPredictor, MispredictKind};
+    use zbp::model::{MispredictKind, Predictor};
     for rec in smt.branches() {
         let pred = p.predict_on(rec.thread, rec.addr, rec.class());
         if rec.thread == ThreadId::ONE {
             t1_stats.record(&pred, rec);
         }
-        p.complete_on(rec.thread, rec, &pred);
+        p.resolve_on(rec.thread, rec, &pred);
         if MispredictKind::classify(&pred, rec).is_some() {
             p.flush_on(rec.thread, rec);
         }
@@ -71,7 +71,7 @@ fn per_thread_history_is_isolated() {
 
 #[test]
 fn threads_share_the_btb() {
-    use zbp::model::{BranchRecord, FullPredictor};
+    use zbp::model::{BranchRecord, Predictor};
     use zbp::zarch::{InstrAddr, Mnemonic};
     let mut p = ZPredictor::new(GenerationPreset::Z15.config());
     let rec = BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::J, true, InstrAddr::new(0x2000));
@@ -79,24 +79,24 @@ fn threads_share_the_btb() {
     // Thread 0 learns the branch.
     let pr = p.predict_on(ThreadId::ZERO, rec.addr, rec.class());
     assert!(!pr.dynamic);
-    p.complete_on(ThreadId::ZERO, &rec, &pr);
+    p.resolve_on(ThreadId::ZERO, &rec, &pr);
 
     // Thread 1 immediately benefits: the BTB1 is shared.
     let rec1 = rec.on_thread(ThreadId::ONE);
     let pr1 = p.predict_on(ThreadId::ONE, rec1.addr, rec1.class());
     assert!(pr1.dynamic, "shared BTB1 serves both threads");
     assert_eq!(pr1.target, Some(rec.target));
-    p.complete_on(ThreadId::ONE, &rec1, &pr1);
+    p.resolve_on(ThreadId::ONE, &rec1, &pr1);
 }
 
 #[test]
 fn crs_stacks_are_per_thread() {
-    use zbp::model::{BranchRecord, FullPredictor, MispredictKind};
+    use zbp::model::{BranchRecord, MispredictKind, Predictor};
     use zbp::zarch::{InstrAddr, Mnemonic};
     let mut p = ZPredictor::new(GenerationPreset::Z15.config());
     let step = |p: &mut ZPredictor, t: ThreadId, rec: &BranchRecord| {
         let pr = p.predict_on(t, rec.addr, rec.class());
-        p.complete_on(t, rec, &pr);
+        p.resolve_on(t, rec, &pr);
         if MispredictKind::classify(&pr, rec).is_some() {
             p.flush_on(t, rec);
         }
@@ -127,11 +127,11 @@ fn crs_stacks_are_per_thread() {
             "thread 1 must not consume thread 0's call stack"
         );
     }
-    p.complete_on(ThreadId::ONE, &ret_a.on_thread(ThreadId::ONE), &pr1);
+    p.resolve_on(ThreadId::ONE, &ret_a.on_thread(ThreadId::ONE), &pr1);
     // Thread 0's stack is still intact and provides its return.
     let pr0 = p.predict_on(ThreadId::ZERO, ret_a.addr, ret_a.class());
     assert_eq!(pr0.target, Some(InstrAddr::new(0x1006)), "thread 0's stack survived");
-    p.complete_on(ThreadId::ZERO, &ret_a, &pr0);
+    p.resolve_on(ThreadId::ZERO, &ret_a, &pr0);
 }
 
 #[test]
