@@ -66,7 +66,7 @@ impl Config {
             root: root.to_path_buf(),
             current_pr: current_pr(root),
             scan: vec!["crates".into(), "src".into()],
-            nondet_iter: ["core", "model", "trace", "telemetry", "serve"]
+            nondet_iter: ["core", "model", "trace", "telemetry", "serve", "simpoint"]
                 .iter()
                 .map(|c| det(c))
                 .collect(),
@@ -76,6 +76,7 @@ impl Config {
                 "trace",
                 "telemetry",
                 "serve",
+                "simpoint",
                 "zarch",
                 "uarch",
                 "baselines",
@@ -102,6 +103,10 @@ impl Config {
                     "crates/bench/src/bin/loadgen.rs".into(),
                     "client-side service latency measurement".into(),
                 ),
+                (
+                    "crates/bench/src/bin/simpoint.rs".into(),
+                    "full-vs-sampled wall-time comparison for the speedup record".into(),
+                ),
             ],
             float_accum: [
                 "core",
@@ -109,6 +114,7 @@ impl Config {
                 "trace",
                 "telemetry",
                 "serve",
+                "simpoint",
                 "zarch",
                 "uarch",
                 "baselines",

@@ -71,12 +71,6 @@ impl BtbComposite {
         self
     }
 
-    /// The wrapped direction predictor's name.
-    #[deprecated(note = "use `Predictor::name` on the composite; remove-by: PR-8")]
-    pub fn direction_name(&self) -> String {
-        DirectionPredictor::name(&*self.direction)
-    }
-
     fn set_of(&self, addr: InstrAddr) -> usize {
         (addr.raw() >> 1) as usize & (self.sets.len() - 1)
     }

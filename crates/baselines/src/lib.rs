@@ -45,21 +45,6 @@ pub use statics::StaticOnly;
 
 use zbp_model::Predictor;
 
-/// Builds the standard comparison roster at roughly z15-PHT-comparable
-/// storage, wrapped in BTB composites, plus labels.
-#[deprecated(note = "superseded by the name-keyed `registry()` (which also carries \
-            the indirect-target baselines); remove-by: PR-8")]
-pub fn roster() -> Vec<BtbComposite> {
-    vec![
-        BtbComposite::new(Box::new(StaticOnly::new())),
-        BtbComposite::new(Box::new(Bimodal::new(16 * 1024))),
-        BtbComposite::new(Box::new(Gshare::new(16 * 1024, 12))),
-        BtbComposite::new(Box::new(LocalTwoLevel::new(1024, 10, 16 * 1024))),
-        BtbComposite::new(Box::new(PerceptronGlobal::new(512, 24))),
-        BtbComposite::new(Box::new(Ltage::new(4, 1024, 10))),
-    ]
-}
-
 /// One arena-selectable baseline: a stable CLI name, a short
 /// description for roster listings, and a constructor taking a size
 /// scale (`1` = the roster's canonical, z15-PHT-comparable budget;
@@ -187,14 +172,6 @@ pub fn build(name: &str, scale: u32) -> Option<Box<dyn Predictor + Send>> {
 mod tests {
     use super::*;
     use zbp_model::DirectionPredictor;
-
-    #[test]
-    #[allow(deprecated)]
-    fn roster_has_distinct_names_and_storage() {
-        let r = roster();
-        let names: std::collections::HashSet<_> = r.iter().map(|p| p.direction_name()).collect();
-        assert_eq!(names.len(), r.len());
-    }
 
     #[test]
     fn storage_bits_are_nonzero_for_hardware_predictors() {

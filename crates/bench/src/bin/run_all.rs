@@ -42,6 +42,8 @@ const BINARIES: &[&str] = &[
     "update_latency",
     "cosim_pipeline",
     "arena",
+    "trace_convert",
+    "simpoint",
 ];
 
 fn main() {

@@ -1,0 +1,234 @@
+//! E22 (part 2) — SimPoint weighted-slice replay vs full replay.
+//!
+//! ```text
+//! simpoint [--interval N] [--clusters K] [--warmup-intervals W] [--spseed S]
+//!          [--instrs N] [--seed N] [--threads N] [--json PATH]
+//! ```
+//!
+//! Runs the standard workload suite twice through the z15
+//! configuration: once in full (the [`Experiment`] engine), once as a
+//! SimPoint plan — BBV extraction at `--interval` instructions,
+//! seeded k-means into `--clusters` phases, and weighted replay of one
+//! representative slice per phase with `--warmup-intervals` intervals
+//! of statistics-off warmup. The table compares full and estimated
+//! MPKI per workload and for the suite, along with the fraction of
+//! instructions actually replayed and the wall-clock speedup.
+//!
+//! `--interval 0` (the default) selects 4 000 instructions — about
+//! 800 branches per interval, which measured best across budgets: with
+//! the default 10 clusters the estimate stays within a few percent of
+//! full replay while the replayed fraction shrinks linearly as
+//! `--instrs` grows (≈20% at 400 k instructions per workload, ≈8% at
+//! 1 M).
+//! All numbers except the wall times are deterministic for fixed
+//! inputs at any `--threads`; with `--json`, one schema-5 line per
+//! workload plus a suite line append to the results file (see
+//! [`zbp_bench::SimPointRecord`]).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use zbp_bench::{f3, pct, BenchArgs, Experiment, SimPointRecord, Table};
+use zbp_core::GenerationPreset;
+use zbp_simpoint::SimPointConfig;
+use zbp_trace::workloads;
+
+struct SpArgs {
+    interval: u64,
+    clusters: usize,
+    warmup_intervals: usize,
+    spseed: u64,
+    bench: BenchArgs,
+}
+
+fn parse_args() -> SpArgs {
+    let mut interval = 0u64;
+    let mut clusters = 10u64;
+    let mut warmup = 1u64;
+    let mut spseed = 42u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let num = |name: &str, dst: &mut u64, it: &mut dyn Iterator<Item = String>| match inline
+            .clone()
+            .or_else(|| it.next())
+            .and_then(|v| v.parse().ok())
+        {
+            Some(v) => *dst = v,
+            None => eprintln!("warning: {name} needs a number; keeping {dst}"),
+        };
+        match flag.as_str() {
+            "--interval" => num("--interval", &mut interval, &mut it),
+            "--clusters" => num("--clusters", &mut clusters, &mut it),
+            "--warmup-intervals" => num("--warmup-intervals", &mut warmup, &mut it),
+            "--spseed" => num("--spseed", &mut spseed, &mut it),
+            _ => rest.push(arg),
+        }
+    }
+    SpArgs {
+        interval,
+        clusters: (clusters as usize).max(1),
+        warmup_intervals: warmup as usize,
+        spseed,
+        bench: BenchArgs::parse_from(rest),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (instrs, seed) = (args.bench.instrs, args.bench.seed);
+    let interval = if args.interval > 0 { args.interval } else { 4_000 };
+    let cfg = GenerationPreset::Z15.config();
+    let sp_cfg = SimPointConfig {
+        interval_instrs: interval,
+        clusters: args.clusters,
+        warmup_intervals: args.warmup_intervals,
+        seed: args.spseed,
+    };
+    let suite = workloads::suite(seed, instrs);
+
+    println!(
+        "simpoint: suite({seed}, {instrs}) x z15 — interval {interval}, {} cluster(s), \
+         {} warmup interval(s), k-means seed {}\n",
+        args.clusters, args.warmup_intervals, args.spseed
+    );
+
+    // Full replay first: it also warms the trace cache, so the sampled
+    // wall time below measures replay, not generation.
+    let t0 = Instant::now();
+    let full = Experiment::new(&cfg)
+        .name("simpoint-full")
+        .workloads(suite.clone())
+        .threads(args.bench.threads)
+        .json(None)
+        .run();
+    let full_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let sampled = match zbp_bench::run_weighted(
+        &cfg,
+        &suite,
+        &sp_cfg,
+        args.bench.threads,
+        zbp_bench::DEFAULT_HARNESS_DEPTH,
+        false,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sampled_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let full_entry = &full.entries[0];
+    let mut t = Table::new(vec![
+        "workload",
+        "intervals",
+        "slices",
+        "replayed",
+        "full mpki",
+        "est mpki",
+        "err",
+    ]);
+    let mut records: Vec<SimPointRecord> = Vec::new();
+    let err_of = |full: f64, est: f64| if full == 0.0 { 0.0 } else { (est - full).abs() / full };
+    for (cell, w) in full_entry.cells.iter().zip(&sampled.workloads) {
+        let frac = w.fed_instrs() as f64 / w.manifest.total_instrs as f64;
+        let err = err_of(cell.stats.mpki(), w.estimated.mpki());
+        t.row(vec![
+            w.workload.clone(),
+            w.manifest.intervals.to_string(),
+            w.manifest.slices.len().to_string(),
+            pct(frac),
+            f3(cell.stats.mpki()),
+            f3(w.estimated.mpki()),
+            pct(err),
+        ]);
+        records.push(SimPointRecord {
+            experiment: "simpoint".to_string(),
+            config: cfg.name.clone(),
+            workload: w.workload.clone(),
+            seed: w.seed,
+            threads: sampled.threads as u64,
+            interval_instrs: interval,
+            intervals: w.manifest.intervals,
+            slices: w.manifest.slices.len() as u64,
+            total_instrs: w.manifest.total_instrs,
+            simulated_instrs: w.manifest.simulated_instrs(),
+            fed_instrs: w.fed_instrs(),
+            full_mpki: cell.stats.mpki(),
+            est_mpki: w.estimated.mpki(),
+            err_frac: err,
+            full_wall_ms: 0.0,
+            sampled_wall_ms: 0.0,
+        });
+    }
+    let suite_err = err_of(full_entry.total.mpki(), sampled.total.mpki());
+    t.row(vec![
+        "suite".to_string(),
+        sampled.workloads.iter().map(|w| w.manifest.intervals).sum::<u64>().to_string(),
+        sampled.workloads.iter().map(|w| w.manifest.slices.len()).sum::<usize>().to_string(),
+        pct(sampled.replay_fraction()),
+        f3(full_entry.total.mpki()),
+        f3(sampled.total.mpki()),
+        pct(suite_err),
+    ]);
+    t.print();
+    records.push(SimPointRecord {
+        experiment: "simpoint".to_string(),
+        config: cfg.name.clone(),
+        workload: "suite".to_string(),
+        seed,
+        threads: sampled.threads as u64,
+        interval_instrs: interval,
+        intervals: sampled.workloads.iter().map(|w| w.manifest.intervals).sum(),
+        slices: sampled.workloads.iter().map(|w| w.manifest.slices.len() as u64).sum(),
+        total_instrs: sampled.total_instrs(),
+        simulated_instrs: sampled.simulated_instrs(),
+        fed_instrs: sampled.fed_instrs(),
+        full_mpki: full_entry.total.mpki(),
+        est_mpki: sampled.total.mpki(),
+        err_frac: suite_err,
+        full_wall_ms,
+        sampled_wall_ms,
+    });
+
+    // Wall times go to stderr so stdout (captured by `run_all` into
+    // results/simpoint.txt) stays byte-identical across reruns.
+    println!(
+        "\nsuite: replayed {} of {} instructions ({}), est {} vs full {} MPKI ({} off)",
+        sampled.fed_instrs(),
+        sampled.total_instrs(),
+        pct(sampled.replay_fraction()),
+        f3(sampled.total.mpki()),
+        f3(full_entry.total.mpki()),
+        pct(suite_err),
+    );
+    eprintln!(
+        "[simpoint] wall: sampled {sampled_wall_ms:.1} ms vs full {full_wall_ms:.1} ms ({:.1}x)",
+        full_wall_ms / sampled_wall_ms.max(1e-9),
+    );
+
+    if let Some(path) = &args.bench.json {
+        match zbp_bench::append_simpoint_records(path, &records) {
+            Ok(()) => {
+                println!("appended {} schema-5 record(s) to {}", records.len(), path.display())
+            }
+            Err(e) => {
+                eprintln!("simpoint: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if suite_err > 0.05 {
+        eprintln!("\nsimpoint: FAILED — suite estimate off by {} (> 5% tolerance)", pct(suite_err));
+        return ExitCode::FAILURE;
+    }
+    println!("\nsimpoint: suite estimate within 5% of full replay");
+    ExitCode::SUCCESS
+}

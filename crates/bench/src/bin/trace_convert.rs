@@ -1,0 +1,210 @@
+//! E22 (part 1) — trace container conversion: `.zbpt` (v1) ↔ `.zbt2`
+//! (v2 chunked container) plus SimPoint manifest generation.
+//!
+//! ```text
+//! trace_convert                          # self-demo (see below)
+//! trace_convert --in A.zbpt --out B.zbt2 [--skip N] [--warmup N] [--simulate N]
+//! trace_convert --in B.zbt2 --out A.zbpt # window is dropped with a note
+//! trace_convert --info B.zbt2            # header dump, no conversion
+//! ```
+//!
+//! With no `--in`/`--out`/`--info`, runs the self-demo used by
+//! `run_all`: generates the `lspr-like` workload at `--instrs`/`--seed`,
+//! writes it under `results/traces/` in both formats plus a `.zspm`
+//! SimPoint manifest, reloads each through the format-sniffing
+//! [`load_any`] entry point, and verifies the round trips record for
+//! record. Output is deterministic for fixed `--instrs`/`--seed`.
+//!
+//! Conversion direction is chosen by the `--out` extension: `.zbt2`
+//! writes the v2 container (with the optional replay window), anything
+//! else writes v1. `--json` is accepted for `run_all` compatibility and
+//! ignored (this tool records no benchmark results).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use zbp_bench::{BenchArgs, Table};
+use zbp_simpoint::{SimPointConfig, SimPointManifest};
+use zbp_trace::{
+    load_any, load_container, save_container, save_trace, workloads, ContainerReader, ReplayWindow,
+};
+
+struct ConvertArgs {
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
+    info: Option<PathBuf>,
+    window: ReplayWindow,
+    bench: BenchArgs,
+}
+
+fn parse_args() -> ConvertArgs {
+    let mut input = None;
+    let mut output = None;
+    let mut info = None;
+    let mut window = ReplayWindow::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let path = |name: &str, dst: &mut Option<PathBuf>, it: &mut dyn Iterator<Item = String>| {
+            match inline.clone().or_else(|| it.next()) {
+                Some(v) => *dst = Some(PathBuf::from(v)),
+                None => eprintln!("warning: {name} needs a path; ignoring it"),
+            }
+        };
+        let num = |name: &str, dst: &mut u64, it: &mut dyn Iterator<Item = String>| match inline
+            .clone()
+            .or_else(|| it.next())
+            .and_then(|v| v.parse().ok())
+        {
+            Some(v) => *dst = v,
+            None => eprintln!("warning: {name} needs a number; keeping {dst}"),
+        };
+        match flag.as_str() {
+            "--in" => path("--in", &mut input, &mut it),
+            "--out" => path("--out", &mut output, &mut it),
+            "--info" => path("--info", &mut info, &mut it),
+            "--skip" => num("--skip", &mut window.skip, &mut it),
+            "--warmup" => num("--warmup", &mut window.warmup, &mut it),
+            "--simulate" => num("--simulate", &mut window.simulate, &mut it),
+            _ => rest.push(arg),
+        }
+    }
+    ConvertArgs { input, output, info, window, bench: BenchArgs::parse_from(rest) }
+}
+
+fn print_info(path: &Path) -> Result<(), String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let r = ContainerReader::open(std::io::BufReader::new(f))
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let w = r.window();
+    let mut t = Table::new(vec!["field", "value"]);
+    t.row(vec!["label".to_string(), r.label().to_string()]);
+    t.row(vec!["records".to_string(), r.total_records().to_string()]);
+    t.row(vec!["tail instrs".to_string(), r.tail_instrs().to_string()]);
+    t.row(vec!["chunk records".to_string(), r.chunk_records().to_string()]);
+    t.row(vec!["chunks".to_string(), r.chunks_total().to_string()]);
+    t.row(vec!["window.skip".to_string(), w.skip.to_string()]);
+    t.row(vec!["window.warmup".to_string(), w.warmup.to_string()]);
+    t.row(vec!["window.simulate".to_string(), w.simulate.to_string()]);
+    t.print();
+    Ok(())
+}
+
+fn convert(input: &Path, output: &Path, window: ReplayWindow) -> Result<String, String> {
+    let (trace, in_window) =
+        load_any(input).map_err(|e| format!("load {}: {e}", input.display()))?;
+    let v2 = output.extension().is_some_and(|e| e == "zbt2");
+    if v2 {
+        let window = if window.is_unwindowed() { in_window } else { window };
+        save_container(output, &trace, window)
+            .map_err(|e| format!("write {}: {e}", output.display()))?;
+        Ok(format!(
+            "{} -> {} (v2, {} records, window skip={} warmup={} simulate={})",
+            input.display(),
+            output.display(),
+            trace.branch_count(),
+            window.skip,
+            window.warmup,
+            window.simulate,
+        ))
+    } else {
+        if !in_window.is_unwindowed() {
+            eprintln!("note: v1 output has no window fields; the replay window is dropped");
+        }
+        save_trace(output, &trace).map_err(|e| format!("write {}: {e}", output.display()))?;
+        Ok(format!(
+            "{} -> {} (v1, {} records)",
+            input.display(),
+            output.display(),
+            trace.branch_count()
+        ))
+    }
+}
+
+/// The no-argument path `run_all` exercises: write, reload and verify
+/// both container versions plus a SimPoint manifest for one generated
+/// workload.
+fn self_demo(instrs: u64, seed: u64) -> Result<(), String> {
+    let dir = Path::new("results").join("traces");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let trace = workloads::lspr_like(seed, instrs).dynamic_trace();
+    let window = ReplayWindow { skip: instrs / 10, warmup: instrs / 10, simulate: 0 };
+
+    let v1 = dir.join("lspr_like.zbpt");
+    let v2 = dir.join("lspr_like.zbt2");
+    let zspm = dir.join("lspr_like.zspm");
+    save_trace(&v1, &trace).map_err(|e| format!("write {}: {e}", v1.display()))?;
+    save_container(&v2, &trace, window).map_err(|e| format!("write {}: {e}", v2.display()))?;
+
+    let (t1, w1) = load_any(&v1).map_err(|e| format!("reload {}: {e}", v1.display()))?;
+    let (t2, w2) = load_container(&v2).map_err(|e| format!("reload {}: {e}", v2.display()))?;
+    if t1 != trace || !w1.is_unwindowed() {
+        return Err(format!("{}: v1 round trip diverged", v1.display()));
+    }
+    if t2 != trace || w2 != window {
+        return Err(format!("{}: v2 round trip diverged", v2.display()));
+    }
+
+    let sp = SimPointConfig { interval_instrs: (instrs / 20).max(1_000), ..Default::default() };
+    let manifest = SimPointManifest::build(&trace, &sp).map_err(|e| format!("manifest: {e}"))?;
+    manifest.save(&zspm).map_err(|e| format!("write {}: {e}", zspm.display()))?;
+    let back =
+        SimPointManifest::load(&zspm).map_err(|e| format!("reload {}: {e}", zspm.display()))?;
+    if back != manifest {
+        return Err(format!("{}: manifest round trip diverged", zspm.display()));
+    }
+
+    let size = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let mut t = Table::new(vec!["artifact", "bytes", "contents"]);
+    t.row(vec![
+        v1.display().to_string(),
+        size(&v1).to_string(),
+        format!("v1, {} records", trace.branch_count()),
+    ]);
+    t.row(vec![
+        v2.display().to_string(),
+        size(&v2).to_string(),
+        format!(
+            "v2, {} records, window skip={} warmup={}",
+            trace.branch_count(),
+            window.skip,
+            window.warmup
+        ),
+    ]);
+    t.row(vec![
+        zspm.display().to_string(),
+        size(&zspm).to_string(),
+        format!("{} slices / {} intervals", manifest.slices.len(), manifest.intervals),
+    ]);
+    t.print();
+    println!("\nround trips verified: v1 and v2 reload record-identical; manifest reload equal");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let outcome = match (&args.info, &args.input, &args.output) {
+        (Some(info), _, _) => print_info(info),
+        (None, Some(input), Some(output)) => match convert(input, output, args.window) {
+            Ok(msg) => {
+                println!("{msg}");
+                Ok(())
+            }
+            Err(e) => Err(e),
+        },
+        (None, Some(_), None) | (None, None, Some(_)) => {
+            Err("--in and --out must be given together".to_string())
+        }
+        (None, None, None) => self_demo(args.bench.instrs, args.bench.seed),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_convert: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -621,6 +621,134 @@ impl ArenaRecord {
     }
 }
 
+/// One SimPoint weighted-replay validation row, as recorded in
+/// `results/bench.json` (schema 5).
+///
+/// The `simpoint` binary writes one row per workload plus one
+/// suite-merged row (`workload: "suite"`); the suite row additionally
+/// carries end-to-end wall times for the full and sampled runs
+/// (per-workload rows leave them at `0`). Schema-5 lines coexist with
+/// schemas 2–4 in the same JSON Lines file; readers dispatch on the
+/// `schema` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPointRecord {
+    /// Which binary produced the record (normally `"simpoint"`).
+    pub experiment: String,
+    /// Predictor configuration label.
+    pub config: String,
+    /// Workload label, or `"suite"` for the merged row.
+    pub workload: String,
+    /// Workload generator seed (suite base seed on the suite row).
+    pub seed: u64,
+    /// Worker threads the run used.
+    pub threads: u64,
+    /// BBV interval granularity, in instructions.
+    pub interval_instrs: u64,
+    /// Intervals the trace(s) sliced into.
+    pub intervals: u64,
+    /// Representative slices selected (≤ the requested cluster count).
+    pub slices: u64,
+    /// Source instructions a full replay would simulate.
+    pub total_instrs: u64,
+    /// Measured instructions across the selected slices.
+    pub simulated_instrs: u64,
+    /// Instructions actually replayed (warmup included).
+    pub fed_instrs: u64,
+    /// MPKI of the full replay.
+    pub full_mpki: f64,
+    /// MPKI reconstructed from the weighted slices.
+    pub est_mpki: f64,
+    /// `|est - full| / full`, in `[0, 1]` (0 when `full_mpki` is 0).
+    pub err_frac: f64,
+    /// Full-replay wall time in milliseconds (suite row only).
+    pub full_wall_ms: f64,
+    /// Weighted-replay wall time in milliseconds (suite row only).
+    pub sampled_wall_ms: f64,
+}
+
+impl SimPointRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(5.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("interval_instrs", Json::Num(self.interval_instrs as f64)),
+            ("intervals", Json::Num(self.intervals as f64)),
+            ("slices", Json::Num(self.slices as f64)),
+            ("total_instrs", Json::Num(self.total_instrs as f64)),
+            ("simulated_instrs", Json::Num(self.simulated_instrs as f64)),
+            ("fed_instrs", Json::Num(self.fed_instrs as f64)),
+            ("full_mpki", Json::Num(self.full_mpki)),
+            ("est_mpki", Json::Num(self.est_mpki)),
+            ("err_frac", Json::Num(self.err_frac)),
+            ("full_wall_ms", Json::Num(self.full_wall_ms)),
+            ("sampled_wall_ms", Json::Num(self.sampled_wall_ms)),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object; `None` unless the line
+    /// declares `schema: 5`.
+    pub fn from_json(v: &Json) -> Option<SimPointRecord> {
+        if v.get("schema")?.as_u64()? != 5 {
+            return None;
+        }
+        Some(SimPointRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            workload: v.get("workload")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_u64()?,
+            threads: v.get("threads")?.as_u64()?,
+            interval_instrs: v.get("interval_instrs")?.as_u64()?,
+            intervals: v.get("intervals")?.as_u64()?,
+            slices: v.get("slices")?.as_u64()?,
+            total_instrs: v.get("total_instrs")?.as_u64()?,
+            simulated_instrs: v.get("simulated_instrs")?.as_u64()?,
+            fed_instrs: v.get("fed_instrs")?.as_u64()?,
+            full_mpki: v.get("full_mpki")?.as_f64()?,
+            est_mpki: v.get("est_mpki")?.as_f64()?,
+            err_frac: v.get("err_frac")?.as_f64()?,
+            full_wall_ms: v.get("full_wall_ms")?.as_f64()?,
+            sampled_wall_ms: v.get("sampled_wall_ms")?.as_f64()?,
+        })
+    }
+}
+
+/// Appends SimPoint records to a JSON Lines file (same appending
+/// contract as [`append_records`]).
+pub fn append_simpoint_records(path: &Path, records: &[SimPointRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable schema-5 record from a JSON Lines file,
+/// skipping lines of every other schema.
+pub fn read_simpoint_records(path: &Path) -> std::io::Result<Vec<SimPointRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| SimPointRecord::from_json(&v))
+        .collect())
+}
+
 /// Appends arena records to a JSON Lines file (same appending contract
 /// as [`append_records`]).
 pub fn append_arena_records(path: &Path, records: &[ArenaRecord]) -> std::io::Result<()> {
@@ -909,6 +1037,42 @@ mod tests {
         assert!(ArenaRecord::from_json(&sample_serve().to_json()).is_none());
     }
 
+    fn sample_simpoint() -> SimPointRecord {
+        SimPointRecord {
+            experiment: "simpoint".into(),
+            config: "z15".into(),
+            workload: "suite".into(),
+            seed: 1234,
+            threads: 8,
+            interval_instrs: 8_000,
+            intervals: 300,
+            slices: 36,
+            total_instrs: 2_400_000,
+            simulated_instrs: 288_000,
+            fed_instrs: 540_000,
+            full_mpki: 4.812,
+            est_mpki: 4.705,
+            err_frac: 0.0222,
+            full_wall_ms: 812.4,
+            sampled_wall_ms: 196.7,
+        }
+    }
+
+    #[test]
+    fn simpoint_record_round_trips_as_schema_5() {
+        let r = sample_simpoint();
+        let text = r.to_json().to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(5));
+        assert_eq!(SimPointRecord::from_json(&v).unwrap(), r);
+        // Other-schema readers skip it, and vice versa.
+        assert!(BenchRecord::from_json(&v).is_none());
+        assert!(ServeRecord::from_json(&v).is_none());
+        assert!(ArenaRecord::from_json(&v).is_none());
+        assert!(SimPointRecord::from_json(&sample().to_json()).is_none());
+        assert!(SimPointRecord::from_json(&sample_arena().to_json()).is_none());
+    }
+
     #[test]
     fn mixed_schema_files_read_cleanly() {
         let dir = std::env::temp_dir().join(format!("zbp-json-mixed-{}", std::process::id()));
@@ -917,9 +1081,11 @@ mod tests {
         append_records(&path, &[sample()]).unwrap();
         append_serve_records(&path, &[sample_serve()]).unwrap();
         append_arena_records(&path, &[sample_arena()]).unwrap();
+        append_simpoint_records(&path, &[sample_simpoint()]).unwrap();
         assert_eq!(read_records(&path).unwrap(), vec![sample()]);
         assert_eq!(read_serve_records(&path).unwrap(), vec![sample_serve()]);
         assert_eq!(read_arena_records(&path).unwrap(), vec![sample_arena()]);
+        assert_eq!(read_simpoint_records(&path).unwrap(), vec![sample_simpoint()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

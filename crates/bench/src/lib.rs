@@ -25,6 +25,8 @@
 //! | `telemetry_demo` | traced co-simulation + Chrome trace timeline |
 //! | `loadgen` | serving throughput — concurrent clients vs a `zbp-serve` pool |
 //! | `arena` | E21 — predictor tournament: z15 vs the registry roster, H2P mining |
+//! | `trace_convert` | E22 — `.zbpt` ↔ `.zbt2` container conversion + manifest demo |
+//! | `simpoint` | E22 — BBV clustering + weighted-slice replay vs full replay |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),
 //! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
@@ -56,6 +58,7 @@ pub mod arena;
 pub mod cli;
 pub mod experiment;
 pub mod json;
+pub mod simpoint;
 
 pub use cli::BenchArgs;
 pub use experiment::{
@@ -63,9 +66,11 @@ pub use experiment::{
     DEFAULT_HARNESS_DEPTH,
 };
 pub use json::{
-    append_arena_records, append_records, append_serve_records, read_arena_records, read_records,
-    read_serve_records, telemetry_json, ArenaH2p, ArenaRecord, BenchRecord, Json, ServeRecord,
+    append_arena_records, append_records, append_serve_records, append_simpoint_records,
+    read_arena_records, read_records, read_serve_records, read_simpoint_records, telemetry_json,
+    ArenaH2p, ArenaRecord, BenchRecord, Json, ServeRecord, SimPointRecord,
 };
+pub use simpoint::{run_weighted, SimPointCell, SimPointSuiteResult, SimPointWorkloadResult};
 
 use std::time::Instant;
 use zbp_core::PredictorConfig;

@@ -1,0 +1,359 @@
+//! Weighted-slice replay: running a SimPoint plan through the serving
+//! [`Session`] and reconstructing suite statistics by integer weighting.
+//!
+//! The execution model mirrors [`crate::Experiment`]: work units fan
+//! out over a work-stealing index across scoped threads, every worker
+//! writes only its claimed slot, and the merge walks declared order —
+//! workload order × slice order — so the result is byte-identical at
+//! any `--threads` setting. The work unit here is one representative
+//! *slice* rather than one workload: each slice opens a delayed-mode
+//! [`Session`], arms [`Session::set_warmup`] for its warmup prefix
+//! (predictor state evolves exactly as in live replay, statistics stay
+//! off), feeds warmup + measured records as one stream, and closes with
+//! the trace tail if the slice reaches the end of the trace.
+//!
+//! The reduction is the D3-clean integer arithmetic the determinism
+//! lints enforce: each slice's [`MispredictStats`] and [`BranchTable`]
+//! are multiplied by the slice's integer weight
+//! ([`MispredictStats::scaled`] / [`BranchTable::scaled`]) and merged —
+//! no floating-point accumulation anywhere; MPKI is derived at the
+//! edge from the merged integers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use zbp_core::PredictorConfig;
+use zbp_model::{BranchTable, DynamicTrace, MispredictStats};
+use zbp_serve::{ReplayMode, Session};
+use zbp_simpoint::{SimPointConfig, SimPointError, SimPointManifest, SliceSpec};
+use zbp_trace::Workload;
+
+/// One replayed representative slice, already weighted.
+#[derive(Debug)]
+pub struct SimPointCell {
+    /// Workload label the slice came from.
+    pub workload: String,
+    /// The slice replayed.
+    pub slice: SliceSpec,
+    /// Slice statistics multiplied by the slice weight.
+    pub stats: MispredictStats,
+    /// Per-static-branch profile multiplied by the slice weight
+    /// (empty when profiling was off).
+    pub profile: BranchTable,
+    /// Pipeline flushes multiplied by the slice weight.
+    pub flushes: u64,
+    /// Records actually fed (warmup + measured, unweighted).
+    pub fed_records: u64,
+    /// Instructions actually replayed (warmup + measured + tail,
+    /// unweighted) — the cost side of the sampling trade.
+    pub fed_instrs: u64,
+}
+
+/// The weighted estimate for one workload.
+#[derive(Debug)]
+pub struct SimPointWorkloadResult {
+    /// Workload label.
+    pub workload: String,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// The plan that was replayed.
+    pub manifest: SimPointManifest,
+    /// Per-slice weighted cells, in slice (trace) order.
+    pub cells: Vec<SimPointCell>,
+    /// Weighted statistics merged across slices — the estimate of a
+    /// full replay of this workload.
+    pub estimated: MispredictStats,
+    /// Weighted per-static-branch profile (empty when profiling was
+    /// off).
+    pub profile: BranchTable,
+    /// Weighted flush count.
+    pub flushes: u64,
+}
+
+impl SimPointWorkloadResult {
+    /// Instructions actually replayed for this workload (warmup +
+    /// measured + tail across slices).
+    pub fn fed_instrs(&self) -> u64 {
+        self.cells.iter().map(|c| c.fed_instrs).sum()
+    }
+}
+
+/// The result of [`run_weighted`]: per-workload estimates plus the
+/// suite-merged total.
+#[derive(Debug)]
+pub struct SimPointSuiteResult {
+    /// Per-workload results, in declared workload order.
+    pub workloads: Vec<SimPointWorkloadResult>,
+    /// Weighted statistics merged across all workloads — the estimate
+    /// of a full suite replay.
+    pub total: MispredictStats,
+    /// Weighted profile merged across all workloads (empty when
+    /// profiling was off).
+    pub profile: BranchTable,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl SimPointSuiteResult {
+    /// Source instructions across all workloads (what a full replay
+    /// would simulate).
+    pub fn total_instrs(&self) -> u64 {
+        self.workloads.iter().map(|w| w.manifest.total_instrs).sum()
+    }
+
+    /// Measured instructions across all slices (warmup excluded).
+    pub fn simulated_instrs(&self) -> u64 {
+        self.workloads.iter().map(|w| w.manifest.simulated_instrs()).sum()
+    }
+
+    /// Instructions actually replayed, warmup included.
+    pub fn fed_instrs(&self) -> u64 {
+        self.workloads.iter().map(SimPointWorkloadResult::fed_instrs).sum()
+    }
+
+    /// Fraction of source instructions actually replayed, in `[0, 1]`.
+    pub fn replay_fraction(&self) -> f64 {
+        let total = self.total_instrs();
+        if total == 0 {
+            0.0
+        } else {
+            self.fed_instrs() as f64 / total as f64
+        }
+    }
+}
+
+struct SliceSlot {
+    stats: MispredictStats,
+    profile: BranchTable,
+    flushes: u64,
+    fed_records: u64,
+    fed_instrs: u64,
+}
+
+/// Replays one slice through a delayed-mode session and scales the
+/// outcome by the slice weight.
+fn run_slice(
+    cfg: &PredictorConfig,
+    trace: &DynamicTrace,
+    manifest: &SimPointManifest,
+    slice: &SliceSpec,
+    depth: usize,
+    profile: bool,
+) -> SliceSlot {
+    let records = trace.as_slice();
+    let lo = slice.warmup_first_record as usize;
+    let hi = (slice.first_record + slice.record_count) as usize;
+    let fed = &records[lo..hi];
+    let tail = if manifest.slice_reaches_end(slice) { manifest.tail_instrs } else { 0 };
+
+    let label = format!("{}#{}", trace.label(), slice.cluster);
+    let mut s = Session::open(label, cfg, ReplayMode::Delayed { depth }, false);
+    s.set_profiling(profile);
+    s.set_warmup(slice.warmup_records);
+    s.feed(fed);
+    let report = s.finish(tail);
+
+    let warmup_instrs: u64 =
+        fed[..slice.warmup_records as usize].iter().map(|r| 1 + u64::from(r.gap_instrs)).sum();
+    SliceSlot {
+        stats: report.stats.scaled(slice.weight),
+        profile: report.profile.map(|t| t.scaled(slice.weight)).unwrap_or_default(),
+        flushes: report.flushes.saturating_mul(slice.weight),
+        fed_records: fed.len() as u64,
+        fed_instrs: warmup_instrs + report.stats.instructions.get(),
+    }
+}
+
+/// Builds a SimPoint plan for every workload and replays the
+/// representative slices in parallel, reconstructing per-workload and
+/// suite statistics by integer weighting.
+///
+/// Deterministic end to end: manifests depend only on `(trace,
+/// sp_cfg)`, each slice is an independent computation over an immutable
+/// cached trace, and the merge walks workload order × slice order — the
+/// result is byte-identical at any `threads` setting and across reruns.
+///
+/// # Errors
+///
+/// [`SimPointError::EmptyTrace`] if any workload generates a trace with
+/// no branch records.
+pub fn run_weighted(
+    cfg: &PredictorConfig,
+    workloads: &[Workload],
+    sp_cfg: &SimPointConfig,
+    threads: usize,
+    depth: usize,
+    profile: bool,
+) -> Result<SimPointSuiteResult, SimPointError> {
+    let threads = crate::resolve_threads(threads);
+
+    // Phase 1: traces and manifests, fanned out per workload. Both are
+    // pure functions of the workload and config, so parallel
+    // construction cannot perturb the result.
+    let manifests: Vec<Mutex<Option<Result<SimPointManifest, SimPointError>>>> =
+        (0..workloads.len()).map(|_| Mutex::new(None)).collect();
+    let widx = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(workloads.len().max(1)) {
+            s.spawn(|| loop {
+                let i = widx.fetch_add(1, Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let trace = workloads[i].cached_trace();
+                let m = SimPointManifest::build(&trace, sp_cfg);
+                *manifests[i].lock().expect("manifest slot poisoned") = Some(m);
+            });
+        }
+    });
+    let manifests: Vec<Arc<SimPointManifest>> = manifests
+        .into_iter()
+        .map(|m| m.into_inner().expect("manifest slot poisoned").expect("one result per workload"))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    // Phase 2: flatten (workload, slice) pairs and fan them out over a
+    // work-stealing index; each worker writes only its claimed slot.
+    let units: Vec<(usize, usize)> = manifests
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, m)| (0..m.slices.len()).map(move |si| (wi, si)))
+        .collect();
+    let slots: Vec<Mutex<Option<SliceSlot>>> = (0..units.len()).map(|_| Mutex::new(None)).collect();
+    let uidx = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(units.len().max(1)) {
+            s.spawn(|| loop {
+                let u = uidx.fetch_add(1, Ordering::Relaxed);
+                if u >= units.len() {
+                    break;
+                }
+                let (wi, si) = units[u];
+                let trace = workloads[wi].cached_trace();
+                let m = &manifests[wi];
+                let r = run_slice(cfg, &trace, m, &m.slices[si], depth, profile);
+                *slots[u].lock().expect("slice slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    // Deterministic merge: workload order × slice order.
+    let mut slot_iter = slots.into_iter().map(|s| s.into_inner().expect("slice slot poisoned"));
+    let mut out = Vec::with_capacity(workloads.len());
+    let mut total = MispredictStats::new();
+    let mut suite_profile = BranchTable::new();
+    for (w, m) in workloads.iter().zip(&manifests) {
+        let mut cells = Vec::with_capacity(m.slices.len());
+        let mut estimated = MispredictStats::new();
+        let mut wprofile = BranchTable::new();
+        let mut flushes = 0u64;
+        for slice in &m.slices {
+            let slot = slot_iter.next().flatten().expect("one result per slice");
+            estimated.merge(&slot.stats);
+            wprofile.merge(&slot.profile);
+            flushes = flushes.saturating_add(slot.flushes);
+            cells.push(SimPointCell {
+                workload: w.label.clone(),
+                slice: *slice,
+                stats: slot.stats,
+                profile: slot.profile,
+                flushes: slot.flushes,
+                fed_records: slot.fed_records,
+                fed_instrs: slot.fed_instrs,
+            });
+        }
+        total.merge(&estimated);
+        suite_profile.merge(&wprofile);
+        out.push(SimPointWorkloadResult {
+            workload: w.label.clone(),
+            seed: w.seed,
+            manifest: (**m).clone(),
+            cells,
+            estimated,
+            profile: wprofile,
+            flushes,
+        });
+    }
+    Ok(SimPointSuiteResult { workloads: out, total, profile: suite_profile, threads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_core::GenerationPreset;
+    use zbp_trace::workloads;
+
+    fn sp_cfg() -> SimPointConfig {
+        SimPointConfig { interval_instrs: 2_000, clusters: 4, warmup_intervals: 1, seed: 7 }
+    }
+
+    #[test]
+    fn weighted_replay_is_thread_count_invariant() {
+        let cfg = GenerationPreset::Z15.config();
+        let ws = workloads::suite(3, 20_000);
+        let serial = run_weighted(&cfg, &ws, &sp_cfg(), 1, 32, true).expect("plan");
+        let parallel = run_weighted(&cfg, &ws, &sp_cfg(), 4, 32, true).expect("plan");
+        assert_eq!(serial.total, parallel.total, "suite estimate must be thread-invariant");
+        assert_eq!(serial.profile, parallel.profile);
+        for (s, p) in serial.workloads.iter().zip(&parallel.workloads) {
+            assert_eq!(s.manifest, p.manifest, "{}: manifests must be identical", s.workload);
+            assert_eq!(s.estimated, p.estimated);
+            assert_eq!(s.flushes, p.flushes);
+        }
+    }
+
+    #[test]
+    fn weighted_instructions_reconstruct_the_source_scale() {
+        // Σ weight × slice-instrs ≈ total instructions: the estimate is
+        // produced at full-trace scale, so MPKI denominators line up.
+        let cfg = GenerationPreset::Z15.config();
+        let ws = vec![workloads::lspr_like(5, 40_000)];
+        let r = run_weighted(&cfg, &ws, &sp_cfg(), 2, 32, false).expect("plan");
+        let total = r.total_instrs();
+        let weighted = r.total.instructions.get();
+        let err = weighted.abs_diff(total) as f64 / total as f64;
+        assert!(err < 0.30, "weighted {weighted} vs source {total} ({err:.2})");
+        // And the replay itself touched far fewer instructions.
+        assert!(r.fed_instrs() < total, "fed {} of {total}", r.fed_instrs());
+        assert!(r.replay_fraction() < 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_full_replay() {
+        // Coarse accuracy gate at unit-test scale; the tier-2
+        // integration test (tests/simpoint.rs) enforces the real 5% /
+        // 25% acceptance bars at 2M+ instructions.
+        let cfg = GenerationPreset::Z15.config();
+        let ws = workloads::suite(11, 30_000);
+        let full = crate::Experiment::new(&cfg)
+            .workloads(ws.clone())
+            .threads(2)
+            .run()
+            .entries
+            .remove(0)
+            .total;
+        let est = run_weighted(&cfg, &ws, &sp_cfg(), 2, 32, false).expect("plan").total;
+        let err = (est.mpki() - full.mpki()).abs() / full.mpki();
+        assert!(
+            err < 0.35,
+            "estimated {:.3} vs full {:.3} MPKI ({:.0}% off)",
+            est.mpki(),
+            full.mpki(),
+            100.0 * err
+        );
+    }
+
+    #[test]
+    fn profiling_never_changes_the_estimate() {
+        let cfg = GenerationPreset::Z15.config();
+        let ws = vec![workloads::microservices(2, 15_000)];
+        let plain = run_weighted(&cfg, &ws, &sp_cfg(), 2, 32, false).expect("plan");
+        let profiled = run_weighted(&cfg, &ws, &sp_cfg(), 2, 32, true).expect("plan");
+        assert_eq!(plain.total, profiled.total);
+        assert!(plain.profile.is_empty());
+        assert!(!profiled.profile.is_empty());
+        // Weighted profile mispredicts reconcile with weighted stats.
+        assert_eq!(profiled.profile.total_mispredicts(), profiled.total.mispredictions());
+    }
+}

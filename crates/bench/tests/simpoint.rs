@@ -1,0 +1,122 @@
+//! E22 acceptance: SimPoint weighted-slice replay at production scale.
+//!
+//! One 2.4-million-instruction suite (six workloads at 400 k each)
+//! replayed twice — in full through the [`Experiment`] engine and as a
+//! SimPoint plan through [`run_weighted`] at the shipped defaults
+//! (4 000-instruction intervals, 10 clusters, one warmup interval,
+//! k-means seed 42). The bars checked here are the ones E22 claims:
+//!
+//! 1. **Accuracy**: the weighted estimate lands within 5% of the
+//!    full-replay suite MPKI.
+//! 2. **Economy**: the plan feeds (warmup + simulate) at most 25% of
+//!    the suite's instructions.
+//! 3. **Determinism**: manifests are byte-identical and merged
+//!    statistics equal across `threads = 1` vs `8` and across reruns
+//!    with the same seeds.
+
+use zbp_bench::{run_weighted, Experiment, SimPointSuiteResult, DEFAULT_HARNESS_DEPTH};
+use zbp_core::GenerationPreset;
+use zbp_simpoint::SimPointConfig;
+use zbp_trace::workloads;
+
+const INSTRS_PER_WORKLOAD: u64 = 400_000;
+const SEED: u64 = 1234;
+
+fn sp_cfg() -> SimPointConfig {
+    SimPointConfig { interval_instrs: 4_000, clusters: 10, warmup_intervals: 1, seed: 42 }
+}
+
+fn sampled(threads: usize) -> SimPointSuiteResult {
+    let suite = workloads::suite(SEED, INSTRS_PER_WORKLOAD);
+    run_weighted(
+        &GenerationPreset::Z15.config(),
+        &suite,
+        &sp_cfg(),
+        threads,
+        DEFAULT_HARNESS_DEPTH,
+        false,
+    )
+    .expect("suite workloads are non-empty")
+}
+
+fn manifest_bytes(r: &SimPointSuiteResult) -> Vec<Vec<u8>> {
+    r.workloads
+        .iter()
+        .map(|w| {
+            let mut buf = Vec::new();
+            w.manifest.write(&mut buf).expect("serializing to memory cannot fail");
+            buf
+        })
+        .collect()
+}
+
+#[test]
+fn weighted_replay_reproduces_full_replay_within_tolerance() {
+    let suite = workloads::suite(SEED, INSTRS_PER_WORKLOAD);
+    let full = Experiment::new(&GenerationPreset::Z15.config())
+        .name("simpoint-acceptance")
+        .workloads(suite)
+        .threads(8)
+        .json(None)
+        .run();
+    let full_total = full.entries[0].total;
+    let sp = sampled(8);
+
+    assert!(
+        sp.total_instrs() >= 2_000_000,
+        "acceptance runs at production scale; got {} instructions",
+        sp.total_instrs()
+    );
+
+    // 1. Accuracy: suite estimate within 5% of full replay.
+    let err = (sp.total.mpki() - full_total.mpki()).abs() / full_total.mpki();
+    assert!(
+        err <= 0.05,
+        "suite estimate {:.3} MPKI vs full {:.3} MPKI is {:.1}% off (> 5%)",
+        sp.total.mpki(),
+        full_total.mpki(),
+        100.0 * err,
+    );
+
+    // 2. Economy: warmup + simulate feeds at most a quarter of the
+    // suite. (`simulated_instrs` counts only the weighted windows and
+    // is smaller still.)
+    assert!(
+        4 * sp.fed_instrs() <= sp.total_instrs(),
+        "plan feeds {} of {} instructions (> 25%)",
+        sp.fed_instrs(),
+        sp.total_instrs(),
+    );
+    assert!(sp.simulated_instrs() <= sp.fed_instrs());
+
+    // The weighted instruction total must reconstruct the source scale;
+    // MPKI numerator and denominator are otherwise incomparable.
+    let scale_err = (sp.total.instructions.get() as f64 - sp.total_instrs() as f64).abs()
+        / sp.total_instrs() as f64;
+    assert!(scale_err < 0.25, "weighted instructions off by {:.1}%", 100.0 * scale_err);
+}
+
+#[test]
+fn plan_and_statistics_are_thread_count_invariant_and_rerunnable() {
+    let t1 = sampled(1);
+    let t8 = sampled(8);
+    let rerun = sampled(8);
+
+    // 3a. Byte-identical manifests at any thread count and on rerun.
+    let (b1, b8, br) = (manifest_bytes(&t1), manifest_bytes(&t8), manifest_bytes(&rerun));
+    assert_eq!(b1, b8, "manifest bytes must not depend on --threads");
+    assert_eq!(b8, br, "manifest bytes must not change across reruns");
+
+    // 3b. Merged statistics equal in every cell and in the totals.
+    assert_eq!(t1.total, t8.total, "suite-merged stats must not depend on --threads");
+    assert_eq!(t8.total, rerun.total, "suite-merged stats must not change across reruns");
+    for (w1, w8) in t1.workloads.iter().zip(&t8.workloads) {
+        assert_eq!(w1.workload, w8.workload);
+        assert_eq!(w1.estimated, w8.estimated, "{} estimate moved with --threads", w1.workload);
+        assert_eq!(w1.flushes, w8.flushes);
+        assert_eq!(w1.cells.len(), w8.cells.len());
+        for (c1, c8) in w1.cells.iter().zip(&w8.cells) {
+            assert_eq!(c1.stats, c8.stats);
+        }
+    }
+}

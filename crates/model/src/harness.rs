@@ -66,6 +66,7 @@ pub struct ReplayCore {
     inflight: VecDeque<(BranchRecord, Prediction, Option<MispredictKind>)>,
     out: RunStats,
     branch_idx: u64,
+    warmup_left: u64,
 }
 
 /// The result of one replay run.
@@ -105,6 +106,33 @@ impl ReplayCore {
         self
     }
 
+    /// Declares the next `records` fed records as *warmup*: they run
+    /// the full predict/resolve/flush protocol — predictor state
+    /// evolves exactly as in a live replay — but nothing lands in the
+    /// statistics, flush count, profile, or harness telemetry. This is
+    /// the slice-window mechanism SimPoint-style weighted replay needs:
+    /// a slice's measured window starts from a trained predictor
+    /// without charging the training to the result.
+    ///
+    /// Call before feeding; calling mid-stream marks the *next*
+    /// `records` as warmup. Warmup records still count toward
+    /// [`branches_fed`](Self::branches_fed).
+    pub fn set_warmup(&mut self, records: u64) {
+        self.warmup_left = records;
+    }
+
+    /// Builder form of [`set_warmup`](Self::set_warmup).
+    #[must_use]
+    pub fn with_warmup(mut self, records: u64) -> Self {
+        self.set_warmup(records);
+        self
+    }
+
+    /// Warmup records still pending (0 once measurement has begun).
+    pub fn warmup_remaining(&self) -> u64 {
+        self.warmup_left
+    }
+
     /// The configured in-flight depth.
     pub fn depth(&self) -> usize {
         self.depth
@@ -134,25 +162,38 @@ impl ReplayCore {
         tel: &mut Telemetry,
     ) {
         let p = pred.predict_on(rec.thread, rec.addr, rec.class());
-        let kind = self.out.stats.record(&p, rec);
-        if let Some(table) = &mut self.out.profile {
-            table.observe(rec, kind);
-        }
+        let warming = self.warmup_left > 0;
+        let kind = if warming {
+            // Warmup: classify (the flush path below must stay
+            // faithful) but record nothing.
+            self.warmup_left -= 1;
+            MispredictKind::classify(&p, rec)
+        } else {
+            let kind = self.out.stats.record(&p, rec);
+            if let Some(table) = &mut self.out.profile {
+                table.observe(rec, kind);
+            }
+            kind
+        };
         self.inflight.push_back((*rec, p, kind));
-        tel.count("harness.branches", 1);
-        tel.record("harness.window_occupancy", self.inflight.len() as u64);
+        if !warming {
+            tel.count("harness.branches", 1);
+            tel.record("harness.window_occupancy", self.inflight.len() as u64);
+        }
 
         if kind.is_some() {
             // Branch-wrong restart: everything up to and including
             // the mispredicted branch completes, the predictor
             // repairs speculative state.
-            tel.count("harness.flushes", 1);
-            tel.instant(Track::Harness, "flush", self.branch_idx);
+            if !warming {
+                tel.count("harness.flushes", 1);
+                tel.instant(Track::Harness, "flush", self.branch_idx);
+                self.out.flushes += 1;
+            }
             while let Some((r, pr, _)) = self.inflight.pop_front() {
                 pred.resolve_on(r.thread, &r, &pr);
             }
             pred.flush_on(rec.thread, rec);
-            self.out.flushes += 1;
         } else {
             while self.inflight.len() > self.depth {
                 let (r, pr, _) = self.inflight.pop_front().expect("non-empty");
@@ -382,6 +423,61 @@ mod tests {
         assert_eq!(snap.counter("harness.flushes"), traced.flushes);
         assert_eq!(snap.spans.len() as u64, traced.flushes, "one flush marker per flush");
         assert_eq!(snap.histogram("harness.window_occupancy").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn warmup_trains_without_counting() {
+        // Two identical taken branches at depth 0. Cold: the first
+        // mispredicts (NT guess). With the first declared warmup, the
+        // predictor is trained by it — so the single *measured* branch
+        // predicts correctly and nothing from warmup leaks into stats.
+        let trace = DynamicTrace::from_records("t", vec![taken_at(0x10), taken_at(0x10)]);
+        let mut tel = Telemetry::enabled();
+        let mut p = LastCompleted::default();
+        let mut core = ReplayCore::new(0).with_warmup(1).with_profiling();
+        assert_eq!(core.warmup_remaining(), 1);
+        for rec in trace.branches() {
+            core.step(&mut p, rec, &mut tel);
+        }
+        assert_eq!(core.warmup_remaining(), 0);
+        assert_eq!(core.branches_fed(), 2, "warmup records are still fed records");
+        let out = core.finish(&mut p, trace.tail_instrs());
+        assert_eq!(out.stats.branches.get(), 1, "only the measured branch counts");
+        assert_eq!(out.stats.mispredictions(), 0, "warmup trained the predictor");
+        assert_eq!(out.flushes, 0, "the warmup flush is not charged");
+        assert_eq!(p.flushes, 1, "but the predictor did see the protocol flush");
+        assert_eq!(p.completions.len(), 2, "warmup records resolve like live ones");
+        let profile = out.profile.expect("profiling on");
+        assert_eq!(profile.get(0x10).unwrap().executions, 1, "profile skips warmup");
+        let snap = tel.into_snapshot();
+        assert_eq!(snap.counter("harness.branches"), 1, "telemetry skips warmup");
+        assert_eq!(snap.counter("harness.flushes"), 0);
+    }
+
+    #[test]
+    fn warmup_equals_prefix_replay_for_measured_suffix_state() {
+        // The measured suffix after warmup must see the exact predictor
+        // state a full replay would have produced at that point.
+        let recs: Vec<BranchRecord> = (0..20).map(|i| taken_at(0x10 + (i % 5) * 0x10)).collect();
+        let trace = DynamicTrace::from_records("t", recs);
+        // Full replay, capturing per-record predictions via stats of a
+        // second run fed only the suffix on a pre-trained predictor.
+        let mut full_pred = LastCompleted::default();
+        let _ = ReplayCore::replay(4, &mut full_pred, &trace);
+        // Warmup replay of the same trace: first 10 records warmup.
+        let mut warm_pred = LastCompleted::default();
+        let mut core = ReplayCore::new(4).with_warmup(10);
+        let mut tel = Telemetry::disabled();
+        for rec in trace.branches() {
+            core.step(&mut warm_pred, rec, &mut tel);
+        }
+        let out = core.finish(&mut warm_pred, 0);
+        assert_eq!(out.stats.branches.get(), 10);
+        // Identical full-protocol history -> identical final predictor
+        // state and completion sequence.
+        assert_eq!(warm_pred.map, full_pred.map);
+        assert_eq!(warm_pred.completions, full_pred.completions);
+        assert_eq!(warm_pred.flushes, full_pred.flushes);
     }
 
     #[test]

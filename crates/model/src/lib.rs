@@ -43,8 +43,6 @@ mod trace;
 pub use branch::{BranchRecord, ThreadId};
 pub use harness::{ReplayCore, RunStats};
 pub use metrics::{Counter, MispredictStats, Ratio};
-#[allow(deprecated)]
-pub use predictor::FullPredictor;
 pub use predictor::{DirectionPredictor, MispredictKind, Prediction, Predictor, TargetPredictor};
 pub use profile::{BranchCounts, BranchTable};
 pub use trace::{DynamicTrace, TraceSummary};

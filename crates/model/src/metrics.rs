@@ -204,6 +204,29 @@ impl MispredictStats {
         self.surprise_indirect_stalls.add(other.surprise_indirect_stalls.get());
         self.taken.add(other.taken.get());
     }
+
+    /// These statistics with every counter multiplied by an integer
+    /// `weight` — the SimPoint reduction: a representative slice's
+    /// counts stand in for `weight` similar slices, so scaling then
+    /// [`merge`](Self::merge)-ing representatives estimates the full
+    /// trace in pure integer arithmetic (ratios like
+    /// [`mpki`](Self::mpki) are still derived only at the edge).
+    /// Saturating, like every counter operation.
+    #[must_use]
+    pub fn scaled(&self, weight: u64) -> MispredictStats {
+        let s = |c: Counter| Counter(c.get().saturating_mul(weight));
+        MispredictStats {
+            branches: s(self.branches),
+            instructions: s(self.instructions),
+            dynamic_predictions: s(self.dynamic_predictions),
+            surprises: s(self.surprises),
+            dynamic_wrong_direction: s(self.dynamic_wrong_direction),
+            dynamic_wrong_target: s(self.dynamic_wrong_target),
+            surprise_wrong_direction: s(self.surprise_wrong_direction),
+            surprise_indirect_stalls: s(self.surprise_indirect_stalls),
+            taken: s(self.taken),
+        }
+    }
 }
 
 impl fmt::Display for MispredictStats {
@@ -305,6 +328,28 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_mpki() {
         assert_eq!(MispredictStats::new().mpki(), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_counter_and_preserves_ratios() {
+        let mut s = MispredictStats::new();
+        s.record(&Prediction::not_taken(), &rec(true, 9));
+        s.record(&Prediction::not_taken(), &rec(false, 9));
+        let w = s.scaled(7);
+        assert_eq!(w.branches.get(), 2 * 7);
+        assert_eq!(w.instructions.get(), 20 * 7);
+        assert_eq!(w.mispredictions(), 7);
+        // Weighting scales numerator and denominator together, so
+        // derived ratios are invariant.
+        assert!((w.mpki() - s.mpki()).abs() < 1e-12);
+        // scale-then-merge equals merging `weight` copies.
+        let mut copies = MispredictStats::new();
+        for _ in 0..7 {
+            copies.merge(&s);
+        }
+        assert_eq!(w, copies);
+        // Saturation instead of overflow.
+        assert_eq!(s.scaled(u64::MAX).instructions.get(), u64::MAX);
     }
 
     #[test]

@@ -213,15 +213,6 @@ pub trait Predictor {
     }
 }
 
-/// Transitional alias for the pre-unification trait name. All harness
-/// bounds now use [`Predictor`]; this empty supertrait exists only so
-/// out-of-tree code keeps compiling through one release.
-#[deprecated(note = "superseded by the unified `Predictor` trait; remove-by: PR-8")]
-pub trait FullPredictor: Predictor {}
-
-#[allow(deprecated)]
-impl<T: Predictor + ?Sized> FullPredictor for T {}
-
 /// Every direction-only baseline plays the full protocol with
 /// direction-only semantics: answers are always "dynamic" (the baseline
 /// has no BTB, so every branch is covered), carry no target, and train

@@ -106,6 +106,31 @@ impl BranchTable {
         self.counts.values().map(BranchCounts::mispredicts).sum()
     }
 
+    /// This table with every count multiplied by an integer `weight` —
+    /// the profile side of the SimPoint reduction (see
+    /// `MispredictStats::scaled`): a representative slice's rows stand
+    /// in for `weight` similar slices before a deterministic
+    /// [`merge`](Self::merge). Saturating.
+    #[must_use]
+    pub fn scaled(&self, weight: u64) -> BranchTable {
+        let counts = self
+            .counts
+            .iter()
+            .map(|(addr, c)| {
+                (
+                    *addr,
+                    BranchCounts {
+                        executions: c.executions.saturating_mul(weight),
+                        taken: c.taken.saturating_mul(weight),
+                        wrong_direction: c.wrong_direction.saturating_mul(weight),
+                        wrong_target: c.wrong_target.saturating_mul(weight),
+                    },
+                )
+            })
+            .collect();
+        BranchTable { counts }
+    }
+
     /// Folds `other` into `self`, row by row. Integer-additive and
     /// key-merged, so the result is independent of merge order.
     pub fn merge(&mut self, other: &BranchTable) {
@@ -191,6 +216,28 @@ mod tests {
         reversed.reverse();
         assert_eq!(BranchTable::merge_keyed(reversed), reference);
         assert_eq!(reference.static_branches(), 4);
+    }
+
+    #[test]
+    fn scaled_equals_merging_weight_copies() {
+        let t = table(&[
+            (0x10, true, Some(MispredictKind::Direction)),
+            (0x10, false, None),
+            (0x20, true, Some(MispredictKind::Target)),
+        ]);
+        let scaled = t.scaled(5);
+        let mut copies = BranchTable::new();
+        for _ in 0..5 {
+            copies.merge(&t);
+        }
+        assert_eq!(scaled, copies);
+        assert_eq!(scaled.get(0x10).unwrap().executions, 10);
+        assert_eq!(scaled.total_mispredicts(), 10);
+        // Per-branch rates are weight-invariant.
+        assert_eq!(
+            scaled.get(0x10).unwrap().mispredict_rate(),
+            t.get(0x10).unwrap().mispredict_rate()
+        );
     }
 
     #[test]

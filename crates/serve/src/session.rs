@@ -186,6 +186,19 @@ impl Session {
         }
     }
 
+    /// Arms warmup for a delayed-mode session: the next `records` fed
+    /// records run the full predict/resolve/flush protocol — so
+    /// predictor state evolves exactly as in live replay — but are
+    /// excluded from statistics, profiling, and telemetry. This is the
+    /// SimPoint slice-replay entry point: feed the warmup prefix, then
+    /// the measured slice, in one stream. Whole-stream modes ignore the
+    /// request.
+    pub fn set_warmup(&mut self, records: u64) {
+        if let Engine::Delayed { core, .. } = &mut self.engine {
+            core.set_warmup(records);
+        }
+    }
+
     /// The stream label.
     pub fn label(&self) -> &str {
         &self.label

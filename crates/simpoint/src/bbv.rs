@@ -1,0 +1,209 @@
+//! Basic-block-vector extraction: slicing a trace into
+//! fixed-instruction intervals and fingerprinting each interval's
+//! control-flow mix.
+//!
+//! In branch-trace form, every record terminates one straight-line run
+//! of `1 + gap_instrs` instructions ending at a static branch site —
+//! exactly a basic block keyed by its terminating branch address. An
+//! interval's fingerprint is "how many instructions did each block
+//! contribute", which is the SimPoint BBV by another route: two
+//! intervals executing the same code mix get near-identical vectors,
+//! two different phases (loop kernel vs. dispatcher, say) get distant
+//! ones.
+//!
+//! Full per-block dimensionality is wasteful (and variable), so block
+//! counts are projected into [`BBV_DIMS`] fixed dimensions by hashing
+//! the block address — the standard random-projection step, made
+//! deterministic by using a fixed mix function instead of a seeded
+//! matrix. Vectors stay `u64` counts; normalization for clustering is
+//! fixed-point ([`Interval::normalized`]), so the whole pipeline is
+//! integer arithmetic.
+
+use zbp_model::DynamicTrace;
+
+/// Projected BBV dimensionality. 64 hashed buckets is plenty to
+/// separate synthetic-suite phases while keeping k-means distance
+/// computations cheap and allocation-free.
+pub const BBV_DIMS: usize = 64;
+
+/// Default interval granularity, in instructions. SimPoint's classic
+/// choice is 10–100 M for full programs; the synthetic suite's phases
+/// are much shorter, so the default slices finer.
+pub const DEFAULT_INTERVAL_INSTRS: u64 = 100_000;
+
+/// Fixed-point scale for normalized vectors (`1.0` == `1 << 16`).
+pub(crate) const FIXED_ONE: u64 = 1 << 16;
+
+/// One fixed-instruction interval of a trace, with its BBV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Position in the interval sequence (0-based).
+    pub index: usize,
+    /// First record of the interval.
+    pub first_record: usize,
+    /// Number of records in the interval.
+    pub record_count: usize,
+    /// Instructions covered (the final interval also absorbs the
+    /// trace's straight-line tail).
+    pub instrs: u64,
+    vector: [u64; BBV_DIMS],
+}
+
+impl Interval {
+    /// The raw projected block-execution vector (instruction counts
+    /// per hashed dimension).
+    pub fn vector(&self) -> &[u64; BBV_DIMS] {
+        &self.vector
+    }
+
+    /// The vector normalized to fixed point so intervals of slightly
+    /// different lengths compare by *mix*, not by size: entries sum to
+    /// ~`1 << 16`.
+    pub fn normalized(&self) -> [u64; BBV_DIMS] {
+        let mut out = [0u64; BBV_DIMS];
+        if self.instrs == 0 {
+            return out;
+        }
+        for (o, v) in out.iter_mut().zip(self.vector.iter()) {
+            *o = v * FIXED_ONE / self.instrs;
+        }
+        out
+    }
+}
+
+/// SplitMix64 finalizer — the same deterministic mix the workspace's
+/// RNG seeding uses, here as the BBV projection hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Slices `trace` into intervals of at least `interval_instrs`
+/// instructions (record boundaries are never split; the last interval
+/// may be short and also absorbs the trace tail). Returns one
+/// [`Interval`] per slice, in trace order. An empty trace yields no
+/// intervals.
+pub fn extract_bbv(trace: &DynamicTrace, interval_instrs: u64) -> Vec<Interval> {
+    let interval_instrs = interval_instrs.max(1);
+    let records = trace.as_slice();
+    let mut out = Vec::new();
+    let mut first = 0usize;
+    let mut instrs = 0u64;
+    let mut vector = [0u64; BBV_DIMS];
+    for (i, rec) in records.iter().enumerate() {
+        let weight = 1 + u64::from(rec.gap_instrs);
+        let dim = (mix64(rec.addr.raw()) % BBV_DIMS as u64) as usize;
+        vector[dim] += weight;
+        instrs += weight;
+        if instrs >= interval_instrs {
+            out.push(Interval {
+                index: out.len(),
+                first_record: first,
+                record_count: i + 1 - first,
+                instrs,
+                vector,
+            });
+            first = i + 1;
+            instrs = 0;
+            vector = [0u64; BBV_DIMS];
+        }
+    }
+    if first < records.len() {
+        out.push(Interval {
+            index: out.len(),
+            first_record: first,
+            record_count: records.len() - first,
+            instrs,
+            vector,
+        });
+    }
+    if let Some(last) = out.last_mut() {
+        last.instrs += trace.tail_instrs();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_model::BranchRecord;
+    use zbp_trace::workloads;
+    use zbp_zarch::{InstrAddr, Mnemonic};
+
+    fn rec(addr: u64, gap: u32) -> BranchRecord {
+        BranchRecord::new(InstrAddr::new(addr), Mnemonic::Brc, true, InstrAddr::new(addr + 8))
+            .with_gap(gap)
+    }
+
+    #[test]
+    fn intervals_partition_the_trace_exactly() {
+        let t = workloads::lspr_like(3, 50_000).dynamic_trace();
+        let iv = extract_bbv(&t, 5_000);
+        assert!(iv.len() >= 9, "50k instructions at 5k granularity: {}", iv.len());
+        // Record ranges tile the trace with no gaps or overlaps.
+        let mut next = 0usize;
+        for (i, v) in iv.iter().enumerate() {
+            assert_eq!(v.index, i);
+            assert_eq!(v.first_record, next);
+            assert!(v.record_count > 0);
+            next += v.record_count;
+        }
+        assert_eq!(next as u64, t.branch_count());
+        // Instruction totals reconstruct the trace exactly (tail
+        // included in the final interval).
+        let total: u64 = iv.iter().map(|v| v.instrs).sum();
+        assert_eq!(total, t.instruction_count());
+        // Vector mass equals interval instructions (minus the tail,
+        // which has no block).
+        for v in &iv[..iv.len() - 1] {
+            assert_eq!(v.vector().iter().sum::<u64>(), v.instrs);
+        }
+    }
+
+    #[test]
+    fn identical_code_mixes_get_identical_normalized_vectors() {
+        let mut t = DynamicTrace::new("t");
+        // Two intervals executing the same two blocks in the same
+        // proportion, at different absolute lengths.
+        for _ in 0..10 {
+            t.push(rec(0x100, 4));
+            t.push(rec(0x200, 9));
+        }
+        for _ in 0..20 {
+            t.push(rec(0x100, 4));
+            t.push(rec(0x200, 9));
+        }
+        let iv = extract_bbv(&t, 150); // first interval: 10 pairs
+        assert!(iv.len() >= 2);
+        assert_eq!(iv[0].normalized(), iv[1].normalized());
+    }
+
+    #[test]
+    fn different_code_gets_different_vectors() {
+        let mut t = DynamicTrace::new("t");
+        for i in 0..50 {
+            t.push(rec(0x1000 + (i % 3) * 0x40, 3));
+        }
+        for i in 0..50 {
+            t.push(rec(0x9000 + (i % 7) * 0x40, 3));
+        }
+        let iv = extract_bbv(&t, 200);
+        assert!(iv.len() >= 2);
+        assert_ne!(iv[0].normalized(), iv[iv.len() - 1].normalized());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_intervals() {
+        let mut t = DynamicTrace::new("empty");
+        t.push_tail_instrs(500);
+        assert!(extract_bbv(&t, 1_000).is_empty());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let t = workloads::microservices(9, 30_000).dynamic_trace();
+        assert_eq!(extract_bbv(&t, 3_000), extract_bbv(&t, 3_000));
+    }
+}

@@ -1,0 +1,246 @@
+//! Seeded integer k-means over normalized BBVs.
+//!
+//! SimPoint's clustering step, restated under the workspace's
+//! determinism contract: the same `(vectors, k, seed)` must produce the
+//! same [`Clustering`] on every machine, every run, at every thread
+//! count. That rules out floating-point accumulation (platform-varying
+//! rounding) and unordered iteration, so everything here is integer
+//! arithmetic with total, index-ordered tie-breaking:
+//!
+//! * distances are sums of squared differences in `u128` (normalized
+//!   coordinates are ≤ `1 << 16`, so 64 squared terms cannot overflow);
+//! * initialization is one seeded random pick plus farthest-point
+//!   selection for the remaining centers (k-means++ without the
+//!   float-weighted sampling — greedy, but deterministic);
+//! * assignment ties go to the lowest cluster index, representative
+//!   ties to the lowest interval index;
+//! * centroid updates are elementwise integer means.
+//!
+//! The loop runs until assignments stabilize or [`MAX_ITERATIONS`],
+//! whichever comes first. Lloyd's algorithm with integer centroids can
+//! in principle oscillate between rounding-equivalent states, so the
+//! cap is a hard guarantee of termination, not a tuning knob.
+
+use crate::bbv::BBV_DIMS;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Hard iteration cap; stable assignments usually arrive in < 20.
+pub const MAX_ITERATIONS: u32 = 100;
+
+/// The result of clustering interval vectors into phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `assignments[i]` is the cluster of input vector `i`.
+    pub assignments: Vec<u32>,
+    /// One input index per cluster: the member closest to the final
+    /// centroid. Indexed by cluster id.
+    pub representatives: Vec<usize>,
+    /// Cluster populations, aligned with `representatives`. Weights
+    /// sum to the input count.
+    pub weights: Vec<u64>,
+    /// Lloyd iterations executed before assignments stabilized.
+    pub iterations: u32,
+}
+
+fn distance(a: &[u64; BBV_DIMS], b: &[u64; BBV_DIMS]) -> u128 {
+    let mut sum = 0u128;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x.abs_diff(*y) as u128;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Farthest-point seeding after one seeded random pick: each further
+/// center is the vector maximizing distance to its nearest existing
+/// center (ties → lowest index).
+fn initial_centers(vectors: &[[u64; BBV_DIMS]], k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centers = vec![rng.random_range(0..vectors.len())];
+    while centers.len() < k {
+        let mut best = (0usize, 0u128);
+        for (i, v) in vectors.iter().enumerate() {
+            let near = centers.iter().map(|&c| distance(v, &vectors[c])).min().unwrap_or(0);
+            if near > best.1 {
+                best = (i, near);
+            }
+        }
+        if best.1 == 0 {
+            break; // fewer distinct vectors than requested clusters
+        }
+        centers.push(best.0);
+    }
+    centers
+}
+
+/// Clusters `vectors` (normalized BBVs) into at most `k` phases with a
+/// deterministic, seeded k-means. Returns an empty clustering for empty
+/// input; duplicate-heavy inputs may produce fewer than `k` clusters
+/// (empty clusters are compacted away, so every cluster id in the
+/// result has at least one member).
+pub fn cluster(vectors: &[[u64; BBV_DIMS]], k: usize, seed: u64) -> Clustering {
+    if vectors.is_empty() || k == 0 {
+        return Clustering {
+            assignments: Vec::new(),
+            representatives: Vec::new(),
+            weights: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let k = k.min(vectors.len());
+    let mut centroids: Vec<[u64; BBV_DIMS]> =
+        initial_centers(vectors, k, seed).into_iter().map(|i| vectors[i]).collect();
+    let k = centroids.len();
+
+    let mut assignments = vec![0u32; vectors.len()];
+    let mut iterations = 0u32;
+    while iterations < MAX_ITERATIONS {
+        iterations += 1;
+        // Assign: nearest centroid, ties to the lowest cluster index.
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let mut best = (0u32, u128::MAX);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = distance(v, centroid);
+                if d < best.1 {
+                    best = (c as u32, d);
+                }
+            }
+            if assignments[i] != best.0 {
+                assignments[i] = best.0;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            iterations -= 1; // the no-op confirmation pass doesn't count
+            break;
+        }
+        // Update: elementwise integer mean; empty clusters keep their
+        // old centroid so ids stay stable during iteration.
+        let mut sums = vec![[0u64; BBV_DIMS]; k];
+        let mut counts = vec![0u64; k];
+        for (v, &a) in vectors.iter().zip(assignments.iter()) {
+            let s = &mut sums[a as usize];
+            for (acc, x) in s.iter_mut().zip(v.iter()) {
+                *acc += x;
+            }
+            counts[a as usize] += 1;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            for (dst, total) in centroid.iter_mut().zip(sums[c].iter()) {
+                if let Some(mean) = total.checked_div(counts[c]) {
+                    *dst = mean;
+                }
+            }
+        }
+    }
+
+    // Representatives: per cluster, the member closest to the final
+    // centroid (ties → lowest input index). Then compact away clusters
+    // that ended empty.
+    let mut reps: Vec<Option<(usize, u128)>> = vec![None; k];
+    let mut weights = vec![0u64; k];
+    for (i, v) in vectors.iter().enumerate() {
+        let c = assignments[i] as usize;
+        weights[c] += 1;
+        let d = distance(v, &centroids[c]);
+        let better = match reps[c] {
+            None => true,
+            Some((_, best)) => d < best,
+        };
+        if better {
+            reps[c] = Some((i, d));
+        }
+    }
+    let mut remap = vec![u32::MAX; k];
+    let mut representatives = Vec::new();
+    let mut kept_weights = Vec::new();
+    for c in 0..k {
+        if let Some((rep, _)) = reps[c] {
+            remap[c] = representatives.len() as u32;
+            representatives.push(rep);
+            kept_weights.push(weights[c]);
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a as usize];
+    }
+    Clustering { assignments, representatives, weights: kept_weights, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_at(hot: usize, mass: u64) -> [u64; BBV_DIMS] {
+        let mut v = [0u64; BBV_DIMS];
+        v[hot] = mass;
+        v
+    }
+
+    #[test]
+    fn separable_phases_cluster_cleanly() {
+        // Three obvious phases: mass on dims 0, 20, 40, with slight
+        // per-member jitter on a side dimension.
+        let mut vectors = Vec::new();
+        for i in 0..12usize {
+            let mut v = vec_at((i % 3) * 20, 60_000);
+            v[63] = (i as u64) * 7;
+            vectors.push(v);
+        }
+        let c = cluster(&vectors, 3, 42);
+        assert_eq!(c.representatives.len(), 3);
+        assert_eq!(c.weights.iter().sum::<u64>(), 12);
+        assert_eq!(c.weights, vec![4, 4, 4]);
+        // Members of the same phase share a cluster.
+        for i in 0..12 {
+            assert_eq!(c.assignments[i], c.assignments[i % 3], "vector {i}");
+        }
+        // Each representative belongs to the cluster it represents.
+        for (cid, &rep) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignments[rep] as usize, cid);
+        }
+    }
+
+    #[test]
+    fn clustering_is_deterministic_for_a_seed() {
+        let vectors: Vec<[u64; BBV_DIMS]> =
+            (0..30).map(|i| vec_at(i % 5 * 10, 50_000 + (i as u64 % 7) * 100)).collect();
+        let a = cluster(&vectors, 4, 7);
+        let b = cluster(&vectors, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_vectors_collapse_clusters() {
+        // Only two distinct vectors: asking for 5 clusters must not
+        // panic or emit empty clusters.
+        let vectors: Vec<[u64; BBV_DIMS]> =
+            (0..10).map(|i| vec_at(if i % 2 == 0 { 0 } else { 32 }, 65_536)).collect();
+        let c = cluster(&vectors, 5, 3);
+        assert_eq!(c.representatives.len(), 2);
+        assert_eq!(c.weights.iter().sum::<u64>(), 10);
+        assert!(c.weights.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn k_larger_than_input_clamps() {
+        let vectors = vec![vec_at(0, 100), vec_at(1, 100)];
+        let c = cluster(&vectors, 16, 0);
+        assert_eq!(c.representatives.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_and_zero_k_yield_empty_clustering() {
+        assert!(cluster(&[], 3, 0).representatives.is_empty());
+        assert!(cluster(&[vec_at(0, 1)], 0, 0).representatives.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_covers_everything() {
+        let vectors: Vec<[u64; BBV_DIMS]> = (0..6).map(|i| vec_at(i, 1_000)).collect();
+        let c = cluster(&vectors, 1, 9);
+        assert_eq!(c.weights, vec![6]);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,178 @@
+//! # zbp-simpoint — SimPoint-style trace sampling
+//!
+//! The paper's evaluation replays LSPR production traces through the
+//! model (§VII); the measurement-driven related work ("Branch
+//! Prediction Is Not a Solved Problem") shows the behavior that
+//! matters — H2P branches, phase changes — only emerges at
+//! billions-of-instructions scale. Replaying traces that long in full
+//! is off the table, and the standard answer since Sherwood et al.'s
+//! SimPoint is to *sample*: slice the trace into fixed-instruction
+//! intervals, fingerprint each interval with a basic-block vector
+//! (BBV), cluster the fingerprints into phases, and replay one
+//! representative slice per phase with a weight.
+//!
+//! This crate is that pipeline, kept deterministic end to end so the
+//! workspace's byte-identical-results contract survives sampling:
+//!
+//! * [`bbv`] — interval slicing + BBV extraction. Vectors are integer
+//!   block-execution counts projected into [`bbv::BBV_DIMS`] hashed
+//!   dimensions and normalized in fixed point — no floats anywhere.
+//! * [`kmeans`] — a seeded, integer-arithmetic k-means with
+//!   farthest-point initialization and index-ordered tie-breaking:
+//!   the same `(vectors, k, seed)` always produces the same clusters,
+//!   on any machine, at any thread count.
+//! * [`manifest`] — the [`SimPointManifest`] artifact: slice offsets,
+//!   warmup lengths, and integer weights, serialized alongside a
+//!   `.zbt2` container with the same magic/version/checksum hygiene.
+//! * [`resolve_window`] — maps a container's instruction-granular
+//!   [`ReplayWindow`] onto record ranges, the bridge between stored
+//!   intent and `Session`/`ReplayCore` warmup replay.
+//!
+//! The replay side lives in `zbp-bench` (`weighted_replay`), which
+//! scales each representative's statistics by its integer weight and
+//! merges them in slice order — the D3-clean reduction the determinism
+//! lints enforce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbv;
+pub mod kmeans;
+pub mod manifest;
+
+pub use bbv::{extract_bbv, Interval, BBV_DIMS, DEFAULT_INTERVAL_INSTRS};
+pub use kmeans::{cluster, Clustering};
+pub use manifest::{SimPointConfig, SimPointError, SimPointManifest, SliceSpec};
+
+use zbp_model::DynamicTrace;
+use zbp_trace::ReplayWindow;
+
+/// A [`ReplayWindow`] resolved onto one concrete trace: record ranges
+/// for the warmup and measured regions, plus the straight-line tail to
+/// account if the measured region reaches the end of the trace.
+///
+/// Boundaries are at record granularity: a record carrying
+/// `1 + gap_instrs` instructions belongs to the region its *last*
+/// instruction falls into, so the measured region never starts
+/// mid-record and instruction accounting stays exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolvedWindow {
+    /// First record of the warmup region.
+    pub warmup_first_record: u64,
+    /// Records replayed as warmup (statistics off).
+    pub warmup_records: u64,
+    /// First measured record.
+    pub first_record: u64,
+    /// Measured records.
+    pub records: u64,
+    /// Tail instructions to account at `finish` (non-zero only when
+    /// the measured region includes the final record).
+    pub tail_instrs: u64,
+}
+
+/// Resolves an instruction-granular [`ReplayWindow`] onto `trace`'s
+/// records. `simulate == 0` measures to the end of the trace; a window
+/// larger than the trace simply clamps.
+pub fn resolve_window(trace: &DynamicTrace, window: ReplayWindow) -> ResolvedWindow {
+    let records = trace.as_slice();
+    let warmup_end_instr = window.skip.saturating_add(window.warmup);
+    let measure_end_instr = if window.simulate == 0 {
+        u64::MAX
+    } else {
+        warmup_end_instr.saturating_add(window.simulate)
+    };
+    let mut cum = 0u64;
+    let (mut skip_end, mut warmup_end, mut measure_end) = (0usize, 0usize, 0usize);
+    for (i, rec) in records.iter().enumerate() {
+        cum += 1 + u64::from(rec.gap_instrs);
+        if cum <= window.skip {
+            skip_end = i + 1;
+        }
+        if cum <= warmup_end_instr {
+            warmup_end = i + 1;
+        }
+        if cum <= measure_end_instr {
+            measure_end = i + 1;
+        }
+    }
+    let warmup_end = warmup_end.max(skip_end);
+    let measure_end = measure_end.max(warmup_end);
+    ResolvedWindow {
+        warmup_first_record: skip_end as u64,
+        warmup_records: (warmup_end - skip_end) as u64,
+        first_record: warmup_end as u64,
+        records: (measure_end - warmup_end) as u64,
+        tail_instrs: if measure_end == records.len() { trace.tail_instrs() } else { 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_model::BranchRecord;
+    use zbp_zarch::{InstrAddr, Mnemonic};
+
+    fn trace_of(gaps: &[u32], tail: u64) -> DynamicTrace {
+        let mut t = DynamicTrace::new("w");
+        for (i, g) in gaps.iter().enumerate() {
+            let addr = 0x1000 + i as u64 * 0x10;
+            let rec = BranchRecord::new(
+                InstrAddr::new(addr),
+                Mnemonic::Brc,
+                true,
+                InstrAddr::new(addr + 0x100),
+            )
+            .with_gap(*g);
+            t.push(rec);
+        }
+        t.push_tail_instrs(tail);
+        t
+    }
+
+    #[test]
+    fn zero_window_measures_everything() {
+        let t = trace_of(&[4, 4, 4], 10);
+        let r = resolve_window(&t, ReplayWindow::default());
+        assert_eq!(r.warmup_records, 0);
+        assert_eq!(r.first_record, 0);
+        assert_eq!(r.records, 3);
+        assert_eq!(r.tail_instrs, 10);
+    }
+
+    #[test]
+    fn skip_warmup_simulate_partition_records() {
+        // Records carry 5 instructions each (1 + gap 4): instr
+        // boundaries at 5, 10, 15, 20.
+        let t = trace_of(&[4, 4, 4, 4], 7);
+        let r = resolve_window(&t, ReplayWindow { skip: 5, warmup: 5, simulate: 5 });
+        assert_eq!(r.warmup_first_record, 1);
+        assert_eq!(r.warmup_records, 1);
+        assert_eq!(r.first_record, 2);
+        assert_eq!(r.records, 1);
+        assert_eq!(r.tail_instrs, 0, "measurement stops before the end");
+        // simulate=0 runs to the end and picks up the tail.
+        let r = resolve_window(&t, ReplayWindow { skip: 5, warmup: 5, simulate: 0 });
+        assert_eq!(r.records, 2);
+        assert_eq!(r.tail_instrs, 7);
+    }
+
+    #[test]
+    fn mid_record_boundaries_round_down() {
+        // skip of 3 lands mid-record (records are 5 instructions):
+        // nothing is skipped, the boundary rounds to the record start.
+        let t = trace_of(&[4, 4], 0);
+        let r = resolve_window(&t, ReplayWindow { skip: 3, warmup: 0, simulate: 0 });
+        assert_eq!(r.warmup_first_record, 0);
+        assert_eq!(r.first_record, 0);
+        assert_eq!(r.records, 2);
+    }
+
+    #[test]
+    fn oversized_window_clamps() {
+        let t = trace_of(&[4, 4], 3);
+        let r = resolve_window(&t, ReplayWindow { skip: 1_000, warmup: 1_000, simulate: 5 });
+        assert_eq!(r.records, 0);
+        assert_eq!(r.warmup_records, 0);
+        assert_eq!(r.warmup_first_record, 2);
+    }
+}

@@ -1,0 +1,461 @@
+//! The SimPoint manifest: which slices to replay, with what warmup,
+//! at what weight.
+//!
+//! A [`SimPointManifest`] is the durable output of the BBV + k-means
+//! pipeline — a small artifact saved next to its `.zbt2` container that
+//! lets any later session replay `k` representative slices instead of
+//! the whole trace and reconstruct suite-level statistics by integer
+//! weighting. It carries everything replay needs (record offsets,
+//! warmup ranges, weights, the trace tail) and everything validation
+//! needs (source label, seed, interval size, totals), serialized in the
+//! same magic/version/checksum discipline as the trace container
+//! (`ZSPM` v1, FNV-1a checked, trailing bytes rejected).
+
+use crate::bbv::{extract_bbv, Interval};
+use crate::kmeans::cluster;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use zbp_model::DynamicTrace;
+use zbp_trace::{fnv1a32, LoadTraceError};
+
+const MAGIC: &[u8; 4] = b"ZSPM";
+const VERSION: u32 = 1;
+
+/// Knobs for [`SimPointManifest::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimPointConfig {
+    /// Interval granularity in instructions (BBV slicing unit).
+    pub interval_instrs: u64,
+    /// Maximum phase clusters (= representative slices) to select.
+    pub clusters: usize,
+    /// Intervals replayed before each representative to warm predictor
+    /// state (statistics off).
+    pub warmup_intervals: usize,
+    /// Seed for the k-means initialization.
+    pub seed: u64,
+}
+
+impl Default for SimPointConfig {
+    fn default() -> Self {
+        SimPointConfig {
+            interval_instrs: crate::bbv::DEFAULT_INTERVAL_INSTRS,
+            clusters: 8,
+            warmup_intervals: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// An error building a manifest.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SimPointError {
+    /// The trace has no branch records — nothing to slice.
+    EmptyTrace,
+}
+
+impl fmt::Display for SimPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimPointError::EmptyTrace => f.write_str("trace has no branch records to sample"),
+        }
+    }
+}
+
+impl std::error::Error for SimPointError {}
+
+/// One representative slice: a contiguous record range, its warmup
+/// prefix, and the number of intervals it stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// Phase cluster this slice represents.
+    pub cluster: u32,
+    /// Interval index of the representative within the source trace.
+    pub interval: u64,
+    /// First measured record.
+    pub first_record: u64,
+    /// Measured records.
+    pub record_count: u64,
+    /// Instructions in the measured range (the trace-final slice also
+    /// counts the straight-line tail).
+    pub instrs: u64,
+    /// First warmup record (equals `first_record` when there is no
+    /// warmup).
+    pub warmup_first_record: u64,
+    /// Warmup records replayed with statistics off.
+    pub warmup_records: u64,
+    /// Intervals this slice stands in for (its cluster population);
+    /// replay multiplies the slice's statistics by this integer.
+    pub weight: u64,
+}
+
+/// The weighted-slice replay plan for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimPointManifest {
+    /// Label of the source trace (sanity-checked at replay).
+    pub label: String,
+    /// k-means seed the clustering used.
+    pub seed: u64,
+    /// Interval granularity the BBV pass used.
+    pub interval_instrs: u64,
+    /// Intervals the source trace sliced into.
+    pub intervals: u64,
+    /// Records in the source trace.
+    pub total_records: u64,
+    /// Instructions in the source trace (tail included).
+    pub total_instrs: u64,
+    /// Straight-line tail of the source trace, charged to the slice
+    /// containing the final record.
+    pub tail_instrs: u64,
+    /// Representative slices in trace order.
+    pub slices: Vec<SliceSpec>,
+}
+
+impl SimPointManifest {
+    /// Runs the full pipeline — BBV extraction, seeded k-means, warmup
+    /// attachment — and returns the replay plan. Deterministic: the
+    /// same trace and config always produce the identical manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`SimPointError::EmptyTrace`] if the trace has no records.
+    pub fn build(trace: &DynamicTrace, config: &SimPointConfig) -> Result<Self, SimPointError> {
+        let intervals = extract_bbv(trace, config.interval_instrs);
+        if intervals.is_empty() {
+            return Err(SimPointError::EmptyTrace);
+        }
+        let vectors: Vec<_> = intervals.iter().map(Interval::normalized).collect();
+        let clustering = cluster(&vectors, config.clusters.max(1), config.seed);
+        let mut slices: Vec<SliceSpec> = clustering
+            .representatives
+            .iter()
+            .enumerate()
+            .map(|(cid, &rep)| {
+                let iv = &intervals[rep];
+                let warmup_start = rep.saturating_sub(config.warmup_intervals);
+                let warmup_first_record = intervals[warmup_start].first_record as u64;
+                SliceSpec {
+                    cluster: cid as u32,
+                    interval: rep as u64,
+                    first_record: iv.first_record as u64,
+                    record_count: iv.record_count as u64,
+                    instrs: iv.instrs,
+                    warmup_first_record,
+                    warmup_records: iv.first_record as u64 - warmup_first_record,
+                    weight: clustering.weights[cid],
+                }
+            })
+            .collect();
+        slices.sort_by_key(|s| s.first_record);
+        Ok(SimPointManifest {
+            label: trace.label().to_string(),
+            seed: config.seed,
+            interval_instrs: config.interval_instrs,
+            intervals: intervals.len() as u64,
+            total_records: trace.branch_count(),
+            total_instrs: trace.instruction_count(),
+            tail_instrs: trace.tail_instrs(),
+            slices,
+        })
+    }
+
+    /// Measured records across all slices (warmup excluded).
+    pub fn simulated_records(&self) -> u64 {
+        self.slices.iter().map(|s| s.record_count).sum()
+    }
+
+    /// Measured instructions across all slices (warmup excluded) — the
+    /// numerator of the sampling-budget ratio against
+    /// [`total_instrs`](Self::total_instrs). Replay additionally feeds
+    /// [`replayed_records`](Self::replayed_records)` -
+    /// `[`simulated_records`](Self::simulated_records) warmup records;
+    /// the replay runner reports the exact fed-instruction total.
+    pub fn simulated_instrs(&self) -> u64 {
+        self.slices.iter().map(|s| s.instrs).sum()
+    }
+
+    /// Records replay feeds in total: warmup plus measured.
+    pub fn replayed_records(&self) -> u64 {
+        self.slices.iter().map(|s| s.warmup_records + s.record_count).sum()
+    }
+
+    /// Total weight (should equal [`intervals`](Self::intervals)).
+    pub fn total_weight(&self) -> u64 {
+        self.slices.iter().map(|s| s.weight).sum()
+    }
+
+    /// Whether `slice` contains the trace's final record (and so must
+    /// account [`tail_instrs`](Self::tail_instrs) at `finish`).
+    pub fn slice_reaches_end(&self, slice: &SliceSpec) -> bool {
+        slice.first_record + slice.record_count == self.total_records
+    }
+
+    /// Serializes the manifest to any [`Write`] sink (`ZSPM` v1,
+    /// checksummed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates underlying I/O errors.
+    pub fn write<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.label.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.label.as_bytes());
+        for v in [
+            self.seed,
+            self.interval_instrs,
+            self.intervals,
+            self.total_records,
+            self.total_instrs,
+            self.tail_instrs,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.slices.len() as u32).to_le_bytes());
+        for s in &self.slices {
+            buf.extend_from_slice(&s.cluster.to_le_bytes());
+            for v in [
+                s.interval,
+                s.first_record,
+                s.record_count,
+                s.instrs,
+                s.warmup_first_record,
+                s.warmup_records,
+                s.weight,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&fnv1a32(&buf).to_le_bytes());
+        w.write_all(&buf)
+    }
+
+    /// Reads a manifest from any [`Read`] source, verifying magic,
+    /// version, checksum, and that no bytes trail the payload.
+    ///
+    /// # Errors
+    ///
+    /// The same [`LoadTraceError`] taxonomy as the trace container:
+    /// [`BadMagic`](LoadTraceError::BadMagic),
+    /// [`BadVersion`](LoadTraceError::BadVersion),
+    /// [`Corrupt`](LoadTraceError::Corrupt) for checksum or structure
+    /// failures, [`TrailingGarbage`](LoadTraceError::TrailingGarbage),
+    /// and [`Io`](LoadTraceError::Io).
+    pub fn read<R: Read>(mut r: R) -> Result<Self, LoadTraceError> {
+        let mut head = [0u8; 12];
+        r.read_exact(&mut head)?;
+        if &head[0..4] != MAGIC {
+            return Err(LoadTraceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().expect("4"));
+        if version != VERSION {
+            return Err(LoadTraceError::BadVersion(version));
+        }
+        let label_len = u32::from_le_bytes(head[8..12].try_into().expect("4")) as usize;
+        if label_len > 1 << 20 {
+            return Err(LoadTraceError::Corrupt("label length"));
+        }
+        let mut body = head.to_vec();
+        let take = |r: &mut R, n: usize, body: &mut Vec<u8>| -> Result<usize, LoadTraceError> {
+            let at = body.len();
+            body.resize(at + n, 0);
+            r.read_exact(&mut body[at..])?;
+            Ok(at)
+        };
+        let at = take(&mut r, label_len, &mut body)?;
+        let label = String::from_utf8(body[at..].to_vec())
+            .map_err(|_| LoadTraceError::Corrupt("label not UTF-8"))?;
+        let at = take(&mut r, 6 * 8 + 4, &mut body)?;
+        let fixed = &body[at..];
+        let u64_at = |i: usize| u64::from_le_bytes(fixed[i * 8..i * 8 + 8].try_into().expect("8"));
+        let seed = u64_at(0);
+        let interval_instrs = u64_at(1);
+        let intervals = u64_at(2);
+        let total_records = u64_at(3);
+        let total_instrs = u64_at(4);
+        let tail_instrs = u64_at(5);
+        let slice_count = u32::from_le_bytes(fixed[48..52].try_into().expect("4")) as usize;
+        if slice_count > 1 << 20 {
+            return Err(LoadTraceError::Corrupt("slice count"));
+        }
+        let mut slices = Vec::with_capacity(slice_count);
+        for _ in 0..slice_count {
+            let at = take(&mut r, 4 + 7 * 8, &mut body)?;
+            let raw = &body[at..];
+            let cluster = u32::from_le_bytes(raw[0..4].try_into().expect("4"));
+            let f =
+                |i: usize| u64::from_le_bytes(raw[4 + i * 8..12 + i * 8].try_into().expect("8"));
+            slices.push(SliceSpec {
+                cluster,
+                interval: f(0),
+                first_record: f(1),
+                record_count: f(2),
+                instrs: f(3),
+                warmup_first_record: f(4),
+                warmup_records: f(5),
+                weight: f(6),
+            });
+        }
+        let mut crc = [0u8; 4];
+        r.read_exact(&mut crc)?;
+        if u32::from_le_bytes(crc) != fnv1a32(&body) {
+            return Err(LoadTraceError::Corrupt("manifest checksum"));
+        }
+        let mut probe = [0u8; 1];
+        match r.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => return Err(LoadTraceError::TrailingGarbage),
+            Err(e) => return Err(LoadTraceError::Io(e)),
+        }
+        Ok(SimPointManifest {
+            label,
+            seed,
+            interval_instrs,
+            intervals,
+            total_records,
+            total_instrs,
+            tail_instrs,
+            slices,
+        })
+    }
+
+    /// Saves to a file (parent directories are not created).
+    ///
+    /// # Errors
+    ///
+    /// Propagates underlying I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.write(BufWriter::new(File::create(path)?))
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// See [`read`](Self::read).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LoadTraceError> {
+        Self::read(BufReader::new(File::open(path).map_err(LoadTraceError::Io)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_trace::workloads;
+
+    fn manifest(seed: u64) -> SimPointManifest {
+        let t = workloads::lspr_like(seed, 120_000).dynamic_trace();
+        let cfg =
+            SimPointConfig { interval_instrs: 10_000, clusters: 4, warmup_intervals: 1, seed: 7 };
+        SimPointManifest::build(&t, &cfg).expect("non-empty trace")
+    }
+
+    #[test]
+    fn build_produces_a_consistent_plan() {
+        let t = workloads::lspr_like(1, 120_000).dynamic_trace();
+        let cfg = SimPointConfig { interval_instrs: 10_000, clusters: 4, ..Default::default() };
+        let m = SimPointManifest::build(&t, &cfg).expect("non-empty");
+        assert_eq!(m.label, t.label());
+        assert_eq!(m.total_records, t.branch_count());
+        assert_eq!(m.total_instrs, t.instruction_count());
+        assert_eq!(m.total_weight(), m.intervals, "every interval is represented");
+        assert!(!m.slices.is_empty() && m.slices.len() <= 4);
+        // Slices are in trace order, in range, and warmup directly
+        // precedes the measured range.
+        for pair in m.slices.windows(2) {
+            assert!(pair[0].first_record < pair[1].first_record);
+        }
+        for s in &m.slices {
+            assert!(s.first_record + s.record_count <= m.total_records);
+            assert_eq!(s.warmup_first_record + s.warmup_records, s.first_record);
+            assert!(s.weight > 0);
+        }
+        // The sampled fraction is a real reduction.
+        assert!(m.simulated_records() < m.total_records);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        assert_eq!(manifest(5), manifest(5));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let t = DynamicTrace::new("empty");
+        let err = SimPointManifest::build(&t, &SimPointConfig::default());
+        assert_eq!(err, Err(SimPointError::EmptyTrace));
+        assert!(SimPointError::EmptyTrace.to_string().contains("no branch records"));
+    }
+
+    #[test]
+    fn first_interval_representative_has_no_warmup() {
+        // With warmup_intervals covering everything before interval 0,
+        // a slice at interval 0 must start its warmup at record 0.
+        let t = workloads::lspr_like(2, 60_000).dynamic_trace();
+        let cfg =
+            SimPointConfig { interval_instrs: 10_000, clusters: 1, warmup_intervals: 3, seed: 0 };
+        let m = SimPointManifest::build(&t, &cfg).expect("non-empty");
+        for s in &m.slices {
+            assert!(s.warmup_first_record <= s.first_record);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = manifest(9);
+        let mut buf = Vec::new();
+        m.write(&mut buf).expect("write");
+        let back = SimPointManifest::read(&buf[..]).expect("read");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn corruption_and_framing_are_detected() {
+        let m = manifest(3);
+        let mut buf = Vec::new();
+        m.write(&mut buf).expect("write");
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(SimPointManifest::read(&bad[..]), Err(LoadTraceError::BadMagic)));
+        // Future version.
+        let mut bad = buf.clone();
+        bad[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(SimPointManifest::read(&bad[..]), Err(LoadTraceError::BadVersion(9))));
+        // Any payload byte flip fails the checksum (flip one mid-file).
+        let mut bad = buf.clone();
+        let mid = buf.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(SimPointManifest::read(&bad[..]).is_err());
+        // Truncation at every point is an error.
+        for cut in 0..buf.len() {
+            assert!(SimPointManifest::read(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut bad = buf.clone();
+        bad.push(0);
+        assert!(matches!(SimPointManifest::read(&bad[..]), Err(LoadTraceError::TrailingGarbage)));
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let dir = std::env::temp_dir().join("zbp-simpoint-manifest-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("plan.zspm");
+        let m = manifest(11);
+        m.save(&path).expect("save");
+        let back = SimPointManifest::load(&path).expect("load");
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slice_reaches_end_flags_only_the_final_slice() {
+        let m = manifest(13);
+        let reaching: Vec<_> = m.slices.iter().filter(|s| m.slice_reaches_end(s)).collect();
+        // At most one slice can contain the final record.
+        assert!(reaching.len() <= 1);
+    }
+}

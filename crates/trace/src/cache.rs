@@ -89,7 +89,20 @@ impl TraceCache {
     /// arrives while another thread is generating the same key blocks
     /// until that generation finishes and shares its result.
     pub fn trace(&self, w: &Workload) -> Arc<DynamicTrace> {
-        let key = TraceKey::of(w);
+        self.get_or_insert_with(TraceKey::of(w), || w.dynamic_trace())
+    }
+
+    /// The trace for an arbitrary key, produced by `generate` on first
+    /// use — the general entry point behind [`TraceCache::trace`], so
+    /// non-generated sources (a loaded `.zbt2` container, say) share
+    /// the same cache and in-flight guard. The key contract still
+    /// applies: everything that determines the bytes `generate`
+    /// produces must be encoded in the key.
+    pub fn get_or_insert_with(
+        &self,
+        key: TraceKey,
+        generate: impl FnOnce() -> DynamicTrace,
+    ) -> Arc<DynamicTrace> {
         let slot = {
             let mut map = self.map.lock().expect("trace cache poisoned");
             Arc::clone(map.entry(key).or_default())
@@ -101,12 +114,50 @@ impl TraceCache {
         let trace = slot.get_or_init(|| {
             generated_here = true;
             self.generations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(w.dynamic_trace())
+            Arc::new(generate())
         });
         if !generated_here {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(trace)
+    }
+
+    /// Fallible form of [`get_or_insert_with`](Self::get_or_insert_with)
+    /// for sources that can fail (file-backed containers). A failed
+    /// load caches nothing, so a later retry can succeed; concurrent
+    /// same-key callers may each attempt the load, but at most one
+    /// result is ever installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `generate`'s error when the key is absent and the
+    /// load fails.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        key: TraceKey,
+        generate: impl FnOnce() -> Result<DynamicTrace, E>,
+    ) -> Result<Arc<DynamicTrace>, E> {
+        let slot = {
+            let mut map = self.map.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        if let Some(trace) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(trace));
+        }
+        let generated = Arc::new(generate()?);
+        let mut generated_here = false;
+        let trace = slot.get_or_init(|| {
+            generated_here = true;
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            generated
+        });
+        if !generated_here {
+            // A racing loader won the install; ours is dropped and
+            // the lookup counts as served-from-cache.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Arc::clone(trace))
     }
 
     /// Number of distinct traces currently cached (slots whose
@@ -244,6 +295,39 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.generations(), 1, "simultaneous same-key lookups must not duplicate");
         assert_eq!(cache.hits(), n as u64 - 1);
+    }
+
+    #[test]
+    fn custom_key_shares_with_equal_key() {
+        let cache = TraceCache::new();
+        let key = TraceKey { label: "file:test.zbt2".into(), seed: 0, instrs: 0 };
+        let a = cache
+            .get_or_insert_with(key.clone(), || workloads::compute_loop(3, 2_000).dynamic_trace());
+        let b = cache.get_or_insert_with(key, || unreachable!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.generations(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn failed_fallible_load_caches_nothing() {
+        let cache = TraceCache::new();
+        let key = TraceKey { label: "file:missing.zbt2".into(), seed: 0, instrs: 0 };
+        let err = cache.try_get_or_insert_with(key.clone(), || Err::<DynamicTrace, _>("nope"));
+        assert_eq!(err.unwrap_err(), "nope");
+        assert_eq!(cache.generations(), 0);
+        // A retry that succeeds installs the trace; a third call hits.
+        let ok = cache
+            .try_get_or_insert_with(key.clone(), || {
+                Ok::<_, &str>(workloads::compute_loop(3, 2_000).dynamic_trace())
+            })
+            .expect("retry succeeds");
+        let again = cache
+            .try_get_or_insert_with(key, || -> Result<DynamicTrace, &str> {
+                unreachable!("cached now")
+            })
+            .expect("served from cache");
+        assert!(Arc::ptr_eq(&ok, &again));
+        assert_eq!((cache.generations(), cache.hits()), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! The `.zbt2` v2 trace container: chunked, streaming-readable, and
+//! replay-window-aware.
+//!
+//! The v1 format (`io.rs`) freezes a whole [`DynamicTrace`] as one flat
+//! record array — fine for the synthetic suite, but external traces in
+//! the paper's own methodology (LSPR production traces, §VII) are long
+//! enough that "read everything, then look at it" stops being a plan.
+//! The v2 container keeps the same 28-byte record encoding but adds
+//! what long-trace replay needs:
+//!
+//! * **Chunking** — records are grouped into fixed-size chunks, each
+//!   with its own length prefix and checksum, so a reader can stream
+//!   chunk by chunk (BBV extraction, conversion) without materializing
+//!   the whole trace, and corruption is localized to a chunk.
+//! * **Replay windows** — an explicit [`ReplayWindow`] (skip / warmup /
+//!   simulate instruction counts) rides in the header, the same
+//!   convention SimPoint-style samplers use to describe *how* a slice
+//!   of the trace is meant to be replayed.
+//! * **Corruption checks** — the header and every chunk carry an
+//!   FNV-1a checksum; a flipped byte is a [`LoadTraceError::Corrupt`],
+//!   not a silently different experiment.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header:
+//!   magic  "ZBT2"            4 bytes
+//!   version u32              currently 2
+//!   label   u32 len + bytes  UTF-8
+//!   skip     u64             window: instructions to skip
+//!   warmup   u64             window: warmup instructions (uncounted)
+//!   simulate u64             window: measured instructions (0 = to end)
+//!   tail    u64              tail instructions after the last branch
+//!   count   u64              total record count
+//!   chunk   u32              records per chunk (last chunk may be short)
+//!   crc     u32              FNV-1a over every header byte above
+//! chunks, ceil(count / chunk) of them:
+//!   len u32                  records in this chunk
+//!   len × 28-byte records    same encoding as v1
+//!   crc u32                  FNV-1a over the chunk's record bytes
+//! ```
+//!
+//! Anything after the last chunk is [`LoadTraceError::TrailingGarbage`].
+//! v1 files still load through [`load_any`], which dispatches on the
+//! magic — old frozen inputs never bit-rot out of the toolchain.
+
+use crate::io::{decode_record, encode_record, expect_eof, LoadTraceError, RECORD_BYTES};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use zbp_model::{BranchRecord, DynamicTrace};
+
+const MAGIC2: &[u8; 4] = b"ZBT2";
+const VERSION2: u32 = 2;
+
+/// Default chunk granularity: 64 Ki records (~1.75 MiB per chunk).
+pub const DEFAULT_CHUNK_RECORDS: u32 = 1 << 16;
+
+/// How a containerized trace is meant to be replayed, in instructions:
+/// fast-forward `skip`, train the predictor for `warmup` without
+/// counting statistics, then measure `simulate` instructions
+/// (`0` means "to the end of the trace").
+///
+/// The window is carried as *intent* in the container header — the
+/// replay side (`zbp-simpoint`'s slicer, `Session` warmup) maps it to
+/// record ranges; an all-zero window replays and measures everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayWindow {
+    /// Instructions to skip before any predictor activity.
+    pub skip: u64,
+    /// Instructions replayed for training only (statistics off).
+    pub warmup: u64,
+    /// Instructions measured after warmup; `0` = to the end.
+    pub simulate: u64,
+}
+
+impl ReplayWindow {
+    /// Whether this window is the trivial "measure everything" window.
+    pub fn is_unwindowed(&self) -> bool {
+        *self == ReplayWindow::default()
+    }
+}
+
+/// 32-bit FNV-1a — tiny, dependency-free, and plenty to catch the
+/// bit-flips and truncations a checksum is for (this is corruption
+/// *detection*, not an integrity MAC). Public so sibling artifacts
+/// (the SimPoint manifest) can share the container family's checksum.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in bytes {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Writes a trace as a `.zbt2` container to any [`Write`] sink.
+///
+/// `chunk_records` is clamped to at least 1; [`DEFAULT_CHUNK_RECORDS`]
+/// is the sensible default.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn write_container<W: Write>(
+    mut w: W,
+    trace: &DynamicTrace,
+    window: ReplayWindow,
+    chunk_records: u32,
+) -> io::Result<()> {
+    let chunk_records = chunk_records.max(1);
+    let mut header = Vec::new();
+    header.extend_from_slice(MAGIC2);
+    header.extend_from_slice(&VERSION2.to_le_bytes());
+    let label = trace.label().as_bytes();
+    header.extend_from_slice(&(label.len() as u32).to_le_bytes());
+    header.extend_from_slice(label);
+    header.extend_from_slice(&window.skip.to_le_bytes());
+    header.extend_from_slice(&window.warmup.to_le_bytes());
+    header.extend_from_slice(&window.simulate.to_le_bytes());
+    header.extend_from_slice(&trace.tail_instrs().to_le_bytes());
+    header.extend_from_slice(&trace.branch_count().to_le_bytes());
+    header.extend_from_slice(&chunk_records.to_le_bytes());
+    let crc = fnv1a32(&header);
+    w.write_all(&header)?;
+    w.write_all(&crc.to_le_bytes())?;
+
+    let mut payload = Vec::with_capacity(chunk_records as usize * RECORD_BYTES);
+    for chunk in trace.as_slice().chunks(chunk_records as usize) {
+        payload.clear();
+        for rec in chunk {
+            encode_record(rec, &mut payload);
+        }
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&fnv1a32(&payload).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Saves a trace as a `.zbt2` container file with the default chunk
+/// size.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn save_container(
+    path: impl AsRef<Path>,
+    trace: &DynamicTrace,
+    window: ReplayWindow,
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_container(io::BufWriter::new(f), trace, window, DEFAULT_CHUNK_RECORDS)
+}
+
+/// A streaming `.zbt2` reader: [`open`](ContainerReader::open) parses
+/// and verifies the header, then chunks are pulled one at a time with
+/// [`next_chunk`](ContainerReader::next_chunk) — a converter or BBV
+/// pass never needs the whole trace resident.
+#[derive(Debug)]
+pub struct ContainerReader<R: Read> {
+    r: R,
+    label: String,
+    window: ReplayWindow,
+    tail_instrs: u64,
+    total_records: u64,
+    chunk_records: u32,
+    chunks_total: u64,
+    chunks_read: u64,
+    records_read: u64,
+}
+
+impl<R: Read> ContainerReader<R> {
+    /// Reads and verifies the container header.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadTraceError::BadMagic`] for non-`ZBT2` input,
+    /// [`LoadTraceError::BadVersion`] for a future version,
+    /// [`LoadTraceError::Corrupt`] for a checksum or structure failure,
+    /// [`LoadTraceError::Io`] for truncation mid-header.
+    pub fn open(mut r: R) -> Result<Self, LoadTraceError> {
+        let mut header = vec![0u8; 12];
+        r.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC2 {
+            return Err(LoadTraceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4"));
+        if version != VERSION2 {
+            return Err(LoadTraceError::BadVersion(version));
+        }
+        let label_len = u32::from_le_bytes(header[8..12].try_into().expect("4")) as usize;
+        if label_len > 1 << 20 {
+            return Err(LoadTraceError::Corrupt("label length"));
+        }
+        // Label + 5×u64-or-u32 fixed fields, accumulated into `header`
+        // so the checksum covers every byte the fields were parsed from.
+        let fixed = label_len + 8 + 8 + 8 + 8 + 8 + 4;
+        let start = header.len();
+        header.resize(start + fixed, 0);
+        r.read_exact(&mut header[start..])?;
+        let label = std::str::from_utf8(&header[start..start + label_len])
+            .map_err(|_| LoadTraceError::Corrupt("label not UTF-8"))?
+            .to_string();
+        let mut at = start + label_len;
+        let next_u64 = |header: &[u8], at: &mut usize| {
+            let v = u64::from_le_bytes(header[*at..*at + 8].try_into().expect("8"));
+            *at += 8;
+            v
+        };
+        let window = ReplayWindow {
+            skip: next_u64(&header, &mut at),
+            warmup: next_u64(&header, &mut at),
+            simulate: next_u64(&header, &mut at),
+        };
+        let tail_instrs = next_u64(&header, &mut at);
+        let total_records = next_u64(&header, &mut at);
+        let chunk_records = u32::from_le_bytes(header[at..at + 4].try_into().expect("4"));
+        let crc = {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            u32::from_le_bytes(b)
+        };
+        if crc != fnv1a32(&header) {
+            return Err(LoadTraceError::Corrupt("header checksum"));
+        }
+        if total_records > 0 && chunk_records == 0 {
+            return Err(LoadTraceError::Corrupt("zero chunk size"));
+        }
+        let chunks_total =
+            if total_records == 0 { 0 } else { total_records.div_ceil(u64::from(chunk_records)) };
+        Ok(ContainerReader {
+            r,
+            label,
+            window,
+            tail_instrs,
+            total_records,
+            chunk_records,
+            chunks_total,
+            chunks_read: 0,
+            records_read: 0,
+        })
+    }
+
+    /// The trace label from the header.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The replay window from the header.
+    pub fn window(&self) -> ReplayWindow {
+        self.window
+    }
+
+    /// Straight-line instructions after the final branch.
+    pub fn tail_instrs(&self) -> u64 {
+        self.tail_instrs
+    }
+
+    /// Total branch records in the container.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Records per full chunk.
+    pub fn chunk_records(&self) -> u32 {
+        self.chunk_records
+    }
+
+    /// Number of chunks in the container (the last may be short).
+    pub fn chunks_total(&self) -> u64 {
+        self.chunks_total
+    }
+
+    /// Reads the next chunk's records into `out` (cleared first).
+    /// Returns `false` once every chunk has been consumed — at which
+    /// point the end of input has also been verified (trailing bytes
+    /// are an error, mirroring the v1 reader).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadTraceError`] on truncation, checksum mismatch, a chunk
+    /// length that disagrees with the header, or trailing garbage.
+    pub fn next_chunk(&mut self, out: &mut Vec<BranchRecord>) -> Result<bool, LoadTraceError> {
+        out.clear();
+        if self.chunks_read == self.chunks_total {
+            expect_eof(&mut self.r)?;
+            return Ok(false);
+        }
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        let len = u64::from(u32::from_le_bytes(b));
+        let expected = if self.chunks_read + 1 == self.chunks_total {
+            self.total_records - self.records_read
+        } else {
+            u64::from(self.chunk_records)
+        };
+        if len != expected {
+            return Err(LoadTraceError::Corrupt("chunk length"));
+        }
+        let mut payload = vec![0u8; len as usize * RECORD_BYTES];
+        self.r.read_exact(&mut payload)?;
+        self.r.read_exact(&mut b)?;
+        if u32::from_le_bytes(b) != fnv1a32(&payload) {
+            return Err(LoadTraceError::Corrupt("chunk checksum"));
+        }
+        out.reserve(len as usize);
+        for rec in payload.chunks_exact(RECORD_BYTES) {
+            out.push(decode_record(rec.try_into().expect("28"))?);
+        }
+        self.chunks_read += 1;
+        self.records_read += len;
+        Ok(true)
+    }
+
+    /// Drains every remaining chunk into a [`DynamicTrace`], verifying
+    /// checksums and the end of input along the way.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LoadTraceError`] from the remaining chunks.
+    pub fn into_trace(mut self) -> Result<(DynamicTrace, ReplayWindow), LoadTraceError> {
+        let mut trace = DynamicTrace::new(self.label.clone());
+        let mut chunk = Vec::new();
+        while self.next_chunk(&mut chunk)? {
+            trace.extend(chunk.iter().copied());
+        }
+        trace.push_tail_instrs(self.tail_instrs);
+        Ok((trace, self.window))
+    }
+}
+
+/// Reads a whole `.zbt2` container from any [`Read`] source.
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn read_container<R: Read>(r: R) -> Result<(DynamicTrace, ReplayWindow), LoadTraceError> {
+    ContainerReader::open(r)?.into_trace()
+}
+
+/// Loads a `.zbt2` container from a file path.
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn load_container(
+    path: impl AsRef<Path>,
+) -> Result<(DynamicTrace, ReplayWindow), LoadTraceError> {
+    let f = std::fs::File::open(path).map_err(LoadTraceError::Io)?;
+    read_container(io::BufReader::new(f))
+}
+
+/// Reads a trace in *either* format, dispatching on the magic: v2
+/// containers keep their [`ReplayWindow`]; v1 `ZBPT` files load with
+/// the trivial window. This is the "frozen inputs never bit-rot"
+/// entry point converters and replay tools should prefer.
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn read_any<R: Read>(mut r: R) -> Result<(DynamicTrace, ReplayWindow), LoadTraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    let chained = magic.chain(r);
+    if &magic == MAGIC2 {
+        read_container(chained)
+    } else {
+        crate::io::read_trace(chained).map(|t| (t, ReplayWindow::default()))
+    }
+}
+
+/// Loads a trace file in either format (see [`read_any`]).
+///
+/// # Errors
+///
+/// Returns [`LoadTraceError`] on I/O failures or malformed content.
+pub fn load_any(path: impl AsRef<Path>) -> Result<(DynamicTrace, ReplayWindow), LoadTraceError> {
+    let f = std::fs::File::open(path).map_err(LoadTraceError::Io)?;
+    read_any(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn window() -> ReplayWindow {
+        ReplayWindow { skip: 1_000, warmup: 2_000, simulate: 5_000 }
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace_and_window() {
+        let t = workloads::lspr_like(5, 20_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, window(), 512).expect("write");
+        let (back, w) = read_container(buf.as_slice()).expect("read");
+        assert_eq!(t, back);
+        assert_eq!(w, window());
+        assert_eq!(t.instruction_count(), back.instruction_count());
+    }
+
+    #[test]
+    fn streaming_reader_yields_fixed_chunks() {
+        let t = workloads::compute_loop(7, 10_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, ReplayWindow::default(), 100).expect("write");
+        let mut r = ContainerReader::open(buf.as_slice()).expect("open");
+        assert_eq!(r.total_records(), t.branch_count());
+        let mut seen = 0u64;
+        let mut chunk = Vec::new();
+        let mut chunks = 0u64;
+        while r.next_chunk(&mut chunk).expect("chunk") {
+            assert!(chunk.len() <= 100);
+            if seen + 100 < t.branch_count() {
+                assert_eq!(chunk.len(), 100, "only the last chunk may be short");
+            }
+            seen += chunk.len() as u64;
+            chunks += 1;
+        }
+        assert_eq!(seen, t.branch_count());
+        assert_eq!(chunks, t.branch_count().div_ceil(100));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut t = DynamicTrace::new("empty");
+        t.push_tail_instrs(123);
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, ReplayWindow::default(), 64).expect("write");
+        let (back, w) = read_container(buf.as_slice()).expect("read");
+        assert_eq!(back, t);
+        assert!(w.is_unwindowed());
+    }
+
+    #[test]
+    fn header_corruption_detected() {
+        let t = workloads::compute_loop(1, 2_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, window(), 256).expect("write");
+        // Flip a window byte: the header checksum must catch it.
+        let label_len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+        buf[12 + label_len] ^= 0x01;
+        let err = read_container(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::Corrupt("header checksum")), "{err}");
+    }
+
+    #[test]
+    fn chunk_corruption_detected() {
+        let t = workloads::compute_loop(1, 2_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, ReplayWindow::default(), 256).expect("write");
+        let last = buf.len() - 5; // inside the final chunk's payload
+        buf[last] ^= 0x80;
+        let err = read_container(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let t = workloads::compute_loop(1, 2_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, ReplayWindow::default(), 256).expect("write");
+        buf.push(0xaa);
+        let err = read_container(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::TrailingGarbage), "{err}");
+    }
+
+    #[test]
+    fn load_any_reads_both_versions() {
+        let t = workloads::patterned(3, 4_000).dynamic_trace();
+        let mut v1 = Vec::new();
+        crate::io::write_trace(&mut v1, &t).expect("v1 write");
+        let (from_v1, w1) = read_any(v1.as_slice()).expect("v1 read");
+        assert_eq!(from_v1, t);
+        assert!(w1.is_unwindowed());
+        let mut v2 = Vec::new();
+        write_container(&mut v2, &t, window(), 128).expect("v2 write");
+        let (from_v2, w2) = read_any(v2.as_slice()).expect("v2 read");
+        assert_eq!(from_v2, t);
+        assert_eq!(w2, window());
+    }
+}

@@ -36,6 +36,11 @@ pub enum LoadTraceError {
     BadVersion(u32),
     /// Structurally invalid content.
     Corrupt(&'static str),
+    /// Extra bytes after a well-formed payload. A truncated *copy* of a
+    /// longer file parses as a valid shorter trace only if the cut lands
+    /// exactly on a record boundary; the converse — concatenated or
+    /// padded files — used to load silently. Now it is an error.
+    TrailingGarbage,
 }
 
 impl fmt::Display for LoadTraceError {
@@ -45,6 +50,7 @@ impl fmt::Display for LoadTraceError {
             LoadTraceError::BadMagic => f.write_str("not a zbp trace file (bad magic)"),
             LoadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             LoadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+            LoadTraceError::TrailingGarbage => f.write_str("trailing garbage after trace payload"),
         }
     }
 }
@@ -72,6 +78,40 @@ fn mnemonic_from(code: u8) -> Option<Mnemonic> {
     Mnemonic::ALL.get(usize::from(code)).copied()
 }
 
+/// Serialized size of one branch record — shared by the v1 format and
+/// the chunked v2 container.
+pub(crate) const RECORD_BYTES: usize = 28;
+
+/// Encodes one record in the on-disk layout (v1 and v2 share it).
+pub(crate) fn encode_record(r: &BranchRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.addr.raw().to_le_bytes());
+    out.extend_from_slice(&r.target.raw().to_le_bytes());
+    out.extend_from_slice(&[mnemonic_code(r.mnemonic), u8::from(r.taken), r.thread.0, 0]);
+    out.extend_from_slice(&r.gap_instrs.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+}
+
+/// Decodes one record from its 28-byte on-disk layout.
+pub(crate) fn decode_record(b: &[u8; RECORD_BYTES]) -> Result<BranchRecord, LoadTraceError> {
+    let addr = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+    let target = u64::from_le_bytes(b[8..16].try_into().expect("8"));
+    let mnemonic = mnemonic_from(b[16]).ok_or(LoadTraceError::Corrupt("unknown mnemonic"))?;
+    let gap = u32::from_le_bytes(b[20..24].try_into().expect("4"));
+    Ok(BranchRecord::new(InstrAddr::new(addr), mnemonic, b[17] != 0, InstrAddr::new(target))
+        .on_thread(ThreadId(b[18]))
+        .with_gap(gap))
+}
+
+/// Checks that `r` is exhausted, rejecting any byte after the payload.
+pub(crate) fn expect_eof<R: Read>(r: &mut R) -> Result<(), LoadTraceError> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(LoadTraceError::TrailingGarbage),
+        Err(e) => Err(LoadTraceError::Io(e)),
+    }
+}
+
 /// Writes a trace to any [`Write`] sink (pass `&mut file` to keep the
 /// file usable afterwards).
 ///
@@ -89,12 +129,11 @@ pub fn write_trace<W: Write>(mut w: W, trace: &DynamicTrace) -> io::Result<()> {
         - trace.branches().map(|r| u64::from(r.gap_instrs)).sum::<u64>();
     w.write_all(&tail.to_le_bytes())?;
     w.write_all(&trace.branch_count().to_le_bytes())?;
+    let mut buf = Vec::with_capacity(RECORD_BYTES);
     for r in trace.branches() {
-        w.write_all(&r.addr.raw().to_le_bytes())?;
-        w.write_all(&r.target.raw().to_le_bytes())?;
-        w.write_all(&[mnemonic_code(r.mnemonic), u8::from(r.taken), r.thread.0, 0])?;
-        w.write_all(&r.gap_instrs.to_le_bytes())?;
-        w.write_all(&0u32.to_le_bytes())?;
+        buf.clear();
+        encode_record(r, &mut buf);
+        w.write_all(&buf)?;
     }
     Ok(())
 }
@@ -124,21 +163,13 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<DynamicTrace, LoadTraceError> {
     let tail = read_u64(&mut r)?;
     let count = read_u64(&mut r)?;
     let mut trace = DynamicTrace::new(label);
+    let mut rec = [0u8; RECORD_BYTES];
     for _ in 0..count {
-        let addr = read_u64(&mut r)?;
-        let target = read_u64(&mut r)?;
-        let mut meta = [0u8; 4];
-        r.read_exact(&mut meta)?;
-        let gap = read_u32(&mut r)?;
-        let _reserved = read_u32(&mut r)?;
-        let mnemonic = mnemonic_from(meta[0]).ok_or(LoadTraceError::Corrupt("unknown mnemonic"))?;
-        let rec =
-            BranchRecord::new(InstrAddr::new(addr), mnemonic, meta[1] != 0, InstrAddr::new(target))
-                .on_thread(ThreadId(meta[2]))
-                .with_gap(gap);
-        trace.push(rec);
+        r.read_exact(&mut rec)?;
+        trace.push(decode_record(&rec)?);
     }
     trace.push_tail_instrs(tail);
+    expect_eof(&mut r)?;
     Ok(trace)
 }
 
@@ -251,9 +282,27 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_rejected() {
+        let t = workloads::compute_loop(1, 2_000).dynamic_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        buf.push(0x00);
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::TrailingGarbage), "{err}");
+        // A whole second trace appended (concatenated files) is also
+        // trailing garbage, not a silently-ignored suffix.
+        let mut doubled = Vec::new();
+        write_trace(&mut doubled, &t).expect("write");
+        write_trace(&mut doubled, &t).expect("write");
+        let err = read_trace(doubled.as_slice()).expect_err("must fail");
+        assert!(matches!(err, LoadTraceError::TrailingGarbage), "{err}");
+    }
+
+    #[test]
     fn error_messages_are_descriptive() {
         assert!(LoadTraceError::BadMagic.to_string().contains("magic"));
         assert!(LoadTraceError::BadVersion(7).to_string().contains('7'));
         assert!(LoadTraceError::Corrupt("label length").to_string().contains("label"));
+        assert!(LoadTraceError::TrailingGarbage.to_string().contains("trailing"));
     }
 }

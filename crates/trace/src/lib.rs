@@ -29,12 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod container;
 mod exec;
 pub mod io;
 mod program;
 pub mod workloads;
 
 pub use cache::{TraceCache, TraceKey};
+pub use container::{
+    fnv1a32, load_any, load_container, read_any, read_container, save_container, write_container,
+    ContainerReader, ReplayWindow, DEFAULT_CHUNK_RECORDS,
+};
 pub use exec::Executor;
 pub use io::{load_trace, save_trace, LoadTraceError};
 pub use program::{

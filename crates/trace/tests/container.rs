@@ -1,0 +1,149 @@
+//! `.zbt2` container robustness, mirroring `io_errors.rs` for the v1
+//! format: a reader must either return the exact trace that was
+//! written or a typed [`LoadTraceError`] — never panic, never succeed
+//! on damaged input, and never silently accept trailing bytes.
+
+use proptest::prelude::*;
+use zbp_trace::workloads;
+use zbp_trace::{
+    load_any, read_any, read_container, save_trace, write_container, ContainerReader,
+    LoadTraceError, ReplayWindow,
+};
+
+/// A serialized container for `compute_loop(seed, instrs)`.
+fn serialized(seed: u64, instrs: u64, window: ReplayWindow, chunk: u32) -> Vec<u8> {
+    let t = workloads::compute_loop(seed, instrs).dynamic_trace();
+    let mut buf = Vec::new();
+    write_container(&mut buf, &t, window, chunk).expect("write");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn roundtrip_any_seed_chunking_and_window(
+        seed in 0u64..200,
+        instrs in 500u64..8_000,
+        chunk in 1u32..2_000,
+        skip in 0u64..10_000,
+        warmup in 0u64..10_000,
+        simulate in 0u64..10_000,
+    ) {
+        let t = workloads::lspr_like(seed, instrs).dynamic_trace();
+        let window = ReplayWindow { skip, warmup, simulate };
+        let mut buf = Vec::new();
+        write_container(&mut buf, &t, window, chunk).expect("write");
+        let (back, w) = read_container(buf.as_slice()).expect("read");
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(w, window);
+        prop_assert_eq!(back.instruction_count(), t.instruction_count());
+    }
+
+    #[test]
+    fn streaming_and_whole_reads_agree(seed in 0u64..100, chunk in 1u32..500) {
+        let buf = serialized(seed, 4_000, ReplayWindow::default(), chunk);
+        let (whole, _) = read_container(buf.as_slice()).expect("whole read");
+        let mut r = ContainerReader::open(buf.as_slice()).expect("open");
+        let mut streamed = Vec::new();
+        let mut c = Vec::new();
+        while r.next_chunk(&mut c).expect("chunk") {
+            streamed.extend_from_slice(&c);
+        }
+        prop_assert_eq!(streamed.as_slice(), whole.as_slice());
+    }
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    // A container cut anywhere must fail loudly — chunk framing means
+    // every prefix is either a short header, a short chunk, or a chunk
+    // missing its checksum. Nothing in between parses.
+    let buf = serialized(9, 2_000, ReplayWindow { skip: 1, warmup: 2, simulate: 3 }, 64);
+    for cut in 0..buf.len() {
+        let err = read_container(&buf[..cut]).expect_err("truncated input must fail");
+        assert!(
+            matches!(err, LoadTraceError::Io(_)),
+            "cut at {cut}/{}: unexpected error {err}",
+            buf.len()
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_rejected() {
+    let err = read_container(&b"ZBPX____________"[..]).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::BadMagic), "{err}");
+    // The v1 magic is also not a v2 container.
+    let err =
+        ContainerReader::open(&b"ZBPT\x01\x00\x00\x00\x00\x00\x00\x00"[..]).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::BadMagic), "{err}");
+}
+
+#[test]
+fn future_version_rejected() {
+    let mut buf = serialized(1, 1_000, ReplayWindow::default(), 64);
+    buf[4..8].copy_from_slice(&7u32.to_le_bytes());
+    let err = read_container(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::BadVersion(7)), "{err}");
+}
+
+#[test]
+fn every_single_byte_flip_in_header_is_detected() {
+    // Flip each header byte in turn: the checksum (or a field check)
+    // must catch all of them. The header ends just before the first
+    // chunk's length prefix.
+    let buf = serialized(3, 1_000, ReplayWindow { skip: 5, warmup: 6, simulate: 7 }, 128);
+    let label_len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+    let header_len = 12 + label_len + 5 * 8 + 4 + 4; // fields + crc
+    for at in 0..header_len {
+        let mut bad = buf.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            read_container(bad.as_slice()).is_err(),
+            "flipped header byte {at} was not detected"
+        );
+    }
+}
+
+#[test]
+fn chunk_payload_corruption_is_detected() {
+    let buf = serialized(3, 2_000, ReplayWindow::default(), 32);
+    let label_len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+    let header_len = 12 + label_len + 5 * 8 + 4 + 4;
+    // Flip one byte in the middle of the first chunk's payload.
+    let mut bad = buf.clone();
+    bad[header_len + 4 + 10] ^= 0x40;
+    let err = read_container(bad.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::Corrupt("chunk checksum")), "{err}");
+}
+
+#[test]
+fn trailing_garbage_after_last_chunk_rejected() {
+    let mut buf = serialized(4, 1_500, ReplayWindow::default(), 64);
+    buf.extend_from_slice(b"junk");
+    let err = read_container(buf.as_slice()).expect_err("must fail");
+    assert!(matches!(err, LoadTraceError::TrailingGarbage), "{err}");
+}
+
+#[test]
+fn v1_files_still_load_through_load_any() {
+    // Cross-version compatibility: traces frozen with the original
+    // `save_trace` keep loading after the v2 container shipped.
+    let dir = std::env::temp_dir().join("zbp_container_xver_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("v1.zbpt");
+    let t = workloads::indirect_dispatch(8, 5_000).dynamic_trace();
+    save_trace(&path, &t).expect("v1 save");
+    let (back, window) = load_any(&path).expect("load_any reads v1");
+    assert_eq!(back, t);
+    assert!(window.is_unwindowed(), "v1 files carry no replay window");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn read_any_rejects_garbage_and_short_input() {
+    assert!(matches!(read_any(&b""[..]), Err(LoadTraceError::Io(_))));
+    assert!(matches!(read_any(&b"ZB"[..]), Err(LoadTraceError::Io(_))));
+    assert!(matches!(read_any(&b"nope nope"[..]), Err(LoadTraceError::BadMagic)));
+}
