@@ -107,6 +107,10 @@ impl Config {
                     "crates/bench/src/bin/simpoint.rs".into(),
                     "full-vs-sampled wall-time comparison for the speedup record".into(),
                 ),
+                (
+                    "crates/bench/src/bin/throughput.rs".into(),
+                    "E23 replay-rate measurement: best-of-N wall times per path".into(),
+                ),
             ],
             float_accum: [
                 "core",

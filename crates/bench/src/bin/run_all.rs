@@ -44,6 +44,7 @@ const BINARIES: &[&str] = &[
     "arena",
     "trace_convert",
     "simpoint",
+    "throughput",
 ];
 
 fn main() {

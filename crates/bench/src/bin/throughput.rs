@@ -1,0 +1,150 @@
+//! E23 — replay throughput: the buffered fast path vs the streaming
+//! session (instrs/s per thread).
+//!
+//! For every suite workload this binary measures, single-threaded:
+//!
+//! * **fast** — [`Session::run_buffer`] over the workload's cached
+//!   [`ReplayBuffer`](zbp_model::ReplayBuffer) (pre-decoded columns +
+//!   `ZPredictor`'s config-monomorphized kernel);
+//! * **generic** — [`Session::run`] streaming the same trace through
+//!   the record-by-record harness.
+//!
+//! Wall times are best-of-`REPS`: shared CI machines jitter individual
+//! timings by 25–40%, and the minimum is the stable estimator of the
+//! achievable rate (PERFORMANCE.md §Measurement protocol). Statistics
+//! must be byte-identical between the two paths and across reps — the
+//! binary asserts this, so every timing run doubles as a parity check.
+//!
+//! Stdout carries only deterministic columns (workload, instrs, mpki,
+//! parity) so `run_all`'s captured results file is byte-identical run
+//! to run; the measured rates print to stderr, like simpoint's wall
+//! times.
+//!
+//! With `--json PATH`, one schema-6 [`ThroughputRecord`] per
+//! (workload, path) pair plus one suite row per path append to the
+//! JSON Lines file.
+
+use std::time::Instant;
+use zbp_bench::{append_throughput_records, BenchArgs, ThroughputRecord};
+use zbp_core::{GenerationPreset, PredictorConfig};
+use zbp_serve::{ReplayMode, Session, SessionReport, DEFAULT_DEPTH};
+use zbp_trace::workloads;
+
+/// Timing repetitions per (workload, path); the reported wall time is
+/// the minimum.
+const REPS: u32 = 5;
+
+/// Stable FNV-1a fingerprint of the full configuration, so rate
+/// comparisons across commits only pair up identical configs.
+fn config_hash(cfg: &PredictorConfig) -> String {
+    let canon = format!("{cfg:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Best-of-`REPS` wall time for `run`, asserting the report is
+/// identical on every rep (determinism check riding on the timing
+/// loop).
+fn best_of(mut run: impl FnMut() -> SessionReport) -> (f64, SessionReport) {
+    let first = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let rep = run();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(rep, first, "throughput reps must be byte-identical");
+        best = best.min(wall);
+    }
+    (best, first)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = GenerationPreset::Z15.config();
+    let hash = config_hash(&cfg);
+    let mut records = Vec::new();
+    let mut suite: std::collections::BTreeMap<&str, (u64, f64, u64)> =
+        std::collections::BTreeMap::new();
+
+    // Stdout carries only the deterministic columns so `run_all`'s
+    // captured results/throughput.txt is byte-identical run to run;
+    // wall-clock rates go to stderr, like simpoint's timing lines.
+    println!("E23 replay throughput — config {} ({}), best of {REPS}", cfg.name, hash);
+    println!("{:<28} {:>10} {:>8}  parity", "workload", "instrs", "mpki");
+    eprintln!("{:<28} {:>12} {:>12} {:>9}", "workload", "fast M/s", "generic M/s", "speedup");
+    for w in workloads::suite(args.seed, args.instrs) {
+        let trace = w.cached_trace();
+        let buf = w.cached_buffer();
+        let (fast_wall, fast_rep) = best_of(|| Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf));
+        let (gen_wall, gen_rep) = best_of(|| Session::run(&cfg, ReplayMode::default(), &trace));
+        assert_eq!(
+            fast_rep.stats,
+            gen_rep.stats,
+            "fast and generic paths diverged on {}",
+            trace.label()
+        );
+        let instrs = fast_rep.stats.instructions.get();
+        let mpki = fast_rep.stats.mpki();
+        println!("{:<28} {:>10} {:>8.3}  fast==generic", trace.label(), instrs, mpki);
+        eprintln!(
+            "{:<28} {:>12.1} {:>12.1} {:>8.2}x",
+            trace.label(),
+            instrs as f64 / fast_wall / 1e6,
+            instrs as f64 / gen_wall / 1e6,
+            gen_wall / fast_wall,
+        );
+        for (path, wall) in [("fast", fast_wall), ("generic", gen_wall)] {
+            let agg = suite.entry(path).or_insert((0, 0.0, 0));
+            agg.0 += instrs;
+            agg.1 += wall;
+            agg.2 += fast_rep.stats.mispredictions();
+            records.push(ThroughputRecord {
+                experiment: "throughput".into(),
+                config: cfg.name.clone(),
+                config_hash: hash.clone(),
+                workload: trace.label().to_string(),
+                seed: w.seed,
+                threads: 1,
+                path: path.into(),
+                reps: u64::from(REPS),
+                instrs,
+                wall_ms: wall * 1e3,
+                instrs_per_s: instrs as f64 / wall,
+                mpki,
+            });
+        }
+    }
+
+    for (path, (instrs, wall, mispredicts)) in &suite {
+        let mpki = if *instrs == 0 { 0.0 } else { *mispredicts as f64 * 1e3 / *instrs as f64 };
+        println!("suite [{path:>7}]: {instrs} instrs, mpki {mpki:.3}");
+        eprintln!(
+            "suite [{path:>7}]: {:.1} M instrs/s per thread ({:.1} ms)",
+            *instrs as f64 / wall / 1e6,
+            wall * 1e3,
+        );
+        records.push(ThroughputRecord {
+            experiment: "throughput".into(),
+            config: cfg.name.clone(),
+            config_hash: hash.clone(),
+            workload: "suite".into(),
+            seed: args.seed,
+            threads: 1,
+            path: (*path).into(),
+            reps: u64::from(REPS),
+            instrs: *instrs,
+            wall_ms: wall * 1e3,
+            instrs_per_s: *instrs as f64 / wall,
+            mpki,
+        });
+    }
+
+    if let Some(path) = &args.json {
+        append_throughput_records(path, &records).expect("append schema-6 records");
+        println!("appended {} schema-6 records to {}", records.len(), path.display());
+    }
+}

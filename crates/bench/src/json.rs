@@ -749,6 +749,127 @@ pub fn read_simpoint_records(path: &Path) -> std::io::Result<Vec<SimPointRecord>
         .collect())
 }
 
+/// One replay-throughput measurement row from the `throughput` binary
+/// (experiment E23), as recorded in `results/bench.json` (schema 6).
+///
+/// The binary writes one row per (workload, path) pair — `path` is
+/// `"fast"` for the buffered monomorphized kernel and `"generic"` for
+/// the streaming session it is measured against — plus one
+/// suite-aggregate row per path (`workload: "suite"`). Wall times are
+/// best-of-`reps`: on shared CI machines a single timing can be 25–40%
+/// off, and the minimum over a few repetitions is the stable estimator
+/// of the achievable rate (PERFORMANCE.md §Measurement protocol).
+/// Schema-6 lines coexist with schemas 2–5 in the same JSON Lines
+/// file; readers dispatch on the `schema` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRecord {
+    /// Which binary produced the record (normally `"throughput"`).
+    pub experiment: String,
+    /// Predictor configuration label.
+    pub config: String,
+    /// Stable fingerprint of the full configuration (FNV-1a over its
+    /// canonical debug rendering), so rate comparisons across commits
+    /// only pair up runs of identical configs.
+    pub config_hash: String,
+    /// Workload label, or `"suite"` for the aggregate row.
+    pub workload: String,
+    /// Workload generator seed (suite base seed on the suite row).
+    pub seed: u64,
+    /// Replay threads the measured rate is normalized to (the binary
+    /// measures single-threaded, so rates are per-thread by
+    /// construction).
+    pub threads: u64,
+    /// `"fast"` (buffered kernel) or `"generic"` (streaming session).
+    pub path: String,
+    /// Timing repetitions the best-of wall time was taken over.
+    pub reps: u64,
+    /// Instructions replayed per timed run.
+    pub instrs: u64,
+    /// Best-of-`reps` wall time, in milliseconds.
+    pub wall_ms: f64,
+    /// Replay rate: `instrs / wall`, in instructions per second per
+    /// thread.
+    pub instrs_per_s: f64,
+    /// MPKI of the measured run — the determinism echo: identical
+    /// across paths and reps or the measurement is invalid.
+    pub mpki: f64,
+}
+
+impl ThroughputRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(6.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("config_hash", Json::Str(self.config_hash.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("path", Json::Str(self.path.clone())),
+            ("reps", Json::Num(self.reps as f64)),
+            ("instrs", Json::Num(self.instrs as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("instrs_per_s", Json::Num(self.instrs_per_s)),
+            ("mpki", Json::Num(self.mpki)),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object; `None` unless the line
+    /// declares `schema: 6`.
+    pub fn from_json(v: &Json) -> Option<ThroughputRecord> {
+        if v.get("schema")?.as_u64()? != 6 {
+            return None;
+        }
+        Some(ThroughputRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            config_hash: v.get("config_hash")?.as_str()?.to_string(),
+            workload: v.get("workload")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_u64()?,
+            threads: v.get("threads")?.as_u64()?,
+            path: v.get("path")?.as_str()?.to_string(),
+            reps: v.get("reps")?.as_u64()?,
+            instrs: v.get("instrs")?.as_u64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            instrs_per_s: v.get("instrs_per_s")?.as_f64()?,
+            mpki: v.get("mpki")?.as_f64()?,
+        })
+    }
+}
+
+/// Appends throughput records to a JSON Lines file (same appending
+/// contract as [`append_records`]).
+pub fn append_throughput_records(path: &Path, records: &[ThroughputRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable schema-6 record from a JSON Lines file,
+/// skipping lines of every other schema.
+pub fn read_throughput_records(path: &Path) -> std::io::Result<Vec<ThroughputRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| ThroughputRecord::from_json(&v))
+        .collect())
+}
+
 /// Appends arena records to a JSON Lines file (same appending contract
 /// as [`append_records`]).
 pub fn append_arena_records(path: &Path, records: &[ArenaRecord]) -> std::io::Result<()> {
@@ -1073,6 +1194,39 @@ mod tests {
         assert!(SimPointRecord::from_json(&sample_arena().to_json()).is_none());
     }
 
+    fn sample_throughput() -> ThroughputRecord {
+        ThroughputRecord {
+            experiment: "throughput".into(),
+            config: "z15".into(),
+            config_hash: "9e3779b97f4a7c15".into(),
+            workload: "suite".into(),
+            seed: 42,
+            threads: 1,
+            path: "fast".into(),
+            reps: 5,
+            instrs: 1_200_000,
+            wall_ms: 31.7,
+            instrs_per_s: 37_854_889.0,
+            mpki: 5.102,
+        }
+    }
+
+    #[test]
+    fn throughput_record_round_trips_as_schema_6() {
+        let r = sample_throughput();
+        let text = r.to_json().to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(6));
+        assert_eq!(ThroughputRecord::from_json(&v).unwrap(), r);
+        // Other-schema readers skip it, and vice versa.
+        assert!(BenchRecord::from_json(&v).is_none());
+        assert!(ServeRecord::from_json(&v).is_none());
+        assert!(ArenaRecord::from_json(&v).is_none());
+        assert!(SimPointRecord::from_json(&v).is_none());
+        assert!(ThroughputRecord::from_json(&sample().to_json()).is_none());
+        assert!(ThroughputRecord::from_json(&sample_simpoint().to_json()).is_none());
+    }
+
     #[test]
     fn mixed_schema_files_read_cleanly() {
         let dir = std::env::temp_dir().join(format!("zbp-json-mixed-{}", std::process::id()));
@@ -1082,10 +1236,12 @@ mod tests {
         append_serve_records(&path, &[sample_serve()]).unwrap();
         append_arena_records(&path, &[sample_arena()]).unwrap();
         append_simpoint_records(&path, &[sample_simpoint()]).unwrap();
+        append_throughput_records(&path, &[sample_throughput()]).unwrap();
         assert_eq!(read_records(&path).unwrap(), vec![sample()]);
         assert_eq!(read_serve_records(&path).unwrap(), vec![sample_serve()]);
         assert_eq!(read_arena_records(&path).unwrap(), vec![sample_arena()]);
         assert_eq!(read_simpoint_records(&path).unwrap(), vec![sample_simpoint()]);
+        assert_eq!(read_throughput_records(&path).unwrap(), vec![sample_throughput()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -27,6 +27,7 @@
 //! | `arena` | E21 — predictor tournament: z15 vs the registry roster, H2P mining |
 //! | `trace_convert` | E22 — `.zbpt` ↔ `.zbt2` container conversion + manifest demo |
 //! | `simpoint` | E22 — BBV clustering + weighted-slice replay vs full replay |
+//! | `throughput` | E23 — buffered fast-path vs streaming replay rate (instrs/s) |
 //!
 //! This library holds the shared experiment engine ([`Experiment`]),
 //! CLI parsing ([`BenchArgs`]), JSON results ([`json`]), and table
@@ -67,8 +68,9 @@ pub use experiment::{
 };
 pub use json::{
     append_arena_records, append_records, append_serve_records, append_simpoint_records,
-    read_arena_records, read_records, read_serve_records, read_simpoint_records, telemetry_json,
-    ArenaH2p, ArenaRecord, BenchRecord, Json, ServeRecord, SimPointRecord,
+    append_throughput_records, read_arena_records, read_records, read_serve_records,
+    read_simpoint_records, read_throughput_records, telemetry_json, ArenaH2p, ArenaRecord,
+    BenchRecord, Json, ServeRecord, SimPointRecord, ThroughputRecord,
 };
 pub use simpoint::{run_weighted, SimPointCell, SimPointSuiteResult, SimPointWorkloadResult};
 

@@ -6,6 +6,19 @@
 //! physical port performs the read-analyze-write duplicate filtering for
 //! installs.
 //!
+//! # Layout
+//!
+//! Storage is struct-of-arrays: one flat `keys` array carries the packed
+//! (valid, halfword-offset, tag) match word for every slot, so a row
+//! scan compares `ways` consecutive `u64`s in one cache line instead of
+//! chasing a per-row heap allocation of fat entries. The full
+//! [`BtbEntry`] payload lives in a parallel flat array and is only
+//! touched after a key matches; LRU ranks are a third flat byte array.
+//! Row index and tag are derived once per line and memoized across
+//! consecutive same-line searches (the prediction port walks a 64-byte
+//! block branch by branch, so one hash pass services every slot in the
+//! block). See `PERFORMANCE.md` for the layout diagrams.
+//!
 //! # Example
 //!
 //! Install a branch, then watch the read-before-write filter suppress a
@@ -38,7 +51,7 @@
 
 use crate::btb::BtbEntry;
 use crate::config::Btb1Config;
-use crate::util::{index_of, tag_of, LruRow};
+use crate::util::{index_of, lru_fresh_ranks, lru_touch, lru_victim, tag_of};
 use zbp_zarch::InstrAddr;
 
 /// Outcome of an install attempt.
@@ -56,31 +69,58 @@ pub enum InstallOutcome {
     Duplicate,
 }
 
-/// The BTB1 structure.
-#[derive(Debug, Clone)]
-pub struct Btb1 {
-    rows: Vec<Row>,
-    line_bytes: u64,
-    tag_bits: u32,
-    ways: usize,
+/// Packs a slot's match word: valid bit, halfword offset, tag. A zero
+/// key is an invalid slot (the valid bit guarantees no live entry packs
+/// to zero).
+const VALID: u64 = 1 << 63;
+
+fn pack_key(tag: u32, offset_hw: u8) -> u64 {
+    VALID | (u64::from(offset_hw) << 32) | u64::from(tag)
 }
 
+/// The BTB1 structure (struct-of-arrays, see the module docs).
 #[derive(Debug, Clone)]
-struct Row {
+pub struct Btb1 {
+    /// Packed (valid, offset, tag) per slot; slot = row × ways + way.
+    keys: Vec<u64>,
+    /// Full entry payload, parallel to `keys`; `Some` iff the key is
+    /// valid.
     entries: Vec<Option<BtbEntry>>,
-    lru: LruRow,
+    /// LRU age per slot (0 = MRU within its row).
+    lru: Vec<u8>,
+    line_bytes: u64,
+    /// `log2(line_bytes)` — line numbers derive by shift, not division.
+    line_shift: u32,
+    tag_bits: u32,
+    ways: usize,
+    rows: usize,
+    /// One-line memo of the last (line → row index, tag) derivation:
+    /// both are pure functions of the line and the geometry, so
+    /// consecutive same-line searches skip the hash entirely.
+    memo_line: u64,
+    memo_row: usize,
+    memo_tag: u32,
 }
 
 impl Btb1 {
     /// Builds an empty BTB1 from its configuration.
     pub fn new(cfg: &Btb1Config) -> Self {
+        assert!(cfg.search_bytes.is_power_of_two(), "search width must be a power of two");
+        let slots = cfg.rows * cfg.ways;
         Btb1 {
-            rows: (0..cfg.rows)
-                .map(|_| Row { entries: vec![None; cfg.ways], lru: LruRow::new(cfg.ways) })
-                .collect(),
+            keys: vec![0; slots],
+            entries: vec![None; slots],
+            lru: (0..cfg.rows).flat_map(|_| lru_fresh_ranks(cfg.ways)).collect(),
             line_bytes: cfg.search_bytes,
+            line_shift: cfg.search_bytes.trailing_zeros(),
             tag_bits: cfg.tag_bits,
             ways: cfg.ways,
+            rows: cfg.rows,
+            // No line is all-ones (lines are `line_bytes`-aligned), so
+            // the memo starts provably cold.
+            memo_line: u64::MAX,
+            memo_row: 0,
+            memo_tag: 0,
         }
     }
 
@@ -96,24 +136,40 @@ impl Btb1 {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.rows.len()
+        self.rows
     }
 
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
-        self.rows.iter().map(|r| r.entries.iter().flatten().count()).sum()
+        self.keys.iter().filter(|&&k| k != 0).count()
     }
 
     fn line_of(&self, addr: InstrAddr) -> u64 {
         addr.raw() & !(self.line_bytes - 1)
     }
 
-    fn row_index(&self, line: u64) -> usize {
-        index_of(line / self.line_bytes, self.rows.len())
+    /// Row index and tag for `line`, hashed once and memoized: the
+    /// prediction port's batched block search services every slot of a
+    /// 64-byte line from a single derivation.
+    fn row_and_tag(&mut self, line: u64) -> (usize, u32) {
+        if line == self.memo_line {
+            return (self.memo_row, self.memo_tag);
+        }
+        let row = index_of(line >> self.line_shift, self.rows);
+        let tag = tag_of(line, self.tag_bits);
+        self.memo_line = line;
+        self.memo_row = row;
+        self.memo_tag = tag;
+        (row, tag)
     }
 
-    fn line_tag(&self, line: u64) -> u32 {
-        tag_of(line, self.tag_bits)
+    /// Shared-reference variant for the probe/audit ports (no memo).
+    fn row_and_tag_cold(&self, line: u64) -> (usize, u32) {
+        (index_of(line >> self.line_shift, self.rows), tag_of(line, self.tag_bits))
+    }
+
+    fn row_index(&self, line: u64) -> usize {
+        self.row_and_tag_cold(line).0
     }
 
     /// Searches the line containing `addr`, returning every matching
@@ -121,42 +177,49 @@ impl Btb1 {
     /// ordering step). Touches LRU for hits.
     ///
     /// This is the prediction-search port: up to [`Self::ways`]
-    /// predictions per search.
+    /// predictions per search. The row's keys are scanned in one
+    /// contiguous pass; the hash is computed once per line.
     pub fn search_line_from(&mut self, addr: InstrAddr) -> Vec<(usize, BtbEntry)> {
+        let mut hits = Vec::new();
+        self.search_line_into(addr, &mut hits);
+        hits
+    }
+
+    /// Allocation-free form of [`search_line_from`](Self::search_line_from):
+    /// clears `out` and fills it with the ordered hits, so a driver
+    /// polling line after line reuses one buffer.
+    pub fn search_line_into(&mut self, addr: InstrAddr, out: &mut Vec<(usize, BtbEntry)>) {
+        out.clear();
         let line = self.line_of(addr);
         let min_off = ((addr.raw() - line) / 2) as u8;
-        let tag = self.line_tag(line);
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
-        let mut hits: Vec<(usize, BtbEntry)> = row
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(w, e)| e.as_ref().map(|e| (w, *e)))
-            .filter(|(_, e)| e.tag == tag && e.offset_hw >= min_off)
-            .collect();
-        hits.sort_by_key(|(_, e)| e.offset_hw);
-        for (w, _) in &hits {
-            row.lru.touch(*w);
+        let (row, tag) = self.row_and_tag(line);
+        let base = row * self.ways;
+        for w in 0..self.ways {
+            let key = self.keys[base + w];
+            if key != 0 && (key & 0xffff_ffff) as u32 == tag && (key >> 32) as u8 >= min_off {
+                let e = self.entries[base + w].expect("valid key has payload");
+                out.push((w, e));
+            }
         }
-        hits
+        out.sort_by_key(|(_, e)| e.offset_hw);
+        for &(w, _) in out.iter() {
+            lru_touch(&mut self.lru[base..base + self.ways], w);
+        }
     }
 
     /// Looks up a single branch by exact address (tag + offset match).
     /// Touches LRU on hit. Returns the way and a copy of the entry.
     pub fn lookup(&mut self, addr: InstrAddr) -> Option<(usize, BtbEntry)> {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
-        for (w, e) in row.entries.iter().enumerate() {
-            if let Some(e) = e {
-                if e.matches(tag, off) {
-                    let hit = *e;
-                    row.lru.touch(w);
-                    return Some((w, hit));
-                }
+        let (row, tag) = self.row_and_tag(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        for w in 0..self.ways {
+            if self.keys[base + w] == want {
+                let hit = self.entries[base + w].expect("valid key has payload");
+                lru_touch(&mut self.lru[base..base + self.ways], w);
+                return Some((w, hit));
             }
         }
         None
@@ -166,13 +229,13 @@ impl Btb1 {
     /// port).
     pub fn probe(&self, addr: InstrAddr) -> Option<(usize, &BtbEntry)> {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row = &self.rows[self.row_index(line)];
-        row.entries
-            .iter()
-            .enumerate()
-            .find_map(|(w, e)| e.as_ref().filter(|e| e.matches(tag, off)).map(|e| (w, e)))
+        let (row, tag) = self.row_and_tag_cold(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        (0..self.ways)
+            .find(|&w| self.keys[base + w] == want)
+            .map(|w| (w, self.entries[base + w].as_ref().expect("valid key has payload")))
     }
 
     /// Installs an entry, performing the read-before-write duplicate
@@ -182,22 +245,24 @@ impl Btb1 {
     /// state is never clobbered by a stale copy.
     pub fn install(&mut self, entry: BtbEntry) -> InstallOutcome {
         let line = self.line_of(entry.branch_addr);
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
+        let (row, _) = self.row_and_tag(line);
+        let base = row * self.ways;
+        let want = pack_key(entry.tag, entry.offset_hw);
         // Read-before-write filter.
-        for (w, e) in row.entries.iter().enumerate() {
-            if let Some(existing) = e {
-                if existing.matches(entry.tag, entry.offset_hw) {
-                    row.lru.touch(w);
-                    return InstallOutcome::Duplicate;
-                }
+        for w in 0..self.ways {
+            if self.keys[base + w] == want {
+                lru_touch(&mut self.lru[base..base + self.ways], w);
+                return InstallOutcome::Duplicate;
             }
         }
         // Prefer an invalid way; otherwise victimize LRU.
-        let way = row.entries.iter().position(|e| e.is_none()).unwrap_or_else(|| row.lru.lru());
-        let victim = row.entries[way].take();
-        row.entries[way] = Some(entry);
-        row.lru.touch(way);
+        let way = (0..self.ways)
+            .find(|&w| self.keys[base + w] == 0)
+            .unwrap_or_else(|| lru_victim(&self.lru[base..base + self.ways]));
+        let victim = self.entries[base + way].take();
+        self.entries[base + way] = Some(entry);
+        self.keys[base + way] = want;
+        lru_touch(&mut self.lru[base..base + self.ways], way);
         InstallOutcome::Installed { victim }
     }
 
@@ -206,12 +271,13 @@ impl Btb1 {
     /// through the write port).
     pub fn update<F: FnOnce(&mut BtbEntry)>(&mut self, addr: InstrAddr, f: F) -> bool {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
-        for e in row.entries.iter_mut().flatten() {
-            if e.matches(tag, off) {
+        let (row, tag) = self.row_and_tag(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        for w in 0..self.ways {
+            if self.keys[base + w] == want {
+                let e = self.entries[base + w].as_mut().expect("valid key has payload");
                 f(e);
                 return true;
             }
@@ -223,15 +289,14 @@ impl Btb1 {
     /// paper §IV). Returns the removed entry.
     pub fn remove(&mut self, addr: InstrAddr) -> Option<BtbEntry> {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
-        for e in row.entries.iter_mut() {
-            if let Some(v) = e {
-                if v.matches(tag, off) {
-                    return e.take();
-                }
+        let (row, tag) = self.row_and_tag(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        for w in 0..self.ways {
+            if self.keys[base + w] == want {
+                self.keys[base + w] = 0;
+                return self.entries[base + w].take();
             }
         }
         None
@@ -244,19 +309,17 @@ impl Btb1 {
     /// BTB2").
     pub fn lru_entry_of_line(&self, addr: InstrAddr) -> Option<BtbEntry> {
         let line = self.line_of(addr);
-        let row = &self.rows[self.row_index(line)];
+        let base = self.row_index(line) * self.ways;
         // Oldest valid entry by LRU rank.
-        row.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(w, e)| e.as_ref().map(|e| (row.lru.rank(w), *e)))
-            .max_by_key(|(rank, _)| *rank)
-            .map(|(_, e)| e)
+        (0..self.ways)
+            .filter(|&w| self.keys[base + w] != 0)
+            .max_by_key(|&w| self.lru[base + w])
+            .and_then(|w| self.entries[base + w])
     }
 
     /// Iterates over all valid entries (verification/reference use).
     pub fn iter(&self) -> impl Iterator<Item = &BtbEntry> {
-        self.rows.iter().flat_map(|r| r.entries.iter().flatten())
+        self.entries.iter().flatten()
     }
 
     /// Counts the valid slots in `addr`'s row that match its
@@ -265,10 +328,11 @@ impl Btb1 {
     /// use; does not touch LRU).
     pub fn matches_in_row(&self, addr: InstrAddr) -> usize {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row = &self.rows[self.row_index(line)];
-        row.entries.iter().flatten().filter(|e| e.matches(tag, off)).count()
+        let (row, tag) = self.row_and_tag_cold(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        (0..self.ways).filter(|&w| self.keys[base + w] == want).count()
     }
 
     /// Scans every row for duplicate (tag, offset) pairs, returning the
@@ -276,11 +340,14 @@ impl Btb1 {
     /// on a healthy table).
     pub fn duplicate_slots(&self) -> Vec<InstrAddr> {
         let mut dups = Vec::new();
-        for row in &self.rows {
-            let live: Vec<&BtbEntry> = row.entries.iter().flatten().collect();
-            for (i, e) in live.iter().enumerate() {
-                if live[..i].iter().any(|p| p.matches(e.tag, e.offset_hw)) {
-                    dups.push(e.branch_addr);
+        for row in 0..self.rows {
+            let base = row * self.ways;
+            let keys = &self.keys[base..base + self.ways];
+            for (i, &k) in keys.iter().enumerate() {
+                if k != 0 && keys[..i].contains(&k) {
+                    if let Some(e) = &self.entries[base + i] {
+                        dups.push(e.branch_addr);
+                    }
                 }
             }
         }
@@ -296,35 +363,34 @@ impl Btb1 {
     #[cfg(feature = "verify")]
     pub fn force_duplicate(&mut self, addr: InstrAddr) -> bool {
         let line = self.line_of(addr);
-        let tag = self.line_tag(line);
         let off = ((addr.raw() - line) / 2) as u8;
-        let row_idx = self.row_index(line);
-        let row = &mut self.rows[row_idx];
-        let Some(src) = row.entries.iter().flatten().find(|e| e.matches(tag, off)).copied() else {
+        let (row, tag) = self.row_and_tag(line);
+        let want = pack_key(tag, off);
+        let base = row * self.ways;
+        let Some(src_way) = (0..self.ways).find(|&w| self.keys[base + w] == want) else {
             return false;
         };
-        let way = match row.entries.iter().position(|e| e.is_none()) {
+        let src = self.entries[base + src_way].expect("valid key has payload");
+        let way = match (0..self.ways).find(|&w| self.keys[base + w] == 0) {
             Some(w) => w,
             None => {
-                let w = row.lru.lru();
+                let w = lru_victim(&self.lru[base..base + self.ways]);
                 // Don't clobber the source copy itself.
-                if row.entries[w].as_ref().is_some_and(|e| e.matches(tag, off)) {
+                if self.keys[base + w] == want {
                     return false;
                 }
                 w
             }
         };
-        row.entries[way] = Some(src);
+        self.keys[base + way] = want;
+        self.entries[base + way] = Some(src);
         true
     }
 
     /// Clears all entries (context scrub in some experiments).
     pub fn clear(&mut self) {
-        for row in &mut self.rows {
-            for e in &mut row.entries {
-                *e = None;
-            }
-        }
+        self.keys.fill(0);
+        self.entries.fill(None);
     }
 }
 
@@ -383,6 +449,22 @@ mod tests {
         let hits = b.search_line_from(InstrAddr::new(0x1010));
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].1.target, InstrAddr::new(0xc000));
+    }
+
+    #[test]
+    fn search_line_into_reuses_buffer() {
+        let mut b = btb();
+        b.install(entry(0x1008, 0xb000));
+        b.install(entry(0x2030, 0xa000));
+        let mut buf = Vec::new();
+        b.search_line_into(InstrAddr::new(0x1000), &mut buf);
+        assert_eq!(buf.len(), 1);
+        // Second search clears the stale contents first.
+        b.search_line_into(InstrAddr::new(0x2000), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].1.target, InstrAddr::new(0xa000));
+        b.search_line_into(InstrAddr::new(0x3000), &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]
@@ -458,6 +540,23 @@ mod tests {
         b.install(entry(0x2004, 2));
         b.install(entry(0x3004, 3));
         assert_eq!(b.iter().count(), 3);
+    }
+
+    #[test]
+    fn keys_and_payload_stay_in_lockstep() {
+        // The SoA invariant: a slot's key is non-zero exactly when its
+        // payload is present, through installs, evictions, and removes.
+        let mut b = btb();
+        for k in 0..64u64 {
+            b.install(entry(0x1000 + k * 6, k));
+        }
+        b.remove(InstrAddr::new(0x1006));
+        let live = b.iter().count();
+        assert_eq!(b.occupancy(), live, "key count must equal payload count");
+        for e in b.iter() {
+            let got = b.probe(e.branch_addr).expect("every payload is reachable by key");
+            assert_eq!(got.1.branch_addr, e.branch_addr);
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use crate::btb::BtbEntry;
 use crate::config::{Btb2Config, InclusionPolicy};
-use crate::util::{index_of, LruRow};
+use crate::util::{index_of, lru_fresh_ranks, lru_touch, lru_victim};
 use std::collections::VecDeque;
 use zbp_zarch::InstrAddr;
 
@@ -79,11 +79,23 @@ pub struct Btb2Stats {
 }
 
 /// The BTB2 structure plus its staging queue toward the BTB1.
+///
+/// Row storage is struct-of-arrays like the BTB1's: one flat entry
+/// array (slot = row × ways + way) and one flat LRU byte array, so a
+/// backing-store sweep over [`Btb2Config::search_lines`] consecutive
+/// lines walks contiguous memory instead of chasing a heap `Vec` per
+/// row.
 #[derive(Debug, Clone)]
 pub struct Btb2 {
-    rows: Vec<Row>,
+    /// Entry payload per slot; slot = row × ways + way.
+    entries: Vec<Option<BtbEntry>>,
+    /// LRU age per slot (0 = MRU within its row).
+    lru: Vec<u8>,
+    nrows: usize,
     cfg: Btb2Config,
     line_bytes: u64,
+    /// `log2(line_bytes)` — line numbers derive by shift, not division.
+    line_shift: u32,
     staging: VecDeque<BtbEntry>,
     /// Successive qualified BTB1 no-prediction searches.
     miss_streak: u32,
@@ -96,22 +108,18 @@ pub struct Btb2 {
     pub stats: Btb2Stats,
 }
 
-#[derive(Debug, Clone)]
-struct Row {
-    entries: Vec<Option<BtbEntry>>,
-    lru: LruRow,
-}
-
 impl Btb2 {
     /// Builds an empty BTB2. `line_bytes` is the BTB1 line granularity
     /// (entries keep their BTB1-format tags/offsets on transfer).
     pub fn new(cfg: &Btb2Config, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line granularity must be a power of two");
         Btb2 {
-            rows: (0..cfg.rows)
-                .map(|_| Row { entries: vec![None; cfg.ways], lru: LruRow::new(cfg.ways) })
-                .collect(),
+            entries: vec![None; cfg.rows * cfg.ways],
+            lru: (0..cfg.rows).flat_map(|_| lru_fresh_ranks(cfg.ways)).collect(),
+            nrows: cfg.rows,
             cfg: cfg.clone(),
             line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
             staging: VecDeque::new(),
             miss_streak: 0,
             burst_events: VecDeque::new(),
@@ -128,32 +136,36 @@ impl Btb2 {
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.rows.iter().map(|r| r.entries.iter().flatten().count()).sum()
+        self.entries.iter().flatten().count()
     }
 
     fn row_index(&self, addr: InstrAddr) -> usize {
         let line = addr.raw() & !(self.line_bytes - 1);
-        index_of(line / self.line_bytes, self.rows.len())
+        index_of(line >> self.line_shift, self.nrows)
     }
 
     /// Writes an entry into the BTB2 (fill from a BTB1 victim, a
     /// periodic refresh, or an initial preload). Duplicates (same
     /// tag/offset in the row) are overwritten in place.
     pub fn fill(&mut self, entry: BtbEntry) {
-        let row_idx = self.row_index(entry.branch_addr);
-        let row = &mut self.rows[row_idx];
-        for (w, e) in row.entries.iter_mut().enumerate() {
+        let ways = self.cfg.ways;
+        let base = self.row_index(entry.branch_addr) * ways;
+        let row = &mut self.entries[base..base + ways];
+        for (w, e) in row.iter_mut().enumerate() {
             if let Some(existing) = e {
                 if existing.matches(entry.tag, entry.offset_hw) {
                     *existing = entry;
-                    row.lru.touch(w);
+                    lru_touch(&mut self.lru[base..base + ways], w);
                     return;
                 }
             }
         }
-        let way = row.entries.iter().position(|e| e.is_none()).unwrap_or_else(|| row.lru.lru());
-        row.entries[way] = Some(entry);
-        row.lru.touch(way);
+        let way = row
+            .iter()
+            .position(|e| e.is_none())
+            .unwrap_or_else(|| lru_victim(&self.lru[base..base + ways]));
+        row[way] = Some(entry);
+        lru_touch(&mut self.lru[base..base + ways], way);
     }
 
     /// Records a periodic-refresh writeback (semi-inclusive mode).
@@ -165,9 +177,9 @@ impl Btb2 {
     /// Removes the entry matching `entry`'s slot (semi-exclusive
     /// promotion to BTB1). Returns whether anything was removed.
     pub fn invalidate(&mut self, entry: &BtbEntry) -> bool {
-        let row_idx = self.row_index(entry.branch_addr);
-        let row = &mut self.rows[row_idx];
-        for e in row.entries.iter_mut() {
+        let ways = self.cfg.ways;
+        let base = self.row_index(entry.branch_addr) * ways;
+        for e in self.entries[base..base + ways].iter_mut() {
             if let Some(v) = e {
                 if v.matches(entry.tag, entry.offset_hw) {
                     *e = None;
@@ -246,14 +258,15 @@ impl Btb2 {
             SearchReason::ContextChange => self.stats.searches_context += 1,
         }
         let mut staged = 0;
+        let ways = self.cfg.ways;
         let start_line = addr.raw() & !(self.line_bytes - 1);
+        let mut hit_ways = Vec::new();
         for l in 0..self.cfg.search_lines as u64 {
             let line_addr = InstrAddr::new(start_line + l * self.line_bytes);
-            let row_idx = self.row_index(line_addr);
+            let base = self.row_index(line_addr) * ways;
             // Collect hits first, then touch LRU.
-            let row = &mut self.rows[row_idx];
-            let mut hit_ways = Vec::new();
-            for (w, e) in row.entries.iter().enumerate() {
+            hit_ways.clear();
+            for (w, e) in self.entries[base..base + ways].iter().enumerate() {
                 if let Some(e) = e {
                     // A row holds entries from many lines (aliasing);
                     // qualify by true line in the model.
@@ -263,8 +276,8 @@ impl Btb2 {
                     }
                 }
             }
-            for (w, e) in hit_ways {
-                row.lru.touch(w);
+            for &(w, e) in &hit_ways {
+                lru_touch(&mut self.lru[base..base + ways], w);
                 if self.staging.len() < self.cfg.staging_capacity {
                     self.staging.push_back(e);
                     staged += 1;
@@ -289,13 +302,17 @@ impl Btb2 {
 
     /// Iterates over all valid entries (verification use).
     pub fn iter(&self) -> impl Iterator<Item = &BtbEntry> {
-        self.rows.iter().flat_map(|r| r.entries.iter().flatten())
+        self.entries.iter().flatten()
     }
 
     /// Whether an entry for this exact slot exists (verification use).
     pub fn contains(&self, entry: &BtbEntry) -> bool {
-        let row = &self.rows[self.row_index(entry.branch_addr)];
-        row.entries.iter().flatten().any(|e| e.matches(entry.tag, entry.offset_hw))
+        let ways = self.cfg.ways;
+        let base = self.row_index(entry.branch_addr) * ways;
+        self.entries[base..base + ways]
+            .iter()
+            .flatten()
+            .any(|e| e.matches(entry.tag, entry.offset_hw))
     }
 }
 

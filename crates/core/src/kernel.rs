@@ -1,0 +1,212 @@
+//! Config-monomorphized fast-path replay kernel.
+//!
+//! The generic replay path (`ReplayCore::step` driving the [`Predictor`]
+//! trait) re-decides, per branch, questions whose answers never change
+//! within a run: is a probe attached, is telemetry live, does this
+//! generation configure a BTBP, is SKOOT on. A [`ConfigView`] lifts
+//! those answers to compile time: `predict_impl::<V>` /
+//! `resolve_impl::<V>` (the real bodies behind the `Predictor` trait
+//! methods) are generic over a view, and the compiler emits one
+//! specialized copy per view with the dead observation and
+//! absent-structure code removed.
+//!
+//! Two views exist:
+//!
+//! * [`DynView`] — everything answered at runtime. The `Predictor`
+//!   trait methods instantiate this view, so ordinary streaming replay
+//!   is *exactly* the pre-kernel code path.
+//! * [`Z15View`] — the default z15 preset shape (no BTBP, SKOOT on)
+//!   with observation compiled out. `ZPredictor::replay_buffer`
+//!   instantiates this view only when the live config matches the
+//!   view's claims ([`Z15View::matches`]) **and** nothing is observing
+//!   (no probe, telemetry disabled) — so skipping the observation call
+//!   sites is indistinguishable from running them.
+//!
+//! `run` (crate-private, reached through `ZPredictor::replay_buffer`)
+//! is the kernel itself: the delayed-update window re-expressed
+//! over a pre-decoded [`ReplayBuffer`] with a fixed-capacity ring of
+//! `(record index, prediction)` pairs in place of the generic harness's
+//! `VecDeque` of full record tuples. Statistics are byte-identical to
+//! `ReplayCore` at the same depth — the parity suite in
+//! `crates/serve/tests/fastpath_parity.rs` pins that on every preset.
+//!
+//! [`Predictor`]: zbp_model::Predictor
+//! [`ReplayBuffer`]: zbp_model::ReplayBuffer
+
+use crate::config::PredictorConfig;
+use crate::predictor::ZPredictor;
+use zbp_model::{BranchTable, Prediction, ReplayRequest, RunStats};
+
+/// Compile-time answers to per-run-constant questions.
+///
+/// Every `Option<bool>` constant is a *claim*: `Some(x)` promises the
+/// live configuration agrees with `x` (the dispatcher must verify via
+/// [`Z15View::matches`]-style checks before instantiating), while
+/// `None` defers to the runtime value. [`enabled`] folds a claim with
+/// its runtime fallback.
+pub trait ConfigView {
+    /// Whether probe events and telemetry are (possibly) live. With
+    /// `false`, every `emit`/`tel` call site compiles out — sound only
+    /// when no probe is attached and telemetry is disabled.
+    const OBSERVED: bool;
+    /// Claim about `cfg.btbp.is_some()` (BTBP promotion path).
+    const BTBP: Option<bool>;
+    /// Claim about `cfg.skoot` (SKOOT skip-distance learning).
+    const SKOOT: Option<bool>;
+}
+
+/// The all-runtime view: observation on, no structure claims. The
+/// `Predictor` trait methods use this — it reproduces the un-specialized
+/// code path exactly.
+#[derive(Debug)]
+pub struct DynView;
+
+impl ConfigView for DynView {
+    const OBSERVED: bool = true;
+    const BTBP: Option<bool> = None;
+    const SKOOT: Option<bool> = None;
+}
+
+/// The default z15 preset, unobserved: no BTBP, SKOOT on, all
+/// observation call sites compiled out.
+#[derive(Debug)]
+pub struct Z15View;
+
+impl ConfigView for Z15View {
+    const OBSERVED: bool = false;
+    const BTBP: Option<bool> = Some(false);
+    const SKOOT: Option<bool> = Some(true);
+}
+
+impl Z15View {
+    /// Whether `cfg` honours this view's structure claims. Configs that
+    /// don't (a BTBP generation, SKOOT ablated) must stay on the
+    /// generic path.
+    pub fn matches(cfg: &PredictorConfig) -> bool {
+        cfg.btbp.is_none() && cfg.skoot
+    }
+}
+
+/// Folds a view claim with its runtime fallback: `Some(x)` is `x` at
+/// compile time, `None` reads the live value.
+///
+/// ```
+/// use zbp_core::kernel::enabled;
+/// assert!(enabled(Some(true), false));   // claim wins
+/// assert!(!enabled(Some(false), true));  // claim wins
+/// assert!(enabled(None, true));          // no claim: runtime value
+/// ```
+#[inline(always)]
+pub fn enabled(claim: Option<bool>, runtime: bool) -> bool {
+    claim.unwrap_or(runtime)
+}
+
+/// Replays a pre-decoded buffer through `pred` under the delayed-update
+/// protocol, monomorphized over `V`.
+///
+/// Semantics mirror `ReplayCore::step` + `finish` exactly: predict,
+/// classify, push in-flight; a mispredict drains the whole window and
+/// flushes, otherwise the window drains to `depth`; the stream tail
+/// drains at the end and the trace's straight-line tail is accounted
+/// once. The in-flight window is a fixed ring of
+/// `(record index, prediction)` — records re-materialize from the
+/// buffer's columns at resolve time instead of being copied through a
+/// queue.
+pub(crate) fn run<V: ConfigView>(pred: &mut ZPredictor, req: &ReplayRequest<'_>) -> RunStats {
+    let buf = req.buffer;
+    let n = buf.len();
+    let depth = req.depth;
+    let mut out = RunStats::default();
+    if req.profiling {
+        out.profile = Some(BranchTable::new());
+    }
+
+    // Ring of in-flight (record index, prediction). Occupancy peaks at
+    // depth + 1 (one push before the overflow drain) and can never
+    // exceed the record count.
+    let cap = depth.saturating_add(1).min(n.saturating_add(1)).max(1);
+    let mut ring: Vec<(u32, Prediction)> = vec![(0, Prediction::not_taken()); cap];
+    let mut head = 0usize;
+    let mut len = 0usize;
+
+    for i in 0..n {
+        let thread = buf.thread(i);
+        let addr = buf.addr(i);
+        let p = pred.predict_impl::<V>(thread, addr, buf.class(i));
+        let rec = buf.record(i);
+        let kind = out.stats.record(&p, &rec);
+        if let Some(table) = &mut out.profile {
+            table.observe(&rec, kind);
+        }
+        let mut tail = head + len;
+        if tail >= cap {
+            tail -= cap;
+        }
+        if let Some(slot) = ring.get_mut(tail) {
+            *slot = (i as u32, p);
+        }
+        len += 1;
+
+        let drain_to = if kind.is_some() {
+            out.flushes += 1;
+            0
+        } else {
+            depth
+        };
+        while len > drain_to {
+            let (j, pr) = ring.get(head).copied().unwrap_or((0, Prediction::not_taken()));
+            head += 1;
+            if head == cap {
+                head = 0;
+            }
+            len -= 1;
+            let r = buf.record(j as usize);
+            pred.resolve_impl::<V>(r.thread, &r, &pr);
+        }
+        if kind.is_some() {
+            pred.flush_impl::<V>(thread, &rec);
+        }
+    }
+
+    while len > 0 {
+        let (j, pr) = ring.get(head).copied().unwrap_or((0, Prediction::not_taken()));
+        head += 1;
+        if head == cap {
+            head = 0;
+        }
+        len -= 1;
+        let r = buf.record(j as usize);
+        pred.resolve_impl::<V>(r.thread, &r, &pr);
+    }
+    out.stats.add_instructions(buf.tail_instrs());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenerationPreset;
+
+    #[test]
+    fn z15_preset_matches_its_view() {
+        assert!(Z15View::matches(&GenerationPreset::Z15.config()));
+    }
+
+    #[test]
+    fn btbp_generations_do_not_match_z15_view() {
+        // z13/z14 configure a BTBP; the fast view's "no BTBP" claim
+        // would be unsound there.
+        let cfg = GenerationPreset::Z14.config();
+        if cfg.btbp.is_some() {
+            assert!(!Z15View::matches(&cfg));
+        }
+    }
+
+    #[test]
+    fn claims_fold_over_runtime_values() {
+        assert!(enabled(Some(true), false));
+        assert!(!enabled(Some(false), true));
+        assert!(enabled(None, true));
+        assert!(!enabled(None, false));
+    }
+}

@@ -57,13 +57,11 @@ pub struct PerceptronStats {
     pub virtualizations: u64,
 }
 
-#[derive(Debug, Clone)]
+/// Per-entry control state (everything except the weight/selector
+/// arrays, which live flat in the table — see [`Perceptron`]).
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     tag: u32,
-    weights: Vec<i32>,
-    /// Per-weight selector: which of the virtualized GPV bit candidates
-    /// this weight currently observes (0..virtualization).
-    selectors: Vec<u8>,
     usefulness: SatCounter,
     protection: SatCounter,
     /// Completions since the last virtualization sweep.
@@ -73,9 +71,19 @@ struct Entry {
 }
 
 /// The perceptron table.
+///
+/// Storage is struct-of-arrays: entry control state sits in one flat
+/// slot array (slot = row × ways + way) and every entry's weight and
+/// selector vectors live in two flat parallel arrays at
+/// `slot × weights ..`, so a lookup walks one contiguous stripe instead
+/// of chasing two heap `Vec`s per entry (see `PERFORMANCE.md`).
 #[derive(Debug, Clone)]
 pub struct Perceptron {
-    rows: Vec<Vec<Option<Entry>>>,
+    entries: Vec<Option<Entry>>,
+    /// Weight vectors, flat: entry `slot` owns `[slot*weights, (slot+1)*weights)`.
+    weights: Vec<i32>,
+    /// Per-weight virtualization selectors, parallel to `weights`.
+    selectors: Vec<u8>,
     cfg: PerceptronConfig,
     /// Statistics.
     pub stats: PerceptronStats,
@@ -84,15 +92,24 @@ pub struct Perceptron {
 impl Perceptron {
     /// Builds an empty perceptron table.
     pub fn new(cfg: &PerceptronConfig) -> Self {
+        let slots = cfg.rows * cfg.ways;
         Perceptron {
-            rows: vec![vec![None; cfg.ways]; cfg.rows],
+            entries: vec![None; slots],
+            weights: vec![0; slots * cfg.weights],
+            selectors: vec![0; slots * cfg.weights],
             cfg: cfg.clone(),
             stats: PerceptronStats::default(),
         }
     }
 
+    /// The weight/selector stripe of `slot`.
+    fn stripe(&self, slot: usize) -> (&[i32], &[u8]) {
+        let n = self.cfg.weights;
+        (&self.weights[slot * n..(slot + 1) * n], &self.selectors[slot * n..(slot + 1) * n])
+    }
+
     fn row_of(&self, addr: InstrAddr) -> usize {
-        index_of(addr.raw() >> 1, self.rows.len())
+        index_of(addr.raw() >> 1, self.cfg.rows)
     }
 
     fn tag_for(&self, addr: InstrAddr) -> u32 {
@@ -108,21 +125,21 @@ impl Perceptron {
         let gpv_bits = 2 * gpv.depth();
         let threshold = self.cfg.usefulness_threshold;
         let weights_n = self.cfg.weights;
-        let entry = self.rows[row]
-            .iter()
-            .enumerate()
-            .find_map(|(w, e)| e.as_ref().filter(|e| e.tag == tag).map(|e| (w, e)))?;
-        let (way, e) = entry;
+        let base = row * self.cfg.ways;
+        let (way, e) = (0..self.cfg.ways).find_map(|w| {
+            self.entries[base + w].as_ref().filter(|e| e.tag == tag).map(|e| (w, *e))
+        })?;
+        let (ws, sels) = self.stripe(base + way);
         let mut sum = 0i32;
         for i in 0..weights_n {
-            let pos = i + usize::from(e.selectors[i]) * weights_n;
+            let pos = i + usize::from(sels[i]) * weights_n;
             if pos >= gpv_bits {
                 continue;
             }
             if gpv.bit(pos) {
-                sum += e.weights[i];
+                sum += ws[i];
             } else {
-                sum -= e.weights[i];
+                sum -= ws[i];
             }
         }
         self.stats.hits += 1;
@@ -152,20 +169,23 @@ impl Perceptron {
         let theta = self.cfg.train_theta;
         let mut virtualized = 0u64;
         self.stats.trains += 1;
-        let Some(e) = self.rows[row][way].as_mut() else { return };
+        let slot = row * self.cfg.ways + way;
+        let Some(e) = self.entries[slot].as_mut() else { return };
+        let ws = &mut self.weights[slot * weights_n..(slot + 1) * weights_n];
+        let sels = &mut self.selectors[slot * weights_n..(slot + 1) * weights_n];
         // θ-gated training: adjust only when the entry was wrong or
         // under-confident, so uncorrelated weights stay near zero
         // instead of random-walking into saturation.
         let mut sum = 0i32;
         for i in 0..weights_n {
-            let pos = i + usize::from(e.selectors[i]) * weights_n;
+            let pos = i + usize::from(sels[i]) * weights_n;
             if pos >= gpv_bits {
                 continue;
             }
             if gpv.bit(pos) {
-                sum += e.weights[i];
+                sum += ws[i];
             } else {
-                sum -= e.weights[i];
+                sum -= ws[i];
             }
         }
         let predicted_taken = sum >= 0;
@@ -175,7 +195,7 @@ impl Perceptron {
         }
         if adjust {
             for i in 0..weights_n {
-                let pos = i + usize::from(e.selectors[i]) * weights_n;
+                let pos = i + usize::from(sels[i]) * weights_n;
                 if pos >= gpv_bits {
                     continue;
                 }
@@ -184,17 +204,17 @@ impl Perceptron {
                     (Direction::Taken, true) | (Direction::NotTaken, false) => 1,
                     _ => -1,
                 };
-                e.weights[i] = (e.weights[i] + delta).clamp(-wmax, wmax);
+                ws[i] = (ws[i] + delta).clamp(-wmax, wmax);
             }
         }
         e.since_sweep += 1;
         if sweep_period > 0 && e.since_sweep >= sweep_period {
             e.since_sweep = 0;
             for i in 0..weights_n {
-                if e.weights[i].abs() < low {
+                if ws[i].abs() < low {
                     // Try the next virtualized bit for this weight.
-                    e.selectors[i] = (e.selectors[i] + 1) % virtualization.max(1);
-                    e.weights[i] = 0;
+                    sels[i] = (sels[i] + 1) % virtualization.max(1);
+                    ws[i] = 0;
                     virtualized += 1;
                 }
             }
@@ -219,7 +239,7 @@ impl Perceptron {
     ) {
         let threshold = self.cfg.usefulness_threshold;
         let mut promoted_now = false;
-        if let Some(e) = self.rows[row][way].as_mut() {
+        if let Some(e) = self.entries[row * self.cfg.ways + way].as_mut() {
             let before = e.usefulness.get();
             match (perceptron_correct, provider_correct) {
                 (true, false) => e.usefulness.inc(),
@@ -248,54 +268,54 @@ impl Perceptron {
     pub fn install(&mut self, addr: InstrAddr) -> bool {
         let row = self.row_of(addr);
         let tag = self.tag_for(addr);
+        let base = row * self.cfg.ways;
+        let row_entries = &mut self.entries[base..base + self.cfg.ways];
         // Already present?
-        if self.rows[row].iter().flatten().any(|e| e.tag == tag) {
+        if row_entries.iter().flatten().any(|e| e.tag == tag) {
             return false;
         }
-        // Initial virtualized assignments are spread across the whole
-        // GPV (weight i starts on its (i mod v)-th candidate bit), so a
-        // fresh entry observes the full history immediately; the sweep
-        // then migrates uncorrelated weights to their alternates.
-        let v = self.cfg.virtualization.max(1) as u8;
         let fresh = Entry {
             tag,
-            weights: vec![0; self.cfg.weights],
-            selectors: (0..self.cfg.weights).map(|i| (i as u8) % v).collect(),
             usefulness: SatCounter::new(self.cfg.usefulness_max),
             protection: SatCounter::at(self.cfg.protection_limit, self.cfg.protection_limit),
             since_sweep: 0,
             promoted: false,
         };
-        // Invalid way first.
-        if let Some(slot) = self.rows[row].iter_mut().find(|e| e.is_none()) {
-            *slot = Some(fresh);
-            self.stats.installs += 1;
-            return true;
-        }
+        // Invalid way first, else the least-useful unprotected entry:
         // "The least useful entry … is selected as the entry to be
-        // replaced, provided it has a protection limit of zero" (§V):
-        // the candidate is the least-useful entry overall; if it is
-        // still protected, the install fails and protections erode.
-        let candidate = self.rows[row]
-            .iter()
-            .enumerate()
-            .filter_map(|(w, e)| e.as_ref().map(|e| (w, e)))
-            .min_by_key(|(_, e)| e.usefulness.get())
-            .map(|(w, protected)| (w, !protected.protection.is_zero()));
-        match candidate {
-            Some((w, false)) => {
-                self.rows[row][w] = Some(fresh);
-                self.stats.installs += 1;
-                true
+        // replaced, provided it has a protection limit of zero" (§V);
+        // if the candidate is still protected, the install fails and
+        // protections erode.
+        let way = match row_entries.iter().position(|e| e.is_none()) {
+            Some(w) => Some(w),
+            None => row_entries
+                .iter()
+                .enumerate()
+                .filter_map(|(w, e)| e.as_ref().map(|e| (w, e)))
+                .min_by_key(|(_, e)| e.usefulness.get())
+                .and_then(|(w, e)| e.protection.is_zero().then_some(w)),
+        };
+        let Some(way) = way else {
+            for e in row_entries.iter_mut().flatten() {
+                e.protection.dec();
             }
-            _ => {
-                for e in self.rows[row].iter_mut().flatten() {
-                    e.protection.dec();
-                }
-                self.stats.install_blocked += 1;
-                false
-            }
+            self.stats.install_blocked += 1;
+            return false;
+        };
+        self.entries[base + way] = Some(fresh);
+        // Initial virtualized assignments are spread across the whole
+        // GPV (weight i starts on its (i mod v)-th candidate bit), so a
+        // fresh entry observes the full history immediately; the sweep
+        // then migrates uncorrelated weights to their alternates.
+        let v = self.cfg.virtualization.max(1) as u8;
+        let n = self.cfg.weights;
+        let slot = base + way;
+        for i in 0..n {
+            self.weights[slot * n + i] = 0;
+            self.selectors[slot * n + i] = (i as u8) % v;
         }
+        self.stats.installs += 1;
+        true
     }
 
     /// Debug introspection of one entry (tests/diagnostics).
@@ -303,14 +323,19 @@ impl Perceptron {
     pub fn debug_entry(&self, addr: InstrAddr) -> Option<(Vec<i32>, Vec<u8>, u32, u32)> {
         let row = self.row_of(addr);
         let tag = self.tag_for(addr);
-        self.rows[row].iter().flatten().find(|e| e.tag == tag).map(|e| {
-            (e.weights.clone(), e.selectors.clone(), e.usefulness.get(), e.protection.get())
-        })
+        let base = row * self.cfg.ways;
+        (0..self.cfg.ways)
+            .find(|&w| self.entries[base + w].as_ref().is_some_and(|e| e.tag == tag))
+            .map(|w| {
+                let e = self.entries[base + w].expect("found above");
+                let (ws, sels) = self.stripe(base + w);
+                (ws.to_vec(), sels.to_vec(), e.usefulness.get(), e.protection.get())
+            })
     }
 
     /// Number of valid entries (verification use).
     pub fn occupancy(&self) -> usize {
-        self.rows.iter().map(|r| r.iter().flatten().count()).sum()
+        self.entries.iter().flatten().count()
     }
 }
 

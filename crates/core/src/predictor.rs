@@ -27,6 +27,7 @@ use crate::events::{BplEvent, Probe};
 use crate::gpv::Gpv;
 #[cfg(feature = "verify")]
 use crate::invariants::{InvariantMonitor, InvariantViolation};
+use crate::kernel::{enabled, ConfigView, DynView, Z15View};
 use crate::perceptron::Perceptron;
 use crate::sbht::SpecOverride;
 use crate::stats::ZStats;
@@ -34,7 +35,7 @@ use crate::tage::{Pht, PhtLookup, TageTable};
 use crate::target::{TargetDecision, TargetProvider};
 use std::collections::VecDeque;
 use std::fmt;
-use zbp_model::{BranchRecord, MispredictKind, Prediction, Predictor};
+use zbp_model::{BranchRecord, MispredictKind, Prediction, Predictor, ReplayRequest, RunStats};
 use zbp_telemetry::Telemetry;
 use zbp_zarch::{static_guess, BranchClass, Direction, InstrAddr};
 
@@ -686,12 +687,18 @@ fn spht_key(t: usize, table: TageTable, way: usize, row: usize) -> u64 {
     ((t as u64) << 61) | (tb << 62) | ((way as u64) << 48) | row as u64
 }
 
-impl Predictor for ZPredictor {
-    fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
-        self.predict_on(zbp_model::ThreadId::ZERO, addr, class)
-    }
-
-    fn predict_on(
+/// The real predict/resolve/flush bodies, generic over a
+/// [`ConfigView`]. The [`Predictor`] trait methods instantiate
+/// [`DynView`] (all questions answered at runtime — the pre-kernel
+/// behaviour, verbatim); the buffered-replay kernel instantiates
+/// [`Z15View`] when the config and observation state allow, compiling
+/// the observation call sites and absent-structure paths out of the hot
+/// loop. Statistics and predictor state evolution are identical across
+/// views by construction: a view only ever skips code whose effects the
+/// run cannot observe (disabled telemetry, absent probe, absent
+/// structure).
+impl ZPredictor {
+    pub(crate) fn predict_impl<V: ConfigView>(
         &mut self,
         thread: zbp_model::ThreadId,
         addr: InstrAddr,
@@ -708,7 +715,7 @@ impl Predictor for ZPredictor {
 
         // BTB1 prediction port; BTBP promotion path on older designs.
         let mut hit = self.btb1.lookup(addr);
-        if hit.is_none() {
+        if hit.is_none() && enabled(V::BTBP, self.btbp.is_some()) {
             if let Some(p) = &mut self.btbp {
                 if let Some(promoted) = p.take_hit(addr) {
                     self.install_btb1(promoted, true);
@@ -716,10 +723,12 @@ impl Predictor for ZPredictor {
                 }
             }
         }
-        self.emit(BplEvent::Btb1Search { addr, hit: hit.is_some() });
         let btb1_hit = hit.is_some();
-        self.tel.count("bpl.predictions", 1);
-        self.tel.count(if btb1_hit { "bpl.btb1_hits" } else { "bpl.surprises" }, 1);
+        if V::OBSERVED {
+            self.emit(BplEvent::Btb1Search { addr, hit: btb1_hit });
+            self.tel.count("bpl.predictions", 1);
+            self.tel.count(if btb1_hit { "bpl.btb1_hits" } else { "bpl.surprises" }, 1);
+        }
 
         let prediction = match hit {
             None => {
@@ -743,14 +752,16 @@ impl Predictor for ZPredictor {
                     tgt: None,
                 });
                 let p = Prediction::surprise(class, None);
-                self.emit(BplEvent::Predict {
-                    addr,
-                    dynamic: false,
-                    direction: p.direction,
-                    target: p.target,
-                    dir_provider: DirectionProvider::StaticGuess,
-                    tgt_provider: None,
-                });
+                if V::OBSERVED {
+                    self.emit(BplEvent::Predict {
+                        addr,
+                        dynamic: false,
+                        direction: p.direction,
+                        target: p.target,
+                        dir_provider: DirectionProvider::StaticGuess,
+                        tgt_provider: None,
+                    });
+                }
                 p
             }
             Some((way, entry)) => {
@@ -770,7 +781,11 @@ impl Predictor for ZPredictor {
                 };
                 if dd.dir.is_taken() {
                     self.threads[t].spec_gpv.push_taken(addr);
-                    let skoot_lines = if self.cfg.skoot { entry.skoot.skip_lines() } else { 0 };
+                    let skoot_lines = if enabled(V::SKOOT, self.cfg.skoot) {
+                        entry.skoot.skip_lines()
+                    } else {
+                        0
+                    };
                     let target = tgt.expect("taken has target").target;
                     self.end_stream(t, addr, way, target, skoot_lines);
                 }
@@ -783,14 +798,16 @@ impl Predictor for ZPredictor {
                     dir: dd,
                     tgt,
                 });
-                self.emit(BplEvent::Predict {
-                    addr,
-                    dynamic: true,
-                    direction: dd.dir,
-                    target: p.target,
-                    dir_provider: dd.provider,
-                    tgt_provider: tgt.map(|t| t.provider),
-                });
+                if V::OBSERVED {
+                    self.emit(BplEvent::Predict {
+                        addr,
+                        dynamic: true,
+                        direction: dd.dir,
+                        target: p.target,
+                        dir_provider: dd.provider,
+                        tgt_provider: tgt.map(|t| t.provider),
+                    });
+                }
                 p
             }
         };
@@ -805,7 +822,9 @@ impl Predictor for ZPredictor {
             self.inv.check_gpq_push(occupancy, prev_seq, new_seq, addr);
         }
 
-        self.tel.record("gpq.occupancy", self.threads[t].gpq.len() as u64);
+        if V::OBSERVED {
+            self.tel.record("gpq.occupancy", self.threads[t].gpq.len() as u64);
+        }
 
         // BTB2 trigger logic rides on search outcomes. The transfer
         // engine runs *after* the prediction is published: a staged
@@ -824,25 +843,30 @@ impl Predictor for ZPredictor {
                 if let Some(b2) = &mut self.btb2 {
                     b2.refresh(lru);
                 }
-                self.emit(BplEvent::Btb2Refresh { entry: lru });
+                if V::OBSERVED {
+                    self.emit(BplEvent::Btb2Refresh { entry: lru });
+                }
             }
         }
         if let Some(reason) = fire {
             let staged = self.btb2.as_mut().map(|b2| b2.search(addr, reason)).unwrap_or(0);
-            self.tel.count("btb2.searches", 1);
-            self.tel.record("btb2.staged_per_search", staged as u64);
-            self.emit(BplEvent::Btb2Search { addr, reason, staged });
+            if V::OBSERVED {
+                self.tel.count("btb2.searches", 1);
+                self.tel.record("btb2.staged_per_search", staged as u64);
+                self.emit(BplEvent::Btb2Search { addr, reason, staged });
+            }
             self.drain_staging();
         }
 
         prediction
     }
 
-    fn resolve(&mut self, rec: &BranchRecord, pred: &Prediction) {
-        self.resolve_on(zbp_model::ThreadId::ZERO, rec, pred)
-    }
-
-    fn resolve_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord, pred: &Prediction) {
+    pub(crate) fn resolve_impl<V: ConfigView>(
+        &mut self,
+        thread: zbp_model::ThreadId,
+        rec: &BranchRecord,
+        pred: &Prediction,
+    ) {
         let t = usize::from(thread.0.min(1));
         // Pop the matching GPQ entry (retire order, per thread).
         let info = loop {
@@ -866,17 +890,19 @@ impl Predictor for ZPredictor {
             }
         };
         let resolved = rec.direction();
-        let mispredicted = MispredictKind::classify(pred, rec).is_some();
-        self.tel.count("bpl.completions", 1);
-        if mispredicted {
-            self.tel.count("bpl.mispredicts", 1);
+        if V::OBSERVED {
+            let mispredicted = MispredictKind::classify(pred, rec).is_some();
+            self.tel.count("bpl.completions", 1);
+            if mispredicted {
+                self.tel.count("bpl.mispredicts", 1);
+            }
+            self.emit(BplEvent::Complete {
+                addr: rec.addr,
+                resolved,
+                target: rec.target,
+                mispredicted,
+            });
         }
-        self.emit(BplEvent::Complete {
-            addr: rec.addr,
-            resolved,
-            target: rec.target,
-            mispredicted,
-        });
 
         // Architected history.
         if rec.taken {
@@ -917,15 +943,19 @@ impl Predictor for ZPredictor {
         self.complete_crs(t, rec, &info);
 
         // Publish the entry's post-update state through the write port
-        // (the white-box monitors' reference image follows these).
-        if let Some((_, e)) = self.btb1.probe(rec.addr) {
-            let entry = *e;
-            self.emit(BplEvent::Btb1Update { entry });
+        // (the white-box monitors' reference image follows these). The
+        // read-port probe only runs when a probe is attached: it is a
+        // full row scan per completion, pure observation either way.
+        if V::OBSERVED && self.probe.is_some() {
+            if let Some((_, e)) = self.btb1.probe(rec.addr) {
+                let entry = *e;
+                self.emit(BplEvent::Btb1Update { entry });
+            }
         }
 
         // SKOOT distance learning: this branch is the first predictable
         // branch along the previous taken branch's target stream.
-        if self.cfg.skoot {
+        if enabled(V::SKOOT, self.cfg.skoot) {
             if let Some((prev_branch, prev_target)) = self.threads[t].last_completed_taken.take() {
                 if rec.addr.raw() >= prev_target.raw() {
                     let lines = rec.addr.line64_number() - prev_target.line64_number();
@@ -957,11 +987,11 @@ impl Predictor for ZPredictor {
         }
     }
 
-    fn flush(&mut self, rec: &BranchRecord) {
-        self.flush_on(zbp_model::ThreadId::ZERO, rec)
-    }
-
-    fn flush_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord) {
+    pub(crate) fn flush_impl<V: ConfigView>(
+        &mut self,
+        thread: zbp_model::ThreadId,
+        rec: &BranchRecord,
+    ) {
         let t = usize::from(thread.0.min(1));
         let ctx = &mut self.threads[t];
         let arch = ctx.arch_gpv;
@@ -981,8 +1011,41 @@ impl Predictor for ZPredictor {
         self.threads[t].prev_stream_start = None;
         self.threads[t].stream_reset_pending = false;
         self.enter_stream(t, rec.next_pc());
-        self.tel.count("bpl.flushes", 1);
-        self.emit(BplEvent::Flush);
+        if V::OBSERVED {
+            self.tel.count("bpl.flushes", 1);
+            self.emit(BplEvent::Flush);
+        }
+    }
+}
+
+impl Predictor for ZPredictor {
+    fn predict(&mut self, addr: InstrAddr, class: BranchClass) -> Prediction {
+        self.predict_on(zbp_model::ThreadId::ZERO, addr, class)
+    }
+
+    fn predict_on(
+        &mut self,
+        thread: zbp_model::ThreadId,
+        addr: InstrAddr,
+        class: BranchClass,
+    ) -> Prediction {
+        self.predict_impl::<DynView>(thread, addr, class)
+    }
+
+    fn resolve(&mut self, rec: &BranchRecord, pred: &Prediction) {
+        self.resolve_on(zbp_model::ThreadId::ZERO, rec, pred)
+    }
+
+    fn resolve_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord, pred: &Prediction) {
+        self.resolve_impl::<DynView>(thread, rec, pred)
+    }
+
+    fn flush(&mut self, rec: &BranchRecord) {
+        self.flush_on(zbp_model::ThreadId::ZERO, rec)
+    }
+
+    fn flush_on(&mut self, thread: zbp_model::ThreadId, rec: &BranchRecord) {
+        self.flush_impl::<DynView>(thread, rec)
     }
 
     fn name(&self) -> String {
@@ -991,6 +1054,25 @@ impl Predictor for ZPredictor {
 
     fn storage_bits(&self) -> u64 {
         self.cfg.storage_bits()
+    }
+
+    /// Claims a buffered replay with the monomorphized kernel when —
+    /// and only when — skipping the observation call sites is
+    /// unobservable (no probe attached, telemetry disabled) and the
+    /// live config honours the fast view's structure claims (the
+    /// default z15 shape). Everything else falls back to the generic
+    /// record-by-record loop by returning `None`; both paths are
+    /// byte-identical (pinned by the parity tests in
+    /// `crates/core/tests/`).
+    fn replay_buffer(&mut self, req: &ReplayRequest<'_>) -> Option<RunStats> {
+        if self.probe.is_some() || self.tel.is_enabled() {
+            return None;
+        }
+        if Z15View::matches(&self.cfg) {
+            Some(crate::kernel::run::<Z15View>(self, req))
+        } else {
+            None
+        }
     }
 }
 

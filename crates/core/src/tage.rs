@@ -116,10 +116,12 @@ enum Kind {
     Tage { short: Table, long: Table, short_history: usize, long_history: usize },
 }
 
+/// One tagged table, stored flat: slot = `way * rows + row`, so a
+/// way's rows are contiguous and the whole table is one allocation
+/// instead of a `Vec` per way (see `PERFORMANCE.md`).
 #[derive(Debug, Clone)]
 struct Table {
-    /// `entries[way][row]`.
-    entries: Vec<Vec<Option<PhtEntry>>>,
+    entries: Vec<Option<PhtEntry>>,
     rows: usize,
 }
 
@@ -142,15 +144,19 @@ pub struct PhtStats {
 
 impl Table {
     fn new(rows: usize, ways: usize) -> Self {
-        Table { entries: vec![vec![None; rows]; ways], rows }
+        Table { entries: vec![None; rows * ways], rows }
     }
 
     fn get(&self, way: usize, row: usize) -> Option<&PhtEntry> {
-        self.entries[way][row].as_ref()
+        self.entries[way * self.rows + row].as_ref()
     }
 
     fn get_mut(&mut self, way: usize, row: usize) -> &mut Option<PhtEntry> {
-        &mut self.entries[way][row]
+        &mut self.entries[way * self.rows + row]
+    }
+
+    fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
     }
 }
 
@@ -313,7 +319,7 @@ impl Pht {
         let mut trained = TwoBit::from_parts(p.dir, p.weak);
         trained.train(resolved);
         if let Some(table) = self.table_mut(p.table) {
-            if let Some(e) = table.entries[p.way][p.row].as_mut() {
+            if let Some(e) = table.get_mut(p.way, p.row).as_mut() {
                 e.ctr = trained;
                 match usefulness_delta {
                     1 => e.usefulness.inc(),
@@ -329,7 +335,7 @@ impl Pht {
     pub fn strengthen(&mut self, hit: &PhtHit, dir: Direction) {
         let table = hit.table;
         if let Some(t) = self.table_mut(table) {
-            if let Some(e) = t.entries[hit.way][hit.row].as_mut() {
+            if let Some(e) = t.get_mut(hit.way, hit.row).as_mut() {
                 e.ctr.strengthen(dir);
             }
         }
@@ -407,10 +413,10 @@ impl Pht {
         } else {
             // Nothing replaceable: decay usefulness so entries cannot
             // pin their slots forever.
-            if let Some(e) = short.entries[way][srow].as_mut() {
+            if let Some(e) = short.get_mut(way, srow).as_mut() {
                 e.usefulness.dec();
             }
-            if let Some(e) = long.entries[way][lrow].as_mut() {
+            if let Some(e) = long.get_mut(way, lrow).as_mut() {
                 e.usefulness.dec();
             }
             return;
@@ -432,13 +438,8 @@ impl Pht {
     pub fn occupancy(&self) -> usize {
         match &self.kind {
             Kind::None => 0,
-            Kind::Single { table, .. } => {
-                table.entries.iter().map(|w| w.iter().flatten().count()).sum()
-            }
-            Kind::Tage { short, long, .. } => {
-                short.entries.iter().map(|w| w.iter().flatten().count()).sum::<usize>()
-                    + long.entries.iter().map(|w| w.iter().flatten().count()).sum::<usize>()
-            }
+            Kind::Single { table, .. } => table.occupancy(),
+            Kind::Tage { short, long, .. } => short.occupancy() + long.occupancy(),
         }
     }
 
@@ -547,7 +548,7 @@ mod tests {
             // Re-weaken the entry so it stays weak for the test.
             let row = lk.long.unwrap().row;
             if let Some(t) = p.table_mut(TageTable::Long) {
-                if let Some(e) = t.entries[0][row].as_mut() {
+                if let Some(e) = t.get_mut(0, row).as_mut() {
                     e.ctr = TwoBit::WEAK_TAKEN;
                 }
             }
@@ -562,7 +563,7 @@ mod tests {
             p.train(&lk, None, Direction::NotTaken, Direction::Taken);
             let row = lk.long.unwrap().row;
             if let Some(t) = p.table_mut(TageTable::Long) {
-                if let Some(e) = t.entries[0][row].as_mut() {
+                if let Some(e) = t.get_mut(0, row).as_mut() {
                     e.ctr = TwoBit::WEAK_TAKEN;
                 }
             }

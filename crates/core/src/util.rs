@@ -182,6 +182,53 @@ pub fn branch_gpv_bits(addr: InstrAddr) -> u8 {
     (folded & 0b11) as u8
 }
 
+/// True-LRU touch over a flat per-row rank slice (`ranks[w]` is the age
+/// of way `w`, 0 = MRU) — the struct-of-arrays counterpart of
+/// [`LruRow::touch`], for tables that keep one contiguous rank array
+/// across all rows instead of a heap allocation per row.
+///
+/// ```
+/// use zbp_core::util::{lru_touch, lru_victim};
+///
+/// // Fresh ranks as `Btb1`/`Btb2` initialize them: way 0 is the victim.
+/// let mut ranks = [3u8, 2, 1, 0];
+/// assert_eq!(lru_victim(&ranks), 0);
+/// lru_touch(&mut ranks, 0);
+/// assert_eq!(lru_victim(&ranks), 1, "touching way 0 ages way 1 to the front");
+/// ```
+pub fn lru_touch(ranks: &mut [u8], way: usize) {
+    let old = ranks.get(way).copied().expect("way within row");
+    for r in ranks.iter_mut() {
+        if *r < old {
+            *r += 1;
+        }
+    }
+    if let Some(r) = ranks.get_mut(way) {
+        *r = 0;
+    }
+}
+
+/// The least recently used way of a flat rank slice (the victim) — the
+/// struct-of-arrays counterpart of [`LruRow::lru`].
+pub fn lru_victim(ranks: &[u8]) -> usize {
+    let mut best = 0;
+    let mut best_rank = ranks.first().copied().unwrap_or(0);
+    for (w, &r) in ranks.iter().enumerate().skip(1) {
+        if r > best_rank {
+            best = w;
+            best_rank = r;
+        }
+    }
+    best
+}
+
+/// Initial LRU ranks for one row of `ways` ways, way 0 LRU-most (so
+/// fills proceed way 0, 1, 2, … exactly like [`LruRow::new`]).
+pub fn lru_fresh_ranks(ways: usize) -> impl Iterator<Item = u8> {
+    debug_assert!((1..=64).contains(&ways));
+    (0..ways).map(move |w| (ways - 1 - w) as u8)
+}
+
 /// Per-row true-LRU tracking for a set-associative structure.
 ///
 /// `ranks[w]` is the age of way `w`: 0 = most recently used.
@@ -358,5 +405,29 @@ mod tests {
         assert_eq!(l.lru(), 0);
         l.touch(0);
         assert_eq!(l.lru(), 0);
+    }
+
+    #[test]
+    fn flat_lru_mirrors_lru_row() {
+        // The struct-of-arrays tables rely on the flat helpers being
+        // exactly LruRow: drive both with the same touch sequence and
+        // compare victim and ranks at every step.
+        for ways in [1usize, 3, 4, 8] {
+            let mut row = LruRow::new(ways);
+            let mut flat: Vec<u8> = lru_fresh_ranks(ways).collect();
+            assert_eq!(lru_victim(&flat), row.lru(), "fresh victim, {ways} ways");
+            let mut x = 0x1234_5678u64;
+            for _ in 0..64 {
+                // Deterministic pseudo-random touch sequence.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let w = (x >> 33) as usize % ways;
+                row.touch(w);
+                lru_touch(&mut flat, w);
+                assert_eq!(lru_victim(&flat), row.lru());
+                for (k, &r) in flat.iter().enumerate() {
+                    assert_eq!(r, row.rank(k));
+                }
+            }
+        }
     }
 }

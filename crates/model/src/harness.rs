@@ -222,6 +222,47 @@ impl ReplayCore {
         self.out
     }
 
+    /// Replays a pre-decoded [`ReplayBuffer`](crate::ReplayBuffer)
+    /// through a fresh core with telemetry disabled — the buffered
+    /// counterpart of [`ReplayCore::replay`].
+    ///
+    /// The predictor is first offered the run through
+    /// [`Predictor::replay_buffer`]; a predictor with a specialized
+    /// kernel (e.g. `ZPredictor`'s config-monomorphized fast path)
+    /// claims it there, and everything else falls back to the generic
+    /// record-by-record loop. Both paths produce byte-identical
+    /// [`RunStats`].
+    pub fn run_buffer<P: Predictor + ?Sized>(
+        depth: usize,
+        pred: &mut P,
+        buf: &crate::ReplayBuffer,
+    ) -> RunStats {
+        Self::run_buffer_with(depth, pred, buf, false)
+    }
+
+    /// [`run_buffer`](Self::run_buffer) with per-static-branch
+    /// profiling optionally enabled (the profile lands in
+    /// [`RunStats::profile`]).
+    pub fn run_buffer_with<P: Predictor + ?Sized>(
+        depth: usize,
+        pred: &mut P,
+        buf: &crate::ReplayBuffer,
+        profiling: bool,
+    ) -> RunStats {
+        let req = crate::ReplayRequest { buffer: buf, depth, profiling };
+        if let Some(out) = pred.replay_buffer(&req) {
+            return out;
+        }
+        let mut tel = Telemetry::disabled();
+        let mut core = ReplayCore::new(depth);
+        core.set_profiling(profiling);
+        for i in 0..buf.len() {
+            let rec = buf.record(i);
+            core.step(pred, &rec, &mut tel);
+        }
+        core.finish(pred, buf.tail_instrs())
+    }
+
     /// Replays a whole trace through a fresh core with telemetry
     /// disabled — the one-call form of [`ReplayCore::step`] +
     /// [`ReplayCore::finish`] for driving *custom* [`Predictor`]

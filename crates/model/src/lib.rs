@@ -38,6 +38,7 @@ mod harness;
 mod metrics;
 mod predictor;
 mod profile;
+mod replay;
 mod trace;
 
 pub use branch::{BranchRecord, ThreadId};
@@ -45,4 +46,5 @@ pub use harness::{ReplayCore, RunStats};
 pub use metrics::{Counter, MispredictStats, Ratio};
 pub use predictor::{DirectionPredictor, MispredictKind, Prediction, Predictor, TargetPredictor};
 pub use profile::{BranchCounts, BranchTable};
+pub use replay::{ReplayBuffer, ReplayRequest};
 pub use trace::{DynamicTrace, TraceSummary};

@@ -1,0 +1,233 @@
+//! Pre-decoded flat replay buffers.
+//!
+//! A [`DynamicTrace`](crate::DynamicTrace) stores [`BranchRecord`]s as
+//! an array of structs, and every field a replay loop touches —
+//! address, class, outcome, thread — is re-derived per run (the class
+//! by decoding the mnemonic on every record). A [`ReplayBuffer`] pays
+//! that decode exactly once: it splits the trace into parallel flat
+//! arrays (struct-of-arrays), pre-decodes each mnemonic's
+//! [`BranchClass`], and hands the replay kernel contiguous columns it
+//! can stream through with unit-stride loads.
+//!
+//! The buffer is *purely* a layout change: [`ReplayBuffer::record`]
+//! reassembles the exact original record, and
+//! [`ReplayCore::run_buffer`](crate::ReplayCore::run_buffer) produces
+//! byte-identical statistics whether it drives a buffer or the trace it
+//! came from (a property the test suite pins).
+
+use crate::branch::{BranchRecord, ThreadId};
+use crate::trace::DynamicTrace;
+use zbp_zarch::{BranchClass, InstrAddr, Mnemonic};
+
+/// A trace pre-decoded into flat, cache-friendly columns.
+///
+/// Built once per trace (and cached per key by
+/// `zbp_trace::TraceCache`), then replayed many times — the intended
+/// amortization is O(configs × runs) replays over O(1) decodes.
+///
+/// # Example
+///
+/// ```
+/// use zbp_model::{BranchRecord, DynamicTrace, ReplayBuffer};
+/// use zbp_zarch::{InstrAddr, Mnemonic};
+///
+/// let mut trace = DynamicTrace::new("doc");
+/// trace.push(
+///     BranchRecord::new(InstrAddr::new(0x1000), Mnemonic::Brc, true, InstrAddr::new(0x2000))
+///         .with_gap(7),
+/// );
+/// trace.push_tail_instrs(3);
+///
+/// let buf = ReplayBuffer::from_trace(&trace);
+/// assert_eq!(buf.len(), 1);
+/// assert_eq!(buf.tail_instrs(), 3);
+/// // Columns are pre-decoded ...
+/// assert_eq!(buf.class(0), Mnemonic::Brc.class());
+/// assert!(buf.taken(0));
+/// // ... and reassembly is lossless.
+/// assert_eq!(&buf.record(0), &trace.as_slice()[0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayBuffer {
+    addrs: Vec<InstrAddr>,
+    targets: Vec<InstrAddr>,
+    mnemonics: Vec<Mnemonic>,
+    /// `mnemonics[i].class()`, decoded once at build time.
+    classes: Vec<BranchClass>,
+    taken: Vec<bool>,
+    threads: Vec<ThreadId>,
+    gaps: Vec<u32>,
+    tail_instrs: u64,
+    label: String,
+}
+
+impl ReplayBuffer {
+    /// Decodes `trace` into flat columns. One pass; the trace is not
+    /// consumed.
+    pub fn from_trace(trace: &DynamicTrace) -> Self {
+        let records = trace.as_slice();
+        let n = records.len();
+        let mut buf = ReplayBuffer {
+            addrs: Vec::with_capacity(n),
+            targets: Vec::with_capacity(n),
+            mnemonics: Vec::with_capacity(n),
+            classes: Vec::with_capacity(n),
+            taken: Vec::with_capacity(n),
+            threads: Vec::with_capacity(n),
+            gaps: Vec::with_capacity(n),
+            tail_instrs: trace.tail_instrs(),
+            label: trace.label().to_string(),
+        };
+        for r in records {
+            buf.addrs.push(r.addr);
+            buf.targets.push(r.target);
+            buf.mnemonics.push(r.mnemonic);
+            buf.classes.push(r.mnemonic.class());
+            buf.taken.push(r.taken);
+            buf.threads.push(r.thread);
+            buf.gaps.push(r.gap_instrs);
+        }
+        buf
+    }
+
+    /// Number of branch records.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the buffer holds no branches.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Straight-line instructions after the final branch.
+    pub fn tail_instrs(&self) -> u64 {
+        self.tail_instrs
+    }
+
+    /// The source trace's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Branch address of record `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> InstrAddr {
+        self.addrs[i]
+    }
+
+    /// Resolved target of record `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> InstrAddr {
+        self.targets[i]
+    }
+
+    /// Pre-decoded branch class of record `i`.
+    #[inline]
+    pub fn class(&self, i: usize) -> BranchClass {
+        self.classes[i]
+    }
+
+    /// Resolved direction of record `i`.
+    #[inline]
+    pub fn taken(&self, i: usize) -> bool {
+        self.taken[i]
+    }
+
+    /// Retiring SMT thread of record `i`.
+    #[inline]
+    pub fn thread(&self, i: usize) -> ThreadId {
+        self.threads[i]
+    }
+
+    /// Non-branch gap preceding record `i`.
+    #[inline]
+    pub fn gap_instrs(&self, i: usize) -> u32 {
+        self.gaps[i]
+    }
+
+    /// Reassembles record `i` exactly as the source trace stored it.
+    #[inline]
+    pub fn record(&self, i: usize) -> BranchRecord {
+        BranchRecord {
+            addr: self.addrs[i],
+            mnemonic: self.mnemonics[i],
+            taken: self.taken[i],
+            target: self.targets[i],
+            thread: self.threads[i],
+            gap_instrs: self.gaps[i],
+        }
+    }
+}
+
+/// One buffered-replay request, handed to
+/// [`Predictor::replay_buffer`](crate::Predictor::replay_buffer) so a
+/// predictor can claim the whole run with a specialized kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayRequest<'a> {
+    /// The pre-decoded trace to replay, start to finish.
+    pub buffer: &'a ReplayBuffer,
+    /// Delayed-update window depth (0 = immediate update).
+    pub depth: usize,
+    /// Whether a per-static-branch [`BranchTable`](crate::BranchTable)
+    /// profile must land in the returned stats.
+    pub profiling: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> DynamicTrace {
+        let mut t = DynamicTrace::new("replay-test");
+        for i in 0..8u64 {
+            let taken = i % 3 != 0;
+            t.push(
+                BranchRecord::new(
+                    InstrAddr::new(0x1000 + i * 0x10),
+                    if i % 2 == 0 { Mnemonic::Brc } else { Mnemonic::Br },
+                    taken,
+                    InstrAddr::new(0x8000 + i * 0x40),
+                )
+                .on_thread(if i % 4 == 0 { ThreadId::ONE } else { ThreadId::ZERO })
+                .with_gap(i as u32),
+            );
+        }
+        t.push_tail_instrs(11);
+        t
+    }
+
+    #[test]
+    fn columns_match_source_records() {
+        let t = trace();
+        let b = ReplayBuffer::from_trace(&t);
+        assert_eq!(b.len() as u64, t.branch_count());
+        assert_eq!(b.tail_instrs(), t.tail_instrs());
+        assert_eq!(b.label(), t.label());
+        for (i, r) in t.branches().enumerate() {
+            assert_eq!(b.addr(i), r.addr);
+            assert_eq!(b.target(i), r.target);
+            assert_eq!(b.class(i), r.class());
+            assert_eq!(b.taken(i), r.taken);
+            assert_eq!(b.thread(i), r.thread);
+            assert_eq!(b.gap_instrs(i), r.gap_instrs);
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_exactly() {
+        let t = trace();
+        let b = ReplayBuffer::from_trace(&t);
+        for (i, r) in t.branches().enumerate() {
+            assert_eq!(&b.record(i), r, "record {i} must reassemble losslessly");
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_buffer() {
+        let b = ReplayBuffer::from_trace(&DynamicTrace::new("empty"));
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.tail_instrs(), 0);
+    }
+}

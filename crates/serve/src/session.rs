@@ -5,7 +5,9 @@
 //! a shard serve many concurrently-open streams.
 
 use zbp_core::{PredictorConfig, ZPredictor};
-use zbp_model::{BranchRecord, BranchTable, DynamicTrace, MispredictStats, ReplayCore};
+use zbp_model::{
+    BranchRecord, BranchTable, DynamicTrace, MispredictStats, ReplayBuffer, ReplayCore,
+};
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_uarch::{CosimConfig, CosimReport, LookaheadReport};
 
@@ -276,6 +278,57 @@ impl Session {
     /// every [`ReplayMode`].
     pub fn run(cfg: &PredictorConfig, mode: ReplayMode, trace: &DynamicTrace) -> SessionReport {
         Session::drive(cfg, mode, trace, false)
+    }
+
+    /// One-shot replay of a pre-decoded [`ReplayBuffer`] under the
+    /// delayed-update protocol — the fast-path counterpart of
+    /// [`Session::run`] with `ReplayMode::Delayed { depth }`.
+    ///
+    /// The predictor may claim the run with its config-monomorphized
+    /// kernel (`ZPredictor` does for the default z15 shape); otherwise
+    /// the generic record-by-record loop drives it. Either way the
+    /// report is byte-identical to [`Session::run`] over the buffer's
+    /// source trace at the same depth — the parity suite pins this on
+    /// every preset. Buffers come cheap from
+    /// `zbp_trace::Workload::cached_buffer`, which decodes once per
+    /// trace key.
+    ///
+    /// ```
+    /// use zbp_core::GenerationPreset;
+    /// use zbp_model::ReplayBuffer;
+    /// use zbp_serve::{ReplayMode, Session, DEFAULT_DEPTH};
+    ///
+    /// let trace = zbp_trace::workloads::compute_loop(1, 2_000).dynamic_trace();
+    /// let buf = ReplayBuffer::from_trace(&trace);
+    /// let cfg = GenerationPreset::Z15.config();
+    /// let fast = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
+    /// let streamed = Session::run(&cfg, ReplayMode::default(), &trace);
+    /// assert_eq!(fast.stats, streamed.stats);
+    /// ```
+    pub fn run_buffer(cfg: &PredictorConfig, depth: usize, buf: &ReplayBuffer) -> SessionReport {
+        Self::run_buffer_profiled(cfg, depth, buf, false)
+    }
+
+    /// [`run_buffer`](Self::run_buffer) with per-static-branch
+    /// profiling enabled when `profiling` is set (the table lands in
+    /// [`SessionReport::profile`]).
+    pub fn run_buffer_profiled(
+        cfg: &PredictorConfig,
+        depth: usize,
+        buf: &ReplayBuffer,
+        profiling: bool,
+    ) -> SessionReport {
+        let mut pred = ZPredictor::new(cfg.clone());
+        let run = ReplayCore::run_buffer_with(depth, &mut pred, buf, profiling);
+        SessionReport {
+            stats: run.stats,
+            flushes: run.flushes,
+            records: buf.len() as u64,
+            cosim: None,
+            lookahead: None,
+            telemetry: None,
+            profile: run.profile,
+        }
     }
 
     /// One-shot replay with telemetry recorded into the report.

@@ -1,0 +1,170 @@
+//! Fast-path parity: the buffered replay kernel must be byte-identical
+//! to the generic streaming session.
+//!
+//! The `ReplayBuffer` + `Predictor::replay_buffer` machinery exists to
+//! change the *cost* of a replay, never its result. These tests pin the
+//! contract from the outside: for every generation preset, every suite
+//! workload, profiled or not, single-thread or SMT-interleaved, the
+//! buffered one-shot ([`Session::run_buffer`]) must reproduce exactly
+//! what the streaming session ([`Session::run`]) computes — statistics,
+//! flush counts, and per-static-branch profiles alike. Presets the
+//! kernel declines (any whose shape fails the fast view's claims) take
+//! the generic buffered loop, which must also match.
+
+use zbp_core::{GenerationPreset, ZPredictor};
+use zbp_model::{
+    BranchRecord, DynamicTrace, Predictor, ReplayBuffer, ReplayCore, ReplayRequest, ThreadId,
+};
+use zbp_serve::{ReplayMode, Session, DEFAULT_DEPTH};
+use zbp_trace::workloads;
+
+/// Streaming vs buffered reports must agree on everything the report
+/// carries (telemetry is None on both sides by construction).
+fn assert_reports_identical(
+    label: &str,
+    streamed: &zbp_serve::SessionReport,
+    buffered: &zbp_serve::SessionReport,
+) {
+    assert_eq!(streamed.stats, buffered.stats, "{label}: stats diverged");
+    assert_eq!(streamed.flushes, buffered.flushes, "{label}: flush counts diverged");
+    assert_eq!(streamed.records, buffered.records, "{label}: record counts diverged");
+    assert_eq!(streamed.profile, buffered.profile, "{label}: profiles diverged");
+}
+
+#[test]
+fn every_preset_matches_streaming_replay_on_the_suite() {
+    for preset in GenerationPreset::ALL {
+        let cfg = preset.config();
+        for w in workloads::suite(41, 4_000) {
+            let trace = w.cached_trace();
+            let buf = w.cached_buffer();
+            let streamed = Session::run(&cfg, ReplayMode::default(), &trace);
+            let buffered = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
+            assert_reports_identical(
+                &format!("{preset} on {}", trace.label()),
+                &streamed,
+                &buffered,
+            );
+        }
+    }
+}
+
+#[test]
+fn profiled_runs_match_too() {
+    let cfg = GenerationPreset::Z15.config();
+    let w = workloads::lspr_like(7, 6_000);
+    let trace = w.cached_trace();
+    let buf = w.cached_buffer();
+    let mut s = Session::open(trace.label(), &cfg, ReplayMode::default(), false);
+    s.set_profiling(true);
+    s.feed(trace.as_slice());
+    let streamed = s.finish(trace.tail_instrs());
+    let buffered = Session::run_buffer_profiled(&cfg, DEFAULT_DEPTH, &buf, true);
+    assert!(buffered.profile.is_some(), "profiling was requested");
+    assert_reports_identical("profiled z15", &streamed, &buffered);
+}
+
+#[test]
+fn smt_interleaved_stream_matches() {
+    // Interleave two suite workloads onto threads 0/1 the way the SMT
+    // experiments do, so the kernel's per-thread GPQ handling is
+    // exercised against the streaming path.
+    let a = workloads::lspr_like(3, 3_000).dynamic_trace();
+    let b = workloads::compute_loop(5, 3_000).dynamic_trace();
+    let mut mixed = DynamicTrace::new("smt-mix");
+    let (ra, rb) = (a.as_slice(), b.as_slice());
+    for i in 0..ra.len().max(rb.len()) {
+        if let Some(r) = ra.get(i) {
+            mixed.push(r.on_thread(ThreadId::ZERO));
+        }
+        if let Some(r) = rb.get(i) {
+            mixed.push(r.on_thread(ThreadId::ONE));
+        }
+    }
+    mixed.push_tail_instrs(a.tail_instrs() + b.tail_instrs());
+
+    let cfg = GenerationPreset::Z15.config();
+    let buf = ReplayBuffer::from_trace(&mixed);
+    let streamed = Session::run(&cfg, ReplayMode::default(), &mixed);
+    let buffered = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
+    assert_reports_identical("smt mix", &streamed, &buffered);
+}
+
+#[test]
+fn depths_zero_and_one_match() {
+    // Window edge cases: immediate update (depth 0) and a one-deep
+    // window stress the kernel's ring wrap-around logic.
+    let cfg = GenerationPreset::Z15.config();
+    let w = workloads::patterned(9, 3_000);
+    let trace = w.cached_trace();
+    let buf = w.cached_buffer();
+    for depth in [0usize, 1, 2] {
+        let streamed = Session::run(&cfg, ReplayMode::Delayed { depth }, &trace);
+        let buffered = Session::run_buffer(&cfg, depth, &buf);
+        assert_reports_identical(&format!("depth {depth}"), &streamed, &buffered);
+    }
+}
+
+#[test]
+fn kernel_declines_when_observed() {
+    // An enabled telemetry handle or probe must force the generic path
+    // (replay_buffer returns None) — the claim-checking half of the
+    // kernel's engage condition.
+    let cfg = GenerationPreset::Z15.config();
+    let w = workloads::compute_loop(2, 2_000);
+    let buf = w.cached_buffer();
+    let req = ReplayRequest { buffer: &buf, depth: DEFAULT_DEPTH, profiling: false };
+
+    let mut observed = ZPredictor::new(cfg.clone());
+    observed.set_telemetry(zbp_telemetry::Telemetry::enabled());
+    assert!(
+        observed.replay_buffer(&req).is_none(),
+        "an observed predictor must not claim the fast path"
+    );
+
+    let mut unobserved = ZPredictor::new(cfg);
+    assert!(
+        unobserved.replay_buffer(&req).is_some(),
+        "the default z15 shape claims the fast path when unobserved"
+    );
+}
+
+#[test]
+fn empty_buffer_accounts_only_the_tail() {
+    let mut trace = DynamicTrace::new("tail-only");
+    trace.push_tail_instrs(123);
+    let buf = ReplayBuffer::from_trace(&trace);
+    let mut pred = ZPredictor::new(GenerationPreset::Z15.config());
+    let out = ReplayCore::run_buffer(DEFAULT_DEPTH, &mut pred, &buf);
+    assert_eq!(out.stats.branches.get(), 0);
+    assert_eq!(out.stats.instructions.get(), 123);
+    assert_eq!(out.flushes, 0);
+}
+
+#[test]
+fn generic_buffered_loop_matches_for_custom_predictors() {
+    // A predictor without a kernel (the default hook) goes through the
+    // generic record-by-record fallback; it must match streaming replay
+    // exactly as well.
+    struct StaticOnly;
+    impl Predictor for StaticOnly {
+        fn predict(
+            &mut self,
+            _a: zbp_zarch::InstrAddr,
+            class: zbp_zarch::BranchClass,
+        ) -> zbp_model::Prediction {
+            zbp_model::Prediction::surprise(class, None)
+        }
+        fn resolve(&mut self, _r: &BranchRecord, _p: &zbp_model::Prediction) {}
+        fn name(&self) -> String {
+            "static-only".into()
+        }
+    }
+
+    let trace = workloads::lspr_like(17, 3_000).dynamic_trace();
+    let buf = ReplayBuffer::from_trace(&trace);
+    let streamed = ReplayCore::replay(DEFAULT_DEPTH, &mut StaticOnly, &trace);
+    let buffered = ReplayCore::run_buffer(DEFAULT_DEPTH, &mut StaticOnly, &buf);
+    assert_eq!(streamed.stats, buffered.stats);
+    assert_eq!(streamed.flushes, buffered.flushes);
+}
