@@ -22,11 +22,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("lookahead-screening", |b| {
         use zbp_serve::{ReplayMode, Session};
         b.iter(|| {
-            std::hint::black_box(Session::run(
-                &GenerationPreset::Z15.config(),
-                ReplayMode::Lookahead,
-                &trace,
-            ))
+            std::hint::black_box(
+                Session::options(&GenerationPreset::Z15.config())
+                    .mode(ReplayMode::Lookahead)
+                    .run(&trace),
+            )
         })
     });
     g.finish();

@@ -1,0 +1,171 @@
+//! E24 — chaos campaigns through the `zbp-serve` TCP path.
+//!
+//! Runs [`zbp_verify::chaos::run_campaign`] once per fault in
+//! [`ChaosFault::ALL`] — shard kills, `Busy` storms, orphaned
+//! connections — against a real loopback [`Server`](zbp_serve::Server),
+//! and holds every surviving or recovered stream to byte-identical
+//! parity with an isolated local replay. A campaign with any parity
+//! failure fails the binary.
+//!
+//! ```text
+//! chaos [--fault TAG] [--streams N] [--shards N] [--faults N]
+//!       [--instrs N] [--seed N] [--json PATH]
+//! ```
+//!
+//! `--fault` restricts the run to one tag (`shard-kill`, `busy-storm`,
+//! `orphan-connection`); the default runs all three. Results append to
+//! `results/bench.json` as schema-7 JSON Lines (see
+//! [`zbp_bench::ChaosRecord`]).
+
+use std::process::ExitCode;
+use zbp_bench::{BenchArgs, ChaosRecord, Table};
+use zbp_verify::{ChaosConfig, ChaosFault};
+
+struct ChaosArgs {
+    faults: Vec<ChaosFault>,
+    streams: usize,
+    shards: usize,
+    fires: usize,
+    bench: BenchArgs,
+}
+
+fn parse_args() -> Result<ChaosArgs, String> {
+    let mut faults: Vec<ChaosFault> = Vec::new();
+    let mut streams = 16usize;
+    let mut shards = 4usize;
+    let mut fires = 2usize;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline.clone().or_else(|| it.next()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--fault" => {
+                let tag = value("--fault")?;
+                let f = ChaosFault::from_tag(&tag).ok_or_else(|| {
+                    format!(
+                        "unknown fault {tag:?}; expected one of: {}",
+                        ChaosFault::ALL.map(|f| f.tag()).join(", ")
+                    )
+                })?;
+                faults.push(f);
+            }
+            "--streams" => {
+                streams = value("--streams")?
+                    .parse::<usize>()
+                    .map_err(|_| "--streams needs a number".to_string())?
+                    .max(1);
+            }
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shards needs a number".to_string())?
+                    .max(1);
+            }
+            "--faults" => {
+                fires = value("--faults")?
+                    .parse::<usize>()
+                    .map_err(|_| "--faults needs a number".to_string())?
+                    .max(1);
+            }
+            _ => rest.push(arg),
+        }
+    }
+    if faults.is_empty() {
+        faults = ChaosFault::ALL.to_vec();
+    }
+    Ok(ChaosArgs { faults, streams, shards, fires, bench: BenchArgs::parse_from(rest) })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let instrs = args.bench.instrs.clamp(1, 50_000);
+    println!(
+        "chaos (E24): {} stream(s) over {} shard(s), {} fault firing(s) per campaign, \
+         instrs {}, seed {}\n",
+        args.streams, args.shards, args.fires, instrs, args.bench.seed
+    );
+
+    let mut t = Table::new(vec![
+        "fault",
+        "streams",
+        "fired",
+        "recoveries",
+        "busy retries",
+        "parity fails",
+        "wall (ms)",
+    ]);
+    let mut records: Vec<ChaosRecord> = Vec::new();
+    let mut dirty = 0u64;
+    for fault in &args.faults {
+        let cfg = ChaosConfig {
+            fault: *fault,
+            streams: args.streams,
+            shards: args.shards,
+            faults: args.fires,
+            instrs,
+            seed: args.bench.seed,
+            ..ChaosConfig::default()
+        };
+        let report = zbp_verify::chaos::run_campaign(&cfg);
+        t.row(vec![
+            report.fault.to_string(),
+            report.streams.to_string(),
+            report.faults_injected.to_string(),
+            report.recoveries.to_string(),
+            report.busy_retries.to_string(),
+            report.parity_failures.to_string(),
+            report.wall_ms.to_string(),
+        ]);
+        if !report.is_clean() {
+            dirty += report.parity_failures;
+        }
+        records.push(ChaosRecord {
+            experiment: "chaos".to_string(),
+            fault: report.fault.tag().to_string(),
+            config: cfg.preset.config().name,
+            shards: args.shards as u64,
+            streams: report.streams as u64,
+            faults_injected: report.faults_injected,
+            recoveries: report.recoveries,
+            busy_retries: report.busy_retries,
+            parity_failures: report.parity_failures,
+            wall_ms: report.wall_ms as f64,
+        });
+    }
+    t.print();
+
+    if let Some(path) = &args.bench.json {
+        match zbp_bench::append_chaos_records(path, &records) {
+            Ok(()) => {
+                println!("\nappended {} schema-7 record(s) to {}", records.len(), path.display())
+            }
+            Err(e) => {
+                eprintln!("chaos: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if dirty > 0 {
+        eprintln!("\nchaos: FAILED — {dirty} stream(s) diverged from their isolated replays");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nchaos: every stream across {} campaign(s) recovered to byte-identical parity",
+        args.faults.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -31,9 +31,9 @@ fn main() {
         let trace = w.cached_trace();
         let mode = ReplayMode::Cosim(CosimConfig::default());
         let report = if traced {
-            Session::run_traced(&GenerationPreset::Z15.config(), mode, &trace)
+            Session::options(&GenerationPreset::Z15.config()).mode(mode).telemetry(true).run(&trace)
         } else {
-            Session::run(&GenerationPreset::Z15.config(), mode, &trace)
+            Session::options(&GenerationPreset::Z15.config()).mode(mode).run(&trace)
         };
         let cosim = report.cosim.expect("cosim mode fills the cosim report");
         if traced {
@@ -76,7 +76,9 @@ fn main() {
     let mut t = Table::new(vec!["queue depth", "CPI", "BPL backpressure cycles"]);
     for q in [2usize, 4, 8, 16, 32, 64] {
         let cfg = CosimConfig { pred_queue: q, ..CosimConfig::default() };
-        let rep = Session::run(&GenerationPreset::Z15.config(), ReplayMode::Cosim(cfg), &trace)
+        let rep = Session::options(&GenerationPreset::Z15.config())
+            .mode(ReplayMode::Cosim(cfg))
+            .run(&trace)
             .cosim
             .expect("cosim mode fills the cosim report");
         t.row(vec![q.to_string(), f3(rep.cpi()), rep.bpl_backpressure_cycles.to_string()]);

@@ -17,7 +17,7 @@ fn report(label: &str, cells: &[CellResult]) {
     for cell in cells {
         let p = cell.predictor.as_ref().expect("config entries keep their predictor");
         for (prov, tally) in &p.stats.direction {
-            let e = merged.entry(*prov).or_default();
+            let e = merged.entry(prov).or_default();
             e.0 += tally.predictions;
             e.1 += tally.correct;
             total += tally.predictions;

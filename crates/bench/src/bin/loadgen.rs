@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! loadgen [--shards N] [--clients M] [--seconds S] [--batch B]
-//!         [--instrs N] [--seed N] [--json PATH]
+//!         [--soak N] [--soak-instrs N] [--instrs N] [--seed N]
+//!         [--json PATH]
 //! ```
 //!
 //! With `--seconds 0` (the default) each client makes one pass over
@@ -17,6 +18,18 @@
 //! deadline, always finishing the session in flight. Results append to
 //! `results/bench.json` as schema-3 JSON Lines (see
 //! [`zbp_bench::ServeRecord`]).
+//!
+//! ## Soak mode (`--soak N`)
+//!
+//! Instead of one stream per client at a time, soak mode holds `N`
+//! streams open **concurrently**, multiplexed over the `--clients`
+//! connections, each running the few-KB [`WirePreset::Soak`] predictor
+//! so six-figure stream counts fit in memory. Streams are fed in
+//! interleaved `--batch`-record frames; every open/feed/close
+//! round-trip is timed, so the reported percentiles are per-operation
+//! latencies rather than whole-session ones. Every stream is still
+//! parity-checked against an isolated local replay, and the run fails
+//! if the peak concurrency ever falls short of `N`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,7 +39,8 @@ use zbp_bench::{f3, BenchArgs, ServeRecord, Table};
 use zbp_core::GenerationPreset;
 use zbp_model::MispredictStats;
 use zbp_serve::{
-    Client, PoolConfig, ReplayMode, Server, Session, WireMode, DEFAULT_BATCH, DEFAULT_DEPTH,
+    soak_config, Client, PoolConfig, ReplayMode, Server, Session, WireMode, WirePreset,
+    DEFAULT_BATCH, DEFAULT_DEPTH,
 };
 use zbp_trace::workloads;
 
@@ -43,6 +57,12 @@ struct LoadArgs {
     clients: usize,
     seconds: u64,
     batch: usize,
+    /// Concurrent streams to hold open in soak mode; `0` is the
+    /// classic one-session-per-client mode.
+    soak: usize,
+    /// Instructions per soak stream (small on purpose: the point is
+    /// stream count, not stream length).
+    soak_instrs: u64,
     bench: BenchArgs,
 }
 
@@ -51,6 +71,8 @@ fn parse_args() -> LoadArgs {
     let mut clients = 8usize;
     let mut seconds = 0u64;
     let mut batch = DEFAULT_BATCH;
+    let mut soak = 0usize;
+    let mut soak_instrs = 600u64;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -78,6 +100,15 @@ fn parse_args() -> LoadArgs {
                 clients = (v as usize).max(1);
             }
             "--seconds" => num("--seconds", &mut seconds, &mut it),
+            "--soak" => {
+                let mut v = soak as u64;
+                num("--soak", &mut v, &mut it);
+                soak = v as usize;
+            }
+            "--soak-instrs" => {
+                num("--soak-instrs", &mut soak_instrs, &mut it);
+                soak_instrs = soak_instrs.max(100);
+            }
             "--batch" => {
                 let mut v = batch as u64;
                 num("--batch", &mut v, &mut it);
@@ -86,7 +117,15 @@ fn parse_args() -> LoadArgs {
             _ => rest.push(arg),
         }
     }
-    LoadArgs { shards, clients, seconds, batch, bench: BenchArgs::parse_from(rest) }
+    LoadArgs {
+        shards,
+        clients,
+        seconds,
+        batch,
+        soak,
+        soak_instrs,
+        bench: BenchArgs::parse_from(rest),
+    }
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -99,6 +138,9 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.soak > 0 {
+        return run_soak(&args);
+    }
     let (instrs, seed) = (args.bench.instrs, args.bench.seed);
     let preset = GenerationPreset::Z15;
     let cfg = preset.config();
@@ -118,7 +160,9 @@ fn main() -> ExitCode {
         .iter()
         .map(|w| {
             let trace = w.cached_trace();
-            let rep = Session::run(&cfg, ReplayMode::Delayed { depth: DEFAULT_DEPTH }, &trace);
+            let rep = Session::options(&cfg)
+                .mode(ReplayMode::Delayed { depth: DEFAULT_DEPTH })
+                .run(&trace);
             Baseline {
                 label: w.label.clone(),
                 stats: rep.stats,
@@ -251,6 +295,7 @@ fn main() -> ExitCode {
             lat_p90_us: quantile(&lats, 0.9),
             lat_p99_us: quantile(&lats, 0.99),
             lat_max_us: lats.last().copied().unwrap_or(0.0),
+            concurrent: args.clients as u64,
         };
         match zbp_bench::append_serve_records(path, &[rec]) {
             Ok(()) => println!("\nappended schema-3 record to {}", path.display()),
@@ -272,6 +317,249 @@ fn main() -> ExitCode {
     println!(
         "\nloadgen: clean shutdown — {sessions} session(s), every stream bit-identical to a \
          single-stream Session::run"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Soak mode: hold `--soak` streams open at once, multiplexed over the
+/// client connections, with the miniature [`WirePreset::Soak`]
+/// predictor per stream. Latencies are per-operation (open/feed/close
+/// round-trips); parity is still bit-for-bit per stream.
+fn run_soak(args: &LoadArgs) -> ExitCode {
+    let seed = args.bench.seed;
+    let total = args.soak;
+    let clients = args.clients.clamp(1, total);
+    let per_client = total.div_ceil(clients);
+    let cfg = soak_config();
+
+    // A small pool of distinct synthetic traces shared across streams:
+    // stream *count* is the variable under test, not trace variety, and
+    // sharing keeps 100k-stream runs inside client memory.
+    let distinct: Vec<zbp_model::DynamicTrace> = (0..8u64)
+        .map(|i| workloads::lspr_like(seed.wrapping_add(i), args.soak_instrs).dynamic_trace())
+        .collect();
+    let baselines: Vec<Baseline> = distinct
+        .iter()
+        .map(|t| {
+            let rep = Session::options(&cfg).run(t);
+            Baseline {
+                label: t.label().to_string(),
+                stats: rep.stats,
+                flushes: rep.flushes,
+                records: t.branch_count(),
+            }
+        })
+        .collect();
+    // At least three interleave rounds per stream, whatever the batch.
+    let records_per = distinct[0].as_slice().len();
+    let batch = args.batch.clamp(1, (records_per / 3).max(1));
+
+    println!(
+        "loadgen (soak): {total} concurrent stream(s) over {clients} connection(s) x {} \
+         shard(s), {} instrs/stream, batch {batch}",
+        args.shards, args.soak_instrs
+    );
+
+    let server = match Server::bind(
+        "127.0.0.1:0",
+        PoolConfig { shards: args.shards, ..PoolConfig::default() },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: could not bind loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("loadgen: serving on {addr}\n");
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let live = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let total_records = AtomicU64::new(0);
+    let total_sessions = AtomicU64::new(0);
+    let total_busy = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let distinct = &distinct;
+            let baselines = &baselines;
+            let latencies = &latencies;
+            let live = &live;
+            let peak = &peak;
+            let total_records = &total_records;
+            let total_sessions = &total_sessions;
+            let total_busy = &total_busy;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let lo = c * per_client;
+                let hi = ((c + 1) * per_client).min(total);
+                if lo >= hi {
+                    return;
+                }
+                let mut lats: Vec<f64> = Vec::with_capacity((hi - lo) * 6);
+                let mut client = match Client::connect(addr) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        eprintln!("soak client {c}: connect failed: {e}");
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                // Open every stream before feeding anything, so the
+                // whole population is concurrently live.
+                let mut streams: Vec<(u64, usize)> = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    let tidx = i % distinct.len();
+                    let t0 = Instant::now();
+                    match client.open(
+                        WirePreset::Soak,
+                        WireMode::default(),
+                        false,
+                        &format!("soak-{i}"),
+                    ) {
+                        Ok((id, _shard)) => {
+                            lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                            let now = live.fetch_add(1, Ordering::Relaxed) + 1;
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            streams.push((id, tidx));
+                        }
+                        Err(e) => {
+                            eprintln!("soak client {c}: open soak-{i} failed: {e}");
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                // Interleaved feeding: one small frame per stream per
+                // round, every op timed.
+                let mut fed = vec![0usize; streams.len()];
+                loop {
+                    let mut progressed = false;
+                    for (k, (id, tidx)) in streams.iter().enumerate() {
+                        let records = distinct[*tidx].as_slice();
+                        if fed[k] >= records.len() {
+                            continue;
+                        }
+                        let end = (fed[k] + batch).min(records.len());
+                        let t0 = Instant::now();
+                        match client.feed(*id, &records[fed[k]..end]) {
+                            Ok(_) => {
+                                lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                                fed[k] = end;
+                                progressed = true;
+                            }
+                            Err(e) => {
+                                eprintln!("soak client {c}: feed stream {id} failed: {e}");
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                for (id, tidx) in &streams {
+                    let base = &baselines[*tidx];
+                    let t0 = Instant::now();
+                    match client.close(*id, distinct[*tidx].tail_instrs()) {
+                        Ok((stats, flushes, records)) => {
+                            lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                            live.fetch_sub(1, Ordering::Relaxed);
+                            if stats != base.stats
+                                || flushes != base.flushes
+                                || records != base.records
+                            {
+                                eprintln!(
+                                    "soak client {c}: PARITY MISMATCH on {} (stream {id})",
+                                    base.label
+                                );
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            total_records.fetch_add(records, Ordering::Relaxed);
+                            total_sessions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("soak client {c}: close stream {id} failed: {e}");
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                total_busy.fetch_add(client.busy_retries(), Ordering::Relaxed);
+                latencies.lock().expect("latency vec unpoisoned").append(&mut lats);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let summary = server.shutdown();
+    let sessions = total_sessions.load(Ordering::Relaxed);
+    let records = total_records.load(Ordering::Relaxed);
+    let busy = total_busy.load(Ordering::Relaxed) + summary.busy_rejections;
+    let bad = mismatches.load(Ordering::Relaxed);
+    let peak = peak.load(Ordering::Relaxed);
+
+    let mut lats = latencies.into_inner().expect("latency vec unpoisoned");
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let rps = records as f64 / wall.as_secs_f64().max(1e-9);
+
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["peak concurrent streams".to_string(), peak.to_string()]);
+    t.row(vec!["sessions completed".to_string(), sessions.to_string()]);
+    t.row(vec!["records served".to_string(), records.to_string()]);
+    t.row(vec!["busy retries".to_string(), busy.to_string()]);
+    t.row(vec!["wall (ms)".to_string(), format!("{wall_ms:.1}")]);
+    t.row(vec!["throughput (records/s)".to_string(), f3(rps)]);
+    t.row(vec!["op p50 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.5))]);
+    t.row(vec!["op p90 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.9))]);
+    t.row(vec!["op p99 (us)".to_string(), format!("{:.0}", quantile(&lats, 0.99))]);
+    t.row(vec!["op max (us)".to_string(), format!("{:.0}", lats.last().copied().unwrap_or(0.0))]);
+    t.print();
+
+    if let Some(path) = &args.bench.json {
+        let rec = ServeRecord {
+            experiment: "loadgen-soak".to_string(),
+            config: cfg.name.clone(),
+            shards: args.shards as u64,
+            clients: clients as u64,
+            sessions,
+            records,
+            busy_rejections: busy,
+            wall_ms,
+            throughput_rps: rps,
+            lat_p50_us: quantile(&lats, 0.5),
+            lat_p90_us: quantile(&lats, 0.9),
+            lat_p99_us: quantile(&lats, 0.99),
+            lat_max_us: lats.last().copied().unwrap_or(0.0),
+            concurrent: peak,
+        };
+        match zbp_bench::append_serve_records(path, &[rec]) {
+            Ok(()) => println!("\nappended schema-3 record to {}", path.display()),
+            Err(e) => {
+                eprintln!("loadgen: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if bad > 0 {
+        eprintln!("\nloadgen (soak): FAILED — {bad} client error(s)/parity mismatch(es)");
+        return ExitCode::FAILURE;
+    }
+    if peak < total as u64 {
+        eprintln!(
+            "\nloadgen (soak): FAILED — peak concurrency {peak} never reached the requested {total}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nloadgen (soak): clean shutdown — {peak} streams concurrently live, every one \
+         bit-identical to its isolated replay"
     );
     ExitCode::SUCCESS
 }

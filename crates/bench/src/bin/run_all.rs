@@ -45,6 +45,7 @@ const BINARIES: &[&str] = &[
     "trace_convert",
     "simpoint",
     "throughput",
+    "chaos",
 ];
 
 fn main() {

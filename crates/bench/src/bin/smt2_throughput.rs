@@ -76,17 +76,15 @@ fn main() {
     let tr0 = workloads::lspr_like(seed, instrs).cached_trace();
     let tr1 = workloads::lspr_like(seed + 17, instrs).cached_trace();
     let solo = |tr: &zbp_model::DynamicTrace| -> MispredictStats {
-        Session::run(&GenerationPreset::Z15.config(), ReplayMode::Delayed { depth: 32 }, tr).stats
+        Session::options(&GenerationPreset::Z15.config())
+            .mode(ReplayMode::Delayed { depth: 32 })
+            .run(tr)
+            .stats
     };
     let s0 = solo(&tr0);
     let s1 = solo(&tr1);
     let smt_trace = workloads::interleave_smt2(&tr0, &tr1, 4);
-    let smt = Session::run(
-        &GenerationPreset::Z15.config(),
-        ReplayMode::Delayed { depth: 32 },
-        &smt_trace,
-    )
-    .stats;
+    let smt = Session::options(&GenerationPreset::Z15.config()).depth(32).run(&smt_trace).stats;
     let mut t = Table::new(vec!["mode", "MPKI", "coverage"]);
     t.row(vec![
         "thread A solo".to_string(),

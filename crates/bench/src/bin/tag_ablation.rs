@@ -30,7 +30,9 @@ fn main() {
         let mut cfg = GenerationPreset::Z15.config();
         cfg.btb1.tag_bits = bits;
         let capacity = cfg.btb1.capacity() as u64;
-        let rep = Session::run(&cfg, ReplayMode::Lookahead, &trace)
+        let rep = Session::options(&cfg)
+            .mode(ReplayMode::Lookahead)
+            .run(&trace)
             .lookahead
             .expect("lookahead mode fills the lookahead report");
         t.row(vec![

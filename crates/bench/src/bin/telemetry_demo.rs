@@ -36,11 +36,10 @@ fn main() {
     ]);
     for w in workloads::suite(seed, instrs) {
         let trace = w.cached_trace();
-        let report = Session::run_traced(
-            &GenerationPreset::Z15.config(),
-            ReplayMode::Cosim(CosimConfig::default()),
-            &trace,
-        );
+        let report = Session::options(&GenerationPreset::Z15.config())
+            .mode(ReplayMode::Cosim(CosimConfig::default()))
+            .telemetry(true)
+            .run(&trace);
         let rep = report.cosim.expect("cosim mode fills the cosim report");
         let snap = report.telemetry.expect("traced run fills telemetry");
         let gpq = snap.histogram("gpq.occupancy").map(|h| h.quantile(0.99)).unwrap_or(0);

@@ -27,7 +27,7 @@
 use std::time::Instant;
 use zbp_bench::{append_throughput_records, BenchArgs, ThroughputRecord};
 use zbp_core::{GenerationPreset, PredictorConfig};
-use zbp_serve::{ReplayMode, Session, SessionReport, DEFAULT_DEPTH};
+use zbp_serve::{Session, SessionReport, DEFAULT_DEPTH};
 use zbp_trace::workloads;
 
 /// Timing repetitions per (workload, path); the reported wall time is
@@ -79,8 +79,9 @@ fn main() {
     for w in workloads::suite(args.seed, args.instrs) {
         let trace = w.cached_trace();
         let buf = w.cached_buffer();
-        let (fast_wall, fast_rep) = best_of(|| Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf));
-        let (gen_wall, gen_rep) = best_of(|| Session::run(&cfg, ReplayMode::default(), &trace));
+        let (fast_wall, fast_rep) =
+            best_of(|| Session::options(&cfg).depth(DEFAULT_DEPTH).run_buffer(&buf));
+        let (gen_wall, gen_rep) = best_of(|| Session::options(&cfg).run(&trace));
         assert_eq!(
             fast_rep.stats,
             gen_rep.stats,

@@ -430,6 +430,10 @@ pub struct ServeRecord {
     pub shards: u64,
     /// Concurrent client connections.
     pub clients: u64,
+    /// Peak concurrently-open streams across all connections (soak
+    /// mode multiplexes many streams per connection; 0 on records
+    /// written before the field existed).
+    pub concurrent: u64,
     /// Sessions completed across all clients.
     pub sessions: u64,
     /// Branch records served in total.
@@ -459,6 +463,7 @@ impl ServeRecord {
             ("config", Json::Str(self.config.clone())),
             ("shards", Json::Num(self.shards as f64)),
             ("clients", Json::Num(self.clients as f64)),
+            ("concurrent", Json::Num(self.concurrent as f64)),
             ("sessions", Json::Num(self.sessions as f64)),
             ("records", Json::Num(self.records as f64)),
             ("busy_rejections", Json::Num(self.busy_rejections as f64)),
@@ -482,6 +487,8 @@ impl ServeRecord {
             config: v.get("config")?.as_str()?.to_string(),
             shards: v.get("shards")?.as_u64()?,
             clients: v.get("clients")?.as_u64()?,
+            // Absent on schema-3 lines written before soak mode.
+            concurrent: v.get("concurrent").and_then(Json::as_u64).unwrap_or(0),
             sessions: v.get("sessions")?.as_u64()?,
             records: v.get("records")?.as_u64()?,
             busy_rejections: v.get("busy_rejections")?.as_u64()?,
@@ -870,6 +877,110 @@ pub fn read_throughput_records(path: &Path) -> std::io::Result<Vec<ThroughputRec
         .collect())
 }
 
+/// One chaos-campaign row from the `chaos` binary (experiment E24), as
+/// recorded in `results/bench.json` (schema 7).
+///
+/// Each row is one campaign of one fault kind through the TCP serve
+/// path. `parity_failures` is the headline: it must be 0 — every
+/// stream the fault interrupted recovered to a byte-identical report.
+/// Schema-7 lines coexist with schemas 2–6 in the same JSON Lines
+/// file; readers dispatch on the `schema` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRecord {
+    /// Which binary produced the record (normally `"chaos"`).
+    pub experiment: String,
+    /// Fault tag: `"shard-kill"`, `"busy-storm"`, `"orphan-connection"`.
+    pub fault: String,
+    /// Predictor configuration label the streams ran with.
+    pub config: String,
+    /// Predictor shards in the pool.
+    pub shards: u64,
+    /// Streams multiplexed over the campaign connection.
+    pub streams: u64,
+    /// Times the fault fired.
+    pub faults_injected: u64,
+    /// Streams that died and were replayed from scratch.
+    pub recoveries: u64,
+    /// `Busy` replies absorbed by the client retry loop.
+    pub busy_retries: u64,
+    /// Streams whose final report diverged from the isolated local
+    /// baseline (the pass criterion is 0).
+    pub parity_failures: u64,
+    /// End-to-end campaign wall time, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ChaosRecord {
+    /// Converts the record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(7.0)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("fault", Json::Str(self.fault.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("shards", Json::Num(self.shards as f64)),
+            ("streams", Json::Num(self.streams as f64)),
+            ("faults_injected", Json::Num(self.faults_injected as f64)),
+            ("recoveries", Json::Num(self.recoveries as f64)),
+            ("busy_retries", Json::Num(self.busy_retries as f64)),
+            ("parity_failures", Json::Num(self.parity_failures as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+        ])
+    }
+
+    /// Reconstructs a record from a JSON object; `None` unless the line
+    /// declares `schema: 7`.
+    pub fn from_json(v: &Json) -> Option<ChaosRecord> {
+        if v.get("schema")?.as_u64()? != 7 {
+            return None;
+        }
+        Some(ChaosRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            fault: v.get("fault")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            shards: v.get("shards")?.as_u64()?,
+            streams: v.get("streams")?.as_u64()?,
+            faults_injected: v.get("faults_injected")?.as_u64()?,
+            recoveries: v.get("recoveries")?.as_u64()?,
+            busy_retries: v.get("busy_retries")?.as_u64()?,
+            parity_failures: v.get("parity_failures")?.as_u64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+        })
+    }
+}
+
+/// Appends chaos records to a JSON Lines file (same appending contract
+/// as [`append_records`]).
+pub fn append_chaos_records(path: &Path, records: &[ChaosRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut buf = String::new();
+    for r in records {
+        buf.push_str(&r.to_json().to_string());
+        buf.push('\n');
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(buf.as_bytes())
+}
+
+/// Reads every parseable schema-7 record from a JSON Lines file,
+/// skipping lines of every other schema.
+pub fn read_chaos_records(path: &Path) -> std::io::Result<Vec<ChaosRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .filter_map(|v| ChaosRecord::from_json(&v))
+        .collect())
+}
+
 /// Appends arena records to a JSON Lines file (same appending contract
 /// as [`append_records`]).
 pub fn append_arena_records(path: &Path, records: &[ArenaRecord]) -> std::io::Result<()> {
@@ -1107,6 +1218,7 @@ mod tests {
             lat_p90_us: 2400.0,
             lat_p99_us: 3100.0,
             lat_max_us: 4200.0,
+            concurrent: 8,
         }
     }
 

@@ -67,10 +67,11 @@ pub use experiment::{
     DEFAULT_HARNESS_DEPTH,
 };
 pub use json::{
-    append_arena_records, append_records, append_serve_records, append_simpoint_records,
-    append_throughput_records, read_arena_records, read_records, read_serve_records,
-    read_simpoint_records, read_throughput_records, telemetry_json, ArenaH2p, ArenaRecord,
-    BenchRecord, Json, ServeRecord, SimPointRecord, ThroughputRecord,
+    append_arena_records, append_chaos_records, append_records, append_serve_records,
+    append_simpoint_records, append_throughput_records, read_arena_records, read_chaos_records,
+    read_records, read_serve_records, read_simpoint_records, read_throughput_records,
+    telemetry_json, ArenaH2p, ArenaRecord, BenchRecord, ChaosRecord, Json, ServeRecord,
+    SimPointRecord, ThroughputRecord,
 };
 pub use simpoint::{run_weighted, SimPointCell, SimPointSuiteResult, SimPointWorkloadResult};
 

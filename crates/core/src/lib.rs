@@ -74,4 +74,4 @@ pub mod util;
 pub mod write_queue;
 
 pub use config::{GenerationPreset, PredictorConfig};
-pub use predictor::{Structures, ZPredictor};
+pub use predictor::{ConfigMismatch, StateImage, Structures, ZPredictor};

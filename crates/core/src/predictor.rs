@@ -57,7 +57,7 @@ struct Inflight {
 /// (BTB1/BTB2, PHT, perceptron, CTB, CPRED) are shared between the two
 /// threads, exactly as §IV–V describe; path history, the GPQ and
 /// stream-tracking are per-thread control-flow state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ThreadCtx {
     /// Speculative path history, updated at prediction time.
     spec_gpv: Gpv,
@@ -129,6 +129,61 @@ pub struct Structures<'a> {
     /// Current GPQ (in-flight prediction) depth across both threads.
     pub inflight: usize,
 }
+
+/// A deep copy of a [`ZPredictor`]'s functional state, as captured by
+/// [`ZPredictor::snapshot`]: configuration, every prediction table,
+/// both threads' control-flow state (path histories, GPQ, stream
+/// tracking), the sequence counter and the statistics. Opaque and
+/// in-memory; a wire encoding can be layered on later without touching
+/// this type's users.
+#[derive(Debug, Clone)]
+pub struct StateImage {
+    cfg: PredictorConfig,
+    btb1: Btb1,
+    btb2: Option<Btb2>,
+    btbp: Option<Btbp>,
+    pht: Pht,
+    sbht: SpecOverride,
+    spht: SpecOverride,
+    perceptron: Option<Perceptron>,
+    ctb: Option<Ctb>,
+    crs: Option<Crs>,
+    cpred: Option<Cpred>,
+    seq: u64,
+    threads: [ThreadCtx; 2],
+    stats: ZStats,
+}
+
+impl StateImage {
+    /// The configuration the imaged predictor was built with.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// In-flight (GPQ) entries captured across both threads — non-zero
+    /// when the image was taken mid-stream.
+    pub fn inflight(&self) -> usize {
+        self.threads.iter().map(|c| c.gpq.len()).sum()
+    }
+}
+
+/// A [`StateImage`] was offered to a predictor with a different
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigMismatch {
+    /// Name of the restoring predictor's configuration.
+    pub expected: String,
+    /// Name of the configuration the image was captured under.
+    pub found: String,
+}
+
+impl fmt::Display for ConfigMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state image for config `{}` cannot restore into `{}`", self.found, self.expected)
+    }
+}
+
+impl std::error::Error for ConfigMismatch {}
 
 /// The complete z15-style branch predictor.
 pub struct ZPredictor {
@@ -268,6 +323,95 @@ impl ZPredictor {
     /// handles are discarded too — reinstall per session).
     pub fn reset(&mut self) {
         *self = ZPredictor::new(self.cfg.clone());
+    }
+
+    /// Captures a deep, self-contained copy of the predictor's
+    /// *functional* state: every table, speculative override, path
+    /// history, the in-flight GPQ of both threads, the sequence counter
+    /// and the statistics. Observation-layer state (probe, telemetry,
+    /// invariant findings) is deliberately excluded — it belongs to the
+    /// host, not the predicted stream.
+    ///
+    /// Together with [`restore`](ZPredictor::restore) /
+    /// [`from_image`](ZPredictor::from_image) this is the live-migration
+    /// primitive: a warm session's predictor can be imaged on one shard
+    /// and resumed on another, and the continued run is byte-identical
+    /// to one that never moved.
+    pub fn snapshot(&self) -> StateImage {
+        StateImage {
+            cfg: self.cfg.clone(),
+            btb1: self.btb1.clone(),
+            btb2: self.btb2.clone(),
+            btbp: self.btbp.clone(),
+            pht: self.pht.clone(),
+            sbht: self.sbht.clone(),
+            spht: self.spht.clone(),
+            perceptron: self.perceptron.clone(),
+            ctb: self.ctb.clone(),
+            crs: self.crs.clone(),
+            cpred: self.cpred.clone(),
+            seq: self.seq,
+            threads: self.threads.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Overwrites this predictor's functional state with `image`,
+    /// keeping the host-owned observation layer (probe, telemetry,
+    /// invariant monitor) in place. The image must have been taken from
+    /// a predictor with an identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when the image's configuration differs from
+    /// this predictor's; the predictor is left unchanged in that case.
+    pub fn restore(&mut self, image: &StateImage) -> Result<(), ConfigMismatch> {
+        if self.cfg != image.cfg {
+            return Err(ConfigMismatch {
+                expected: self.cfg.name.clone(),
+                found: image.cfg.name.clone(),
+            });
+        }
+        self.btb1 = image.btb1.clone();
+        self.btb2 = image.btb2.clone();
+        self.btbp = image.btbp.clone();
+        self.pht = image.pht.clone();
+        self.sbht = image.sbht.clone();
+        self.spht = image.spht.clone();
+        self.perceptron = image.perceptron.clone();
+        self.ctb = image.ctb.clone();
+        self.crs = image.crs.clone();
+        self.cpred = image.cpred.clone();
+        self.seq = image.seq;
+        self.threads = image.threads.clone();
+        self.stats = image.stats.clone();
+        Ok(())
+    }
+
+    /// Builds a predictor directly from an image, consuming it (no
+    /// table copies). The result carries no probe and disabled
+    /// telemetry — the restoring host reinstalls its own observers.
+    pub fn from_image(image: StateImage) -> ZPredictor {
+        ZPredictor {
+            btb1: image.btb1,
+            btb2: image.btb2,
+            btbp: image.btbp,
+            pht: image.pht,
+            sbht: image.sbht,
+            spht: image.spht,
+            perceptron: image.perceptron,
+            ctb: image.ctb,
+            crs: image.crs,
+            cpred: image.cpred,
+            seq: image.seq,
+            threads: image.threads,
+            probe: None,
+            tel: Telemetry::disabled(),
+            #[cfg(feature = "verify")]
+            inv: InvariantMonitor::new(),
+            stats: image.stats,
+            cfg: image.cfg,
+        }
     }
 
     /// Preloads a branch directly into the BTB1 (verification §VII:

@@ -1,9 +1,15 @@
 //! Aggregate predictor statistics: provider attribution, structure
 //! activity, power gating.
 
+#![expect(
+    clippy::indexing_slicing,
+    reason = "ProviderIndex::slot is contract-bound to [0, N); a panic here means a \
+              provider enum grew without its table width and is a model bug worth \
+              failing loudly"
+)]
+
 use crate::direction::DirectionProvider;
 use crate::target::TargetProvider;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Per-provider prediction/correctness attribution.
@@ -34,16 +40,136 @@ impl ProviderTally {
     }
 }
 
+/// A provider enum usable as a dense array index: the discriminant is
+/// the slot, and `ORDERED` lists every variant in discriminant order
+/// (which is also the order the old `BTreeMap` attribution iterated
+/// in, so reports are unchanged).
+pub trait ProviderIndex: Copy + Eq + fmt::Debug + 'static {
+    /// Every variant, ordered by discriminant.
+    const ORDERED: &'static [Self];
+
+    /// The variant's dense index (its discriminant).
+    fn slot(self) -> usize;
+}
+
+impl ProviderIndex for DirectionProvider {
+    const ORDERED: &'static [DirectionProvider] = &[
+        DirectionProvider::Unconditional,
+        DirectionProvider::Bht,
+        DirectionProvider::Sbht,
+        DirectionProvider::TageShort,
+        DirectionProvider::TageLong,
+        DirectionProvider::Spht,
+        DirectionProvider::Perceptron,
+        DirectionProvider::StaticGuess,
+    ];
+
+    fn slot(self) -> usize {
+        self as usize
+    }
+}
+
+impl ProviderIndex for TargetProvider {
+    const ORDERED: &'static [TargetProvider] =
+        &[TargetProvider::Btb, TargetProvider::Ctb, TargetProvider::Crs];
+
+    fn slot(self) -> usize {
+        self as usize
+    }
+}
+
+/// Fixed-array provider attribution, indexed by the provider enum's
+/// discriminant. Replaces the old `BTreeMap<Provider, ProviderTally>`:
+/// recording a resolution is now one array index instead of a tree
+/// walk — this runs twice per resolved branch on the replay hot path.
+///
+/// Iteration yields only providers that have recorded at least one
+/// prediction, in discriminant order — exactly the entry set and order
+/// the map used to produce, so figure-8/9 style reports are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderTable<K: ProviderIndex, const N: usize> {
+    tallies: [ProviderTally; N],
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K: ProviderIndex, const N: usize> Default for ProviderTable<K, N> {
+    fn default() -> Self {
+        ProviderTable { tallies: [ProviderTally::default(); N], _key: std::marker::PhantomData }
+    }
+}
+
+impl<K: ProviderIndex, const N: usize> ProviderTable<K, N> {
+    /// Records one resolution for `provider`. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, provider: K, correct: bool) {
+        self.tallies[provider.slot()].record(correct);
+    }
+
+    /// The tally for `provider`, if it has supplied any predictions
+    /// (mirroring the old map's "absent until first recorded"
+    /// semantics).
+    pub fn get(&self, provider: &K) -> Option<&ProviderTally> {
+        let t = &self.tallies[provider.slot()];
+        (t.predictions > 0).then_some(t)
+    }
+
+    /// The tally for `provider`, zero when it never supplied a
+    /// prediction.
+    #[inline]
+    pub fn tally(&self, provider: K) -> ProviderTally {
+        self.tallies[provider.slot()]
+    }
+
+    /// Active `(provider, tally)` pairs in discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &ProviderTally)> {
+        K::ORDERED.iter().map(|k| (*k, &self.tallies[k.slot()])).filter(|(_, t)| t.predictions > 0)
+    }
+
+    /// Active tallies in discriminant order.
+    pub fn values(&self) -> impl Iterator<Item = &ProviderTally> {
+        self.iter().map(|(_, t)| t)
+    }
+
+    /// Total predictions attributed across all providers.
+    pub fn total(&self) -> u64 {
+        self.tallies.iter().map(|t| t.predictions).sum()
+    }
+}
+
+impl<'a, K: ProviderIndex, const N: usize> IntoIterator for &'a ProviderTable<K, N> {
+    type Item = (K, &'a ProviderTally);
+    type IntoIter = std::vec::IntoIter<(K, &'a ProviderTally)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        // Collected so the iterator type is nameable; N is at most 8
+        // and this is a reporting path, not the hot path.
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl<K: ProviderIndex, const N: usize> std::ops::Index<&K> for ProviderTable<K, N> {
+    type Output = ProviderTally;
+
+    fn index(&self, provider: &K) -> &ProviderTally {
+        &self.tallies[provider.slot()]
+    }
+}
+
+/// Direction attribution across the eight direction providers.
+pub type DirectionTallies = ProviderTable<DirectionProvider, 8>;
+/// Target attribution across the three target providers.
+pub type TargetTallies = ProviderTable<TargetProvider, 3>;
+
 /// The z15 predictor's self-accounting, beyond what the generic
 /// [`zbp_model::MispredictStats`] tracks.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ZStats {
     /// Direction attribution per provider (figure-8 distribution,
     /// experiment E5).
-    pub direction: BTreeMap<DirectionProvider, ProviderTally>,
+    pub direction: DirectionTallies,
     /// Target attribution per provider for resolved-taken dynamic
     /// predictions (figure-9 distribution, experiment E6).
-    pub target: BTreeMap<TargetProvider, ProviderTally>,
+    pub target: TargetTallies,
     /// Surprise-branch installs into the BTB1.
     pub surprise_installs: u64,
     /// Surprise branches skipped (guessed NT, resolved NT).
@@ -74,18 +200,20 @@ impl ZStats {
     }
 
     /// Records a direction resolution for `provider`.
+    #[inline]
     pub fn record_direction(&mut self, provider: DirectionProvider, correct: bool) {
-        self.direction.entry(provider).or_default().record(correct);
+        self.direction.record(provider, correct);
     }
 
     /// Records a target resolution for `provider`.
+    #[inline]
     pub fn record_target(&mut self, provider: TargetProvider, correct: bool) {
-        self.target.entry(provider).or_default().record(correct);
+        self.target.record(provider, correct);
     }
 
     /// Total direction predictions attributed.
     pub fn direction_total(&self) -> u64 {
-        self.direction.values().map(|t| t.predictions).sum()
+        self.direction.total()
     }
 
     /// Fraction of attributed direction predictions supplied by
@@ -95,7 +223,7 @@ impl ZStats {
         if total == 0 {
             0.0
         } else {
-            self.direction.get(&provider).map_or(0.0, |t| t.predictions as f64 / total as f64)
+            self.direction.tally(provider).predictions as f64 / total as f64
         }
     }
 }
@@ -126,8 +254,8 @@ impl fmt::Display for ZStats {
     }
 }
 
-// BTreeMap keys need Ord; derive it for the provider enums here to keep
-// the enums' own modules focused.
+// Kept so the provider enums still order by discriminant for any
+// downstream sorted collections.
 impl Ord for DirectionProvider {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (*self as u8).cmp(&(*other as u8))
@@ -157,6 +285,18 @@ mod tests {
     use super::*;
 
     #[test]
+    fn ordered_lists_match_discriminants() {
+        for (i, p) in DirectionProvider::ORDERED.iter().enumerate() {
+            assert_eq!(p.slot(), i, "{p:?} out of discriminant order");
+        }
+        for (i, p) in TargetProvider::ORDERED.iter().enumerate() {
+            assert_eq!(p.slot(), i, "{p:?} out of discriminant order");
+        }
+        assert_eq!(DirectionProvider::ORDERED.len(), DirectionProvider::ALL.len());
+        assert_eq!(TargetProvider::ORDERED.len(), TargetProvider::ALL.len());
+    }
+
+    #[test]
     fn tallies_accumulate() {
         let mut s = ZStats::new();
         s.record_direction(DirectionProvider::Bht, true);
@@ -169,6 +309,30 @@ mod tests {
         assert!((bht.accuracy() - 0.5).abs() < 1e-12);
         assert!((s.direction_share(DirectionProvider::Bht) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.direction_share(DirectionProvider::Spht), 0.0);
+    }
+
+    #[test]
+    fn unused_providers_stay_hidden() {
+        let mut s = ZStats::new();
+        s.record_direction(DirectionProvider::Spht, true);
+        assert!(s.direction.get(&DirectionProvider::Bht).is_none());
+        assert!(s.direction.get(&DirectionProvider::Spht).is_some());
+        let listed: Vec<_> = s.direction.iter().map(|(p, _)| p).collect();
+        assert_eq!(listed, vec![DirectionProvider::Spht]);
+        assert_eq!(s.direction.values().count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_discriminant_ordered() {
+        let mut s = ZStats::new();
+        // Recorded out of order; iteration must come back sorted.
+        s.record_direction(DirectionProvider::StaticGuess, false);
+        s.record_direction(DirectionProvider::Unconditional, true);
+        s.record_direction(DirectionProvider::TageLong, true);
+        let listed: Vec<_> = s.direction.iter().map(|(p, _)| p as u8).collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted);
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! the convenience path the load generator uses: open → feed in batches
 //! (honouring `Busy` backpressure with bounded retries) → close.
 
-use crate::proto::{Frame, ProtoError, WireMode, MAX_FRAME, RECORD_BYTES};
+use crate::proto::{
+    Frame, ProtoError, WireMode, WirePreset, MAX_FRAME, PROTO_VERSION, RECORD_BYTES,
+};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
-use zbp_core::GenerationPreset;
 use zbp_model::{BranchRecord, DynamicTrace, MispredictStats};
 
 /// Default records per feed frame — comfortably under [`MAX_FRAME`].
@@ -84,23 +85,38 @@ pub struct Client {
     max_retries: u32,
     /// Sleep between Busy retries is the server hint capped here.
     max_backoff: Duration,
+    /// `Busy` replies absorbed by `feed` retry loops.
+    busy_retries: u64,
 }
 
 impl Client {
-    /// Connects to the service.
+    /// Connects to the service and performs the version handshake.
     ///
     /// # Errors
     ///
-    /// Propagates the connect failure.
+    /// Propagates the connect failure;
+    /// [`ProtoError::VersionMismatch`] (wrapped in
+    /// [`ClientError::Proto`]) when the server speaks an incompatible
+    /// protocol revision.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client {
+        let mut client = Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             max_retries: 10_000,
             max_backoff: Duration::from_millis(20),
-        })
+            busy_retries: 0,
+        };
+        match client.call(&Frame::Hello { version: PROTO_VERSION })? {
+            Frame::HelloOk { version } if version == PROTO_VERSION => Ok(client),
+            Frame::HelloOk { version } => Err(ClientError::Proto(ProtoError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: version,
+            })),
+            Frame::Err { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
     }
 
     /// Replaces the per-request Busy-retry budget.
@@ -161,14 +177,19 @@ impl Client {
     /// Any transport, server, or saturation failure along the way.
     pub fn run_trace(
         &mut self,
-        preset: GenerationPreset,
+        preset: impl Into<WirePreset>,
         mode: WireMode,
         trace: &DynamicTrace,
         batch: usize,
     ) -> Result<RemoteReport, ClientError> {
         let batch = batch.clamp(1, MAX_FRAME / RECORD_BYTES);
         let mut busy_retries = 0u64;
-        let open = Frame::Open { preset, mode, traced: false, label: trace.label().to_string() };
+        let open = Frame::Open {
+            preset: preset.into(),
+            mode,
+            traced: false,
+            label: trace.label().to_string(),
+        };
         let (reply, r) = self.call_retrying(&open)?;
         busy_retries += r;
         let (id, shard) = match reply {
@@ -198,6 +219,29 @@ impl Client {
         }
     }
 
+    /// Opens one stream (retrying through backpressure) and returns
+    /// `(stream id, shard)`. The connection can hold any number of
+    /// open streams at once — the soak load generator multiplexes
+    /// thousands per socket.
+    ///
+    /// # Errors
+    ///
+    /// Any transport, server, or saturation failure.
+    pub fn open(
+        &mut self,
+        preset: impl Into<WirePreset>,
+        mode: WireMode,
+        traced: bool,
+        label: &str,
+    ) -> Result<(u64, u32), ClientError> {
+        let open = Frame::Open { preset: preset.into(), mode, traced, label: label.to_string() };
+        match self.call_retrying(&open)?.0 {
+            Frame::OpenOk { id, shard } => Ok((id, shard)),
+            Frame::Err { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
+    }
+
     /// Feeds one raw batch to an already-open stream (retrying through
     /// backpressure); returns the server's running record count.
     ///
@@ -205,9 +249,34 @@ impl Client {
     ///
     /// Any transport, server, or saturation failure.
     pub fn feed(&mut self, id: u64, batch: &[BranchRecord]) -> Result<u64, ClientError> {
-        let (reply, _) = self.call_retrying(&Frame::Feed { id, batch: batch.to_vec() })?;
+        let (reply, retries) = self.call_retrying(&Frame::Feed { id, batch: batch.to_vec() })?;
+        self.busy_retries += retries;
         match reply {
             Frame::FeedOk { records } => Ok(records),
+            Frame::Err { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
+    }
+
+    /// `Busy` replies absorbed by [`feed`](Client::feed) retry loops
+    /// over the connection's lifetime.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Closes an open stream (retrying through backpressure) and
+    /// returns the server's final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Any transport, server, or saturation failure.
+    pub fn close(
+        &mut self,
+        id: u64,
+        tail_instrs: u64,
+    ) -> Result<(MispredictStats, u64, u64), ClientError> {
+        match self.call_retrying(&Frame::Close { id, tail_instrs })?.0 {
+            Frame::CloseOk { stats, flushes, records } => Ok((stats, flushes, records)),
             Frame::Err { message } => Err(ClientError::Server(message)),
             _ => Err(ClientError::UnexpectedFrame),
         }

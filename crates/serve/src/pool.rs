@@ -14,13 +14,33 @@
 //! statistics are byte-identical to an isolated [`Session::run`] no
 //! matter how many streams interleave on a shard — the property the
 //! pool tests pin down.
+//!
+//! # Live migration and elasticity
+//!
+//! A warm delayed-mode session can be **migrated** between shards
+//! mid-stream ([`ShardPool::migrate`]): the source worker images it
+//! ([`Session::snapshot`] → predictor
+//! [`StateImage`](zbp_core::StateImage)), the image travels over a
+//! channel, and the target worker resumes it — the continued stream is
+//! byte-identical to one that never moved. Migration is what makes the
+//! pool elastic: [`ShardPool::resize`] grows or shrinks the shard set
+//! under load (draining doomed shards via migration), and
+//! [`ShardPool::restart_shard`] replaces a worker thread while its warm
+//! sessions survive through export/import — a rolling restart.
+//!
+//! During the short export→import window a stream's commands answer
+//! [`ServeError::Busy`]; the client's existing retry loop carries them
+//! across the move. [`ShardPool::kill_shard`] is the chaos hook: it
+//! drops a shard's sessions on the floor (no reports, no migration),
+//! respawns the worker, and lets clients discover the loss as
+//! [`ServeError::UnknownStream`] — recovery is reopen-and-replay.
 
-use crate::session::{ReplayMode, Session, SessionReport};
-use std::collections::BTreeMap;
+use crate::session::{ReplayMode, Session, SessionImage, SessionReport};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::thread::JoinHandle;
 use zbp_core::{PredictorConfig, ZPredictor};
 use zbp_model::BranchRecord;
@@ -68,12 +88,14 @@ impl fmt::Display for StreamId {
 /// Why a pool operation did not happen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The target shard's queue is full; retry after the hinted delay.
+    /// The target shard's queue is full — or the stream is mid-
+    /// migration between shards; retry after the hinted delay.
     Busy {
         /// Suggested client backoff in milliseconds.
         retry_after_ms: u32,
     },
-    /// No open stream with that id (never opened, or already closed).
+    /// No open stream with that id (never opened, already closed, or
+    /// lost with a killed shard).
     UnknownStream(u64),
     /// The batch exceeds [`PoolConfig::max_batch`].
     BatchTooLarge {
@@ -82,6 +104,11 @@ pub enum ServeError {
         /// The configured limit.
         max: usize,
     },
+    /// No shard with that index.
+    NoSuchShard(usize),
+    /// The stream cannot be imaged mid-flight (whole-stream analysis
+    /// modes and traced sessions are pinned to their shard).
+    NotMigratable(u64),
     /// The pool is draining and no longer accepts work.
     ShuttingDown,
 }
@@ -95,6 +122,10 @@ impl fmt::Display for ServeError {
             ServeError::UnknownStream(id) => write!(f, "unknown stream {id}"),
             ServeError::BatchTooLarge { len, max } => {
                 write!(f, "batch of {len} records exceeds limit {max}")
+            }
+            ServeError::NoSuchShard(i) => write!(f, "no shard {i}"),
+            ServeError::NotMigratable(id) => {
+                write!(f, "stream {id} cannot be migrated (whole-stream or traced session)")
             }
             ServeError::ShuttingDown => f.write_str("pool is shutting down"),
         }
@@ -164,6 +195,25 @@ enum Cmd {
         ack: SyncSender<()>,
         resume: Receiver<()>,
     },
+    /// Migration source half: image the session, remove it, and leave a
+    /// tombstone so late commands answer `Busy` until the routes table
+    /// points at the new home.
+    Export {
+        id: StreamId,
+        reply: SyncSender<Result<Box<SessionImage>, ServeError>>,
+    },
+    /// Migration target half: resume an imaged session on this shard.
+    Import {
+        id: StreamId,
+        image: Box<SessionImage>,
+        reply: SyncSender<()>,
+    },
+    /// Chaos hook: drop every open session (no reports) and exit
+    /// immediately, simulating a crashed shard. Replies with the number
+    /// of sessions lost.
+    Die {
+        reply: SyncSender<u64>,
+    },
 }
 
 struct Shard {
@@ -171,15 +221,17 @@ struct Shard {
     worker: JoinHandle<()>,
 }
 
-/// The sharded session pool. See the crate docs for the execution
+/// The sharded session pool. See the module docs for the execution
 /// model.
 pub struct ShardPool {
     cfg: PoolConfig,
-    shards: Vec<Shard>,
+    /// Lock order: `shards` before `routes` — never the reverse.
+    shards: RwLock<Vec<Shard>>,
     /// Stream-id → shard routing for feeds/closes.
     routes: Mutex<BTreeMap<u64, usize>>,
     next_id: AtomicU64,
     busy: AtomicU64,
+    migrations: AtomicU64,
     completed_rx: Mutex<Receiver<CompletedSession>>,
     /// Kept so workers can clone a sender; dropped at shutdown.
     completed_tx: Mutex<Option<Sender<CompletedSession>>>,
@@ -188,7 +240,7 @@ pub struct ShardPool {
 impl fmt::Debug for ShardPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardPool")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards())
             .field("queue_depth", &self.cfg.queue_depth)
             .finish_non_exhaustive()
     }
@@ -217,34 +269,35 @@ impl ShardPool {
         let (ctx, crx) = std::sync::mpsc::channel();
         let mut out = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
-            let done = ctx.clone();
-            let free_cap = cfg.free_list;
-            let worker = std::thread::Builder::new()
-                .name(format!("zbp-shard-{shard}"))
-                .spawn(move || shard_worker(shard, rx, done, free_cap))
-                .expect("spawn shard worker");
-            out.push(Shard { tx, worker });
+            out.push(spawn_shard(shard, &cfg, ctx.clone()));
         }
         ShardPool {
             cfg,
-            shards: out,
+            shards: RwLock::new(out),
             routes: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             busy: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
             completed_rx: Mutex::new(crx),
             completed_tx: Mutex::new(Some(ctx)),
         }
     }
 
-    /// The pool configuration in force.
+    /// The pool configuration in force (`shards` is the *initial*
+    /// count; [`ShardPool::shards`] is the live one).
     pub fn config(&self) -> &PoolConfig {
         &self.cfg
     }
 
-    /// Number of shards.
+    /// Current number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shards.read().expect("shards").len()
+    }
+
+    /// Sessions moved between shards so far (migrations, rebalances and
+    /// rolling restarts all count).
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
     }
 
     fn busy_err(&self) -> ServeError {
@@ -253,7 +306,9 @@ impl ShardPool {
     }
 
     fn try_send(&self, shard: usize, cmd: Cmd) -> Result<(), ServeError> {
-        match self.shards[shard].tx.try_send(cmd) {
+        let shards = self.shards.read().expect("shards");
+        let s = shards.get(shard).ok_or(ServeError::NoSuchShard(shard))?;
+        match s.tx.try_send(cmd) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(self.busy_err()),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
@@ -271,7 +326,23 @@ impl ShardPool {
         mode: ReplayMode,
         traced: bool,
     ) -> Result<Opened, ServeError> {
-        let shard = shard_for_label(label, self.shards.len());
+        let opened = self.open_async(label, cfg, mode, traced)?;
+        opened.1.recv().map_err(|_| ServeError::ShuttingDown)?;
+        Ok(opened.0)
+    }
+
+    /// Enqueues an open without waiting for the shard to build the
+    /// session — the event-loop path. The route is installed eagerly:
+    /// the per-shard queue is FIFO, so feeds enqueued after this call
+    /// land behind the open.
+    pub fn open_async(
+        &self,
+        label: &str,
+        cfg: &PredictorConfig,
+        mode: ReplayMode,
+        traced: bool,
+    ) -> Result<(Opened, Receiver<()>), ServeError> {
+        let shard = shard_for_label(label, self.shards());
         let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (reply, confirm) = sync_channel(1);
         self.try_send(
@@ -285,9 +356,8 @@ impl ShardPool {
                 reply,
             },
         )?;
-        confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
         self.routes.lock().expect("routes").insert(id.0, shard);
-        Ok(Opened { id, shard })
+        Ok((Opened { id, shard }, confirm))
     }
 
     fn route(&self, id: StreamId) -> Result<usize, ServeError> {
@@ -300,7 +370,7 @@ impl ShardPool {
     }
 
     /// Feeds a batch to an open stream; returns the stream's total
-    /// records so far. [`ServeError::Busy`] means nothing was enqueued
+    /// records so far. [`ServeError::Busy`] means nothing was consumed
     /// — retry the same batch after the hinted delay.
     pub fn feed(&self, id: StreamId, batch: Vec<BranchRecord>) -> Result<u64, ServeError> {
         self.feed_async(id, batch)?.recv().map_err(|_| ServeError::ShuttingDown)?
@@ -328,14 +398,32 @@ impl ShardPool {
     /// Closes a stream, returning its final report. The stream's
     /// predictor returns to the shard's free list (reset) for reuse.
     pub fn close(&self, id: StreamId, tail_instrs: u64) -> Result<SessionReport, ServeError> {
-        let shard = self.route(id)?;
-        let (reply, confirm) = sync_channel(1);
-        self.try_send(shard, Cmd::Close { id, tail_instrs, reply })?;
+        let confirm = self.close_async(id, tail_instrs)?;
         let report = confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
         if report.is_ok() {
             self.routes.lock().expect("routes").remove(&id.0);
         }
         report
+    }
+
+    /// Enqueues a close without waiting — the event-loop path. The
+    /// caller is responsible for dropping the route once the reply
+    /// arrives Ok ([`ShardPool::forget_route`]).
+    pub fn close_async(
+        &self,
+        id: StreamId,
+        tail_instrs: u64,
+    ) -> Result<Receiver<Result<SessionReport, ServeError>>, ServeError> {
+        let shard = self.route(id)?;
+        let (reply, confirm) = sync_channel(1);
+        self.try_send(shard, Cmd::Close { id, tail_instrs, reply })?;
+        Ok(confirm)
+    }
+
+    /// Drops the routing entry for a stream whose close has been
+    /// confirmed (the deferred half of [`ShardPool::close_async`]).
+    pub fn forget_route(&self, id: StreamId) {
+        self.routes.lock().expect("routes").remove(&id.0);
     }
 
     /// Parks a shard's worker until the returned guard is dropped —
@@ -350,6 +438,178 @@ impl ShardPool {
         Ok(ShardPause { _resume: resume_tx })
     }
 
+    /// Live-migrates an open delayed-mode stream to `to_shard`: the
+    /// source worker images the session mid-flight, the target worker
+    /// resumes it, and the continued stream is byte-identical to one
+    /// that never moved. Commands racing the move answer
+    /// [`ServeError::Busy`] and succeed on retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] for unrouted ids,
+    /// [`ServeError::NoSuchShard`] for a bad target,
+    /// [`ServeError::NotMigratable`] for whole-stream or traced
+    /// sessions (they stay put), [`ServeError::Busy`] when the source
+    /// queue is full.
+    pub fn migrate(&self, id: StreamId, to_shard: usize) -> Result<(), ServeError> {
+        // Lock order: shards before routes. Holding both for the whole
+        // move (a) freezes the shard set and (b) makes the route update
+        // atomic with respect to every other router.
+        let shards = self.shards.read().expect("shards");
+        let mut routes = self.routes.lock().expect("routes");
+        let from = *routes.get(&id.0).ok_or(ServeError::UnknownStream(id.0))?;
+        if to_shard >= shards.len() {
+            return Err(ServeError::NoSuchShard(to_shard));
+        }
+        if from == to_shard {
+            return Ok(());
+        }
+        let image = export_session(&shards[from], id)?;
+        import_session(&shards[to_shard], id, image)?;
+        routes.insert(id.0, to_shard);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Grows or shrinks the pool to `new_shards` workers under load.
+    /// Growth spawns fresh workers (new opens hash over the larger
+    /// set). Shrinking drains each doomed shard by live-migrating its
+    /// delayed-mode sessions to their new label-hash home; sessions
+    /// that cannot migrate are force-finished into the completion log
+    /// (same as shutdown). Returns the number of sessions migrated.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] once the pool is draining.
+    pub fn resize(&self, new_shards: usize) -> Result<u64, ServeError> {
+        let new_shards = new_shards.max(1);
+        let mut shards = self.shards.write().expect("shards");
+        let old = shards.len();
+        if new_shards == old {
+            return Ok(0);
+        }
+        if new_shards > old {
+            let done = self
+                .completed_tx
+                .lock()
+                .expect("completed_tx")
+                .clone()
+                .ok_or(ServeError::ShuttingDown)?;
+            for shard in old..new_shards {
+                shards.push(spawn_shard(shard, &self.cfg, done.clone()));
+            }
+            return Ok(0);
+        }
+        // Shrink: move every movable session off the doomed shards.
+        let mut migrated = 0u64;
+        let mut routes = self.routes.lock().expect("routes");
+        let doomed: Vec<u64> =
+            routes.iter().filter(|(_, s)| **s >= new_shards).map(|(id, _)| *id).collect();
+        for id in doomed {
+            let from = routes[&id];
+            match export_session(&shards[from], StreamId(id)) {
+                Ok(image) => {
+                    let to = shard_for_label(image.label(), new_shards);
+                    import_session(&shards[to], StreamId(id), image)?;
+                    routes.insert(id, to);
+                    migrated += 1;
+                    self.migrations.fetch_add(1, Ordering::Relaxed);
+                }
+                // Pinned (whole-stream/traced) sessions are force-
+                // finished by the worker's drain below; their reports
+                // still reach the completion log.
+                Err(ServeError::NotMigratable(_)) => {
+                    routes.remove(&id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for dead in shards.drain(new_shards..) {
+            drop(dead.tx);
+            let _ = dead.worker.join();
+        }
+        Ok(migrated)
+    }
+
+    /// Rolling restart of one shard: exports every movable session,
+    /// replaces the worker thread with a fresh one (new free list, new
+    /// state), and imports the sessions back — warm predictor state
+    /// survives the restart byte-identically. Pinned sessions are
+    /// force-finished by the old worker's drain. Returns the number of
+    /// sessions carried across.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchShard`] for a bad index,
+    /// [`ServeError::ShuttingDown`] once the pool is draining.
+    pub fn restart_shard(&self, shard: usize) -> Result<u64, ServeError> {
+        let mut shards = self.shards.write().expect("shards");
+        if shard >= shards.len() {
+            return Err(ServeError::NoSuchShard(shard));
+        }
+        let done = self
+            .completed_tx
+            .lock()
+            .expect("completed_tx")
+            .clone()
+            .ok_or(ServeError::ShuttingDown)?;
+        let mut routes = self.routes.lock().expect("routes");
+        let resident: Vec<u64> =
+            routes.iter().filter(|(_, s)| **s == shard).map(|(id, _)| *id).collect();
+        let mut images = Vec::new();
+        for id in resident {
+            match export_session(&shards[shard], StreamId(id)) {
+                Ok(image) => images.push((StreamId(id), image)),
+                Err(ServeError::NotMigratable(_)) => {
+                    routes.remove(&id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let fresh = spawn_shard(shard, &self.cfg, done);
+        let old = std::mem::replace(&mut shards[shard], fresh);
+        drop(old.tx);
+        let _ = old.worker.join();
+        let carried = images.len() as u64;
+        for (id, image) in images {
+            import_session(&shards[shard], id, image)?;
+            self.migrations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(carried)
+    }
+
+    /// Chaos hook: crash a shard. Every session on it is dropped
+    /// without a report, the worker is respawned empty, and the lost
+    /// streams' routes are purged so clients see
+    /// [`ServeError::UnknownStream`] and recover by reopening. Returns
+    /// the number of sessions lost.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchShard`] for a bad index,
+    /// [`ServeError::ShuttingDown`] once the pool is draining.
+    pub fn kill_shard(&self, shard: usize) -> Result<u64, ServeError> {
+        let mut shards = self.shards.write().expect("shards");
+        if shard >= shards.len() {
+            return Err(ServeError::NoSuchShard(shard));
+        }
+        let done = self
+            .completed_tx
+            .lock()
+            .expect("completed_tx")
+            .clone()
+            .ok_or(ServeError::ShuttingDown)?;
+        let (reply, rx) = sync_channel(1);
+        shards[shard].tx.send(Cmd::Die { reply }).map_err(|_| ServeError::ShuttingDown)?;
+        let dropped = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+        let fresh = spawn_shard(shard, &self.cfg, done);
+        let old = std::mem::replace(&mut shards[shard], fresh);
+        drop(old.tx);
+        let _ = old.worker.join();
+        self.routes.lock().expect("routes").retain(|_, s| *s != shard);
+        Ok(dropped)
+    }
+
     /// Graceful drain: stops accepting work, lets every shard finish
     /// its queue (force-finishing sessions never closed, with a zero
     /// tail), joins the workers and returns the summary. Telemetry is
@@ -358,7 +618,7 @@ impl ShardPool {
     pub fn shutdown(self) -> PoolSummary {
         drop(self.completed_tx.lock().expect("completed_tx").take());
         let mut workers = Vec::new();
-        for shard in self.shards {
+        for shard in self.shards.into_inner().expect("shards") {
             drop(shard.tx);
             workers.push(shard.worker);
         }
@@ -386,9 +646,47 @@ pub struct ShardPause {
     _resume: SyncSender<()>,
 }
 
-fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>, free_cap: usize) {
+fn spawn_shard(shard: usize, cfg: &PoolConfig, done: Sender<CompletedSession>) -> Shard {
+    let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+    let free_cap = cfg.free_list;
+    let retry_ms = cfg.retry_after_ms;
+    let worker = std::thread::Builder::new()
+        .name(format!("zbp-shard-{shard}"))
+        .spawn(move || shard_worker(shard, rx, done, free_cap, retry_ms))
+        .expect("spawn shard worker");
+    Shard { tx, worker }
+}
+
+/// Blocking export of one session's image from a shard (migration
+/// source half). Blocking sends are safe here: every caller holds the
+/// shards lock, and workers never take it.
+fn export_session(shard: &Shard, id: StreamId) -> Result<Box<SessionImage>, ServeError> {
+    let (reply, rx) = sync_channel(1);
+    shard.tx.send(Cmd::Export { id, reply }).map_err(|_| ServeError::ShuttingDown)?;
+    rx.recv().map_err(|_| ServeError::ShuttingDown)?
+}
+
+/// Blocking import of an imaged session into a shard (migration target
+/// half).
+fn import_session(shard: &Shard, id: StreamId, image: Box<SessionImage>) -> Result<(), ServeError> {
+    let (reply, rx) = sync_channel(1);
+    shard.tx.send(Cmd::Import { id, image, reply }).map_err(|_| ServeError::ShuttingDown)?;
+    rx.recv().map_err(|_| ServeError::ShuttingDown)
+}
+
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<Cmd>,
+    done: Sender<CompletedSession>,
+    free_cap: usize,
+    retry_ms: u32,
+) {
     let mut open: BTreeMap<u64, Session> = BTreeMap::new();
     let mut free: Vec<ZPredictor> = Vec::new();
+    // Streams exported to another shard. A command racing the move is
+    // told Busy; by the time the client retries, the routes table
+    // points at the new home. Bounded by migrations off this worker.
+    let mut moved: BTreeSet<u64> = BTreeSet::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Open { id, label, cfg, mode, traced, reply } => {
@@ -418,6 +716,9 @@ fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>,
                         s.feed(&batch);
                         Ok(s.records_fed())
                     }
+                    None if moved.contains(&id.0) => {
+                        Err(ServeError::Busy { retry_after_ms: retry_ms })
+                    }
                     None => Err(ServeError::UnknownStream(id.0)),
                 };
                 let _ = reply.send(res);
@@ -436,6 +737,9 @@ fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>,
                         });
                         Ok(report)
                     }
+                    None if moved.contains(&id.0) => {
+                        Err(ServeError::Busy { retry_after_ms: retry_ms })
+                    }
                     None => Err(ServeError::UnknownStream(id.0)),
                 };
                 let _ = reply.send(res);
@@ -445,6 +749,43 @@ fn shard_worker(shard: usize, rx: Receiver<Cmd>, done: Sender<CompletedSession>,
                 // Parked until the guard drops (recv errors on
                 // disconnect).
                 let _ = resume.recv();
+            }
+            Cmd::Export { id, reply } => {
+                let res = match open.remove(&id.0) {
+                    Some(s) => match s.snapshot() {
+                        Some(image) => {
+                            moved.insert(id.0);
+                            // The predictor inside `s` was imaged, not
+                            // consumed — recycle it for the next open.
+                            let (_, pred) = s.finish_into(0);
+                            recycle(pred, &mut free, free_cap);
+                            Ok(Box::new(image))
+                        }
+                        None => {
+                            // Pinned session: put it back untouched.
+                            open.insert(id.0, s);
+                            Err(ServeError::NotMigratable(id.0))
+                        }
+                    },
+                    None => Err(ServeError::UnknownStream(id.0)),
+                };
+                let _ = reply.send(res);
+            }
+            Cmd::Import { id, image, reply } => {
+                let recycled = free
+                    .iter()
+                    .position(|p| *p.config() == *image.config())
+                    .map(|i| free.swap_remove(i));
+                let session = Session::resume_recycled(*image, recycled);
+                moved.remove(&id.0);
+                open.insert(id.0, session);
+                let _ = reply.send(());
+            }
+            Cmd::Die { reply } => {
+                let _ = reply.send(open.len() as u64);
+                // Crash semantics: no reports, no recycling, queue
+                // abandoned (pending repliers see a disconnect).
+                return;
             }
         }
     }

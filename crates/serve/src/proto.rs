@@ -16,14 +16,26 @@
 //! | 1 | C→S | `Open` — preset, replay mode, traced flag, label |
 //! | 2 | C→S | `Feed` — stream id + record batch |
 //! | 3 | C→S | `Close` — stream id + tail instruction count |
+//! | 4 | C→S | `Hello` — magic + protocol version |
 //! | 129 | S→C | `OpenOk` — stream id + shard index |
 //! | 130 | S→C | `FeedOk` — total records the stream has consumed |
 //! | 131 | S→C | `CloseOk` — final stats, flush and record counts |
+//! | 132 | S→C | `HelloOk` — the server's protocol version |
 //! | 192 | S→C | `Busy` — queue full; retry after the hinted delay |
 //! | 193 | S→C | `Err` — terminal error with a message |
+//!
+//! # Versioning
+//!
+//! A conforming client opens with a `Hello` frame carrying the ASCII
+//! magic `ZBPS` and [`PROTO_VERSION`]; the server answers `HelloOk`
+//! with its own version, and either side rejects a mismatch with the
+//! typed [`ProtoError::VersionMismatch`]. Servers stay tolerant of
+//! version-0 clients whose first frame is an `Open` — the handshake is
+//! how *future* incompatible revisions get a clean refusal instead of
+//! a confusing decode error.
 
 use std::io::{self, Read, Write};
-use zbp_core::GenerationPreset;
+use zbp_core::{GenerationPreset, PredictorConfig};
 use zbp_model::{BranchRecord, Counter, MispredictStats, ThreadId};
 use zbp_zarch::{InstrAddr, Mnemonic};
 
@@ -36,13 +48,31 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Encoded size of one [`BranchRecord`] on the wire.
 pub const RECORD_BYTES: usize = 30;
 
+/// Current protocol revision, carried in the `Hello`/`HelloOk`
+/// handshake. Bump on any incompatible frame-layout change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// ASCII magic opening a `Hello` payload — distinguishes a handshake
+/// from garbage hitting the port.
+pub const HELLO_MAGIC: [u8; 4] = *b"ZBPS";
+
 /// A decoded protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
+    /// Version handshake, sent by the client before anything else.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        version: u32,
+    },
+    /// Handshake accepted; carries the server's version.
+    HelloOk {
+        /// The server's [`PROTO_VERSION`].
+        version: u32,
+    },
     /// Open a stream.
     Open {
-        /// Predictor generation preset.
-        preset: GenerationPreset,
+        /// Predictor configuration preset.
+        preset: WirePreset,
         /// Replay mode for the stream.
         mode: WireMode,
         /// Record telemetry into the final report.
@@ -127,6 +157,68 @@ impl Default for WireMode {
     }
 }
 
+/// Predictor configurations nameable in an `Open` frame: the hardware
+/// generation presets, plus the serve-only [`WirePreset::Soak`]
+/// miniature used by soak/chaos campaigns to keep a predictor per
+/// stream affordable at 100k+ concurrent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePreset {
+    /// A hardware generation ([`GenerationPreset::ALL`] wire codes
+    /// 0..=3).
+    Generation(GenerationPreset),
+    /// Tiny single-level tables, optional structures off (wire code
+    /// 255). A few KB of predictor state per stream instead of a few
+    /// MB; the replay semantics (GPQ, delayed update, per-stream
+    /// isolation) are identical.
+    Soak,
+}
+
+impl WirePreset {
+    /// The predictor configuration this preset denotes.
+    pub fn config(self) -> PredictorConfig {
+        match self {
+            WirePreset::Generation(g) => g.config(),
+            WirePreset::Soak => soak_config(),
+        }
+    }
+}
+
+impl From<GenerationPreset> for WirePreset {
+    fn from(g: GenerationPreset) -> Self {
+        WirePreset::Generation(g)
+    }
+}
+
+/// The [`WirePreset::Soak`] configuration: one 64×2 BTB1, a small
+/// single-table PHT, no second level, no auxiliary predictors. Built
+/// for memory footprint, not accuracy — soak campaigns measure the
+/// serving layer, not the predictor.
+pub fn soak_config() -> PredictorConfig {
+    use zbp_core::config::{Btb1Config, DirectionConfig, PhtKind, TimingConfig};
+    PredictorConfig {
+        name: "soak".into(),
+        btb1: Btb1Config { rows: 64, ways: 2, tag_bits: 14, search_bytes: 64, search_ports: 1 },
+        btb2: None,
+        btbp: None,
+        gpv_depth: 9,
+        direction: DirectionConfig {
+            pht: PhtKind::SingleTable { rows_per_way: 64, history: 8 },
+            pht_tag_bits: 10,
+            usefulness_max: 3,
+            weak_filter_threshold: 4,
+            weak_counter_max: 7,
+            sbht_entries: 0,
+            spht_entries: 0,
+            perceptron: None,
+        },
+        ctb: None,
+        crs: None,
+        cpred: None,
+        skoot: false,
+        timing: TimingConfig::default(),
+    }
+}
+
 /// Why a frame failed to decode.
 #[derive(Debug)]
 pub enum ProtoError {
@@ -137,6 +229,13 @@ pub enum ProtoError {
     /// Payload did not parse (bad opcode, truncated fields, unknown
     /// enum codes, non-UTF-8 label…).
     Malformed(&'static str),
+    /// The peer speaks an incompatible protocol revision.
+    VersionMismatch {
+        /// Our [`PROTO_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -147,6 +246,9 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
             }
             ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtoError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: we speak {ours}, peer speaks {theirs}")
+            }
         }
     }
 }
@@ -162,18 +264,32 @@ impl From<io::Error> for ProtoError {
 const OP_OPEN: u8 = 1;
 const OP_FEED: u8 = 2;
 const OP_CLOSE: u8 = 3;
+const OP_HELLO: u8 = 4;
 const OP_OPEN_OK: u8 = 129;
 const OP_FEED_OK: u8 = 130;
 const OP_CLOSE_OK: u8 = 131;
+const OP_HELLO_OK: u8 = 132;
 const OP_BUSY: u8 = 192;
 const OP_ERR: u8 = 193;
 
-fn preset_code(p: GenerationPreset) -> u8 {
-    GenerationPreset::ALL.iter().position(|x| *x == p).expect("preset in ALL") as u8
+/// Wire code for [`WirePreset::Soak`] — far above the generation
+/// range, so future generations never collide with it.
+const SOAK_CODE: u8 = 255;
+
+fn preset_code(p: WirePreset) -> u8 {
+    match p {
+        WirePreset::Generation(g) => {
+            GenerationPreset::ALL.iter().position(|x| *x == g).expect("preset in ALL") as u8
+        }
+        WirePreset::Soak => SOAK_CODE,
+    }
 }
 
-fn preset_from(code: u8) -> Option<GenerationPreset> {
-    GenerationPreset::ALL.get(usize::from(code)).copied()
+fn preset_from(code: u8) -> Option<WirePreset> {
+    if code == SOAK_CODE {
+        return Some(WirePreset::Soak);
+    }
+    GenerationPreset::ALL.get(usize::from(code)).copied().map(WirePreset::Generation)
 }
 
 fn mnemonic_code(m: Mnemonic) -> u8 {
@@ -190,6 +306,15 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
+            Frame::Hello { version } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&HELLO_MAGIC);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Frame::HelloOk { version } => {
+                out.push(OP_HELLO_OK);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
             Frame::Open { preset, mode, traced, label } => {
                 out.push(OP_OPEN);
                 out.push(preset_code(*preset));
@@ -268,6 +393,13 @@ impl Frame {
     pub fn decode(payload: &[u8]) -> Result<Frame, ProtoError> {
         let mut r = Cursor { buf: payload, pos: 0 };
         let frame = match r.u8()? {
+            OP_HELLO => {
+                if r.bytes(4)? != HELLO_MAGIC {
+                    return Err(ProtoError::Malformed("bad hello magic"));
+                }
+                Frame::Hello { version: r.u32()? }
+            }
+            OP_HELLO_OK => Frame::HelloOk { version: r.u32()? },
             OP_OPEN => {
                 let preset = preset_from(r.u8()?).ok_or(ProtoError::Malformed("unknown preset"))?;
                 let mode_code = r.u8()?;
@@ -454,17 +586,25 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         let frames = vec![
+            Frame::Hello { version: PROTO_VERSION },
+            Frame::HelloOk { version: PROTO_VERSION + 7 },
             Frame::Open {
-                preset: GenerationPreset::Z15,
+                preset: GenerationPreset::Z15.into(),
                 mode: WireMode::Delayed(32),
                 traced: true,
                 label: "lspr-like".into(),
             },
             Frame::Open {
-                preset: GenerationPreset::ZEc12,
+                preset: GenerationPreset::ZEc12.into(),
                 mode: WireMode::Lookahead,
                 traced: false,
                 label: String::new(),
+            },
+            Frame::Open {
+                preset: WirePreset::Soak,
+                mode: WireMode::Delayed(8),
+                traced: false,
+                label: "soak-0".into(),
             },
             Frame::Feed { id: 7, batch: sample_records() },
             Frame::Close { id: 7, tail_instrs: 99 },
@@ -519,6 +659,25 @@ mod tests {
         extra.push(0);
         assert!(matches!(Frame::decode(&extra), Err(ProtoError::Malformed("trailing bytes"))));
         assert!(matches!(Frame::decode(&[250]), Err(ProtoError::Malformed("unknown opcode"))));
+    }
+
+    #[test]
+    fn hello_magic_is_checked() {
+        let mut payload = vec![OP_HELLO];
+        payload.extend_from_slice(b"NOPE");
+        payload.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        assert!(matches!(Frame::decode(&payload), Err(ProtoError::Malformed("bad hello magic"))));
+    }
+
+    #[test]
+    fn soak_preset_roundtrips_and_validates() {
+        // Wire code 255 must never collide with a generation code, and
+        // the miniature config must be a legal predictor.
+        assert_eq!(preset_from(preset_code(WirePreset::Soak)), Some(WirePreset::Soak));
+        for g in GenerationPreset::ALL {
+            assert_ne!(preset_code(WirePreset::Generation(g)), SOAK_CODE);
+        }
+        soak_config().validate().expect("soak config is valid");
     }
 
     #[test]

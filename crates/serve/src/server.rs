@@ -1,31 +1,51 @@
-//! TCP front end for the [`ShardPool`]: one accept loop, one thread per
-//! connection, frames decoded with [`Frame`] and translated into pool
-//! calls.
+//! TCP front end for the [`ShardPool`]: a single readiness-driven
+//! multiplexer thread over non-blocking sockets, so thousands of idle
+//! connections cost buffers, not threads.
 //!
+//! Every connection is a small state machine — a read reassembly
+//! buffer, a pending-reply queue, and a write buffer — swept by one
+//! event loop:
+//!
+//! 1. accept every connection the listener has ready;
+//! 2. per connection, read whatever the socket has, decode complete
+//!    frames, and translate each into a **non-blocking** pool enqueue
+//!    ([`ShardPool::feed_async`] and friends) whose confirmation
+//!    receiver is parked in the connection's reply queue;
+//! 3. drain reply queues in request order (the wire contract: replies
+//!    come back in the order requests were sent) into the write buffer;
+//! 4. flush write buffers as far as the sockets accept.
+//!
+//! A sweep with no progress sleeps briefly instead of spinning.
 //! Backpressure is surfaced, not absorbed: a full shard queue answers
-//! `Busy { retry_after_ms }` and the client decides when to retry, the
-//! same contract the paper's prediction queue enforces between the BPL
-//! and the instruction-fetch side.
+//! `Busy { retry_after_ms }` at enqueue time and the client decides
+//! when to retry — the same contract the paper's prediction queue
+//! enforces between the BPL and the instruction-fetch side.
+//!
+//! The protocol handshake (`Hello`/`HelloOk`, [`PROTO_VERSION`]) is
+//! validated here; version-0 clients that open without a handshake are
+//! still served.
 
-use crate::pool::{PoolConfig, ServeError, ShardPool, StreamId};
-use crate::proto::{close_ok, Frame, ProtoError};
-use std::collections::BTreeMap;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use crate::pool::{PoolConfig, PoolSummary, ServeError, ShardPool, StreamId};
+use crate::proto::{close_ok, Frame, ProtoError, MAX_FRAME, PROTO_VERSION};
+use crate::session::SessionReport;
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::pool::PoolSummary;
+/// How long the multiplexer parks when a full sweep made no progress.
+const IDLE_SLEEP: Duration = Duration::from_micros(100);
 
 /// A running prediction service bound to a TCP address.
 pub struct Server {
     addr: SocketAddr,
     pool: Arc<ShardPool>,
     stop: Arc<AtomicBool>,
-    /// Live connection sockets, so shutdown can unblock idle handlers.
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    accept: JoinHandle<Vec<JoinHandle<()>>>,
+    mux: JoinHandle<()>,
 }
 
 impl std::fmt::Debug for Server {
@@ -38,28 +58,27 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections over a fresh pool.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// multiplexer over a fresh pool.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, cfg: PoolConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let pool = Arc::new(ShardPool::new(cfg));
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
+        let mux = {
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
             std::thread::Builder::new()
-                .name("zbp-serve-accept".into())
-                .spawn(move || accept_loop(listener, pool, stop, conns))
-                .expect("spawn accept loop")
+                .name("zbp-serve-mux".into())
+                .spawn(move || mux_loop(listener, &pool, &stop))
+                .expect("spawn multiplexer")
         };
-        Ok(Server { addr, pool, stop, conns, accept })
+        Ok(Server { addr, pool, stop, mux })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -68,124 +87,313 @@ impl Server {
     }
 
     /// The shard pool behind this server — usable in-process alongside
-    /// TCP clients (the load generator reads merged telemetry this way).
+    /// TCP clients (the load generator reads merged telemetry, and the
+    /// chaos harness drives migration and shard kills, this way).
     pub fn pool(&self) -> &ShardPool {
         &self.pool
     }
 
-    /// Graceful shutdown: stops accepting, hangs up on every
-    /// connection (in-flight streams are finalized by the handlers'
-    /// orphan cleanup), drains the pool and returns the summary.
+    /// Graceful shutdown: stops the multiplexer (orphaned streams are
+    /// finalized with a zero tail), drains the pool and returns the
+    /// summary.
     pub fn shutdown(self) -> PoolSummary {
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge the accept loop out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
-        let handlers = self.accept.join().unwrap_or_default();
-        // Unblock handlers parked in read() on idle connections.
-        for conn in self.conns.lock().expect("conns").drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for h in handlers {
-            let _ = h.join();
-        }
+        let _ = self.mux.join();
         match Arc::try_unwrap(self.pool) {
             Ok(pool) => pool.shutdown(),
-            // A handler leaked an Arc (should not happen once all are
-            // joined); report an empty summary rather than panic.
+            // Should be unreachable once the multiplexer has joined;
+            // report an empty summary rather than panic.
             Err(_) => PoolSummary::default(),
         }
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    pool: Arc<ShardPool>,
-    stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-) -> Vec<JoinHandle<()>> {
-    let mut handlers = Vec::new();
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().expect("conns").push(clone);
-        }
-        let pool = Arc::clone(&pool);
-        let h = std::thread::Builder::new()
-            .name("zbp-serve-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, &pool);
-            })
-            .expect("spawn connection handler");
-        handlers.push(h);
-    }
-    handlers
+/// A reply owed to the client, in request order. Pool confirmations
+/// arrive on channels; the queue preserves the wire's request/reply
+/// ordering even when shards complete out of order.
+enum ReplySlot {
+    /// Computable at enqueue time (handshakes, errors, open acks —
+    /// the open's stream id and shard are assigned before the worker
+    /// runs, and per-shard FIFO puts the open ahead of its feeds).
+    Ready(Frame),
+    /// A feed waiting for the owning shard to consume the batch.
+    Feed { rx: Receiver<Result<u64, ServeError>>, id: u64 },
+    /// A close waiting for the final report.
+    Close { rx: Receiver<Result<SessionReport, ServeError>>, id: u64 },
 }
 
-/// Serves one connection until EOF or a fatal protocol error. Streams
-/// opened on this connection and never closed are closed (with a zero
-/// tail) when the connection ends, so a dropped client cannot leak
-/// sessions.
-fn handle_connection(stream: TcpStream, pool: &ShardPool) -> Result<(), ProtoError> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    // Streams this connection opened and has not yet closed.
-    let mut live: BTreeMap<u64, StreamId> = BTreeMap::new();
-    let result = loop {
-        let frame = match Frame::read_from(&mut reader) {
-            Ok(Some(f)) => f,
-            Ok(None) => break Ok(()),
-            Err(e) => {
-                let _ = Frame::Err { message: e.to_string() }.write_to(&mut writer);
-                let _ = writer.flush();
-                let _ = stream.shutdown(Shutdown::Both);
-                break Err(e);
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (partial frames reassemble here).
+    rbuf: Vec<u8>,
+    /// Outbound bytes the socket has not accepted yet.
+    wbuf: Vec<u8>,
+    /// Consumed prefix of `wbuf`.
+    wpos: usize,
+    /// Replies owed, in request order.
+    // zbp-analyze: allow(unbounded-channel): occupancy is bounded by the
+    // bounded per-shard command queues — a request either resolves to an
+    // immediate reply (drained next sweep) or occupies a queue slot the
+    // pool already capped; saturation surfaces as `Busy`, not growth.
+    pending: VecDeque<ReplySlot>,
+    /// Streams opened on this connection and not yet closed.
+    live: BTreeSet<u64>,
+    /// Stop parsing input; close once owed replies are flushed.
+    closing: bool,
+    /// Client sent EOF; close once owed replies are flushed.
+    eof: bool,
+    /// Tear down now (fatal I/O error or flushed-out `closing`).
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            // zbp-analyze: allow(unbounded-channel): see the field above.
+            pending: VecDeque::new(),
+            live: BTreeSet::new(),
+            closing: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn queue_frame(&mut self, frame: &Frame) {
+        let payload = frame.encode();
+        self.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(&payload);
+    }
+}
+
+fn mux_loop(listener: TcpListener, pool: &ShardPool, stop: &AtomicBool) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        // 1. Accept everything that is ready.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream));
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-        };
-        let reply = match frame {
-            Frame::Open { preset, mode, traced, label } => {
-                match pool.open(&label, &preset.config(), mode.replay_mode(), traced) {
-                    Ok(opened) => {
-                        live.insert(opened.id.0, opened.id);
-                        Frame::OpenOk { id: opened.id.0, shard: opened.shard as u32 }
-                    }
-                    Err(e) => error_frame(e),
+        }
+        // 2.–4. Sweep every connection.
+        for conn in &mut conns {
+            progressed |= sweep_conn(conn, pool, &mut scratch);
+        }
+        // Tear down finished connections, finalizing orphans.
+        conns.retain_mut(|c| {
+            if c.dead {
+                for id in std::mem::take(&mut c.live) {
+                    let _ = pool.close(StreamId(id), 0);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+    // Shutdown: hang up on everyone; orphaned streams get a zero tail.
+    for conn in conns {
+        for id in conn.live {
+            let _ = pool.close(StreamId(id), 0);
+        }
+    }
+}
+
+/// One readiness pass over a connection; returns whether anything
+/// moved.
+fn sweep_conn(conn: &mut Conn, pool: &ShardPool, scratch: &mut [u8]) -> bool {
+    let mut progressed = false;
+    // Read whatever the socket has.
+    if !conn.closing && !conn.eof {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
                 }
             }
-            Frame::Feed { id, batch } => match pool.feed(StreamId(id), batch) {
-                Ok(records) => Frame::FeedOk { records },
-                Err(e) => error_frame(e),
+        }
+    }
+    // Decode complete frames and enqueue their work.
+    loop {
+        if conn.closing || conn.rbuf.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(conn.rbuf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            let e = ProtoError::FrameTooLarge(len);
+            conn.queue_frame(&Frame::Err { message: e.to_string() });
+            conn.closing = true;
+            break;
+        }
+        if conn.rbuf.len() < 4 + len {
+            break;
+        }
+        let frame = Frame::decode(&conn.rbuf[4..4 + len]);
+        conn.rbuf.drain(..4 + len);
+        progressed = true;
+        match frame {
+            Ok(f) => handle_frame(conn, f, pool),
+            Err(e) => {
+                conn.queue_frame(&Frame::Err { message: e.to_string() });
+                conn.closing = true;
+            }
+        }
+    }
+    // Resolve owed replies in request order.
+    while let Some(slot) = conn.pending.front() {
+        let frame = match slot {
+            ReplySlot::Ready(_) => match conn.pending.pop_front() {
+                Some(ReplySlot::Ready(f)) => f,
+                _ => unreachable!("front was Ready"),
             },
-            Frame::Close { id, tail_instrs } => match pool.close(StreamId(id), tail_instrs) {
-                Ok(report) => {
-                    live.remove(&id);
+            ReplySlot::Feed { rx, id } => match rx.try_recv() {
+                Ok(Ok(records)) => {
+                    let f = Frame::FeedOk { records };
+                    conn.pending.pop_front();
+                    f
+                }
+                Ok(Err(e)) => {
+                    let f = error_frame(e);
+                    conn.pending.pop_front();
+                    f
+                }
+                Err(TryRecvError::Empty) => break,
+                // The worker died with the command queued (a killed
+                // shard): the stream is gone.
+                Err(TryRecvError::Disconnected) => {
+                    let f = error_frame(ServeError::UnknownStream(*id));
+                    conn.pending.pop_front();
+                    f
+                }
+            },
+            ReplySlot::Close { rx, id } => match rx.try_recv() {
+                Ok(Ok(report)) => {
+                    let id = *id;
+                    pool.forget_route(StreamId(id));
+                    conn.live.remove(&id);
+                    conn.pending.pop_front();
                     close_ok(&report)
                 }
-                Err(e) => error_frame(e),
+                Ok(Err(e)) => {
+                    let f = error_frame(e);
+                    conn.pending.pop_front();
+                    f
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    let id = *id;
+                    pool.forget_route(StreamId(id));
+                    conn.live.remove(&id);
+                    conn.pending.pop_front();
+                    error_frame(ServeError::UnknownStream(id))
+                }
             },
-            // Server-to-client frames arriving at the server are a
-            // protocol violation.
-            Frame::OpenOk { .. }
-            | Frame::FeedOk { .. }
-            | Frame::CloseOk { .. }
-            | Frame::Busy { .. }
-            | Frame::Err { .. } => {
-                let e = ProtoError::Malformed("client sent a server frame");
-                let _ = Frame::Err { message: e.to_string() }.write_to(&mut writer);
-                let _ = writer.flush();
-                break Err(e);
-            }
         };
-        reply.write_to(&mut writer)?;
-        writer.flush()?;
-    };
-    // Orphan cleanup: finalize anything the client left open.
-    for (_, id) in live {
-        let _ = pool.close(id, 0);
+        conn.queue_frame(&frame);
+        progressed = true;
     }
-    result
+    // Flush as much as the socket accepts.
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() && !conn.wbuf.is_empty() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    // A closing or drained connection dies once nothing is owed.
+    if (conn.closing || conn.eof) && conn.pending.is_empty() && conn.wbuf.is_empty() {
+        conn.dead = true;
+    }
+    progressed
+}
+
+/// Translates one decoded frame into pool work and/or queued replies.
+fn handle_frame(conn: &mut Conn, frame: Frame, pool: &ShardPool) {
+    match frame {
+        Frame::Hello { version } => {
+            if version == PROTO_VERSION {
+                conn.pending.push_back(ReplySlot::Ready(Frame::HelloOk { version: PROTO_VERSION }));
+            } else {
+                let e = ProtoError::VersionMismatch { ours: PROTO_VERSION, theirs: version };
+                conn.pending.push_back(ReplySlot::Ready(Frame::Err { message: e.to_string() }));
+                conn.closing = true;
+            }
+        }
+        Frame::Open { preset, mode, traced, label } => {
+            match pool.open_async(&label, &preset.config(), mode.replay_mode(), traced) {
+                Ok((opened, _confirm)) => {
+                    conn.live.insert(opened.id.0);
+                    conn.pending.push_back(ReplySlot::Ready(Frame::OpenOk {
+                        id: opened.id.0,
+                        shard: opened.shard as u32,
+                    }));
+                }
+                Err(e) => conn.pending.push_back(ReplySlot::Ready(error_frame(e))),
+            }
+        }
+        Frame::Feed { id, batch } => match pool.feed_async(StreamId(id), batch) {
+            Ok(rx) => conn.pending.push_back(ReplySlot::Feed { rx, id }),
+            Err(e) => conn.pending.push_back(ReplySlot::Ready(error_frame(e))),
+        },
+        Frame::Close { id, tail_instrs } => match pool.close_async(StreamId(id), tail_instrs) {
+            Ok(rx) => conn.pending.push_back(ReplySlot::Close { rx, id }),
+            Err(e) => conn.pending.push_back(ReplySlot::Ready(error_frame(e))),
+        },
+        // Server-to-client frames arriving at the server are a
+        // protocol violation.
+        Frame::HelloOk { .. }
+        | Frame::OpenOk { .. }
+        | Frame::FeedOk { .. }
+        | Frame::CloseOk { .. }
+        | Frame::Busy { .. }
+        | Frame::Err { .. } => {
+            let e = ProtoError::Malformed("client sent a server frame");
+            conn.pending.push_back(ReplySlot::Ready(Frame::Err { message: e.to_string() }));
+            conn.closing = true;
+        }
+    }
 }
 
 fn error_frame(e: ServeError) -> Frame {

@@ -4,12 +4,151 @@
 //! all removed), and it can be fed incrementally — which is what lets
 //! a shard serve many concurrently-open streams.
 
-use zbp_core::{PredictorConfig, ZPredictor};
+use zbp_core::{PredictorConfig, StateImage, ZPredictor};
 use zbp_model::{
     BranchRecord, BranchTable, DynamicTrace, MispredictStats, ReplayBuffer, ReplayCore,
 };
 use zbp_telemetry::{Snapshot, Telemetry};
 use zbp_uarch::{CosimConfig, CosimReport, LookaheadReport};
+
+/// Builder for every way a [`Session`] can be configured and driven —
+/// the single replay entry point that replaced the combinatorial
+/// `run`/`run_traced`/`run_buffer`/`run_buffer_profiled` statics.
+///
+/// ```
+/// use zbp_core::GenerationPreset;
+/// use zbp_serve::{ReplayMode, Session};
+///
+/// let cfg = GenerationPreset::Z15.config();
+/// let trace = zbp_trace::workloads::lspr_like(42, 5_000).dynamic_trace();
+/// let report = Session::options(&cfg).mode(ReplayMode::default()).run(&trace);
+/// assert_eq!(report.records, trace.branch_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionOptions<'a> {
+    cfg: &'a PredictorConfig,
+    mode: ReplayMode,
+    traced: bool,
+    profiling: bool,
+    warmup: u64,
+}
+
+impl<'a> SessionOptions<'a> {
+    fn new(cfg: &'a PredictorConfig) -> Self {
+        SessionOptions {
+            cfg,
+            mode: ReplayMode::default(),
+            traced: false,
+            profiling: false,
+            warmup: 0,
+        }
+    }
+
+    /// Replay mode (default: 32-deep delayed-update).
+    pub fn mode(mut self, mode: ReplayMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `mode(ReplayMode::Delayed { depth })`.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.mode = ReplayMode::Delayed { depth };
+        self
+    }
+
+    /// Record telemetry into [`SessionReport::telemetry`]. Statistics
+    /// are identical either way; the buffer fast path
+    /// ([`run_buffer`](SessionOptions::run_buffer)) stays untraced.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.traced = on;
+        self
+    }
+
+    /// Per-static-branch profiling into [`SessionReport::profile`]
+    /// (delayed-mode only; whole-stream drivers own their replay loop
+    /// and ignore the request).
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Statistics-off warmup: the first `records` fed records run the
+    /// full protocol but are excluded from statistics, profiling and
+    /// telemetry (delayed-mode only — the SimPoint slice-replay knob).
+    pub fn warmup(mut self, records: u64) -> Self {
+        self.warmup = records;
+        self
+    }
+
+    /// Opens an incremental session with these options.
+    pub fn open(self, label: impl Into<String>) -> Session {
+        let mut s = Session::open(label, self.cfg, self.mode, self.traced);
+        if self.profiling {
+            s.set_profiling(true);
+        }
+        if self.warmup > 0 {
+            s.set_warmup(self.warmup);
+        }
+        s
+    }
+
+    /// One-shot replay of a whole trace.
+    pub fn run(self, trace: &DynamicTrace) -> SessionReport {
+        match self.mode {
+            // Streaming path: identical to a served session fed in
+            // batches — that equivalence is what makes pool results
+            // byte-comparable to local runs.
+            ReplayMode::Delayed { .. } => {
+                let tail = trace.tail_instrs();
+                let mut s = self.open(trace.label().to_string());
+                s.feed(trace.as_slice());
+                s.finish(tail)
+            }
+            // Whole-trace analyses run on the caller's trace directly
+            // (no buffering copy).
+            mode => run_whole(self.cfg, &mode, trace, self.traced, trace.branch_count()),
+        }
+    }
+
+    /// One-shot replay of a pre-decoded [`ReplayBuffer`] under the
+    /// delayed-update protocol — the fast path. The predictor may claim
+    /// the run with its config-monomorphized kernel (`ZPredictor` does
+    /// for the default z15 shape); either way the report is
+    /// byte-identical to [`run`](SessionOptions::run) over the buffer's
+    /// source trace at the same depth. Uses the mode's depth when the
+    /// mode is delayed, [`DEFAULT_DEPTH`] otherwise; telemetry and
+    /// warmup do not apply on this path.
+    ///
+    /// ```
+    /// use zbp_core::GenerationPreset;
+    /// use zbp_model::ReplayBuffer;
+    /// use zbp_serve::{ReplayMode, Session};
+    ///
+    /// let trace = zbp_trace::workloads::compute_loop(1, 2_000).dynamic_trace();
+    /// let buf = ReplayBuffer::from_trace(&trace);
+    /// let cfg = GenerationPreset::Z15.config();
+    /// let fast = Session::options(&cfg).run_buffer(&buf);
+    /// let streamed = Session::options(&cfg).mode(ReplayMode::default()).run(&trace);
+    /// assert_eq!(fast.stats, streamed.stats);
+    /// ```
+    pub fn run_buffer(self, buf: &ReplayBuffer) -> SessionReport {
+        let depth = match self.mode {
+            ReplayMode::Delayed { depth } => depth,
+            _ => DEFAULT_DEPTH,
+        };
+        let mut pred = ZPredictor::new(self.cfg.clone());
+        let run = ReplayCore::run_buffer_with(depth, &mut pred, buf, self.profiling);
+        SessionReport {
+            stats: run.stats,
+            flushes: run.flushes,
+            records: buf.len() as u64,
+            cosim: None,
+            lookahead: None,
+            telemetry: None,
+            profile: run.profile,
+        }
+    }
+}
 
 /// Default delayed-update window depth, matching the experiment
 /// engine's standard harness.
@@ -89,19 +228,19 @@ enum Engine {
 /// [`finish`](Session::finish) for the [`SessionReport`].
 ///
 /// `Session` is the single replay entry point for the workspace. The
-/// one-shot [`Session::run`] / [`Session::run_traced`] replaced the old
-/// fragmented per-mode APIs (removed after their deprecation window);
-/// the streaming surface (`open`/`feed`/`finish`) is what `ShardPool`
-/// multiplexes over predictor shards.
+/// [`Session::options`] builder covers every one-shot shape (trace or
+/// buffer, traced, profiled, warmed up); the streaming surface
+/// (`open`/`feed`/`finish`) is what `ShardPool` multiplexes over
+/// predictor shards; and [`Session::snapshot`]/[`Session::resume`]
+/// image a warm stream mid-flight for live migration.
 ///
 /// ```
 /// use zbp_core::GenerationPreset;
-/// use zbp_serve::{ReplayMode, Session};
+/// use zbp_serve::Session;
 /// use zbp_trace::workloads;
 ///
 /// let trace = workloads::lspr_like(42, 5_000).dynamic_trace();
-/// let report =
-///     Session::run(&GenerationPreset::Z15.config(), ReplayMode::default(), &trace);
+/// let report = Session::options(&GenerationPreset::Z15.config()).run(&trace);
 /// assert_eq!(report.records, trace.branch_count());
 /// assert!(report.stats.mpki() > 0.0);
 /// ```
@@ -274,91 +413,153 @@ impl Session {
         }
     }
 
-    /// One-shot replay of a whole trace — the unified entry point for
-    /// every [`ReplayMode`].
+    /// Starts a [`SessionOptions`] builder over `cfg` — the unified
+    /// entry point for one-shot and incremental replay in every
+    /// [`ReplayMode`].
+    pub fn options(cfg: &PredictorConfig) -> SessionOptions<'_> {
+        SessionOptions::new(cfg)
+    }
+
+    /// Images a delayed-mode, untraced session mid-stream: the replay
+    /// core's in-flight window plus a [`StateImage`] of the predictor.
+    /// Feeding the resumed session ([`Session::resume`]) the rest of
+    /// the stream produces a report byte-identical to one that never
+    /// paused — the live-migration primitive `ShardPool` uses to move
+    /// warm sessions between shards.
+    ///
+    /// Returns `None` for whole-stream modes (their drivers own the
+    /// replay loop) and for traced sessions (telemetry is host-owned
+    /// state and does not travel).
+    pub fn snapshot(&self) -> Option<SessionImage> {
+        match &self.engine {
+            Engine::Delayed { pred, core, .. } if !self.traced => Some(SessionImage {
+                label: self.label.clone(),
+                records: self.records,
+                core: core.clone(),
+                state: pred.snapshot(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a session from an image, on a fresh predictor. The
+    /// continued stream behaves exactly as if the original session had
+    /// kept running.
+    pub fn resume(image: SessionImage) -> Session {
+        Session {
+            label: image.label,
+            traced: false,
+            engine: Engine::Delayed {
+                pred: Box::new(ZPredictor::from_image(image.state)),
+                core: image.core,
+                harness_tel: Telemetry::disabled(),
+            },
+            records: image.records,
+        }
+    }
+
+    /// Like [`Session::resume`], but restores into an existing
+    /// predictor (the shard free-list path: no table reallocation).
+    /// Falls back to a fresh predictor when the configurations differ.
+    pub(crate) fn resume_recycled(image: SessionImage, pred: Option<ZPredictor>) -> Session {
+        let pred = match pred {
+            Some(mut p) => {
+                if p.restore(&image.state).is_ok() {
+                    p
+                } else {
+                    ZPredictor::from_image(image.state)
+                }
+            }
+            None => ZPredictor::from_image(image.state),
+        };
+        Session {
+            label: image.label,
+            traced: false,
+            engine: Engine::Delayed {
+                pred: Box::new(pred),
+                core: image.core,
+                harness_tel: Telemetry::disabled(),
+            },
+            records: image.records,
+        }
+    }
+
+    /// One-shot replay of a whole trace.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Session::options(cfg).mode(mode).run(trace)`; remove-by: PR-11"
+    )]
     pub fn run(cfg: &PredictorConfig, mode: ReplayMode, trace: &DynamicTrace) -> SessionReport {
-        Session::drive(cfg, mode, trace, false)
+        Session::options(cfg).mode(mode).run(trace)
     }
 
-    /// One-shot replay of a pre-decoded [`ReplayBuffer`] under the
-    /// delayed-update protocol — the fast-path counterpart of
-    /// [`Session::run`] with `ReplayMode::Delayed { depth }`.
-    ///
-    /// The predictor may claim the run with its config-monomorphized
-    /// kernel (`ZPredictor` does for the default z15 shape); otherwise
-    /// the generic record-by-record loop drives it. Either way the
-    /// report is byte-identical to [`Session::run`] over the buffer's
-    /// source trace at the same depth — the parity suite pins this on
-    /// every preset. Buffers come cheap from
-    /// `zbp_trace::Workload::cached_buffer`, which decodes once per
-    /// trace key.
-    ///
-    /// ```
-    /// use zbp_core::GenerationPreset;
-    /// use zbp_model::ReplayBuffer;
-    /// use zbp_serve::{ReplayMode, Session, DEFAULT_DEPTH};
-    ///
-    /// let trace = zbp_trace::workloads::compute_loop(1, 2_000).dynamic_trace();
-    /// let buf = ReplayBuffer::from_trace(&trace);
-    /// let cfg = GenerationPreset::Z15.config();
-    /// let fast = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
-    /// let streamed = Session::run(&cfg, ReplayMode::default(), &trace);
-    /// assert_eq!(fast.stats, streamed.stats);
-    /// ```
+    /// One-shot replay of a pre-decoded [`ReplayBuffer`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Session::options(cfg).depth(depth).run_buffer(buf)`; remove-by: PR-11"
+    )]
     pub fn run_buffer(cfg: &PredictorConfig, depth: usize, buf: &ReplayBuffer) -> SessionReport {
-        Self::run_buffer_profiled(cfg, depth, buf, false)
+        Session::options(cfg).depth(depth).run_buffer(buf)
     }
 
-    /// [`run_buffer`](Self::run_buffer) with per-static-branch
-    /// profiling enabled when `profiling` is set (the table lands in
-    /// [`SessionReport::profile`]).
+    /// Buffer replay with optional profiling.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Session::options(cfg).depth(depth).profiling(on).run_buffer(buf)`; \
+                remove-by: PR-11"
+    )]
     pub fn run_buffer_profiled(
         cfg: &PredictorConfig,
         depth: usize,
         buf: &ReplayBuffer,
         profiling: bool,
     ) -> SessionReport {
-        let mut pred = ZPredictor::new(cfg.clone());
-        let run = ReplayCore::run_buffer_with(depth, &mut pred, buf, profiling);
-        SessionReport {
-            stats: run.stats,
-            flushes: run.flushes,
-            records: buf.len() as u64,
-            cosim: None,
-            lookahead: None,
-            telemetry: None,
-            profile: run.profile,
-        }
+        Session::options(cfg).depth(depth).profiling(profiling).run_buffer(buf)
     }
 
     /// One-shot replay with telemetry recorded into the report.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Session::options(cfg).mode(mode).telemetry(true).run(trace)`; \
+                remove-by: PR-11"
+    )]
     pub fn run_traced(
         cfg: &PredictorConfig,
         mode: ReplayMode,
         trace: &DynamicTrace,
     ) -> SessionReport {
-        Session::drive(cfg, mode, trace, true)
+        Session::options(cfg).mode(mode).telemetry(true).run(trace)
+    }
+}
+
+/// A mid-stream image of a delayed-mode [`Session`], from
+/// [`Session::snapshot`]: the stream identity and progress, the replay
+/// core's in-flight window, and the predictor's [`StateImage`]. Opaque
+/// and in-memory — it moves between shards by being sent over a
+/// channel, and a wire encoding can be layered onto the versioned
+/// protocol later.
+#[derive(Debug, Clone)]
+pub struct SessionImage {
+    label: String,
+    records: u64,
+    core: ReplayCore,
+    state: StateImage,
+}
+
+impl SessionImage {
+    /// The imaged stream's label.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
-    fn drive(
-        cfg: &PredictorConfig,
-        mode: ReplayMode,
-        trace: &DynamicTrace,
-        traced: bool,
-    ) -> SessionReport {
-        match mode {
-            // Streaming path: identical to a served session fed in
-            // batches — that equivalence is what makes pool results
-            // byte-comparable to local runs.
-            ReplayMode::Delayed { .. } => {
-                let mut s = Session::open(trace.label(), cfg, mode, traced);
-                s.feed(trace.as_slice());
-                s.finish(trace.tail_instrs())
-            }
-            // Whole-trace analyses run on the caller's trace directly
-            // (no buffering copy).
-            mode => run_whole(cfg, &mode, trace, traced, trace.branch_count()),
-        }
+    /// Records the stream had consumed when imaged.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The predictor configuration the stream runs under.
+    pub fn config(&self) -> &PredictorConfig {
+        self.state.config()
     }
 }
 

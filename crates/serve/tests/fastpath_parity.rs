@@ -38,8 +38,8 @@ fn every_preset_matches_streaming_replay_on_the_suite() {
         for w in workloads::suite(41, 4_000) {
             let trace = w.cached_trace();
             let buf = w.cached_buffer();
-            let streamed = Session::run(&cfg, ReplayMode::default(), &trace);
-            let buffered = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
+            let streamed = Session::options(&cfg).run(&trace);
+            let buffered = Session::options(&cfg).depth(DEFAULT_DEPTH).run_buffer(&buf);
             assert_reports_identical(
                 &format!("{preset} on {}", trace.label()),
                 &streamed,
@@ -59,7 +59,7 @@ fn profiled_runs_match_too() {
     s.set_profiling(true);
     s.feed(trace.as_slice());
     let streamed = s.finish(trace.tail_instrs());
-    let buffered = Session::run_buffer_profiled(&cfg, DEFAULT_DEPTH, &buf, true);
+    let buffered = Session::options(&cfg).depth(DEFAULT_DEPTH).profiling(true).run_buffer(&buf);
     assert!(buffered.profile.is_some(), "profiling was requested");
     assert_reports_identical("profiled z15", &streamed, &buffered);
 }
@@ -85,8 +85,8 @@ fn smt_interleaved_stream_matches() {
 
     let cfg = GenerationPreset::Z15.config();
     let buf = ReplayBuffer::from_trace(&mixed);
-    let streamed = Session::run(&cfg, ReplayMode::default(), &mixed);
-    let buffered = Session::run_buffer(&cfg, DEFAULT_DEPTH, &buf);
+    let streamed = Session::options(&cfg).run(&mixed);
+    let buffered = Session::options(&cfg).depth(DEFAULT_DEPTH).run_buffer(&buf);
     assert_reports_identical("smt mix", &streamed, &buffered);
 }
 
@@ -99,8 +99,8 @@ fn depths_zero_and_one_match() {
     let trace = w.cached_trace();
     let buf = w.cached_buffer();
     for depth in [0usize, 1, 2] {
-        let streamed = Session::run(&cfg, ReplayMode::Delayed { depth }, &trace);
-        let buffered = Session::run_buffer(&cfg, depth, &buf);
+        let streamed = Session::options(&cfg).mode(ReplayMode::Delayed { depth }).run(&trace);
+        let buffered = Session::options(&cfg).depth(depth).run_buffer(&buf);
         assert_reports_identical(&format!("depth {depth}"), &streamed, &buffered);
     }
 }

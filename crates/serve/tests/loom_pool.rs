@@ -88,7 +88,7 @@ fn busy_queue_recovers_once_the_shard_drains() {
         assert_eq!(total, records.len() as u64, "no loss, no duplication");
 
         let report = pool.close(opened.id, t.tail_instrs()).expect("close");
-        assert_eq!(report, Session::run(&cfg, ReplayMode::default(), &t));
+        assert_eq!(report, Session::options(&cfg).run(&t));
         let summary = pool.shutdown();
         assert!(summary.busy_rejections >= 1, "the rejection was counted");
     });
@@ -121,8 +121,8 @@ fn concurrent_feeds_on_one_shard_match_isolated_runs() {
 
         let ra = pool.close(oa.id, ta.tail_instrs()).expect("close a");
         let rb = pool.close(ob.id, tb.tail_instrs()).expect("close b");
-        assert_eq!(ra, Session::run_traced(&cfg, ReplayMode::default(), &ta), "stream a");
-        assert_eq!(rb, Session::run_traced(&cfg, ReplayMode::default(), &tb), "stream b");
+        assert_eq!(ra, Session::options(&cfg).telemetry(true).run(&ta), "stream a");
+        assert_eq!(rb, Session::options(&cfg).telemetry(true).run(&tb), "stream b");
 
         let pool = Arc::try_unwrap(pool).expect("feeders dropped their handles");
         pool.shutdown();
@@ -148,7 +148,7 @@ fn free_list_recycling_never_aliases_live_sessions() {
         let o0 = pool.open(warm.label(), &cfg, ReplayMode::default(), false).expect("open warm");
         feed_all(&pool, o0.id, warm.as_slice(), 97);
         let warm_report = pool.close(o0.id, warm.tail_instrs()).expect("close warm");
-        assert_eq!(warm_report, Session::run(&cfg, ReplayMode::default(), &warm));
+        assert_eq!(warm_report, Session::options(&cfg).run(&warm));
 
         // Two live sessions, at least one on a recycled predictor, fed
         // concurrently. If recycling aliased state — shared tables, a
@@ -169,8 +169,8 @@ fn free_list_recycling_never_aliases_live_sessions() {
         }
         let ra = pool.close(oa.id, ta.tail_instrs()).expect("close a");
         let rb = pool.close(ob.id, tb.tail_instrs()).expect("close b");
-        assert_eq!(ra, Session::run(&cfg, ReplayMode::default(), &ta), "recycled session a");
-        assert_eq!(rb, Session::run(&cfg, ReplayMode::default(), &tb), "recycled session b");
+        assert_eq!(ra, Session::options(&cfg).run(&ta), "recycled session a");
+        assert_eq!(rb, Session::options(&cfg).run(&tb), "recycled session b");
 
         let pool = Arc::try_unwrap(pool).expect("feeders dropped their handles");
         let summary = pool.shutdown();

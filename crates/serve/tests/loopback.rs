@@ -19,7 +19,7 @@ fn test_server(shards: usize, queue_depth: usize) -> Server {
 fn remote_replay_matches_local_session_exactly() {
     let server = test_server(2, 16);
     let trace = workloads::lspr_like(7, 20_000).dynamic_trace();
-    let local = Session::run(&GenerationPreset::Z15.config(), ReplayMode::default(), &trace);
+    let local = Session::options(&GenerationPreset::Z15.config()).run(&trace);
 
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let remote = client
@@ -41,7 +41,8 @@ fn remote_replay_matches_local_session_exactly() {
 fn lookahead_mode_works_over_the_wire() {
     let server = test_server(1, 16);
     let trace = workloads::lspr_like(11, 8_000).dynamic_trace();
-    let local = Session::run(&GenerationPreset::Z15.config(), ReplayMode::Lookahead, &trace);
+    let local =
+        Session::options(&GenerationPreset::Z15.config()).mode(ReplayMode::Lookahead).run(&trace);
 
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let remote = client
@@ -106,7 +107,7 @@ fn full_shard_queue_answers_busy_then_recovers() {
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let opened = match client
         .call(&Frame::Open {
-            preset: GenerationPreset::Z15,
+            preset: GenerationPreset::Z15.into(),
             mode: WireMode::default(),
             traced: false,
             label: "stream-b".into(),
@@ -118,7 +119,16 @@ fn full_shard_queue_answers_busy_then_recovers() {
     };
 
     // Park the worker, then fill the queue's single slot synchronously.
-    let pause = pool.pause_shard(0).expect("pause");
+    // The open for B is acknowledged at enqueue time, so its command
+    // may still occupy the slot — retry until the worker has drained
+    // it and the pause lands.
+    let pause = loop {
+        match pool.pause_shard(0) {
+            Ok(p) => break p,
+            Err(zbp_serve::ServeError::Busy { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("pause: {e}"),
+        }
+    };
     let pending = pool.feed_async(a.id, batch.clone()).expect("enqueue A's batch");
 
     // The shard is parked and its queue full: B's feed must be rejected
@@ -148,8 +158,7 @@ fn full_shard_queue_answers_busy_then_recovers() {
         Frame::CloseOk { stats, .. } => {
             // Both streams saw the same records on private predictors —
             // identical stats despite the contention.
-            let local =
-                Session::run(&GenerationPreset::Z15.config(), ReplayMode::default(), &trace);
+            let local = Session::options(&GenerationPreset::Z15.config()).run(&trace);
             assert_eq!(stats, local.stats);
         }
         other => panic!("expected CloseOk, got {other:?}"),
@@ -179,7 +188,7 @@ fn dropped_connection_does_not_leak_sessions() {
         let mut client = Client::connect(server.local_addr()).expect("connect");
         match client
             .call(&Frame::Open {
-                preset: GenerationPreset::Z15,
+                preset: GenerationPreset::Z15.into(),
                 mode: WireMode::default(),
                 traced: false,
                 label: "orphan".into(),

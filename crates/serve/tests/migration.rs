@@ -1,0 +1,195 @@
+//! Live migration, elastic resize, rolling restart and the kill chaos
+//! hook: a stream that moves between shards mid-flight must report
+//! exactly what an isolated, never-moved replay reports.
+
+use zbp_core::GenerationPreset;
+use zbp_model::DynamicTrace;
+use zbp_serve::{PoolConfig, ReplayMode, ServeError, Session, SessionReport, ShardPool, StreamId};
+use zbp_trace::workloads;
+
+fn suite(seeds: &[u64], len: u64) -> Vec<DynamicTrace> {
+    seeds
+        .iter()
+        .map(|s| {
+            let t = workloads::lspr_like(*s, len).dynamic_trace();
+            let tail = t.tail_instrs();
+            let mut out = DynamicTrace::from_records(format!("stream-{s}"), t.as_slice().to_vec());
+            out.push_tail_instrs(tail);
+            out
+        })
+        .collect()
+}
+
+fn isolated(trace: &DynamicTrace) -> SessionReport {
+    Session::options(&GenerationPreset::Z15.config()).run(trace)
+}
+
+/// Feeds with Busy retry — commands racing a migration window answer
+/// Busy and must succeed when retried.
+fn feed_retrying(pool: &ShardPool, id: StreamId, batch: &[zbp_model::BranchRecord]) -> u64 {
+    loop {
+        match pool.feed(id, batch.to_vec()) {
+            Ok(n) => return n,
+            Err(ServeError::Busy { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("feed failed: {e}"),
+        }
+    }
+}
+
+fn close_retrying(pool: &ShardPool, id: StreamId, tail: u64) -> SessionReport {
+    loop {
+        match pool.close(id, tail) {
+            Ok(r) => return r,
+            Err(ServeError::Busy { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("close failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn migrated_streams_match_isolated_runs_at_every_shard_count() {
+    for shards in [1usize, 2, 8] {
+        let traces = suite(&[3, 5, 7, 11], 5_000);
+        let pool = ShardPool::new(PoolConfig { shards, ..PoolConfig::default() });
+        let cfg = GenerationPreset::Z15.config();
+        let opened: Vec<_> = traces
+            .iter()
+            .map(|t| pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("open"))
+            .collect();
+        // Feed the first half, bounce every stream across every shard,
+        // feed the rest.
+        for (o, t) in opened.iter().zip(&traces) {
+            let records = t.as_slice();
+            feed_retrying(&pool, o.id, &records[..records.len() / 2]);
+        }
+        for hop in 1..=shards {
+            for o in &opened {
+                pool.migrate(o.id, (o.shard + hop) % shards).expect("migrate");
+            }
+        }
+        for (o, t) in opened.iter().zip(&traces) {
+            let records = t.as_slice();
+            feed_retrying(&pool, o.id, &records[records.len() / 2..]);
+            let report = close_retrying(&pool, o.id, t.tail_instrs());
+            assert_eq!(
+                report,
+                isolated(t),
+                "stream {} diverged after migration at {shards} shards",
+                t.label()
+            );
+        }
+        if shards > 1 {
+            assert!(pool.migrations() > 0, "migrations counter never moved");
+        }
+        pool.shutdown();
+    }
+}
+
+#[test]
+fn resize_under_load_preserves_streams() {
+    let traces = suite(&[21, 22, 23, 24, 25, 26], 4_000);
+    let pool = ShardPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+    let cfg = GenerationPreset::Z15.config();
+    let opened: Vec<_> = traces
+        .iter()
+        .map(|t| pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("open"))
+        .collect();
+    for (o, t) in opened.iter().zip(&traces) {
+        let n = t.as_slice().len();
+        feed_retrying(&pool, o.id, &t.as_slice()[..n / 3]);
+    }
+    // Scale up, feed, scale down past the original size, feed the rest.
+    pool.resize(8).expect("grow");
+    assert_eq!(pool.shards(), 8);
+    for (o, t) in opened.iter().zip(&traces) {
+        let n = t.as_slice().len();
+        feed_retrying(&pool, o.id, &t.as_slice()[n / 3..2 * n / 3]);
+    }
+    pool.resize(1).expect("shrink");
+    assert_eq!(pool.shards(), 1);
+    for (o, t) in opened.iter().zip(&traces) {
+        let n = t.as_slice().len();
+        feed_retrying(&pool, o.id, &t.as_slice()[2 * n / 3..]);
+        let report = close_retrying(&pool, o.id, t.tail_instrs());
+        assert_eq!(report, isolated(t), "stream {} diverged across resizes", t.label());
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn rolling_restart_keeps_warm_sessions() {
+    let traces = suite(&[31, 32, 33], 4_000);
+    let pool = ShardPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+    let cfg = GenerationPreset::Z15.config();
+    let opened: Vec<_> = traces
+        .iter()
+        .map(|t| pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("open"))
+        .collect();
+    for (o, t) in opened.iter().zip(&traces) {
+        feed_retrying(&pool, o.id, &t.as_slice()[..t.as_slice().len() / 2]);
+    }
+    // Restart every shard in turn: warm state must ride through.
+    for shard in 0..pool.shards() {
+        pool.restart_shard(shard).expect("restart");
+    }
+    for (o, t) in opened.iter().zip(&traces) {
+        feed_retrying(&pool, o.id, &t.as_slice()[t.as_slice().len() / 2..]);
+        let report = close_retrying(&pool, o.id, t.tail_instrs());
+        assert_eq!(report, isolated(t), "stream {} diverged across a rolling restart", t.label());
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn killed_shard_loses_streams_and_recovery_replays_identically() {
+    let traces = suite(&[41, 42, 43, 44], 3_000);
+    let pool = ShardPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+    let cfg = GenerationPreset::Z15.config();
+    let opened: Vec<_> = traces
+        .iter()
+        .map(|t| pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("open"))
+        .collect();
+    for (o, t) in opened.iter().zip(&traces) {
+        feed_retrying(&pool, o.id, &t.as_slice()[..t.as_slice().len() / 2]);
+    }
+    let victim_shard = opened[0].shard;
+    let lost = pool.kill_shard(victim_shard).expect("kill");
+    assert!(lost > 0, "the victim shard held sessions");
+    for (o, t) in opened.iter().zip(&traces) {
+        if o.shard == victim_shard {
+            // Dead stream: the route is gone; recovery is reopen and
+            // replay from the start — byte-identical to a clean run.
+            assert_eq!(
+                pool.feed(o.id, t.as_slice()[..1].to_vec()),
+                Err(ServeError::UnknownStream(o.id.0))
+            );
+            let again = pool.open(t.label(), &cfg, ReplayMode::default(), false).expect("reopen");
+            feed_retrying(&pool, again.id, t.as_slice());
+            let report = close_retrying(&pool, again.id, t.tail_instrs());
+            assert_eq!(report, isolated(t), "recovered stream {} diverged", t.label());
+        } else {
+            // Survivors on other shards are untouched.
+            feed_retrying(&pool, o.id, &t.as_slice()[t.as_slice().len() / 2..]);
+            let report = close_retrying(&pool, o.id, t.tail_instrs());
+            assert_eq!(report, isolated(t), "survivor stream {} diverged", t.label());
+        }
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn pinned_sessions_refuse_migration() {
+    let trace = suite(&[51], 1_000).remove(0);
+    let pool = ShardPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+    let cfg = GenerationPreset::Z15.config();
+    let o = pool.open(trace.label(), &cfg, ReplayMode::Lookahead, false).expect("open");
+    assert_eq!(
+        pool.migrate(o.id, (o.shard + 1) % 2),
+        Err(ServeError::NotMigratable(o.id.0)),
+        "whole-stream sessions must stay put"
+    );
+    // Bad targets and unknown ids are typed errors, not panics.
+    assert_eq!(pool.migrate(o.id, 9), Err(ServeError::NoSuchShard(9)));
+    assert_eq!(pool.migrate(StreamId(999), 0), Err(ServeError::UnknownStream(999)));
+    pool.shutdown();
+}

@@ -65,8 +65,7 @@ fn interleaved_streams_match_isolated_runs() {
     let summary = run_pooled(&traces, 2, 257);
     assert_eq!(summary.sessions.len(), traces.len());
     for (session, trace) in summary.sessions.iter().zip(&traces) {
-        let local =
-            Session::run_traced(&GenerationPreset::Z15.config(), ReplayMode::default(), trace);
+        let local = Session::options(&GenerationPreset::Z15.config()).telemetry(true).run(trace);
         assert_eq!(session.label, trace.label());
         // Byte-identical: stats, flush counts, and telemetry all equal.
         assert_eq!(session.report, local, "stream {} diverged under sharing", session.label);
@@ -113,11 +112,10 @@ proptest! {
         let single = run_pooled(&traces, 1, batch);
         prop_assert_eq!(&pooled.merged_telemetry, &single.merged_telemetry);
         for (session, trace) in pooled.sessions.iter().zip(&traces) {
-            let local = Session::run_traced(
-                &GenerationPreset::Z15.config(),
-                ReplayMode::default(),
-                trace,
-            );
+            let local = Session::options(&GenerationPreset::Z15.config())
+                .mode(ReplayMode::default())
+                .telemetry(true)
+                .run(trace);
             prop_assert_eq!(&session.report, &local);
         }
     }

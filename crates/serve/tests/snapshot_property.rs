@@ -1,0 +1,100 @@
+//! Snapshot/restore determinism: imaging a warm delayed-mode session
+//! mid-stream — including mid-GPQ, with update records still in
+//! flight — and resuming the image must be byte-identical to a replay
+//! that never stopped. Every generation preset, SMT2 interleaves, and
+//! arbitrary cut points are covered.
+
+use proptest::prelude::*;
+use zbp_core::GenerationPreset;
+use zbp_model::DynamicTrace;
+use zbp_serve::{ReplayMode, Session, SessionReport};
+use zbp_trace::workloads;
+
+/// Replays `trace` uninterrupted.
+fn straight_through(preset: GenerationPreset, depth: usize, trace: &DynamicTrace) -> SessionReport {
+    Session::options(&preset.config()).depth(depth).run(trace)
+}
+
+/// Replays `trace`, imaging and resuming the session at every cut
+/// point in `cuts` (record indices, ascending).
+fn with_handoffs(
+    preset: GenerationPreset,
+    depth: usize,
+    trace: &DynamicTrace,
+    cuts: &[usize],
+) -> SessionReport {
+    let mut session =
+        Session::options(&preset.config()).mode(ReplayMode::Delayed { depth }).open(trace.label());
+    let records = trace.as_slice();
+    let mut at = 0usize;
+    for cut in cuts {
+        let cut = (*cut).min(records.len());
+        if cut > at {
+            session.feed(&records[at..cut]);
+            at = cut;
+        }
+        let image = session.snapshot().expect("delayed untraced sessions are migratable");
+        session = Session::resume(image);
+    }
+    session.feed(&records[at..]);
+    session.finish(trace.tail_instrs())
+}
+
+#[test]
+fn snapshot_restore_is_invisible_for_every_preset() {
+    for preset in GenerationPreset::ALL {
+        let trace = workloads::lspr_like(7, 8_000).dynamic_trace();
+        let n = trace.as_slice().len();
+        // Cuts at a batch boundary, mid-GPQ (prime offsets), and
+        // back-to-back (image an image).
+        let cuts = [n / 4, n / 4 + 13, n / 2, n / 2];
+        let direct = straight_through(preset, 32, &trace);
+        let resumed = with_handoffs(preset, 32, &trace, &cuts);
+        assert_eq!(resumed, direct, "snapshot/restore diverged on {preset}");
+    }
+}
+
+#[test]
+fn snapshot_restore_is_invisible_under_smt2() {
+    // Two threads sharing the arrays; the image must carry both
+    // per-thread GPVs and the interleaved GPQ.
+    let a = workloads::lspr_like(11, 5_000).dynamic_trace();
+    let b = workloads::lspr_like(29, 5_000).dynamic_trace();
+    let trace = workloads::interleave_smt2(&a, &b, 4);
+    let n = trace.as_slice().len();
+    let direct = straight_through(GenerationPreset::Z15, 32, &trace);
+    let resumed = with_handoffs(GenerationPreset::Z15, 32, &trace, &[n / 3, n / 3 + 7, 2 * n / 3]);
+    assert_eq!(resumed, direct, "snapshot/restore diverged under SMT2");
+}
+
+#[test]
+fn non_delayed_and_traced_sessions_are_pinned() {
+    let cfg = GenerationPreset::Z15.config();
+    let lookahead = Session::options(&cfg).mode(ReplayMode::Lookahead).open("pinned");
+    assert!(lookahead.snapshot().is_none(), "lookahead sessions must not be migratable");
+    let traced = Session::options(&cfg).telemetry(true).open("pinned");
+    assert!(traced.snapshot().is_none(), "traced sessions must not be migratable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary preset, depth, trace and cut points: a resumed image
+    /// is indistinguishable from an uninterrupted replay.
+    #[test]
+    fn resumed_replay_matches_uninterrupted(
+        seed in 0u64..1_000,
+        preset_idx in 0usize..GenerationPreset::ALL.len(),
+        depth in 1usize..64,
+        cut_a in 0usize..4_000,
+        cut_b in 0usize..4_000,
+    ) {
+        let preset = GenerationPreset::ALL[preset_idx];
+        let trace = workloads::lspr_like(seed, 4_000).dynamic_trace();
+        let mut cuts = [cut_a.min(trace.as_slice().len()), cut_b.min(trace.as_slice().len())];
+        cuts.sort_unstable();
+        let direct = straight_through(preset, depth, &trace);
+        let resumed = with_handoffs(preset, depth, &trace, &cuts);
+        prop_assert_eq!(resumed, direct);
+    }
+}

@@ -35,6 +35,10 @@
 //!   seeded corruption of the DUT's internal arrays and queues, proving
 //!   the in-DUT invariant monitors and the stream monitors fire and the
 //!   harness degrades gracefully.
+//! * **Chaos campaigns** ([`chaos`]): service-level faults — crashed
+//!   shards, `Busy` storms, orphaned connections — injected through the
+//!   TCP serve path, with every recovered stream held to byte-identical
+//!   parity against an isolated local replay (experiment E24).
 //!
 //! ## Example
 //!
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod differential;
 mod harness;
 #[cfg(feature = "verify")]
@@ -60,6 +65,7 @@ pub mod shrink;
 pub mod stimulus;
 mod transaction;
 
+pub use chaos::{ChaosConfig, ChaosFault, ChaosReport};
 pub use differential::{DiffReport, Divergence, DivergenceKind};
 pub use harness::{CheckReport, CheckerConfig, SeededBug, VerifyHarness};
 pub use monitors::{MonitorGeometry, MonitorSet, ShadowBtb1};

@@ -29,7 +29,8 @@ fn main() {
 
     for preset in GenerationPreset::ALL {
         // Accuracy under the functional replay session.
-        let run = Session::run(&preset.config(), ReplayMode::Delayed { depth: 32 }, &trace);
+        let run =
+            Session::options(&preset.config()).mode(ReplayMode::Delayed { depth: 32 }).run(&trace);
 
         // Timing under the front-end model.
         let mut fe = Frontend::new(preset.config(), FrontendConfig::default());

@@ -36,9 +36,12 @@ fn main() {
     let trace = workloads::lspr_like(7, 20_000).dynamic_trace();
     let cfg = GenerationPreset::Z15.config();
     let mode = ReplayMode::Cosim(CosimConfig::default());
-    let plain =
-        Session::run(&cfg, mode.clone(), &trace).cosim.expect("cosim mode fills the cosim report");
-    let report = Session::run_traced(&cfg, mode, &trace);
+    let plain = Session::options(&cfg)
+        .mode(mode.clone())
+        .run(&trace)
+        .cosim
+        .expect("cosim mode fills the cosim report");
+    let report = Session::options(&cfg).mode(mode).telemetry(true).run(&trace);
     let traced = report.cosim.expect("cosim mode fills the cosim report");
     let snap = report.telemetry.expect("traced run fills telemetry");
     assert_eq!(plain, traced, "telemetry must be invisible to the model");

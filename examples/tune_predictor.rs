@@ -15,7 +15,7 @@ use zbp::trace::workloads;
 
 fn measure(cfg: &PredictorConfig, label: &str, baseline: Option<f64>) -> f64 {
     let trace = workloads::lspr_like(77, 120_000).dynamic_trace();
-    let run = Session::run(cfg, ReplayMode::Delayed { depth: 32 }, &trace);
+    let run = Session::options(cfg).mode(ReplayMode::Delayed { depth: 32 }).run(&trace);
     let mpki = run.stats.mpki();
     match baseline {
         Some(b) => {

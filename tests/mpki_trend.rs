@@ -13,7 +13,8 @@ fn suite_mpki(preset: GenerationPreset, instrs: u64) -> f64 {
     let mut total = zbp::model::MispredictStats::new();
     for w in workloads::suite(1234, instrs) {
         let trace = w.dynamic_trace();
-        let report = Session::run(&preset.config(), ReplayMode::Delayed { depth: 32 }, &trace);
+        let report =
+            Session::options(&preset.config()).mode(ReplayMode::Delayed { depth: 32 }).run(&trace);
         total.merge(&report.stats);
     }
     total.mpki()
@@ -46,7 +47,9 @@ fn every_generation_runs_every_suite_workload() {
     for preset in GenerationPreset::ALL {
         for w in workloads::suite(7, 20_000) {
             let trace = w.dynamic_trace();
-            let run = Session::run(&preset.config(), ReplayMode::Delayed { depth: 16 }, &trace);
+            let run = Session::options(&preset.config())
+                .mode(ReplayMode::Delayed { depth: 16 })
+                .run(&trace);
             assert!(run.stats.branches.get() > 0, "{preset} x {}: no branches observed", w.label);
             assert_eq!(
                 run.stats.instructions.get(),

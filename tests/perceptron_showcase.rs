@@ -58,7 +58,7 @@ fn whole_trace_mpki_improves_with_perceptron() {
         if !perc {
             cfg.direction.perceptron = None;
         }
-        Session::run(&cfg, ReplayMode::Delayed { depth: 16 }, &trace).stats
+        Session::options(&cfg).mode(ReplayMode::Delayed { depth: 16 }).run(&trace).stats
     };
     let with = run(true).mpki();
     let without = run(false).mpki();

@@ -37,11 +37,9 @@ fn per_thread_history_is_isolated() {
     let noise = workloads::compute_loop(22, 60_000).dynamic_trace();
 
     // Solo run (thread 0 only).
-    let solo_run = Session::run(
-        &GenerationPreset::Z15.config(),
-        ReplayMode::Delayed { depth: 16 },
-        &patterned,
-    );
+    let solo_run = Session::options(&GenerationPreset::Z15.config())
+        .mode(ReplayMode::Delayed { depth: 16 })
+        .run(&patterned);
     let solo_mpki = solo_run.stats.mpki();
 
     // SMT run: the patterned workload on thread 1, noise on thread 0.
@@ -141,13 +139,11 @@ fn timing_models_agree_on_functional_outcomes() {
     // match exactly, and their CPIs must be the same order of magnitude.
     use zbp::uarch::{CosimConfig, Frontend, FrontendConfig};
     let trace = workloads::lspr_like(31, 30_000).dynamic_trace();
-    let cosim = Session::run(
-        &GenerationPreset::Z15.config(),
-        ReplayMode::Cosim(CosimConfig::default()),
-        &trace,
-    )
-    .cosim
-    .expect("cosim mode fills the cosim report");
+    let cosim = Session::options(&GenerationPreset::Z15.config())
+        .mode(ReplayMode::Cosim(CosimConfig::default()))
+        .run(&trace)
+        .cosim
+        .expect("cosim mode fills the cosim report");
     let mut fe = Frontend::new(GenerationPreset::Z15.config(), FrontendConfig::default());
     let fr = fe.run(&trace);
     // The co-simulation runs the predictor genuinely ahead of
@@ -166,7 +162,9 @@ fn cosim_runs_every_generation() {
     use zbp::uarch::CosimConfig;
     let trace = workloads::compute_loop(7, 15_000).dynamic_trace();
     for preset in GenerationPreset::ALL {
-        let rep = Session::run(&preset.config(), ReplayMode::Cosim(CosimConfig::default()), &trace)
+        let rep = Session::options(&preset.config())
+            .mode(ReplayMode::Cosim(CosimConfig::default()))
+            .run(&trace)
             .cosim
             .expect("cosim mode fills the cosim report");
         assert!(rep.cycles > 0, "{preset}");
