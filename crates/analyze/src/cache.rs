@@ -1,0 +1,365 @@
+//! Incremental result cache keyed on file content hashes.
+//!
+//! `results/analyze-cache.json` is JSON-Lines: a `meta` line (engine
+//! version + PR), one `file` line per scanned file with its FNV-1a 64
+//! hash, and one line per finding/invalid/unused entry of the cached
+//! report. A warm run whose file set, hashes, engine version and PR all
+//! match reconstructs the previous [`Report`] without lexing anything;
+//! any difference at all falls back to a full run (per-file reuse would
+//! be unsound — several passes are cross-file).
+//!
+//! The format is hand-rolled like the rest of the crate (no serde);
+//! each line is a flat JSON object with a `k` discriminator, parsed by
+//! a scanner that accepts exactly what [`store`] writes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::report::{CacheStats, Finding, InvalidWaiverAt, Report, UnusedWaiverAt};
+
+/// Bump to invalidate every cache written by older lint engines.
+pub const ENGINE_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit content hash.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A parsed cache file.
+#[derive(Debug)]
+pub struct CacheFile {
+    /// PR number the cached run used.
+    pub pr: u32,
+    /// `(rel path, content hash)` per file, in scan order.
+    pub files: Vec<(String, u64)>,
+    /// The cached report (without cache stats).
+    pub report: Report,
+}
+
+/// Load and parse the cache, or `None` when missing/stale-format.
+pub fn load(path: &Path) -> Option<CacheFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut pr = None;
+    let mut files = Vec::new();
+    let mut report = Report::default();
+    for line in text.lines() {
+        let obj = parse_flat(line)?;
+        match obj.get("k")?.as_str()? {
+            "meta" => {
+                if obj.get("engine")?.as_u64()? != u64::from(ENGINE_VERSION) {
+                    return None;
+                }
+                pr = Some(obj.get("pr")?.as_u64()? as u32);
+            }
+            "file" => files.push((
+                obj.get("path")?.as_str()?.to_owned(),
+                u64::from_str_radix(obj.get("hash")?.as_str()?, 16).ok()?,
+            )),
+            "finding" => report.findings.push(Finding {
+                lint: obj.get("lint")?.as_str()?.to_owned(),
+                file: obj.get("file")?.as_str()?.to_owned(),
+                line: obj.get("line")?.as_u64()? as u32,
+                message: obj.get("message")?.as_str()?.to_owned(),
+                waived: obj.get("waived")?.as_bool()?,
+                waiver_reason: obj.get("reason").and_then(|v| v.as_str()).map(str::to_owned),
+            }),
+            "invalid" => report.invalid_waivers.push(InvalidWaiverAt {
+                file: obj.get("file")?.as_str()?.to_owned(),
+                line: obj.get("line")?.as_u64()? as u32,
+                problem: obj.get("problem")?.as_str()?.to_owned(),
+            }),
+            "unused" => report.unused_waivers.push(UnusedWaiverAt {
+                file: obj.get("file")?.as_str()?.to_owned(),
+                line: obj.get("line")?.as_u64()? as u32,
+                lint: obj.get("lint")?.as_str()?.to_owned(),
+            }),
+            _ => return None,
+        }
+    }
+    let pr = pr?;
+    report.pr = pr;
+    report.files_scanned = files.len();
+    Some(CacheFile { pr, files, report })
+}
+
+/// Write the cache for a completed run.
+pub fn store(path: &Path, files: &[(String, u64)], report: &Report) -> std::io::Result<()> {
+    use crate::report::json_str as js;
+    let mut s = String::with_capacity(4096);
+    s.push_str(&format!(
+        "{{\"k\": \"meta\", \"schema\": 1, \"engine\": {ENGINE_VERSION}, \"pr\": {}}}\n",
+        report.pr
+    ));
+    for (rel, hash) in files {
+        s.push_str(&format!(
+            "{{\"k\": \"file\", \"path\": {}, \"hash\": {}}}\n",
+            js(rel),
+            js(&format!("{hash:016x}"))
+        ));
+    }
+    for f in &report.findings {
+        let reason = match &f.waiver_reason {
+            Some(r) => js(r),
+            None => "null".to_owned(),
+        };
+        s.push_str(&format!(
+            "{{\"k\": \"finding\", \"lint\": {}, \"file\": {}, \"line\": {}, \
+             \"waived\": {}, \"reason\": {}, \"message\": {}}}\n",
+            js(&f.lint),
+            js(&f.file),
+            f.line,
+            f.waived,
+            reason,
+            js(&f.message)
+        ));
+    }
+    for w in &report.invalid_waivers {
+        s.push_str(&format!(
+            "{{\"k\": \"invalid\", \"file\": {}, \"line\": {}, \"problem\": {}}}\n",
+            js(&w.file),
+            w.line,
+            js(&w.problem)
+        ));
+    }
+    for w in &report.unused_waivers {
+        s.push_str(&format!(
+            "{{\"k\": \"unused\", \"file\": {}, \"line\": {}, \"lint\": {}}}\n",
+            js(&w.file),
+            w.line,
+            js(&w.lint)
+        ));
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, s)
+}
+
+/// Compare the current file set against a loaded cache; a full match
+/// returns the cached report stamped with 100% hit stats.
+pub fn try_reuse(cache: &CacheFile, current: &[(String, u64)]) -> (Option<Report>, CacheStats) {
+    let hits = current
+        .iter()
+        .filter(|(rel, hash)| cache.files.iter().any(|(r, h)| r == rel && h == hash))
+        .count();
+    let stats = CacheStats { hits, total: current.len() };
+    if cache.files == current && !current.is_empty() {
+        let mut report = cache.report.clone();
+        report.cache = Some(stats);
+        (Some(report), stats)
+    } else {
+        (None, stats)
+    }
+}
+
+/// One scalar in a flat cache line.
+#[derive(Debug, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+impl Scalar {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat `{"key": scalar, ...}` line — exactly the subset
+/// [`store`] emits (string/u64/bool/null values, no nesting).
+fn parse_flat(line: &str) -> Option<BTreeMap<String, Scalar>> {
+    let b: Vec<char> = line.trim().chars().collect();
+    let mut i = 0usize;
+    let mut out = BTreeMap::new();
+    if b.first() != Some(&'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        while b.get(i)?.is_whitespace() || *b.get(i)? == ',' {
+            i += 1;
+        }
+        if *b.get(i)? == '}' {
+            return Some(out);
+        }
+        let key = parse_string(&b, &mut i)?;
+        while b.get(i)?.is_whitespace() {
+            i += 1;
+        }
+        if *b.get(i)? != ':' {
+            return None;
+        }
+        i += 1;
+        while b.get(i)?.is_whitespace() {
+            i += 1;
+        }
+        let val = match *b.get(i)? {
+            '"' => Scalar::Str(parse_string(&b, &mut i)?),
+            't' => {
+                i += 4;
+                Scalar::Bool(true)
+            }
+            'f' => {
+                i += 5;
+                Scalar::Bool(false)
+            }
+            'n' => {
+                i += 4;
+                Scalar::Null
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while b.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                    n = n.checked_mul(10)?.checked_add(b[i].to_digit(10)? as u64)?;
+                    i += 1;
+                }
+                Scalar::Num(n)
+            }
+            _ => return None,
+        };
+        out.insert(key, val);
+    }
+}
+
+/// Parse a `"..."` string with the escapes [`crate::report`] emits.
+fn parse_string(b: &[char], i: &mut usize) -> Option<String> {
+    if *b.get(*i)? != '"' {
+        return None;
+    }
+    *i += 1;
+    let mut s = String::new();
+    loop {
+        match *b.get(*i)? {
+            '"' => {
+                *i += 1;
+                return Some(s);
+            }
+            '\\' => {
+                *i += 1;
+                match *b.get(*i)? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    'n' => s.push('\n'),
+                    't' => s.push('\t'),
+                    'r' => s.push('\r'),
+                    'u' => {
+                        let hex: String = b.get(*i + 1..*i + 5)?.iter().collect();
+                        *i += 4;
+                        s.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            c => {
+                s.push(c);
+                *i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report { pr: 10, files_scanned: 2, ..Report::default() };
+        r.findings.push(Finding {
+            lint: "panic-path".into(),
+            file: "crates/serve/src/server.rs".into(),
+            line: 12,
+            message: "msg with \"quotes\" and\nnewline".into(),
+            waived: true,
+            waiver_reason: Some("why".into()),
+        });
+        r.unused_waivers.push(UnusedWaiverAt {
+            file: "a.rs".into(),
+            line: 3,
+            lint: "wall-clock".into(),
+        });
+        r.invalid_waivers.push(InvalidWaiverAt {
+            file: "b.rs".into(),
+            line: 4,
+            problem: "no reason".into(),
+        });
+        r
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let dir = std::env::temp_dir().join("zbp-analyze-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let files = vec![
+            ("a.rs".to_owned(), hash_bytes(b"alpha")),
+            ("b.rs".to_owned(), hash_bytes(b"beta")),
+        ];
+        let report = sample_report();
+        store(&path, &files, &report).unwrap();
+        let loaded = load(&path).expect("cache parses");
+        assert_eq!(loaded.pr, 10);
+        assert_eq!(loaded.files, files);
+        assert_eq!(loaded.report.findings.len(), 1);
+        let f = &loaded.report.findings[0];
+        assert_eq!(f.message, "msg with \"quotes\" and\nnewline");
+        assert_eq!(f.waiver_reason.as_deref(), Some("why"));
+        assert_eq!(loaded.report.invalid_waivers.len(), 1);
+        assert_eq!(loaded.report.unused_waivers.len(), 1);
+
+        // Identical tree: full reuse with 100% hits.
+        let (reused, stats) = try_reuse(&loaded, &files);
+        assert!(reused.is_some());
+        assert!(stats.full_hit());
+
+        // One file changed: no reuse, partial hit count.
+        let changed = vec![
+            ("a.rs".to_owned(), hash_bytes(b"alpha")),
+            ("b.rs".to_owned(), hash_bytes(b"BETA")),
+        ];
+        let (reused, stats) = try_reuse(&loaded, &changed);
+        assert!(reused.is_none());
+        assert_eq!((stats.hits, stats.total), (1, 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_bump_invalidates() {
+        let line = "{\"k\": \"meta\", \"schema\": 1, \"engine\": 1, \"pr\": 9}";
+        let dir = std::env::temp_dir().join("zbp-analyze-cache-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, line).unwrap();
+        assert!(load(&path).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        // Pinned: the cache format depends on this exact function.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

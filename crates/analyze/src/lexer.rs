@@ -27,10 +27,14 @@ pub enum Tok {
     /// with a char literal.
     Lifetime,
     /// Numeric literal; `float` distinguishes `1.0`/`1e6`/`2f64` from
-    /// integers for lint D3.
+    /// integers for lint D3, and `text` retains the literal source so
+    /// value-sensitive lints (S1 schema numbers, P1 zero divisors) can
+    /// read it back.
     Num {
         /// Whether the literal is floating-point.
         float: bool,
+        /// The literal's source text (digits, suffix and all).
+        text: String,
     },
 }
 
@@ -148,7 +152,8 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 let (float, j) = lex_number(&b, i);
-                out.tokens.push(Token { tok: Tok::Num { float }, line });
+                let text = b[i..j].iter().collect();
+                out.tokens.push(Token { tok: Tok::Num { float, text }, line });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -328,6 +333,19 @@ impl Token {
     pub fn is_ident(&self, s: &str) -> bool {
         matches!(&self.tok, Tok::Ident(i) if i == s)
     }
+
+    /// The integer value of this token, if it is an integer literal
+    /// (underscores stripped, suffixes like `u64` ignored).
+    pub fn int_value(&self) -> Option<u64> {
+        match &self.tok {
+            Tok::Num { float: false, text } => {
+                let digits: String =
+                    text.chars().take_while(|c| c.is_ascii_digit() || *c == '_').collect();
+                digits.replace('_', "").parse().ok()
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,8 +392,8 @@ mod tests {
         let toks = lex("1 2.5 1e6 0x1f 3f64 0..4").tokens;
         let floats: Vec<bool> = toks
             .iter()
-            .filter_map(|t| match t.tok {
-                Tok::Num { float } => Some(float),
+            .filter_map(|t| match &t.tok {
+                Tok::Num { float, .. } => Some(*float),
                 _ => None,
             })
             .collect();

@@ -7,8 +7,10 @@
 //! merge path will each pass every unit test while making `--threads 8`
 //! diverge from `--threads 1` one run in fifty. This crate is the gate
 //! that keeps those patterns out. It lexes every product source file
-//! (no `syn` in this offline environment — see [`lexer`]) and runs five
-//! lints:
+//! (no `syn` in this offline environment — see [`lexer`]), parses the
+//! token stream into items ([`parser`]), builds a per-crate symbol
+//! table and conservative call graph ([`symbols`], [`callgraph`]), and
+//! runs eleven lints:
 //!
 //! | id | rule |
 //! |----|------|
@@ -17,20 +19,35 @@
 //! | `float-accum` | no `f32`/`f64` fields or `+=` in merged statistics |
 //! | `deprecated-expiry` | every `#[deprecated]` names `remove-by: PR-N` and fails once expired |
 //! | `unbounded-channel` | all inter-thread queues in ShardPool paths are bounded |
+//! | `panic-path` | no `unwrap`/`expect`/panicking macro/indexing/unchecked div reachable from the mux loop, shard workers, or replay kernel |
+//! | `lock-order` | the `ShardPool` lock-order graph is acyclic |
+//! | `lock-held-blocking` | no guard held across a blocking call in mux/worker paths |
+//! | `schema-consistency` | every bench.json `schema: N` writer has a unique N in 1–7 and a checking reader |
+//! | `proto-exhaustive` | every wire tag is matched in both `encode` and `decode` |
+//! | `stale-waiver` | every waiver still suppresses at least one finding |
 //!
 //! Intentional exceptions carry an inline waiver with a mandatory
 //! reason — `// zbp-analyze: allow(<lint>): <why>` on or directly above
 //! the offending line — and every run emits `results/analyze.json`
-//! (schema 1) for CI and tooling. Run it as `cargo xtask analyze`.
+//! (schema 1) plus a SARIF 2.1.0 log for CI and tooling. Warm reruns
+//! are served from a content-hash cache ([`cache`]). Run it as
+//! `cargo xtask analyze`.
 
+pub mod cache;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod parser;
 pub mod report;
+pub mod symbols;
 
-use lints::FileLex;
-use report::{Finding, InvalidWaiverAt, Report, UnusedWaiverAt};
-use std::collections::BTreeSet;
+use callgraph::{CallGraph, Root};
+use lints::{FileLex, RawFinding};
+use report::{CacheStats, Finding, InvalidWaiverAt, Report, UnusedWaiverAt};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use symbols::SymbolTable;
 
 /// What to scan and which lint applies where. All paths are
 /// workspace-relative with `/` separators; a lint applies to a file
@@ -54,6 +71,21 @@ pub struct Config {
     pub float_accum: Vec<String>,
     /// D5 scope: ShardPool / inter-thread queue paths.
     pub unbounded_channel: Vec<String>,
+    /// P1 reachability roots: the functions that must never panic
+    /// (`func == "*"` means every function in the file, with the
+    /// closure confined to that file).
+    pub panic_roots: Vec<Root>,
+    /// L1/L2 scope: files whose `Mutex`/`RwLock` fields form the
+    /// lock-order graph.
+    pub lock_scope: Vec<String>,
+    /// S1 target: the bench.json serializer file.
+    pub schema_file: Option<String>,
+    /// S2 target: the wire-protocol file.
+    pub proto_file: Option<String>,
+    /// Incremental cache path (no caching when `None`).
+    pub cache: Option<PathBuf>,
+    /// Where to write the SARIF log (skipped when `None`).
+    pub sarif: Option<PathBuf>,
     /// Where to write `analyze.json` (skipped when `None`).
     pub output: Option<PathBuf>,
 }
@@ -129,6 +161,16 @@ impl Config {
             .map(|c| det(c))
             .collect(),
             unbounded_channel: vec!["crates/serve/src".into()],
+            panic_roots: vec![
+                Root { file: "crates/serve/src/server.rs".into(), func: "mux_loop".into() },
+                Root { file: "crates/serve/src/pool.rs".into(), func: "shard_worker".into() },
+                Root { file: "crates/core/src/kernel.rs".into(), func: "*".into() },
+            ],
+            lock_scope: vec!["crates/serve/src".into()],
+            schema_file: Some("crates/bench/src/json.rs".into()),
+            proto_file: Some("crates/serve/src/proto.rs".into()),
+            cache: Some(root.join("results").join("analyze-cache.json")),
+            sarif: Some(root.join("results").join("analyze.sarif")),
             output: Some(root.join("results").join("analyze.json")),
         }
     }
@@ -146,6 +188,15 @@ impl Config {
             wall_clock_whitelist: Vec::new(),
             float_accum: all.clone(),
             unbounded_channel: all,
+            panic_roots: vec![
+                Root { file: "src/panic.rs".into(), func: "mux_loop".into() },
+                Root { file: "src/locks.rs".into(), func: "worker_loop".into() },
+            ],
+            lock_scope: vec![String::new()],
+            schema_file: Some("src/schema.rs".into()),
+            proto_file: Some("src/proto.rs".into()),
+            cache: None,
+            sarif: None,
             output: None,
         }
     }
@@ -196,8 +247,10 @@ fn in_scope(rel: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p.as_str()))
 }
 
-/// Runs the full analysis per `cfg`, writing `analyze.json` when
-/// configured, and returns the report.
+/// Runs the full analysis per `cfg`, writing `analyze.json`, the SARIF
+/// log, and the incremental cache when configured, and returns the
+/// report. A warm run whose file hashes all match the cache skips the
+/// analysis entirely.
 pub fn run(cfg: &Config) -> std::io::Result<Report> {
     let mut paths = Vec::new();
     for scan in &cfg.scan {
@@ -207,12 +260,39 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
     paths.sort();
     paths.dedup();
 
+    let mut sources = Vec::with_capacity(paths.len());
+    let mut hashes: Vec<(String, u64)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_of(&cfg.root, path);
+        hashes.push((rel.clone(), cache::hash_bytes(src.as_bytes())));
+        sources.push((rel, src));
+    }
+
+    // Whole-tree cache: reuse is all-or-nothing because several passes
+    // (D3 merge types, the call graph, lock order) are cross-file.
+    let mut cold_stats = None;
+    if let Some(cache_path) = &cfg.cache {
+        if let Some(cached) = cache::load(cache_path) {
+            if cached.pr == cfg.current_pr {
+                let (reused, stats) = cache::try_reuse(&cached, &hashes);
+                if let Some(report) = reused {
+                    write_outputs(cfg, &report)?;
+                    return Ok(report);
+                }
+                cold_stats = Some(stats);
+            }
+        }
+        if cold_stats.is_none() {
+            cold_stats = Some(CacheStats { hits: 0, total: hashes.len() });
+        }
+    }
+
     // Lex everything once; D3 needs a cross-file prepass (a struct and
     // the impl carrying its merge method may live in different files).
     let mut files = Vec::new();
-    for path in &paths {
-        let src = std::fs::read_to_string(path)?;
-        files.push(FileLex::new(rel_of(&cfg.root, path), &src));
+    for (rel, src) in &sources {
+        files.push(FileLex::new(rel.clone(), src));
     }
     let mut merge_types: BTreeSet<String> = BTreeSet::new();
     for f in &files {
@@ -221,9 +301,34 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
         }
     }
 
-    let mut report = Report { pr: cfg.current_pr, files_scanned: files.len(), ..Report::default() };
-    for f in &files {
+    // Symbol/call-graph passes: P1 panic paths from the configured
+    // roots, then L1/L2 lock discipline over the same reachability.
+    let (symbols, _parsed) = SymbolTable::build(&files);
+    let graph = CallGraph::build(&files, &symbols);
+    let reach = graph.reachable(&files, &symbols, &cfg.panic_roots);
+    let mut cross: BTreeMap<usize, Vec<RawFinding>> =
+        callgraph::lint_panic_path(&files, &symbols, &reach);
+    for (fi, findings) in locks::lint_locks(&files, &symbols, &graph, &reach, &cfg.lock_scope) {
+        cross.entry(fi).or_default().extend(findings);
+    }
+
+    let mut report = Report {
+        pr: cfg.current_pr,
+        files_scanned: files.len(),
+        cache: cold_stats,
+        ..Report::default()
+    };
+    for (fi, f) in files.iter().enumerate() {
         let mut raw = Vec::new();
+        if let Some(extra) = cross.remove(&fi) {
+            raw.extend(extra);
+        }
+        if cfg.schema_file.as_deref() == Some(f.rel.as_str()) {
+            raw.extend(lints::lint_schema_consistency(f));
+        }
+        if cfg.proto_file.as_deref() == Some(f.rel.as_str()) {
+            raw.extend(lints::lint_proto_exhaustive(f));
+        }
         if in_scope(&f.rel, &cfg.nondet_iter) {
             raw.extend(lints::lint_nondet_iter(f));
         }
@@ -291,6 +396,10 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
                 waiver_reason: reason,
             });
         }
+        // W1 — stale-waiver: an `allow` that suppressed nothing is now a
+        // hard failure (it hides the next real finding at that site),
+        // surfaced both in the legacy `unused_waivers` list and as an
+        // unwaivable finding.
         for (wi, w) in waivers.iter().enumerate() {
             if !used[wi] {
                 report.unused_waivers.push(UnusedWaiverAt {
@@ -298,15 +407,38 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
                     line: w.line,
                     lint: w.lint.clone(),
                 });
+                report.findings.push(Finding {
+                    lint: "stale-waiver".to_string(),
+                    file: f.rel.clone(),
+                    line: w.line,
+                    message: format!(
+                        "waiver for `{}` no longer suppresses any finding; delete it (a \
+                         stale allow masks the next real violation on this line)",
+                        w.lint
+                    ),
+                    waived: false,
+                    waiver_reason: None,
+                });
             }
         }
     }
 
-    if let Some(out) = &cfg.output {
-        if let Some(parent) = out.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(out, report.to_json())?;
+    if let Some(cache_path) = &cfg.cache {
+        cache::store(cache_path, &hashes, &report)?;
     }
+    write_outputs(cfg, &report)?;
     Ok(report)
+}
+
+/// Write the configured `analyze.json` and SARIF outputs.
+fn write_outputs(cfg: &Config, report: &Report) -> std::io::Result<()> {
+    for (path, text) in [(&cfg.output, report.to_json()), (&cfg.sarif, report.to_sarif())] {
+        if let Some(out) = path {
+            if let Some(parent) = out.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(out, text)?;
+        }
+    }
+    Ok(())
 }

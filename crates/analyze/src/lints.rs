@@ -10,8 +10,19 @@ use crate::lexer::{Comment, Lexed, Tok, Token};
 use std::collections::BTreeSet;
 
 /// The lint identifiers, in catalog (D1..D5) order.
-pub const LINT_IDS: [&str; 5] =
-    ["nondet-iter", "wall-clock", "float-accum", "deprecated-expiry", "unbounded-channel"];
+pub const LINT_IDS: [&str; 11] = [
+    "nondet-iter",
+    "wall-clock",
+    "float-accum",
+    "deprecated-expiry",
+    "unbounded-channel",
+    "panic-path",
+    "lock-order",
+    "lock-held-blocking",
+    "schema-consistency",
+    "proto-exhaustive",
+    "stale-waiver",
+];
 
 /// A lint hit before waiver resolution.
 #[derive(Debug, Clone)]
@@ -72,7 +83,7 @@ impl FileLex {
 
 /// Index of the token closing the bracket opened at `open_idx`, or the
 /// last token when unbalanced (truncated input).
-fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+pub(crate) fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {
@@ -651,7 +662,7 @@ pub fn lint_float_merge_arith(f: &FileLex) -> Vec<RawFinding> {
                         e += 1;
                     }
                     let floaty = t.get(s..e).unwrap_or_default().iter().any(|x| {
-                        matches!(x.tok, Tok::Num { float: true })
+                        matches!(x.tok, Tok::Num { float: true, .. })
                             || x.is_ident("f32")
                             || x.is_ident("f64")
                     });
@@ -789,5 +800,135 @@ pub fn lint_unbounded_channel(f: &FileLex) -> Vec<RawFinding> {
             });
         }
     }
+    out
+}
+
+/// S1 — schema-consistency, applied to the bench.json serializer file.
+///
+/// A *writer* is the `("schema", Json::Num(N))` pair every record
+/// serializer emits; a *reader* is a `get("schema")` access whose
+/// enclosing expression compares against literal numbers. Every writer
+/// must have a unique `N`, a reader that checks that `N`, and stay
+/// inside the documented 1–7 range.
+pub fn lint_schema_consistency(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut writers: Vec<(u64, u32)> = Vec::new();
+    let mut readers: Vec<u64> = Vec::new();
+    for (k, tok) in t.iter().enumerate() {
+        if f.mask[k] || !matches!(&tok.tok, Tok::Str(s) if s == "schema") {
+            continue;
+        }
+        if t.get(k + 1).is_some_and(|x| x.is_punct(',')) {
+            // Writer: the schema number follows within the pair
+            // constructor, e.g. `("schema", Json::Num(3.0))`.
+            for w in &t[k + 2..(k + 8).min(t.len())] {
+                if let Tok::Num { text, .. } = &w.tok {
+                    let digits: String = text.chars().take_while(char::is_ascii_digit).collect();
+                    if let Ok(n) = digits.parse() {
+                        writers.push((n, tok.line));
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Reader: any integer literal compared against in the rest
+            // of the statement, e.g. `…as_u64()? != 3` or
+            // `matches!(…, 1 | 2)`.
+            for r in &t[k + 1..(k + 32).min(t.len())] {
+                if r.is_punct(';') || r.is_punct('{') {
+                    break;
+                }
+                if let Some(n) = r.int_value() {
+                    readers.push(n);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut seen: Vec<u64> = Vec::new();
+    for (n, line) in &writers {
+        if seen.contains(n) {
+            out.push(RawFinding {
+                lint: "schema-consistency",
+                line: *line,
+                message: format!(
+                    "duplicate `schema: {n}` writer; every record type needs its own schema number"
+                ),
+            });
+            continue;
+        }
+        seen.push(*n);
+        if !(1..=7).contains(n) {
+            out.push(RawFinding {
+                lint: "schema-consistency",
+                line: *line,
+                message: format!(
+                    "`schema: {n}` writer outside the documented 1–7 range; extend the \
+                     schema table in EXPERIMENTS.md before using a new number"
+                ),
+            });
+        }
+        if !readers.contains(n) {
+            out.push(RawFinding {
+                lint: "schema-consistency",
+                line: *line,
+                message: format!(
+                    "`schema: {n}` has a writer but no reader that checks `schema == {n}`; \
+                     round-tripping this record would silently accept foreign data"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// S2 — proto-exhaustive, applied to the wire-protocol file.
+///
+/// Every top-level `const OP_*` tag must appear in the body of both an
+/// `encode` and a `decode` function; a tag missing from either side is
+/// a frame the other end can emit but this end cannot parse.
+pub fn lint_proto_exhaustive(f: &FileLex) -> Vec<RawFinding> {
+    let t = &f.lexed.tokens;
+    let mut tags: Vec<(String, u32)> = Vec::new();
+    for (k, tok) in t.iter().enumerate() {
+        if f.mask[k] || !tok.is_ident("const") {
+            continue;
+        }
+        if let Some(Tok::Ident(name)) = t.get(k + 1).map(|x| &x.tok) {
+            if name.starts_with("OP_") {
+                tags.push((name.clone(), t[k + 1].line));
+            }
+        }
+    }
+    if tags.is_empty() {
+        return Vec::new();
+    }
+    let parsed = crate::parser::parse(t);
+    let mut out = Vec::new();
+    for side in ["encode", "decode"] {
+        let bodies: Vec<(usize, usize)> =
+            parsed.fns.iter().filter(|fun| fun.name == side).filter_map(|fun| fun.body).collect();
+        if bodies.is_empty() {
+            continue;
+        }
+        for (name, line) in &tags {
+            let mentioned = bodies.iter().any(|&(open, close)| {
+                t[open..=close.min(t.len() - 1)].iter().enumerate().any(|(off, x)| {
+                    !f.mask.get(open + off).copied().unwrap_or(false) && x.is_ident(name)
+                })
+            });
+            if !mentioned {
+                out.push(RawFinding {
+                    lint: "proto-exhaustive",
+                    line: *line,
+                    message: format!(
+                        "wire tag `{name}` is never matched in `{side}`; both directions of \
+                         the protocol must handle every tag"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|r| r.line);
     out
 }

@@ -1,0 +1,357 @@
+//! L-series lock-discipline lints.
+//!
+//! L1 builds a lock-order graph over every `Mutex`/`RwLock` struct
+//! field in the configured scope: acquiring lock B while holding lock A
+//! adds edge A → B, and any edge that closes a cycle (including the
+//! trivial A → A re-entry) is reported at its acquisition site.
+//!
+//! L2 flags holding a guard across a blocking call — a channel
+//! `recv`/`send`, I/O, `sleep`, or any same-crate function the call
+//! graph marks as may-block — but only in functions reachable from the
+//! panic-path roots (the mux loop and shard workers); control-plane
+//! code that deliberately quiesces under a lock is out of scope.
+//!
+//! Guard lifetimes are modelled syntactically: a `let`-bound guard
+//! lives until `drop(name)` or the end of the function; a guard inside
+//! any other expression statement dies at the next `;`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{blocking_call_at, CallGraph};
+use crate::lexer::Tok;
+use crate::lints::{FileLex, RawFinding};
+use crate::symbols::SymbolTable;
+
+/// A lock currently held during the body walk.
+struct Guard {
+    /// Lock node name, `Struct.field`.
+    node: String,
+    /// `let` binding name, when there is one.
+    binding: Option<String>,
+    /// For non-`let` guards: token index of the `;` that drops them.
+    expires: Option<usize>,
+}
+
+/// One lock-order edge: `to` acquired while `from` was held.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: u32,
+}
+
+/// Whether `rel` falls under any of the scope prefixes.
+fn in_scope(rel: &str, scope: &[String]) -> bool {
+    scope.iter().any(|p| p.is_empty() || rel.starts_with(p.as_str()))
+}
+
+/// Run both lock lints; returns findings grouped by file index.
+pub fn lint_locks(
+    files: &[FileLex],
+    symbols: &SymbolTable,
+    graph: &CallGraph,
+    reach: &BTreeMap<usize, String>,
+    scope: &[String],
+) -> BTreeMap<usize, Vec<RawFinding>> {
+    let mut out: BTreeMap<usize, Vec<RawFinding>> = BTreeMap::new();
+    if scope.is_empty() {
+        return out;
+    }
+    // Lock nodes: struct fields of Mutex/RwLock type in scoped files,
+    // looked up by field name at acquisition sites.
+    let mut lock_fields: BTreeMap<String, String> = BTreeMap::new();
+    for s in &symbols.structs {
+        if !in_scope(&files[s.file].rel, scope) {
+            continue;
+        }
+        for fld in &s.fields {
+            if fld.ty.contains("Mutex") || fld.ty.contains("RwLock") {
+                lock_fields
+                    .entry(fld.name.clone())
+                    .or_insert_with(|| format!("{}.{}", s.name, fld.name));
+            }
+        }
+    }
+    if lock_fields.is_empty() {
+        return out;
+    }
+
+    let may_block = graph.may_block(files, symbols);
+    let mut edges: Vec<Edge> = Vec::new();
+
+    for (id, f) in symbols.fns.iter().enumerate() {
+        let Some((open, close)) = f.body else { continue };
+        let file = &files[f.file];
+        if !in_scope(&file.rel, scope) {
+            continue;
+        }
+        let t = &file.lexed.tokens;
+        let l2_active = reach.contains_key(&id);
+        let mut held: Vec<Guard> = Vec::new();
+        let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+        for k in open + 1..close {
+            if file.mask.get(k).copied().unwrap_or(false) {
+                continue;
+            }
+            held.retain(|g| g.expires.is_none_or(|e| e > k));
+            // `drop(name)` releases a let-bound guard early.
+            if t[k].is_ident("drop")
+                && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(k + 3).is_some_and(|x| x.is_punct(')'))
+            {
+                if let Some(Tok::Ident(name)) = t.get(k + 2).map(|x| &x.tok) {
+                    held.retain(|g| g.binding.as_deref() != Some(name.as_str()));
+                }
+            }
+            // Acquisition: `<field> . lock|read|write (`.
+            let acquired = match &t[k].tok {
+                Tok::Ident(fname) if lock_fields.contains_key(fname) => {
+                    let is_acq = t.get(k + 1).is_some_and(|x| x.is_punct('.'))
+                        && t.get(k + 2).is_some_and(|x| {
+                            x.is_ident("lock") || x.is_ident("read") || x.is_ident("write")
+                        })
+                        && t.get(k + 3).is_some_and(|x| x.is_punct('('));
+                    is_acq.then(|| lock_fields[fname].clone())
+                }
+                _ => None,
+            };
+            if let Some(node) = acquired {
+                for g in &held {
+                    edges.push(Edge {
+                        from: g.node.clone(),
+                        to: node.clone(),
+                        file: f.file,
+                        line: t[k].line,
+                    });
+                }
+                // Statement shape: `let [mut] NAME = ...` binds the
+                // guard for the rest of the function; anything else is
+                // a temporary that dies at the next `;`.
+                let mut s = k;
+                while s > open
+                    && !t[s - 1].is_punct(';')
+                    && !t[s - 1].is_punct('{')
+                    && !t[s - 1].is_punct('}')
+                {
+                    s -= 1;
+                }
+                let (binding, expires) = if t[s].is_ident("let") {
+                    let mut b = s + 1;
+                    if t.get(b).is_some_and(|x| x.is_ident("mut")) {
+                        b += 1;
+                    }
+                    let name = match t.get(b).map(|x| &x.tok) {
+                        Some(Tok::Ident(n)) => Some(n.clone()),
+                        _ => None,
+                    };
+                    (name, None)
+                } else {
+                    let mut e = k;
+                    while e < close && !t[e].is_punct(';') {
+                        e += 1;
+                    }
+                    (None, Some(e))
+                };
+                held.push(Guard { node, binding, expires });
+                continue;
+            }
+            // L2: a blocking call while any guard is held.
+            if l2_active && !held.is_empty() {
+                let callee = blocking_call_at(t, k).map(str::to_owned).or_else(|| {
+                    // A call to a same-crate fn that may block.
+                    let Tok::Ident(name) = &t[k].tok else { return None };
+                    if !t.get(k + 1).is_some_and(|x| x.is_punct('(')) {
+                        return None;
+                    }
+                    let blocks =
+                        symbols.fns_named(&f.krate, name).iter().any(|c| may_block.contains(c));
+                    blocks.then(|| name.clone())
+                });
+                if let Some(callee) = callee {
+                    let nodes: Vec<&str> = held.iter().map(|g| g.node.as_str()).collect();
+                    let key = (nodes.join(","), callee.clone());
+                    if reported.insert(key) {
+                        out.entry(f.file).or_default().push(RawFinding {
+                            lint: "lock-held-blocking",
+                            line: t[k].line,
+                            message: format!(
+                                "guard on `{}` held across blocking call `{callee}(..)` in \
+                                 `{}`; drop the guard (or move the blocking work) first",
+                                nodes.join("`, `"),
+                                f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // L1: an edge that closes a cycle in the lock-order graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let mut seen_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in &edges {
+        if !seen_pairs.insert((e.from.clone(), e.to.clone())) {
+            continue;
+        }
+        if let Some(path) = path_between(&adj, &e.to, &e.from) {
+            let cycle = {
+                let mut p = path;
+                p.push(e.to.clone());
+                p.join("` → `")
+            };
+            out.entry(e.file).or_default().push(RawFinding {
+                lint: "lock-order",
+                line: e.line,
+                message: format!(
+                    "acquiring `{}` while holding `{}` closes a lock-order cycle \
+                     (`{cycle}`); pick one global order and stick to it",
+                    e.to, e.from
+                ),
+            });
+        }
+    }
+    for v in out.values_mut() {
+        v.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    }
+    out
+}
+
+/// DFS path from `from` to `to` through the edge set, if one exists.
+fn path_between(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> Option<Vec<String>> {
+    let mut stack = vec![vec![from.to_owned()]];
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    while let Some(path) = stack.pop() {
+        let last = path.last().expect("non-empty path").clone();
+        if last == to {
+            return Some(path);
+        }
+        if !visited.insert(last.clone()) {
+            continue;
+        }
+        if let Some(nexts) = adj.get(last.as_str()) {
+            for n in nexts {
+                let mut p = path.clone();
+                p.push((*n).to_owned());
+                stack.push(p);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Root;
+    use crate::lexer::lex;
+    use crate::lints::test_mask;
+
+    fn file(rel: &str, src: &str) -> FileLex {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        FileLex { rel: rel.into(), lexed, mask }
+    }
+
+    fn run(src: &str, roots: &[Root]) -> Vec<RawFinding> {
+        let files = vec![file("src/locks.rs", src)];
+        let (symbols, _) = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &symbols);
+        let reach = graph.reachable(&files, &symbols, roots);
+        let mut per_file = lint_locks(&files, &symbols, &graph, &reach, &["src/".to_owned()]);
+        per_file.remove(&0).unwrap_or_default()
+    }
+
+    const TWO_LOCKS: &str = "pub struct P { a: Mutex<u32>, b: Mutex<u32> }\nimpl P {\n";
+
+    #[test]
+    fn opposite_order_closes_a_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn ab(&self) {{ if let Ok(_x) = self.a.lock() {{ if let Ok(_y) = self.b.lock() {{ f(); }} }} }}\n\
+             fn ba(&self) {{ if let Ok(_x) = self.b.lock() {{ if let Ok(_y) = self.a.lock() {{ f(); }} }} }}\n\
+             }}\nfn f() {{}}\n"
+        );
+        let got = run(&src, &[]);
+        let l1: Vec<&RawFinding> = got.iter().filter(|r| r.lint == "lock-order").collect();
+        assert_eq!(l1.len(), 2, "both edges sit on a cycle: {got:?}");
+        assert!(l1[0].message.contains("P.a") && l1[0].message.contains("P.b"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn ab(&self) {{ if let Ok(_x) = self.a.lock() {{ if let Ok(_y) = self.b.lock() {{ f(); }} }} }}\n\
+             fn ab2(&self) {{ if let Ok(_x) = self.a.lock() {{ if let Ok(_y) = self.b.lock() {{ f(); }} }} }}\n\
+             }}\nfn f() {{}}\n"
+        );
+        assert!(run(&src, &[]).is_empty());
+    }
+
+    #[test]
+    fn guard_across_recv_is_flagged_only_when_reachable() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn worker(&self, rx: &Receiver<u8>) {{\n\
+                 let g = self.a.lock();\n\
+                 rx.recv().ok();\n\
+                 let _ = g;\n\
+             }}\n}}\n"
+        );
+        let root = Root { file: "src/locks.rs".into(), func: "worker".into() };
+        let flagged = run(&src, &[root]);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert_eq!(flagged[0].lint, "lock-held-blocking");
+        assert!(flagged[0].message.contains("recv"));
+        // Same code, no reachability root: L2 stays quiet.
+        assert!(run(&src, &[]).is_empty());
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn worker(&self, rx: &Receiver<u8>) {{\n\
+                 let g = self.a.lock();\n\
+                 drop(g);\n\
+                 rx.recv().ok();\n\
+             }}\n}}\n"
+        );
+        let root = Root { file: "src/locks.rs".into(), func: "worker".into() };
+        assert!(run(&src, &[root]).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_the_semicolon() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn worker(&self, rx: &Receiver<u8>) {{\n\
+                 self.a.lock().map(|mut g| *g += 1).ok();\n\
+                 rx.recv().ok();\n\
+             }}\n}}\n"
+        );
+        let root = Root { file: "src/locks.rs".into(), func: "worker".into() };
+        assert!(run(&src, &[root]).is_empty());
+    }
+
+    #[test]
+    fn blocking_propagates_through_local_helpers() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn worker(&self, rx: &Receiver<u8>) {{\n\
+                 let g = self.a.lock();\n\
+                 pump(rx);\n\
+                 let _ = g;\n\
+             }}\n}}\n\
+             fn pump(rx: &Receiver<u8>) {{ rx.recv().ok(); }}\n"
+        );
+        let root = Root { file: "src/locks.rs".into(), func: "worker".into() };
+        let flagged = run(&src, &[root]);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert!(flagged[0].message.contains("pump"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Item-level parser on top of the token stream.
+//!
+//! This is deliberately *not* a Rust grammar: it recognises just enough
+//! structure — `fn` items with their body token ranges, `struct` fields
+//! with their type text, `impl`/`trait` headers for the enclosing self
+//! type, and `mod` nesting — to feed the symbol table and call graph.
+//! Everything it does not understand it skips, so new syntax degrades
+//! to "fewer symbols", never to a parse error.
+
+use crate::lexer::{Tok, Token};
+use crate::lints::matching;
+
+/// A `fn` item (free function, inherent/trait method, or default trait
+/// method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any (`impl Foo` and
+    /// `impl Trait for Foo` both yield `Foo`).
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `(open, close)` of the body braces, or `None`
+    /// for a bodyless declaration (trait method signature).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item carried a `#[cfg(...)]` attribute.
+    pub cfg_gated: bool,
+}
+
+/// One named field of a `struct`.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// The field's type rendered as space-joined token text
+    /// (e.g. `Mutex < Vec < u8 > >`).
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// A `struct` item with its named fields (tuple and unit structs have
+/// an empty field list).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, including nested ones inside `impl`/`mod`/`trait`.
+    pub fns: Vec<FnItem>,
+    /// All `struct` items.
+    pub structs: Vec<StructItem>,
+}
+
+/// Parse a token stream into items. Never fails; unrecognised regions
+/// are skipped.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    scan(tokens, 0, tokens.len(), None, &mut out);
+    out
+}
+
+/// Render the tokens `[from, to)` as space-joined text (used for field
+/// types).
+fn render(tokens: &[Token], from: usize, to: usize) -> String {
+    let mut s = String::new();
+    for t in &tokens[from..to.min(tokens.len())] {
+        let piece = match &t.tok {
+            Tok::Ident(i) => i.clone(),
+            Tok::Punct(c) => c.to_string(),
+            Tok::Num { text, .. } => text.clone(),
+            Tok::Str(v) => format!("{v:?}"),
+            Tok::Char => "'_'".into(),
+            Tok::Lifetime => "'_".into(),
+        };
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&piece);
+    }
+    s
+}
+
+/// Walk `tokens[lo..hi)` collecting items; `self_ty` is the enclosing
+/// `impl`/`trait` type for any `fn` found at this level.
+fn scan(tokens: &[Token], lo: usize, hi: usize, self_ty: Option<&str>, out: &mut ParsedFile) {
+    let t = tokens;
+    let mut i = lo;
+    let mut cfg_gated = false;
+    while i < hi.min(t.len()) {
+        // Attributes: note #[cfg(...)] so the next item is marked, skip
+        // the bracketed group either way.
+        if t[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < t.len() && t[j].is_punct('!') {
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('[') {
+                if t.get(j + 1).is_some_and(|x| x.is_ident("cfg")) {
+                    cfg_gated = true;
+                }
+                i = matching(t, j, '[', ']') + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t[i].is_ident("fn") {
+            let Some(Tok::Ident(name)) = t.get(i + 1).map(|x| &x.tok) else {
+                // `fn(u32) -> u32` pointer type or truncated input.
+                i += 1;
+                continue;
+            };
+            let line = t[i].line;
+            let name = name.clone();
+            // Find the body `{` (or the `;` of a bodyless declaration)
+            // at zero paren/bracket depth. Braces cannot appear in a
+            // signature outside parens/brackets, so depth tracking on
+            // `()`/`[]` alone is enough — no angle-bracket counting.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut brack = 0i32;
+            let mut body = None;
+            while j < t.len() {
+                match &t[j].tok {
+                    Tok::Punct('(') => paren += 1,
+                    Tok::Punct(')') => paren -= 1,
+                    Tok::Punct('[') => brack += 1,
+                    Tok::Punct(']') => brack -= 1,
+                    Tok::Punct('{') if paren == 0 && brack == 0 => {
+                        body = Some((j, matching(t, j, '{', '}')));
+                        break;
+                    }
+                    Tok::Punct(';') if paren == 0 && brack == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.fns.push(FnItem {
+                name,
+                self_ty: self_ty.map(str::to_owned),
+                line,
+                body,
+                cfg_gated,
+            });
+            cfg_gated = false;
+            i = body.map_or(j + 1, |(_, close)| close + 1);
+            continue;
+        }
+        if t[i].is_ident("struct") {
+            if let Some(Tok::Ident(name)) = t.get(i + 1).map(|x| &x.tok) {
+                let item = parse_struct(t, i, name.clone(), &mut i);
+                out.structs.push(item);
+                cfg_gated = false;
+                continue;
+            }
+        }
+        if t[i].is_ident("enum") || t[i].is_ident("union") {
+            // Skip the body so variants are not misread as items.
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            i = if j < t.len() && t[j].is_punct('{') {
+                matching(t, j, '{', '}') + 1
+            } else {
+                j + 1
+            };
+            cfg_gated = false;
+            continue;
+        }
+        if t[i].is_ident("impl") || t[i].is_ident("trait") {
+            let is_trait = t[i].is_ident("trait");
+            // Header: the self type is the last top-level ident before
+            // the body `{`; `for` resets it so `impl Trait for Foo`
+            // yields `Foo`, and generic params inside `<...>` are
+            // skipped by angle-depth tracking.
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut name: Option<String> = None;
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                match &t[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') if !t[j - 1].is_punct('-') => angle -= 1,
+                    Tok::Ident(id) if angle == 0 => {
+                        if id == "for" {
+                            name = None;
+                        } else if id == "where" {
+                            break;
+                        } else if name.is_none() || !is_trait {
+                            name = Some(id.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('{') {
+                let close = matching(t, j, '{', '}');
+                scan(t, j + 1, close, name.as_deref(), out);
+                i = close + 1;
+            } else {
+                i = j + 1;
+            }
+            cfg_gated = false;
+            continue;
+        }
+        if t[i].is_ident("mod") {
+            // `mod name { ... }` recurses at the same self-type level
+            // (none); `mod name;` is skipped.
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('{') {
+                let close = matching(t, j, '{', '}');
+                scan(t, j + 1, close, None, out);
+                i = close + 1;
+            } else {
+                i = j + 1;
+            }
+            cfg_gated = false;
+            continue;
+        }
+        if t[i].is_ident("macro_rules") {
+            // Skip `macro_rules! name { ... }` entirely; rule bodies are
+            // not item code.
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_punct('{') {
+                j += 1;
+            }
+            i = if j < t.len() { matching(t, j, '{', '}') + 1 } else { j };
+            cfg_gated = false;
+            continue;
+        }
+        if t[i].is_ident("use") {
+            while i < t.len() && !t[i].is_punct(';') {
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parse one `struct` item starting at the `struct` keyword (index
+/// `kw`); advances `*next` past the item.
+fn parse_struct(t: &[Token], kw: usize, name: String, next: &mut usize) -> StructItem {
+    let line = t[kw].line;
+    let mut fields = Vec::new();
+    // Find the body: `{` at zero angle depth (generic params may hold
+    // `<...>`), or `;` / `(` for unit and tuple structs.
+    let mut j = kw + 2;
+    let mut angle = 0i32;
+    while j < t.len() {
+        match &t[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') if !t[j - 1].is_punct('-') => angle -= 1,
+            Tok::Punct('{') if angle <= 0 => break,
+            Tok::Punct(';') if angle <= 0 => {
+                *next = j + 1;
+                return StructItem { name, line, fields };
+            }
+            Tok::Punct('(') if angle <= 0 => {
+                // Tuple struct: skip to the trailing `;`.
+                let close = matching(t, j, '(', ')');
+                let mut k = close + 1;
+                while k < t.len() && !t[k].is_punct(';') {
+                    k += 1;
+                }
+                *next = k + 1;
+                return StructItem { name, line, fields };
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= t.len() {
+        *next = j;
+        return StructItem { name, line, fields };
+    }
+    let close = matching(t, j, '{', '}');
+    // Fields: `name : type` separated by top-level commas. Attributes
+    // and visibility modifiers before the name are skipped.
+    let mut k = j + 1;
+    while k < close {
+        // Skip attributes.
+        if t[k].is_punct('#') && t.get(k + 1).is_some_and(|x| x.is_punct('[')) {
+            k = matching(t, k + 1, '[', ']') + 1;
+            continue;
+        }
+        // Skip `pub` / `pub(crate)` / `pub(in path)`.
+        if t[k].is_ident("pub") {
+            k += 1;
+            if k < close && t[k].is_punct('(') {
+                k = matching(t, k, '(', ')') + 1;
+            }
+            continue;
+        }
+        if let Tok::Ident(fname) = &t[k].tok {
+            if t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && !t.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                // Type runs to the next comma at zero bracket depth.
+                let mut e = k + 2;
+                let mut depth = 0i32;
+                while e < close {
+                    match &t[e].tok {
+                        Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct('>') if !t[e - 1].is_punct('-') => depth -= 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct(',') if depth <= 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                fields.push(FieldItem {
+                    name: fname.clone(),
+                    ty: render(t, k + 2, e),
+                    line: t[k].line,
+                });
+                k = e + 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    *next = close + 1;
+    StructItem { name, line, fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn free_fn_and_body_range() {
+        let toks = lex("fn alpha() { beta(); }\nfn beta() {}\n").tokens;
+        let p = parse(&toks);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "alpha");
+        assert_eq!(p.fns[0].line, 1);
+        let (open, close) = p.fns[0].body.unwrap();
+        assert!(toks[open].is_punct('{') && toks[close].is_punct('}'));
+        assert!(toks[open..close].iter().any(|t| t.is_ident("beta")));
+        assert_eq!(p.fns[1].self_ty, None);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_self_type() {
+        let p = parse(
+            &lex("impl<T: Clone, const N: usize> Ring<T, N> { fn push(&mut self) {} }\n\
+                 impl<'a> Iterator for Cursor<'a> { fn next(&mut self) -> Option<u8> { None } }\n")
+            .tokens,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Ring"));
+        assert_eq!(p.fns[0].name, "push");
+        assert_eq!(p.fns[1].self_ty.as_deref(), Some("Cursor"));
+        assert_eq!(p.fns[1].name, "next");
+    }
+
+    #[test]
+    fn arrow_in_signature_is_not_a_close_angle() {
+        let p = parse(&lex("fn f<T>(x: T) -> Vec<T> { Vec::new() }").tokens);
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn cfg_gated_items_are_marked() {
+        let p = parse(&lex("#[cfg(feature = \"x\")]\nfn gated() {}\nfn plain() {}").tokens);
+        assert!(p.fns[0].cfg_gated);
+        assert!(!p.fns[1].cfg_gated);
+    }
+
+    #[test]
+    fn struct_fields_capture_type_text() {
+        let p = parse(
+            &lex(
+                "pub struct Pool {\n    pub shards: RwLock<Vec<Shard>>,\n    #[allow(dead_code)]\n    routes: Mutex<HashMap<u64, usize>>,\n    n: usize,\n}\n",
+            )
+            .tokens,
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Pool");
+        assert_eq!(s.fields.len(), 3);
+        assert!(s.fields[0].ty.contains("RwLock"));
+        assert_eq!(s.fields[1].name, "routes");
+        assert!(s.fields[1].ty.contains("Mutex"));
+        assert_eq!(s.fields[2].ty, "usize");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let p = parse(&lex("struct A(u32, u64);\nstruct B;\nstruct C { x: u8 }").tokens);
+        assert_eq!(p.structs.len(), 3);
+        assert!(p.structs[0].fields.is_empty());
+        assert!(p.structs[1].fields.is_empty());
+        assert_eq!(p.structs[2].fields.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments_do_not_confuse_items() {
+        let src = "fn a() { let _s = r#\"fn fake() {}\"#; }\n\
+                   /* outer /* fn nested() {} */ still comment */\n\
+                   fn b() {}\n";
+        let p = parse(&lex(src).tokens);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parse(&lex("struct S { cb: fn(u32) -> u32 }\nfn real() {}").tokens);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn trait_default_methods_get_trait_self_type() {
+        let p = parse(
+            &lex("trait Predictor { fn warm(&mut self) {} fn predict(&self) -> bool; }").tokens,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Predictor"));
+        assert!(p.fns[0].body.is_some());
+        assert!(p.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn nested_mod_items_are_found() {
+        let p = parse(&lex("mod inner { fn hidden() {} struct S { x: u8 } }").tokens);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.structs.len(), 1);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let p = parse(
+            &lex("macro_rules! m { ($x:expr) => { fn phantom() {} }; }\nfn real() {}").tokens,
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+}

@@ -44,6 +44,22 @@ pub struct UnusedWaiverAt {
     pub lint: String,
 }
 
+/// Incremental-cache statistics for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Files whose content hash matched the cache.
+    pub hits: usize,
+    /// Files considered.
+    pub total: usize,
+}
+
+impl CacheStats {
+    /// Whether every file hit (the whole run was served from cache).
+    pub fn full_hit(&self) -> bool {
+        self.total > 0 && self.hits == self.total
+    }
+}
+
 /// The full result of one analysis run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -55,8 +71,11 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Malformed waivers (any entry fails the run).
     pub invalid_waivers: Vec<InvalidWaiverAt>,
-    /// Waivers that covered nothing.
+    /// Waivers that covered nothing (also surfaced as `stale-waiver`
+    /// findings; this list is kept for schema-1 consumers).
     pub unused_waivers: Vec<UnusedWaiverAt>,
+    /// Cache hit statistics, when an incremental cache was in play.
+    pub cache: Option<CacheStats>,
 }
 
 impl Report {
@@ -79,6 +98,13 @@ impl Report {
         s.push_str("  \"generated_by\": \"zbp-analyze\",\n");
         s.push_str(&format!("  \"pr\": {},\n", self.pr));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        match self.cache {
+            Some(c) => s.push_str(&format!(
+                "  \"cache\": {{\"hits\": {}, \"total\": {}}},\n",
+                c.hits, c.total
+            )),
+            None => s.push_str("  \"cache\": null,\n"),
+        }
         let unwaived = self.unwaived().count();
         s.push_str("  \"counts\": {");
         s.push_str(&format!(
@@ -154,10 +180,53 @@ impl Report {
         s.push_str("]\n}\n");
         s
     }
+
+    /// Serializes to a minimal SARIF 2.1.0 log: one run, one rule per
+    /// lint id, one result per finding (`error` when unwaived, `note`
+    /// when waived). Enough for code-scanning UIs and diff tooling;
+    /// intentionally no taxonomies, fixes, or graphs.
+    pub fn to_sarif(&self) -> String {
+        let mut s = String::with_capacity(8192);
+        s.push_str("{\n");
+        s.push_str("  \"version\": \"2.1.0\",\n");
+        s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        s.push_str("  \"runs\": [{\n");
+        s.push_str("    \"tool\": {\"driver\": {\"name\": \"zbp-analyze\", \"rules\": [");
+        for (i, id) in crate::lints::LINT_IDS.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{{\"id\": {}}}", json_str(id)));
+        }
+        s.push_str("]}},\n");
+        s.push_str("    \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n      {");
+            s.push_str(&format!(
+                "\"ruleId\": {}, \"level\": \"{}\", \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]",
+                json_str(&f.lint),
+                if f.waived { "note" } else { "error" },
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line
+            ));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  }]\n}\n");
+        s
+    }
 }
 
 /// JSON string literal with escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -212,5 +281,43 @@ mod tests {
     #[test]
     fn json_escapes_quotes_and_newlines() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sarif_levels_follow_waiver_state() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            lint: "panic-path".into(),
+            file: "crates/serve/src/server.rs".into(),
+            line: 7,
+            message: "m".into(),
+            waived: false,
+            waiver_reason: None,
+        });
+        r.findings.push(Finding {
+            lint: "wall-clock".into(),
+            file: "b.rs".into(),
+            line: 9,
+            message: "n".into(),
+            waived: true,
+            waiver_reason: Some("why".into()),
+        });
+        let s = r.to_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"level\": \"note\""));
+        assert!(s.contains("\"startLine\": 7"));
+        // Every lint id is declared as a rule.
+        for id in crate::lints::LINT_IDS {
+            assert!(s.contains(&format!("{{\"id\": \"{id}\"}}")), "{id}");
+        }
+    }
+
+    #[test]
+    fn cache_stats_render_in_json() {
+        let r = Report { cache: Some(CacheStats { hits: 3, total: 4 }), ..Report::default() };
+        assert!(r.to_json().contains("\"cache\": {\"hits\": 3, \"total\": 4}"));
+        assert!(!CacheStats { hits: 3, total: 4 }.full_hit());
+        assert!(CacheStats { hits: 4, total: 4 }.full_hit());
     }
 }

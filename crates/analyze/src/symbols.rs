@@ -1,0 +1,165 @@
+//! Per-crate symbol table built from parsed files.
+//!
+//! Resolution is name-based and deliberately conservative: a call to
+//! `foo(...)` may resolve to *every* `fn foo` in the same crate. That
+//! overapproximates the call graph, which is the safe direction for
+//! reachability lints — we may report a panic site as reachable when it
+//! is not, but never the reverse.
+
+use std::collections::BTreeMap;
+
+use crate::lints::FileLex;
+use crate::parser::{parse, FieldItem, ParsedFile};
+
+/// One function symbol; the index into [`SymbolTable::fns`] is its id.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into the analyzed file list.
+    pub file: usize,
+    /// Crate the file belongs to (see [`crate_of`]).
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any.
+    pub self_ty: Option<String>,
+    /// Token range of the body braces in that file's token stream.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One struct symbol with its fields.
+#[derive(Debug, Clone)]
+pub struct StructSym {
+    /// Index into the analyzed file list.
+    pub file: usize,
+    /// Crate the file belongs to.
+    pub krate: String,
+    /// Struct name.
+    pub name: String,
+    /// Named fields.
+    pub fields: Vec<FieldItem>,
+}
+
+/// Symbol table over the whole scanned tree.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All function symbols; a symbol's id is its index here.
+    pub fns: Vec<FnSym>,
+    /// All struct symbols.
+    pub structs: Vec<StructSym>,
+    /// `(crate, fn name)` → ids, for call resolution.
+    by_name: BTreeMap<(String, String), Vec<usize>>,
+}
+
+/// Which crate a workspace-relative path belongs to:
+/// `crates/<name>/src/...` → `<name>`, anything else → `root` (the
+/// fixture tree and any top-level `src/` both land there).
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_owned();
+        }
+    }
+    "root".to_owned()
+}
+
+impl SymbolTable {
+    /// Parse every file and build the table. The returned
+    /// [`ParsedFile`]s are indexed like `files`.
+    pub fn build(files: &[FileLex]) -> (SymbolTable, Vec<ParsedFile>) {
+        let mut table = SymbolTable::default();
+        let mut parsed = Vec::with_capacity(files.len());
+        for (fi, f) in files.iter().enumerate() {
+            let p = parse(&f.lexed.tokens);
+            let krate = crate_of(&f.rel);
+            for item in &p.fns {
+                let id = table.fns.len();
+                table.fns.push(FnSym {
+                    file: fi,
+                    krate: krate.clone(),
+                    name: item.name.clone(),
+                    self_ty: item.self_ty.clone(),
+                    body: item.body,
+                    line: item.line,
+                });
+                table.by_name.entry((krate.clone(), item.name.clone())).or_default().push(id);
+            }
+            for s in &p.structs {
+                table.structs.push(StructSym {
+                    file: fi,
+                    krate: krate.clone(),
+                    name: s.name.clone(),
+                    fields: s.fields.clone(),
+                });
+            }
+            parsed.push(p);
+        }
+        (table, parsed)
+    }
+
+    /// All function ids named `name` in `krate`.
+    pub fn fns_named(&self, krate: &str, name: &str) -> &[usize] {
+        self.by_name.get(&(krate.to_owned(), name.to_owned())).map_or(&[], Vec::as_slice)
+    }
+
+    /// Function ids named `name` in `krate` whose enclosing impl/trait
+    /// type is `self_ty` (`Type::method(...)` call sites). A qualifier
+    /// that matches no same-crate impl (e.g. `Vec::new`) resolves to
+    /// nothing — std calls cannot be analyzed anyway, and falling back
+    /// to every same-named fn would wire `X::new()` to all `new`s.
+    pub fn fns_named_on(&self, krate: &str, name: &str, self_ty: &str) -> Vec<usize> {
+        self.fns_named(krate, name)
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].self_ty.as_deref() == Some(self_ty))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::{test_mask, FileLex};
+
+    fn file(rel: &str, src: &str) -> FileLex {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        FileLex { rel: rel.into(), lexed, mask }
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/serve/src/pool.rs"), "serve");
+        assert_eq!(crate_of("src/panic.rs"), "root");
+    }
+
+    #[test]
+    fn name_resolution_is_per_crate() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "fn go() {}"),
+            file("crates/b/src/lib.rs", "fn go() {}"),
+        ];
+        let (t, _) = SymbolTable::build(&files);
+        assert_eq!(t.fns_named("a", "go").len(), 1);
+        assert_eq!(t.fns_named("b", "go").len(), 1);
+        assert_eq!(t.fns[t.fns_named("a", "go")[0]].file, 0);
+    }
+
+    #[test]
+    fn self_ty_filter_narrows_when_possible() {
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "impl Foo { fn new() {} }\nimpl Bar { fn new() {} }\nfn free() {}",
+        )];
+        let (t, _) = SymbolTable::build(&files);
+        assert_eq!(t.fns_named("a", "new").len(), 2);
+        let on_foo = t.fns_named_on("a", "new", "Foo");
+        assert_eq!(on_foo.len(), 1);
+        assert_eq!(t.fns[on_foo[0]].self_ty.as_deref(), Some("Foo"));
+        // Unknown qualifier (std type): resolves to nothing.
+        assert!(t.fns_named_on("a", "new", "Vec").is_empty());
+    }
+}

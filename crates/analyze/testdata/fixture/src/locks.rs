@@ -1,0 +1,40 @@
+//! Fixture: L1 lock-order cycle (admit vs evict) and L2 guard held
+//! across a blocking `recv` in the worker loop.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Shard {
+    routes: Mutex<u64>,
+    free: Mutex<u64>,
+}
+
+impl Shard {
+    pub fn admit(&self) {
+        // VIOLATION: `routes` → `free` here, `free` → `routes` below.
+        if let Ok(_r) = self.routes.lock() {
+            if let Ok(_f) = self.free.lock() {
+                bump();
+            }
+        }
+    }
+
+    pub fn evict(&self) {
+        if let Ok(_f) = self.free.lock() {
+            if let Ok(_r) = self.routes.lock() {
+                bump();
+            }
+        }
+    }
+
+    pub fn worker_loop(&self, rx: &Receiver<u64>) {
+        // VIOLATION: the `routes` guard stays held across `recv()`.
+        let g = self.routes.lock();
+        while let Ok(job) = rx.recv() {
+            let _ = job;
+        }
+        drop(g);
+    }
+}
+
+fn bump() {}

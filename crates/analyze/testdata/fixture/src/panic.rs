@@ -1,0 +1,47 @@
+//! Fixture: P1 panic-path violations reachable from the mux loop, one
+//! waived, plus an unreachable function that must stay quiet.
+
+pub struct Mux {
+    streams: Vec<u64>,
+}
+
+impl Mux {
+    pub fn mux_loop(&mut self) {
+        loop {
+            let frame = next_frame();
+            // VIOLATION: unwrap on the mux thread.
+            let header = frame.first().copied().unwrap();
+            dispatch_frame(&frame, header);
+        }
+    }
+}
+
+fn next_frame() -> Vec<u8> {
+    Vec::new()
+}
+
+fn dispatch_frame(frame: &[u8], header: u8) {
+    // VIOLATION: direct slice indexing in a mux-reachable helper.
+    let kind = frame[1];
+    // VIOLATION: modulo by a runtime value.
+    let shard = (header as usize) % frame.len();
+    let _ = (kind, shard);
+    // zbp-analyze: allow(panic-path): fixture exercises the waiver path;
+    // the framing layer above already rejected empty frames.
+    let tail = frame.last().expect("validated nonempty");
+    let _ = tail;
+}
+
+pub fn offline_report(vals: &[u64]) -> u64 {
+    // Indexing here is NOT reachable from `mux_loop`: no finding.
+    vals[vals.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

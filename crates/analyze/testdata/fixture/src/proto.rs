@@ -1,0 +1,24 @@
+//! Fixture: S2 proto-exhaustive violation — a wire tag the encoder can
+//! emit but the decoder never matches.
+
+pub const OP_OPEN: u8 = 1;
+pub const OP_FEED: u8 = 2;
+// VIOLATION: missing from `decode` below.
+pub const OP_CLOSE: u8 = 3;
+
+pub fn encode(op: u8, buf: &mut Vec<u8>) {
+    match op {
+        OP_OPEN => buf.push(OP_OPEN),
+        OP_FEED => buf.push(OP_FEED),
+        OP_CLOSE => buf.push(OP_CLOSE),
+        _ => {}
+    }
+}
+
+pub fn decode(tag: u8) -> Option<&'static str> {
+    match tag {
+        OP_OPEN => Some("open"),
+        OP_FEED => Some("feed"),
+        _ => None,
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: S1 schema-consistency violations — a duplicated schema
+//! number and a writer with no reader, outside the documented range.
+
+pub struct Alpha {
+    pub name: String,
+}
+
+pub struct Beta {
+    pub cycles: u64,
+}
+
+pub fn write_alpha(rec: &Alpha) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Num(3.0)),
+        ("name", Json::Str(rec.name.clone())),
+    ])
+}
+
+pub fn write_beta(rec: &Beta) -> Json {
+    Json::obj(vec![
+        // VIOLATION: reuses schema 3, which belongs to `Alpha`.
+        ("schema", Json::Num(3.0)),
+        ("cycles", Json::Num(rec.cycles as f64)),
+    ])
+}
+
+pub fn write_gamma() -> Json {
+    // VIOLATION: schema 9 is outside the 1–7 range and nothing reads it.
+    Json::obj(vec![("schema", Json::Num(9.0))])
+}
+
+pub fn read_alpha(v: &Json) -> Option<Alpha> {
+    if v.get("schema")?.as_u64()? != 3 {
+        return None;
+    }
+    Some(Alpha { name: v.get("name")?.as_str()?.to_string() })
+}

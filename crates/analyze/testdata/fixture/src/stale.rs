@@ -1,0 +1,9 @@
+//! Fixture: W1 stale-waiver violation — an allow left behind after the
+//! code it excused was refactored away.
+
+// VIOLATION: suppresses nothing on this line or the next.
+// zbp-analyze: allow(wall-clock): the clock read below was removed in a
+// refactor and this waiver was forgotten.
+pub fn tick_count(n: u64) -> u64 {
+    n + 1
+}

@@ -122,6 +122,88 @@ fn unbounded_channel_detects_channel_and_vecdeque() {
 }
 
 #[test]
+fn panic_path_flags_unwrap_indexing_and_modulo_on_reachable_code() {
+    let r = run_fixture();
+    let hits = of(&r, "panic-path", "panic.rs");
+    let unwaived: Vec<_> = hits.iter().filter(|f| !f.waived).collect();
+    assert_eq!(unwaived.len(), 3, "{hits:#?}");
+    assert!(
+        unwaived.iter().any(|f| f.message.contains(".unwrap()") && f.message.contains("mux_loop")),
+        "unwrap in the root itself: {unwaived:#?}"
+    );
+    assert!(
+        unwaived
+            .iter()
+            .any(|f| f.message.contains("indexing") && f.message.contains("dispatch_frame")),
+        "indexing in a callee, attributed to the root: {unwaived:#?}"
+    );
+    assert!(
+        unwaived.iter().any(|f| f.message.contains("non-constant divisor")),
+        "runtime modulo: {unwaived:#?}"
+    );
+    // The `.expect` seed carries a reasoned waiver.
+    assert_eq!(hits.iter().filter(|f| f.waived).count(), 1, "{hits:#?}");
+    // `offline_report` indexes a slice but is not reachable from the
+    // mux loop: nothing may point at its line.
+    assert!(hits.iter().all(|f| !f.message.contains("offline_report")), "{hits:#?}");
+}
+
+#[test]
+fn lock_order_cycle_is_reported_at_both_acquisition_sites() {
+    let r = run_fixture();
+    let hits = of(&r, "lock-order", "locks.rs");
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits.iter().all(|f| f.message.contains("Shard.routes")
+        && f.message.contains("Shard.free")
+        && f.message.contains("cycle")));
+}
+
+#[test]
+fn guard_held_across_recv_is_flagged_in_the_worker_loop() {
+    let r = run_fixture();
+    let hits = of(&r, "lock-held-blocking", "locks.rs");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("Shard.routes"));
+    assert!(hits[0].message.contains("recv"));
+    assert!(hits[0].message.contains("worker_loop"));
+}
+
+#[test]
+fn schema_consistency_flags_duplicate_range_and_missing_reader() {
+    let r = run_fixture();
+    let hits = of(&r, "schema-consistency", "schema.rs");
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("duplicate `schema: 3`")));
+    assert!(hits.iter().any(|f| f.message.contains("outside the documented 1–7 range")));
+    assert!(hits.iter().any(|f| f.message.contains("no reader that checks `schema == 9`")));
+    // Schema 3 has a reader (`read_alpha`): its first writer is clean.
+    assert!(hits.iter().all(|f| !f.message.contains("no reader that checks `schema == 3`")));
+}
+
+#[test]
+fn proto_exhaustive_flags_the_tag_decode_cannot_parse() {
+    let r = run_fixture();
+    let hits = of(&r, "proto-exhaustive", "proto.rs");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("OP_CLOSE"));
+    assert!(hits[0].message.contains("`decode`"));
+}
+
+#[test]
+fn stale_waiver_is_an_unwaivable_finding() {
+    let r = run_fixture();
+    let hits = of(&r, "stale-waiver", "stale.rs");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(!hits[0].waived);
+    assert!(hits[0].message.contains("wall-clock"));
+    assert!(
+        r.unused_waivers.iter().any(|u| u.file.ends_with("stale.rs") && u.lint == "wall-clock"),
+        "{:#?}",
+        r.unused_waivers
+    );
+}
+
+#[test]
 fn reasonless_waiver_is_a_hard_failure() {
     let r = run_fixture();
     assert_eq!(r.invalid_waivers.len(), 1, "{:#?}", r.invalid_waivers);

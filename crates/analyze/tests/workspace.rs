@@ -1,7 +1,9 @@
 //! The analyzer's standing gate: the real workspace must be clean
 //! under the production configuration. Any new hash-order iteration,
-//! wall-clock read, float merge, expired deprecation, or unbounded
-//! pool channel fails this test until fixed or waived with a reason.
+//! wall-clock read, float merge, expired deprecation, unbounded pool
+//! channel, mux-reachable panic, lock-order cycle, guard held across
+//! blocking work, schema mismatch, unhandled wire tag, or stale waiver
+//! fails this test until fixed or waived with a reason.
 
 use std::path::{Path, PathBuf};
 use zbp_analyze::Config;
@@ -18,7 +20,11 @@ fn workspace_root() -> PathBuf {
 fn workspace_is_clean_under_production_lints() {
     let root = workspace_root();
     let mut cfg = Config::workspace(&root);
-    cfg.output = None; // don't clobber results/ from a test run
+    // Don't clobber results/ (or read a possibly-stale cache) from a
+    // test run.
+    cfg.output = None;
+    cfg.sarif = None;
+    cfg.cache = None;
     let report = zbp_analyze::run(&cfg).expect("workspace scan");
     let offenders: Vec<String> = report
         .unwaived()

@@ -4,7 +4,8 @@
 //! cached workload suite as `--clients` concurrent TCP clients against
 //! a pool of `--shards` predictor shards. Every completed remote
 //! session is parity-checked bit-for-bit against a single-stream
-//! [`Session::run`] of the same trace, so throughput numbers can never
+//! `SessionOptions::run` of the same trace, so throughput numbers can
+//! never
 //! come from a predictor that silently diverged.
 //!
 //! ```text
@@ -316,7 +317,7 @@ fn main() -> ExitCode {
     }
     println!(
         "\nloadgen: clean shutdown — {sessions} session(s), every stream bit-identical to a \
-         single-stream Session::run"
+         single-stream local replay"
     );
     ExitCode::SUCCESS
 }

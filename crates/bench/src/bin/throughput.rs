@@ -3,10 +3,11 @@
 //!
 //! For every suite workload this binary measures, single-threaded:
 //!
-//! * **fast** — [`Session::run_buffer`] over the workload's cached
+//! * **fast** — `SessionOptions::run_buffer` over the workload's cached
 //!   [`ReplayBuffer`](zbp_model::ReplayBuffer) (pre-decoded columns +
 //!   `ZPredictor`'s config-monomorphized kernel);
-//! * **generic** — [`Session::run`] streaming the same trace through
+//! * **generic** — `SessionOptions::run` streaming the same trace
+//!   through
 //!   the record-by-record harness.
 //!
 //! Wall times are best-of-`REPS`: shared CI machines jitter individual

@@ -393,9 +393,13 @@ impl BenchRecord {
     }
 
     /// Reconstructs a record from a JSON object (as written by
-    /// [`to_json`](Self::to_json); schema-1 lines, which lack the
-    /// `telemetry` field, parse with `telemetry: None`).
+    /// [`to_json`](Self::to_json)); `None` unless the line declares
+    /// `schema: 1` or `schema: 2`. Schema-1 lines, which lack the
+    /// `telemetry` field, parse with `telemetry: None`.
     pub fn from_json(v: &Json) -> Option<BenchRecord> {
+        if !matches!(v.get("schema")?.as_u64()?, 1 | 2) {
+            return None;
+        }
         Some(BenchRecord {
             experiment: v.get("experiment")?.as_str()?.to_string(),
             config: v.get("config")?.as_str()?.to_string(),

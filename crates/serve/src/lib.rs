@@ -8,8 +8,7 @@
 //!   [`SessionReport`]. One builder entry point —
 //!   [`Session::options`]`(cfg).mode(m).telemetry(true).run(trace)` —
 //!   covers delayed-update replay, co-simulation and lookahead
-//!   analysis (see [`ReplayMode`]); the older one-shot statics are
-//!   deprecated shims over it. Warm delayed-mode sessions can be
+//!   analysis (see [`ReplayMode`]). Warm delayed-mode sessions can be
 //!   imaged ([`Session::snapshot`] → [`SessionImage`]) and resumed
 //!   elsewhere byte-identically.
 //! * [`ShardPool`] — N predictor shards, each a worker thread with a

@@ -11,7 +11,8 @@
 //!
 //! Every session runs on its **own** predictor (taken from the shard's
 //! free list and [`ZPredictor::reset`] between sessions), so per-stream
-//! statistics are byte-identical to an isolated [`Session::run`] no
+//! statistics are byte-identical to an isolated
+//! [`SessionOptions::run`](crate::SessionOptions::run) no
 //! matter how many streams interleave on a shard — the property the
 //! pool tests pin down.
 //!
@@ -254,7 +255,19 @@ pub fn shard_for_label(label: &str, shards: usize) -> usize {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    // zbp-analyze: allow(panic-path): the divisor is `shards.max(1)`,
+    // clamped to >= 1 right here, so `% 0` cannot occur.
     (h % shards.max(1) as u64) as usize
+}
+
+/// Recover the data behind a poisoned lock. A shard worker that
+/// panicked mid-update poisons the lock, but every structure behind the
+/// pool's locks is valid after any partial update (map insert/remove
+/// and `Vec` replacement are atomic at our granularity), and the mux
+/// thread must outlive any worker crash — so recovery is always safe
+/// and a panic here would take down every connection at once.
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl ShardPool {
@@ -291,7 +304,7 @@ impl ShardPool {
 
     /// Current number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.read().expect("shards").len()
+        relock(self.shards.read()).len()
     }
 
     /// Sessions moved between shards so far (migrations, rebalances and
@@ -306,7 +319,7 @@ impl ShardPool {
     }
 
     fn try_send(&self, shard: usize, cmd: Cmd) -> Result<(), ServeError> {
-        let shards = self.shards.read().expect("shards");
+        let shards = relock(self.shards.read());
         let s = shards.get(shard).ok_or(ServeError::NoSuchShard(shard))?;
         match s.tx.try_send(cmd) {
             Ok(()) => Ok(()),
@@ -356,17 +369,12 @@ impl ShardPool {
                 reply,
             },
         )?;
-        self.routes.lock().expect("routes").insert(id.0, shard);
+        relock(self.routes.lock()).insert(id.0, shard);
         Ok((Opened { id, shard }, confirm))
     }
 
     fn route(&self, id: StreamId) -> Result<usize, ServeError> {
-        self.routes
-            .lock()
-            .expect("routes")
-            .get(&id.0)
-            .copied()
-            .ok_or(ServeError::UnknownStream(id.0))
+        relock(self.routes.lock()).get(&id.0).copied().ok_or(ServeError::UnknownStream(id.0))
     }
 
     /// Feeds a batch to an open stream; returns the stream's total
@@ -401,7 +409,7 @@ impl ShardPool {
         let confirm = self.close_async(id, tail_instrs)?;
         let report = confirm.recv().map_err(|_| ServeError::ShuttingDown)?;
         if report.is_ok() {
-            self.routes.lock().expect("routes").remove(&id.0);
+            relock(self.routes.lock()).remove(&id.0);
         }
         report
     }
@@ -423,7 +431,7 @@ impl ShardPool {
     /// Drops the routing entry for a stream whose close has been
     /// confirmed (the deferred half of [`ShardPool::close_async`]).
     pub fn forget_route(&self, id: StreamId) {
-        self.routes.lock().expect("routes").remove(&id.0);
+        relock(self.routes.lock()).remove(&id.0);
     }
 
     /// Parks a shard's worker until the returned guard is dropped —

@@ -228,7 +228,7 @@ fn sweep_conn(conn: &mut Conn, pool: &ShardPool, scratch: &mut [u8]) -> bool {
                     break;
                 }
                 Ok(n) => {
-                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    conn.rbuf.extend_from_slice(scratch.get(..n).unwrap_or(scratch));
                     progressed = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -242,20 +242,20 @@ fn sweep_conn(conn: &mut Conn, pool: &ShardPool, scratch: &mut [u8]) -> bool {
     }
     // Decode complete frames and enqueue their work.
     loop {
-        if conn.closing || conn.rbuf.len() < 4 {
+        if conn.closing {
             break;
         }
-        let len = u32::from_le_bytes(conn.rbuf[..4].try_into().expect("4 bytes")) as usize;
+        let Some(header) = conn.rbuf.first_chunk::<4>() else { break };
+        let len = u32::from_le_bytes(*header) as usize;
         if len > MAX_FRAME {
             let e = ProtoError::FrameTooLarge(len);
             conn.queue_frame(&Frame::Err { message: e.to_string() });
             conn.closing = true;
             break;
         }
-        if conn.rbuf.len() < 4 + len {
-            break;
-        }
-        let frame = Frame::decode(&conn.rbuf[4..4 + len]);
+        // An incomplete body also lands here and waits for more bytes.
+        let Some(body) = conn.rbuf.get(4..4 + len) else { break };
+        let frame = Frame::decode(body);
         conn.rbuf.drain(..4 + len);
         progressed = true;
         match frame {
@@ -266,52 +266,37 @@ fn sweep_conn(conn: &mut Conn, pool: &ShardPool, scratch: &mut [u8]) -> bool {
             }
         }
     }
-    // Resolve owed replies in request order.
-    while let Some(slot) = conn.pending.front() {
+    // Resolve owed replies in request order. Each slot is popped, and a
+    // not-ready slot is pushed straight back — ownership moves through
+    // the match, so there is no "front changed under us" case at all.
+    while let Some(slot) = conn.pending.pop_front() {
         let frame = match slot {
-            ReplySlot::Ready(_) => match conn.pending.pop_front() {
-                Some(ReplySlot::Ready(f)) => f,
-                _ => unreachable!("front was Ready"),
-            },
+            ReplySlot::Ready(f) => f,
             ReplySlot::Feed { rx, id } => match rx.try_recv() {
-                Ok(Ok(records)) => {
-                    let f = Frame::FeedOk { records };
-                    conn.pending.pop_front();
-                    f
+                Ok(Ok(records)) => Frame::FeedOk { records },
+                Ok(Err(e)) => error_frame(e),
+                Err(TryRecvError::Empty) => {
+                    conn.pending.push_front(ReplySlot::Feed { rx, id });
+                    break;
                 }
-                Ok(Err(e)) => {
-                    let f = error_frame(e);
-                    conn.pending.pop_front();
-                    f
-                }
-                Err(TryRecvError::Empty) => break,
                 // The worker died with the command queued (a killed
                 // shard): the stream is gone.
-                Err(TryRecvError::Disconnected) => {
-                    let f = error_frame(ServeError::UnknownStream(*id));
-                    conn.pending.pop_front();
-                    f
-                }
+                Err(TryRecvError::Disconnected) => error_frame(ServeError::UnknownStream(id)),
             },
             ReplySlot::Close { rx, id } => match rx.try_recv() {
                 Ok(Ok(report)) => {
-                    let id = *id;
                     pool.forget_route(StreamId(id));
                     conn.live.remove(&id);
-                    conn.pending.pop_front();
                     close_ok(&report)
                 }
-                Ok(Err(e)) => {
-                    let f = error_frame(e);
-                    conn.pending.pop_front();
-                    f
+                Ok(Err(e)) => error_frame(e),
+                Err(TryRecvError::Empty) => {
+                    conn.pending.push_front(ReplySlot::Close { rx, id });
+                    break;
                 }
-                Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
-                    let id = *id;
                     pool.forget_route(StreamId(id));
                     conn.live.remove(&id);
-                    conn.pending.pop_front();
                     error_frame(ServeError::UnknownStream(id))
                 }
             },
@@ -320,8 +305,12 @@ fn sweep_conn(conn: &mut Conn, pool: &ShardPool, scratch: &mut [u8]) -> bool {
         progressed = true;
     }
     // Flush as much as the socket accepts.
-    while conn.wpos < conn.wbuf.len() {
-        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+    loop {
+        let tail = conn.wbuf.get(conn.wpos..).unwrap_or_default();
+        if tail.is_empty() {
+            break;
+        }
+        match conn.stream.write(tail) {
             Ok(0) => {
                 conn.dead = true;
                 return true;

@@ -106,7 +106,16 @@ impl<'a> SessionOptions<'a> {
             }
             // Whole-trace analyses run on the caller's trace directly
             // (no buffering copy).
-            mode => run_whole(self.cfg, &mode, trace, self.traced, trace.branch_count()),
+            ReplayMode::Cosim(ccfg) => run_whole(
+                self.cfg,
+                &WholeMode::Cosim(ccfg),
+                trace,
+                self.traced,
+                trace.branch_count(),
+            ),
+            ReplayMode::Lookahead => {
+                run_whole(self.cfg, &WholeMode::Lookahead, trace, self.traced, trace.branch_count())
+            }
         }
     }
 
@@ -216,12 +225,20 @@ pub struct SessionReport {
     pub profile: Option<BranchTable>,
 }
 
+/// The whole-stream subset of [`ReplayMode`]. Splitting this off at
+/// session-open time means [`run_whole`] cannot be handed a delayed
+/// mode by construction — no runtime "delayed mode streams" check.
+enum WholeMode {
+    Cosim(CosimConfig),
+    Lookahead,
+}
+
 enum Engine {
     /// Streaming: each fed record steps the predictor immediately.
     Delayed { pred: Box<ZPredictor>, core: ReplayCore, harness_tel: Telemetry },
     /// Whole-stream: records accumulate and the analysis runs at
     /// finish.
-    Buffered { cfg: Box<PredictorConfig>, mode: ReplayMode, trace: DynamicTrace },
+    Buffered { cfg: Box<PredictorConfig>, mode: WholeMode, trace: DynamicTrace },
 }
 
 /// One prediction stream: open → feed [`BranchRecord`] batches →
@@ -277,16 +294,33 @@ impl Session {
             ReplayMode::Delayed { depth } => {
                 Session::open_recycled(label, ZPredictor::new(cfg.clone()), depth, traced)
             }
-            mode => Session {
-                traced,
-                engine: Engine::Buffered {
-                    cfg: Box::new(cfg.clone()),
-                    mode,
-                    trace: DynamicTrace::new(label.clone()),
-                },
-                label,
-                records: 0,
+            ReplayMode::Cosim(ccfg) => {
+                Session::open_buffered(label, cfg, WholeMode::Cosim(ccfg), traced)
+            }
+            ReplayMode::Lookahead => {
+                Session::open_buffered(label, cfg, WholeMode::Lookahead, traced)
+            }
+        }
+    }
+
+    /// Opens a buffering session for a whole-stream mode: fed records
+    /// accumulate into a trace and the analysis runs at
+    /// [`finish`](Session::finish).
+    fn open_buffered(
+        label: String,
+        cfg: &PredictorConfig,
+        mode: WholeMode,
+        traced: bool,
+    ) -> Session {
+        Session {
+            traced,
+            engine: Engine::Buffered {
+                cfg: Box::new(cfg.clone()),
+                mode,
+                trace: DynamicTrace::new(label.clone()),
             },
+            label,
+            records: 0,
         }
     }
 
@@ -483,53 +517,6 @@ impl Session {
             records: image.records,
         }
     }
-
-    /// One-shot replay of a whole trace.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Session::options(cfg).mode(mode).run(trace)`; remove-by: PR-11"
-    )]
-    pub fn run(cfg: &PredictorConfig, mode: ReplayMode, trace: &DynamicTrace) -> SessionReport {
-        Session::options(cfg).mode(mode).run(trace)
-    }
-
-    /// One-shot replay of a pre-decoded [`ReplayBuffer`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Session::options(cfg).depth(depth).run_buffer(buf)`; remove-by: PR-11"
-    )]
-    pub fn run_buffer(cfg: &PredictorConfig, depth: usize, buf: &ReplayBuffer) -> SessionReport {
-        Session::options(cfg).depth(depth).run_buffer(buf)
-    }
-
-    /// Buffer replay with optional profiling.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Session::options(cfg).depth(depth).profiling(on).run_buffer(buf)`; \
-                remove-by: PR-11"
-    )]
-    pub fn run_buffer_profiled(
-        cfg: &PredictorConfig,
-        depth: usize,
-        buf: &ReplayBuffer,
-        profiling: bool,
-    ) -> SessionReport {
-        Session::options(cfg).depth(depth).profiling(profiling).run_buffer(buf)
-    }
-
-    /// One-shot replay with telemetry recorded into the report.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Session::options(cfg).mode(mode).telemetry(true).run(trace)`; \
-                remove-by: PR-11"
-    )]
-    pub fn run_traced(
-        cfg: &PredictorConfig,
-        mode: ReplayMode,
-        trace: &DynamicTrace,
-    ) -> SessionReport {
-        Session::options(cfg).mode(mode).telemetry(true).run(trace)
-    }
 }
 
 /// A mid-stream image of a delayed-mode [`Session`], from
@@ -567,15 +554,14 @@ impl SessionImage {
 /// the `zbp_uarch` engines (`drive_cosim`/`drive_lookahead`).
 fn run_whole(
     cfg: &PredictorConfig,
-    mode: &ReplayMode,
+    mode: &WholeMode,
     trace: &DynamicTrace,
     traced: bool,
     records: u64,
 ) -> SessionReport {
     let tel = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
     match mode {
-        ReplayMode::Delayed { .. } => unreachable!("delayed mode streams"),
-        ReplayMode::Cosim(ccfg) => {
+        WholeMode::Cosim(ccfg) => {
             let (rep, snap) = zbp_uarch::drive_cosim(cfg.clone(), ccfg, trace, tel);
             SessionReport {
                 stats: rep.mispredicts,
@@ -587,7 +573,7 @@ fn run_whole(
                 profile: None,
             }
         }
-        ReplayMode::Lookahead => {
+        WholeMode::Lookahead => {
             let (rep, snap) = zbp_uarch::drive_lookahead(cfg.clone(), trace, tel);
             SessionReport {
                 stats: rep.mispredicts,

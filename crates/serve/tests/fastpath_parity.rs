@@ -5,8 +5,9 @@
 //! change the *cost* of a replay, never its result. These tests pin the
 //! contract from the outside: for every generation preset, every suite
 //! workload, profiled or not, single-thread or SMT-interleaved, the
-//! buffered one-shot ([`Session::run_buffer`]) must reproduce exactly
-//! what the streaming session ([`Session::run`]) computes — statistics,
+//! buffered one-shot (`SessionOptions::run_buffer`) must reproduce
+//! exactly what the streaming session (`SessionOptions::run`) computes
+//! — statistics,
 //! flush counts, and per-static-branch profiles alike. Presets the
 //! kernel declines (any whose shape fails the fast view's claims) take
 //! the generic buffered loop, which must also match.

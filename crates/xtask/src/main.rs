@@ -3,14 +3,17 @@
 //!
 //! Commands:
 //!
-//! * `analyze` — run the determinism/concurrency lints (DESIGN.md
-//!   §4.4) over the workspace, write `results/analyze.json`, and exit
-//!   nonzero on any unwaived finding or malformed waiver.
+//! * `analyze` — run the determinism/concurrency/panic-safety lints
+//!   (DESIGN.md §4.4) over the workspace, write `results/analyze.json`
+//!   and `results/analyze.sarif`, and exit nonzero on any unwaived
+//!   finding or malformed waiver. Warm runs with an unchanged tree are
+//!   served from `results/analyze-cache.json`.
 //! * `analyze --fixture` — self-test: run the same engine over the
 //!   seeded fixture tree and require every lint to fire, the waiver
 //!   path to silence its seed, and the malformed waiver to be caught.
 //!
-//! Flags: `--json PATH` overrides the report location, `--quiet`
+//! Flags: `--json PATH` / `--sarif PATH` override the report
+//! locations, `--no-cache` forces a full re-analysis, `--quiet`
 //! suppresses per-finding output (the exit code still tells the truth).
 
 use std::path::PathBuf;
@@ -33,7 +36,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask analyze [--fixture] [--json PATH] [--quiet]");
+    eprintln!(
+        "usage: cargo xtask analyze [--fixture] [--json PATH] [--sarif PATH] [--no-cache] [--quiet]"
+    );
 }
 
 fn workspace_root() -> PathBuf {
@@ -49,16 +54,26 @@ fn workspace_root() -> PathBuf {
 fn analyze(flags: &[String]) -> ExitCode {
     let mut fixture = false;
     let mut quiet = false;
+    let mut no_cache = false;
     let mut json: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
     let mut it = flags.iter();
     while let Some(f) = it.next() {
         match f.as_str() {
             "--fixture" => fixture = true,
             "--quiet" => quiet = true,
+            "--no-cache" => no_cache = true,
             "--json" => match it.next() {
                 Some(p) => json = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("xtask: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif" => match it.next() {
+                Some(p) => sarif = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask: --sarif needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -80,6 +95,12 @@ fn analyze(flags: &[String]) -> ExitCode {
     if json.is_some() {
         cfg.output = json;
     }
+    if sarif.is_some() {
+        cfg.sarif = sarif;
+    }
+    if no_cache {
+        cfg.cache = None;
+    }
 
     let report = match zbp_analyze::run(&cfg) {
         Ok(r) => r,
@@ -96,18 +117,23 @@ fn analyze(flags: &[String]) -> ExitCode {
         for w in &report.invalid_waivers {
             eprintln!("error: [invalid-waiver] {}:{} {}", w.file, w.line, w.problem);
         }
-        for w in &report.unused_waivers {
-            eprintln!("note: unused waiver for `{}` at {}:{}", w.lint, w.file, w.line);
-        }
     }
     let unwaived = report.unwaived().count();
     let waived = report.findings.len() - unwaived;
+    let cache_note = match report.cache {
+        Some(c) if c.full_hit() => {
+            format!(", cache {}/{} hits (100%, analysis skipped)", c.hits, c.total)
+        }
+        Some(c) => format!(", cache {}/{} hits", c.hits, c.total),
+        None => String::new(),
+    };
     eprintln!(
-        "analyze: {} files, {} finding(s) ({} waived), {} invalid waiver(s){}",
+        "analyze: {} files, {} finding(s) ({} waived), {} invalid waiver(s){}{}",
         report.files_scanned,
         report.findings.len(),
         waived,
         report.invalid_waivers.len(),
+        cache_note,
         cfg.output.as_deref().map(|p| format!(", report -> {}", p.display())).unwrap_or_default()
     );
 
